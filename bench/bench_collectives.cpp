@@ -1,0 +1,71 @@
+// bench_collectives — group-operation latency (paper Fig. 3's process
+// management / group capabilities): barrier, broadcast, and allreduce
+// across machine sizes, as used by the HPF/Opus layers above Chant.
+#include <vector>
+
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+#include "nx/group.hpp"
+#include "nx/machine.hpp"
+
+namespace {
+
+struct CollectiveTimes {
+  double barrier_us;
+  double bcast_us;
+  double allreduce_us;
+};
+
+CollectiveTimes run(int pes, std::size_t bytes, int iters) {
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), 1 << 16}};
+  CollectiveTimes out{};
+  m.run([&](nx::Endpoint& ep) {
+    std::vector<nx::NodeAddr> members;
+    for (int p = 0; p < pes; ++p) members.push_back({p, 0});
+    nx::Group g(ep, members, 42);
+    std::vector<std::uint8_t> buf(bytes, 0x11);
+    std::vector<std::int64_t> v(bytes / sizeof(std::int64_t) + 1, 1);
+    std::vector<std::int64_t> r(v.size(), 0);
+    g.barrier();  // warm-up + alignment
+    {
+      harness::Timer t;
+      for (int i = 0; i < iters; ++i) g.barrier();
+      if (g.rank() == 0) out.barrier_us = t.elapsed_us() / iters;
+    }
+    g.barrier();
+    {
+      harness::Timer t;
+      for (int i = 0; i < iters; ++i) g.broadcast(buf.data(), bytes, 0);
+      if (g.rank() == 0) out.bcast_us = t.elapsed_us() / iters;
+    }
+    g.barrier();
+    {
+      harness::Timer t;
+      for (int i = 0; i < iters; ++i) {
+        g.allreduce(v.data(), r.data(), v.size(), nx::ReduceOp::Sum);
+      }
+      if (g.rank() == 0) out.allreduce_us = t.elapsed_us() / iters;
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kIters = 300;
+  std::printf("== Group collectives (binomial trees over the p2p layer) ==\n");
+  harness::Table t({"pes", "payload_B", "barrier_us", "bcast_us",
+                    "allreduce_us"});
+  for (int pes : {2, 4, 8}) {
+    for (std::size_t bytes : {64ul, 4096ul}) {
+      const CollectiveTimes ct = run(pes, bytes, kIters);
+      t.add_row({harness::fmt("%d", pes), harness::fmt("%zu", bytes),
+                 harness::fmt("%.2f", ct.barrier_us),
+                 harness::fmt("%.2f", ct.bcast_us),
+                 harness::fmt("%.2f", ct.allreduce_us)});
+    }
+  }
+  t.print("collectives");
+  return 0;
+}

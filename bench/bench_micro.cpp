@@ -1,0 +1,126 @@
+// bench_micro — google-benchmark microbenchmarks of the primitive
+// operations every experiment above is built from: context switches,
+// thread spawn/join, tag encoding, nx matching, and chant send/recv.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "chant/chant.hpp"
+#include "lwt/lwt.hpp"
+#include "nx/machine.hpp"
+
+namespace {
+
+void BM_ContextSwitch(benchmark::State& state) {
+  const auto backend = static_cast<lwt::ContextBackend>(state.range(0));
+#if defined(LWT_NO_ASM_CONTEXT)
+  if (backend == lwt::ContextBackend::Asm) {
+    state.SkipWithError("asm backend unavailable");
+    return;
+  }
+#endif
+  lwt::run(
+      [&] {
+        lwt::ThreadAttr attr;
+        attr.detached = true;
+        bool stop = false;
+        lwt::go(
+            [&] {
+              while (!stop) lwt::yield();
+            },
+            attr);
+        for (auto _ : state) lwt::yield();
+        stop = true;
+        lwt::yield();
+      },
+      backend);
+  state.SetItemsProcessed(state.iterations() * 2);  // two restores per round
+}
+BENCHMARK(BM_ContextSwitch)
+    ->Arg(static_cast<int>(lwt::ContextBackend::Asm))
+    ->Arg(static_cast<int>(lwt::ContextBackend::Ucontext))
+    ->ArgNames({"backend"});
+
+void BM_SpawnJoin(benchmark::State& state) {
+  lwt::run([&] {
+    for (auto _ : state) {
+      lwt::Tcb* t = lwt::Scheduler::current()->spawn(
+          [](void*) -> void* { return nullptr; }, nullptr);
+      lwt::join(t);
+    }
+  });
+}
+BENCHMARK(BM_SpawnJoin);
+
+void BM_MutexLockUnlock(benchmark::State& state) {
+  lwt::run([&] {
+    lwt::Mutex m;
+    for (auto _ : state) {
+      m.lock();
+      m.unlock();
+    }
+  });
+}
+BENCHMARK(BM_MutexLockUnlock);
+
+void BM_TagEncodeDecode(benchmark::State& state) {
+  const chant::TagCodec codec{static_cast<chant::AddressingMode>(
+      state.range(0))};
+  nx::MsgHeader h;
+  for (auto _ : state) {
+    const auto w = codec.encode(5, 9, 1234);
+    h.tag = w.tag;
+    h.channel = w.channel;
+    benchmark::DoNotOptimize(codec.decode_src_lid(h));
+    benchmark::DoNotOptimize(codec.decode_user_tag(h));
+  }
+}
+BENCHMARK(BM_TagEncodeDecode)->Arg(0)->Arg(1)->ArgNames({"mode"});
+
+void BM_NxSelfSendRecv(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  std::vector<char> sbuf(size, 'x');
+  std::vector<char> rbuf(size);
+  for (auto _ : state) {
+    nx::Handle h = ep.irecv(0, 0, 1, nx::kTagExact, rbuf.data(), size);
+    ep.csend(0, 0, 1, sbuf.data(), size);
+    benchmark::DoNotOptimize(ep.msgtest(h));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_NxSelfSendRecv)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_NxMsgtestFailed(benchmark::State& state) {
+  // The cost the polling algorithms pay per failed poll.
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  char buf[8];
+  nx::Handle h = ep.irecv(0, 0, 1, nx::kTagExact, buf, sizeof buf);
+  for (auto _ : state) benchmark::DoNotOptimize(ep.msgtest(h));
+  ep.cancel_recv(h);
+}
+BENCHMARK(BM_NxMsgtestFailed);
+
+void BM_ChantLocalSendRecv(benchmark::State& state) {
+  chant::World::Config cfg;
+  cfg.pes = 1;
+  cfg.rt.start_server = false;
+  chant::World w(cfg);
+  w.run([&](chant::Runtime& rt) {
+    long v = 1;
+    long got = 0;
+    for (auto _ : state) {
+      rt.send(1, &v, sizeof v, rt.self());
+      rt.recv(1, &got, sizeof got, rt.self());
+    }
+    benchmark::DoNotOptimize(got);
+  });
+}
+BENCHMARK(BM_ChantLocalSendRecv);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// bench_remote_create — cost of global thread operations (§3.3): local
+// create+join versus remote create+join (which rides the RSR plane and
+// involves the destination's server thread plus a join-helper fiber),
+// and remote cancel.
+#include "chant/chant.hpp"
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+
+namespace {
+
+void* trivial(void* a) { return a; }
+
+void* spin(void*) {
+  for (;;) chant::Runtime::current()->yield();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kIters = 2000;
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.rt.policy = chant::PollPolicy::SchedulerPollsPS;
+  chant::World w(cfg);
+  w.run([&](chant::Runtime& rt) {
+    if (rt.pe() != 0) return;
+    harness::Table t({"operation", "us_per_op"});
+    {
+      harness::Timer timer;
+      for (int i = 0; i < kIters; ++i) {
+        const chant::Gid g = rt.create(&trivial, nullptr,
+                                       PTHREAD_CHANTER_LOCAL,
+                                       PTHREAD_CHANTER_LOCAL);
+        rt.join(g);
+      }
+      t.add_row({"local create+join",
+                 harness::fmt("%.2f", timer.elapsed_us() / kIters)});
+    }
+    {
+      harness::Timer timer;
+      for (int i = 0; i < kIters; ++i) {
+        const chant::Gid g = rt.create(&trivial, nullptr, 1, 0);
+        rt.join(g);
+      }
+      t.add_row({"remote create+join (RSR)",
+                 harness::fmt("%.2f", timer.elapsed_us() / kIters)});
+    }
+    {
+      harness::Timer timer;
+      for (int i = 0; i < kIters; ++i) {
+        const chant::Gid g = rt.create(&spin, nullptr, 1, 0);
+        rt.cancel(g);
+        rt.join(g);
+      }
+      t.add_row({"remote create+cancel+join",
+                 harness::fmt("%.2f", timer.elapsed_us() / kIters)});
+    }
+    {
+      struct P {
+        long x[8];
+      } p{};
+      harness::Timer timer;
+      for (int i = 0; i < kIters; ++i) {
+        const chant::Gid g = rt.create_marshalled(
+            [](chant::Runtime&, const void*, std::size_t) {}, &p, sizeof p,
+            1, 0);
+        rt.join(g);
+      }
+      t.add_row({"remote create+join (marshalled 64B)",
+                 harness::fmt("%.2f", timer.elapsed_us() / kIters)});
+    }
+    std::printf("== Global thread operations (§3.3) ==\n");
+    t.print("remote_create");
+  });
+  return 0;
+}

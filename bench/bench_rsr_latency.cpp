@@ -1,0 +1,98 @@
+// bench_rsr_latency — characterizes the §3.2 remote-service-request
+// layer the paper designed but had not yet measured: round-trip latency
+// of a synchronous RSR versus payload size, the cost of the big-reply
+// tail path, and the effect of the server thread's priority boost when
+// computation threads compete for the PE.
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "chant/chant.hpp"
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+void echo_handler(chant::Runtime&, chant::Runtime::RsrContext&,
+                  const void* arg, std::size_t len,
+                  std::vector<std::uint8_t>& reply) {
+  reply.assign(static_cast<const std::uint8_t*>(arg),
+               static_cast<const std::uint8_t*>(arg) + len);
+}
+
+double run_rsr(bool boost, std::size_t payload, int compute_threads,
+               int iters) {
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.rt.policy = chant::PollPolicy::SchedulerPollsPS;
+  cfg.rt.server_high_priority = boost;
+  chant::World w(cfg);
+  const int echo = w.register_handler(&echo_handler);
+  double out = 0;
+  w.run([&](chant::Runtime& rt) {
+    // Competing computation threads on the *server's* pe (pe 1): without
+    // the priority boost, a received RSR waits behind them in the queue.
+    struct Stop {
+      bool flag = false;
+    };
+    Stop stop;
+    std::vector<chant::Gid> busy;
+    if (rt.pe() == 1) {
+      for (int i = 0; i < compute_threads; ++i) {
+        busy.push_back(rt.create(
+            [](void* p) -> void* {
+              auto* s = static_cast<Stop*>(p);
+              while (!s->flag) {
+                harness::consume(harness::compute(200));
+                chant::Runtime::current()->yield();
+                // Donate the OS timeslice so the requesting PE (which
+                // shares this core in the simulation) makes progress.
+                std::this_thread::yield();
+              }
+              return nullptr;
+            },
+            &stop, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL));
+      }
+    }
+    if (rt.pe() == 0) {
+      std::vector<std::uint8_t> arg(payload, 0x5A);
+      // warm-up
+      (void)rt.call(1, 0, echo, arg.data(), arg.size());
+      harness::Timer t;
+      for (int i = 0; i < iters; ++i) {
+        const auto rep = rt.call(1, 0, echo, arg.data(), arg.size());
+      }
+      out = t.elapsed_us() / iters;
+      char done = 1;
+      rt.send(99, &done, 1, chant::Gid{1, 0, chant::kMainLid});
+    } else {
+      char done = 0;
+      rt.recv(99, &done, 1, chant::Gid{0, 0, chant::kMainLid});
+      stop.flag = true;
+      for (const auto& g : busy) rt.join(g);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kIters = 3000;
+  std::printf("== RSR round-trip latency (sync call through the server "
+              "thread, §3.2) ==\n");
+  harness::Table t({"payload_B", "reply_path", "idle_pe_us",
+                    "busy_boost_us", "busy_noboost_us"});
+  for (std::size_t payload : {16ul, 512ul, 2048ul, 8192ul}) {
+    const char* path = payload <= 1024 ? "inline" : "tail";
+    const double idle = run_rsr(true, payload, 0, kIters);
+    const double boost = run_rsr(true, payload, 6, kIters);
+    const double noboost = run_rsr(false, payload, 6, kIters);
+    t.add_row({harness::fmt("%zu", payload), path,
+               harness::fmt("%.2f", idle), harness::fmt("%.2f", boost),
+               harness::fmt("%.2f", noboost)});
+  }
+  t.print("rsr_latency");
+  return 0;
+}

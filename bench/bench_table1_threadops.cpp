@@ -1,0 +1,117 @@
+// bench_table1_threadops — reproduces the *shape* of paper Table 1:
+// thread create and context-switch times across thread packages. The
+// 1994 packages are gone; the comparable hierarchy on this machine is
+//   lwt (asm switch)      ~ Quickthreads-class user-level threads,
+//   lwt (ucontext switch) ~ a portable/syscall-per-switch package,
+//   std::thread (kernel)  ~ the kernel-thread / LWP row,
+// and the expected result is the same orders-of-magnitude ladder the
+// paper tabulates (user-level ≪ kernel-level).
+#include <thread>
+#include <vector>
+
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+#include "lwt/lwt.hpp"
+
+namespace {
+
+struct OpTimes {
+  double create_us;
+  double switch_us;
+};
+
+OpTimes measure_lwt(lwt::ContextBackend backend) {
+  OpTimes out{};
+  // Create: spawn+join amortized over a batch (stack pool warm).
+  lwt::run(
+      [&] {
+        constexpr int kWarm = 64;
+        constexpr int kN = 2000;
+        std::vector<lwt::Tcb*> warm;
+        for (int i = 0; i < kWarm; ++i) warm.push_back(lwt::go([] {}));
+        for (auto* t : warm) lwt::join(t);
+        harness::Timer timer;
+        for (int i = 0; i < kN; ++i) {
+          lwt::Tcb* t = lwt::Scheduler::current()->spawn(
+              [](void*) -> void* { return nullptr; }, nullptr);
+          lwt::join(t);
+        }
+        out.create_us = timer.elapsed_us() / kN;
+      },
+      backend);
+  // Switch: two fibers yielding to each other; one "switch" = one
+  // restore of a different thread's context (through the scheduler).
+  lwt::run(
+      [&] {
+        constexpr int kSwitches = 200000;
+        lwt::Tcb* partner = lwt::go([] {
+          for (int i = 0; i < kSwitches / 2; ++i) lwt::yield();
+        });
+        harness::Timer timer;
+        for (int i = 0; i < kSwitches / 2; ++i) lwt::yield();
+        out.switch_us = timer.elapsed_us() / kSwitches;
+        lwt::join(partner);
+      },
+      backend);
+  return out;
+}
+
+OpTimes measure_kernel_threads() {
+  OpTimes out{};
+  constexpr int kN = 300;
+  {
+    harness::Timer timer;
+    for (int i = 0; i < kN; ++i) {
+      std::thread t([] {});
+      t.join();
+    }
+    out.create_us = timer.elapsed_us() / kN;
+  }
+  {
+    // Kernel "switch": ping-pong two OS threads over atomics, forcing a
+    // reschedule per handoff via yield.
+    std::atomic<int> turn{0};
+    constexpr int kHandoffs = 20000;
+    harness::Timer timer;
+    std::thread other([&] {
+      for (int i = 0; i < kHandoffs / 2; ++i) {
+        while (turn.load(std::memory_order_acquire) == 0) {
+          std::this_thread::yield();
+        }
+        turn.store(0, std::memory_order_release);
+      }
+    });
+    for (int i = 0; i < kHandoffs / 2; ++i) {
+      turn.store(1, std::memory_order_release);
+      while (turn.load(std::memory_order_acquire) == 1) {
+        std::this_thread::yield();
+      }
+    }
+    other.join();
+    out.switch_us = timer.elapsed_us() / kHandoffs;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 1: thread package create/switch times ==\n");
+  std::printf("(paper's SS-10 numbers for reference: cthreads 423/81, REX "
+              "230/60, pthreads 1300/29, LWP 400/25, Quickthreads 440/21 us)\n\n");
+  harness::Table t({"package", "create_us", "switch_us"});
+#if !defined(LWT_NO_ASM_CONTEXT)
+  const OpTimes asm_times = measure_lwt(lwt::ContextBackend::Asm);
+  t.add_row({"lwt (asm, Quickthreads-class)",
+             harness::fmt("%.3f", asm_times.create_us),
+             harness::fmt("%.3f", asm_times.switch_us)});
+#endif
+  const OpTimes uc = measure_lwt(lwt::ContextBackend::Ucontext);
+  t.add_row({"lwt (ucontext, portable)", harness::fmt("%.3f", uc.create_us),
+             harness::fmt("%.3f", uc.switch_us)});
+  const OpTimes kt = measure_kernel_threads();
+  t.add_row({"std::thread (kernel)", harness::fmt("%.3f", kt.create_us),
+             harness::fmt("%.3f", kt.switch_us)});
+  t.print("table1");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// bench_table2_p2p_overhead — reproduces paper Table 2 / Figure 8:
+// the cost of thread-based point-to-point communication versus the raw
+// communication layer ("Process"), for message sizes 1K..16K bytes.
+//
+//   Process     — nx endpoints used directly, whole-OS-thread blocking
+//                 (the paper's two-process NX baseline),
+//   Thread (TP) — Chant, one thread per PE, Thread-polls policy,
+//   Thread (SP) — Chant, Scheduler-polls (PS) policy, which forces the
+//                 scheduler into the loop for every receive (the paper's
+//                 second thread variant).
+//
+// Two network modes are reported:
+//   raw      — zero modelled latency: the difference between the rows is
+//              exactly Chant's software overhead on this machine;
+//   paragon  — the calibrated T(n)=L0+n·c model: absolute per-message
+//              times land in the paper's microsecond range, so overhead
+//              percentages can be compared against Table 2 directly.
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "chant/chant.hpp"
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+#include "nx/machine.hpp"
+
+namespace {
+
+constexpr std::size_t kSizes[] = {1024, 2048, 4096, 8192, 16384};
+
+/// One "message exchange" (the paper's unit): pe 0 sends and receives
+/// one message of `size` bytes; pe 1 mirrors. Returns pe 0's time per
+/// exchange in microseconds.
+double run_process_baseline(const nx::NetModel& net, std::size_t size,
+                            int iters) {
+  nx::Machine m{nx::Machine::Config{2, 1, net, 16 * 1024}};
+  double out = 0;
+  m.run([&](nx::Endpoint& ep) {
+    std::vector<char> sbuf(size, 's');
+    std::vector<char> rbuf(size);
+    harness::Timer t;
+    if (ep.pe() == 0) {
+      for (int i = 0; i < iters; ++i) {
+        ep.csend(1, 0, 1, sbuf.data(), size);
+        ep.crecv(1, 0, 1, nx::kTagExact, rbuf.data(), size);
+      }
+      out = t.elapsed_us() / iters;
+    } else {
+      for (int i = 0; i < iters; ++i) {
+        ep.crecv(0, 0, 1, nx::kTagExact, rbuf.data(), size);
+        ep.csend(0, 0, 1, sbuf.data(), size);
+      }
+    }
+  });
+  return out;
+}
+
+struct ThreadExchange {
+  double us = 0;            ///< wall time per exchange
+  double switches = 0;      ///< complete context switches per message
+  double partial = 0;       ///< PS partial-switch tests per message
+  double msgtests = 0;      ///< communication-layer tests per message
+};
+
+ThreadExchange run_thread_exchange(const nx::NetModel& net,
+                                   chant::PollPolicy policy,
+                                   std::size_t size, int iters) {
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.net = net;
+  cfg.rt.policy = policy;
+  cfg.rt.start_server = false;  // worst case of §4.1: nothing to overlap
+  chant::World w(cfg);
+  ThreadExchange out;
+  w.run([&](chant::Runtime& rt) {
+    const chant::Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    std::vector<char> sbuf(size, 's');
+    std::vector<char> rbuf(size);
+    harness::Timer t;
+    if (rt.pe() == 0) {
+      for (int i = 0; i < iters; ++i) {
+        rt.send(1, sbuf.data(), size, peer);
+        rt.recv(1, rbuf.data(), size, peer);
+      }
+      out.us = t.elapsed_us() / iters;
+      // Per-message (send+recv pair) event counts — the §4.1 mechanism:
+      // TP pays a full context switch per failed poll, SP a partial one.
+      const auto& st = rt.sched_stats();
+      const double msgs = 2.0 * iters;
+      out.switches = static_cast<double>(st.full_switches) / msgs;
+      out.partial = static_cast<double>(st.partial_poll_tests) / msgs;
+      out.msgtests =
+          static_cast<double>(rt.net_counters().msgtest_calls.load()) / msgs;
+    } else {
+      for (int i = 0; i < iters; ++i) {
+        rt.recv(1, rbuf.data(), size, peer);
+        rt.send(1, sbuf.data(), size, peer);
+      }
+    }
+  });
+  return out;
+}
+
+void run_mode(const char* name, const char* csv_tag, const nx::NetModel& net,
+              int iters) {
+  std::printf("\n== Table 2 / Figure 8 (%s network, %d exchanges/size) ==\n",
+              name, iters);
+  harness::Table t({"size_B", "process_us", "thread_TP_us", "TP_ovh_%",
+                    "thread_SP_us", "SP_ovh_%", "TP_sw/msg", "SP_sw/msg",
+                    "SP_psw/msg"});
+  for (std::size_t size : kSizes) {
+    const double proc = run_process_baseline(net, size, iters);
+    const ThreadExchange tp =
+        run_thread_exchange(net, chant::PollPolicy::ThreadPolls, size, iters);
+    const ThreadExchange sp = run_thread_exchange(
+        net, chant::PollPolicy::SchedulerPollsPS, size, iters);
+    t.add_row({harness::fmt("%zu", size), harness::fmt("%.2f", proc),
+               harness::fmt("%.2f", tp.us),
+               harness::fmt("%.1f", 100.0 * (tp.us - proc) / proc),
+               harness::fmt("%.2f", sp.us),
+               harness::fmt("%.1f", 100.0 * (sp.us - proc) / proc),
+               harness::fmt("%.2f", tp.switches),
+               harness::fmt("%.2f", sp.switches),
+               harness::fmt("%.2f", sp.partial)});
+  }
+  t.print(csv_tag);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int raw_iters = argc > 1 ? std::atoi(argv[1]) : 20000;
+  const int cal_iters = argc > 2 ? std::atoi(argv[2]) : 300;
+  std::printf("(paper Table 2 for reference: 1K 667/711 6.4%% / 774 15.9%% "
+              "... 16K 5532/5625 1.7%% / 5689 2.9%%)\n");
+  run_mode("raw", "table2_raw", nx::NetModel::zero(), raw_iters);
+  run_mode("paragon-calibrated", "table2_paragon", nx::NetModel::paragon(),
+           cal_iters);
+  return 0;
+}

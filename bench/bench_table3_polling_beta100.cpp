@@ -1,0 +1,14 @@
+// bench_table3_polling_beta100 — reproduces paper Table 3 and Figures
+// 10 (time), 11 (context switches), 12 (msgtest calls), 13 (average
+// waiting threads): the three polling algorithms over the Fig.-9
+// workload at beta = 100, alpha ∈ {100, 1000, 10000, 100000},
+// 2 PEs × 12 threads × 100 iterations.
+#include "polling_common.hpp"
+
+int main() {
+  bench::run_polling_table(
+      "Table 3 / Figures 10-13: polling algorithms, 2 pes x 12 threads "
+      "x 100 iterations",
+      "table3", /*beta=*/100);
+  return 0;
+}

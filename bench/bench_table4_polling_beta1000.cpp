@@ -1,0 +1,10 @@
+// bench_table4_polling_beta1000 — reproduces paper Table 4: the same
+// polling-algorithm sweep as Table 3 with beta = 1000 (more computation
+// between the send and the matching receive).
+#include "polling_common.hpp"
+
+int main() {
+  bench::run_polling_table("Table 4: polling algorithms", "table4",
+                           /*beta=*/1000);
+  return 0;
+}

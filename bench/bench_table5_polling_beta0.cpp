@@ -1,0 +1,9 @@
+// bench_table5_polling_beta0 — reproduces paper Table 5: the polling
+// sweep with beta = 0 (receive posted immediately after the send).
+#include "polling_common.hpp"
+
+int main() {
+  bench::run_polling_table("Table 5: polling algorithms", "table5",
+                           /*beta=*/0);
+  return 0;
+}

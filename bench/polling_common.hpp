@@ -1,0 +1,143 @@
+// polling_common.hpp — shared driver for the paper's §4.2 polling
+// experiments (Tables 3/4/5, Figures 10–13).
+//
+// Workload = paper Figure 9, verbatim: each of 12 threads per PE runs
+//   loop { compute(alpha); send(); compute(beta); recv(); }
+// for 100 iterations against its twin thread on the other PE. The
+// driver runs it under each polling algorithm and reports, per run:
+//   Time   — measured wall-clock (ms) on this hardware,
+//   CtxSw  — complete context switches (paper's CtxSw column),
+//   msgtest— calls into the communication layer's test primitives
+//            (msgtest + msgtestany; the paper's msgtest column),
+//   Wait   — average number of threads waiting on outstanding receives
+//            (paper Figure 13),
+//   Scaled — Paragon-calibrated time (ms) from the cost model, the
+//            apples-to-apples comparison against the paper's Time column.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "chant/chant.hpp"
+#include "harness/costmodel.hpp"
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+#include "harness/workload.hpp"
+
+namespace bench {
+
+struct PollingResult {
+  double time_ms = 0;
+  std::uint64_t ctxsw = 0;
+  std::uint64_t partial = 0;
+  std::uint64_t msgtest = 0;
+  std::uint64_t msgtest_failed = 0;
+  double avg_waiting = 0;
+  double scaled_ms = 0;
+};
+
+struct PollingParams {
+  std::uint64_t alpha = 100;
+  std::uint64_t beta = 100;
+  int threads_per_pe = 12;
+  int iterations = 100;
+  chant::PollPolicy policy = chant::PollPolicy::ThreadPolls;
+  bool wq_testany = false;
+};
+
+inline PollingResult run_polling(const PollingParams& pp) {
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.rt.policy = pp.policy;
+  cfg.rt.wq_use_testany = pp.wq_testany;
+  cfg.rt.start_server = false;  // §4.2 measured the p2p layer alone
+  chant::World w(cfg);
+  PollingResult res;
+  w.run([&](chant::Runtime& rt) {
+    struct Ctx {
+      chant::Runtime* rt;
+      const PollingParams* pp;
+    };
+    Ctx ctx{&rt, &pp};
+    harness::Timer timer;
+    std::vector<chant::Gid> mine;
+    for (int i = 0; i < pp.threads_per_pe; ++i) {
+      mine.push_back(rt.create(
+          [](void* p) -> void* {
+            auto& c = *static_cast<Ctx*>(p);
+            chant::Runtime& r = *c.rt;
+            const chant::Gid peer{1 - r.pe(), 0, r.self().thread};
+            for (int it = 0; it < c.pp->iterations; ++it) {
+              harness::consume(harness::compute(c.pp->alpha));
+              long tick = it;
+              r.send(1, &tick, sizeof tick, peer);
+              harness::consume(harness::compute(c.pp->beta));
+              long got = 0;
+              r.recv(1, &got, sizeof got, peer);
+            }
+            return nullptr;
+          },
+          &ctx, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL));
+    }
+    for (const auto& g : mine) rt.join(g);
+    if (rt.pe() == 0) {
+      res.time_ms = timer.elapsed_ms();
+      const auto& st = rt.sched_stats();
+      auto& nc = rt.net_counters();
+      res.ctxsw = st.full_switches;
+      res.partial = st.partial_poll_tests;
+      res.msgtest = nc.msgtest_calls.load() + nc.testany_calls.load() +
+                    st.wq_poll_tests;
+      res.msgtest_failed = nc.msgtest_failed.load();
+      res.avg_waiting = st.avg_waiting();
+      const harness::CostModel cm;
+      const double compute_units =
+          static_cast<double>(pp.threads_per_pe) * pp.iterations *
+          static_cast<double>(pp.alpha + pp.beta);
+      res.scaled_ms = cm.scaled_us(st, nc, compute_units) / 1000.0;
+    }
+  });
+  return res;
+}
+
+/// Runs the full alpha sweep for one beta (= one paper table) and prints
+/// the three-algorithm comparison.
+inline void run_polling_table(const char* title, const char* csv_tag,
+                              std::uint64_t beta) {
+  struct Algo {
+    const char* name;
+    chant::PollPolicy policy;
+    bool testany;
+  };
+  const Algo algos[] = {
+      {"Thread polls", chant::PollPolicy::ThreadPolls, false},
+      {"Scheduler polls (PS)", chant::PollPolicy::SchedulerPollsPS, false},
+      {"Scheduler polls (WQ)", chant::PollPolicy::SchedulerPollsWQ, false},
+  };
+  std::printf("\n== %s (beta = %llu) ==\n", title,
+              static_cast<unsigned long long>(beta));
+  harness::Table t({"algorithm", "alpha", "time_ms", "scaled_ms", "ctxsw",
+                    "partial", "msgtest", "failed", "avg_wait"});
+  for (const Algo& a : algos) {
+    for (std::uint64_t alpha : {100ull, 1000ull, 10000ull, 100000ull}) {
+      PollingParams pp;
+      pp.alpha = alpha;
+      pp.beta = beta;
+      pp.policy = a.policy;
+      pp.wq_testany = a.testany;
+      const PollingResult r = run_polling(pp);
+      t.add_row({a.name, harness::fmt("%llu", (unsigned long long)alpha),
+                 harness::fmt("%.2f", r.time_ms),
+                 harness::fmt("%.0f", r.scaled_ms),
+                 harness::fmt("%llu", (unsigned long long)r.ctxsw),
+                 harness::fmt("%llu", (unsigned long long)r.partial),
+                 harness::fmt("%llu", (unsigned long long)r.msgtest),
+                 harness::fmt("%llu", (unsigned long long)r.msgtest_failed),
+                 harness::fmt("%.2f", r.avg_waiting)});
+    }
+  }
+  t.print(csv_tag);
+}
+
+}  // namespace bench

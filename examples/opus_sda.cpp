@@ -1,0 +1,140 @@
+// opus_sda.cpp — shared data abstractions: the workload Chant was built
+// to carry (paper §1: "support our extensions to the High Performance
+// Fortran standard for task parallelism and shared data abstractions").
+//
+// A bounded ticket queue lives as an SDA on pe 0. Producer threads on
+// every other PE push work tickets through monitor methods; consumer
+// threads everywhere pop them. All mutual exclusion happens inside the
+// owner's address space — callers just invoke methods on a global
+// reference. Run:  ./opus_sda [tickets]
+#include <cstdio>
+#include <cstdlib>
+
+#include "chant/chant.hpp"
+
+namespace {
+
+constexpr int kPes = 4;
+constexpr int kQueueCap = 8;
+
+struct TicketQueue {
+  long items[kQueueCap] = {};
+  int head = 0;
+  int count = 0;
+  long pushed = 0;
+  long popped = 0;
+};
+
+struct PushOut {
+  int accepted;  // 0 = queue full, try again
+};
+struct PopOut {
+  int ok;  // 0 = queue empty
+  long item;
+};
+
+void push_method(chant::Runtime&, TicketQueue& q, const long& item,
+                 PushOut& out) {
+  if (q.count == kQueueCap) {
+    out.accepted = 0;
+    return;
+  }
+  q.items[(q.head + q.count) % kQueueCap] = item;
+  ++q.count;
+  ++q.pushed;
+  out.accepted = 1;
+}
+
+void pop_method(chant::Runtime&, TicketQueue& q, const long&, PopOut& out) {
+  if (q.count == 0) {
+    out.ok = 0;
+    out.item = 0;
+    return;
+  }
+  out.ok = 1;
+  out.item = q.items[q.head];
+  q.head = (q.head + 1) % kQueueCap;
+  --q.count;
+  ++q.popped;
+}
+
+void totals_method(chant::Runtime&, TicketQueue& q, const long&, long& out) {
+  out = q.pushed * 1000000 + q.popped;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long tickets = argc > 1 ? std::atol(argv[1]) : 64;
+
+  chant::World::Config cfg;
+  cfg.pes = kPes;
+  cfg.rt.policy = chant::PollPolicy::SchedulerPollsPS;
+  chant::World world(cfg);
+
+  chant::SdaClass<TicketQueue> queue_class(world);
+  const int push = queue_class.method<long, PushOut>(&push_method);
+  const int pop = queue_class.method<long, PopOut>(&pop_method);
+  const int totals = queue_class.method<long, long>(&totals_method);
+
+  world.run([&](chant::Runtime& rt) {
+    // pe 0 owns the queue and distributes the reference.
+    chant::SdaRef ref;
+    if (rt.pe() == 0) {
+      ref = queue_class.create(rt, 0, 0);
+      for (int pe = 1; pe < kPes; ++pe) {
+        rt.send(1, &ref, sizeof ref, chant::Gid{pe, 0, chant::kMainLid});
+      }
+    } else {
+      rt.recv(1, &ref, sizeof ref, chant::Gid{0, 0, chant::kMainLid});
+    }
+
+    // Producers on pes 1..3 push their share of tickets (retrying while
+    // the bounded queue is full); consumers on every pe pop them.
+    const long per_producer = tickets / (kPes - 1);
+    long consumed = 0;
+    long consumed_sum = 0;
+    if (rt.pe() != 0) {
+      for (long i = 0; i < per_producer; ++i) {
+        const long ticket = rt.pe() * 1000 + i;
+        for (;;) {
+          PushOut out{};
+          queue_class.invoke(rt, ref, push, ticket, out);
+          if (out.accepted != 0) break;
+          rt.yield();  // queue full: give consumers a chance
+        }
+      }
+    }
+    // pe 0 consumes everything the producers pushed.
+    if (rt.pe() == 0) {
+      long done = 0;
+      while (done < (kPes - 1) * per_producer) {
+        PopOut out{};
+        queue_class.invoke(rt, ref, pop, 0L, out);
+        if (out.ok != 0) {
+          ++consumed;
+          consumed_sum += out.item;
+          ++done;
+        } else {
+          rt.yield();
+        }
+      }
+      long t = 0;
+      queue_class.invoke(rt, ref, totals, 0L, t);
+      std::printf("opus_sda: queue saw %ld pushes / %ld pops; pe 0 consumed "
+                  "%ld tickets (sum %ld)\n",
+                  t / 1000000, t % 1000000, consumed, consumed_sum);
+      // Tell everyone we're done before tearing the object down.
+      for (int pe = 1; pe < kPes; ++pe) {
+        char fin = 1;
+        rt.send(2, &fin, 1, chant::Gid{pe, 0, chant::kMainLid});
+      }
+      queue_class.destroy(rt, ref);
+    } else {
+      char fin = 0;
+      rt.recv(2, &fin, 1, chant::Gid{0, 0, chant::kMainLid});
+    }
+  });
+  std::puts("opus_sda: done");
+  return 0;
+}

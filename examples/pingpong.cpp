@@ -1,0 +1,80 @@
+// pingpong.cpp — latency/bandwidth demo using the paper's Appendix-A
+// C interface (pthread_chanter_*), the style a 1994 NX programmer would
+// have written.
+//
+// Two threads, one per PE, bounce messages of growing size and report
+// the per-message round-trip time — a miniature of the paper's Table 2
+// workload. Run:  ./pingpong [iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "chant/chant.hpp"
+#include "harness/timer.hpp"
+
+namespace {
+
+constexpr int kTagBall = 3;
+int g_iterations = 200;
+
+void* ponger(void*) {
+  pthread_chanter_t peer = PTHREAD_CHANTER_ANY;
+  std::vector<char> buf(64 * 1024);
+  for (std::size_t size = 1024; size <= 16 * 1024; size *= 2) {
+    for (int i = 0; i < g_iterations; ++i) {
+      pthread_chanter_t from = PTHREAD_CHANTER_ANY;
+      pthread_chanter_recv(kTagBall, buf.data(), static_cast<int>(size),
+                           &from);
+      peer = from;
+      pthread_chanter_send(kTagBall, buf.data(), static_cast<int>(size),
+                           &peer);
+    }
+  }
+  return nullptr;
+}
+
+void* pinger(void* arg) {
+  const pthread_chanter_t* peer = static_cast<const pthread_chanter_t*>(arg);
+  std::vector<char> buf(64 * 1024, 'p');
+  std::printf("%-12s %-14s %-14s\n", "size (B)", "round trip us", "MB/s");
+  for (std::size_t size = 1024; size <= 16 * 1024; size *= 2) {
+    harness::Timer t;
+    for (int i = 0; i < g_iterations; ++i) {
+      pthread_chanter_send(kTagBall, buf.data(), static_cast<int>(size),
+                           peer);
+      pthread_chanter_t from = *peer;
+      pthread_chanter_recv(kTagBall, buf.data(), static_cast<int>(size),
+                           &from);
+    }
+    const double us = t.elapsed_us() / g_iterations;
+    std::printf("%-12zu %-14.2f %-14.1f\n", size, us,
+                2.0 * static_cast<double>(size) / us);  // both directions
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) g_iterations = std::atoi(argv[1]);
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.rt.policy = chant::PollPolicy::ThreadPolls;
+
+  chant::World world(cfg);
+  world.run([](chant::Runtime& rt) {
+    if (rt.pe() != 0) return;
+    // Create the remote ponger via the C API, then ping it.
+    pthread_chanter_t remote;
+    if (pthread_chanter_create(&remote, nullptr, &ponger, nullptr, 1, 0) !=
+        0) {
+      std::fprintf(stderr, "pingpong: remote create failed\n");
+      return;
+    }
+    pinger(&remote);
+    pthread_chanter_join(&remote, nullptr);
+  });
+  std::puts("pingpong: done");
+  return 0;
+}

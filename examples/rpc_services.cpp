@@ -1,0 +1,97 @@
+// rpc_services.cpp — remote service requests in the paper's §3.2 style.
+//
+// Each PE owns a shard of a distributed table. Two services are
+// registered on every process (SPMD):
+//   * remote fetch  — read a value out of another PE's address space,
+//   * remote update — a one-way "post" that mutates remote state.
+// pe 0 then fetches from every shard and fires updates at them,
+// demonstrating request/reply matching and one-way RSRs, all through the
+// per-process server thread. Run:  ./rpc_services
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "chant/chant.hpp"
+
+namespace {
+
+constexpr int kShardSize = 64;
+
+// Per-process shard. Each simulated process has its own OS thread and
+// touches only its own slot — cross-PE access *must* use the services.
+thread_local std::vector<long> t_shard;
+
+struct FetchReq {
+  int index;
+};
+struct FetchRep {
+  long value;
+};
+struct UpdateReq {
+  int index;
+  long delta;
+};
+
+void fetch_handler(chant::Runtime& rt, chant::Runtime::RsrContext&,
+                   const void* arg, std::size_t len,
+                   std::vector<std::uint8_t>& reply) {
+  FetchReq req{};
+  if (len >= sizeof req) std::memcpy(&req, arg, sizeof req);
+  FetchRep rep{t_shard[static_cast<std::size_t>(req.index) % kShardSize]};
+  reply.resize(sizeof rep);
+  std::memcpy(reply.data(), &rep, sizeof rep);
+  (void)rt;
+}
+
+void update_handler(chant::Runtime& rt, chant::Runtime::RsrContext&,
+                    const void* arg, std::size_t len,
+                    std::vector<std::uint8_t>&) {
+  UpdateReq req{};
+  if (len >= sizeof req) std::memcpy(&req, arg, sizeof req);
+  t_shard[static_cast<std::size_t>(req.index) % kShardSize] += req.delta;
+  (void)rt;
+}
+
+}  // namespace
+
+int main() {
+  chant::World::Config cfg;
+  cfg.pes = 4;
+  cfg.rt.policy = chant::PollPolicy::SchedulerPollsPS;
+  chant::World world(cfg);
+
+  const int fetch_id = world.register_handler(&fetch_handler);
+  const int update_id = world.register_handler(&update_handler);
+
+  world.run([&](chant::Runtime& rt) {
+    // Every process initializes its shard: shard[i] = pe*1000 + i.
+    t_shard.assign(kShardSize, 0);
+    for (int i = 0; i < kShardSize; ++i) t_shard[i] = rt.pe() * 1000 + i;
+
+    if (rt.pe() != 0) return;
+
+    // Remote fetch from every PE.
+    for (int pe = 0; pe < 4; ++pe) {
+      FetchReq req{7};
+      const auto rep = rt.call(pe, 0, fetch_id, &req, sizeof req);
+      FetchRep out{};
+      std::memcpy(&out, rep.data(), sizeof out);
+      std::printf("[pe 0] fetch pe%d[7] = %ld\n", pe, out.value);
+    }
+
+    // One-way updates, then re-fetch to observe them.
+    for (int pe = 1; pe < 4; ++pe) {
+      UpdateReq up{7, 100000};
+      rt.post(pe, 0, update_id, &up, sizeof up);
+    }
+    for (int pe = 1; pe < 4; ++pe) {
+      FetchReq req{7};
+      const auto rep = rt.call(pe, 0, fetch_id, &req, sizeof req);
+      FetchRep out{};
+      std::memcpy(&out, rep.data(), sizeof out);
+      std::printf("[pe 0] after update pe%d[7] = %ld\n", pe, out.value);
+    }
+  });
+  std::puts("rpc_services: done");
+  return 0;
+}

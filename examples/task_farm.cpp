@@ -1,0 +1,125 @@
+// task_farm.cpp — dynamic load balancing with talking threads.
+//
+// The paper's introduction motivates talking threads with dynamic
+// scheduling and load balancing. This example is that workload: pe 0
+// runs a farmer thread holding a bag of unevenly sized tasks; it creates
+// worker threads on every PE (remote creation through the server
+// thread), and each worker pulls tasks by message — send request, recv
+// task, compute, repeat — until the farmer hands out poison pills.
+// Imbalance is absorbed automatically: fast workers simply ask more
+// often. Run:  ./task_farm [pes] [workers_per_pe] [tasks]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "chant/chant.hpp"
+#include "harness/timer.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+constexpr int kTagWantWork = 10;
+constexpr int kTagTask = 11;
+constexpr int kTagResult = 12;
+
+struct Task {
+  long id;          // -1 = poison pill
+  std::uint64_t work;  // compute iterations
+};
+
+struct WorkerArg {
+  chant::Gid farmer;
+};
+
+void worker_entry(chant::Runtime& rt, const void* arg, std::size_t len) {
+  WorkerArg wa{};
+  if (len >= sizeof wa) std::memcpy(&wa, arg, sizeof wa);
+  const chant::Gid me = rt.self();
+  long done = 0;
+  std::uint64_t acc = 0;
+  for (;;) {
+    rt.send(kTagWantWork, &me, sizeof me, wa.farmer);
+    Task t{};
+    rt.recv(kTagTask, &t, sizeof t, wa.farmer);
+    if (t.id < 0) break;
+    acc ^= harness::compute(t.work);
+    ++done;
+  }
+  harness::consume(acc);
+  // Report how many tasks this worker absorbed.
+  long report[2] = {static_cast<long>(rt.pe()), done};
+  rt.send(kTagResult, report, sizeof report, wa.farmer);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int pes = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int per_pe = argc > 2 ? std::atoi(argv[2]) : 2;
+  const long ntasks = argc > 3 ? std::atol(argv[3]) : 200;
+
+  chant::World::Config cfg;
+  cfg.pes = pes;
+  cfg.rt.policy = chant::PollPolicy::SchedulerPollsPS;
+  // A visible wire latency makes the balancing interesting: remote
+  // workers pay for each request, yet absorption stays even because
+  // pulling work self-schedules around the skewed task sizes.
+  cfg.net = nx::NetModel{30.0, 0.01};
+  chant::World world(cfg);
+
+  world.run([&](chant::Runtime& rt) {
+    if (rt.pe() != 0) return;
+    harness::Timer timer;
+    const chant::Gid farmer = rt.self();
+    const int nworkers = pes * per_pe;
+
+    // Spawn workers everywhere (marshalled arg: the farmer's gid).
+    std::vector<chant::Gid> workers;
+    for (int pe = 0; pe < pes; ++pe) {
+      for (int k = 0; k < per_pe; ++k) {
+        WorkerArg wa{farmer};
+        workers.push_back(
+            rt.create_marshalled(&worker_entry, &wa, sizeof wa, pe, 0));
+      }
+    }
+
+    // Farm: answer each "want work" with the next task; task sizes are
+    // deliberately skewed (task i costs (i % 17)^2 * 300 units).
+    long next = 0;
+    int finished = 0;
+    while (finished < nworkers) {
+      chant::Gid hungry{};
+      rt.recv(kTagWantWork, &hungry, sizeof hungry, chant::kAnyThread);
+      Task t{};
+      if (next < ntasks) {
+        // Deliberately skewed task sizes (up to ~2.5 ms of compute), big
+        // enough that absorption tracks capacity rather than proximity.
+        const long s = next % 17;
+        t = Task{next, static_cast<std::uint64_t>(s * s * 3000 + 1000)};
+        ++next;
+      } else {
+        t = Task{-1, 0};
+        ++finished;
+      }
+      rt.send(kTagTask, &t, sizeof t, hungry);
+    }
+
+    // Collect per-worker absorption counts.
+    std::vector<long> per_pe_tasks(static_cast<std::size_t>(pes), 0);
+    for (int i = 0; i < nworkers; ++i) {
+      long report[2];
+      rt.recv(kTagResult, report, sizeof report, chant::kAnyThread);
+      per_pe_tasks[static_cast<std::size_t>(report[0])] += report[1];
+    }
+    for (auto& g : workers) rt.join(g);
+
+    std::printf("task_farm: %ld tasks over %d workers on %d pes in %.1f ms\n",
+                ntasks, nworkers, pes, timer.elapsed_ms());
+    for (int pe = 0; pe < pes; ++pe) {
+      std::printf("  pe %d absorbed %ld tasks\n", pe,
+                  per_pe_tasks[static_cast<std::size_t>(pe)]);
+    }
+  });
+  std::puts("task_farm: done");
+  return 0;
+}

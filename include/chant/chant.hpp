@@ -1,0 +1,22 @@
+// chant/chant.hpp — umbrella header for the Chant talking-threads runtime.
+//
+// Quick tour:
+//   chant::World     — the simulated multicomputer + per-process runtimes
+//   chant::Runtime   — one process's Chant services (p2p, RSR, threads)
+//   chant::Gid       — global thread id (pe, process, thread)
+//   pthread_chanter_* (chant/pthread_chanter.h) — the paper's Appendix-A
+//                      C interface over the same runtime
+//
+// See README.md for a walkthrough and DESIGN.md for the architecture.
+#pragma once
+
+#include "chant/collective.hpp"
+#include "chant/gid.hpp"
+#include "chant/mailbox.hpp"
+#include "chant/policy.hpp"
+#include "chant/pthread_chanter.h"
+#include "chant/pthread_chanter_sync.h"
+#include "chant/runtime.hpp"
+#include "chant/sda.hpp"
+#include "chant/tagcodec.hpp"
+#include "chant/world.hpp"

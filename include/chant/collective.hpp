@@ -1,0 +1,40 @@
+// chant/collective.hpp — fiber-aware group collectives for Chant code.
+//
+// nx::Group's collectives wait at the OS-thread level by default (fine
+// for process-style code, wrong inside a chanter thread: it would stall
+// every thread of the process). make_group() wires the group's waiter to
+// the calling runtime's scheduler, so a collective blocks only the
+// thread that entered it — sibling threads keep the PE busy, which is
+// the whole point of talking threads.
+#pragma once
+
+#include <vector>
+
+#include "chant/runtime.hpp"
+#include "chant/world.hpp"
+#include "nx/group.hpp"
+
+namespace chant {
+
+/// Builds a collective group over `members` (one entry per participating
+/// process; identical list on every member — SPMD) whose waits yield the
+/// calling thread. `group_id` must be unique among live groups.
+inline nx::Group make_group(Runtime& rt,
+                            const std::vector<nx::NodeAddr>& members,
+                            int group_id) {
+  nx::Group g(rt.endpoint(), members, group_id);
+  Runtime* rtp = &rt;
+  g.set_waiter([rtp] { rtp->yield(); });
+  return g;
+}
+
+/// Group spanning process 0 of every PE (the common SPMD shape).
+inline nx::Group make_world_group(Runtime& rt, int group_id) {
+  std::vector<nx::NodeAddr> members;
+  const int pes = rt.world().config().pes;
+  members.reserve(static_cast<std::size_t>(pes));
+  for (int p = 0; p < pes; ++p) members.push_back({p, 0});
+  return make_group(rt, members, group_id);
+}
+
+}  // namespace chant

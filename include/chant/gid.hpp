@@ -1,0 +1,37 @@
+// chant/gid.hpp — C++ view of the global thread identifier.
+//
+// The C struct pthread_chanter_t is the single source of truth for the
+// paper's (pe, process, thread) 3-tuple; the C++ layer aliases it so ids
+// flow between the two APIs without conversion.
+#pragma once
+
+#include "chant/pthread_chanter.h"
+
+// Comparison lives at global scope (the type is the C struct), so ADL
+// finds it from any namespace — tests, gtest matchers, user code.
+inline bool operator==(const pthread_chanter_t& a,
+                       const pthread_chanter_t& b) noexcept {
+  return a.pe == b.pe && a.process == b.process && a.thread == b.thread;
+}
+inline bool operator!=(const pthread_chanter_t& a,
+                       const pthread_chanter_t& b) noexcept {
+  return !(a == b);
+}
+
+namespace chant {
+
+using Gid = ::pthread_chanter_t;
+
+/// Reserved local thread ids within every process.
+inline constexpr int kServerLid = 0;  ///< the RSR server thread (§3.2)
+inline constexpr int kMainLid = 1;    ///< the process's main thread
+inline constexpr int kFirstUserLid = 2;
+
+/// Wildcard source for receives.
+inline constexpr Gid kAnyThread{-1, -1, -1};
+/// Wildcard user message type for receives.
+inline constexpr int kAnyUserTag = -1;
+
+inline bool is_any(const Gid& g) noexcept { return g.pe < 0; }
+
+}  // namespace chant

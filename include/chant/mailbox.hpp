@@ -1,0 +1,96 @@
+// chant/mailbox.hpp — typed message endpoints for talking threads.
+//
+// A Mailbox<T> is a small ergonomic layer over the p2p primitives: a
+// fixed user tag plus a trivially-copyable payload type, with blocking,
+// polling and source-selective receives. Each chanter thread constructs
+// its own mailboxes (they wrap that thread's identity); the wire format
+// is the raw object representation, valid machine-wide under the SPMD
+// single-binary assumption (same as the Appendix-A char* interface).
+#pragma once
+
+#include <optional>
+#include <type_traits>
+
+#include "chant/runtime.hpp"
+
+namespace chant {
+
+template <typename T>
+class Mailbox {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Mailbox payloads travel as raw bytes");
+
+ public:
+  /// Binds the mailbox to the calling thread and `tag`. The same tag
+  /// must be used by peers addressing this mailbox.
+  Mailbox(Runtime& rt, int tag) : rt_(rt), tag_(tag) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+  ~Mailbox() {
+    // Withdraw a pending try_recv posting so nothing scribbles into
+    // freed storage after the mailbox dies.
+    if (pending_ >= 0) {
+      MsgInfo scratch;
+      if (!rt_.msgtest(pending_, &scratch)) {
+        // Still posted: cancel through the endpoint via msgwait-free path.
+        rt_.cancel_irecv(pending_);
+      }
+    }
+  }
+
+  int tag() const noexcept { return tag_; }
+
+  /// Locally-blocking typed send to `dst`'s mailbox with the same tag.
+  void send(const T& value, const Gid& dst) {
+    rt_.send(tag_, &value, sizeof value, dst);
+  }
+
+  /// Blocking receive from anyone; optionally reports the sender.
+  T recv(Gid* from = nullptr) {
+    T out{};
+    const MsgInfo mi = rt_.recv(tag_, &out, sizeof out, kAnyThread);
+    if (from != nullptr) *from = mi.src;
+    return out;
+  }
+
+  /// Blocking receive from one specific global thread.
+  T recv_from(const Gid& src) {
+    T out{};
+    rt_.recv(tag_, &out, sizeof out, src);
+    return out;
+  }
+
+  /// Nonblocking receive: returns the message if one has arrived. Keeps
+  /// one receive posted internally, so a message that has arrived is
+  /// found on the first call (zero-copy posted path underneath).
+  std::optional<T> try_recv(Gid* from = nullptr) {
+    if (pending_ < 0) {
+      pending_ = rt_.irecv(tag_, &slot_, sizeof slot_, kAnyThread);
+    }
+    MsgInfo mi;
+    if (!rt_.msgtest(pending_, &mi)) return std::nullopt;
+    pending_ = -1;
+    if (from != nullptr) *from = mi.src;
+    return slot_;
+  }
+
+ private:
+  Runtime& rt_;
+  int tag_;
+  int pending_ = -1;
+  T slot_{};
+};
+
+/// One-line request/reply convenience: sends `req` to `dst` on `tag`,
+/// then blocks for a same-tag response from `dst`.
+template <typename Req, typename Rep>
+Rep exchange(Runtime& rt, int tag, const Req& req, const Gid& dst) {
+  static_assert(std::is_trivially_copyable_v<Req> &&
+                std::is_trivially_copyable_v<Rep>);
+  rt.send(tag, &req, sizeof req, dst);
+  Rep out{};
+  rt.recv(tag, &out, sizeof out, dst);
+  return out;
+}
+
+}  // namespace chant

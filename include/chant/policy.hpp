@@ -1,0 +1,53 @@
+// chant/policy.hpp — configuration enums for the Chant runtime.
+#pragma once
+
+#include <cstddef>
+
+#include "lwt/context.hpp"
+
+namespace chant {
+
+/// The three message-polling scheduling algorithms of paper §3.1/§4.2.
+enum class PollPolicy {
+  ThreadPolls,       ///< thread re-tests on every resumption (Fig. 5)
+  SchedulerPollsWQ,  ///< scheduler scans a waiting queue each point (Fig. 6)
+  SchedulerPollsPS,  ///< scheduler tests in the TCB before restoring
+};
+
+const char* to_string(PollPolicy p) noexcept;
+
+/// How thread identifiers reach the message header (paper §3.1(2)).
+enum class AddressingMode {
+  /// Overload the user tag field: [dst lid:8][src lid:8][user tag:16].
+  /// Faithful to NX/p4-class libraries; costs half the tag bits and
+  /// limits each process to 255 threads.
+  TagOverload,
+  /// Carry thread ids in a dedicated header field (the role MPI's
+  /// communicator plays); full-width user tags, 32767 threads/process.
+  HeaderField,
+};
+
+const char* to_string(AddressingMode m) noexcept;
+
+/// Per-process runtime configuration.
+struct RuntimeConfig {
+  PollPolicy policy = PollPolicy::ThreadPolls;
+  AddressingMode addressing = AddressingMode::TagOverload;
+  /// §4.2 ablation: with SchedulerPollsWQ, test all parked receives with
+  /// one msgtestany call per scheduling point instead of one msgtest per
+  /// request (the paper's stated hypothesis for MPI).
+  bool wq_use_testany = false;
+  /// Run the server thread above computation priority so a received RSR
+  /// is handled at the next context-switch point (paper §3.2). The RSR
+  /// ablation bench turns this off to measure the effect.
+  bool server_high_priority = true;
+  /// Start the server thread at all (pure-p2p experiments disable it so
+  /// its polling does not perturb Table-2 style measurements).
+  bool start_server = true;
+  lwt::ContextBackend backend = lwt::default_backend();
+  std::size_t default_stack_size = 128 * 1024;
+  /// Largest RSR request payload (server receive buffer size).
+  std::size_t rsr_buffer_size = 16 * 1024;
+};
+
+}  // namespace chant

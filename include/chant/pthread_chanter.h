@@ -1,0 +1,138 @@
+/* chant/pthread_chanter.h — the Chant interface of the paper's Appendix A
+ * (Figure 14): an extension of the POSIX pthreads interface with global
+ * thread identifiers and message passing.
+ *
+ * A "chanter" is a global thread named by the 3-tuple
+ * (processing element, process, local thread id) — paper §3.1(1).
+ * All routines operate on the calling simulated process's Chant runtime
+ * (established by chant::World::run); they may be called from any chanter
+ * thread of that process.
+ *
+ * Return conventions follow pthreads: 0 on success, an errno value on
+ * failure (ESRCH unknown thread, EINVAL bad argument, EDEADLK self-join,
+ * ERANGE tag/lid out of range for the current addressing mode).
+ */
+#ifndef CHANT_PTHREAD_CHANTER_H
+#define CHANT_PTHREAD_CHANTER_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Global thread identifier (paper Fig. 14). `thread` is the local thread
+ * id within (pe, process); the underlying package's thread object is
+ * recovered with pthread_chanter_pthread(). */
+typedef struct pthread_chanter {
+  int pe;      /* processing element id */
+  int process; /* kernel entity (process) id within the pe */
+  int thread;  /* local thread id */
+} pthread_chanter_t;
+
+/* Pass as `pe` and/or `process` to pthread_chanter_create to create the
+ * thread on the caller's own pe/process. */
+#define PTHREAD_CHANTER_LOCAL (-1)
+
+/* Wildcard source thread for receives (matches any sender). */
+extern const pthread_chanter_t PTHREAD_CHANTER_ANY;
+
+/* Wildcard message type for receives. */
+#define PTHREAD_CHANTER_ANYTYPE (-1)
+
+/* Return value of threads that exited due to cancellation. */
+#define PTHREAD_CHANTER_CANCELED ((void*)(~(size_t)0))
+
+/* Creation attributes (subset of pthread_attr_t honoured by Chant). Pass
+ * NULL for defaults. */
+typedef struct pthread_chanter_attr {
+  size_t stack_size; /* 0 = default */
+  int priority;      /* 0..7, default 3 */
+  int detached;      /* nonzero = start detached */
+} pthread_chanter_attr_t;
+
+/* -------- thread management (paper Appendix A) -------- */
+
+/* Creates a global thread on the given pe/process (which may be
+ * PTHREAD_CHANTER_LOCAL). Remote creation is implemented as a remote
+ * service request to the destination's server thread (paper §3.3).
+ * NOTE: `start_routine` must be a valid function in the destination
+ * process — guaranteed here because every simulated process runs the
+ * same (SPMD) binary, as on the Paragon. `arg` is transported by value. */
+int pthread_chanter_create(pthread_chanter_t* thread,
+                           const pthread_chanter_attr_t* attr,
+                           void* (*start_routine)(void*), void* arg, int pe,
+                           int process);
+
+/* Blocks the calling thread until the specified global thread exits;
+ * *status receives its return value (PTHREAD_CHANTER_CANCELED if it was
+ * cancelled). Remote joins go through the server thread. */
+int pthread_chanter_join(const pthread_chanter_t* thread, void** status);
+
+/* Reclaims the thread's storage when it exits (no join possible after). */
+int pthread_chanter_detach(const pthread_chanter_t* thread);
+
+/* Terminates the calling thread, publishing `value_ptr` to joiners. */
+void pthread_chanter_exit(void* value_ptr);
+
+/* Gives up the processing element to the next ready thread. */
+void pthread_chanter_yield(void);
+
+/* Identity of the calling thread (pointer stays valid for its lifetime). */
+pthread_chanter_t* pthread_chanter_self(void);
+
+/* Local thread id portion of a global thread id, for use with the
+ * underlying thread package's local operations (paper §3.3(1)). */
+int pthread_chanter_pthread(const pthread_chanter_t* thread);
+
+/* Processing element / process accessors (co-location tests). */
+int pthread_chanter_pe(const pthread_chanter_t* thread);
+int pthread_chanter_process(const pthread_chanter_t* thread);
+
+/* 1 if both ids name the same global thread, else 0. */
+int pthread_chanter_equal(const pthread_chanter_t* t1,
+                          const pthread_chanter_t* t2);
+
+/* Requests (deferred) cancellation of the specified global thread. */
+int pthread_chanter_cancel(const pthread_chanter_t* thread);
+
+/* Changes / reads the scheduling priority (0..7) of the specified global
+ * thread, remotely if needed (Figure 2's scheduling capability lifted to
+ * global threads). */
+int pthread_chanter_setprio(const pthread_chanter_t* thread, int priority);
+int pthread_chanter_getprio(const pthread_chanter_t* thread, int* priority);
+
+/* -------- point-to-point message passing (paper §3.1) -------- */
+
+/* Sends `count` bytes at `buf` to the specified global thread with
+ * message type `type`. Locally blocking: returns when `buf` may be
+ * modified (eager buffering / posted-receive fast path underneath). */
+int pthread_chanter_send(int type, const char* buf, int count,
+                         const pthread_chanter_t* thread);
+
+/* Blocking receive of a message of type `type` from the specified global
+ * thread (PTHREAD_CHANTER_ANY / PTHREAD_CHANTER_ANYTYPE wildcards).
+ * On success, if `thread` is a wildcard it is updated in place with the
+ * actual source. Blocking is thread-level only: the processing element
+ * keeps running other ready threads under the configured polling policy. */
+int pthread_chanter_recv(int type, char* buf, int count,
+                         pthread_chanter_t* thread);
+
+/* Nonblocking receive: posts the receive and returns a handle for
+ * pthread_chanter_msgtest / pthread_chanter_msgwait. */
+int pthread_chanter_irecv(int* handle, int type, char* buf, int count,
+                          pthread_chanter_t* thread);
+
+/* Tests an immediate receive for completion: returns 1 (complete, handle
+ * released, *thread updated if wildcard), 0 (pending), or a negated errno
+ * on error. */
+int pthread_chanter_msgtest(int handle);
+
+/* Waits (thread-blocking, policy-scheduled) for an immediate receive. */
+int pthread_chanter_msgwait(int handle);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* CHANT_PTHREAD_CHANTER_H */

@@ -1,0 +1,88 @@
+/* chant/pthread_chanter_sync.h — the local-thread portion of the Chant
+ * interface: attributes, mutex variables, condition variables, and
+ * thread-local data keys.
+ *
+ * Appendix A of the paper notes that "the pthreads routines that deal
+ * with attributes, user-local data, mutex variables, condition
+ * variables, and scheduling ... can all be applied to the pthread base
+ * of a global thread". These are those routines, implemented over the
+ * lwt substrate. They synchronize threads *within one process* (shared
+ * memory); cross-process coordination uses messages.
+ *
+ * All functions return 0 on success or an errno value, as in pthreads.
+ */
+#ifndef CHANT_PTHREAD_CHANTER_SYNC_H
+#define CHANT_PTHREAD_CHANTER_SYNC_H
+
+#include <stddef.h>
+
+#include "chant/pthread_chanter.h" /* pthread_chanter_attr_t */
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* -------- attributes -------- */
+
+int pthread_chanter_attr_init(pthread_chanter_attr_t* attr);
+int pthread_chanter_attr_destroy(pthread_chanter_attr_t* attr);
+int pthread_chanter_attr_setstacksize(pthread_chanter_attr_t* attr,
+                                      size_t stack_size);
+int pthread_chanter_attr_getstacksize(const pthread_chanter_attr_t* attr,
+                                      size_t* stack_size);
+int pthread_chanter_attr_setprio(pthread_chanter_attr_t* attr, int priority);
+int pthread_chanter_attr_getprio(const pthread_chanter_attr_t* attr,
+                                 int* priority);
+int pthread_chanter_attr_setdetachstate(pthread_chanter_attr_t* attr,
+                                        int detached);
+
+/* -------- mutex variables -------- */
+
+typedef struct pthread_chanter_mutex {
+  void* impl; /* lwt::Mutex, owned */
+} pthread_chanter_mutex_t;
+
+int pthread_chanter_mutex_init(pthread_chanter_mutex_t* m);
+int pthread_chanter_mutex_destroy(pthread_chanter_mutex_t* m);
+int pthread_chanter_mutex_lock(pthread_chanter_mutex_t* m);
+int pthread_chanter_mutex_trylock(pthread_chanter_mutex_t* m); /* EBUSY */
+int pthread_chanter_mutex_unlock(pthread_chanter_mutex_t* m);
+
+/* -------- condition variables -------- */
+
+typedef struct pthread_chanter_cond {
+  void* impl; /* lwt::CondVar, owned */
+} pthread_chanter_cond_t;
+
+int pthread_chanter_cond_init(pthread_chanter_cond_t* c);
+int pthread_chanter_cond_destroy(pthread_chanter_cond_t* c);
+int pthread_chanter_cond_wait(pthread_chanter_cond_t* c,
+                              pthread_chanter_mutex_t* m);
+int pthread_chanter_cond_signal(pthread_chanter_cond_t* c);
+int pthread_chanter_cond_broadcast(pthread_chanter_cond_t* c);
+
+/* -------- thread-local data -------- */
+
+typedef int pthread_chanter_key_t;
+
+int pthread_chanter_key_create(pthread_chanter_key_t* key,
+                               void (*destructor)(void*));
+int pthread_chanter_key_delete(pthread_chanter_key_t key);
+int pthread_chanter_setspecific(pthread_chanter_key_t key, const void* value);
+void* pthread_chanter_getspecific(pthread_chanter_key_t key);
+
+/* -------- one-time initialization -------- */
+
+typedef struct pthread_chanter_once_s {
+  void* impl; /* lwt::Once, lazily created */
+} pthread_chanter_once_t;
+
+#define PTHREAD_CHANTER_ONCE_INIT {0}
+
+int pthread_chanter_once(pthread_chanter_once_t* once, void (*init)(void));
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* CHANT_PTHREAD_CHANTER_SYNC_H */

@@ -1,0 +1,281 @@
+// chant/runtime.hpp — the per-process Chant runtime.
+//
+// One Runtime exists per simulated process and ties together the three
+// layers of the paper's Figure 4 on top of lwt (threads) and nx
+// (communication):
+//
+//   1. point-to-point message passing between *global threads*
+//      (send / recv / irecv / msgtest / msgwait, blocking operations
+//      scheduled under one of the three polling policies),
+//   2. remote service requests through a dedicated server thread
+//      (register_handler / call / post / reply),
+//   3. global thread operations (create / join / detach / cancel on any
+//      pe, implemented over RSRs when the target is remote).
+//
+// The Appendix-A C API (pthread_chanter_*) is a thin veneer over this
+// class; C++ users can use it directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "chant/gid.hpp"
+#include "chant/policy.hpp"
+#include "chant/tagcodec.hpp"
+#include "lwt/lwt.hpp"
+#include "nx/endpoint.hpp"
+
+namespace chant {
+
+class World;
+
+/// Completion information for a receive.
+struct MsgInfo {
+  Gid src{-1, -1, -1};
+  int user_tag = 0;
+  std::size_t len = 0;
+  bool truncated = false;
+};
+
+/// First RSR handler id handed out to user registrations (ids below it
+/// are the builtin shutdown/create/join/cancel/detach handlers).
+inline constexpr int kFirstUserHandler = 8;
+
+/// Thread creation options (C++ face of pthread_chanter_attr_t).
+struct SpawnOptions {
+  std::size_t stack_size = 0;  ///< 0 = runtime default
+  int priority = lwt::kDefaultPriority;
+  bool detached = false;
+  const char* name = nullptr;
+};
+
+class Runtime {
+ public:
+  Runtime(World& world, nx::Endpoint& ep);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+  ~Runtime();
+
+  /// The runtime of the calling OS thread (null outside World::run).
+  static Runtime* current();
+
+  // ---- identity / plumbing ----
+  int pe() const noexcept { return ep_.pe(); }
+  int process() const noexcept { return ep_.proc(); }
+  Gid self() const;
+  World& world() noexcept { return world_; }
+  nx::Endpoint& endpoint() noexcept { return ep_; }
+  lwt::Scheduler& scheduler() noexcept { return sched_; }
+  const RuntimeConfig& config() const noexcept { return cfg_; }
+  const TagCodec& codec() const noexcept { return codec_; }
+
+  // ---- global thread management (paper §3.3) ----
+
+  /// Creates a thread on (pe, process); PTHREAD_CHANTER_LOCAL (or the
+  /// caller's own coordinates) creates locally, anything else goes as an
+  /// RSR to the destination server thread. `entry` must be valid in the
+  /// destination process (SPMD binary); `arg` is transported by value.
+  Gid create(lwt::EntryFn entry, void* arg, int dst_pe, int dst_process,
+             const SpawnOptions& opts = {});
+
+  /// Remote create with a marshalled argument: `len` bytes at `arg` are
+  /// copied to the destination, which passes its own copy (freed after
+  /// the thread finishes) to `entry`.
+  using MarshalledEntry = void (*)(Runtime& rt, const void* arg,
+                                   std::size_t len);
+  Gid create_marshalled(MarshalledEntry entry, const void* arg,
+                        std::size_t len, int dst_pe, int dst_process,
+                        const SpawnOptions& opts = {});
+
+  /// Waits for the thread to exit and returns its retval (lwt::kCanceled
+  /// if it was cancelled). Sets *err (if non-null) to 0/ESRCH/EDEADLK/EINVAL.
+  void* join(const Gid& g, int* err = nullptr);
+  int detach(const Gid& g);
+  int cancel(const Gid& g);
+  /// Changes a (possibly remote) thread's scheduling priority — the
+  /// Figure-2 "set scheduling info" capability lifted to global threads.
+  int set_priority(const Gid& g, int priority);
+  /// Reads a thread's priority into *priority; returns 0/ESRCH.
+  int get_priority(const Gid& g, int* priority);
+  void yield();
+  [[noreturn]] void exit_thread(void* retval);
+
+  /// The underlying lwt thread of a *local* global thread (paper's
+  /// pthread_chanter_pthread); null if unknown or remote.
+  lwt::Tcb* local_tcb(const Gid& g) const;
+
+  // ---- point-to-point (paper §3.1) ----
+
+  /// Locally-blocking send of `len` bytes to global thread `dst` with
+  /// message type `user_tag` (0..kMaxUserTag). Returns when `buf` is
+  /// reusable; waits, if needed, under the configured polling policy.
+  void send(int user_tag, const void* buf, std::size_t len, const Gid& dst);
+
+  /// Blocking receive (thread blocks; the pe keeps running other ready
+  /// threads). `src` may be kAnyThread, `user_tag` may be kAnyUserTag.
+  MsgInfo recv(int user_tag, void* buf, std::size_t cap, const Gid& src);
+
+  /// Nonblocking receive; returns a handle for msgtest/msgwait.
+  int irecv(int user_tag, void* buf, std::size_t cap, const Gid& src);
+  /// Tests a receive; on completion fills `out` and releases the handle.
+  bool msgtest(int handle, MsgInfo* out = nullptr);
+  /// Blocks (policy-scheduled) until the receive completes; releases.
+  MsgInfo msgwait(int handle);
+  /// Withdraws a not-yet-completed nonblocking receive and releases the
+  /// handle (the buffer will not be written afterwards). Returns false
+  /// if the receive had already completed (handle released either way).
+  bool cancel_irecv(int handle);
+
+  // ---- remote service requests (paper §3.2) ----
+
+  struct RsrContext {
+    Gid from{-1, -1, -1};   ///< requesting thread
+    bool needs_reply = false;
+    /// A handler that must block (e.g. remote join) sets this and hands
+    /// the context to a helper thread, which later calls reply().
+    bool deferred = false;
+    /// Reply sequence number pairing the reply with its request.
+    int reply_seq = 0;
+  };
+  using Handler = void (*)(Runtime& rt, RsrContext& ctx, const void* arg,
+                           std::size_t len, std::vector<std::uint8_t>& reply);
+
+  /// Registers a handler and returns its id. Must be performed in the
+  /// same order on every process (SPMD); ids are stable across processes.
+  int register_handler(Handler h);
+
+  /// Synchronous RSR: sends the request to (pe, process)'s server thread
+  /// and blocks (policy-scheduled) for the reply.
+  std::vector<std::uint8_t> call(int dst_pe, int dst_process, int handler,
+                                 const void* arg, std::size_t len);
+  /// Asynchronous RSR: ships the request and returns a handle; any
+  /// number may be outstanding per thread (replies pair by sequence
+  /// number even when deferred handlers answer out of order).
+  int call_async(int dst_pe, int dst_process, int handler, const void* arg,
+                 std::size_t len);
+  /// Tests an async call; on completion moves the reply into *reply_out
+  /// and releases the handle.
+  bool call_test(int handle, std::vector<std::uint8_t>* reply_out = nullptr);
+  /// Blocks (policy-scheduled) for an async call's reply; releases.
+  std::vector<std::uint8_t> call_wait(int handle);
+  /// One-way RSR: no reply is generated or awaited.
+  void post(int dst_pe, int dst_process, int handler, const void* arg,
+            std::size_t len);
+  /// Completes a deferred RSR (callable from any thread of the process
+  /// that received the request).
+  void reply(const RsrContext& ctx, const void* data, std::size_t len);
+
+  // ---- statistics ----
+  const lwt::SchedulerStats& sched_stats() const { return sched_.stats(); }
+  nx::Counters& net_counters() { return ep_.counters(); }
+
+  /// Entry point used by World::run; runs `user_main` as the process's
+  /// main chanter thread (lid 1), with the server thread (lid 0) started
+  /// alongside, and participates in the cross-process termination
+  /// protocol before shutting the server down.
+  void run_process(const std::function<void(Runtime&)>& user_main);
+
+  // ---- internal plumbing (public for the trampoline functions; not
+  // part of the supported API) ----
+  struct ThreadRec {
+    lwt::Tcb* tcb = nullptr;
+    Gid gid{0, 0, 0};
+    bool finished = false;
+    bool detached = false;
+    bool join_committed = false;
+  };
+  ThreadRec& register_thread(lwt::Tcb* tcb, int lid);
+  void on_thread_exit(int lid);
+  Gid spawn_wrapped(lwt::EntryFn entry, void* arg, const SpawnOptions& opts,
+                    int fixed_lid = -1);
+  void server_loop();
+  void request_server_stop() noexcept { server_stop_ = true; }
+  bool is_local(const Gid& g) const;
+  void* join_for_rsr(int lid, int* err);
+  int cancel_local(int lid);
+  int detach_local(int lid);
+  int set_priority_local(int lid, int priority);
+  int get_priority_local(int lid, int* priority);
+
+ private:
+  /// In-flight blocking wait bookkeeping (one per waiting thread).
+  struct WaitCtx {
+    nx::Endpoint* ep = nullptr;
+    nx::Handle nxh = nx::kInvalidHandle;
+    nx::MsgHeader hdr{};
+    bool done = false;
+  };
+
+  /// User-visible nonblocking receive request.
+  struct ChantReq {
+    WaitCtx wait{};
+    MsgInfo info{};
+    std::uint32_t gen = 1;
+    bool active = false;
+  };
+
+  friend class World;
+
+  // thread registry (single-threaded: only touched by this process)
+  int alloc_lid();
+  void free_lid(int lid);
+  ThreadRec* find(int lid);
+  void* join_local(int lid, int* err);
+
+  // blocking machinery
+  static bool wait_test(void* ctx);
+  void block_until(WaitCtx& w);
+  static std::size_t wq_group_poll(void* rt, lwt::Scheduler& sched);
+
+  // p2p internals (the `internal` flag selects the reserved tag space so
+  // runtime traffic can never match a wildcard user receive)
+  void send_from(int src_lid, int user_tag, const void* buf, std::size_t len,
+                 const Gid& dst, bool internal);
+  nx::Handle post_recv(int user_tag, void* buf, std::size_t cap,
+                       const Gid& src, bool internal);
+  MsgInfo recv_blocking(int user_tag, void* buf, std::size_t cap,
+                        const Gid& src, bool internal);
+  MsgInfo decode(const nx::MsgHeader& h) const;
+  int current_lid() const;
+
+  // RSR internals
+  struct AsyncCall {
+    WaitCtx wait{};
+    std::vector<std::uint8_t> rbuf;
+    Gid server{-1, -1, -1};
+    int seq = 0;
+    std::uint32_t idx = 0;
+    std::uint32_t gen = 1;
+    bool active = false;
+  };
+  void install_builtin_handlers();
+  AsyncCall& checked_call(int handle);
+  std::vector<std::uint8_t> finish_call(AsyncCall& c);
+
+  World& world_;
+  nx::Endpoint& ep_;
+  RuntimeConfig cfg_;
+  TagCodec codec_;
+  lwt::Scheduler sched_;
+
+  std::unordered_map<int, ThreadRec> threads_;
+  std::vector<int> free_lids_;
+  int next_lid_ = kFirstUserLid;
+
+  std::deque<ChantReq> reqs_;
+  std::vector<std::uint32_t> free_reqs_;
+
+  std::vector<Handler> handlers_;
+  std::vector<WaitCtx*> wq_waits_;  ///< live waits for the testany hook
+  std::deque<AsyncCall> calls_;     ///< deque: parked WaitCtx stay pinned
+  std::vector<std::uint32_t> free_calls_;
+  int next_reply_seq_ = 0;
+  bool server_stop_ = false;
+  lwt::Tcb* server_tcb_ = nullptr;
+};
+
+}  // namespace chant

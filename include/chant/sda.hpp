@@ -1,0 +1,183 @@
+// chant/sda.hpp — shared data abstractions over Chant (the Opus layer).
+//
+// The paper's stated purpose for Chant is to support the authors' HPF
+// extensions for task parallelism and *shared data abstractions* [5]:
+// monitor-like objects that live in one process's address space and are
+// operated on by threads anywhere in the machine. This module is that
+// layer, built exactly the way §3.2/§3.3 prescribe — every operation is
+// a remote service request handled by the owner's server thread, and
+// each method invocation runs in its own helper thread serialized by a
+// per-instance fiber mutex (so methods may themselves communicate or
+// block without stalling the owner's server).
+//
+// Usage (SPMD — identical registration on every process, before run()):
+//
+//   struct Counter { long value = 0; };
+//   chant::SdaClass<Counter> counter_class(world);          // register
+//   int add = counter_class.method([](chant::Runtime&, Counter& c,
+//                                     const long& d, long& out) {
+//     c.value += d; out = c.value; });
+//   ...inside world.run:
+//   chant::SdaRef ref = counter_class.create(rt, /*pe=*/1, /*process=*/0);
+//   long out = 0; long delta = 5;
+//   counter_class.invoke(rt, ref, add, delta, out);          // monitor call
+//   counter_class.destroy(rt, ref);
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "chant/runtime.hpp"
+#include "chant/world.hpp"
+
+namespace chant {
+
+/// Handle to one SDA instance (valid machine-wide).
+struct SdaRef {
+  int pe = -1;
+  int process = -1;
+  std::int32_t instance = -1;
+  bool valid() const noexcept { return instance >= 0; }
+};
+
+namespace detail {
+
+/// Type-erased SDA plumbing shared by every SdaClass<T>. One RSR handler
+/// (registered per class) multiplexes create/invoke/destroy.
+class SdaBase {
+ public:
+  using Ctor = void* (*)();
+  using Dtor = void (*)(void*);
+  using RawMethod = void (*)(Runtime&, void* state, const void* arg,
+                             std::size_t len, std::vector<std::uint8_t>& out);
+
+  SdaBase(World& world, Ctor ctor, Dtor dtor);
+  SdaBase(const SdaBase&) = delete;
+  SdaBase& operator=(const SdaBase&) = delete;
+
+  int add_method(RawMethod m);
+  SdaRef create_instance(Runtime& rt, int pe, int process);
+  std::vector<std::uint8_t> invoke_raw(Runtime& rt, const SdaRef& ref,
+                                       int method, const void* arg,
+                                       std::size_t len);
+  int invoke_async_raw(Runtime& rt, const SdaRef& ref, int method,
+                       const void* arg, std::size_t len);
+  /// Validates a framed invoke reply and strips the status prefix.
+  static std::vector<std::uint8_t> strip_reply(
+      std::vector<std::uint8_t> framed);
+  void destroy_instance(Runtime& rt, const SdaRef& ref);
+  /// Live instances hosted by the calling process (tests/diagnostics).
+  static std::size_t local_instances(Runtime& rt);
+
+ private:
+  static void rsr_handler(Runtime& rt, Runtime::RsrContext& ctx,
+                          const void* arg, std::size_t len,
+                          std::vector<std::uint8_t>& reply);
+
+  Ctor ctor_;
+  Dtor dtor_;
+  std::vector<RawMethod> methods_;
+  int handler_id_ = -1;
+};
+
+/// Maps a registered class's handler id back to its SdaBase inside the
+/// handler (the handler id is SPMD-identical on every process).
+SdaBase* sda_by_handler(int handler_id);
+
+}  // namespace detail
+
+/// Typed front end. T must be default-constructible; methods take a
+/// POD-copyable Arg and fill a POD-copyable Out (transported as bytes,
+/// valid under the SPMD single-binary assumption).
+template <typename T>
+class SdaClass {
+ public:
+  explicit SdaClass(World& world)
+      : base_(world, []() -> void* { return new T(); },
+              [](void* p) { delete static_cast<T*>(p); }) {}
+
+  /// Registers a method; must be called identically on... (SPMD: this
+  /// happens once, before World::run, so symmetry is automatic).
+  template <typename Arg, typename Out>
+  int method(void (*fn)(Runtime&, T&, const Arg&, Out&)) {
+    struct Shim {
+      static void call(Runtime& rt, void* state, const void* arg,
+                       std::size_t len, std::vector<std::uint8_t>& out) {
+        // [fn][Arg] on the wire; Out back as bytes.
+        if (len != sizeof(void*) + sizeof(Arg)) {
+          throw std::invalid_argument("chant: SDA argument size mismatch");
+        }
+        void (*f)(Runtime&, T&, const Arg&, Out&) = nullptr;
+        std::memcpy(&f, arg, sizeof f);
+        Arg a{};
+        std::memcpy(&a, static_cast<const std::uint8_t*>(arg) + sizeof(void*),
+                    sizeof a);
+        Out o{};
+        f(rt, *static_cast<T*>(state), a, o);
+        out.resize(sizeof o);
+        std::memcpy(out.data(), &o, sizeof o);
+      }
+    };
+    fns_.push_back(reinterpret_cast<void*>(fn));
+    return base_.add_method(&Shim::call);
+  }
+
+  SdaRef create(Runtime& rt, int pe, int process) {
+    return base_.create_instance(rt, pe, process);
+  }
+
+  template <typename Arg, typename Out>
+  void invoke(Runtime& rt, const SdaRef& ref, int method_id, const Arg& arg,
+              Out& out) {
+    const auto buf = wire_arg(method_id, arg);
+    const auto rep =
+        base_.invoke_raw(rt, ref, method_id, buf.data(), buf.size());
+    if (rep.size() != sizeof(Out)) {
+      throw std::runtime_error("chant: SDA reply size mismatch");
+    }
+    std::memcpy(&out, rep.data(), sizeof out);
+  }
+
+  /// Fires an invocation without waiting; retrieve the result with
+  /// await() (or rt.call_test to poll readiness first).
+  template <typename Arg>
+  int invoke_async(Runtime& rt, const SdaRef& ref, int method_id,
+                   const Arg& arg) {
+    const auto buf = wire_arg(method_id, arg);
+    return base_.invoke_async_raw(rt, ref, method_id, buf.data(),
+                                  buf.size());
+  }
+
+  /// Completes an invoke_async, filling `out`.
+  template <typename Out>
+  void await(Runtime& rt, int handle, Out& out) {
+    const auto rep = detail::SdaBase::strip_reply(rt.call_wait(handle));
+    if (rep.size() != sizeof(Out)) {
+      throw std::runtime_error("chant: SDA reply size mismatch");
+    }
+    std::memcpy(&out, rep.data(), sizeof out);
+  }
+
+  void destroy(Runtime& rt, const SdaRef& ref) {
+    base_.destroy_instance(rt, ref);
+  }
+
+ private:
+  template <typename Arg>
+  std::vector<std::uint8_t> wire_arg(int method_id, const Arg& arg) {
+    std::vector<std::uint8_t> buf(sizeof(void*) + sizeof(Arg));
+    std::memcpy(buf.data(), &fns_[static_cast<std::size_t>(method_id)],
+                sizeof(void*));
+    std::memcpy(buf.data() + sizeof(void*), &arg, sizeof arg);
+    return buf;
+  }
+
+  detail::SdaBase base_;
+  std::vector<void*> fns_;  ///< typed fn per method id (SPMD-valid ptr)
+};
+
+}  // namespace chant

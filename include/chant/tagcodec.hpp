@@ -1,0 +1,153 @@
+// chant/tagcodec.hpp — thread naming in the message header (paper §3.1(2)).
+//
+// The delivery problem: the underlying communication system addresses
+// processes, not threads, so the (dst thread, src thread) pair must ride
+// in the message header — never in the body, which would force an extra
+// receive-decode-forward copy the paper rules out. Two encodings:
+//
+//  * TagOverload — the NX/p4 situation: no spare header field, so the
+//    32-bit user tag is split [dst lid:8][src lid:8][tag field:16]. This
+//    is the paper's "half the tag bits" cost; receives match with a bit
+//    mask. One bit of the 16-bit tag field marks Chant-internal traffic
+//    (RSR requests/replies), leaving 15-bit user tags and at most 255
+//    threads per process.
+//  * HeaderField — the MPI situation: lids ride in the nx `channel`
+//    field (the role MPI's communicator plays) and the tag field stays
+//    wide: 30-bit user tags, 32767 threads per process.
+//
+// The internal bit guarantees a wildcard (any-tag) user receive can
+// never capture runtime-internal messages.
+#pragma once
+
+#include <cstdint>
+
+#include "chant/gid.hpp"
+#include "chant/policy.hpp"
+#include "nx/endpoint.hpp"
+
+namespace chant {
+
+/// Chant-internal tag space (always sent with the internal bit set).
+/// The 15-bit internal field splits into a type (bits 12..14) and a
+/// 12-bit reply sequence number, so a requester with several
+/// asynchronous RSRs outstanding — or whose replies are produced out of
+/// order by deferred handlers — still pairs every reply (and its
+/// big-payload tail) with the right request.
+inline constexpr int kTagRsr = 1 << 12;  ///< request to a server thread
+inline constexpr int rsr_reply_tag(int seq) noexcept {
+  return (2 << 12) | (seq & 0xFFF);
+}
+inline constexpr int rsr_tail_tag(int seq) noexcept {
+  return (3 << 12) | (seq & 0xFFF);
+}
+
+class TagCodec {
+ public:
+  explicit TagCodec(AddressingMode mode) noexcept : mode_(mode) {}
+
+  AddressingMode mode() const noexcept { return mode_; }
+
+  /// Largest local thread id representable in the header. (HeaderField
+  /// lids stop at 2^13-1 so the packed channel never reaches the bit-29
+  /// space reserved for nx::Group collective traffic.)
+  int max_lid() const noexcept {
+    return mode_ == AddressingMode::TagOverload ? 0xFF : 0x1FFF;
+  }
+
+  /// Largest user message type applications may use.
+  int max_user_tag() const noexcept {
+    return mode_ == AddressingMode::TagOverload ? 0x7FFF : 0x3FFFFFFF;
+  }
+
+  /// What goes on the wire for one message.
+  struct Wire {
+    int tag;
+    int channel;
+  };
+  Wire encode(int dst_lid, int src_lid, int user_tag,
+              bool internal = false) const noexcept {
+    if (mode_ == AddressingMode::TagOverload) {
+      std::uint32_t field = static_cast<std::uint32_t>(user_tag) & 0x7FFFu;
+      if (internal) field |= 0x8000u;
+      const auto t = (static_cast<std::uint32_t>(dst_lid) << 24) |
+                     (static_cast<std::uint32_t>(src_lid) << 16) | field;
+      return Wire{static_cast<int>(t), 0};
+    }
+    std::uint32_t field = static_cast<std::uint32_t>(user_tag) & 0x3FFFFFFFu;
+    if (internal) field |= 0x40000000u;
+    const auto ch = (static_cast<std::uint32_t>(dst_lid) << 16) |
+                    (static_cast<std::uint32_t>(src_lid) & 0xFFFFu);
+    return Wire{static_cast<int>(field), static_cast<int>(ch)};
+  }
+
+  /// Matching pattern for a receive. `src_lid < 0` and `user_tag < 0`
+  /// are wildcards; the destination lid (our own) and the internal bit
+  /// are always exact.
+  struct Pattern {
+    int tag;
+    int tag_mask;
+    int channel;
+    int channel_mask;
+  };
+  Pattern pattern(int dst_lid, int src_lid, int user_tag,
+                  bool internal = false) const noexcept {
+    if (mode_ == AddressingMode::TagOverload) {
+      std::uint32_t want = static_cast<std::uint32_t>(dst_lid) << 24;
+      std::uint32_t mask = 0xFF000000u | 0x8000u;  // dst lid + internal bit
+      if (internal) want |= 0x8000u;
+      if (src_lid >= 0) {
+        want |= static_cast<std::uint32_t>(src_lid) << 16;
+        mask |= 0x00FF0000u;
+      }
+      if (user_tag >= 0) {
+        want |= static_cast<std::uint32_t>(user_tag) & 0x7FFFu;
+        mask |= 0x00007FFFu;
+      }
+      return Pattern{static_cast<int>(want), static_cast<int>(mask), 0, 0};
+    }
+    std::uint32_t cwant = static_cast<std::uint32_t>(dst_lid) << 16;
+    std::uint32_t cmask = 0xFFFF0000u;
+    if (src_lid >= 0) {
+      cwant |= static_cast<std::uint32_t>(src_lid) & 0xFFFFu;
+      cmask |= 0x0000FFFFu;
+    }
+    std::uint32_t twant = internal ? 0x40000000u : 0u;
+    std::uint32_t tmask = 0x40000000u;
+    if (user_tag >= 0) {
+      twant |= static_cast<std::uint32_t>(user_tag) & 0x3FFFFFFFu;
+      tmask |= 0x3FFFFFFFu;
+    }
+    return Pattern{static_cast<int>(twant), static_cast<int>(tmask),
+                   static_cast<int>(cwant), static_cast<int>(cmask)};
+  }
+
+  /// Recover the sender's local thread id from a received header.
+  int decode_src_lid(const nx::MsgHeader& h) const noexcept {
+    if (mode_ == AddressingMode::TagOverload) {
+      return static_cast<int>((static_cast<std::uint32_t>(h.tag) >> 16) &
+                              0xFFu);
+    }
+    return static_cast<int>(static_cast<std::uint32_t>(h.channel) & 0xFFFFu);
+  }
+
+  /// Recover the (user or internal) message type from a received header.
+  int decode_user_tag(const nx::MsgHeader& h) const noexcept {
+    if (mode_ == AddressingMode::TagOverload) {
+      return static_cast<int>(static_cast<std::uint32_t>(h.tag) & 0x7FFFu);
+    }
+    return static_cast<int>(static_cast<std::uint32_t>(h.tag) & 0x3FFFFFFFu);
+  }
+
+  /// True if the message carries Chant-internal traffic.
+  bool is_internal(const nx::MsgHeader& h) const noexcept {
+    if (mode_ == AddressingMode::TagOverload) {
+      return (static_cast<std::uint32_t>(h.tag) & 0x8000u) != 0;
+    }
+    return (static_cast<std::uint32_t>(h.tag) & 0x40000000u) != 0;
+  }
+
+ private:
+  AddressingMode mode_;
+};
+
+}  // namespace chant

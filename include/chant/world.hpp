@@ -1,0 +1,65 @@
+// chant/world.hpp — bootstrap for a whole simulated Chant machine.
+//
+// A World owns the nx::Machine and launches one Chant Runtime per
+// simulated process. World::run plays the role of loading the same SPMD
+// binary onto every Paragon node: the given function runs as the main
+// chanter thread (lid 1) of every process, with the server thread
+// (lid 0) started alongside it.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "chant/policy.hpp"
+#include "chant/runtime.hpp"
+#include "nx/machine.hpp"
+
+namespace chant {
+
+class World {
+ public:
+  struct Config {
+    int pes = 2;
+    int processes_per_pe = 1;
+    nx::NetModel net = nx::NetModel::zero();
+    std::size_t eager_threshold = 16 * 1024;
+    RuntimeConfig rt;
+  };
+
+  explicit World(const Config& cfg);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Registers an RSR handler on every process before run(); returned
+  /// ids are valid world-wide. (Handlers may also be registered inside
+  /// run() via Runtime::register_handler, identically on each process.)
+  int register_handler(Runtime::Handler h);
+
+  /// Runs `main_fn` as the main chanter thread of every process; returns
+  /// when every process has finished (mains returned, user threads
+  /// joined or finished, server threads shut down).
+  void run(const std::function<void(Runtime&)>& main_fn);
+
+  nx::Machine& machine() noexcept { return machine_; }
+  const Config& config() const noexcept { return cfg_; }
+  int total_processes() const noexcept { return machine_.total_processes(); }
+
+  /// Termination protocol (used by the runtime's main-thread wrapper):
+  /// a process announces its main returned, then waits for all peers.
+  void note_main_done() noexcept {
+    mains_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  int mains_done() const noexcept {
+    return mains_done_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Runtime;
+  Config cfg_;
+  nx::Machine machine_;
+  std::vector<Runtime::Handler> user_handlers_;
+  std::atomic<int> mains_done_{0};
+};
+
+}  // namespace chant

@@ -1,0 +1,66 @@
+// harness/table.hpp — fixed-width table printing for the bench harness,
+// so every bench binary emits rows directly comparable to the paper's
+// tables, plus machine-readable CSV lines (prefix "CSV,") for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : cols_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Pretty-prints with aligned columns, then emits one CSV line per row
+  /// tagged with `csv_tag` for downstream plotting.
+  void print(const char* csv_tag = nullptr) const {
+    std::vector<std::size_t> width(cols_.size());
+    for (std::size_t c = 0; c < cols_.size(); ++c) width[c] = cols_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        if (r[c].size() > width[c]) width[c] = r[c].size();
+      }
+    }
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), cols_[c].c_str());
+    }
+    std::printf("\n");
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      std::printf("%s  ", std::string(width[c], '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), r[c].c_str());
+      }
+      std::printf("\n");
+    }
+    if (csv_tag != nullptr) {
+      for (const auto& r : rows_) {
+        std::printf("CSV,%s", csv_tag);
+        for (const auto& cell : r) std::printf(",%s", cell.c_str());
+        std::printf("\n");
+      }
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> cols_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string helper for table cells.
+template <typename... Args>
+std::string fmt(const char* f, Args... args) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, f, args...);
+  return buf;
+}
+
+}  // namespace harness

@@ -1,0 +1,24 @@
+// harness/timer.hpp — wall-clock measurement helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace harness {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(clock::now() - start_)
+        .count();
+  }
+  double elapsed_ms() const { return elapsed_us() / 1000.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace harness

@@ -1,0 +1,31 @@
+// harness/workload.hpp — synthetic compute kernels for the experiments.
+//
+// The paper's polling experiments (Fig. 9) interleave message exchanges
+// with "generic computations" of alpha and beta iterations. compute(n)
+// is that kernel: n iterations of a small arithmetic unit the compiler
+// cannot elide, so run time scales linearly with n on any machine.
+#pragma once
+
+#include <cstdint>
+
+namespace harness {
+
+/// One "iteration" of the paper's generic computation. Returns a value
+/// derived from the inputs so the optimizer must perform the work.
+inline std::uint64_t compute(std::uint64_t iterations) noexcept {
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x *= 0x2545F4914F6CDD1Dull;
+  }
+  return x;
+}
+
+/// Sink that keeps `compute` results alive across optimization.
+inline void consume(std::uint64_t v) noexcept {
+  asm volatile("" : : "r"(v) : "memory");
+}
+
+}  // namespace harness

@@ -1,0 +1,71 @@
+// lwt/context.hpp — low-level execution-context save/restore.
+//
+// Two interchangeable backends implement the same three operations
+// (make / swap / destroy):
+//
+//  * ContextBackend::Asm — a hand-written x86-64 SysV switch in
+//    context_x86_64.S. It saves only the callee-saved integer registers
+//    plus the x87/MXCSR control words on the fiber's own stack and stores
+//    a single stack pointer, in the style of boost::context's fcontext or
+//    the Quickthreads package the paper's authors used. ~20 ns per swap.
+//
+//  * ContextBackend::Ucontext — the POSIX makecontext/swapcontext API.
+//    Portable to any POSIX platform but roughly 50x slower on glibc
+//    because swapcontext performs a sigprocmask system call per switch.
+//
+// Both backends are always compiled in (on x86-64) and selected at
+// run time per scheduler, so the Table-1 reproduction can benchmark them
+// against each other the way the paper compares thread packages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(__x86_64__)
+#define LWT_NO_ASM_CONTEXT 1
+#endif
+
+#include <ucontext.h>
+
+namespace lwt {
+
+struct Tcb;
+
+/// Which context-switch implementation a scheduler uses.
+enum class ContextBackend : std::uint8_t {
+  Asm,       ///< hand-written x86-64 switch (default where available)
+  Ucontext,  ///< POSIX swapcontext fallback
+};
+
+/// Returns the fastest backend available on this platform.
+ContextBackend default_backend() noexcept;
+
+/// Saved execution state for one fiber (or for the scheduler itself).
+/// Exactly one of the members is meaningful, depending on the backend
+/// the owning scheduler selected.
+struct Context {
+  void* sp = nullptr;        ///< Asm backend: saved stack pointer.
+  ucontext_t* uc = nullptr;  ///< Ucontext backend: owned ucontext_t.
+
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+  ~Context();
+};
+
+/// Prepares `ctx` so that the first swap into it enters the fiber
+/// bootstrap (lwt detail::fiber_boot) with `tcb` as argument, running on
+/// [stack_base, stack_base + stack_size).
+void ctx_make(Context& ctx, ContextBackend backend, void* stack_base,
+              std::size_t stack_size, Tcb* tcb);
+
+/// Saves the current context into `from` and resumes `to`.
+/// Returns only when some other context swaps back into `from`.
+void ctx_swap(Context& from, Context& to, ContextBackend backend) noexcept;
+
+namespace detail {
+/// Common fiber entry point, defined in scheduler.cpp. Never returns.
+[[noreturn]] void fiber_boot(Tcb* tcb);
+}  // namespace detail
+
+}  // namespace lwt

@@ -1,0 +1,60 @@
+// lwt/lwt.hpp — umbrella header and C++ conveniences for the lwt
+// lightweight-thread substrate (the role Quickthreads / draft-6 pthreads
+// play in the paper's Figure 1).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "lwt/context.hpp"
+#include "lwt/rwlock.hpp"
+#include "lwt/scheduler.hpp"
+#include "lwt/stack.hpp"
+#include "lwt/sync.hpp"
+#include "lwt/trace.hpp"
+#include "lwt/thread.hpp"
+
+namespace lwt {
+
+namespace detail {
+template <typename F>
+void* callable_tramp(void* p) {
+  std::unique_ptr<F> f(static_cast<F*>(p));
+  (*f)();
+  return nullptr;
+}
+}  // namespace detail
+
+/// Spawns a fiber running any callable on the current scheduler.
+/// The callable is heap-allocated and destroyed when the fiber finishes.
+template <typename F>
+Tcb* go(F&& f, const ThreadAttr& attr = {}) {
+  using Fn = std::decay_t<F>;
+  auto owned = std::make_unique<Fn>(std::forward<F>(f));
+  Tcb* t = Scheduler::current()->spawn(&detail::callable_tramp<Fn>,
+                                       owned.get(), attr);
+  owned.release();  // ownership passed to the trampoline
+  return t;
+}
+
+/// Runs `f` as the main fiber of a fresh scheduler on the calling OS
+/// thread; returns when every fiber has finished.
+template <typename F>
+void run(F&& f, ContextBackend backend = default_backend()) {
+  Scheduler s(backend);
+  using Fn = std::decay_t<F>;
+  Fn fn(std::forward<F>(f));
+  s.run_main(
+      [](void* p) -> void* {
+        (*static_cast<Fn*>(p))();
+        return nullptr;
+      },
+      &fn);
+}
+
+/// Convenience forwarders operating on the calling fiber's scheduler.
+inline void yield() { Scheduler::current()->yield(); }
+inline Tcb* self() { return Scheduler::self(); }
+inline void* join(Tcb* t) { return Scheduler::current()->join(t); }
+
+}  // namespace lwt

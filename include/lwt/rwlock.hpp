@@ -1,0 +1,99 @@
+// lwt/rwlock.hpp — reader/writer lock and one-time initialization for
+// fibers (rounding out the "Synchronization" box of paper Figure 2).
+#pragma once
+
+#include "lwt/scheduler.hpp"
+#include "lwt/thread.hpp"
+
+namespace lwt {
+
+/// Reader/writer lock for fibers of one scheduler. Writer-preferring:
+/// once a writer is waiting, new readers queue behind it, so writers
+/// cannot starve under a steady reader stream.
+class RwLock {
+ public:
+  RwLock() = default;
+  RwLock(const RwLock&) = delete;
+  RwLock& operator=(const RwLock&) = delete;
+
+  void lock_shared();
+  bool try_lock_shared();
+  void unlock_shared();
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  int readers() const noexcept { return readers_; }
+  bool has_writer() const noexcept { return writer_ != nullptr; }
+
+ private:
+  void wake_next();
+
+  int readers_ = 0;
+  Tcb* writer_ = nullptr;
+  TcbQueue waiting_writers_;
+  TcbQueue waiting_readers_;
+};
+
+/// RAII shared lock.
+class SharedLockGuard {
+ public:
+  explicit SharedLockGuard(RwLock& l) : l_(l) { l_.lock_shared(); }
+  ~SharedLockGuard() { l_.unlock_shared(); }
+  SharedLockGuard(const SharedLockGuard&) = delete;
+  SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+ private:
+  RwLock& l_;
+};
+
+/// RAII exclusive lock.
+class WriteLockGuard {
+ public:
+  explicit WriteLockGuard(RwLock& l) : l_(l) { l_.lock(); }
+  ~WriteLockGuard() { l_.unlock(); }
+  WriteLockGuard(const WriteLockGuard&) = delete;
+  WriteLockGuard& operator=(const WriteLockGuard&) = delete;
+
+ private:
+  RwLock& l_;
+};
+
+/// pthread_once analogue for fibers: the first caller runs `fn`; others
+/// that arrive concurrently block until it completes.
+class Once {
+ public:
+  Once() = default;
+  Once(const Once&) = delete;
+  Once& operator=(const Once&) = delete;
+
+  template <typename F>
+  void call(F&& fn) {
+    if (state_ == State::Done) return;
+    Scheduler& s = *Scheduler::current();
+    if (state_ == State::Running) {
+      while (state_ != State::Done) s.park_on(waiters_);
+      return;
+    }
+    state_ = State::Running;
+    try {
+      fn();
+    } catch (...) {
+      state_ = State::Fresh;  // as with pthread_once: retryable
+      s.wake_all(waiters_);
+      throw;
+    }
+    state_ = State::Done;
+    s.wake_all(waiters_);
+  }
+
+  bool done() const noexcept { return state_ == State::Done; }
+
+ private:
+  enum class State : std::uint8_t { Fresh, Running, Done };
+  State state_ = State::Fresh;
+  TcbQueue waiters_;
+};
+
+}  // namespace lwt

@@ -1,0 +1,226 @@
+// lwt/scheduler.hpp — the user-level thread scheduler.
+//
+// One Scheduler runs per OS thread (per simulated Chant "process"). The
+// scheduler itself executes on the OS thread's native stack; fibers swap
+// back into the scheduler context at every scheduling point, which is
+// exactly the structure the paper's polling algorithms assume:
+//
+//  * Thread polls (TP, paper Fig. 5): the waiting thread stays runnable
+//    and re-tests its own request every time it is rescheduled — a full
+//    context switch per failed test.
+//  * Scheduler polls, waiting queue (WQ, paper Fig. 6): the thread parks
+//    on a scheduler-owned waiting queue; the scheduler tests *every*
+//    parked request at *every* scheduling point (NX-style, one msgtest
+//    per request — or a single group test via set_wq_group_poll, the
+//    MPI msgtestany ablation of §4.2).
+//  * Scheduler polls, partial switch (PS): the request lives in the TCB;
+//    when the TCB reaches the head of the run queue the scheduler tests
+//    it *before* restoring the context ("partial switch") and rotates
+//    the TCB to the back if the message has not arrived.
+//
+// The scheduler also keeps the event counters the paper reports:
+// complete context switches, partial-switch tests, per-entry WQ tests,
+// and the average number of threads waiting on outstanding requests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lwt/thread.hpp"
+#include "lwt/trace.hpp"
+
+namespace lwt {
+
+/// Thrown at cancellation points of a thread that has been cancelled;
+/// unwinds the fiber stack (running RAII destructors) back to the fiber
+/// bootstrap, which records kCanceled as the thread's return value.
+struct CancelInterrupt {};
+
+/// Event counters (paper Tables 3–5 columns and Figures 11–13).
+struct SchedulerStats {
+  std::uint64_t spawns = 0;
+  std::uint64_t full_switches = 0;      ///< fiber contexts restored
+  std::uint64_t yields = 0;             ///< voluntary yield() calls
+  std::uint64_t partial_poll_tests = 0; ///< PS tests done before restore
+  std::uint64_t wq_poll_tests = 0;      ///< per-entry WQ tests
+  std::uint64_t sched_points = 0;       ///< scheduling decisions taken
+  std::uint64_t idle_spins = 0;         ///< points with nothing runnable
+  // Waiting-thread sampling (Figure 13): at each scheduling point the
+  // number of threads inside a blocking message wait is accumulated.
+  std::uint64_t waiting_samples = 0;
+  std::uint64_t waiting_sum = 0;
+
+  double avg_waiting() const noexcept {
+    return waiting_samples == 0
+               ? 0.0
+               : static_cast<double>(waiting_sum) /
+                     static_cast<double>(waiting_samples);
+  }
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(ContextBackend backend = default_backend());
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  /// Runs `entry(arg)` as the main fiber (id 1) and schedules until every
+  /// fiber has finished. Returns the main fiber's return value. Must be
+  /// called on the OS thread that owns this scheduler; not reentrant.
+  void* run_main(EntryFn entry, void* arg, const ThreadAttr& attr = {});
+
+  /// The scheduler owning the calling OS thread (null outside run_main).
+  static Scheduler* current();
+  /// The currently running fiber (null outside a fiber).
+  static Tcb* self();
+
+  // ---- fiber-context operations (call from inside a fiber) ----
+
+  /// Creates a new ready thread. The returned Tcb stays valid until the
+  /// thread is joined (or, if detached, until it finishes).
+  Tcb* spawn(EntryFn entry, void* arg, const ThreadAttr& attr = {});
+
+  /// Gives up the processor to the next ready thread. Cancellation point.
+  void yield();
+
+  /// Terminates the calling thread with `retval`.
+  [[noreturn]] void exit_current(void* retval);
+
+  /// Waits for `t` to finish; returns its retval (kCanceled if it was
+  /// cancelled). Exactly one thread may join a given thread.
+  /// Cancellation point.
+  void* join(Tcb* t);
+
+  /// Marks `t` detached: its resources are reclaimed when it finishes.
+  void detach(Tcb* t);
+
+  /// Requests deferred cancellation of `t`, waking it from any
+  /// cancellable wait (yield/join/sync/poll waits).
+  void cancel(Tcb* t);
+
+  /// Enables/disables acting on cancellation for the calling thread;
+  /// returns the previous setting.
+  bool set_cancel_enabled(bool enabled);
+
+  /// Cancellation point: throws CancelInterrupt if cancellation is
+  /// pending and enabled for the calling thread.
+  void check_cancel();
+
+  /// Changes a thread's priority (takes effect at its next enqueue).
+  void set_priority(Tcb* t, int priority);
+
+  // ---- blocking-wait building blocks (used by sync.cpp and Chant) ----
+
+  /// Parks the calling fiber on `wl` and switches to the scheduler.
+  /// The fiber resumes when another thread moves it back to the run
+  /// queue via wake_one/wake_all/ready(), or when cancelled.
+  void park_on(TcbQueue& wl);
+
+  /// Moves the first thread parked on `wl` (if any) to the run queue.
+  Tcb* wake_one(TcbQueue& wl);
+  /// Wakes every thread parked on `wl`; returns how many.
+  std::size_t wake_all(TcbQueue& wl);
+  /// Makes an unqueued Blocked thread ready.
+  void ready(Tcb* t);
+
+  // ---- message-wait primitives (the three polling policies) ----
+
+  /// Thread-polls wait: full switch per failed test (paper Fig. 5).
+  void poll_block_tp(const PollRequest& req);
+  /// Waiting-queue wait: scheduler tests all parked requests at every
+  /// scheduling point (paper Fig. 6).
+  void poll_block_wq(const PollRequest& req);
+  /// Partial-switch wait: request parked in the TCB, tested just before
+  /// the context would be restored.
+  void poll_block_ps(const PollRequest& req);
+
+  /// Policy-independent parked wait: the request joins a generic list
+  /// the scheduler tests at every scheduling point (and while idle),
+  /// regardless of any group-poll hook. The waiter consumes no CPU and
+  /// cannot be starved by priorities — used for runtime-internal waits
+  /// like the cross-process termination protocol.
+  void poll_block_generic(const PollRequest& req);
+
+  /// Replaces WQ's per-entry scan with one group test per scheduling
+  /// point (msgtestany ablation). The hook must call wq_complete() for
+  /// each request it finds complete and return how many it completed.
+  using WqGroupPoll = std::size_t (*)(void* hook_ctx, Scheduler& sched);
+  void set_wq_group_poll(WqGroupPoll hook, void* hook_ctx);
+
+  /// For group-poll hooks: readies the WQ-parked fiber whose PollRequest
+  /// ctx equals `req_ctx`. Returns false if no such fiber is parked.
+  bool wq_complete(void* req_ctx);
+
+  /// Called when no thread is runnable (e.g. to back off the CPU while
+  /// waiting for another simulated process to send).
+  void set_idle_hook(void (*hook)(void*), void* ctx);
+
+  /// Attaches (or detaches, with null) an event trace; see lwt/trace.hpp.
+  void set_trace(Trace* trace) noexcept { trace_ = trace; }
+  Trace* trace() const noexcept { return trace_; }
+
+  // ---- thread-local data (pthread_key analogue) ----
+
+  /// Allocates a TLS key; `dtor` (may be null) runs at thread exit on
+  /// non-null values. Returns -1 if all keys are in use.
+  int key_create(void (*dtor)(void*));
+  void key_delete(int key);
+  void set_specific(int key, void* value);
+  void* get_specific(int key) const;
+
+  // ---- introspection ----
+  const SchedulerStats& stats() const noexcept { return stats_; }
+  SchedulerStats& mutable_stats() noexcept { return stats_; }
+  ContextBackend backend() const noexcept { return backend_; }
+  std::uint32_t live_threads() const noexcept { return active_; }
+  std::uint32_t msg_waiting_threads() const noexcept { return msg_waiting_; }
+  /// Human-readable dump of all known threads (deadlock diagnostics).
+  std::string debug_dump() const;
+
+ private:
+  struct WqEntry {
+    PollRequest req;
+    Tcb* tcb;
+  };
+
+  void schedule_loop();
+  void switch_to(Tcb* t);
+  [[noreturn]] void finish_current(void* retval);
+  Tcb* pick_next();
+  void wq_scan();
+  void enqueue_ready(Tcb* t);
+  void reap(Tcb* t);
+  void run_tls_dtors(Tcb* t);
+  friend void detail::fiber_boot(Tcb*);
+
+  ContextBackend backend_;
+  Context sched_ctx_;
+  StackPool stacks_;
+  TcbQueue run_q_[kNumPriorities];
+  std::vector<WqEntry> wq_;
+  std::vector<WqEntry> generic_wq_;
+  std::vector<Tcb*> zombies_;   ///< finished, unjoined, undetached
+  Tcb* current_ = nullptr;
+  Tcb* pending_reap_ = nullptr; ///< finished detached fiber awaiting reap
+  std::uint32_t next_id_ = 1;
+  std::uint32_t active_ = 0;    ///< fibers not yet Finished
+  std::uint32_t blocked_ = 0;   ///< fibers parked on wait lists / WQ
+  std::uint32_t ps_parked_ = 0; ///< fibers queued with poll_active
+  std::uint32_t msg_waiting_ = 0;
+  bool running_ = false;
+  SchedulerStats stats_;
+  WqGroupPoll wq_group_poll_ = nullptr;
+  void* wq_group_ctx_ = nullptr;
+  void (*idle_hook_)(void*) = nullptr;
+  void* idle_ctx_ = nullptr;
+  Trace* trace_ = nullptr;
+  struct TlsKey {
+    bool used = false;
+    void (*dtor)(void*) = nullptr;
+  };
+  std::array<TlsKey, kMaxTlsKeys> tls_keys_{};
+};
+
+}  // namespace lwt

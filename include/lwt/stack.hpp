@@ -1,0 +1,56 @@
+// lwt/stack.hpp — guard-paged fiber stacks with a per-scheduler free pool.
+//
+// Stacks are mmap'd with one PROT_NONE guard page below the usable region,
+// so a fiber overflowing its stack faults immediately instead of silently
+// corrupting a neighbouring fiber. Freed stacks are cached on a free list
+// keyed by size, which keeps thread creation in the tens-of-nanoseconds
+// range after warm-up (important for the Table-1 create benchmark and for
+// the remote-create RSR path).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace lwt {
+
+/// One usable fiber stack. `base` points at the lowest usable byte;
+/// the guard page lies immediately below it.
+struct Stack {
+  void* base = nullptr;   ///< lowest usable address
+  std::size_t size = 0;   ///< usable bytes (multiple of the page size)
+
+  explicit operator bool() const noexcept { return base != nullptr; }
+};
+
+/// Allocates and recycles guard-paged stacks. Not thread-safe: each
+/// scheduler (one per simulated process / OS thread) owns its own pool.
+class StackPool {
+ public:
+  StackPool() = default;
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+  ~StackPool();
+
+  /// Returns a stack of at least `min_size` usable bytes (rounded up to a
+  /// whole number of pages, minimum one page). Reuses a cached stack of
+  /// the same rounded size when available.
+  Stack acquire(std::size_t min_size);
+
+  /// Returns a stack to the pool for reuse.
+  void release(Stack s) noexcept;
+
+  /// Number of stacks currently cached (for tests).
+  std::size_t cached() const noexcept;
+
+  /// Unmaps all cached stacks.
+  void trim() noexcept;
+
+ private:
+  std::unordered_map<std::size_t, std::vector<Stack>> pool_;
+};
+
+/// System page size (cached).
+std::size_t page_size() noexcept;
+
+}  // namespace lwt

@@ -1,0 +1,109 @@
+// lwt/sync.hpp — synchronization primitives for fibers.
+//
+// These block the *fiber*, never the OS thread: a waiting fiber parks on
+// the primitive's wait list and the scheduler runs someone else. All
+// primitives are scheduler-local (shared-memory synchronization within
+// one simulated process), exactly the scope the paper's Figure 2 asks of
+// the underlying lightweight thread package. Cross-process coordination
+// goes through messages (nx/chant), never through these.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "lwt/scheduler.hpp"
+#include "lwt/thread.hpp"
+
+namespace lwt {
+
+/// Mutual exclusion between fibers of one scheduler. Non-recursive.
+/// Mesa-style: unlock wakes one waiter, which re-competes for the lock.
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+  bool locked() const noexcept { return owner_ != nullptr; }
+  Tcb* owner() const noexcept { return owner_; }
+
+ private:
+  friend class CondVar;
+  Tcb* owner_ = nullptr;
+  TcbQueue waiters_;
+};
+
+/// RAII lock for Mutex (usable with CondVar::wait).
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : m_(m) { m_.lock(); }
+  ~LockGuard() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+  Mutex& mutex() noexcept { return m_; }
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable for fibers. As with pthreads, a waiter must hold
+/// the associated mutex; wakeups are Mesa-style (re-check the predicate).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& m);
+  template <typename Pred>
+  void wait(Mutex& m, Pred pred) {
+    while (!pred()) wait(m);
+  }
+  void signal();
+  void broadcast();
+  std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  TcbQueue waiters_;
+};
+
+/// Counting semaphore for fibers.
+class Semaphore {
+ public:
+  explicit Semaphore(std::int64_t initial = 0) : count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void acquire();
+  bool try_acquire();
+  void release(std::int64_t n = 1);
+  std::int64_t value() const noexcept { return count_; }
+
+ private:
+  std::int64_t count_;
+  TcbQueue waiters_;
+};
+
+/// Rendezvous barrier for a fixed party of fibers. The last arriver
+/// releases everyone; reusable across generations.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {}
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Returns true for exactly one fiber per generation (the "serial"
+  /// arriver), mirroring PTHREAD_BARRIER_SERIAL_THREAD.
+  bool arrive_and_wait();
+
+ private:
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  TcbQueue waiters_;
+};
+
+}  // namespace lwt

@@ -1,0 +1,119 @@
+// lwt/thread.hpp — thread control blocks and intrusive thread queues.
+//
+// A Tcb ("thread control block", the paper's §4.2 terminology) fully
+// describes one user-level thread: saved context, stack, entry point,
+// scheduling state, and — crucially for the Scheduler-polls (PS)
+// algorithm — an optional pending poll request that the scheduler can
+// test *before* restoring the thread's context (a "partial switch").
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "lwt/context.hpp"
+#include "lwt/stack.hpp"
+
+namespace lwt {
+
+class Scheduler;
+struct Tcb;
+
+/// Priority levels. Higher value runs first. The Chant server thread uses
+/// kServerPriority so a pending remote service request is handled at the
+/// next context-switch point (paper §3.2).
+inline constexpr int kNumPriorities = 8;
+inline constexpr int kDefaultPriority = 3;
+inline constexpr int kServerPriority = kNumPriorities - 1;
+
+/// Return value of a thread that exited due to cancellation
+/// (the analogue of PTHREAD_CANCELED).
+inline void* const kCanceled = reinterpret_cast<void*>(~std::uintptr_t{0});
+
+/// Thread entry signature, matching pthreads.
+using EntryFn = void* (*)(void*);
+
+/// Number of thread-local data keys per scheduler (pthread_key analogue).
+inline constexpr std::size_t kMaxTlsKeys = 32;
+
+/// Creation attributes (subset of pthread_attr_t the paper relies on).
+struct ThreadAttr {
+  std::size_t stack_size = 128 * 1024;
+  int priority = kDefaultPriority;
+  bool detached = false;
+  const char* name = nullptr;  ///< optional debug name (copied, truncated)
+};
+
+/// Lifecycle states. A thread parked by the PS policy remains *queued*
+/// (state Ready with poll_active set); a thread parked by the WQ policy
+/// or on a synchronization primitive is Blocked.
+enum class ThreadState : std::uint8_t {
+  Ready,     ///< on a run queue (possibly with a pending PS poll)
+  Running,   ///< currently executing
+  Blocked,   ///< parked on a wait list / WQ entry / join
+  Finished,  ///< entry returned or thread cancelled; retval available
+};
+
+/// A deferred completion test. `test` must be cheap and must not yield;
+/// it is invoked by the scheduler (PS/WQ) or by the waiting thread (TP).
+struct PollRequest {
+  bool (*test)(void* ctx) = nullptr;
+  void* ctx = nullptr;
+};
+
+/// Intrusive FIFO of Tcbs (run queues and wait lists). A Tcb is linked
+/// into at most one queue at a time.
+class TcbQueue {
+ public:
+  bool empty() const noexcept { return head_ == nullptr; }
+  std::size_t size() const noexcept { return size_; }
+  void push_back(Tcb* t) noexcept;
+  Tcb* pop_front() noexcept;
+  Tcb* front() const noexcept { return head_; }
+  /// Unlinks `t` if present; returns true if it was in this queue.
+  bool remove(Tcb* t) noexcept;
+
+ private:
+  Tcb* head_ = nullptr;
+  Tcb* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Thread control block.
+struct Tcb {
+  Context ctx;
+  Stack stack;
+  EntryFn entry = nullptr;
+  void* arg = nullptr;
+  void* retval = nullptr;
+
+  std::uint32_t id = 0;  ///< scheduler-local id, 1 = main fiber
+  int priority = kDefaultPriority;
+  ThreadState state = ThreadState::Ready;
+  bool detached = false;
+  bool cancel_requested = false;
+  bool cancel_disabled = false;
+  bool canceled = false;     ///< exited via cancellation
+  bool msg_waiting = false;  ///< inside a blocking message wait (any policy)
+
+  /// Scheduler-polls (PS): pending request tested during a partial switch.
+  PollRequest poll{};
+  bool poll_active = false;
+
+  /// Intrusive queue links (run queue / wait list / zombie list).
+  Tcb* qnext = nullptr;
+  Tcb* qprev = nullptr;
+  TcbQueue* waiting_on = nullptr;  ///< wait list we are parked on, if any
+
+  Tcb* joiner = nullptr;   ///< thread blocked in join() on us
+  bool join_taken = false; ///< someone already committed to joining us
+
+  std::array<void*, kMaxTlsKeys> tls{};
+  void* user = nullptr;  ///< opaque slot for layered runtimes (Chant)
+  Scheduler* sched = nullptr;
+  char name[24] = {};
+
+  void set_name(const char* n) noexcept;
+};
+
+}  // namespace lwt

@@ -1,0 +1,63 @@
+// lwt/trace.hpp — lightweight scheduler event tracing.
+//
+// A Trace is a fixed-capacity ring of scheduler events (spawn, switch,
+// yield, park, ready, poll activity, finish) with nanosecond timestamps.
+// Attach one to a scheduler with Scheduler::set_trace(); recording is a
+// single branch + store when attached and free when not, so it can stay
+// available in release builds. Intended uses: debugging polling-policy
+// schedules, asserting scheduling orders in tests, and post-mortem dumps
+// of the exact interleaving that led to a failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lwt {
+
+enum class TraceEvent : std::uint8_t {
+  Spawn,      ///< thread created
+  SwitchIn,   ///< context restored (a complete context switch)
+  Yield,      ///< thread yielded voluntarily
+  Park,       ///< thread blocked (wait list / WQ / join)
+  Ready,      ///< thread moved to the run queue
+  PollTest,   ///< a partial-switch (PS) test was performed for it
+  Finish,     ///< thread finished
+};
+
+const char* to_string(TraceEvent e) noexcept;
+
+class Trace {
+ public:
+  struct Entry {
+    std::uint64_t ns;    ///< steady-clock timestamp
+    TraceEvent event;
+    std::uint32_t tid;   ///< scheduler-local thread id
+  };
+
+  /// Ring capacity in entries (oldest entries are overwritten).
+  explicit Trace(std::size_t capacity = 4096);
+
+  void record(TraceEvent e, std::uint32_t tid) noexcept;
+
+  /// Number of entries recorded since construction/clear (may exceed
+  /// capacity; only the newest `capacity` are retained).
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+  /// Retained entries, oldest first.
+  std::vector<Entry> snapshot() const;
+
+  /// Human-readable dump ("+<us> <event> #<tid>" per line, relative to
+  /// the first retained entry).
+  std::string dump() const;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<Entry> ring_;
+  std::size_t head_ = 0;      ///< next write position
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace lwt

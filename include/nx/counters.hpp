@@ -1,0 +1,41 @@
+// nx/counters.hpp — per-endpoint event counters.
+//
+// The paper's Tables 3–5 report *counts* (total msgtest calls, failed
+// tests) alongside times; counts are hardware-independent, so they are
+// the directly comparable quantity in this reproduction. Counters are
+// atomics because senders increment some of them from their own OS
+// thread while the owning process reads them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace nx {
+
+struct Counters {
+  std::atomic<std::uint64_t> sends{0};
+  std::atomic<std::uint64_t> recvs_posted{0};
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> msgtest_calls{0};
+  std::atomic<std::uint64_t> msgtest_failed{0};
+  std::atomic<std::uint64_t> testany_calls{0};
+  std::atomic<std::uint64_t> posted_match{0};     ///< zero-copy fast path
+  std::atomic<std::uint64_t> unexpected_eager{0}; ///< buffered (1 extra copy)
+  std::atomic<std::uint64_t> unexpected_rndv{0};  ///< rendezvous (no copy)
+
+  void reset() noexcept {
+    sends = 0;
+    recvs_posted = 0;
+    delivered = 0;
+    bytes_sent = 0;
+    msgtest_calls = 0;
+    msgtest_failed = 0;
+    testany_calls = 0;
+    posted_match = 0;
+    unexpected_eager = 0;
+    unexpected_rndv = 0;
+  }
+};
+
+}  // namespace nx

@@ -1,0 +1,217 @@
+// nx/endpoint.hpp — NX-style nonblocking message passing for one process.
+//
+// An Endpoint is one simulated process's window onto the interconnect,
+// playing the role of the Intel NX library (isend/irecv/msgtest/msgwait,
+// int handles) in the paper's Figure 1. Design points that matter for
+// the reproduction:
+//
+//  * Matching follows the posted-receive / unexpected-message discipline
+//    of real NX/MPI: a send first looks for a matching *posted* receive
+//    on the destination endpoint and, on a hit, copies the payload once,
+//    directly into the user's buffer — the paper's §3.1 "register the
+//    receive with the operating system before the message arrives"
+//    zero-intermediate-copy path. Otherwise the message is held as an
+//    unexpected descriptor: payloads at or below the eager threshold are
+//    buffered (locally-blocking send semantics, one extra copy, as NX
+//    does); larger payloads use rendezvous (the sender's buffer is
+//    referenced and the sender completes when the receiver copies).
+//  * Matching is on (source pe, source process, tag) with a tag *mask*,
+//    which is what lets the Chant layer overload the tag field with
+//    thread identifiers exactly as §3.1(2) prescribes.
+//  * Per-source FIFO ordering is guaranteed (NX channels are ordered):
+//    deliver-at timestamps are made monotonic per source, and a send
+//    skips the posted-match fast path while earlier messages from the
+//    same source are still queued.
+//  * msgtest / msgtestany are the *only* progress engines — there is no
+//    background thread and no interrupt, matching the paper's explicit
+//    design constraint (§3.2: MPI has no interrupt-driven delivery).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nx/counters.hpp"
+#include "nx/netmodel.hpp"
+
+namespace nx {
+
+class Machine;
+
+/// Wildcards for receive matching.
+inline constexpr int kAnyPe = -1;
+inline constexpr int kAnyProc = -1;
+/// Tag masks: receive matches iff (msg.tag & mask) == (want.tag & mask).
+inline constexpr int kTagExact = ~0;
+inline constexpr int kTagAny = 0;
+
+/// Request handle (NX-style int). Negative values are invalid.
+using Handle = std::int32_t;
+inline constexpr Handle kInvalidHandle = -1;
+
+/// Message envelope as seen by the receiver. `channel` plays the role of
+/// an MPI communicator: an extra header field a layered runtime may use
+/// to address entities *within* a process (paper §3.1(2)) without
+/// stealing tag bits. Native NX had no such field — the Chant tag-
+/// overloading mode ignores it, and the HeaderField ablation uses it.
+struct MsgHeader {
+  int src_pe = 0;
+  int src_proc = 0;
+  int tag = 0;
+  int channel = 0;
+  std::size_t len = 0;    ///< payload bytes the sender sent
+  bool truncated = false; ///< receive buffer was smaller than len
+};
+
+class Endpoint {
+ public:
+  Endpoint(Machine& machine, int pe, int proc);
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+  ~Endpoint();
+
+  int pe() const noexcept { return pe_; }
+  int proc() const noexcept { return proc_; }
+  Machine& machine() noexcept { return machine_; }
+
+  // ---- sends ----
+
+  /// Nonblocking send. The returned handle completes when `buf` is
+  /// reusable (immediately for posted-match and eager transfers; on
+  /// receiver copy for rendezvous). Call msgtest/msgwait to complete and
+  /// release the handle.
+  Handle isend(int dst_pe, int dst_proc, int tag, const void* buf,
+               std::size_t len, int channel = 0);
+
+  /// Locally-blocking send (NX csend): returns when `buf` is reusable.
+  void csend(int dst_pe, int dst_proc, int tag, const void* buf,
+             std::size_t len, int channel = 0);
+
+  // ---- receives ----
+
+  /// Nonblocking receive for a message matching (src_pe, src_proc,
+  /// tag & tag_mask); wildcards above. Completes when the payload is in
+  /// `buf`. The handle must be completed via msgtest/msgwait/msgtestany.
+  Handle irecv(int src_pe, int src_proc, int tag, int tag_mask, void* buf,
+               std::size_t cap, int channel = 0, int channel_mask = 0);
+
+  /// Blocking receive (NX crecv): spins on msgtest. This blocks the whole
+  /// OS thread — it is the *process-based* baseline of the paper's §4.1;
+  /// thread-friendly blocking lives in the Chant layer.
+  MsgHeader crecv(int src_pe, int src_proc, int tag, int tag_mask, void* buf,
+                  std::size_t cap);
+
+  // ---- completion ----
+
+  /// Tests a handle. On completion fills `out` (for receives) and
+  /// releases the handle; the handle must not be used again. Counted in
+  /// Counters::msgtest_calls / msgtest_failed.
+  bool msgtest(Handle h, MsgHeader* out = nullptr);
+
+  /// Spins until `h` completes (whole-OS-thread wait; see crecv note).
+  MsgHeader msgwait(Handle h);
+
+  /// Tests `n` handles with one call (MPI_TESTANY analogue; the §4.2
+  /// ablation). Returns the index of a completed handle — which is
+  /// released, with `out` filled — or -1 if none completed. Counted once
+  /// in Counters::testany_calls regardless of n.
+  int msgtestany(const Handle* hs, std::size_t n, MsgHeader* out = nullptr);
+
+  /// Nonblocking probe: reports (without receiving) whether an arrived
+  /// unexpected message matches. Posted receives are not considered.
+  bool iprobe(int src_pe, int src_proc, int tag, int tag_mask,
+              MsgHeader* out = nullptr);
+
+  /// True if `h` has completed; does not release and is not counted.
+  /// (NX msgdone flavour; useful for assertions.)
+  bool msgdone(Handle h) const;
+
+  /// Cancels and releases a not-yet-completed receive handle. Returns
+  /// false if the handle already completed (it is then released too).
+  bool cancel_recv(Handle h);
+
+  Counters& counters() noexcept { return counters_; }
+
+  /// Number of queued unexpected messages (tests / introspection).
+  std::size_t unexpected_count() const;
+  /// Number of outstanding posted receives.
+  std::size_t posted_count() const;
+
+ private:
+  struct Request {
+    enum class Kind : std::uint8_t { None, Recv, Send };
+    Kind kind = Kind::None;
+    std::uint32_t gen = 1;
+    std::atomic<bool> complete{false};
+    // receive-side state
+    void* buf = nullptr;
+    std::size_t cap = 0;
+    int want_pe = kAnyPe;
+    int want_proc = kAnyProc;
+    int want_tag = 0;
+    int tag_mask = kTagAny;
+    int want_channel = 0;
+    int channel_mask = 0;
+    MsgHeader hdr{};
+  };
+
+  struct UnexMsg {
+    MsgHeader hdr{};
+    std::uint64_t deliver_at = 0;
+    // Fresh entries reference the sender's buffer (src_buf) so a drain
+    // that runs before the send returns delivers with zero intermediate
+    // copies. An entry that stays queued is either eager-buffered
+    // (payload owned here, sender released) or held for rendezvous
+    // (sender_flag raised when a receive finally takes it).
+    std::unique_ptr<std::uint8_t[]> payload;
+    const void* src_buf = nullptr;
+    std::atomic<bool>* sender_flag = nullptr;
+  };
+
+  static constexpr std::uint32_t kSlotBits = 20;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::size_t kChunk = 256;  ///< requests per slab chunk
+
+  Request* slot_ptr(std::uint32_t slot) const;
+  /// Current time for deliver-at gating (0 when the net model is zero,
+  /// avoiding clock reads on the fast path).
+  std::uint64_t net_now() const;
+  Request* checked(Handle h) const;
+  Handle alloc_request(Request::Kind kind);
+  void release_slot(Handle h);
+  bool recv_matches(const Request& r, const MsgHeader& h) const;
+  /// Copies one unexpected entry into a posted receive and completes
+  /// both sides. Caller holds mu_.
+  void deliver_into(Request& r, const UnexMsg& m);
+  /// Pairs visible unexpected entries with posted receives under the
+  /// MPI/NX matching rules. Caller holds mu_.
+  void drain(std::uint64_t now);
+
+  /// Entry point used by the sending endpoint (runs on the *sender's* OS
+  /// thread). Returns true if the payload was consumed synchronously
+  /// (posted match or eager); false means rendezvous was set up and
+  /// `sender_flag` will be raised by the receiver.
+  bool accept_send(const MsgHeader& h, const void* buf,
+                   std::atomic<bool>* sender_flag);
+  friend class Machine;  // Machine routes accept_send between endpoints
+
+  Machine& machine_;
+  const int pe_;
+  const int proc_;
+  Counters counters_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Request[]>> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t slots_used_ = 0;
+  std::list<UnexMsg> unexpected_;  ///< arrival order; stable iterators
+  std::vector<Handle> posted_;     ///< FIFO of posted receive handles
+  std::vector<std::uint64_t> last_deliver_;  ///< per-source monotonic clock
+  std::vector<std::uint8_t> blocked_scratch_;  ///< drain() per-source flags
+};
+
+}  // namespace nx

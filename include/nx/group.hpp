@@ -1,0 +1,114 @@
+// nx/group.hpp — process groups and collective operations.
+//
+// Paper Figure 3 lists process-group management (create a group, add and
+// delete members, group ids in the header) among the capabilities Chant
+// expects of its communication layer: NX provided them natively, and the
+// HPF/Opus task-parallel extensions Chant was built to support lean on
+// them. A Group is a subset of the machine's processes over which
+// collective operations run; membership is established SPMD-style (every
+// member constructs the group with the identical member list).
+//
+// Group traffic is segregated from point-to-point traffic through the
+// header's channel field (the group id), so collectives can never match
+// an application receive. Collectives use binomial trees (barrier,
+// broadcast, reduce) or linear exchange (gather) over the ordinary
+// isend/irecv machinery, and poll with a replaceable waiter so the Chant
+// layer can substitute a fiber yield for the default OS-level backoff.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nx/endpoint.hpp"
+
+namespace nx {
+
+/// One group member.
+struct NodeAddr {
+  int pe = 0;
+  int proc = 0;
+  friend bool operator==(const NodeAddr&, const NodeAddr&) = default;
+};
+
+/// Reduction operators for the typed reduce/allreduce entry points.
+enum class ReduceOp { Sum, Min, Max };
+
+class Group {
+ public:
+  /// Builds a group over `members` (identical list on every member).
+  /// `group_id` must be nonzero, unique among concurrently live groups,
+  /// and below 2^30 (it rides in the header channel field). The calling
+  /// endpoint must be one of the members.
+  Group(Endpoint& ep, std::vector<NodeAddr> members, int group_id);
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return static_cast<int>(members_.size()); }
+  int id() const noexcept { return group_id_; }
+  const NodeAddr& member(int r) const {
+    return members_[static_cast<std::size_t>(r)];
+  }
+  bool contains(int pe, int proc) const noexcept;
+
+  /// Replaces the wait-for-completion behaviour (default: cpu-relax then
+  /// OS yield). The Chant layer installs a fiber yield here so a
+  /// collective blocks only the calling thread.
+  void set_waiter(std::function<void()> waiter) { waiter_ = std::move(waiter); }
+
+  // ---- collectives (call from every member, matching argument shapes) ----
+
+  /// Dissemination barrier across the group.
+  void barrier();
+
+  /// Binomial-tree broadcast of `len` bytes from `root`'s buf.
+  void broadcast(void* buf, std::size_t len, int root);
+
+  /// Binomial-tree reduction of `n` elements into root's `out`
+  /// (in == out aliasing is allowed; non-roots' out may be null).
+  void reduce(const std::int64_t* in, std::int64_t* out, std::size_t n,
+              ReduceOp op, int root);
+  void reduce(const double* in, double* out, std::size_t n, ReduceOp op,
+              int root);
+
+  /// Reduce + broadcast: every member receives the result.
+  void allreduce(const std::int64_t* in, std::int64_t* out, std::size_t n,
+                 ReduceOp op);
+  void allreduce(const double* in, double* out, std::size_t n, ReduceOp op);
+
+  /// Gathers `len` bytes from every member into root's `out`
+  /// (size * len bytes, rank-major). Non-roots' out may be null.
+  void gather(const void* in, std::size_t len, void* out, int root);
+
+  /// Gather + broadcast: every member ends up with the rank-major
+  /// concatenation (out must hold size * len bytes everywhere).
+  void allgather(const void* in, std::size_t len, void* out);
+
+  /// Root scatters `len` bytes per member from `in` (rank-major);
+  /// every member receives its slice in `out`.
+  void scatter(const void* in, void* out, std::size_t len, int root);
+
+ private:
+  // Phase tags inside the group channel; a per-collective sequence
+  // number keeps back-to-back collectives from cross-matching.
+  enum : int { kBarrier = 1, kBcast = 2, kReduce = 3, kGather = 4,
+               kScatter = 5 };
+  int tag_for(int phase, int round) const noexcept {
+    return (seq_ << 12) | (phase << 8) | round;
+  }
+  void send_to(int rank, int tag, const void* buf, std::size_t len);
+  void recv_from(int rank, int tag, void* buf, std::size_t cap);
+  void wait(Handle h, MsgHeader* out);
+  template <typename T>
+  void reduce_impl(const T* in, T* out, std::size_t n, ReduceOp op,
+                   int root);
+
+  Endpoint& ep_;
+  std::vector<NodeAddr> members_;
+  int group_id_;
+  int rank_ = -1;
+  int seq_ = 0;
+  std::function<void()> waiter_;
+};
+
+}  // namespace nx

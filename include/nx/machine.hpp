@@ -1,0 +1,74 @@
+// nx/machine.hpp — the simulated multicomputer.
+//
+// A Machine owns a grid of PEs × processes-per-PE endpoints and runs one
+// OS thread per simulated process. Processes share *nothing* except the
+// message layer: user code receives only its own Endpoint&, so any
+// cross-process data flow must be a message — the property that keeps
+// this in-process simulation faithful to a distributed-memory machine.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nx/endpoint.hpp"
+#include "nx/netmodel.hpp"
+
+namespace nx {
+
+class Machine {
+ public:
+  struct Config {
+    int pes = 2;
+    int processes_per_pe = 1;
+    NetModel net = NetModel::zero();
+    /// Sends with payloads <= this many bytes that find no posted receive
+    /// are buffered eagerly (sender completes immediately, one extra
+    /// copy); larger payloads rendezvous. NX behaved the same way.
+    std::size_t eager_threshold = 16 * 1024;
+  };
+
+  explicit Machine(const Config& cfg);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+  ~Machine();
+
+  int pes() const noexcept { return cfg_.pes; }
+  int processes_per_pe() const noexcept { return cfg_.processes_per_pe; }
+  int total_processes() const noexcept {
+    return cfg_.pes * cfg_.processes_per_pe;
+  }
+  const Config& config() const noexcept { return cfg_; }
+
+  Endpoint& endpoint(int pe, int proc);
+  const Endpoint& endpoint(int pe, int proc) const;
+
+  /// Runs `process_main(endpoint)` once per simulated process, each on
+  /// its own OS thread; returns when all have returned. If any process
+  /// throws, the first exception is rethrown after all threads join.
+  void run(const std::function<void(Endpoint&)>& process_main);
+
+  /// OS-level barrier across all processes (callable from inside run()).
+  /// Blocks the calling OS thread — use only in setup/teardown phases.
+  void os_barrier();
+
+  /// Flat process index (pe-major) used internally for per-source tables.
+  int flat_index(int pe, int proc) const noexcept {
+    return pe * cfg_.processes_per_pe + proc;
+  }
+
+ private:
+  Config cfg_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  // simple reusable barrier (std::barrier needs the count at construction
+  // but run() may be called repeatedly; keep our own)
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  std::size_t bar_arrived_ = 0;
+  std::uint64_t bar_gen_ = 0;
+};
+
+}  // namespace nx

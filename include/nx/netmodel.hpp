@@ -1,0 +1,52 @@
+// nx/netmodel.hpp — interconnect timing model for the simulated machine.
+//
+// The paper's experiments ran on an Intel Paragon whose NX transfer time
+// is well described by the classic linear model T(n) = L0 + n·c. We use
+// the same model to decide *when* a message becomes visible to matching
+// on the receiving endpoint (its "deliver-at" timestamp): before that
+// instant a posted receive or msgtest cannot observe the message, exactly
+// as a message still in flight on the mesh cannot be received.
+//
+// Presets:
+//  * zero()    — no modelled delay; used by the test suite and by the
+//                overhead-isolation benchmarks (the Chant cost is then
+//                the measured difference against the raw layer).
+//  * paragon() — calibrated so a ping-pong exchange of the paper's
+//                Table-2 message sizes lands in the paper's microsecond
+//                range (fit of Table 2's Process column:
+//                T(n) ≈ 333 µs + 0.159 µs/byte per one-way message).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace nx {
+
+struct NetModel {
+  double latency_us = 0.0;   ///< L0: per-message software+wire latency
+  double per_byte_us = 0.0;  ///< c: incremental cost per payload byte
+
+  static constexpr NetModel zero() { return NetModel{0.0, 0.0}; }
+  /// Paragon-era fit of the paper's Table-2 "Process" column.
+  static constexpr NetModel paragon() { return NetModel{333.0, 0.159}; }
+
+  constexpr bool is_zero() const noexcept {
+    return latency_us == 0.0 && per_byte_us == 0.0;
+  }
+
+  std::uint64_t delay_ns(std::size_t bytes) const noexcept {
+    return static_cast<std::uint64_t>(
+        (latency_us + per_byte_us * static_cast<double>(bytes)) * 1000.0);
+  }
+};
+
+/// Monotonic wall-clock in nanoseconds (steady across OS threads).
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace nx

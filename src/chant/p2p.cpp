@@ -1,0 +1,178 @@
+// p2p.cpp — point-to-point message passing between global threads
+// (paper §3.1): naming via the tag codec, delivery via header matching,
+// blocking via the configured polling policy.
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "chant/runtime.hpp"
+
+namespace chant {
+
+MsgInfo Runtime::decode(const nx::MsgHeader& h) const {
+  MsgInfo mi;
+  mi.src = Gid{h.src_pe, h.src_proc, codec_.decode_src_lid(h)};
+  mi.user_tag = codec_.decode_user_tag(h);
+  mi.len = h.len;
+  mi.truncated = h.truncated;
+  return mi;
+}
+
+void Runtime::send_from(int src_lid, int user_tag, const void* buf,
+                        std::size_t len, const Gid& dst, bool internal) {
+  const TagCodec::Wire wire =
+      codec_.encode(dst.thread, src_lid, user_tag, internal);
+  WaitCtx w;
+  w.ep = &ep_;
+  w.nxh = ep_.isend(dst.pe, dst.process, wire.tag, buf, len, wire.channel);
+  if (wait_test(&w)) return;  // eager / posted-receive: buffer reusable now
+  // Rendezvous: the receiver has not yet taken the payload. Sends are not
+  // cancellation points (cancelling mid-rendezvous would let the receiver
+  // copy from a dead buffer), so mask cancellation for the wait.
+  const bool prev = sched_.set_cancel_enabled(false);
+  block_until(w);
+  sched_.set_cancel_enabled(prev);
+}
+
+void Runtime::send(int user_tag, const void* buf, std::size_t len,
+                   const Gid& dst) {
+  if (user_tag < 0 || user_tag > codec_.max_user_tag()) {
+    throw std::invalid_argument("chant::send: user tag out of range");
+  }
+  if (is_any(dst) || dst.thread < 0 || dst.thread > codec_.max_lid()) {
+    throw std::invalid_argument("chant::send: bad destination thread");
+  }
+  const int me = current_lid();
+  if (me < 0) {
+    throw std::logic_error("chant::send: calling fiber has no thread id");
+  }
+  send_from(me, user_tag, buf, len, dst, /*internal=*/false);
+}
+
+nx::Handle Runtime::post_recv(int user_tag, void* buf, std::size_t cap,
+                              const Gid& src, bool internal) {
+  const int me = current_lid();
+  if (me < 0) {
+    throw std::logic_error("chant::recv: calling fiber has no thread id");
+  }
+  const int src_lid = is_any(src) ? -1 : src.thread;
+  const TagCodec::Pattern pat =
+      codec_.pattern(me, src_lid, user_tag, internal);
+  const int src_pe = is_any(src) ? nx::kAnyPe : src.pe;
+  const int src_proc = is_any(src) ? nx::kAnyProc : src.process;
+  return ep_.irecv(src_pe, src_proc, pat.tag, pat.tag_mask, buf, cap,
+                   pat.channel, pat.channel_mask);
+}
+
+MsgInfo Runtime::recv_blocking(int user_tag, void* buf, std::size_t cap,
+                               const Gid& src, bool internal) {
+  WaitCtx w;
+  w.ep = &ep_;
+  w.nxh = post_recv(user_tag, buf, cap, src, internal);
+  try {
+    block_until(w);
+  } catch (...) {
+    // Cancelled mid-receive: withdraw the posted receive so a later
+    // message cannot scribble into a dead buffer.
+    if (!w.done) ep_.cancel_recv(w.nxh);
+    throw;
+  }
+  return decode(w.hdr);
+}
+
+MsgInfo Runtime::recv(int user_tag, void* buf, std::size_t cap,
+                      const Gid& src) {
+  if (user_tag != kAnyUserTag &&
+      (user_tag < 0 || user_tag > codec_.max_user_tag())) {
+    throw std::invalid_argument("chant::recv: user tag out of range");
+  }
+  return recv_blocking(user_tag, buf, cap, src, /*internal=*/false);
+}
+
+// --------------------------------------------------- nonblocking receives
+
+int Runtime::irecv(int user_tag, void* buf, std::size_t cap, const Gid& src) {
+  if (user_tag != kAnyUserTag &&
+      (user_tag < 0 || user_tag > codec_.max_user_tag())) {
+    throw std::invalid_argument("chant::irecv: user tag out of range");
+  }
+  std::uint32_t idx;
+  if (!free_reqs_.empty()) {
+    idx = free_reqs_.back();
+    free_reqs_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(reqs_.size());
+    reqs_.emplace_back();
+  }
+  ChantReq& r = reqs_[idx];
+  r.active = true;
+  r.wait = WaitCtx{};
+  r.wait.ep = &ep_;
+  r.wait.nxh = post_recv(user_tag, buf, cap, src, /*internal=*/false);
+  // 15 generation bits keep the handle non-negative across slot reuse.
+  return static_cast<int>(((r.gen & 0x7FFFu) << 16) | idx);
+}
+
+namespace {
+constexpr std::uint32_t kReqIdxMask = 0xFFFFu;
+constexpr std::uint32_t kReqGenMask = 0x7FFFu;
+}
+
+bool Runtime::msgtest(int handle, MsgInfo* out) {
+  const auto idx = static_cast<std::uint32_t>(handle) & kReqIdxMask;
+  const auto gen = static_cast<std::uint32_t>(handle) >> 16;
+  if (idx >= reqs_.size() || (reqs_[idx].gen & kReqGenMask) != gen ||
+      !reqs_[idx].active) {
+    throw std::invalid_argument("chant::msgtest: stale or invalid handle");
+  }
+  ChantReq& r = reqs_[idx];
+  if (!wait_test(&r.wait)) return false;
+  if (out != nullptr) *out = decode(r.wait.hdr);
+  r.active = false;
+  ++r.gen;
+  free_reqs_.push_back(idx);
+  return true;
+}
+
+bool Runtime::cancel_irecv(int handle) {
+  const auto idx = static_cast<std::uint32_t>(handle) & kReqIdxMask;
+  const auto gen = static_cast<std::uint32_t>(handle) >> 16;
+  if (idx >= reqs_.size() || (reqs_[idx].gen & kReqGenMask) != gen ||
+      !reqs_[idx].active) {
+    throw std::invalid_argument("chant::cancel_irecv: stale handle");
+  }
+  ChantReq& r = reqs_[idx];
+  const bool withdrawn = !r.wait.done && ep_.cancel_recv(r.wait.nxh);
+  r.active = false;
+  ++r.gen;
+  free_reqs_.push_back(idx);
+  return withdrawn;
+}
+
+MsgInfo Runtime::msgwait(int handle) {
+  const auto idx = static_cast<std::uint32_t>(handle) & kReqIdxMask;
+  const auto gen = static_cast<std::uint32_t>(handle) >> 16;
+  if (idx >= reqs_.size() || (reqs_[idx].gen & kReqGenMask) != gen ||
+      !reqs_[idx].active) {
+    throw std::invalid_argument("chant::msgwait: stale or invalid handle");
+  }
+  ChantReq& r = reqs_[idx];
+  try {
+    block_until(r.wait);
+  } catch (...) {
+    if (!r.wait.done) {
+      ep_.cancel_recv(r.wait.nxh);
+      r.active = false;
+      ++r.gen;
+      free_reqs_.push_back(idx);
+    }
+    throw;
+  }
+  MsgInfo mi = decode(r.wait.hdr);
+  r.active = false;
+  ++r.gen;
+  free_reqs_.push_back(idx);
+  return mi;
+}
+
+}  // namespace chant

@@ -1,0 +1,220 @@
+// pthread_chanter.cpp — the Appendix-A C interface (paper Fig. 14),
+// implemented as a veneer over chant::Runtime. Error reporting follows
+// pthreads (0 / errno values); C++ exceptions from the runtime are
+// translated at this boundary.
+#include "chant/pthread_chanter.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <new>
+#include <stdexcept>
+
+#include "chant/runtime.hpp"
+
+using chant::Gid;
+using chant::Runtime;
+
+extern "C" const pthread_chanter_t PTHREAD_CHANTER_ANY = {-1, -1, -1};
+
+namespace {
+
+Runtime* rt_or_null() { return Runtime::current(); }
+
+int translate_exception() {
+  try {
+    throw;
+  } catch (const std::invalid_argument&) {
+    return ERANGE;
+  } catch (const std::logic_error&) {
+    return EINVAL;
+  } catch (const std::bad_alloc&) {
+    return ENOMEM;
+  } catch (const std::exception&) {
+    return EAGAIN;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+int pthread_chanter_create(pthread_chanter_t* thread,
+                           const pthread_chanter_attr_t* attr,
+                           void* (*start_routine)(void*), void* arg, int pe,
+                           int process) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr || thread == nullptr || start_routine == nullptr) {
+    return EINVAL;
+  }
+  chant::SpawnOptions so;
+  if (attr != nullptr) {
+    so.stack_size = attr->stack_size;
+    so.priority = attr->priority;
+    so.detached = attr->detached != 0;
+  }
+  try {
+    *thread = rt->create(start_routine, arg, pe, process, so);
+    return 0;
+  } catch (const lwt::CancelInterrupt&) {
+    throw;
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
+int pthread_chanter_join(const pthread_chanter_t* thread, void** status) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr || thread == nullptr) return EINVAL;
+  int err = 0;
+  void* rv = rt->join(*thread, &err);
+  if (err == 0 && status != nullptr) *status = rv;
+  return err;
+}
+
+int pthread_chanter_detach(const pthread_chanter_t* thread) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr || thread == nullptr) return EINVAL;
+  return rt->detach(*thread);
+}
+
+void pthread_chanter_exit(void* value_ptr) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr) {
+    std::fprintf(stderr, "pthread_chanter_exit outside a chant runtime\n");
+    std::abort();
+  }
+  rt->exit_thread(value_ptr);
+}
+
+void pthread_chanter_yield(void) {
+  Runtime* rt = rt_or_null();
+  if (rt != nullptr) rt->yield();
+}
+
+pthread_chanter_t* pthread_chanter_self(void) {
+  // The gid lives in the thread's registry record, so the pointer stays
+  // valid for the thread's lifetime, as the paper's interface implies.
+  static thread_local pthread_chanter_t anon{-1, -1, -1};
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr) return &anon;
+  lwt::Tcb* me = lwt::Scheduler::self();
+  if (me == nullptr || me->user == nullptr) {
+    anon = rt->self();
+    return &anon;
+  }
+  // ThreadRec's first member is the tcb; expose the gid via Runtime.
+  static thread_local pthread_chanter_t cur;
+  cur = rt->self();
+  return &cur;
+}
+
+int pthread_chanter_pthread(const pthread_chanter_t* thread) {
+  return thread != nullptr ? thread->thread : -1;
+}
+
+int pthread_chanter_pe(const pthread_chanter_t* thread) {
+  return thread != nullptr ? thread->pe : -1;
+}
+
+int pthread_chanter_process(const pthread_chanter_t* thread) {
+  return thread != nullptr ? thread->process : -1;
+}
+
+int pthread_chanter_equal(const pthread_chanter_t* t1,
+                          const pthread_chanter_t* t2) {
+  if (t1 == nullptr || t2 == nullptr) return 0;
+  return (*t1 == *t2) ? 1 : 0;
+}
+
+int pthread_chanter_cancel(const pthread_chanter_t* thread) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr || thread == nullptr) return EINVAL;
+  return rt->cancel(*thread);
+}
+
+int pthread_chanter_setprio(const pthread_chanter_t* thread, int priority) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr || thread == nullptr) return EINVAL;
+  return rt->set_priority(*thread, priority);
+}
+
+int pthread_chanter_getprio(const pthread_chanter_t* thread, int* priority) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr || thread == nullptr || priority == nullptr) {
+    return EINVAL;
+  }
+  return rt->get_priority(*thread, priority);
+}
+
+int pthread_chanter_send(int type, const char* buf, int count,
+                         const pthread_chanter_t* thread) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr || thread == nullptr || count < 0) return EINVAL;
+  try {
+    rt->send(type, buf, static_cast<std::size_t>(count), *thread);
+    return 0;
+  } catch (const lwt::CancelInterrupt&) {
+    throw;
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
+int pthread_chanter_recv(int type, char* buf, int count,
+                         pthread_chanter_t* thread) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr || thread == nullptr || count < 0) return EINVAL;
+  try {
+    const chant::MsgInfo mi =
+        rt->recv(type, buf, static_cast<std::size_t>(count), *thread);
+    if (chant::is_any(*thread)) *thread = mi.src;
+    return 0;
+  } catch (const lwt::CancelInterrupt&) {
+    throw;
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
+int pthread_chanter_irecv(int* handle, int type, char* buf, int count,
+                          pthread_chanter_t* thread) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr || handle == nullptr || thread == nullptr || count < 0) {
+    return EINVAL;
+  }
+  try {
+    *handle = rt->irecv(type, buf, static_cast<std::size_t>(count), *thread);
+    return 0;
+  } catch (const lwt::CancelInterrupt&) {
+    throw;
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
+int pthread_chanter_msgtest(int handle) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr) return -EINVAL;
+  try {
+    return rt->msgtest(handle) ? 1 : 0;
+  } catch (const lwt::CancelInterrupt&) {
+    throw;
+  } catch (...) {
+    return -translate_exception();
+  }
+}
+
+int pthread_chanter_msgwait(int handle) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr) return EINVAL;
+  try {
+    (void)rt->msgwait(handle);
+    return 0;
+  } catch (const lwt::CancelInterrupt&) {
+    throw;
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
+}  // extern "C"

@@ -1,0 +1,212 @@
+// pthread_chanter_sync.cpp — attributes, mutexes, condition variables,
+// thread-local data and once-init for the Appendix-A C interface.
+#include "chant/pthread_chanter_sync.h"
+
+#include <cerrno>
+#include <new>
+
+#include "chant/pthread_chanter.h"
+#include "chant/runtime.hpp"
+#include "lwt/lwt.hpp"
+
+namespace {
+
+lwt::Scheduler* sched_or_null() {
+  chant::Runtime* rt = chant::Runtime::current();
+  return rt != nullptr ? &rt->scheduler() : lwt::Scheduler::current();
+}
+
+lwt::Mutex* mu(pthread_chanter_mutex_t* m) {
+  return m != nullptr ? static_cast<lwt::Mutex*>(m->impl) : nullptr;
+}
+lwt::CondVar* cv(pthread_chanter_cond_t* c) {
+  return c != nullptr ? static_cast<lwt::CondVar*>(c->impl) : nullptr;
+}
+
+}  // namespace
+
+extern "C" {
+
+// ------------------------------------------------------------- attributes
+
+int pthread_chanter_attr_init(pthread_chanter_attr_t* attr) {
+  if (attr == nullptr) return EINVAL;
+  attr->stack_size = 0;  // runtime default
+  attr->priority = lwt::kDefaultPriority;
+  attr->detached = 0;
+  return 0;
+}
+
+int pthread_chanter_attr_destroy(pthread_chanter_attr_t* attr) {
+  return attr == nullptr ? EINVAL : 0;
+}
+
+int pthread_chanter_attr_setstacksize(pthread_chanter_attr_t* attr,
+                                      size_t stack_size) {
+  if (attr == nullptr) return EINVAL;
+  attr->stack_size = stack_size;
+  return 0;
+}
+
+int pthread_chanter_attr_getstacksize(const pthread_chanter_attr_t* attr,
+                                      size_t* stack_size) {
+  if (attr == nullptr || stack_size == nullptr) return EINVAL;
+  *stack_size = attr->stack_size;
+  return 0;
+}
+
+int pthread_chanter_attr_setprio(pthread_chanter_attr_t* attr, int priority) {
+  if (attr == nullptr || priority < 0 || priority >= lwt::kNumPriorities) {
+    return EINVAL;
+  }
+  attr->priority = priority;
+  return 0;
+}
+
+int pthread_chanter_attr_getprio(const pthread_chanter_attr_t* attr,
+                                 int* priority) {
+  if (attr == nullptr || priority == nullptr) return EINVAL;
+  *priority = attr->priority;
+  return 0;
+}
+
+int pthread_chanter_attr_setdetachstate(pthread_chanter_attr_t* attr,
+                                        int detached) {
+  if (attr == nullptr) return EINVAL;
+  attr->detached = detached;
+  return 0;
+}
+
+// ------------------------------------------------------------------ mutex
+
+int pthread_chanter_mutex_init(pthread_chanter_mutex_t* m) {
+  if (m == nullptr) return EINVAL;
+  m->impl = new (std::nothrow) lwt::Mutex;
+  return m->impl != nullptr ? 0 : ENOMEM;
+}
+
+int pthread_chanter_mutex_destroy(pthread_chanter_mutex_t* m) {
+  lwt::Mutex* x = mu(m);
+  if (x == nullptr) return EINVAL;
+  if (x->locked()) return EBUSY;
+  delete x;
+  m->impl = nullptr;
+  return 0;
+}
+
+int pthread_chanter_mutex_lock(pthread_chanter_mutex_t* m) {
+  lwt::Mutex* x = mu(m);
+  if (x == nullptr || sched_or_null() == nullptr) return EINVAL;
+  x->lock();
+  return 0;
+}
+
+int pthread_chanter_mutex_trylock(pthread_chanter_mutex_t* m) {
+  lwt::Mutex* x = mu(m);
+  if (x == nullptr || sched_or_null() == nullptr) return EINVAL;
+  return x->try_lock() ? 0 : EBUSY;
+}
+
+int pthread_chanter_mutex_unlock(pthread_chanter_mutex_t* m) {
+  lwt::Mutex* x = mu(m);
+  if (x == nullptr) return EINVAL;
+  if (x->owner() != lwt::Scheduler::self()) return EPERM;
+  x->unlock();
+  return 0;
+}
+
+// --------------------------------------------------------------- condvars
+
+int pthread_chanter_cond_init(pthread_chanter_cond_t* c) {
+  if (c == nullptr) return EINVAL;
+  c->impl = new (std::nothrow) lwt::CondVar;
+  return c->impl != nullptr ? 0 : ENOMEM;
+}
+
+int pthread_chanter_cond_destroy(pthread_chanter_cond_t* c) {
+  lwt::CondVar* x = cv(c);
+  if (x == nullptr) return EINVAL;
+  if (x->waiting() != 0) return EBUSY;
+  delete x;
+  c->impl = nullptr;
+  return 0;
+}
+
+int pthread_chanter_cond_wait(pthread_chanter_cond_t* c,
+                              pthread_chanter_mutex_t* m) {
+  lwt::CondVar* x = cv(c);
+  lwt::Mutex* y = mu(m);
+  if (x == nullptr || y == nullptr) return EINVAL;
+  if (y->owner() != lwt::Scheduler::self()) return EPERM;
+  x->wait(*y);
+  return 0;
+}
+
+int pthread_chanter_cond_signal(pthread_chanter_cond_t* c) {
+  lwt::CondVar* x = cv(c);
+  if (x == nullptr) return EINVAL;
+  x->signal();
+  return 0;
+}
+
+int pthread_chanter_cond_broadcast(pthread_chanter_cond_t* c) {
+  lwt::CondVar* x = cv(c);
+  if (x == nullptr) return EINVAL;
+  x->broadcast();
+  return 0;
+}
+
+// -------------------------------------------------------------------- tls
+
+int pthread_chanter_key_create(pthread_chanter_key_t* key,
+                               void (*destructor)(void*)) {
+  lwt::Scheduler* s = sched_or_null();
+  if (key == nullptr || s == nullptr) return EINVAL;
+  const int k = s->key_create(destructor);
+  if (k < 0) return EAGAIN;
+  *key = k;
+  return 0;
+}
+
+int pthread_chanter_key_delete(pthread_chanter_key_t key) {
+  lwt::Scheduler* s = sched_or_null();
+  if (s == nullptr || key < 0 ||
+      key >= static_cast<int>(lwt::kMaxTlsKeys)) {
+    return EINVAL;
+  }
+  s->key_delete(key);
+  return 0;
+}
+
+int pthread_chanter_setspecific(pthread_chanter_key_t key,
+                                const void* value) {
+  lwt::Scheduler* s = sched_or_null();
+  if (s == nullptr || key < 0 ||
+      key >= static_cast<int>(lwt::kMaxTlsKeys)) {
+    return EINVAL;
+  }
+  s->set_specific(key, const_cast<void*>(value));
+  return 0;
+}
+
+void* pthread_chanter_getspecific(pthread_chanter_key_t key) {
+  lwt::Scheduler* s = sched_or_null();
+  if (s == nullptr) return nullptr;
+  return s->get_specific(key);
+}
+
+// ------------------------------------------------------------------- once
+
+int pthread_chanter_once(pthread_chanter_once_t* once, void (*init)(void)) {
+  if (once == nullptr || init == nullptr || sched_or_null() == nullptr) {
+    return EINVAL;
+  }
+  // Lazy impl creation is safe: all threads of one process share one OS
+  // thread, and fibers only interleave at scheduling points.
+  if (once->impl == nullptr) once->impl = new (std::nothrow) lwt::Once;
+  if (once->impl == nullptr) return ENOMEM;
+  static_cast<lwt::Once*>(once->impl)->call(init);
+  return 0;
+}
+
+}  // extern "C"

@@ -1,0 +1,368 @@
+// remote.cpp — global thread operations (paper §3.3).
+//
+// Thread primitives that take or return global thread identifiers must
+// cope with remote threads. Local targets go straight to the lwt layer;
+// remote targets become remote service requests to the destination
+// process's server thread — precisely the paper's design ("Chant
+// utilizes the server thread and the remote service request mechanism to
+// implement primitives which may require the cooperation of a remote
+// processing element"). A remote join, whose handler must block, defers
+// its reply to a helper fiber so the server stays responsive.
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "chant/runtime.hpp"
+#include "wire.hpp"
+
+namespace chant {
+
+namespace {
+
+/// Heap context for marshalled remote creations: the destination owns a
+/// copy of the argument bytes for the lifetime of the thread.
+struct MarshalCtx {
+  Runtime* rt;
+  Runtime::MarshalledEntry entry;
+  std::vector<std::uint8_t> data;
+};
+
+void* marshal_tramp(void* p) {
+  std::unique_ptr<MarshalCtx> ctx(static_cast<MarshalCtx*>(p));
+  ctx->entry(*ctx->rt, ctx->data.data(), ctx->data.size());
+  return nullptr;
+}
+
+void h_shutdown(Runtime& rt, Runtime::RsrContext&, const void*, std::size_t,
+                std::vector<std::uint8_t>&) {
+  // Raise the stop flag; the server loop re-checks it after dispatch.
+  rt.request_server_stop();
+}
+
+void h_create(Runtime& rt, Runtime::RsrContext&, const void* arg,
+              std::size_t len, std::vector<std::uint8_t>& rep) {
+  wire::CreateReply out;
+  wire::Create req;
+  if (len < sizeof req) {
+    out.status = EINVAL;
+  } else {
+    std::memcpy(&req, arg, sizeof req);
+    SpawnOptions so;
+    so.stack_size = static_cast<std::size_t>(req.stack_size);
+    so.priority = req.priority;
+    so.detached = req.detached != 0;
+    if (req.marshalled_entry != 0) {
+      auto ctx = std::make_unique<MarshalCtx>();
+      ctx->rt = &rt;
+      ctx->entry = reinterpret_cast<Runtime::MarshalledEntry>(
+          static_cast<std::uintptr_t>(req.marshalled_entry));
+      const auto* bytes = static_cast<const std::uint8_t*>(arg) + sizeof req;
+      ctx->data.assign(bytes, bytes + req.payload_len);
+      out.gid = rt.spawn_wrapped(&marshal_tramp, ctx.release(), so);
+    } else {
+      out.gid = rt.spawn_wrapped(
+          req.entry, reinterpret_cast<void*>(req.arg), so);
+    }
+    out.status = 0;
+  }
+  rep.resize(sizeof out);
+  std::memcpy(rep.data(), &out, sizeof out);
+}
+
+void h_join(Runtime& rt, Runtime::RsrContext& ctx, const void* arg,
+            std::size_t len, std::vector<std::uint8_t>& rep) {
+  wire::Lid req;
+  if (len < sizeof req) {
+    wire::JoinReply out;
+    out.status = EINVAL;
+    rep.resize(sizeof out);
+    std::memcpy(rep.data(), &out, sizeof out);
+    return;
+  }
+  std::memcpy(&req, arg, sizeof req);
+  // Joining blocks, and the server thread must not block on behalf of one
+  // client: defer the reply to a helper fiber (paper §3.3 pattern).
+  ctx.deferred = true;
+  const Runtime::RsrContext saved = ctx;
+  const int lid = req.lid;
+  lwt::ThreadAttr attr;
+  attr.stack_size = 64 * 1024;
+  attr.detached = true;
+  attr.name = "join-helper";
+  lwt::go(
+      [&rt, saved, lid] {
+        wire::JoinReply out;
+        int err = 0;
+        void* rv = rt.join_for_rsr(lid, &err);
+        out.status = err;
+        out.canceled = (rv == lwt::kCanceled) ? 1 : 0;
+        out.retval = static_cast<std::uint64_t>(
+            reinterpret_cast<std::uintptr_t>(rv));
+        rt.reply(saved, &out, sizeof out);
+      },
+      attr);
+}
+
+void h_cancel(Runtime& rt, Runtime::RsrContext&, const void* arg,
+              std::size_t len, std::vector<std::uint8_t>& rep) {
+  wire::Status out;
+  wire::Lid req;
+  if (len < sizeof req) {
+    out.status = EINVAL;
+  } else {
+    std::memcpy(&req, arg, sizeof req);
+    out.status = rt.cancel_local(req.lid);
+  }
+  rep.resize(sizeof out);
+  std::memcpy(rep.data(), &out, sizeof out);
+}
+
+void h_detach(Runtime& rt, Runtime::RsrContext&, const void* arg,
+              std::size_t len, std::vector<std::uint8_t>& rep) {
+  wire::Status out;
+  wire::Lid req;
+  if (len < sizeof req) {
+    out.status = EINVAL;
+  } else {
+    std::memcpy(&req, arg, sizeof req);
+    out.status = rt.detach_local(req.lid);
+  }
+  rep.resize(sizeof out);
+  std::memcpy(rep.data(), &out, sizeof out);
+}
+
+void h_setprio(Runtime& rt, Runtime::RsrContext&, const void* arg,
+               std::size_t len, std::vector<std::uint8_t>& rep) {
+  wire::Status out;
+  wire::Prio req;
+  if (len < sizeof req) {
+    out.status = EINVAL;
+  } else {
+    std::memcpy(&req, arg, sizeof req);
+    out.status = rt.set_priority_local(req.lid, req.priority);
+  }
+  rep.resize(sizeof out);
+  std::memcpy(rep.data(), &out, sizeof out);
+}
+
+void h_getprio(Runtime& rt, Runtime::RsrContext&, const void* arg,
+               std::size_t len, std::vector<std::uint8_t>& rep) {
+  wire::PrioReply out;
+  wire::Lid req;
+  if (len < sizeof req) {
+    out.status = EINVAL;
+  } else {
+    std::memcpy(&req, arg, sizeof req);
+    out.status = rt.get_priority_local(req.lid, &out.priority);
+  }
+  rep.resize(sizeof out);
+  std::memcpy(rep.data(), &out, sizeof out);
+}
+
+}  // namespace
+
+void Runtime::install_builtin_handlers() {
+  handlers_.assign(wire::kFirstUserHandler, nullptr);
+  handlers_[wire::kHShutdown] = &h_shutdown;
+  handlers_[wire::kHCreate] = &h_create;
+  handlers_[wire::kHJoin] = &h_join;
+  handlers_[wire::kHCancel] = &h_cancel;
+  handlers_[wire::kHDetach] = &h_detach;
+  handlers_[wire::kHSetPrio] = &h_setprio;
+  handlers_[wire::kHGetPrio] = &h_getprio;
+}
+
+// ----------------------------------------------------------- local sides
+
+bool Runtime::is_local(const Gid& g) const {
+  return g.pe == pe() && g.process == process();
+}
+
+void* Runtime::join_local(int lid, int* err) {
+  ThreadRec* rec = find(lid);
+  if (rec == nullptr || rec->join_committed || rec->detached) {
+    *err = ESRCH;
+    return nullptr;
+  }
+  if (rec->tcb == lwt::Scheduler::self()) {
+    *err = EDEADLK;
+    return nullptr;
+  }
+  rec->join_committed = true;
+  void* rv = sched_.join(rec->tcb);
+  threads_.erase(lid);
+  free_lid(lid);
+  *err = 0;
+  return rv;
+}
+
+void* Runtime::join_for_rsr(int lid, int* err) { return join_local(lid, err); }
+
+int Runtime::cancel_local(int lid) {
+  ThreadRec* rec = find(lid);
+  if (rec == nullptr || rec->finished) return ESRCH;
+  sched_.cancel(rec->tcb);
+  return 0;
+}
+
+int Runtime::set_priority_local(int lid, int priority) {
+  ThreadRec* rec = find(lid);
+  if (rec == nullptr || rec->finished) return ESRCH;
+  if (priority < 0 || priority >= lwt::kNumPriorities) return EINVAL;
+  sched_.set_priority(rec->tcb, priority);
+  return 0;
+}
+
+int Runtime::get_priority_local(int lid, int* priority) {
+  ThreadRec* rec = find(lid);
+  if (rec == nullptr || rec->finished) return ESRCH;
+  *priority = rec->tcb->priority;
+  return 0;
+}
+
+int Runtime::detach_local(int lid) {
+  ThreadRec* rec = find(lid);
+  if (rec == nullptr || rec->join_committed) return ESRCH;
+  if (rec->detached) return EINVAL;
+  rec->detached = true;
+  if (rec->finished) {
+    sched_.detach(rec->tcb);  // reaps the zombie
+    threads_.erase(lid);
+    free_lid(lid);
+    return 0;
+  }
+  sched_.detach(rec->tcb);
+  return 0;
+}
+
+// --------------------------------------------------------- public (global)
+
+Gid Runtime::create(lwt::EntryFn entry, void* arg, int dst_pe,
+                    int dst_process, const SpawnOptions& opts) {
+  if (dst_pe == PTHREAD_CHANTER_LOCAL) dst_pe = pe();
+  if (dst_process == PTHREAD_CHANTER_LOCAL) dst_process = process();
+  if (dst_pe == pe() && dst_process == process()) {
+    return spawn_wrapped(entry, arg, opts);
+  }
+  wire::Create req;
+  req.entry = entry;
+  req.arg = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(arg));
+  req.stack_size = opts.stack_size;
+  req.priority = opts.priority;
+  req.detached = opts.detached ? 1 : 0;
+  const std::vector<std::uint8_t> rep =
+      call(dst_pe, dst_process, wire::kHCreate, &req, sizeof req);
+  wire::CreateReply out;
+  if (rep.size() < sizeof out) {
+    throw std::runtime_error("chant::create: malformed reply");
+  }
+  std::memcpy(&out, rep.data(), sizeof out);
+  if (out.status != 0) {
+    throw std::runtime_error("chant::create: remote creation failed");
+  }
+  return out.gid;
+}
+
+Gid Runtime::create_marshalled(MarshalledEntry entry, const void* arg,
+                               std::size_t len, int dst_pe, int dst_process,
+                               const SpawnOptions& opts) {
+  if (dst_pe == PTHREAD_CHANTER_LOCAL) dst_pe = pe();
+  if (dst_process == PTHREAD_CHANTER_LOCAL) dst_process = process();
+  if (dst_pe == pe() && dst_process == process()) {
+    // Local shortcut: same ownership semantics as the remote path.
+    auto ctx = std::make_unique<MarshalCtx>();
+    ctx->rt = this;
+    ctx->entry = entry;
+    const auto* bytes = static_cast<const std::uint8_t*>(arg);
+    ctx->data.assign(bytes, bytes + len);
+    return spawn_wrapped(&marshal_tramp, ctx.release(), opts);
+  }
+  wire::Create req;
+  req.marshalled_entry = static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(entry));
+  req.stack_size = opts.stack_size;
+  req.priority = opts.priority;
+  req.detached = opts.detached ? 1 : 0;
+  req.payload_len = static_cast<std::uint32_t>(len);
+  std::vector<std::uint8_t> msg(sizeof req + len);
+  std::memcpy(msg.data(), &req, sizeof req);
+  if (len > 0) std::memcpy(msg.data() + sizeof req, arg, len);
+  const std::vector<std::uint8_t> rep =
+      call(dst_pe, dst_process, wire::kHCreate, msg.data(), msg.size());
+  wire::CreateReply out;
+  if (rep.size() < sizeof out) {
+    throw std::runtime_error("chant::create_marshalled: malformed reply");
+  }
+  std::memcpy(&out, rep.data(), sizeof out);
+  if (out.status != 0) {
+    throw std::runtime_error("chant::create_marshalled: remote failure");
+  }
+  return out.gid;
+}
+
+void* Runtime::join(const Gid& g, int* err) {
+  int local_err = 0;
+  int* e = err != nullptr ? err : &local_err;
+  if (is_local(g)) {
+    return join_local(g.thread, e);
+  }
+  wire::Lid req{g.thread};
+  const std::vector<std::uint8_t> rep =
+      call(g.pe, g.process, wire::kHJoin, &req, sizeof req);
+  wire::JoinReply out;
+  if (rep.size() < sizeof out) {
+    *e = EINVAL;
+    return nullptr;
+  }
+  std::memcpy(&out, rep.data(), sizeof out);
+  *e = out.status;
+  if (out.status != 0) return nullptr;
+  if (out.canceled != 0) return lwt::kCanceled;
+  return reinterpret_cast<void*>(static_cast<std::uintptr_t>(out.retval));
+}
+
+int Runtime::cancel(const Gid& g) {
+  if (is_local(g)) return cancel_local(g.thread);
+  wire::Lid req{g.thread};
+  const std::vector<std::uint8_t> rep =
+      call(g.pe, g.process, wire::kHCancel, &req, sizeof req);
+  wire::Status out{EINVAL};
+  if (rep.size() >= sizeof out) std::memcpy(&out, rep.data(), sizeof out);
+  return out.status;
+}
+
+int Runtime::detach(const Gid& g) {
+  if (is_local(g)) return detach_local(g.thread);
+  wire::Lid req{g.thread};
+  const std::vector<std::uint8_t> rep =
+      call(g.pe, g.process, wire::kHDetach, &req, sizeof req);
+  wire::Status out{EINVAL};
+  if (rep.size() >= sizeof out) std::memcpy(&out, rep.data(), sizeof out);
+  return out.status;
+}
+
+int Runtime::set_priority(const Gid& g, int priority) {
+  if (is_local(g)) return set_priority_local(g.thread, priority);
+  wire::Prio req{g.thread, priority};
+  const std::vector<std::uint8_t> rep =
+      call(g.pe, g.process, wire::kHSetPrio, &req, sizeof req);
+  wire::Status out{EINVAL};
+  if (rep.size() >= sizeof out) std::memcpy(&out, rep.data(), sizeof out);
+  return out.status;
+}
+
+int Runtime::get_priority(const Gid& g, int* priority) {
+  if (priority == nullptr) return EINVAL;
+  if (is_local(g)) return get_priority_local(g.thread, priority);
+  wire::Lid req{g.thread};
+  const std::vector<std::uint8_t> rep =
+      call(g.pe, g.process, wire::kHGetPrio, &req, sizeof req);
+  wire::PrioReply out{EINVAL, 0};
+  if (rep.size() >= sizeof out) std::memcpy(&out, rep.data(), sizeof out);
+  if (out.status == 0) *priority = out.priority;
+  return out.status;
+}
+
+}  // namespace chant

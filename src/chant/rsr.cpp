@@ -1,0 +1,230 @@
+// rsr.cpp — remote service requests (paper §3.2).
+//
+// Unannounced messages are received by a dedicated, priority-boosted
+// *server thread* per process (paper Fig. 7). The server repeatedly
+// blocks (under the normal polling policy) on a wildcard receive for
+// RSR-tagged messages, dispatches the registered handler, and — unless
+// the handler deferred the reply to a helper thread — sends the reply
+// back to the requesting thread as an ordinary point-to-point message.
+//
+// Synchronous calls are built on the asynchronous machinery: call_async
+// pre-posts the reply receive (tagged with a per-request sequence number
+// so out-of-order replies pair correctly), ships the request, and hands
+// back a handle; call_wait blocks under the configured polling policy.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "chant/runtime.hpp"
+#include "wire.hpp"
+
+namespace chant {
+
+int Runtime::register_handler(Handler h) {
+  handlers_.push_back(h);
+  return static_cast<int>(handlers_.size()) - 1;
+}
+
+void Runtime::server_loop() {
+  std::vector<std::uint8_t> buf(sizeof(wire::Rsr) + cfg_.rsr_buffer_size);
+  while (!server_stop_) {
+    const MsgInfo mi = recv_blocking(kTagRsr, buf.data(), buf.size(),
+                                     kAnyThread, /*internal=*/true);
+    if (mi.truncated || mi.len < sizeof(wire::Rsr)) {
+      std::fprintf(stderr, "chant: malformed RSR (%zu bytes) dropped\n",
+                   mi.len);
+      continue;
+    }
+    wire::Rsr req;
+    std::memcpy(&req, buf.data(), sizeof req);
+    const std::uint8_t* body = buf.data() + sizeof req;
+    const std::size_t body_len = mi.len - sizeof req;
+
+    RsrContext ctx{req.from, req.needs_reply != 0, false, req.reply_seq};
+    if (req.handler < 0 ||
+        req.handler >= static_cast<int>(handlers_.size()) ||
+        handlers_[static_cast<std::size_t>(req.handler)] == nullptr) {
+      std::fprintf(stderr, "chant: RSR for unknown handler %d dropped\n",
+                   req.handler);
+      if (ctx.needs_reply) {
+        wire::Status st{EINVAL};
+        reply(ctx, &st, sizeof st);
+      }
+      continue;
+    }
+    std::vector<std::uint8_t> rep;
+    // Paper §3.2: on receipt of a request the server assumes a higher
+    // priority so the dispatch (and its reply traffic) preempts queued
+    // computation threads at every scheduling point it crosses.
+    lwt::Tcb* me = lwt::Scheduler::self();
+    const int base_prio = me->priority;
+    if (cfg_.server_high_priority) {
+      sched_.set_priority(me, lwt::kServerPriority);
+    }
+    handlers_[static_cast<std::size_t>(req.handler)](*this, ctx, body,
+                                                     body_len, rep);
+    if (ctx.needs_reply && !ctx.deferred) {
+      reply(ctx, rep.data(), rep.size());
+    }
+    if (cfg_.server_high_priority &&
+        cfg_.policy == PollPolicy::ThreadPolls) {
+      sched_.set_priority(me, base_prio);
+    }
+  }
+}
+
+void Runtime::reply(const RsrContext& ctx, const void* data,
+                    std::size_t len) {
+  wire::Reply hdr;
+  hdr.len = static_cast<std::uint32_t>(len);
+  if (len <= wire::kInlineReply) {
+    std::vector<std::uint8_t> msg(sizeof hdr + len);
+    std::memcpy(msg.data(), &hdr, sizeof hdr);
+    if (len > 0) std::memcpy(msg.data() + sizeof hdr, data, len);
+    send_from(kServerLid, rsr_reply_tag(ctx.reply_seq), msg.data(),
+              msg.size(), ctx.from, /*internal=*/true);
+    return;
+  }
+  hdr.tail = 1;
+  send_from(kServerLid, rsr_reply_tag(ctx.reply_seq), &hdr, sizeof hdr,
+            ctx.from, /*internal=*/true);
+  send_from(kServerLid, rsr_tail_tag(ctx.reply_seq), data, len, ctx.from,
+            /*internal=*/true);
+}
+
+int Runtime::call_async(int dst_pe, int dst_process, int handler,
+                        const void* arg, std::size_t len) {
+  if (len > cfg_.rsr_buffer_size) {
+    throw std::invalid_argument("chant: RSR payload exceeds rsr_buffer_size");
+  }
+  const Gid me = self();
+  if (me.thread < 0) {
+    throw std::logic_error("chant: RSR call from a fiber with no thread id");
+  }
+  // Allocate the async-call record and its reply sequence number.
+  std::uint32_t idx;
+  if (!free_calls_.empty()) {
+    idx = free_calls_.back();
+    free_calls_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(calls_.size());
+    calls_.emplace_back();  // deque: existing records stay pinned
+  }
+  AsyncCall& c = calls_[idx];
+  c.idx = idx;
+  c.active = true;
+  c.seq = next_reply_seq_;
+  next_reply_seq_ = (next_reply_seq_ + 1) & 0xFFF;
+  c.server = Gid{dst_pe, dst_process, kServerLid};
+  c.rbuf.resize(sizeof(wire::Reply) + wire::kInlineReply);
+  c.wait = WaitCtx{};
+  c.wait.ep = &ep_;
+  // Pre-post the reply receive (zero-copy path) before the request can
+  // possibly be serviced.
+  const TagCodec::Pattern pat = codec_.pattern(
+      me.thread, kServerLid, rsr_reply_tag(c.seq), /*internal=*/true);
+  c.wait.nxh = ep_.irecv(dst_pe, dst_process, pat.tag, pat.tag_mask,
+                         c.rbuf.data(), c.rbuf.size(), pat.channel,
+                         pat.channel_mask);
+
+  wire::Rsr req;
+  req.handler = handler;
+  req.needs_reply = 1;
+  req.reply_seq = c.seq;
+  req.from = me;
+  std::vector<std::uint8_t> msg(sizeof req + len);
+  std::memcpy(msg.data(), &req, sizeof req);
+  if (len > 0) std::memcpy(msg.data() + sizeof req, arg, len);
+  send_from(me.thread, kTagRsr, msg.data(), msg.size(), c.server,
+            /*internal=*/true);
+  // 15 generation bits keep the packed handle non-negative; the
+  // comparison below masks identically so slot reuse wraps safely.
+  return static_cast<int>(((c.gen & 0x7FFFu) << 16) | idx);
+}
+
+Runtime::AsyncCall& Runtime::checked_call(int handle) {
+  const auto idx = static_cast<std::uint32_t>(handle) & 0xFFFFu;
+  const auto gen = static_cast<std::uint32_t>(handle) >> 16;
+  if (idx >= calls_.size() || (calls_[idx].gen & 0x7FFFu) != gen ||
+      !calls_[idx].active) {
+    throw std::invalid_argument("chant: stale or invalid RSR handle");
+  }
+  return calls_[idx];
+}
+
+std::vector<std::uint8_t> Runtime::finish_call(AsyncCall& c) {
+  wire::Reply rep;
+  std::memcpy(&rep, c.rbuf.data(), sizeof rep);
+  std::vector<std::uint8_t> out(rep.len);
+  if (rep.tail == 0) {
+    if (rep.len > 0) {
+      std::memcpy(out.data(), c.rbuf.data() + sizeof rep, rep.len);
+    }
+  } else {
+    // Large reply: the payload follows as its own (ordered) message.
+    const MsgInfo mi = recv_blocking(rsr_tail_tag(c.seq), out.data(),
+                                     out.size(), c.server, /*internal=*/true);
+    if (mi.len != rep.len) {
+      throw std::runtime_error("chant: RSR tail length mismatch");
+    }
+  }
+  c.active = false;
+  ++c.gen;
+  c.rbuf.clear();
+  c.rbuf.shrink_to_fit();
+  free_calls_.push_back(c.idx);
+  return out;
+}
+
+bool Runtime::call_test(int handle, std::vector<std::uint8_t>* reply_out) {
+  AsyncCall& c = checked_call(handle);
+  if (!wait_test(&c.wait)) return false;
+  std::vector<std::uint8_t> out = finish_call(c);
+  if (reply_out != nullptr) *reply_out = std::move(out);
+  return true;
+}
+
+std::vector<std::uint8_t> Runtime::call_wait(int handle) {
+  AsyncCall& c = checked_call(handle);
+  try {
+    block_until(c.wait);
+  } catch (...) {
+    if (!c.wait.done) {
+      ep_.cancel_recv(c.wait.nxh);
+      c.active = false;
+      ++c.gen;
+      free_calls_.push_back(c.idx);
+    }
+    throw;
+  }
+  return finish_call(c);
+}
+
+std::vector<std::uint8_t> Runtime::call(int dst_pe, int dst_process,
+                                        int handler, const void* arg,
+                                        std::size_t len) {
+  return call_wait(call_async(dst_pe, dst_process, handler, arg, len));
+}
+
+void Runtime::post(int dst_pe, int dst_process, int handler, const void* arg,
+                   std::size_t len) {
+  if (len > cfg_.rsr_buffer_size) {
+    throw std::invalid_argument("chant: RSR payload exceeds rsr_buffer_size");
+  }
+  const Gid me = self();
+  wire::Rsr req;
+  req.handler = handler;
+  req.needs_reply = 0;
+  req.from = me;
+  std::vector<std::uint8_t> msg(sizeof req + len);
+  std::memcpy(msg.data(), &req, sizeof req);
+  if (len > 0) std::memcpy(msg.data() + sizeof req, arg, len);
+  // Anonymous helper fibers may post (one-way needs no reply address).
+  const int src_lid = me.thread >= 0 ? me.thread : kServerLid;
+  send_from(src_lid, kTagRsr, msg.data(), msg.size(),
+            Gid{dst_pe, dst_process, kServerLid}, /*internal=*/true);
+}
+
+}  // namespace chant

@@ -1,0 +1,323 @@
+// runtime.cpp — Runtime lifecycle, thread registry, blocking machinery.
+#include "chant/runtime.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+#include "chant/world.hpp"
+
+namespace chant {
+
+namespace {
+thread_local Runtime* tl_runtime = nullptr;
+
+void idle_hook(void*) {
+  // Nothing runnable: the process is waiting on another simulated
+  // process. Back off the OS thread briefly so peers make progress.
+  std::this_thread::yield();
+}
+}  // namespace
+
+const char* to_string(PollPolicy p) noexcept {
+  switch (p) {
+    case PollPolicy::ThreadPolls: return "Thread polls";
+    case PollPolicy::SchedulerPollsWQ: return "Scheduler polls (WQ)";
+    case PollPolicy::SchedulerPollsPS: return "Scheduler polls (PS)";
+  }
+  return "?";
+}
+
+const char* to_string(AddressingMode m) noexcept {
+  switch (m) {
+    case AddressingMode::TagOverload: return "tag-overload";
+    case AddressingMode::HeaderField: return "header-field";
+  }
+  return "?";
+}
+
+Runtime::Runtime(World& world, nx::Endpoint& ep)
+    : world_(world),
+      ep_(ep),
+      cfg_(world.config().rt),
+      codec_(cfg_.addressing),
+      sched_(cfg_.backend) {
+  install_builtin_handlers();
+  for (Handler h : world.user_handlers_) handlers_.push_back(h);
+  if (cfg_.policy == PollPolicy::SchedulerPollsWQ && cfg_.wq_use_testany) {
+    sched_.set_wq_group_poll(&Runtime::wq_group_poll, this);
+  }
+  sched_.set_idle_hook(&idle_hook, nullptr);
+}
+
+Runtime::~Runtime() = default;
+
+Runtime* Runtime::current() { return tl_runtime; }
+
+// ------------------------------------------------------------- registry
+
+int Runtime::alloc_lid() {
+  if (!free_lids_.empty()) {
+    int lid = free_lids_.back();
+    free_lids_.pop_back();
+    return lid;
+  }
+  if (next_lid_ > codec_.max_lid()) {
+    std::fprintf(stderr,
+                 "chant: out of thread ids (max %d in %s addressing)\n",
+                 codec_.max_lid(), to_string(cfg_.addressing));
+    std::abort();
+  }
+  return next_lid_++;
+}
+
+void Runtime::free_lid(int lid) {
+  if (lid >= kFirstUserLid) free_lids_.push_back(lid);
+}
+
+Runtime::ThreadRec& Runtime::register_thread(lwt::Tcb* tcb, int lid) {
+  ThreadRec rec;
+  rec.tcb = tcb;
+  rec.gid = Gid{pe(), process(), lid};
+  auto [it, inserted] = threads_.emplace(lid, rec);
+  if (!inserted) {
+    std::fprintf(stderr, "chant: duplicate lid %d\n", lid);
+    std::abort();
+  }
+  tcb->user = &it->second;
+  return it->second;
+}
+
+Runtime::ThreadRec* Runtime::find(int lid) {
+  auto it = threads_.find(lid);
+  return it == threads_.end() ? nullptr : &it->second;
+}
+
+void Runtime::on_thread_exit(int lid) {
+  ThreadRec* rec = find(lid);
+  if (rec == nullptr) return;
+  rec->finished = true;
+  if (rec->detached) {
+    threads_.erase(lid);
+    free_lid(lid);
+  }
+}
+
+Gid Runtime::self() const {
+  lwt::Tcb* me = lwt::Scheduler::self();
+  if (me != nullptr && me->user != nullptr) {
+    return static_cast<ThreadRec*>(me->user)->gid;
+  }
+  // Anonymous helper fibers (RSR deferred-reply helpers) have no lid.
+  return Gid{pe(), process(), -1};
+}
+
+int Runtime::current_lid() const { return self().thread; }
+
+lwt::Tcb* Runtime::local_tcb(const Gid& g) const {
+  if (g.pe != pe() || g.process != process()) return nullptr;
+  auto it = threads_.find(g.thread);
+  return it == threads_.end() ? nullptr : it->second.tcb;
+}
+
+// ------------------------------------------------------------- spawning
+
+namespace {
+struct ChantEntry {
+  Runtime* rt;
+  lwt::EntryFn fn;
+  void* arg;
+  int lid;
+};
+
+/// RAII so the registry is maintained even when the thread exits by
+/// cancellation or pthread_chanter_exit (both unwind the fiber stack).
+struct ExitGuard {
+  Runtime* rt;
+  int lid;
+  ~ExitGuard();
+};
+}  // namespace
+
+/// Thrown by Runtime::exit_thread; caught in the trampoline so RAII on
+/// the fiber stack runs (stronger than pthread_exit, same spirit).
+struct ThreadExit {
+  void* retval;
+};
+
+void* chant_thread_tramp(void* p) {
+  std::unique_ptr<ChantEntry> e(static_cast<ChantEntry*>(p));
+  ExitGuard guard{e->rt, e->lid};
+  try {
+    return e->fn(e->arg);
+  } catch (const ThreadExit& x) {
+    return x.retval;
+  }
+}
+
+namespace {
+ExitGuard::~ExitGuard() { rt->on_thread_exit(lid); }
+}  // namespace
+
+Gid Runtime::spawn_wrapped(lwt::EntryFn entry, void* arg,
+                           const SpawnOptions& opts, int fixed_lid) {
+  const int lid = fixed_lid >= 0 ? fixed_lid : alloc_lid();
+  auto e = std::make_unique<ChantEntry>(ChantEntry{this, entry, arg, lid});
+  lwt::ThreadAttr attr;
+  attr.stack_size =
+      opts.stack_size != 0 ? opts.stack_size : cfg_.default_stack_size;
+  attr.priority = opts.priority;
+  attr.name = opts.name;
+  // lwt-level detach is requested through detach() so the registry and
+  // the scheduler agree; the chant-level flag lives in the record.
+  lwt::Tcb* tcb = sched_.spawn(&chant_thread_tramp, e.release(), attr);
+  ThreadRec& rec = register_thread(tcb, lid);
+  if (opts.detached) {
+    rec.detached = true;
+    sched_.detach(tcb);
+  }
+  return rec.gid;
+}
+
+void Runtime::yield() { sched_.yield(); }
+
+void Runtime::exit_thread(void* retval) {
+  if (lwt::Scheduler::self() == nullptr) {
+    std::fprintf(stderr, "chant: exit_thread outside a thread\n");
+    std::abort();
+  }
+  throw ThreadExit{retval};
+}
+
+// ----------------------------------------------------- blocking machinery
+
+bool Runtime::wait_test(void* ctx) {
+  auto* w = static_cast<WaitCtx*>(ctx);
+  if (w->done) return true;
+  if (w->ep->msgtest(w->nxh, &w->hdr)) {
+    w->done = true;
+    return true;
+  }
+  return false;
+}
+
+void Runtime::block_until(WaitCtx& w) {
+  const lwt::PollRequest req{&Runtime::wait_test, &w};
+  switch (cfg_.policy) {
+    case PollPolicy::ThreadPolls:
+      sched_.poll_block_tp(req);
+      return;
+    case PollPolicy::SchedulerPollsPS:
+      sched_.poll_block_ps(req);
+      return;
+    case PollPolicy::SchedulerPollsWQ: {
+      if (cfg_.wq_use_testany) wq_waits_.push_back(&w);
+      try {
+        sched_.poll_block_wq(req);
+      } catch (...) {
+        std::erase(wq_waits_, &w);
+        throw;
+      }
+      if (cfg_.wq_use_testany) std::erase(wq_waits_, &w);
+      return;
+    }
+  }
+}
+
+std::size_t Runtime::wq_group_poll(void* rt_, lwt::Scheduler& sched) {
+  auto* rt = static_cast<Runtime*>(rt_);
+  auto& ws = rt->wq_waits_;
+  if (ws.empty()) return 0;
+  // One msgtestany per scheduling point — the MPI-style WQ the paper
+  // hypothesised would repair the algorithm's msgtest blow-up (§4.2).
+  std::vector<nx::Handle> hs;
+  hs.reserve(ws.size());
+  for (WaitCtx* w : ws) hs.push_back(w->done ? nx::kInvalidHandle : w->nxh);
+  nx::MsgHeader hdr;
+  const int idx = rt->ep_.msgtestany(hs.data(), hs.size(), &hdr);
+  if (idx < 0) return 0;
+  WaitCtx* w = ws[static_cast<std::size_t>(idx)];
+  w->hdr = hdr;
+  w->done = true;
+  ws.erase(ws.begin() + idx);
+  sched.wq_complete(w);
+  return 1;
+}
+
+// --------------------------------------------------------- process main
+
+namespace {
+struct MainCtx {
+  Runtime* rt;
+  const std::function<void(Runtime&)>* fn;
+};
+}  // namespace
+
+void* chant_server_tramp(void* p) {
+  static_cast<Runtime*>(p)->server_loop();
+  return nullptr;
+}
+
+namespace {
+void* chant_main_tramp(void* p) {
+  auto* mc = static_cast<MainCtx*>(p);
+  Runtime& rt = *mc->rt;
+  rt.register_thread(lwt::Scheduler::self(), kMainLid);
+  lwt::Tcb* server = nullptr;
+  if (rt.config().start_server) {
+    SpawnOptions so;
+    // Under the scheduler-polling policies the waiting server is parked,
+    // so a permanently high priority gives the paper's "scheduled at the
+    // next context-switch point" behaviour for free. Under Thread-polls
+    // the server actively re-runs to poll — a high-priority poller would
+    // starve every computation thread — so it polls at normal priority
+    // and boosts itself only once a request has been received
+    // (server_loop), which is the paper's §3.2 wording exactly.
+    const bool park_high =
+        rt.config().server_high_priority &&
+        rt.config().policy != PollPolicy::ThreadPolls;
+    so.priority = park_high ? lwt::kServerPriority : lwt::kDefaultPriority;
+    so.name = "chant-server";
+    rt.spawn_wrapped(&chant_server_tramp, &rt, so, kServerLid);
+    server = rt.local_tcb(Gid{rt.pe(), rt.process(), kServerLid});
+  }
+  (*mc->fn)(rt);
+  // Termination protocol: a process may not stop serving RSRs until
+  // every process's main has returned (a peer might still be joining a
+  // thread we host). Main parks on a policy-independent scheduler wait,
+  // so it neither starves leftover lower-priority threads (they still
+  // get the pe) nor can be starved by higher-priority pollers (the
+  // scheduler tests parked waits at every point, including while idle).
+  World& world = rt.world();
+  world.note_main_done();
+  const lwt::PollRequest all_done{
+      [](void* w) {
+        auto* wld = static_cast<World*>(w);
+        return wld->mains_done() >= wld->total_processes();
+      },
+      &world};
+  rt.scheduler().poll_block_generic(all_done);
+  if (server != nullptr) {
+    rt.post(rt.pe(), rt.process(), /*handler=*/0, nullptr, 0);  // shutdown
+    int err = 0;
+    rt.join(Gid{rt.pe(), rt.process(), kServerLid}, &err);
+  }
+  rt.on_thread_exit(kMainLid);
+  return nullptr;
+}
+}  // namespace
+
+void Runtime::run_process(const std::function<void(Runtime&)>& user_main) {
+  Runtime* prev = tl_runtime;
+  tl_runtime = this;
+  MainCtx mc{this, &user_main};
+  lwt::ThreadAttr attr;
+  attr.stack_size = cfg_.default_stack_size;
+  attr.name = "chant-main";
+  sched_.run_main(&chant_main_tramp, &mc, attr);
+  tl_runtime = prev;
+}
+
+}  // namespace chant

@@ -1,0 +1,232 @@
+// sda.cpp — shared-data-abstraction plumbing (monitor objects over RSR).
+#include "chant/sda.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "lwt/lwt.hpp"
+
+namespace chant::detail {
+
+namespace {
+
+/// One live instance. Kept in a shared_ptr so a helper fiber that is
+/// still inside a method survives a concurrent destroy request.
+struct Instance {
+  void* state = nullptr;
+  SdaBase::Dtor dtor = nullptr;
+  lwt::Mutex mu;  ///< monitor lock: one method body at a time
+  bool dying = false;
+};
+
+/// Per simulated process (per OS thread) instance table.
+thread_local std::map<std::int32_t, std::shared_ptr<Instance>> t_instances;
+thread_local std::int32_t t_next_instance = 1;
+
+/// handler id -> class object; written during SPMD registration (before
+/// World::run, single-threaded), read from every process afterwards.
+std::mutex g_reg_mu;
+std::map<int, SdaBase*> g_classes;
+
+enum : std::int32_t { kOpCreate = 1, kOpInvoke = 2, kOpDestroy = 3 };
+
+struct SdaWire {
+  std::int32_t op = 0;
+  std::int32_t class_handler = 0;
+  std::int32_t instance = 0;
+  std::int32_t method = 0;
+};
+
+struct SdaReplyWire {
+  std::int32_t status = 0;  // 0 ok / errno
+  std::int32_t instance = 0;
+};
+
+/// Fills the handler's reply vector (the server sends it exactly once —
+/// replying directly from a non-deferred handler would produce a second,
+/// empty auto-reply that could pair with a later request when the
+/// sequence counter wraps).
+void set_status(std::vector<std::uint8_t>& reply, int status,
+                std::int32_t instance = -1) {
+  SdaReplyWire rw{status, instance};
+  reply.resize(sizeof rw);
+  std::memcpy(reply.data(), &rw, sizeof rw);
+}
+
+/// For helper fibers, which really do reply on their own (the handler
+/// marked the context deferred, so the server stays silent).
+void reply_status(Runtime& rt, const Runtime::RsrContext& ctx, int status,
+                  std::int32_t instance = -1) {
+  SdaReplyWire rw{status, instance};
+  rt.reply(ctx, &rw, sizeof rw);
+}
+
+}  // namespace
+
+SdaBase* sda_by_handler(int handler_id) {
+  std::lock_guard<std::mutex> lk(g_reg_mu);
+  auto it = g_classes.find(handler_id);
+  return it == g_classes.end() ? nullptr : it->second;
+}
+
+SdaBase::SdaBase(World& world, Ctor ctor, Dtor dtor)
+    : ctor_(ctor), dtor_(dtor) {
+  handler_id_ = world.register_handler(&SdaBase::rsr_handler);
+  std::lock_guard<std::mutex> lk(g_reg_mu);
+  g_classes[handler_id_] = this;
+}
+
+int SdaBase::add_method(RawMethod m) {
+  methods_.push_back(m);
+  return static_cast<int>(methods_.size()) - 1;
+}
+
+void SdaBase::rsr_handler(Runtime& rt, Runtime::RsrContext& ctx,
+                          const void* arg, std::size_t len,
+                          std::vector<std::uint8_t>& reply) {
+  SdaWire w;
+  if (len < sizeof w) {
+    set_status(reply, EINVAL);
+    return;
+  }
+  std::memcpy(&w, arg, sizeof w);
+  SdaBase* cls = sda_by_handler(w.class_handler);
+  if (cls == nullptr) {
+    set_status(reply, EINVAL);
+    return;
+  }
+
+  switch (w.op) {
+    case kOpCreate: {
+      auto inst = std::make_shared<Instance>();
+      inst->state = cls->ctor_();
+      inst->dtor = cls->dtor_;
+      const std::int32_t id = t_next_instance++;
+      t_instances.emplace(id, std::move(inst));
+      set_status(reply, 0, id);
+      return;
+    }
+    case kOpInvoke: {
+      auto it = t_instances.find(w.instance);
+      if (it == t_instances.end() || w.method < 0 ||
+          w.method >= static_cast<int>(cls->methods_.size())) {
+        set_status(reply, ESRCH);
+        return;
+      }
+      // Monitor semantics without stalling the server: the method body
+      // runs in a helper fiber serialized by the instance lock, and the
+      // reply is deferred to that fiber (paper §3.3 pattern).
+      ctx.deferred = true;
+      const Runtime::RsrContext saved = ctx;
+      std::shared_ptr<Instance> inst = it->second;
+      const RawMethod method =
+          cls->methods_[static_cast<std::size_t>(w.method)];
+      std::vector<std::uint8_t> body(
+          static_cast<const std::uint8_t*>(arg) + sizeof w,
+          static_cast<const std::uint8_t*>(arg) + len);
+      lwt::ThreadAttr attr;
+      attr.detached = true;
+      attr.name = "sda-method";
+      lwt::go([&rt, saved, inst, method, body = std::move(body)] {
+        lwt::LockGuard g(inst->mu);
+        if (inst->dying) {
+          reply_status(rt, saved, ESRCH);
+          return;
+        }
+        std::vector<std::uint8_t> out;
+        method(rt, inst->state, body.data(), body.size(), out);
+        std::vector<std::uint8_t> framed(sizeof(SdaReplyWire) + out.size());
+        SdaReplyWire rw{0, 0};
+        std::memcpy(framed.data(), &rw, sizeof rw);
+        std::memcpy(framed.data() + sizeof rw, out.data(), out.size());
+        rt.reply(saved, framed.data(), framed.size());
+      }, attr);
+      return;
+    }
+    case kOpDestroy: {
+      auto it = t_instances.find(w.instance);
+      if (it == t_instances.end()) {
+        set_status(reply, ESRCH);
+        return;
+      }
+      ctx.deferred = true;
+      const Runtime::RsrContext saved = ctx;
+      std::shared_ptr<Instance> inst = it->second;
+      t_instances.erase(it);
+      lwt::ThreadAttr attr;
+      attr.detached = true;
+      attr.name = "sda-destroy";
+      lwt::go([&rt, saved, inst] {
+        lwt::LockGuard g(inst->mu);  // waits out in-flight methods
+        inst->dying = true;
+        inst->dtor(inst->state);
+        inst->state = nullptr;
+        reply_status(rt, saved, 0);
+      }, attr);
+      return;
+    }
+    default:
+      set_status(reply, EINVAL);
+      return;
+  }
+}
+
+SdaRef SdaBase::create_instance(Runtime& rt, int pe, int process) {
+  SdaWire w{kOpCreate, handler_id_, 0, 0};
+  const auto rep = rt.call(pe, process, handler_id_, &w, sizeof w);
+  SdaReplyWire rw{EINVAL, -1};
+  if (rep.size() >= sizeof rw) std::memcpy(&rw, rep.data(), sizeof rw);
+  if (rw.status != 0) {
+    throw std::runtime_error("chant: SDA create failed");
+  }
+  return SdaRef{pe, process, rw.instance};
+}
+
+std::vector<std::uint8_t> SdaBase::strip_reply(
+    std::vector<std::uint8_t> framed) {
+  SdaReplyWire rw{EINVAL, -1};
+  if (framed.size() >= sizeof rw) std::memcpy(&rw, framed.data(), sizeof rw);
+  if (rw.status != 0) {
+    throw std::runtime_error("chant: SDA invocation failed (status " +
+                             std::to_string(rw.status) + ")");
+  }
+  return std::vector<std::uint8_t>(framed.begin() + sizeof rw, framed.end());
+}
+
+std::vector<std::uint8_t> SdaBase::invoke_raw(Runtime& rt, const SdaRef& ref,
+                                              int method, const void* arg,
+                                              std::size_t len) {
+  return strip_reply(
+      rt.call_wait(invoke_async_raw(rt, ref, method, arg, len)));
+}
+
+int SdaBase::invoke_async_raw(Runtime& rt, const SdaRef& ref, int method,
+                              const void* arg, std::size_t len) {
+  if (!ref.valid()) {
+    throw std::invalid_argument("chant: invalid SDA reference");
+  }
+  std::vector<std::uint8_t> msg(sizeof(SdaWire) + len);
+  SdaWire w{kOpInvoke, handler_id_, ref.instance, method};
+  std::memcpy(msg.data(), &w, sizeof w);
+  if (len > 0) std::memcpy(msg.data() + sizeof w, arg, len);
+  return rt.call_async(ref.pe, ref.process, handler_id_, msg.data(),
+                       msg.size());
+}
+
+void SdaBase::destroy_instance(Runtime& rt, const SdaRef& ref) {
+  if (!ref.valid()) return;
+  SdaWire w{kOpDestroy, handler_id_, ref.instance, 0};
+  const auto rep = rt.call(ref.pe, ref.process, handler_id_, &w, sizeof w);
+  SdaReplyWire rw{EINVAL, -1};
+  if (rep.size() >= sizeof rw) std::memcpy(&rw, rep.data(), sizeof rw);
+  if (rw.status != 0) {
+    throw std::runtime_error("chant: SDA destroy failed");
+  }
+}
+
+std::size_t SdaBase::local_instances(Runtime&) { return t_instances.size(); }
+
+}  // namespace chant::detail

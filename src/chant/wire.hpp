@@ -1,0 +1,85 @@
+// wire.hpp — internal on-the-wire layouts for Chant runtime traffic.
+//
+// All simulated processes run one SPMD binary, so these PODs can travel
+// as raw bytes (same layout everywhere) — the same assumption the real
+// Chant made for function addresses on the Paragon.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "chant/gid.hpp"
+#include "chant/runtime.hpp"
+#include "lwt/thread.hpp"
+
+namespace chant::wire {
+
+/// Builtin RSR handler ids (installed before any user handler).
+inline constexpr int kHShutdown = 0;
+inline constexpr int kHCreate = 1;
+inline constexpr int kHJoin = 2;
+inline constexpr int kHCancel = 3;
+inline constexpr int kHDetach = 4;
+inline constexpr int kHSetPrio = 5;
+inline constexpr int kHGetPrio = 6;
+inline constexpr int kFirstUserHandler = chant::kFirstUserHandler;
+
+/// Replies at or below this size travel inline with the reply header;
+/// larger replies are followed by a separate payload message.
+inline constexpr std::size_t kInlineReply = 1024;
+
+/// Request envelope: [Rsr][arg bytes...] sent to the server thread.
+struct Rsr {
+  std::int32_t handler = 0;
+  std::int32_t needs_reply = 0;
+  std::int32_t reply_seq = 0;  ///< pairs the reply with this request
+  Gid from{0, 0, 0};
+};
+
+/// Reply envelope: [Reply][inline payload...]. If `tail` is set the
+/// payload did not fit inline and follows as a kTagRsrTail message.
+struct Reply {
+  std::uint32_t len = 0;
+  std::uint32_t tail = 0;
+};
+
+struct Create {
+  lwt::EntryFn entry = nullptr;          // plain entry (SPMD-valid)
+  std::uint64_t marshalled_entry = 0;    // MarshalledEntry as integer
+  std::uint64_t arg = 0;                 // raw argument value
+  std::uint64_t stack_size = 0;
+  std::int32_t priority = 0;
+  std::int32_t detached = 0;
+  std::uint32_t payload_len = 0;         // marshalled bytes following
+};
+
+struct CreateReply {
+  std::int32_t status = 0;
+  Gid gid{0, 0, 0};
+};
+
+struct Lid {
+  std::int32_t lid = 0;
+};
+
+struct Prio {
+  std::int32_t lid = 0;
+  std::int32_t priority = 0;
+};
+
+struct PrioReply {
+  std::int32_t status = 0;
+  std::int32_t priority = 0;
+};
+
+struct JoinReply {
+  std::int32_t status = 0;
+  std::int32_t canceled = 0;
+  std::uint64_t retval = 0;
+};
+
+struct Status {
+  std::int32_t status = 0;
+};
+
+}  // namespace chant::wire

@@ -1,0 +1,26 @@
+// world.cpp — whole-machine bootstrap.
+#include "chant/world.hpp"
+
+#include "wire.hpp"
+
+namespace chant {
+
+World::World(const Config& cfg)
+    : cfg_(cfg),
+      machine_(nx::Machine::Config{cfg.pes, cfg.processes_per_pe, cfg.net,
+                                   cfg.eager_threshold}) {}
+
+int World::register_handler(Runtime::Handler h) {
+  user_handlers_.push_back(h);
+  return kFirstUserHandler + static_cast<int>(user_handlers_.size()) - 1;
+}
+
+void World::run(const std::function<void(Runtime&)>& main_fn) {
+  mains_done_.store(0, std::memory_order_release);
+  machine_.run([&](nx::Endpoint& ep) {
+    Runtime rt(*this, ep);
+    rt.run_process(main_fn);
+  });
+}
+
+}  // namespace chant

@@ -1,0 +1,10 @@
+// harness.cpp — anchor translation unit for the (header-only) harness
+// library, so it exists as a normal CMake target other targets link.
+#include "harness/costmodel.hpp"
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+#include "harness/workload.hpp"
+
+namespace harness {
+// Intentionally empty: all harness functionality is inline.
+}

@@ -1,0 +1,126 @@
+// context.cpp — backend dispatch for fiber context creation and switching.
+#include "lwt/context.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace lwt {
+
+#if !defined(LWT_NO_ASM_CONTEXT)
+extern "C" {
+void lwt_asm_ctx_swap(void** save_sp, void* restore_sp) noexcept;
+void lwt_asm_fiber_start();
+// Called from the assembly trampoline; must have C linkage for the PLT call.
+[[noreturn]] void lwt_asm_fiber_boot(Tcb* tcb) { detail::fiber_boot(tcb); }
+}
+#endif
+
+ContextBackend default_backend() noexcept {
+#if defined(LWT_NO_ASM_CONTEXT)
+  return ContextBackend::Ucontext;
+#else
+  return ContextBackend::Asm;
+#endif
+}
+
+Context::~Context() { delete uc; }
+
+namespace {
+
+#if !defined(LWT_NO_ASM_CONTEXT)
+// Builds the initial frame lwt_asm_ctx_swap expects on a fresh stack:
+// from low to high address: [mxcsr|fcw][r15 r14 r13 r12 rbx rbp][ret=start]
+// with r12 carrying the Tcb pointer into the trampoline.
+void asm_make(Context& ctx, void* stack_base, std::size_t stack_size,
+              Tcb* tcb) {
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_size;
+  top &= ~std::uintptr_t{15};  // 16-byte align the logical stack top
+  auto* frame = reinterpret_cast<std::uint64_t*>(top);
+  // frame[-1] : return address -> trampoline
+  // frame[-2] : rbp = 0 (terminates frame-pointer walks)
+  // frame[-3] : rbx
+  // frame[-4] : r12 = tcb
+  // frame[-5] : r13
+  // frame[-6] : r14
+  // frame[-7] : r15
+  // frame[-8] : fpu word (mxcsr @ +0, x87 cw @ +4) — seeded from caller
+  frame[-1] = reinterpret_cast<std::uint64_t>(&lwt_asm_fiber_start);
+  frame[-2] = 0;
+  frame[-3] = 0;
+  frame[-4] = reinterpret_cast<std::uint64_t>(tcb);
+  frame[-5] = 0;
+  frame[-6] = 0;
+  frame[-7] = 0;
+  std::uint32_t mxcsr;
+  std::uint16_t fcw;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  auto* fpu = reinterpret_cast<std::uint8_t*>(&frame[-8]);
+  std::memcpy(fpu, &mxcsr, sizeof mxcsr);
+  std::memcpy(fpu + 4, &fcw, sizeof fcw);
+  std::memset(fpu + 6, 0, 2);
+  ctx.sp = &frame[-8];
+}
+#endif
+
+// makecontext only passes `int` arguments portably, so the Tcb pointer is
+// split into two 32-bit halves and reassembled in the entry shim.
+void uc_entry(unsigned hi, unsigned lo) {
+  auto bits = (static_cast<std::uintptr_t>(hi) << 32) |
+              static_cast<std::uintptr_t>(lo);
+  detail::fiber_boot(reinterpret_cast<Tcb*>(bits));
+}
+
+void uc_make(Context& ctx, void* stack_base, std::size_t stack_size,
+             Tcb* tcb) {
+  if (ctx.uc == nullptr) ctx.uc = new ucontext_t;
+  if (getcontext(ctx.uc) != 0) std::abort();
+  ctx.uc->uc_stack.ss_sp = stack_base;
+  ctx.uc->uc_stack.ss_size = stack_size;
+  ctx.uc->uc_link = nullptr;  // fibers never fall off the end (boot traps)
+  auto bits = reinterpret_cast<std::uintptr_t>(tcb);
+  makecontext(ctx.uc, reinterpret_cast<void (*)()>(&uc_entry), 2,
+              static_cast<unsigned>(bits >> 32),
+              static_cast<unsigned>(bits & 0xffffffffu));
+}
+
+}  // namespace
+
+void ctx_make(Context& ctx, ContextBackend backend, void* stack_base,
+              std::size_t stack_size, Tcb* tcb) {
+  switch (backend) {
+    case ContextBackend::Asm:
+#if defined(LWT_NO_ASM_CONTEXT)
+      assert(false && "asm backend unavailable on this platform");
+      [[fallthrough]];
+#else
+      asm_make(ctx, stack_base, stack_size, tcb);
+      return;
+#endif
+    case ContextBackend::Ucontext:
+      uc_make(ctx, stack_base, stack_size, tcb);
+      return;
+  }
+}
+
+void ctx_swap(Context& from, Context& to, ContextBackend backend) noexcept {
+  switch (backend) {
+    case ContextBackend::Asm:
+#if defined(LWT_NO_ASM_CONTEXT)
+      assert(false && "asm backend unavailable on this platform");
+      [[fallthrough]];
+#else
+      lwt_asm_ctx_swap(&from.sp, to.sp);
+      return;
+#endif
+    case ContextBackend::Ucontext: {
+      if (from.uc == nullptr) from.uc = new ucontext_t;
+      if (swapcontext(from.uc, to.uc) != 0) std::abort();
+      return;
+    }
+  }
+}
+
+}  // namespace lwt

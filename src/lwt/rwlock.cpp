@@ -1,0 +1,77 @@
+// rwlock.cpp — writer-preferring reader/writer lock for fibers.
+#include "lwt/rwlock.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lwt {
+
+namespace {
+Scheduler& sched() {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr) {
+    std::fprintf(stderr, "lwt: RwLock used outside a scheduler\n");
+    std::abort();
+  }
+  return *s;
+}
+}  // namespace
+
+void RwLock::lock_shared() {
+  Scheduler& s = sched();
+  s.check_cancel();
+  while (writer_ != nullptr || !waiting_writers_.empty()) {
+    s.park_on(waiting_readers_);
+    s.check_cancel();
+  }
+  ++readers_;
+}
+
+bool RwLock::try_lock_shared() {
+  if (writer_ != nullptr || !waiting_writers_.empty()) return false;
+  ++readers_;
+  return true;
+}
+
+void RwLock::unlock_shared() {
+  if (readers_ <= 0) {
+    std::fprintf(stderr, "lwt: unlock_shared without shared lock\n");
+    std::abort();
+  }
+  if (--readers_ == 0) wake_next();
+}
+
+void RwLock::lock() {
+  Scheduler& s = sched();
+  s.check_cancel();
+  Tcb* me = Scheduler::self();
+  while (writer_ != nullptr || readers_ > 0) {
+    s.park_on(waiting_writers_);
+    s.check_cancel();
+  }
+  writer_ = me;
+}
+
+bool RwLock::try_lock() {
+  if (writer_ != nullptr || readers_ > 0) return false;
+  writer_ = Scheduler::self();
+  return true;
+}
+
+void RwLock::unlock() {
+  if (writer_ != Scheduler::self()) {
+    std::fprintf(stderr, "lwt: RwLock::unlock by non-writer\n");
+    std::abort();
+  }
+  writer_ = nullptr;
+  wake_next();
+}
+
+void RwLock::wake_next() {
+  Scheduler& s = sched();
+  // Prefer a waiting writer; otherwise release the whole reader herd.
+  if (s.wake_one(waiting_writers_) != nullptr) return;
+  s.wake_all(waiting_readers_);
+}
+
+}  // namespace lwt

@@ -1,0 +1,635 @@
+// scheduler.cpp — user-level thread scheduling with pollable waits.
+#include "lwt/scheduler.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <sstream>
+#include <thread>
+
+namespace lwt {
+
+namespace {
+thread_local Scheduler* tl_sched = nullptr;
+
+const char* state_name(ThreadState s) {
+  switch (s) {
+    case ThreadState::Ready: return "ready";
+    case ThreadState::Running: return "running";
+    case ThreadState::Blocked: return "blocked";
+    case ThreadState::Finished: return "finished";
+  }
+  return "?";
+}
+}  // namespace
+
+// ---------------------------------------------------------------- TcbQueue
+
+void TcbQueue::push_back(Tcb* t) noexcept {
+  t->qnext = nullptr;
+  t->qprev = tail_;
+  if (tail_ != nullptr) {
+    tail_->qnext = t;
+  } else {
+    head_ = t;
+  }
+  tail_ = t;
+  ++size_;
+}
+
+Tcb* TcbQueue::pop_front() noexcept {
+  Tcb* t = head_;
+  if (t == nullptr) return nullptr;
+  head_ = t->qnext;
+  if (head_ != nullptr) {
+    head_->qprev = nullptr;
+  } else {
+    tail_ = nullptr;
+  }
+  t->qnext = t->qprev = nullptr;
+  --size_;
+  return t;
+}
+
+bool TcbQueue::remove(Tcb* t) noexcept {
+  // Membership check: a node is in *some* queue iff it has neighbours or
+  // is the head; callers track which queue via Tcb::waiting_on.
+  if (head_ == nullptr) return false;
+  if (t != head_ && t->qprev == nullptr && t->qnext == nullptr) return false;
+  if (t->qprev != nullptr) t->qprev->qnext = t->qnext;
+  if (t->qnext != nullptr) t->qnext->qprev = t->qprev;
+  if (head_ == t) head_ = t->qnext;
+  if (tail_ == t) tail_ = t->qprev;
+  t->qnext = t->qprev = nullptr;
+  --size_;
+  return true;
+}
+
+void Tcb::set_name(const char* n) noexcept {
+  if (n == nullptr) {
+    name[0] = '\0';
+    return;
+  }
+  std::snprintf(name, sizeof name, "%s", n);
+}
+
+// --------------------------------------------------------------- Scheduler
+
+Scheduler::Scheduler(ContextBackend backend) : backend_(backend) {
+#if defined(LWT_NO_ASM_CONTEXT)
+  backend_ = ContextBackend::Ucontext;
+#endif
+}
+
+Scheduler::~Scheduler() {
+  for (Tcb* z : zombies_) {
+    stacks_.release(z->stack);
+    delete z;
+  }
+  zombies_.clear();
+}
+
+Scheduler* Scheduler::current() { return tl_sched; }
+
+Tcb* Scheduler::self() {
+  return tl_sched != nullptr ? tl_sched->current_ : nullptr;
+}
+
+Tcb* Scheduler::spawn(EntryFn entry, void* arg, const ThreadAttr& attr) {
+  auto* t = new Tcb;
+  t->entry = entry;
+  t->arg = arg;
+  t->id = next_id_++;
+  t->priority = attr.priority < 0                ? 0
+                : attr.priority >= kNumPriorities ? kNumPriorities - 1
+                                                  : attr.priority;
+  t->detached = attr.detached;
+  t->sched = this;
+  t->set_name(attr.name);
+  t->stack = stacks_.acquire(attr.stack_size);
+  ctx_make(t->ctx, backend_, t->stack.base, t->stack.size, t);
+  ++active_;
+  ++stats_.spawns;
+  if (trace_ != nullptr) trace_->record(TraceEvent::Spawn, t->id);
+  enqueue_ready(t);
+  return t;
+}
+
+void* Scheduler::run_main(EntryFn entry, void* arg, const ThreadAttr& attr) {
+  if (running_) {
+    std::fprintf(stderr, "lwt: run_main is not reentrant\n");
+    std::abort();
+  }
+  Scheduler* prev = tl_sched;
+  tl_sched = this;
+  running_ = true;
+  Tcb* main_tcb = spawn(entry, arg, attr);
+  if (main_tcb->name[0] == '\0') main_tcb->set_name("main");
+  main_tcb->detached = false;
+  schedule_loop();
+  running_ = false;
+  tl_sched = prev;
+  void* ret = main_tcb->retval;
+  // Reap the main fiber (it is a zombie by now unless someone joined it).
+  for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
+    if (*it == main_tcb) {
+      zombies_.erase(it);
+      stacks_.release(main_tcb->stack);
+      delete main_tcb;
+      break;
+    }
+  }
+  return ret;
+}
+
+void Scheduler::enqueue_ready(Tcb* t) {
+  if (trace_ != nullptr) trace_->record(TraceEvent::Ready, t->id);
+  t->state = ThreadState::Ready;
+  t->waiting_on = nullptr;
+  run_q_[t->priority].push_back(t);
+}
+
+void Scheduler::switch_to(Tcb* t) {
+  t->state = ThreadState::Running;
+  current_ = t;
+  ++stats_.full_switches;
+  if (trace_ != nullptr) trace_->record(TraceEvent::SwitchIn, t->id);
+  ctx_swap(sched_ctx_, t->ctx, backend_);
+  current_ = nullptr;
+  if (pending_reap_ != nullptr) {
+    reap(pending_reap_);
+    pending_reap_ = nullptr;
+  }
+}
+
+void Scheduler::wq_scan() {
+  // Generic (policy-independent) waits are tested at every point, even
+  // when a group-poll hook replaces the per-entry WQ scan below.
+  for (std::size_t i = 0; i < generic_wq_.size();) {
+    if (generic_wq_[i].req.test(generic_wq_[i].req.ctx)) {
+      Tcb* t = generic_wq_[i].tcb;
+      generic_wq_[i] = generic_wq_.back();
+      generic_wq_.pop_back();
+      --blocked_;
+      enqueue_ready(t);
+    } else {
+      ++i;
+    }
+  }
+  if (wq_.empty()) return;
+  if (wq_group_poll_ != nullptr) {
+    // msgtestany-style ablation: one group test per scheduling point.
+    (void)wq_group_poll_(wq_group_ctx_, *this);
+    return;
+  }
+  // NX-style: test each outstanding request in turn (paper §4.2, WQ).
+  for (std::size_t i = 0; i < wq_.size();) {
+    ++stats_.wq_poll_tests;
+    if (wq_[i].req.test(wq_[i].req.ctx)) {
+      Tcb* t = wq_[i].tcb;
+      wq_[i] = wq_.back();
+      wq_.pop_back();
+      --blocked_;
+      enqueue_ready(t);
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool Scheduler::wq_complete(void* req_ctx) {
+  for (std::size_t i = 0; i < wq_.size(); ++i) {
+    if (wq_[i].req.ctx == req_ctx) {
+      Tcb* t = wq_[i].tcb;
+      wq_[i] = wq_.back();
+      wq_.pop_back();
+      --blocked_;
+      enqueue_ready(t);
+      return true;
+    }
+  }
+  return false;
+}
+
+Tcb* Scheduler::pick_next() {
+  for (int p = kNumPriorities - 1; p >= 0; --p) {
+    TcbQueue& q = run_q_[p];
+    // Bound the scan: each PS-parked thread whose message has not arrived
+    // is rotated to the back, so one pass over the initial occupancy
+    // either finds a runnable thread or proves there is none at this
+    // priority right now.
+    std::size_t scan = q.size();
+    while (scan-- > 0) {
+      Tcb* t = q.pop_front();
+      if (t->poll_active) {
+        ++stats_.partial_poll_tests;  // a "partial switch" (paper §4.2 PS)
+        if (trace_ != nullptr) trace_->record(TraceEvent::PollTest, t->id);
+        if (t->cancel_requested && !t->cancel_disabled) {
+          t->poll_active = false;  // wake so the wait can act on cancel
+          --ps_parked_;
+          return t;
+        }
+        if (t->poll.test(t->poll.ctx)) {
+          t->poll_active = false;
+          --ps_parked_;
+          return t;
+        }
+        q.push_back(t);
+        continue;
+      }
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::schedule_loop() {
+  while (active_ > 0) {
+    ++stats_.sched_points;
+    stats_.waiting_sum += msg_waiting_;
+    ++stats_.waiting_samples;
+    wq_scan();
+    Tcb* next = pick_next();
+    if (next == nullptr) {
+      if (ps_parked_ == 0 && wq_.empty() && generic_wq_.empty() &&
+          blocked_ > 0) {
+        std::fprintf(stderr,
+                     "lwt: deadlock — %u thread(s) blocked with nothing "
+                     "runnable\n%s",
+                     blocked_, debug_dump().c_str());
+        std::abort();
+      }
+      ++stats_.idle_spins;
+      if (idle_hook_ != nullptr) idle_hook_(idle_ctx_);
+      continue;
+    }
+    switch_to(next);
+  }
+}
+
+void Scheduler::yield() {
+  Tcb* me = current_;
+  check_cancel();
+  ++stats_.yields;
+  if (trace_ != nullptr) trace_->record(TraceEvent::Yield, me->id);
+  enqueue_ready(me);
+  ctx_swap(me->ctx, sched_ctx_, backend_);
+  check_cancel();
+}
+
+void Scheduler::park_on(TcbQueue& wl) {
+  Tcb* me = current_;
+  if (trace_ != nullptr) trace_->record(TraceEvent::Park, me->id);
+  me->state = ThreadState::Blocked;
+  me->waiting_on = &wl;
+  wl.push_back(me);
+  ++blocked_;
+  ctx_swap(me->ctx, sched_ctx_, backend_);
+}
+
+Tcb* Scheduler::wake_one(TcbQueue& wl) {
+  Tcb* t = wl.pop_front();
+  if (t == nullptr) return nullptr;
+  --blocked_;
+  enqueue_ready(t);
+  return t;
+}
+
+std::size_t Scheduler::wake_all(TcbQueue& wl) {
+  std::size_t n = 0;
+  while (wake_one(wl) != nullptr) ++n;
+  return n;
+}
+
+void Scheduler::ready(Tcb* t) {
+  if (t->state != ThreadState::Blocked) return;
+  --blocked_;
+  enqueue_ready(t);
+}
+
+void Scheduler::exit_current(void* retval) { finish_current(retval); }
+
+void Scheduler::finish_current(void* retval) {
+  Tcb* me = current_;
+  me->retval = retval;
+  run_tls_dtors(me);
+  if (trace_ != nullptr) trace_->record(TraceEvent::Finish, me->id);
+  me->state = ThreadState::Finished;
+  --active_;
+  if (me->joiner != nullptr) {
+    ready(me->joiner);
+    me->joiner = nullptr;
+  }
+  if (me->detached) {
+    pending_reap_ = me;  // scheduler frees the stack after switching away
+  } else {
+    zombies_.push_back(me);
+  }
+  ctx_swap(me->ctx, sched_ctx_, backend_);
+  std::fprintf(stderr, "lwt: finished fiber rescheduled\n");
+  std::abort();
+}
+
+void Scheduler::reap(Tcb* t) {
+  stacks_.release(t->stack);
+  delete t;
+}
+
+void* Scheduler::join(Tcb* t) {
+  Tcb* me = current_;
+  check_cancel();
+  if (t == me || t->detached || t->join_taken) {
+    std::fprintf(stderr, "lwt: invalid join (self/detached/double)\n");
+    std::abort();
+  }
+  t->join_taken = true;
+  if (t->state != ThreadState::Finished) {
+    t->joiner = me;
+    me->state = ThreadState::Blocked;
+    ++blocked_;
+    ctx_swap(me->ctx, sched_ctx_, backend_);
+    if (t->state != ThreadState::Finished) {
+      // Woken for some other reason (cancellation).
+      t->joiner = nullptr;
+      t->join_taken = false;
+      check_cancel();
+      std::fprintf(stderr, "lwt: join woke without target finishing\n");
+      std::abort();
+    }
+  }
+  void* ret = t->canceled ? kCanceled : t->retval;
+  for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
+    if (*it == t) {
+      zombies_.erase(it);
+      break;
+    }
+  }
+  reap(t);
+  return ret;
+}
+
+void Scheduler::detach(Tcb* t) {
+  if (t->join_taken) return;
+  if (t->state == ThreadState::Finished) {
+    for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
+      if (*it == t) {
+        zombies_.erase(it);
+        break;
+      }
+    }
+    reap(t);
+    return;
+  }
+  t->detached = true;
+}
+
+void Scheduler::cancel(Tcb* t) {
+  t->cancel_requested = true;
+  if (t->cancel_disabled) return;
+  switch (t->state) {
+    case ThreadState::Blocked:
+      // Parked on a wait list, the WQ, or in join: eject and make ready;
+      // the wait code re-checks cancellation on resume.
+      if (t->waiting_on != nullptr) {
+        t->waiting_on->remove(t);
+        t->waiting_on = nullptr;
+        --blocked_;
+        enqueue_ready(t);
+      } else {
+        for (std::size_t i = 0; i < wq_.size(); ++i) {
+          if (wq_[i].tcb == t) {
+            wq_[i] = wq_.back();
+            wq_.pop_back();
+            --blocked_;
+            enqueue_ready(t);
+            return;
+          }
+        }
+        for (std::size_t i = 0; i < generic_wq_.size(); ++i) {
+          if (generic_wq_[i].tcb == t) {
+            generic_wq_[i] = generic_wq_.back();
+            generic_wq_.pop_back();
+            --blocked_;
+            enqueue_ready(t);
+            return;
+          }
+        }
+        // Blocked in join: wake it; join() notices and re-checks.
+        --blocked_;
+        enqueue_ready(t);
+      }
+      break;
+    case ThreadState::Ready:
+      // If PS-parked, pick_next() notices cancel_requested and wakes it.
+      break;
+    case ThreadState::Running:
+    case ThreadState::Finished:
+      break;
+  }
+}
+
+bool Scheduler::set_cancel_enabled(bool enabled) {
+  Tcb* me = current_;
+  bool prev = !me->cancel_disabled;
+  me->cancel_disabled = !enabled;
+  return prev;
+}
+
+void Scheduler::check_cancel() {
+  Tcb* me = current_;
+  if (me != nullptr && me->cancel_requested && !me->cancel_disabled) {
+    me->cancel_requested = false;  // acting on it now
+    throw CancelInterrupt{};
+  }
+}
+
+void Scheduler::set_priority(Tcb* t, int priority) {
+  if (priority < 0) priority = 0;
+  if (priority >= kNumPriorities) priority = kNumPriorities - 1;
+  if (t->state == ThreadState::Ready && t->waiting_on == nullptr) {
+    // Move between run queues so the change takes effect immediately.
+    if (run_q_[t->priority].remove(t)) {
+      t->priority = priority;
+      run_q_[t->priority].push_back(t);
+      return;
+    }
+  }
+  t->priority = priority;
+}
+
+// ------------------------------------------------- polling-policy waits
+
+void Scheduler::poll_block_tp(const PollRequest& req) {
+  Tcb* me = current_;
+  me->msg_waiting = true;
+  ++msg_waiting_;
+  // Paper Fig. 5: re-test on every resumption; yield (a full context
+  // switch through the scheduler) after every failed test. After a burst
+  // of consecutive failures nothing local is making progress — the data
+  // must come from another simulated processor, so donate the OS
+  // timeslice (essential when processors share cores; the event counters
+  // the experiments report are unaffected).
+  unsigned fails = 0;
+  while (!req.test(req.ctx)) {
+    ++fails;
+    try {
+      yield();
+    } catch (...) {
+      me->msg_waiting = false;
+      --msg_waiting_;
+      throw;
+    }
+    if (fails >= 4) {
+      if (idle_hook_ != nullptr) {
+        idle_hook_(idle_ctx_);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  me->msg_waiting = false;
+  --msg_waiting_;
+}
+
+void Scheduler::poll_block_wq(const PollRequest& req) {
+  Tcb* me = current_;
+  check_cancel();
+  if (req.test(req.ctx)) return;  // fast path: already complete
+  me->msg_waiting = true;
+  ++msg_waiting_;
+  wq_.push_back(WqEntry{req, me});
+  me->state = ThreadState::Blocked;
+  me->waiting_on = nullptr;  // parked on wq_, not a TcbQueue
+  ++blocked_;
+  ctx_swap(me->ctx, sched_ctx_, backend_);
+  me->msg_waiting = false;
+  --msg_waiting_;
+  check_cancel();  // cancel() may have ejected us before completion
+}
+
+void Scheduler::poll_block_generic(const PollRequest& req) {
+  Tcb* me = current_;
+  check_cancel();
+  if (req.test(req.ctx)) return;  // fast path
+  generic_wq_.push_back(WqEntry{req, me});
+  me->state = ThreadState::Blocked;
+  me->waiting_on = nullptr;
+  ++blocked_;
+  ctx_swap(me->ctx, sched_ctx_, backend_);
+  check_cancel();  // cancel() may have ejected us before completion
+}
+
+void Scheduler::poll_block_ps(const PollRequest& req) {
+  Tcb* me = current_;
+  check_cancel();
+  if (req.test(req.ctx)) return;
+  me->msg_waiting = true;
+  ++msg_waiting_;
+  me->poll = req;
+  me->poll_active = true;
+  ++ps_parked_;
+  enqueue_ready(me);  // stays queued; scheduler tests before restoring
+  ctx_swap(me->ctx, sched_ctx_, backend_);
+  me->msg_waiting = false;
+  --msg_waiting_;
+  check_cancel();
+}
+
+void Scheduler::set_wq_group_poll(WqGroupPoll hook, void* hook_ctx) {
+  wq_group_poll_ = hook;
+  wq_group_ctx_ = hook_ctx;
+}
+
+void Scheduler::set_idle_hook(void (*hook)(void*), void* ctx) {
+  idle_hook_ = hook;
+  idle_ctx_ = ctx;
+}
+
+// -------------------------------------------------------- thread-local data
+
+int Scheduler::key_create(void (*dtor)(void*)) {
+  for (std::size_t k = 0; k < kMaxTlsKeys; ++k) {
+    if (!tls_keys_[k].used) {
+      tls_keys_[k].used = true;
+      tls_keys_[k].dtor = dtor;
+      return static_cast<int>(k);
+    }
+  }
+  return -1;
+}
+
+void Scheduler::key_delete(int key) {
+  if (key < 0 || key >= static_cast<int>(kMaxTlsKeys)) return;
+  tls_keys_[static_cast<std::size_t>(key)] = TlsKey{};
+}
+
+void Scheduler::set_specific(int key, void* value) {
+  if (key < 0 || key >= static_cast<int>(kMaxTlsKeys)) return;
+  current_->tls[static_cast<std::size_t>(key)] = value;
+}
+
+void* Scheduler::get_specific(int key) const {
+  if (key < 0 || key >= static_cast<int>(kMaxTlsKeys)) return nullptr;
+  return current_->tls[static_cast<std::size_t>(key)];
+}
+
+void Scheduler::run_tls_dtors(Tcb* t) {
+  // As in pthreads: iterate until a pass makes no progress, bounded.
+  for (int pass = 0; pass < 4; ++pass) {
+    bool again = false;
+    for (std::size_t k = 0; k < kMaxTlsKeys; ++k) {
+      void* v = t->tls[k];
+      if (v != nullptr && tls_keys_[k].used && tls_keys_[k].dtor != nullptr) {
+        t->tls[k] = nullptr;
+        tls_keys_[k].dtor(v);
+        again = true;
+      }
+    }
+    if (!again) break;
+  }
+}
+
+std::string Scheduler::debug_dump() const {
+  std::ostringstream os;
+  os << "scheduler: active=" << active_ << " blocked=" << blocked_
+     << " ps_parked=" << ps_parked_ << " wq=" << wq_.size() << "\n";
+  for (int p = kNumPriorities - 1; p >= 0; --p) {
+    for (Tcb* t = run_q_[p].front(); t != nullptr; t = t->qnext) {
+      os << "  prio " << p << " tcb #" << t->id << " '" << t->name << "' "
+         << state_name(t->state) << (t->poll_active ? " [poll]" : "") << "\n";
+    }
+  }
+  for (const auto& e : wq_) {
+    os << "  wq tcb #" << e.tcb->id << " '" << e.tcb->name << "'\n";
+  }
+  return os.str();
+}
+
+// ------------------------------------------------------------- fiber boot
+
+namespace detail {
+
+[[noreturn]] void fiber_boot(Tcb* tcb) {
+  Scheduler* sched = tcb->sched;
+  void* ret = nullptr;
+  bool canceled = false;
+  try {
+    ret = tcb->entry(tcb->arg);
+  } catch (const CancelInterrupt&) {
+    canceled = true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lwt: uncaught exception in fiber #%u '%s': %s\n",
+                 tcb->id, tcb->name, e.what());
+    std::terminate();
+  } catch (...) {
+    std::fprintf(stderr, "lwt: uncaught exception in fiber #%u '%s'\n",
+                 tcb->id, tcb->name);
+    std::terminate();
+  }
+  tcb->canceled = canceled;
+  sched->finish_current(canceled ? kCanceled : ret);
+}
+
+}  // namespace detail
+
+}  // namespace lwt

@@ -1,0 +1,85 @@
+// stack.cpp — mmap-backed guard-paged stack allocation.
+#include "lwt/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lwt {
+
+std::size_t page_size() noexcept {
+  static const std::size_t pz =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return pz;
+}
+
+namespace {
+
+std::size_t round_up_pages(std::size_t n) noexcept {
+  const std::size_t pz = page_size();
+  if (n < pz) n = pz;
+  return (n + pz - 1) & ~(pz - 1);
+}
+
+Stack map_stack(std::size_t usable) {
+  const std::size_t pz = page_size();
+  const std::size_t total = usable + pz;  // + guard page
+  void* mem = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (mem == MAP_FAILED) {
+    std::perror("lwt: mmap stack");
+    std::abort();
+  }
+  if (::mprotect(mem, pz, PROT_NONE) != 0) {
+    std::perror("lwt: mprotect guard");
+    std::abort();
+  }
+  return Stack{static_cast<char*>(mem) + pz, usable};
+}
+
+void unmap_stack(Stack s) noexcept {
+  if (!s) return;
+  ::munmap(static_cast<char*>(s.base) - page_size(), s.size + page_size());
+}
+
+}  // namespace
+
+StackPool::~StackPool() { trim(); }
+
+Stack StackPool::acquire(std::size_t min_size) {
+  const std::size_t usable = round_up_pages(min_size);
+  auto it = pool_.find(usable);
+  if (it != pool_.end() && !it->second.empty()) {
+    Stack s = it->second.back();
+    it->second.pop_back();
+    return s;
+  }
+  return map_stack(usable);
+}
+
+void StackPool::release(Stack s) noexcept {
+  if (!s) return;
+  try {
+    pool_[s.size].push_back(s);
+  } catch (...) {
+    unmap_stack(s);  // allocation failure: just give the memory back
+  }
+}
+
+std::size_t StackPool::cached() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [sz, v] : pool_) n += v.size();
+  return n;
+}
+
+void StackPool::trim() noexcept {
+  for (auto& [sz, v] : pool_) {
+    for (Stack s : v) unmap_stack(s);
+    v.clear();
+  }
+  pool_.clear();
+}
+
+}  // namespace lwt

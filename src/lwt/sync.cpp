@@ -1,0 +1,128 @@
+// sync.cpp — fiber mutex / condition variable / semaphore / barrier.
+#include "lwt/sync.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lwt {
+
+namespace {
+Scheduler& sched() {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr) {
+    std::fprintf(stderr, "lwt: sync primitive used outside a scheduler\n");
+    std::abort();
+  }
+  return *s;
+}
+}  // namespace
+
+// ------------------------------------------------------------------ Mutex
+
+void Mutex::lock() {
+  Scheduler& s = sched();
+  s.check_cancel();
+  Tcb* me = Scheduler::self();
+  if (owner_ == me) {
+    std::fprintf(stderr, "lwt: recursive Mutex::lock by #%u '%s'\n", me->id,
+                 me->name);
+    std::abort();
+  }
+  while (owner_ != nullptr) {
+    s.park_on(waiters_);
+    s.check_cancel();  // cancel() may have ejected us from the wait list
+  }
+  owner_ = me;
+}
+
+bool Mutex::try_lock() {
+  if (owner_ != nullptr) return false;
+  owner_ = Scheduler::self();
+  return true;
+}
+
+void Mutex::unlock() {
+  Tcb* me = Scheduler::self();
+  if (owner_ != me) {
+    std::fprintf(stderr, "lwt: Mutex::unlock by non-owner\n");
+    std::abort();
+  }
+  owner_ = nullptr;
+  sched().wake_one(waiters_);
+}
+
+// ---------------------------------------------------------------- CondVar
+
+void CondVar::wait(Mutex& m) {
+  Scheduler& s = sched();
+  s.check_cancel();
+  Tcb* me = Scheduler::self();
+  if (m.owner_ != me) {
+    std::fprintf(stderr, "lwt: CondVar::wait without holding the mutex\n");
+    std::abort();
+  }
+  // Atomic with respect to fibers: no scheduling point between releasing
+  // the mutex and parking, so a signal between them cannot be lost.
+  m.owner_ = nullptr;
+  s.wake_one(m.waiters_);
+  try {
+    s.park_on(waiters_);
+    s.check_cancel();
+  } catch (...) {
+    m.lock();  // pthreads semantics: reacquire before acting on cancel
+    throw;
+  }
+  m.lock();
+}
+
+void CondVar::signal() { sched().wake_one(waiters_); }
+
+void CondVar::broadcast() { sched().wake_all(waiters_); }
+
+// -------------------------------------------------------------- Semaphore
+
+void Semaphore::acquire() {
+  Scheduler& s = sched();
+  s.check_cancel();
+  while (count_ <= 0) {
+    s.park_on(waiters_);
+    s.check_cancel();
+  }
+  --count_;
+}
+
+bool Semaphore::try_acquire() {
+  if (count_ <= 0) return false;
+  --count_;
+  return true;
+}
+
+void Semaphore::release(std::int64_t n) {
+  Scheduler& s = sched();
+  count_ += n;
+  // Mesa-style: wake as many waiters as units released; each re-checks.
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (s.wake_one(waiters_) == nullptr) break;
+  }
+}
+
+// ---------------------------------------------------------------- Barrier
+
+bool Barrier::arrive_and_wait() {
+  Scheduler& s = sched();
+  s.check_cancel();
+  const std::uint64_t gen = generation_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    s.wake_all(waiters_);
+    return true;
+  }
+  while (generation_ == gen) {
+    s.park_on(waiters_);
+    s.check_cancel();
+  }
+  return false;
+}
+
+}  // namespace lwt

@@ -1,0 +1,74 @@
+// trace.cpp — scheduler event ring buffer.
+#include "lwt/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace lwt {
+
+const char* to_string(TraceEvent e) noexcept {
+  switch (e) {
+    case TraceEvent::Spawn: return "spawn";
+    case TraceEvent::SwitchIn: return "switch-in";
+    case TraceEvent::Yield: return "yield";
+    case TraceEvent::Park: return "park";
+    case TraceEvent::Ready: return "ready";
+    case TraceEvent::PollTest: return "poll-test";
+    case TraceEvent::Finish: return "finish";
+  }
+  return "?";
+}
+
+namespace {
+std::uint64_t trace_now() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Trace::Trace(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void Trace::record(TraceEvent e, std::uint32_t tid) noexcept {
+  ring_[head_] = Entry{trace_now(), e, tid};
+  head_ = (head_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+std::vector<Trace::Entry> Trace::snapshot() const {
+  std::vector<Entry> out;
+  const std::size_t n =
+      recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                               : ring_.size();
+  out.reserve(n);
+  // Oldest retained entry sits at head_ when the ring has wrapped.
+  const std::size_t start =
+      recorded_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Trace::dump() const {
+  const auto entries = snapshot();
+  std::string out;
+  if (entries.empty()) return out;
+  const std::uint64_t t0 = entries.front().ns;
+  char line[96];
+  for (const Entry& e : entries) {
+    std::snprintf(line, sizeof line, "+%-10.1f %-10s #%u\n",
+                  static_cast<double>(e.ns - t0) / 1000.0,
+                  to_string(e.event), e.tid);
+    out += line;
+  }
+  return out;
+}
+
+void Trace::clear() noexcept {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace lwt

@@ -1,0 +1,397 @@
+// endpoint.cpp — matching engine for the simulated NX layer.
+//
+// Matching model: every incoming message is appended to the unexpected
+// queue, then drain() pairs queue entries with posted receives. drain()
+// walks the unexpected queue in arrival order and, for each *visible*
+// entry (deliver-at timestamp reached), delivers it to the *first*
+// matching posted receive — which yields exactly the MPI/NX matching
+// rules: earliest-posted receive wins, per-source FIFO holds (an entry
+// still in flight blocks later entries from the same source), and any
+// message left in the queue matches no posted receive. Payloads are
+// delivered straight from the sender's buffer whenever the receive is
+// already posted (the paper's zero-intermediate-copy path); only a
+// message that stays unexpected is eager-copied (at or below the
+// threshold, making the send locally blocking) or held for rendezvous.
+//
+// Locking protocol: all matching state of one endpoint is guarded by its
+// mu_. A send locks only the *destination* endpoint (its own slab
+// allocation happens first, under its own lock, released before the
+// destination lock is taken), so no thread holds two endpoint locks.
+// Completion flags are atomics so msgtest's fast path avoids the lock.
+#include "nx/endpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "nx/machine.hpp"
+
+namespace nx {
+
+namespace {
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#endif
+}
+}  // namespace
+
+Endpoint::Endpoint(Machine& machine, int pe, int proc)
+    : machine_(machine),
+      pe_(pe),
+      proc_(proc),
+      last_deliver_(static_cast<std::size_t>(machine.total_processes()), 0),
+      blocked_scratch_(static_cast<std::size_t>(machine.total_processes()),
+                       0) {}
+
+Endpoint::~Endpoint() = default;
+
+// ------------------------------------------------------------ request slab
+
+Endpoint::Request* Endpoint::slot_ptr(std::uint32_t slot) const {
+  return &slab_[slot / kChunk][slot % kChunk];
+}
+
+std::uint64_t Endpoint::net_now() const {
+  return machine_.config().net.is_zero() ? 0 : now_ns();
+}
+
+Handle Endpoint::alloc_request(Request::Kind kind) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = slots_used_++;
+    if (slot / kChunk >= slab_.size()) {
+      slab_.push_back(std::make_unique<Request[]>(kChunk));
+    }
+    if (slot > kSlotMask) {
+      std::fprintf(stderr, "nx: request slab exhausted (%u)\n", slot);
+      std::abort();
+    }
+  }
+  Request* r = slot_ptr(slot);
+  // 11 generation bits above the slot bits keep the handle non-negative.
+  const std::uint32_t gen = r->gen & ((1u << (31 - kSlotBits)) - 1);
+  r->kind = kind;
+  r->complete.store(false, std::memory_order_relaxed);
+  r->buf = nullptr;
+  r->cap = 0;
+  r->want_channel = 0;
+  r->channel_mask = 0;
+  r->hdr = MsgHeader{};
+  return static_cast<Handle>((gen << kSlotBits) | slot);
+}
+
+Endpoint::Request* Endpoint::checked(Handle h) const {
+  if (h < 0) return nullptr;
+  const auto slot = static_cast<std::uint32_t>(h) & kSlotMask;
+  if (slot >= slots_used_) return nullptr;
+  Request* r = slot_ptr(slot);
+  const auto gen = static_cast<std::uint32_t>(h) >> kSlotBits;
+  if ((r->gen & ((1u << (31 - kSlotBits)) - 1)) != gen ||
+      r->kind == Request::Kind::None) {
+    return nullptr;
+  }
+  return r;
+}
+
+void Endpoint::release_slot(Handle h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto slot = static_cast<std::uint32_t>(h) & kSlotMask;
+  Request* r = slot_ptr(slot);
+  r->kind = Request::Kind::None;
+  ++r->gen;  // invalidate stale handles
+  free_slots_.push_back(slot);
+}
+
+// --------------------------------------------------------------- matching
+
+bool Endpoint::recv_matches(const Request& r, const MsgHeader& h) const {
+  if (r.want_pe != kAnyPe && r.want_pe != h.src_pe) return false;
+  if (r.want_proc != kAnyProc && r.want_proc != h.src_proc) return false;
+  if ((h.channel & r.channel_mask) != (r.want_channel & r.channel_mask)) {
+    return false;
+  }
+  return (h.tag & r.tag_mask) == (r.want_tag & r.tag_mask);
+}
+
+void Endpoint::deliver_into(Request& r, const UnexMsg& m) {
+  r.hdr = m.hdr;
+  std::size_t n = m.hdr.len;
+  if (n > r.cap) {
+    n = r.cap;
+    r.hdr.truncated = true;
+  }
+  if (n > 0) {
+    const void* data = m.payload != nullptr ? m.payload.get() : m.src_buf;
+    std::memcpy(r.buf, data, n);
+  }
+  if (m.payload == nullptr) {
+    counters_.posted_match.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (m.sender_flag != nullptr) {
+    m.sender_flag->store(true, std::memory_order_release);
+  }
+  r.complete.store(true, std::memory_order_release);
+  counters_.delivered.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Endpoint::drain(std::uint64_t now) {
+  // Caller holds mu_. Pair visible unexpected entries (arrival order,
+  // per-source FIFO) with posted receives (post order).
+  if (unexpected_.empty() || posted_.empty()) return;
+  std::fill(blocked_scratch_.begin(), blocked_scratch_.end(), 0);
+  for (auto it = unexpected_.begin(); it != unexpected_.end();) {
+    const int src = machine_.flat_index(it->hdr.src_pe, it->hdr.src_proc);
+    auto& blocked = blocked_scratch_[static_cast<std::size_t>(src)];
+    if (blocked != 0) {
+      ++it;
+      continue;
+    }
+    if (it->deliver_at > now) {
+      // Still in flight: per-source channels are ordered, so nothing
+      // later from this source may be delivered either.
+      blocked = 1;
+      ++it;
+      continue;
+    }
+    bool delivered = false;
+    for (auto pit = posted_.begin(); pit != posted_.end(); ++pit) {
+      Request* r = checked(*pit);
+      if (r == nullptr || !recv_matches(*r, it->hdr)) continue;
+      deliver_into(*r, *it);
+      posted_.erase(pit);
+      it = unexpected_.erase(it);
+      delivered = true;
+      break;
+    }
+    if (!delivered) ++it;
+  }
+}
+
+// ------------------------------------------------------------------ sends
+
+bool Endpoint::accept_send(const MsgHeader& h, const void* buf,
+                           std::atomic<bool>* sender_flag) {
+  // Runs on the SENDER's OS thread, locking the receiver (this).
+  std::lock_guard<std::mutex> lk(mu_);
+  const NetModel& net = machine_.config().net;
+  const int src = machine_.flat_index(h.src_pe, h.src_proc);
+  std::uint64_t now = 0;
+  std::uint64_t deliver_at = 0;
+  // Messages within one process never cross the interconnect (on the
+  // Paragon they moved through local memory), so the wire model applies
+  // only to remote traffic.
+  const bool local = h.src_pe == pe_ && h.src_proc == proc_;
+  if (!net.is_zero() && !local) {
+    now = now_ns();
+    deliver_at = now + net.delay_ns(h.len);
+    auto& last = last_deliver_[static_cast<std::size_t>(src)];
+    if (deliver_at <= last) deliver_at = last + 1;  // ordered channel
+    last = deliver_at;
+  }
+  unexpected_.push_back(UnexMsg{});
+  auto it = std::prev(unexpected_.end());
+  it->hdr = h;
+  it->deliver_at = deliver_at;
+  it->src_buf = buf;
+  it->sender_flag = sender_flag;
+  drain(now);
+  // If drain() delivered our entry it erased it (invalidating `it`) and
+  // raised sender_flag first — so the flag, not the iterator, is the
+  // delivery signal.
+  if (sender_flag->load(std::memory_order_acquire)) {
+    // Delivered straight from the sender's buffer (zero copies beyond
+    // the one into the user's receive buffer).
+    return true;
+  }
+  if (h.len <= machine_.config().eager_threshold) {
+    // Stays unexpected: buffer it so the send is locally blocking.
+    if (h.len > 0) {
+      it->payload = std::make_unique<std::uint8_t[]>(h.len);
+      std::memcpy(it->payload.get(), buf, h.len);
+    }
+    it->src_buf = nullptr;
+    it->sender_flag = nullptr;
+    counters_.unexpected_eager.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  counters_.unexpected_rndv.fetch_add(1, std::memory_order_relaxed);
+  return false;  // rendezvous: receiver will raise sender_flag
+}
+
+Handle Endpoint::isend(int dst_pe, int dst_proc, int tag, const void* buf,
+                       std::size_t len, int channel) {
+  counters_.sends.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_sent.fetch_add(len, std::memory_order_relaxed);
+  Handle h = alloc_request(Request::Kind::Send);
+  Request* r = checked(h);
+  MsgHeader hdr{pe_, proc_, tag, channel, len, false};
+  Endpoint& dst = machine_.endpoint(dst_pe, dst_proc);
+  if (dst.accept_send(hdr, buf, &r->complete)) {
+    r->complete.store(true, std::memory_order_release);
+  }
+  return h;
+}
+
+void Endpoint::csend(int dst_pe, int dst_proc, int tag, const void* buf,
+                     std::size_t len, int channel) {
+  counters_.sends.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_sent.fetch_add(len, std::memory_order_relaxed);
+  std::atomic<bool> done{false};
+  MsgHeader hdr{pe_, proc_, tag, channel, len, false};
+  Endpoint& dst = machine_.endpoint(dst_pe, dst_proc);
+  if (dst.accept_send(hdr, buf, &done)) return;
+  // Rendezvous: spin until the receiver copies. This parks the whole OS
+  // thread, which is fine across processes; within one process use the
+  // Chant layer's thread-aware send instead. A short relax burst covers
+  // the receiver-already-copying case; beyond it, donate the timeslice
+  // (the receiving "processor" may share this core).
+  unsigned spins = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    cpu_relax();
+    if (++spins >= 4) std::this_thread::yield();
+  }
+}
+
+// --------------------------------------------------------------- receives
+
+Handle Endpoint::irecv(int src_pe, int src_proc, int tag, int tag_mask,
+                       void* buf, std::size_t cap, int channel,
+                       int channel_mask) {
+  counters_.recvs_posted.fetch_add(1, std::memory_order_relaxed);
+  Handle h = alloc_request(Request::Kind::Recv);
+  std::lock_guard<std::mutex> lk(mu_);
+  Request* r = checked(h);
+  r->buf = buf;
+  r->cap = cap;
+  r->want_pe = src_pe;
+  r->want_proc = src_proc;
+  r->want_tag = tag;
+  r->tag_mask = tag_mask;
+  r->want_channel = channel;
+  r->channel_mask = channel_mask;
+  posted_.push_back(h);
+  drain(net_now());
+  return h;
+}
+
+bool Endpoint::msgtest(Handle h, MsgHeader* out) {
+  counters_.msgtest_calls.fetch_add(1, std::memory_order_relaxed);
+  Request* r = checked(h);
+  if (r == nullptr) {
+    std::fprintf(stderr, "nx: msgtest on invalid handle %d\n", h);
+    std::abort();
+  }
+  if (!r->complete.load(std::memory_order_acquire)) {
+    if (r->kind == Request::Kind::Recv) {
+      // Progress: a matching message may have arrived (or become
+      // visible) since the receive was posted.
+      std::lock_guard<std::mutex> lk(mu_);
+      drain(net_now());
+    }
+    if (!r->complete.load(std::memory_order_acquire)) {
+      counters_.msgtest_failed.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  if (out != nullptr) *out = r->hdr;
+  release_slot(h);
+  return true;
+}
+
+MsgHeader Endpoint::msgwait(Handle h) {
+  MsgHeader out{};
+  unsigned spins = 0;
+  while (!msgtest(h, &out)) {
+    cpu_relax();
+    if (++spins >= 4) std::this_thread::yield();
+  }
+  return out;
+}
+
+int Endpoint::msgtestany(const Handle* hs, std::size_t n, MsgHeader* out) {
+  counters_.testany_calls.fetch_add(1, std::memory_order_relaxed);
+  // One progress pass, then one scan — the single-call semantics the
+  // paper attributes to MPI_TESTANY.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    drain(net_now());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hs[i] == kInvalidHandle) continue;
+    Request* r = checked(hs[i]);
+    if (r == nullptr) continue;
+    if (r->complete.load(std::memory_order_acquire)) {
+      if (out != nullptr) *out = r->hdr;
+      release_slot(hs[i]);
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+MsgHeader Endpoint::crecv(int src_pe, int src_proc, int tag, int tag_mask,
+                          void* buf, std::size_t cap) {
+  Handle h = irecv(src_pe, src_proc, tag, tag_mask, buf, cap);
+  return msgwait(h);
+}
+
+bool Endpoint::iprobe(int src_pe, int src_proc, int tag, int tag_mask,
+                      MsgHeader* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t now = net_now();
+  Request probe;
+  probe.want_pe = src_pe;
+  probe.want_proc = src_proc;
+  probe.want_tag = tag;
+  probe.tag_mask = tag_mask;
+  for (const auto& m : unexpected_) {
+    if (!recv_matches(probe, m.hdr)) continue;
+    if (m.deliver_at > now) continue;
+    if (out != nullptr) *out = m.hdr;
+    return true;
+  }
+  return false;
+}
+
+bool Endpoint::msgdone(Handle h) const {
+  const Request* r = checked(h);
+  return r != nullptr && r->complete.load(std::memory_order_acquire);
+}
+
+bool Endpoint::cancel_recv(Handle h) {
+  Request* r = checked(h);
+  if (r == nullptr) return false;
+  bool was_pending = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!r->complete.load(std::memory_order_acquire)) {
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if (*it == h) {
+          posted_.erase(it);
+          was_pending = true;
+          break;
+        }
+      }
+    }
+  }
+  release_slot(h);
+  return was_pending;
+}
+
+std::size_t Endpoint::unexpected_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return unexpected_.size();
+}
+
+std::size_t Endpoint::posted_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return posted_.size();
+}
+
+}  // namespace nx

@@ -1,0 +1,224 @@
+// group.cpp — binomial-tree collectives over the point-to-point layer.
+#include "nx/group.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace nx {
+
+namespace {
+inline void default_wait() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#endif
+  std::this_thread::yield();
+}
+
+/// Group traffic rides in the channel field with bit 29 set, a space the
+/// Chant tag codec never produces (its header-field lids stay below
+/// 2^13), so collectives cannot match application receives.
+constexpr int kGroupChannelFlag = 0x20000000;
+}  // namespace
+
+Group::Group(Endpoint& ep, std::vector<NodeAddr> members, int group_id)
+    : ep_(ep), members_(std::move(members)), group_id_(group_id) {
+  if (group_id_ <= 0 || group_id_ >= kGroupChannelFlag) {
+    std::fprintf(stderr, "nx: group id %d out of range\n", group_id_);
+    std::abort();
+  }
+  if (members_.empty() || members_.size() > 256) {
+    std::fprintf(stderr, "nx: group size %zu unsupported\n", members_.size());
+    std::abort();
+  }
+  for (std::size_t r = 0; r < members_.size(); ++r) {
+    if (members_[r].pe == ep_.pe() && members_[r].proc == ep_.proc()) {
+      rank_ = static_cast<int>(r);
+    }
+  }
+  if (rank_ < 0) {
+    std::fprintf(stderr, "nx: endpoint (%d,%d) is not a member of group %d\n",
+                 ep_.pe(), ep_.proc(), group_id_);
+    std::abort();
+  }
+}
+
+bool Group::contains(int pe, int proc) const noexcept {
+  return std::find(members_.begin(), members_.end(), NodeAddr{pe, proc}) !=
+         members_.end();
+}
+
+void Group::send_to(int rank, int tag, const void* buf, std::size_t len) {
+  const NodeAddr& m = members_[static_cast<std::size_t>(rank)];
+  ep_.csend(m.pe, m.proc, tag, buf, len, kGroupChannelFlag | group_id_);
+}
+
+void Group::wait(Handle h, MsgHeader* out) {
+  while (!ep_.msgtest(h, out)) {
+    if (waiter_) {
+      waiter_();
+    } else {
+      default_wait();
+    }
+  }
+}
+
+void Group::recv_from(int rank, int tag, void* buf, std::size_t cap) {
+  const NodeAddr& m = members_[static_cast<std::size_t>(rank)];
+  Handle h = ep_.irecv(m.pe, m.proc, tag, kTagExact, buf, cap,
+                       kGroupChannelFlag | group_id_, ~0);
+  MsgHeader hdr;
+  wait(h, &hdr);
+  if (hdr.truncated) {
+    std::fprintf(stderr, "nx: group %d message truncated (%zu > %zu)\n",
+                 group_id_, hdr.len, cap);
+    std::abort();
+  }
+}
+
+void Group::barrier() {
+  seq_ = (seq_ + 1) & 0x7FFF;
+  const int n = size();
+  if (n == 1) return;
+  // Dissemination barrier: log2(n) rounds of shifted token exchange.
+  int round = 0;
+  for (int k = 1; k < n; k <<= 1, ++round) {
+    const int to = (rank_ + k) % n;
+    const int from = (rank_ - k + n) % n;
+    const char token = 1;
+    send_to(to, tag_for(kBarrier, round), &token, 1);
+    char got = 0;
+    recv_from(from, tag_for(kBarrier, round), &got, 1);
+  }
+}
+
+void Group::broadcast(void* buf, std::size_t len, int root) {
+  seq_ = (seq_ + 1) & 0x7FFF;
+  const int n = size();
+  if (n == 1) return;
+  const int vr = (rank_ - root + n) % n;
+  // Receive from the binomial parent...
+  int mask = 1;
+  while (mask < n) {
+    if ((vr & mask) != 0) {
+      const int parent = (vr - mask + root + n) % n;
+      recv_from(parent, tag_for(kBcast, 0), buf, len);
+      break;
+    }
+    mask <<= 1;
+  }
+  // ...then forward to the binomial children.
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vr & (mask - 1)) == 0 && (vr | mask) < n && (vr & mask) == 0) {
+      const int child = (vr + mask + root) % n;
+      send_to(child, tag_for(kBcast, 0), buf, len);
+    }
+    mask >>= 1;
+  }
+}
+
+namespace {
+template <typename T>
+void apply(ReduceOp op, T* acc, const T* in, std::size_t n) {
+  switch (op) {
+    case ReduceOp::Sum:
+      for (std::size_t i = 0; i < n; ++i) acc[i] += in[i];
+      return;
+    case ReduceOp::Min:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
+      return;
+    case ReduceOp::Max:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
+      return;
+  }
+}
+}  // namespace
+
+template <typename T>
+void Group::reduce_impl(const T* in, T* out, std::size_t n, ReduceOp op,
+                        int root) {
+  seq_ = (seq_ + 1) & 0x7FFF;
+  const int gsize = size();
+  std::vector<T> acc(in, in + n);
+  std::vector<T> tmp(n);
+  const int vr = (rank_ - root + gsize) % gsize;
+  int round = 0;
+  for (int mask = 1; mask < gsize; mask <<= 1, ++round) {
+    if ((vr & mask) != 0) {
+      const int parent = (vr - mask + root + gsize) % gsize;
+      send_to(parent, tag_for(kReduce, round), acc.data(), n * sizeof(T));
+      return;  // contribution handed upwards; done
+    }
+    if (vr + mask < gsize) {
+      const int child = (vr + mask + root) % gsize;
+      recv_from(child, tag_for(kReduce, round), tmp.data(), n * sizeof(T));
+      apply(op, acc.data(), tmp.data(), n);
+    }
+  }
+  // vr == 0: this is the root.
+  std::copy(acc.begin(), acc.end(), out);
+}
+
+void Group::reduce(const std::int64_t* in, std::int64_t* out, std::size_t n,
+                   ReduceOp op, int root) {
+  reduce_impl(in, out, n, op, root);
+}
+void Group::reduce(const double* in, double* out, std::size_t n, ReduceOp op,
+                   int root) {
+  reduce_impl(in, out, n, op, root);
+}
+
+void Group::allreduce(const std::int64_t* in, std::int64_t* out,
+                      std::size_t n, ReduceOp op) {
+  reduce(in, out, n, op, /*root=*/0);
+  broadcast(out, n * sizeof(std::int64_t), /*root=*/0);
+}
+void Group::allreduce(const double* in, double* out, std::size_t n,
+                      ReduceOp op) {
+  reduce(in, out, n, op, /*root=*/0);
+  broadcast(out, n * sizeof(double), /*root=*/0);
+}
+
+void Group::gather(const void* in, std::size_t len, void* out, int root) {
+  seq_ = (seq_ + 1) & 0x7FFF;
+  if (rank_ != root) {
+    send_to(root, tag_for(kGather, rank_ & 0xFF), in, len);
+    return;
+  }
+  auto* dst = static_cast<std::uint8_t*>(out);
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) {
+      std::memcpy(dst + static_cast<std::size_t>(r) * len, in, len);
+    } else {
+      recv_from(r, tag_for(kGather, r & 0xFF),
+                dst + static_cast<std::size_t>(r) * len, len);
+    }
+  }
+}
+
+void Group::allgather(const void* in, std::size_t len, void* out) {
+  gather(in, len, out, /*root=*/0);
+  broadcast(out, static_cast<std::size_t>(size()) * len, /*root=*/0);
+}
+
+void Group::scatter(const void* in, void* out, std::size_t len, int root) {
+  seq_ = (seq_ + 1) & 0x7FFF;
+  if (rank_ == root) {
+    const auto* src = static_cast<const std::uint8_t*>(in);
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) {
+        std::memcpy(out, src + static_cast<std::size_t>(r) * len, len);
+      } else {
+        send_to(r, tag_for(kScatter, r & 0xFF),
+                src + static_cast<std::size_t>(r) * len, len);
+      }
+    }
+    return;
+  }
+  recv_from(root, tag_for(kScatter, rank_ & 0xFF), out, len);
+}
+
+}  // namespace nx

@@ -1,0 +1,72 @@
+// machine.cpp — process hosting and lifecycle for the simulated machine.
+#include "nx/machine.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace nx {
+
+Machine::Machine(const Config& cfg) : cfg_(cfg) {
+  if (cfg_.pes < 1 || cfg_.processes_per_pe < 1) {
+    std::fprintf(stderr, "nx: invalid machine config (%d pes, %d procs)\n",
+                 cfg_.pes, cfg_.processes_per_pe);
+    std::abort();
+  }
+  endpoints_.reserve(static_cast<std::size_t>(total_processes()));
+  for (int pe = 0; pe < cfg_.pes; ++pe) {
+    for (int pr = 0; pr < cfg_.processes_per_pe; ++pr) {
+      endpoints_.push_back(std::make_unique<Endpoint>(*this, pe, pr));
+    }
+  }
+}
+
+Machine::~Machine() = default;
+
+Endpoint& Machine::endpoint(int pe, int proc) {
+  if (pe < 0 || pe >= cfg_.pes || proc < 0 || proc >= cfg_.processes_per_pe) {
+    std::fprintf(stderr, "nx: endpoint(%d,%d) out of range\n", pe, proc);
+    std::abort();
+  }
+  return *endpoints_[static_cast<std::size_t>(flat_index(pe, proc))];
+}
+
+const Endpoint& Machine::endpoint(int pe, int proc) const {
+  return const_cast<Machine*>(this)->endpoint(pe, proc);
+}
+
+void Machine::run(const std::function<void(Endpoint&)>& process_main) {
+  const int n = total_processes();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  for (int i = 0; i < n; ++i) {
+    Endpoint* ep = endpoints_[static_cast<std::size_t>(i)].get();
+    threads.emplace_back([&, ep] {
+      try {
+        process_main(*ep);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Machine::os_barrier() {
+  std::unique_lock<std::mutex> lk(bar_mu_);
+  const std::uint64_t gen = bar_gen_;
+  if (++bar_arrived_ == static_cast<std::size_t>(total_processes())) {
+    bar_arrived_ = 0;
+    ++bar_gen_;
+    bar_cv_.notify_all();
+    return;
+  }
+  bar_cv_.wait(lk, [&] { return bar_gen_ != gen; });
+}
+
+}  // namespace nx

@@ -1,0 +1,165 @@
+// chant_async_rsr_test.cpp — asynchronous remote service requests:
+// multiple outstanding calls, polling, out-of-order deferred replies,
+// sequence-number pairing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "chant_test_util.hpp"
+#include "lwt/lwt.hpp"
+
+namespace {
+
+using chant::Gid;
+using chant::Runtime;
+using chant_test::PolicyCase;
+
+void square_handler(Runtime&, Runtime::RsrContext&, const void* arg,
+                    std::size_t len, std::vector<std::uint8_t>& reply) {
+  long v = 0;
+  if (len >= sizeof v) std::memcpy(&v, arg, sizeof v);
+  const long out = v * v;
+  reply.resize(sizeof out);
+  std::memcpy(reply.data(), &out, sizeof out);
+}
+
+/// Replies after a delay *proportional to the argument*, so issuing
+/// 5, 4, ..., 1 produces replies in reverse order of the requests.
+void reversed_handler(Runtime& rt, Runtime::RsrContext& ctx, const void* arg,
+                      std::size_t len, std::vector<std::uint8_t>&) {
+  long v = 0;
+  if (len >= sizeof v) std::memcpy(&v, arg, sizeof v);
+  ctx.deferred = true;
+  const Runtime::RsrContext saved = ctx;
+  lwt::ThreadAttr attr;
+  attr.detached = true;
+  lwt::go([&rt, saved, v] {
+    for (long i = 0; i < v * 20; ++i) rt.yield();
+    const long out = -v;
+    rt.reply(saved, &out, sizeof out);
+  }, attr);
+}
+
+class ChantAsyncRsr : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(ChantAsyncRsr, ManyOutstandingCallsComplete) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int square = w.register_handler(&square_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    std::vector<int> handles;
+    for (long i = 1; i <= 10; ++i) {
+      handles.push_back(rt.call_async(1, 0, square, &i, sizeof i));
+    }
+    for (long i = 1; i <= 10; ++i) {
+      const auto rep = rt.call_wait(handles[static_cast<std::size_t>(i - 1)]);
+      long out = 0;
+      std::memcpy(&out, rep.data(), sizeof out);
+      EXPECT_EQ(out, i * i);
+    }
+  });
+}
+
+TEST_P(ChantAsyncRsr, CallTestPollsWithoutBlocking) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int square = w.register_handler(&square_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    long v = 9;
+    const int h = rt.call_async(1, 0, square, &v, sizeof v);
+    std::vector<std::uint8_t> rep;
+    int polls = 0;
+    while (!rt.call_test(h, &rep)) {
+      ++polls;
+      rt.yield();
+    }
+    long out = 0;
+    std::memcpy(&out, rep.data(), sizeof out);
+    EXPECT_EQ(out, 81);
+    // Handle is released by the successful test.
+    EXPECT_THROW((void)rt.call_test(h), std::invalid_argument);
+    (void)polls;
+  });
+}
+
+TEST_P(ChantAsyncRsr, OutOfOrderDeferredRepliesPairCorrectly) {
+  // The crux of the sequence-number scheme: the *last* request gets the
+  // *first* reply, yet every handle yields its own answer.
+  chant::World w(chant_test::config_for(GetParam()));
+  const int reversed = w.register_handler(&reversed_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    std::vector<int> handles;
+    for (long v = 5; v >= 1; --v) {
+      handles.push_back(rt.call_async(1, 0, reversed, &v, sizeof v));
+    }
+    // Wait in issue order (slowest first): replies for later handles
+    // arrive while we block on the first.
+    long expect = 5;
+    for (int h : handles) {
+      const auto rep = rt.call_wait(h);
+      long out = 0;
+      std::memcpy(&out, rep.data(), sizeof out);
+      EXPECT_EQ(out, -expect);
+      --expect;
+    }
+  });
+}
+
+TEST_P(ChantAsyncRsr, InterleavedWithSyncCallsAndP2p) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int square = w.register_handler(&square_handler);
+  w.run([&](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      long v = 3;
+      const int h = rt.call_async(1, 0, square, &v, sizeof v);
+      // Ordinary p2p while the call is in flight.
+      long ping = 77;
+      rt.send(40, &ping, sizeof ping, peer);
+      long pong = 0;
+      rt.recv(41, &pong, sizeof pong, peer);
+      EXPECT_EQ(pong, 78);
+      // A sync call while the async one is still outstanding.
+      long u = 4;
+      const auto srep = rt.call(1, 0, square, &u, sizeof u);
+      long sout = 0;
+      std::memcpy(&sout, srep.data(), sizeof sout);
+      EXPECT_EQ(sout, 16);
+      const auto arep = rt.call_wait(h);
+      long aout = 0;
+      std::memcpy(&aout, arep.data(), sizeof aout);
+      EXPECT_EQ(aout, 9);
+    } else {
+      long ping = 0;
+      rt.recv(40, &ping, sizeof ping, peer);
+      long pong = ping + 1;
+      rt.send(41, &pong, sizeof pong, peer);
+    }
+  });
+}
+
+TEST_P(ChantAsyncRsr, SequenceNumbersSurviveWrap) {
+  // Push the 12-bit reply-sequence counter through a wrap.
+  chant::World w(chant_test::config_for(GetParam()));
+  const int square = w.register_handler(&square_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    for (long i = 0; i < 4200; ++i) {
+      const long v = i % 50;
+      const auto rep = rt.call(1, 0, square, &v, sizeof v);
+      long out = 0;
+      std::memcpy(&out, rep.data(), sizeof out);
+      ASSERT_EQ(out, v * v);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChantAsyncRsr,
+                         ::testing::ValuesIn(chant_test::all_cases()),
+                         [](const auto& info) {
+                           return chant_test::case_name(info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,172 @@
+// chant_capi_sync_test.cpp — the Appendix-A local-thread C routines:
+// attributes, mutexes, condition variables, TLS keys, once-init.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+#include "chant/chant.hpp"
+
+namespace {
+
+chant::World::Config one_pe() {
+  chant::World::Config cfg;
+  cfg.pes = 1;
+  return cfg;
+}
+
+TEST(ChanterAttr, InitDefaultsAndAccessors) {
+  pthread_chanter_attr_t attr;
+  ASSERT_EQ(pthread_chanter_attr_init(&attr), 0);
+  size_t ss = 1;
+  ASSERT_EQ(pthread_chanter_attr_getstacksize(&attr, &ss), 0);
+  EXPECT_EQ(ss, 0u);  // runtime default
+  EXPECT_EQ(pthread_chanter_attr_setstacksize(&attr, 1 << 20), 0);
+  ASSERT_EQ(pthread_chanter_attr_getstacksize(&attr, &ss), 0);
+  EXPECT_EQ(ss, 1u << 20);
+  int prio = -1;
+  EXPECT_EQ(pthread_chanter_attr_setprio(&attr, 6), 0);
+  ASSERT_EQ(pthread_chanter_attr_getprio(&attr, &prio), 0);
+  EXPECT_EQ(prio, 6);
+  EXPECT_EQ(pthread_chanter_attr_setprio(&attr, 99), EINVAL);
+  EXPECT_EQ(pthread_chanter_attr_setdetachstate(&attr, 1), 0);
+  EXPECT_EQ(pthread_chanter_attr_destroy(&attr), 0);
+  EXPECT_EQ(pthread_chanter_attr_init(nullptr), EINVAL);
+}
+
+TEST(ChanterMutex, LockTrylockUnlock) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime&) {
+    pthread_chanter_mutex_t m;
+    ASSERT_EQ(pthread_chanter_mutex_init(&m), 0);
+    EXPECT_EQ(pthread_chanter_mutex_lock(&m), 0);
+    EXPECT_EQ(pthread_chanter_mutex_trylock(&m), EBUSY);
+    EXPECT_EQ(pthread_chanter_mutex_destroy(&m), EBUSY);  // still locked
+    EXPECT_EQ(pthread_chanter_mutex_unlock(&m), 0);
+    EXPECT_EQ(pthread_chanter_mutex_trylock(&m), 0);
+    EXPECT_EQ(pthread_chanter_mutex_unlock(&m), 0);
+    EXPECT_EQ(pthread_chanter_mutex_destroy(&m), 0);
+  });
+}
+
+TEST(ChanterMutex, UnlockByNonOwnerIsEperm) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime& rt) {
+    static pthread_chanter_mutex_t m;
+    ASSERT_EQ(pthread_chanter_mutex_init(&m), 0);
+    ASSERT_EQ(pthread_chanter_mutex_lock(&m), 0);
+    const chant::Gid g = rt.create(
+        [](void*) -> void* {
+          return reinterpret_cast<void*>(
+              static_cast<long>(pthread_chanter_mutex_unlock(&m)));
+        },
+        nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    EXPECT_EQ(rt.join(g), reinterpret_cast<void*>((long)EPERM));
+    EXPECT_EQ(pthread_chanter_mutex_unlock(&m), 0);
+    pthread_chanter_mutex_destroy(&m);
+  });
+}
+
+TEST(ChanterCond, WaitSignalAcrossThreads) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime& rt) {
+    static pthread_chanter_mutex_t m;
+    static pthread_chanter_cond_t c;
+    static int stage;
+    stage = 0;
+    ASSERT_EQ(pthread_chanter_mutex_init(&m), 0);
+    ASSERT_EQ(pthread_chanter_cond_init(&c), 0);
+    const chant::Gid g = rt.create(
+        [](void*) -> void* {
+          pthread_chanter_mutex_lock(&m);
+          while (stage == 0) pthread_chanter_cond_wait(&c, &m);
+          stage = 2;
+          pthread_chanter_mutex_unlock(&m);
+          return nullptr;
+        },
+        nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    rt.yield();  // let the waiter park
+    pthread_chanter_mutex_lock(&m);
+    stage = 1;
+    pthread_chanter_cond_signal(&c);
+    pthread_chanter_mutex_unlock(&m);
+    rt.join(g);
+    EXPECT_EQ(stage, 2);
+    EXPECT_EQ(pthread_chanter_cond_destroy(&c), 0);
+    EXPECT_EQ(pthread_chanter_mutex_destroy(&m), 0);
+  });
+}
+
+TEST(ChanterCond, WaitWithoutOwnershipIsEperm) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime&) {
+    pthread_chanter_mutex_t m;
+    pthread_chanter_cond_t c;
+    ASSERT_EQ(pthread_chanter_mutex_init(&m), 0);
+    ASSERT_EQ(pthread_chanter_cond_init(&c), 0);
+    EXPECT_EQ(pthread_chanter_cond_wait(&c, &m), EPERM);  // mutex not held
+    pthread_chanter_cond_destroy(&c);
+    pthread_chanter_mutex_destroy(&m);
+  });
+}
+
+TEST(ChanterKeys, PerThreadValuesAndDestructor) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime& rt) {
+    static pthread_chanter_key_t key;
+    static int destroyed;
+    destroyed = 0;
+    ASSERT_EQ(pthread_chanter_key_create(
+                  &key, [](void* v) {
+                    destroyed += static_cast<int>(
+                        reinterpret_cast<long>(v));
+                  }),
+              0);
+    ASSERT_EQ(pthread_chanter_setspecific(key, reinterpret_cast<void*>(3L)),
+              0);
+    const chant::Gid g = rt.create(
+        [](void*) -> void* {
+          EXPECT_EQ(pthread_chanter_getspecific(key), nullptr);
+          pthread_chanter_setspecific(key, reinterpret_cast<void*>(4L));
+          return pthread_chanter_getspecific(key);
+        },
+        nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    EXPECT_EQ(rt.join(g), reinterpret_cast<void*>(4L));
+    EXPECT_EQ(destroyed, 4);  // child's dtor ran at its exit
+    EXPECT_EQ(pthread_chanter_getspecific(key),
+              reinterpret_cast<void*>(3L));  // ours untouched
+    EXPECT_EQ(pthread_chanter_key_delete(key), 0);
+  });
+}
+
+TEST(ChanterOnce, InitializerRunsOnce) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime& rt) {
+    static pthread_chanter_once_t once = PTHREAD_CHANTER_ONCE_INIT;
+    static int runs;
+    runs = 0;
+    once.impl = nullptr;
+    auto entry = [](void*) -> void* {
+      pthread_chanter_once(&once, [] { ++runs; });
+      return nullptr;
+    };
+    std::vector<chant::Gid> gs;
+    for (int i = 0; i < 5; ++i) {
+      gs.push_back(rt.create(entry, nullptr, PTHREAD_CHANTER_LOCAL,
+                             PTHREAD_CHANTER_LOCAL));
+    }
+    for (const auto& g : gs) rt.join(g);
+    EXPECT_EQ(runs, 1);
+  });
+}
+
+TEST(ChanterSyncC, NullArgumentsRejected) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime&) {
+    EXPECT_EQ(pthread_chanter_mutex_lock(nullptr), EINVAL);
+    EXPECT_EQ(pthread_chanter_cond_signal(nullptr), EINVAL);
+    EXPECT_EQ(pthread_chanter_key_create(nullptr, nullptr), EINVAL);
+    EXPECT_EQ(pthread_chanter_once(nullptr, nullptr), EINVAL);
+  });
+}
+
+}  // namespace

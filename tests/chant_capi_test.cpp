@@ -1,0 +1,182 @@
+// chant_capi_test.cpp — the Appendix-A C interface (paper Fig. 14),
+// exercised end-to-end exactly as a 1994 client would use it.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "chant/chant.hpp"
+
+namespace {
+
+chant::World::Config base_config(int pes = 2) {
+  chant::World::Config cfg;
+  cfg.pes = pes;
+  cfg.rt.policy = chant::PollPolicy::SchedulerPollsPS;
+  return cfg;
+}
+
+void* echo_server(void*) {
+  char buf[256];
+  pthread_chanter_t from = PTHREAD_CHANTER_ANY;
+  int rc = pthread_chanter_recv(1, buf, sizeof buf, &from);
+  EXPECT_EQ(rc, 0);
+  rc = pthread_chanter_send(2, buf, static_cast<int>(std::strlen(buf) + 1),
+                            &from);
+  EXPECT_EQ(rc, 0);
+  return nullptr;
+}
+
+TEST(ChanterCapi, CreateSendRecvJoin) {
+  chant::World w(base_config());
+  w.run([](chant::Runtime& rt) {
+    if (rt.pe() != 0) return;
+    pthread_chanter_t t;
+    ASSERT_EQ(pthread_chanter_create(&t, nullptr, &echo_server, nullptr, 1, 0),
+              0);
+    EXPECT_EQ(pthread_chanter_pe(&t), 1);
+    EXPECT_EQ(pthread_chanter_process(&t), 0);
+    EXPECT_GE(pthread_chanter_pthread(&t), chant::kFirstUserLid);
+
+    char msg[] = "hello appendix A";
+    ASSERT_EQ(pthread_chanter_send(1, msg, sizeof msg, &t), 0);
+    char buf[256];
+    pthread_chanter_t src = t;
+    ASSERT_EQ(pthread_chanter_recv(2, buf, sizeof buf, &src), 0);
+    EXPECT_STREQ(buf, msg);
+
+    void* status = nullptr;
+    EXPECT_EQ(pthread_chanter_join(&t, &status), 0);
+  });
+}
+
+TEST(ChanterCapi, SelfAndEqual) {
+  chant::World w(base_config(1));
+  w.run([](chant::Runtime& rt) {
+    pthread_chanter_t* me = pthread_chanter_self();
+    ASSERT_NE(me, nullptr);
+    EXPECT_EQ(me->pe, rt.pe());
+    EXPECT_EQ(me->thread, chant::kMainLid);
+    pthread_chanter_t copy = *me;
+    EXPECT_EQ(pthread_chanter_equal(me, &copy), 1);
+    copy.thread = 99;
+    EXPECT_EQ(pthread_chanter_equal(me, &copy), 0);
+    EXPECT_EQ(pthread_chanter_equal(nullptr, &copy), 0);
+  });
+}
+
+TEST(ChanterCapi, LocalCreateWithAttributes) {
+  chant::World w(base_config(1));
+  w.run([](chant::Runtime&) {
+    pthread_chanter_attr_t attr{};
+    attr.stack_size = 256 * 1024;
+    attr.priority = 5;
+    attr.detached = 0;
+    pthread_chanter_t t;
+    ASSERT_EQ(pthread_chanter_create(
+                  &t, &attr,
+                  [](void* a) -> void* { return a; },
+                  reinterpret_cast<void*>(31L), PTHREAD_CHANTER_LOCAL,
+                  PTHREAD_CHANTER_LOCAL),
+              0);
+    void* status = nullptr;
+    EXPECT_EQ(pthread_chanter_join(&t, &status), 0);
+    EXPECT_EQ(status, reinterpret_cast<void*>(31L));
+  });
+}
+
+TEST(ChanterCapi, DetachedThreadCannotBeJoined) {
+  chant::World w(base_config(1));
+  w.run([](chant::Runtime&) {
+    pthread_chanter_attr_t attr{};
+    attr.detached = 1;
+    pthread_chanter_t t;
+    ASSERT_EQ(pthread_chanter_create(
+                  &t, &attr, [](void*) -> void* { return nullptr; }, nullptr,
+                  PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL),
+              0);
+    void* status = nullptr;
+    EXPECT_EQ(pthread_chanter_join(&t, &status), ESRCH);
+  });
+}
+
+TEST(ChanterCapi, ExitPublishesStatus) {
+  chant::World w(base_config(1));
+  w.run([](chant::Runtime&) {
+    pthread_chanter_t t;
+    ASSERT_EQ(pthread_chanter_create(
+                  &t, nullptr,
+                  [](void*) -> void* {
+                    pthread_chanter_exit(reinterpret_cast<void*>(55L));
+                    return nullptr;  // unreachable; exit() does not return
+                  },
+                  nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL),
+              0);
+    void* status = nullptr;
+    EXPECT_EQ(pthread_chanter_join(&t, &status), 0);
+    EXPECT_EQ(status, reinterpret_cast<void*>(55L));
+  });
+}
+
+TEST(ChanterCapi, CancelReportsCanceledStatus) {
+  chant::World w(base_config());
+  w.run([](chant::Runtime& rt) {
+    if (rt.pe() != 0) return;
+    pthread_chanter_t t;
+    ASSERT_EQ(pthread_chanter_create(
+                  &t, nullptr,
+                  [](void*) -> void* {
+                    for (;;) pthread_chanter_yield();
+                  },
+                  nullptr, 1, 0),
+              0);
+    EXPECT_EQ(pthread_chanter_cancel(&t), 0);
+    void* status = nullptr;
+    EXPECT_EQ(pthread_chanter_join(&t, &status), 0);
+    EXPECT_EQ(status, PTHREAD_CHANTER_CANCELED);
+  });
+}
+
+TEST(ChanterCapi, IrecvMsgtestMsgwait) {
+  chant::World w(base_config(1));
+  w.run([](chant::Runtime&) {
+    pthread_chanter_t* me = pthread_chanter_self();
+    char buf[16] = {0};
+    int handle = -1;
+    pthread_chanter_t src = *me;
+    ASSERT_EQ(pthread_chanter_irecv(&handle, 3, buf, sizeof buf, &src), 0);
+    EXPECT_EQ(pthread_chanter_msgtest(handle), 0);  // pending
+    char msg[] = "later";
+    ASSERT_EQ(pthread_chanter_send(3, msg, sizeof msg, me), 0);
+    EXPECT_EQ(pthread_chanter_msgwait(handle), 0);
+    EXPECT_STREQ(buf, "later");
+    // Handle released by msgwait: further use reports an error.
+    EXPECT_LT(pthread_chanter_msgtest(handle), 0);
+  });
+}
+
+TEST(ChanterCapi, ArgumentValidation) {
+  chant::World w(base_config(1));
+  w.run([](chant::Runtime&) {
+    EXPECT_EQ(pthread_chanter_create(nullptr, nullptr, &echo_server, nullptr,
+                                     0, 0),
+              EINVAL);
+    pthread_chanter_t t{0, 0, chant::kMainLid};
+    EXPECT_EQ(pthread_chanter_send(99999999, "x", 1, &t), ERANGE);
+    EXPECT_EQ(pthread_chanter_send(1, "x", -1, &t), EINVAL);
+    EXPECT_EQ(pthread_chanter_join(nullptr, nullptr), EINVAL);
+  });
+}
+
+TEST(ChanterCapi, OutsideRuntimeFailsCleanly) {
+  pthread_chanter_t t{0, 0, 1};
+  EXPECT_EQ(pthread_chanter_send(1, "x", 1, &t), EINVAL);
+  EXPECT_EQ(pthread_chanter_join(&t, nullptr), EINVAL);
+  EXPECT_EQ(pthread_chanter_cancel(&t), EINVAL);
+  // self() outside a runtime returns the anonymous id.
+  pthread_chanter_t* me = pthread_chanter_self();
+  ASSERT_NE(me, nullptr);
+  EXPECT_EQ(me->pe, -1);
+}
+
+}  // namespace

@@ -1,0 +1,313 @@
+// chant_p2p_test.cpp — point-to-point messaging between global threads:
+// addressing, wildcards, nonblocking receives, payload integrity —
+// swept over every polling policy and addressing mode.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "chant_test_util.hpp"
+
+namespace {
+
+using chant::Gid;
+using chant::MsgInfo;
+using chant::Runtime;
+using chant_test::PolicyCase;
+
+class ChantP2p : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(ChantP2p, MainToMainAcrossPes) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    char buf[64];
+    if (rt.pe() == 0) {
+      const char msg[] = "ping";
+      rt.send(1, msg, sizeof msg, peer);
+      const MsgInfo mi = rt.recv(2, buf, sizeof buf, peer);
+      EXPECT_STREQ(buf, "pong");
+      EXPECT_EQ(mi.src.thread, chant::kMainLid);
+      EXPECT_EQ(mi.src.pe, 1);
+    } else {
+      const MsgInfo mi = rt.recv(1, buf, sizeof buf, peer);
+      EXPECT_STREQ(buf, "ping");
+      EXPECT_EQ(mi.user_tag, 1);
+      const char msg[] = "pong";
+      rt.send(2, msg, sizeof msg, peer);
+    }
+  });
+}
+
+TEST_P(ChantP2p, ThreadsWithinOneProcessTalk) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  w.run([](Runtime& rt) {
+    struct Ctx {
+      Runtime* rt;
+      Gid main;
+    } ctx{&rt, rt.self()};
+    const Gid child = rt.create(
+        [](void* p) -> void* {
+          auto* c = static_cast<Ctx*>(p);
+          long v = 0;
+          c->rt->recv(3, &v, sizeof v, c->main);
+          v *= 2;
+          c->rt->send(4, &v, sizeof v, c->main);
+          return nullptr;
+        },
+        &ctx, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    long v = 21;
+    rt.send(3, &v, sizeof v, child);
+    long back = 0;
+    rt.recv(4, &back, sizeof back, child);
+    EXPECT_EQ(back, 42);
+    rt.join(child);
+  });
+}
+
+TEST_P(ChantP2p, MessagesRouteToTheRightThread) {
+  // Two threads on pe 1 with distinct lids; messages addressed per-thread
+  // must not cross even though they share tag, pe, and process.
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    auto entry = [](void* p) -> void* {
+      Runtime& r = *Runtime::current();
+      long got = 0;
+      r.recv(5, &got, sizeof got, chant::kAnyThread);
+      return reinterpret_cast<void*>(got);
+    };
+    const Gid a = rt.create(entry, nullptr, 1, 0);
+    const Gid b = rt.create(entry, nullptr, 1, 0);
+    ASSERT_NE(a.thread, b.thread);
+    long va = 111;
+    long vb = 222;
+    rt.send(5, &vb, sizeof vb, b);  // deliberately b first
+    rt.send(5, &va, sizeof va, a);
+    EXPECT_EQ(rt.join(a), reinterpret_cast<void*>(111));
+    EXPECT_EQ(rt.join(b), reinterpret_cast<void*>(222));
+  });
+}
+
+TEST_P(ChantP2p, WildcardSourceReportsActualSender) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid main0{0, 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      int hello = 0;
+      const MsgInfo mi = rt.recv(6, &hello, sizeof hello, chant::kAnyThread);
+      EXPECT_EQ(mi.src.pe, 1);
+      EXPECT_EQ(mi.src.thread, chant::kMainLid);
+      EXPECT_EQ(hello, 99);
+    } else {
+      int hello = 99;
+      rt.send(6, &hello, sizeof hello, main0);
+    }
+  });
+}
+
+TEST_P(ChantP2p, WildcardTagReportsActualTag) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      char c = 0;
+      const MsgInfo mi = rt.recv(chant::kAnyUserTag, &c, 1, peer);
+      EXPECT_EQ(mi.user_tag, 321);
+      EXPECT_EQ(c, 'w');
+    } else {
+      char c = 'w';
+      rt.send(321, &c, 1, peer);
+    }
+  });
+}
+
+TEST_P(ChantP2p, LargePayloadIntegrity) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    constexpr std::size_t kBig = 300 * 1024;  // beyond eager: rendezvous
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      std::vector<std::uint8_t> data(kBig);
+      std::iota(data.begin(), data.end(), 0);
+      rt.send(7, data.data(), data.size(), peer);
+    } else {
+      std::vector<std::uint8_t> data(kBig, 0);
+      const MsgInfo mi = rt.recv(7, data.data(), data.size(), peer);
+      EXPECT_EQ(mi.len, kBig);
+      bool ok = true;
+      for (std::size_t i = 0; i < kBig; ++i) {
+        if (data[i] != static_cast<std::uint8_t>(i)) {
+          ok = false;
+          break;
+        }
+      }
+      EXPECT_TRUE(ok);
+    }
+  });
+}
+
+TEST_P(ChantP2p, NonblockingRecvLifecycle) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      long v = 0;
+      const int h = rt.irecv(8, &v, sizeof v, peer);
+      // Tell the peer we are ready, then wait on the handle.
+      char go = 'g';
+      rt.send(9, &go, 1, peer);
+      const MsgInfo mi = rt.msgwait(h);
+      EXPECT_EQ(v, 1234);
+      EXPECT_EQ(mi.user_tag, 8);
+    } else {
+      char go = 0;
+      rt.recv(9, &go, 1, peer);
+      long v = 1234;
+      rt.send(8, &v, sizeof v, peer);
+    }
+  });
+}
+
+TEST_P(ChantP2p, MsgtestPollsWithoutBlocking) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  w.run([](Runtime& rt) {
+    struct Ctx {
+      Runtime* rt;
+      Gid main;
+    } ctx{&rt, rt.self()};
+    const Gid child = rt.create(
+        [](void* p) -> void* {
+          auto* c = static_cast<Ctx*>(p);
+          for (int i = 0; i < 20; ++i) c->rt->yield();
+          long v = 7;
+          c->rt->send(10, &v, sizeof v, c->main);
+          return nullptr;
+        },
+        &ctx, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    long v = 0;
+    const int h = rt.irecv(10, &v, sizeof v, child);
+    int polls = 0;
+    MsgInfo mi;
+    while (!rt.msgtest(h, &mi)) {
+      ++polls;
+      rt.yield();
+    }
+    EXPECT_EQ(v, 7);
+    EXPECT_GT(polls, 0);
+    rt.join(child);
+  });
+}
+
+TEST_P(ChantP2p, ManyOutstandingIrecvsCompleteIndependently) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    constexpr int kN = 16;
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      long vals[kN] = {};
+      int hs[kN];
+      for (int i = 0; i < kN; ++i) {
+        hs[i] = rt.irecv(100 + i, &vals[i], sizeof(long), peer);
+      }
+      char go = 'g';
+      rt.send(9, &go, 1, peer);
+      // Complete in reverse order of posting.
+      for (int i = kN - 1; i >= 0; --i) {
+        rt.msgwait(hs[i]);
+        EXPECT_EQ(vals[i], i * 11);
+      }
+    } else {
+      char go = 0;
+      rt.recv(9, &go, 1, peer);
+      for (int i = 0; i < kN; ++i) {
+        long v = i * 11;
+        rt.send(100 + i, &v, sizeof v, peer);
+      }
+    }
+  });
+}
+
+TEST_P(ChantP2p, TruncationReported) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      char big[64];
+      std::memset(big, 'T', sizeof big);
+      rt.send(11, big, sizeof big, peer);
+    } else {
+      char small[8];
+      const MsgInfo mi = rt.recv(11, small, sizeof small, peer);
+      EXPECT_TRUE(mi.truncated);
+      EXPECT_EQ(mi.len, 64u);
+      EXPECT_EQ(small[7], 'T');
+    }
+  });
+}
+
+TEST_P(ChantP2p, ZeroByteMessageDelivers) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      rt.send(12, nullptr, 0, peer);
+    } else {
+      const MsgInfo mi = rt.recv(12, nullptr, 0, peer);
+      EXPECT_EQ(mi.len, 0u);
+      EXPECT_FALSE(mi.truncated);
+    }
+  });
+}
+
+TEST_P(ChantP2p, TagRangeIsValidated) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  w.run([](Runtime& rt) {
+    const Gid self = rt.self();
+    char c = 'x';
+    EXPECT_THROW(rt.send(-1, &c, 1, self), std::invalid_argument);
+    EXPECT_THROW(
+        rt.send(rt.codec().max_user_tag() + 1, &c, 1, self),
+        std::invalid_argument);
+    EXPECT_THROW(rt.recv(rt.codec().max_user_tag() + 1, &c, 1, self),
+                 std::invalid_argument);
+    EXPECT_THROW(rt.irecv(-2, &c, 1, self), std::invalid_argument);
+    EXPECT_THROW(rt.send(1, &c, 1, chant::kAnyThread), std::invalid_argument);
+  });
+}
+
+TEST_P(ChantP2p, StaleHandleIsRejected) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  w.run([](Runtime& rt) {
+    const Gid self = rt.self();
+    char c = 'z';
+    rt.send(13, &c, 1, self);
+    char buf;
+    const int h = rt.irecv(13, &buf, 1, self);
+    ASSERT_TRUE(rt.msgtest(h));
+    EXPECT_THROW((void)rt.msgtest(h), std::invalid_argument);
+    EXPECT_THROW((void)rt.msgwait(h), std::invalid_argument);
+  });
+}
+
+TEST_P(ChantP2p, SelfSendWithinThread) {
+  // A thread may message itself (useful for deferred self-notification).
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  w.run([](Runtime& rt) {
+    long v = 5150;
+    rt.send(14, &v, sizeof v, rt.self());
+    long got = 0;
+    rt.recv(14, &got, sizeof got, rt.self());
+    EXPECT_EQ(got, 5150);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChantP2p,
+                         ::testing::ValuesIn(chant_test::all_cases()),
+                         [](const auto& info) {
+                           return chant_test::case_name(info.param);
+                         });
+
+}  // namespace

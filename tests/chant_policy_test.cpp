@@ -1,0 +1,142 @@
+// chant_policy_test.cpp — the polling policies' *distinguishing*
+// behaviour (the semantics-equivalence half lives in chant_p2p_test):
+// which counters move under each algorithm, mirroring §4.2's analysis.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "chant_test_util.hpp"
+
+namespace {
+
+using chant::Gid;
+using chant::PollPolicy;
+using chant::Runtime;
+
+struct PolicyCounters {
+  std::uint64_t full_switches = 0;
+  std::uint64_t partial_tests = 0;
+  std::uint64_t wq_tests = 0;
+  std::uint64_t msgtests = 0;
+  std::uint64_t testany = 0;
+  double avg_waiting = 0.0;
+};
+
+/// Runs a small Fig.-9-style workload (8 threads/pe, 10 iterations,
+/// some compute) under `policy` and captures the per-pe0 counters.
+PolicyCounters run_workload(PollPolicy policy, bool testany) {
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.rt.policy = policy;
+  cfg.rt.wq_use_testany = testany;
+  cfg.rt.start_server = false;  // isolate the p2p layer, as in §4.1
+  chant::World w(cfg);
+  PolicyCounters out;
+  w.run([&](Runtime& rt) {
+    constexpr int kThreads = 8;
+    constexpr int kIters = 10;
+    struct Ctx {
+      Runtime* rt;
+      int index;
+    };
+    std::vector<Ctx> ctxs;
+    ctxs.reserve(kThreads);
+    std::vector<Gid> mine;
+    for (int i = 0; i < kThreads; ++i) {
+      ctxs.push_back(Ctx{&rt, i});
+    }
+    for (int i = 0; i < kThreads; ++i) {
+      mine.push_back(rt.create(
+          [](void* p) -> void* {
+            auto* c = static_cast<Ctx*>(p);
+            Runtime& r = *c->rt;
+            // Peer thread has the same lid on the other pe (creation
+            // order is identical in both processes).
+            for (int it = 0; it < kIters; ++it) {
+              long payload = c->index * 1000 + it;
+              const Gid peer{1 - r.pe(), 0, r.self().thread};
+              r.send(50, &payload, sizeof payload, peer);
+              long got = 0;
+              r.recv(50, &got, sizeof got, peer);
+              EXPECT_EQ(got % 1000, it);
+            }
+            return nullptr;
+          },
+          &ctxs[static_cast<std::size_t>(i)], PTHREAD_CHANTER_LOCAL,
+          PTHREAD_CHANTER_LOCAL));
+    }
+    for (const Gid& g : mine) rt.join(g);
+    if (rt.pe() == 0) {
+      const auto& st = rt.sched_stats();
+      auto& nc = rt.net_counters();
+      out.full_switches = st.full_switches;
+      out.partial_tests = st.partial_poll_tests;
+      out.wq_tests = st.wq_poll_tests;
+      out.msgtests = nc.msgtest_calls.load();
+      out.testany = nc.testany_calls.load();
+      out.avg_waiting = st.avg_waiting();
+    }
+  });
+  return out;
+}
+
+TEST(PolicyBehaviour, ThreadPollsDoesOnlyFullSwitches) {
+  const auto c = run_workload(PollPolicy::ThreadPolls, false);
+  EXPECT_EQ(c.partial_tests, 0u);
+  EXPECT_EQ(c.wq_tests, 0u);
+  EXPECT_GT(c.msgtests, 0u);
+}
+
+TEST(PolicyBehaviour, PartialSwitchAvoidsFullRestores) {
+  const auto tp = run_workload(PollPolicy::ThreadPolls, false);
+  const auto ps = run_workload(PollPolicy::SchedulerPollsPS, false);
+  EXPECT_GT(ps.partial_tests, 0u);
+  // The paper's Figure 11: PS completes far fewer full switches than TP
+  // because failed polls cost only a partial switch.
+  EXPECT_LT(ps.full_switches, tp.full_switches);
+}
+
+TEST(PolicyBehaviour, WaitingQueueScansEverythingEachPoint) {
+  const auto ps = run_workload(PollPolicy::SchedulerPollsPS, false);
+  const auto wq = run_workload(PollPolicy::SchedulerPollsWQ, false);
+  EXPECT_GT(wq.wq_tests, 0u);
+  // The paper's Figure 12: WQ performs far more tests than PS because it
+  // re-tests every parked request at every scheduling point.
+  EXPECT_GT(wq.wq_tests + wq.msgtests, ps.partial_tests + ps.msgtests);
+}
+
+TEST(PolicyBehaviour, TestanyAblationCollapsesWqTestCount) {
+  const auto wq = run_workload(PollPolicy::SchedulerPollsWQ, false);
+  const auto ta = run_workload(PollPolicy::SchedulerPollsWQ, true);
+  EXPECT_GT(ta.testany, 0u);
+  EXPECT_EQ(ta.wq_tests, 0u);  // per-entry scans fully replaced
+  // One testany call replaces a whole scan: total "calls into the
+  // communication layer" drop (the paper's §4.2 hypothesis for MPI).
+  EXPECT_LT(ta.testany + ta.msgtests, wq.wq_tests + wq.msgtests);
+}
+
+TEST(PolicyBehaviour, WaitingThreadsAreObserved) {
+  const auto ps = run_workload(PollPolicy::SchedulerPollsPS, false);
+  // With 8 threads ping-ponging, some were always waiting (Figure 13).
+  EXPECT_GT(ps.avg_waiting, 0.1);
+  EXPECT_LT(ps.avg_waiting, 8.1);
+}
+
+TEST(PolicyBehaviour, ServerOffMeansNoInternalTraffic) {
+  chant::World::Config cfg;
+  cfg.pes = 1;
+  cfg.rt.start_server = false;
+  chant::World w(cfg);
+  w.run([](Runtime& rt) {
+    EXPECT_EQ(rt.local_tcb(Gid{rt.pe(), rt.process(), chant::kServerLid}),
+              nullptr);
+    // p2p still works without a server.
+    long v = 3;
+    rt.send(1, &v, sizeof v, rt.self());
+    long got = 0;
+    rt.recv(1, &got, sizeof got, rt.self());
+    EXPECT_EQ(got, 3);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// chant_property_test.cpp — randomized whole-system properties: meshes
+// of talking threads across PEs exchanging checksummed traffic, swept
+// over polling policies and addressing modes. The invariants: every
+// message arrives, uncorrupted, at exactly the thread it was addressed
+// to, in per-(sender,receiver) FIFO order.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "chant_test_util.hpp"
+
+namespace {
+
+using chant::Gid;
+using chant::MsgInfo;
+using chant::Runtime;
+using chant_test::PolicyCase;
+
+struct Framed {
+  int seq;
+  int src_key;
+  std::uint64_t sum;
+  std::uint8_t body[48];
+};
+
+std::uint64_t sum_of(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t s = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) s = (s ^ p[i]) * 1099511628211ull;
+  return s;
+}
+
+class ChantMesh : public ::testing::TestWithParam<PolicyCase> {};
+
+// Every pe runs kThreads workers; worker k on pe p exchanges kMsgs
+// messages with worker k on every other pe (same lid by symmetric
+// creation order). Total traffic: pes*(pes-1)*kThreads*kMsgs messages.
+TEST_P(ChantMesh, AllPairsCheckedTraffic) {
+  constexpr int kPes = 3;
+  constexpr int kThreads = 4;
+  constexpr int kMsgs = 15;
+  chant::World w(chant_test::config_for(GetParam(), kPes));
+  w.run([](Runtime& rt) {
+    struct Ctx {
+      Runtime* rt;
+      int index;
+    };
+    std::vector<Ctx> ctxs;
+    for (int i = 0; i < kThreads; ++i) ctxs.push_back(Ctx{&rt, i});
+    std::vector<Gid> workers;
+    for (int i = 0; i < kThreads; ++i) {
+      workers.push_back(rt.create(
+          [](void* p) -> void* {
+            auto* c = static_cast<Ctx*>(p);
+            Runtime& r = *c->rt;
+            const int my_pe = r.pe();
+            const int my_lid = r.self().thread;
+            std::mt19937 rng(
+                static_cast<unsigned>(my_pe * 131 + c->index * 17));
+            // Send kMsgs framed messages to the same-lid worker on every
+            // other pe, interleaved with receives of the same volume.
+            int to_send = (kPes - 1) * kMsgs;
+            int to_recv = (kPes - 1) * kMsgs;
+            std::vector<int> sent(kPes, 0);
+            std::vector<int> expect(kPes, 0);
+            while (to_send > 0 || to_recv > 0) {
+              if (to_send > 0) {
+                int dst;
+                do {
+                  dst = static_cast<int>(rng() % kPes);
+                } while (dst == my_pe || sent[static_cast<std::size_t>(dst)] >= kMsgs);
+                Framed f{};
+                f.seq = sent[static_cast<std::size_t>(dst)]++;
+                f.src_key = my_pe;
+                for (auto& b : f.body) {
+                  b = static_cast<std::uint8_t>(rng() & 0xFF);
+                }
+                f.sum = sum_of(f.body, sizeof f.body);
+                r.send(90, &f, sizeof f, Gid{dst, 0, my_lid});
+                --to_send;
+              }
+              if (to_recv > 0) {
+                Framed f{};
+                const MsgInfo mi =
+                    r.recv(90, &f, sizeof f, chant::kAnyThread);
+                EXPECT_EQ(mi.len, sizeof f);
+                EXPECT_EQ(mi.src.thread, my_lid);  // only my twin writes me
+                EXPECT_EQ(f.sum, sum_of(f.body, sizeof f.body));
+                auto& e = expect[static_cast<std::size_t>(f.src_key)];
+                EXPECT_EQ(f.seq, e);  // per-sender FIFO
+                e = f.seq + 1;
+                --to_recv;
+              }
+            }
+            return nullptr;
+          },
+          &ctxs[static_cast<std::size_t>(i)], PTHREAD_CHANTER_LOCAL,
+          PTHREAD_CHANTER_LOCAL));
+    }
+    for (const Gid& g : workers) rt.join(g);
+  });
+}
+
+// Mixed payload sizes crossing the eager threshold: protocol transitions
+// (eager <-> rendezvous) must be invisible to the application.
+TEST_P(ChantMesh, MixedSizesAcrossEagerBoundary) {
+  chant::World::Config cfg = chant_test::config_for(GetParam(), 2);
+  cfg.eager_threshold = 512;
+  chant::World w(cfg);
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    std::mt19937 rng(static_cast<unsigned>(rt.pe()) + 5u);
+    constexpr int kRounds = 30;
+    // Phase 1: everyone sends all messages (nonblocking receives were
+    // pre-posted so rendezvous cannot deadlock the two mains).
+    std::vector<std::vector<std::uint8_t>> inbox(kRounds);
+    std::vector<int> handles;
+    for (int i = 0; i < kRounds; ++i) {
+      inbox[static_cast<std::size_t>(i)].resize(2048);
+      handles.push_back(rt.irecv(200 + i,
+                                 inbox[static_cast<std::size_t>(i)].data(),
+                                 2048, peer));
+    }
+    std::vector<std::vector<std::uint8_t>> keep;
+    for (int i = 0; i < kRounds; ++i) {
+      const std::size_t n = 1 + (rng() % 1500);  // straddles 512
+      std::vector<std::uint8_t> msg(n, static_cast<std::uint8_t>(i));
+      rt.send(200 + i, msg.data(), msg.size(), peer);
+      keep.push_back(std::move(msg));
+    }
+    for (int i = 0; i < kRounds; ++i) {
+      const MsgInfo mi = rt.msgwait(handles[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(mi.user_tag, 200 + i);
+      EXPECT_FALSE(mi.truncated);
+      EXPECT_EQ(inbox[static_cast<std::size_t>(i)][0],
+                static_cast<std::uint8_t>(i));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChantMesh,
+                         ::testing::ValuesIn(chant_test::all_cases()),
+                         [](const auto& info) {
+                           return chant_test::case_name(info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,322 @@
+// chant_remote_test.cpp — global thread operations (paper §3.3):
+// remote create / join / detach / cancel, marshalled arguments,
+// identity accessors, error paths.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "chant_test_util.hpp"
+
+namespace {
+
+using chant::Gid;
+using chant::Runtime;
+using chant_test::PolicyCase;
+
+void* return_arg_times_3(void* arg) {
+  return reinterpret_cast<void*>(reinterpret_cast<long>(arg) * 3);
+}
+
+void* yield_forever(void*) {
+  Runtime& rt = *Runtime::current();
+  for (;;) rt.yield();
+}
+
+class ChantRemote : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(ChantRemote, RemoteCreateRunsOnTargetPe) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const Gid g = rt.create(
+        [](void*) -> void* {
+          return reinterpret_cast<void*>(
+              static_cast<long>(Runtime::current()->pe()));
+        },
+        nullptr, 1, 0);
+    EXPECT_EQ(g.pe, 1);
+    EXPECT_EQ(g.process, 0);
+    EXPECT_GE(g.thread, chant::kFirstUserLid);
+    EXPECT_EQ(rt.join(g), reinterpret_cast<void*>(1L));
+  });
+}
+
+TEST_P(ChantRemote, RemoteJoinReturnsRetval) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const Gid g =
+        rt.create(&return_arg_times_3, reinterpret_cast<void*>(14L), 1, 0);
+    int err = -1;
+    void* rv = rt.join(g, &err);
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(rv, reinterpret_cast<void*>(42L));
+  });
+}
+
+TEST_P(ChantRemote, LocalSentinelCreatesLocally) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const Gid g = rt.create(
+        [](void*) -> void* {
+          return reinterpret_cast<void*>(
+              static_cast<long>(Runtime::current()->pe()));
+        },
+        nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    EXPECT_EQ(g.pe, 0);
+    EXPECT_EQ(rt.join(g), reinterpret_cast<void*>(0L));
+  });
+}
+
+TEST_P(ChantRemote, MarshalledArgumentIsCopied) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    struct Payload {
+      Gid reply_to;
+      char text[32];
+    } p{};
+    p.reply_to = rt.self();
+    std::snprintf(p.text, sizeof p.text, "marshalled-%d", 7);
+    const Gid g = rt.create_marshalled(
+        [](Runtime& r, const void* arg, std::size_t len) {
+          ASSERT_EQ(len, sizeof(Payload));
+          Payload local{};
+          std::memcpy(&local, arg, sizeof local);
+          long ok = std::strcmp(local.text, "marshalled-7") == 0 ? 1 : 0;
+          r.send(70, &ok, sizeof ok, local.reply_to);
+        },
+        &p, sizeof p, 1, 0);
+    // The source buffer may be reused immediately after create returns.
+    std::memset(&p, 0xDD, sizeof p);
+    long ok = 0;
+    rt.recv(70, &ok, sizeof ok, chant::kAnyThread);
+    EXPECT_EQ(ok, 1);
+    rt.join(g);
+  });
+}
+
+TEST_P(ChantRemote, RemoteCancelStopsSpinner) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const Gid g = rt.create(&yield_forever, nullptr, 1, 0);
+    EXPECT_EQ(rt.cancel(g), 0);
+    int err = -1;
+    void* rv = rt.join(g, &err);
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(rv, lwt::kCanceled);
+  });
+}
+
+TEST_P(ChantRemote, RemoteCancelWakesBlockedReceiver) {
+  // The cancelled thread is parked in a blocking receive that will never
+  // be satisfied — cancellation must eject it and withdraw the receive.
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const Gid g = rt.create(
+        [](void*) -> void* {
+          Runtime& r = *Runtime::current();
+          char buf[8];
+          r.recv(71, buf, sizeof buf, chant::kAnyThread);  // never sent
+          return nullptr;
+        },
+        nullptr, 1, 0);
+    // Give the receiver a moment to park, then cancel it.
+    for (int i = 0; i < 10; ++i) rt.yield();
+    EXPECT_EQ(rt.cancel(g), 0);
+    EXPECT_EQ(rt.join(g), lwt::kCanceled);
+  });
+}
+
+TEST_P(ChantRemote, RemoteDetachReclaimsWithoutJoin) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const Gid g = rt.create([](void*) -> void* { return nullptr; },
+                            nullptr, 1, 0);
+    EXPECT_EQ(rt.detach(g), 0);
+    // Joining a detached thread must fail.
+    int err = 0;
+    rt.join(g, &err);
+    EXPECT_EQ(err, ESRCH);
+  });
+}
+
+TEST_P(ChantRemote, JoinUnknownThreadIsEsrch) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    int err = 0;
+    rt.join(Gid{1, 0, 200}, &err);
+    EXPECT_EQ(err, ESRCH);
+    EXPECT_EQ(rt.cancel(Gid{1, 0, 200}), ESRCH);
+    EXPECT_EQ(rt.detach(Gid{1, 0, 200}), ESRCH);
+  });
+}
+
+TEST_P(ChantRemote, SelfJoinIsEdeadlk) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  w.run([](Runtime& rt) {
+    int err = 0;
+    rt.join(rt.self(), &err);
+    EXPECT_EQ(err, EDEADLK);
+  });
+}
+
+TEST_P(ChantRemote, DoubleJoinSecondFails) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const Gid g = rt.create([](void*) -> void* { return nullptr; },
+                            nullptr, 1, 0);
+    int err = -1;
+    rt.join(g, &err);
+    EXPECT_EQ(err, 0);
+    rt.join(g, &err);
+    EXPECT_EQ(err, ESRCH);  // lid gone after the first join
+  });
+}
+
+TEST_P(ChantRemote, ManyRemoteThreadsLidReuse) {
+  // Create/join waves of remote threads; lids must recycle and never
+  // exceed the addressing mode's limit.
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const int max_lid = rt.codec().max_lid();
+    for (int wave = 0; wave < 4; ++wave) {
+      std::vector<Gid> gs;
+      for (long i = 0; i < 40; ++i) {
+        gs.push_back(rt.create(&return_arg_times_3,
+                               reinterpret_cast<void*>(i), 1, 0));
+        EXPECT_LE(gs.back().thread, max_lid);
+      }
+      for (long i = 0; i < 40; ++i) {
+        EXPECT_EQ(rt.join(gs[static_cast<std::size_t>(i)]),
+                  reinterpret_cast<void*>(i * 3));
+      }
+    }
+  });
+}
+
+TEST_P(ChantRemote, LocalTcbResolvesOnlyLocalThreads) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const Gid remote = rt.create(&yield_forever, nullptr, 1, 0);
+    EXPECT_EQ(rt.local_tcb(remote), nullptr);  // not ours
+    const Gid local = rt.create(&yield_forever, nullptr,
+                                PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    EXPECT_NE(rt.local_tcb(local), nullptr);
+    rt.cancel(local);
+    rt.cancel(remote);
+    rt.join(local);
+    rt.join(remote);
+  });
+}
+
+TEST_P(ChantRemote, PriorityReadAndWriteAcrossPes) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    // The victim parks in a never-satisfied receive rather than spinning:
+    // under non-preemptive strict priorities a *running* priority-6
+    // thread would legitimately starve a ThreadPolls server (documented
+    // limitation); a parked one competes with nobody.
+    const Gid g = rt.create(
+        [](void*) -> void* {
+          char buf[4];
+          Runtime::current()->recv(77, buf, sizeof buf, chant::kAnyThread);
+          return nullptr;
+        },
+        nullptr, 1, 0);
+    int prio = -1;
+    EXPECT_EQ(rt.get_priority(g, &prio), 0);
+    EXPECT_EQ(prio, lwt::kDefaultPriority);
+    // Stay at or below the default: under ThreadPolls a higher-priority
+    // poller would starve the (default-priority) server thread — an
+    // inherent property of non-preemptive strict priorities.
+    EXPECT_EQ(rt.set_priority(g, 1), 0);
+    EXPECT_EQ(rt.get_priority(g, &prio), 0);
+    EXPECT_EQ(prio, 1);
+    EXPECT_EQ(rt.set_priority(g, 99), EINVAL);
+    EXPECT_EQ(rt.set_priority(Gid{1, 0, 200}, 3), ESRCH);
+    EXPECT_EQ(rt.get_priority(Gid{1, 0, 200}, &prio), ESRCH);
+    // C API face of the same operations.
+    EXPECT_EQ(pthread_chanter_setprio(&g, 2), 0);
+    EXPECT_EQ(pthread_chanter_getprio(&g, &prio), 0);
+    EXPECT_EQ(prio, 2);
+    // Restore the default so the victim is not starved by the server
+    // while completing, then release and join it.
+    EXPECT_EQ(rt.set_priority(g, lwt::kDefaultPriority), 0);
+    char go = 'g';
+    rt.send(77, &go, 1, g);
+    rt.join(g);
+  });
+}
+
+TEST_P(ChantRemote, PriorityActuallyAffectsScheduling) {
+  // Strict non-preemptive priorities: while a priority-6 worker is
+  // runnable, a priority-1 spinner must not be scheduled at all.
+  // (Server off: under ThreadPolls its default-priority polling would
+  // legitimately starve the priority-1 spinner forever.)
+  chant::World::Config cfg = chant_test::config_for(GetParam(), /*pes=*/1);
+  cfg.rt.start_server = false;
+  chant::World w(cfg);
+  w.run([](Runtime& rt) {
+    struct Ctx {
+      long ticks = 0;
+      bool stop = false;
+    };
+    Ctx lo;
+    const Gid glo = rt.create(
+        [](void* p) -> void* {
+          auto* c = static_cast<Ctx*>(p);
+          while (!c->stop) {
+            ++c->ticks;
+            Runtime::current()->yield();
+          }
+          return nullptr;
+        },
+        &lo, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    const Gid ghi = rt.create(
+        [](void*) -> void* {
+          for (int i = 0; i < 100; ++i) Runtime::current()->yield();
+          return nullptr;
+        },
+        nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    ASSERT_EQ(rt.set_priority(glo, 1), 0);
+    ASSERT_EQ(rt.set_priority(ghi, 6), 0);
+    rt.join(ghi);  // main blocks; hi (6) monopolizes the pe over lo (1)
+    EXPECT_EQ(lo.ticks, 0) << "low-priority thread ran while a "
+                              "high-priority thread was runnable";
+    lo.stop = true;
+    rt.join(glo);  // main blocks again, finally letting lo run and exit
+  });
+}
+
+TEST_P(ChantRemote, ExitThreadPublishesValue) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const Gid g = rt.create(
+        [](void*) -> void* {
+          Runtime::current()->exit_thread(reinterpret_cast<void*>(808L));
+        },
+        nullptr, 1, 0);
+    EXPECT_EQ(rt.join(g), reinterpret_cast<void*>(808L));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChantRemote,
+                         ::testing::ValuesIn(chant_test::all_cases()),
+                         [](const auto& info) {
+                           return chant_test::case_name(info.param);
+                         });
+
+}  // namespace

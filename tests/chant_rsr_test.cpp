@@ -1,0 +1,232 @@
+// chant_rsr_test.cpp — remote service requests: handler dispatch,
+// request/reply matching, one-way posts, big replies, deferred replies,
+// concurrent clients — across all policies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "chant_test_util.hpp"
+
+namespace {
+
+using chant::Gid;
+using chant::Runtime;
+using chant_test::PolicyCase;
+
+// Handlers are plain functions (SPMD): they communicate with the test
+// through these per-OS-thread (per simulated process) variables.
+thread_local long t_accumulator = 0;
+
+void echo_handler(Runtime&, Runtime::RsrContext&, const void* arg,
+                  std::size_t len, std::vector<std::uint8_t>& reply) {
+  reply.assign(static_cast<const std::uint8_t*>(arg),
+               static_cast<const std::uint8_t*>(arg) + len);
+}
+
+void add_handler(Runtime&, Runtime::RsrContext&, const void* arg,
+                 std::size_t len, std::vector<std::uint8_t>&) {
+  long v = 0;
+  if (len >= sizeof v) std::memcpy(&v, arg, sizeof v);
+  t_accumulator += v;
+}
+
+void big_reply_handler(Runtime&, Runtime::RsrContext&, const void* arg,
+                       std::size_t len, std::vector<std::uint8_t>& reply) {
+  std::uint32_t n = 0;
+  if (len >= sizeof n) std::memcpy(&n, arg, sizeof n);
+  reply.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    reply[i] = static_cast<std::uint8_t>(i * 7);
+  }
+}
+
+void who_asked_handler(Runtime&, Runtime::RsrContext& ctx, const void*,
+                       std::size_t, std::vector<std::uint8_t>& reply) {
+  reply.resize(sizeof(Gid));
+  std::memcpy(reply.data(), &ctx.from, sizeof(Gid));
+}
+
+void deferred_handler(Runtime& rt, Runtime::RsrContext& ctx, const void* arg,
+                      std::size_t len, std::vector<std::uint8_t>&) {
+  // Hand the reply off to a helper fiber that does "slow" work first —
+  // the pattern remote join uses (paper §3.3).
+  long v = 0;
+  if (len >= sizeof v) std::memcpy(&v, arg, sizeof v);
+  ctx.deferred = true;
+  const Runtime::RsrContext saved = ctx;
+  lwt::ThreadAttr attr;
+  attr.detached = true;
+  lwt::go([&rt, saved, v] {
+    for (int i = 0; i < 10; ++i) rt.yield();
+    const long out = v * v;
+    rt.reply(saved, &out, sizeof out);
+  });
+}
+
+class ChantRsr : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(ChantRsr, EchoRoundTrip) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int echo = w.register_handler(&echo_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const char msg[] = "remote service request";
+    const auto rep = rt.call(1, 0, echo, msg, sizeof msg);
+    ASSERT_EQ(rep.size(), sizeof msg);
+    EXPECT_STREQ(reinterpret_cast<const char*>(rep.data()), msg);
+  });
+}
+
+TEST_P(ChantRsr, EmptyRequestAndReply) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int echo = w.register_handler(&echo_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const auto rep = rt.call(1, 0, echo, nullptr, 0);
+    EXPECT_TRUE(rep.empty());
+  });
+}
+
+TEST_P(ChantRsr, PostIsOneWayAndOrdered) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int add = w.register_handler(&add_handler);
+  const int echo = w.register_handler(&echo_handler);
+  w.run([&](Runtime& rt) {
+    t_accumulator = 0;
+    if (rt.pe() == 0) {
+      for (long i = 1; i <= 10; ++i) {
+        rt.post(1, 0, add, &i, sizeof i);
+      }
+      // A call after the posts flushes them (same-source FIFO), so the
+      // accumulator on pe 1 must be complete once the echo returns.
+      char ping = 'p';
+      (void)rt.call(1, 0, echo, &ping, 1);
+      long sum = -1;
+      rt.recv(60, &sum, sizeof sum, chant::kAnyThread);
+      EXPECT_EQ(sum, 55);
+    } else {
+      // Wait until the accumulator reaches 55, then report it to pe 0.
+      while (t_accumulator < 55) rt.yield();
+      rt.send(60, &t_accumulator, sizeof t_accumulator,
+              Gid{0, 0, chant::kMainLid});
+    }
+  });
+}
+
+TEST_P(ChantRsr, BigReplyTakesTailPath) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int big = w.register_handler(&big_reply_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const std::uint32_t n = 8000;  // far above the inline-reply limit
+    const auto rep = rt.call(1, 0, big, &n, sizeof n);
+    ASSERT_EQ(rep.size(), n);
+    for (std::uint32_t i = 0; i < n; i += 997) {
+      EXPECT_EQ(rep[i], static_cast<std::uint8_t>(i * 7));
+    }
+  });
+}
+
+TEST_P(ChantRsr, HandlerSeesRequesterIdentity) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int who = w.register_handler(&who_asked_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const auto rep = rt.call(1, 0, who, nullptr, 0);
+    ASSERT_EQ(rep.size(), sizeof(Gid));
+    Gid from;
+    std::memcpy(&from, rep.data(), sizeof from);
+    EXPECT_EQ(from, rt.self());
+  });
+}
+
+TEST_P(ChantRsr, DeferredReplyArrives) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int def = w.register_handler(&deferred_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    long v = 12;
+    const auto rep = rt.call(1, 0, def, &v, sizeof v);
+    ASSERT_EQ(rep.size(), sizeof(long));
+    long out = 0;
+    std::memcpy(&out, rep.data(), sizeof out);
+    EXPECT_EQ(out, 144);
+  });
+}
+
+TEST_P(ChantRsr, ConcurrentClientsGetTheirOwnReplies) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int echo = w.register_handler(&echo_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    struct Ctx {
+      Runtime* rt;
+      int echo;
+      long value;
+    };
+    std::vector<Ctx> ctxs;
+    for (long i = 0; i < 6; ++i) ctxs.push_back(Ctx{&rt, echo, i * 31});
+    std::vector<Gid> gids;
+    for (auto& c : ctxs) {
+      gids.push_back(rt.create(
+          [](void* p) -> void* {
+            auto* c2 = static_cast<Ctx*>(p);
+            const auto rep =
+                c2->rt->call(1, 0, c2->echo, &c2->value, sizeof c2->value);
+            long back = -1;
+            std::memcpy(&back, rep.data(), sizeof back);
+            EXPECT_EQ(back, c2->value);
+            return nullptr;
+          },
+          &c, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL));
+    }
+    for (const Gid& g : gids) rt.join(g);
+  });
+}
+
+TEST_P(ChantRsr, LocalCallsWorkToo) {
+  // RSR to one's own server thread: useful for symmetry in SPMD code.
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  const int echo = w.register_handler(&echo_handler);
+  w.run([&](Runtime& rt) {
+    long v = 777;
+    const auto rep = rt.call(rt.pe(), rt.process(), echo, &v, sizeof v);
+    long out = 0;
+    std::memcpy(&out, rep.data(), sizeof out);
+    EXPECT_EQ(out, 777);
+  });
+}
+
+TEST_P(ChantRsr, UnknownHandlerReturnsError) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const auto rep = rt.call(1, 0, /*handler=*/200, nullptr, 0);
+    ASSERT_EQ(rep.size(), sizeof(std::int32_t));
+    std::int32_t status = 0;
+    std::memcpy(&status, rep.data(), sizeof status);
+    EXPECT_EQ(status, EINVAL);
+  });
+}
+
+TEST_P(ChantRsr, OversizedPayloadIsRejectedLocally) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    std::vector<std::uint8_t> huge(rt.config().rsr_buffer_size + 1);
+    EXPECT_THROW(rt.call(1, 0, 0, huge.data(), huge.size()),
+                 std::invalid_argument);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChantRsr,
+                         ::testing::ValuesIn(chant_test::all_cases()),
+                         [](const auto& info) {
+                           return chant_test::case_name(info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,252 @@
+// chant_sda_test.cpp — shared data abstractions (the Opus layer):
+// lifecycle, monitor-style mutual exclusion, concurrent clients from
+// several PEs, async invocation, destroy semantics.
+#include "chant/sda.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "chant_test_util.hpp"
+
+namespace {
+
+using chant::Gid;
+using chant::Runtime;
+using chant::SdaClass;
+using chant::SdaRef;
+using chant_test::PolicyCase;
+
+struct Counter {
+  long value = 0;
+  int inside = 0;   // method-body occupancy, for the exclusion test
+  int max_inside = 0;
+};
+
+void add_method(Runtime& rt, Counter& c, const long& delta, long& out) {
+  ++c.inside;
+  if (c.inside > c.max_inside) c.max_inside = c.inside;
+  rt.yield();  // try hard to interleave inside the monitor
+  c.value += delta;
+  out = c.value;
+  --c.inside;
+}
+
+void read_method(Runtime&, Counter& c, const long&, long& out) {
+  out = c.value;
+}
+
+void stats_method(Runtime&, Counter& c, const long&, long& out) {
+  out = c.max_inside;
+}
+
+struct Empty {
+  static int live;
+  Empty() { ++live; }
+  ~Empty() { --live; }
+};
+int Empty::live = 0;
+
+class ChantSda : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(ChantSda, CreateInvokeDestroy) {
+  chant::World w(chant_test::config_for(GetParam()));
+  SdaClass<Counter> cls(w);
+  const int add = cls.method<long, long>(&add_method);
+  const int read = cls.method<long, long>(&read_method);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const SdaRef ref = cls.create(rt, /*pe=*/1, /*process=*/0);
+    EXPECT_EQ(ref.pe, 1);
+    EXPECT_TRUE(ref.valid());
+    long out = 0;
+    cls.invoke(rt, ref, add, 5L, out);
+    EXPECT_EQ(out, 5);
+    cls.invoke(rt, ref, add, 37L, out);
+    EXPECT_EQ(out, 42);
+    cls.invoke(rt, ref, read, 0L, out);
+    EXPECT_EQ(out, 42);
+    cls.destroy(rt, ref);
+    // Further use reports failure rather than touching freed state.
+    EXPECT_THROW(cls.invoke(rt, ref, read, 0L, out), std::runtime_error);
+  });
+}
+
+TEST_P(ChantSda, MethodsAreMutuallyExclusive) {
+  chant::World w(chant_test::config_for(GetParam()));
+  SdaClass<Counter> cls(w);
+  const int add = cls.method<long, long>(&add_method);
+  const int stats = cls.method<long, long>(&stats_method);
+  const int read = cls.method<long, long>(&read_method);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const SdaRef ref = cls.create(rt, 1, 0);
+    // Fire many concurrent invocations (async, all outstanding at once).
+    std::vector<int> handles;
+    for (long i = 0; i < 12; ++i) {
+      handles.push_back(cls.invoke_async(rt, ref, add, 1L));
+    }
+    long last = 0;
+    for (int h : handles) cls.await(rt, h, last);
+    long total = 0;
+    cls.invoke(rt, ref, stats, 0L, total);
+    EXPECT_EQ(total, 1) << "two method bodies overlapped in the monitor";
+    long value = 0;
+    cls.invoke(rt, ref, read, 0L, value);
+    EXPECT_EQ(value, 12);
+    cls.destroy(rt, ref);
+  });
+}
+
+TEST_P(ChantSda, ClientsOnSeveralPesShareOneInstance) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/3));
+  SdaClass<Counter> cls(w);
+  const int add = cls.method<long, long>(&add_method);
+  const int read = cls.method<long, long>(&read_method);
+  w.run([&](Runtime& rt) {
+    // pe 0 creates the object on pe 2 and tells everyone where it is.
+    SdaRef ref;
+    if (rt.pe() == 0) {
+      ref = cls.create(rt, 2, 0);
+      for (int pe = 1; pe < 3; ++pe) {
+        rt.send(60, &ref, sizeof ref, Gid{pe, 0, chant::kMainLid});
+      }
+    } else {
+      rt.recv(60, &ref, sizeof ref, Gid{0, 0, chant::kMainLid});
+    }
+    long out = 0;
+    for (int i = 0; i < 10; ++i) cls.invoke(rt, ref, add, 1L, out);
+    // Everyone waits for the global total, then pe 0 cleans up.
+    for (;;) {
+      cls.invoke(rt, ref, read, 0L, out);
+      if (out >= 30) break;
+      rt.yield();
+    }
+    EXPECT_EQ(out, 30);
+    if (rt.pe() == 0) {
+      // Make sure peers finished reading before destroying.
+      char done = 0;
+      rt.recv(61, &done, 1, Gid{1, 0, chant::kMainLid});
+      rt.recv(61, &done, 1, Gid{2, 0, chant::kMainLid});
+      cls.destroy(rt, ref);
+    } else {
+      char done = 1;
+      rt.send(61, &done, 1, Gid{0, 0, chant::kMainLid});
+    }
+  });
+}
+
+TEST_P(ChantSda, InstancesAreIndependentAndLocalCountsTrack) {
+  chant::World w(chant_test::config_for(GetParam()));
+  SdaClass<Counter> cls(w);
+  const int add = cls.method<long, long>(&add_method);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const SdaRef a = cls.create(rt, 1, 0);
+    const SdaRef b = cls.create(rt, 1, 0);
+    ASSERT_NE(a.instance, b.instance);
+    long out = 0;
+    cls.invoke(rt, a, add, 100L, out);
+    cls.invoke(rt, b, add, 1L, out);
+    cls.invoke(rt, b, add, 1L, out);
+    EXPECT_EQ(out, 2);  // b unaffected by a
+    cls.destroy(rt, a);
+    cls.destroy(rt, b);
+  });
+}
+
+TEST_P(ChantSda, DestructorRunsOnDestroy) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  SdaClass<Empty> cls(w);
+  w.run([&](Runtime& rt) {
+    Empty::live = 0;
+    const SdaRef ref = cls.create(rt, 0, 0);
+    EXPECT_EQ(Empty::live, 1);
+    cls.destroy(rt, ref);
+    EXPECT_EQ(Empty::live, 0);
+  });
+}
+
+struct BoundedQueue {
+  long items[4] = {};
+  int count = 0;
+};
+struct TryOut {
+  int ok;
+  long item;
+};
+
+void try_push(Runtime&, BoundedQueue& q, const long& v, TryOut& out) {
+  if (q.count == 4) {
+    out.ok = 0;
+    return;
+  }
+  q.items[q.count++] = v;
+  out.ok = 1;
+}
+
+void try_pop(Runtime&, BoundedQueue& q, const long&, TryOut& out) {
+  if (q.count == 0) {
+    out.ok = 0;
+    return;
+  }
+  out.ok = 1;
+  out.item = q.items[--q.count];
+}
+
+// Regression: a polling producer/consumer pair drives tens of thousands
+// of RSRs through one SDA, wrapping both the 12-bit reply-sequence space
+// and the 15-bit handle-generation space. Historically this caught
+// (a) handlers double-replying (a stale duplicate pairs with a later
+// request at sequence wrap) and (b) handle generations overflowing
+// their packed field.
+TEST_P(ChantSda, BusyRetryLoopsSurviveCounterWraps) {
+  chant::World w(chant_test::config_for(GetParam()));
+  SdaClass<BoundedQueue> cls(w);
+  const int push = cls.method<long, TryOut>(&try_push);
+  const int pop = cls.method<long, TryOut>(&try_pop);
+  w.run([&](Runtime& rt) {
+    constexpr long kItems = 300;
+    SdaRef ref;
+    if (rt.pe() == 0) {
+      ref = cls.create(rt, 0, 0);
+      rt.send(1, &ref, sizeof ref, Gid{1, 0, chant::kMainLid});
+      long got = 0;
+      long sum = 0;
+      while (got < kItems) {
+        TryOut out{};
+        cls.invoke(rt, ref, pop, 0L, out);  // spins: wraps seq space
+        if (out.ok != 0) {
+          ++got;
+          sum += out.item;
+        } else {
+          rt.yield();
+        }
+      }
+      EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
+      char fin = 1;
+      rt.send(2, &fin, 1, Gid{1, 0, chant::kMainLid});
+      cls.destroy(rt, ref);
+    } else {
+      rt.recv(1, &ref, sizeof ref, Gid{0, 0, chant::kMainLid});
+      for (long i = 0; i < kItems; ++i) {
+        for (;;) {
+          TryOut out{};
+          cls.invoke(rt, ref, push, i, out);
+          if (out.ok != 0) break;
+          rt.yield();
+        }
+      }
+      char fin = 0;
+      rt.recv(2, &fin, 1, Gid{0, 0, chant::kMainLid});
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChantSda,
+                         ::testing::ValuesIn(chant_test::all_cases()),
+                         [](const auto& info) {
+                           return chant_test::case_name(info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,133 @@
+// chant_tagcodec_test.cpp — header encoding of global thread names
+// (paper §3.1(2)), both addressing modes, exhaustive-ish sweeps.
+#include "chant/tagcodec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using chant::AddressingMode;
+using chant::TagCodec;
+
+nx::MsgHeader header_from(const TagCodec::Wire& w, int src_pe = 1,
+                          int src_proc = 0) {
+  nx::MsgHeader h;
+  h.src_pe = src_pe;
+  h.src_proc = src_proc;
+  h.tag = w.tag;
+  h.channel = w.channel;
+  return h;
+}
+
+bool matches(const TagCodec::Pattern& p, const nx::MsgHeader& h) {
+  return ((h.tag & p.tag_mask) == (p.tag & p.tag_mask)) &&
+         ((h.channel & p.channel_mask) == (p.channel & p.channel_mask));
+}
+
+class TagCodecModes : public ::testing::TestWithParam<AddressingMode> {
+ protected:
+  TagCodec codec{GetParam()};
+};
+
+TEST_P(TagCodecModes, RoundTripsLidsAndTag) {
+  for (int dst : {0, 1, 2, 100, codec.max_lid()}) {
+    for (int src : {0, 1, 7, codec.max_lid()}) {
+      for (int tag : {0, 1, 1000, codec.max_user_tag()}) {
+        const auto w = codec.encode(dst, src, tag);
+        const auto h = header_from(w);
+        EXPECT_EQ(codec.decode_src_lid(h), src);
+        EXPECT_EQ(codec.decode_user_tag(h), tag);
+        EXPECT_FALSE(codec.is_internal(h));
+      }
+    }
+  }
+}
+
+TEST_P(TagCodecModes, InternalBitRoundTrips) {
+  const auto w = codec.encode(3, 4, chant::kTagRsr, /*internal=*/true);
+  const auto h = header_from(w);
+  EXPECT_TRUE(codec.is_internal(h));
+  EXPECT_EQ(codec.decode_user_tag(h), chant::kTagRsr);
+  EXPECT_EQ(codec.decode_src_lid(h), 4);
+}
+
+TEST_P(TagCodecModes, ExactPatternMatchesOnlyItself) {
+  const auto pat = codec.pattern(5, 6, 77);
+  EXPECT_TRUE(matches(pat, header_from(codec.encode(5, 6, 77))));
+  EXPECT_FALSE(matches(pat, header_from(codec.encode(5, 6, 78))));   // tag
+  EXPECT_FALSE(matches(pat, header_from(codec.encode(5, 7, 77))));   // src
+  EXPECT_FALSE(matches(pat, header_from(codec.encode(4, 6, 77))));   // dst
+}
+
+TEST_P(TagCodecModes, WildcardSourceMatchesAnySender) {
+  const auto pat = codec.pattern(5, /*src=*/-1, 77);
+  EXPECT_TRUE(matches(pat, header_from(codec.encode(5, 0, 77))));
+  EXPECT_TRUE(matches(pat, header_from(codec.encode(5, 9, 77))));
+  EXPECT_FALSE(matches(pat, header_from(codec.encode(6, 9, 77))));
+}
+
+TEST_P(TagCodecModes, WildcardTagMatchesAnyUserTag) {
+  const auto pat = codec.pattern(5, 6, /*tag=*/-1);
+  EXPECT_TRUE(matches(pat, header_from(codec.encode(5, 6, 0))));
+  EXPECT_TRUE(
+      matches(pat, header_from(codec.encode(5, 6, codec.max_user_tag()))));
+}
+
+TEST_P(TagCodecModes, WildcardTagNeverMatchesInternalTraffic) {
+  // The property that keeps user any-tag receives from stealing RSRs.
+  const auto pat = codec.pattern(5, -1, -1, /*internal=*/false);
+  const auto rsr = codec.encode(5, 0, chant::kTagRsr, /*internal=*/true);
+  EXPECT_FALSE(matches(pat, header_from(rsr)));
+  const auto rep =
+      codec.encode(5, 0, chant::rsr_reply_tag(7), /*internal=*/true);
+  EXPECT_FALSE(matches(pat, header_from(rep)));
+}
+
+TEST_P(TagCodecModes, InternalPatternIgnoresUserTraffic) {
+  const auto pat = codec.pattern(0, -1, chant::kTagRsr, /*internal=*/true);
+  EXPECT_TRUE(matches(
+      pat, header_from(codec.encode(0, 3, chant::kTagRsr, true))));
+  // Same numeric tag, but a user message (internal bit clear).
+  EXPECT_FALSE(
+      matches(pat, header_from(codec.encode(0, 3, chant::kTagRsr, false))));
+}
+
+TEST_P(TagCodecModes, DistinctDestinationsNeverCollide) {
+  // Exhaustive over a slice of lid space: messages to thread A must
+  // never satisfy thread B's pattern, whatever the tags involved.
+  for (int a = 0; a < 12; ++a) {
+    for (int b = 0; b < 12; ++b) {
+      if (a == b) continue;
+      const auto pat = codec.pattern(a, -1, -1);
+      EXPECT_FALSE(matches(pat, header_from(codec.encode(b, 1, 5))));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TagCodecModes,
+                         ::testing::Values(AddressingMode::TagOverload,
+                                           AddressingMode::HeaderField),
+                         [](const auto& info) {
+                           return info.param == AddressingMode::TagOverload
+                                      ? "TagOverload"
+                                      : "HeaderField";
+                         });
+
+TEST(TagCodecLimits, TagOverloadHalvesTheTagSpace) {
+  // The cost the paper calls out: thread ids consume header bits.
+  TagCodec overload{AddressingMode::TagOverload};
+  TagCodec header{AddressingMode::HeaderField};
+  EXPECT_EQ(overload.max_lid(), 0xFF);
+  EXPECT_EQ(overload.max_user_tag(), 0x7FFF);
+  EXPECT_GT(header.max_lid(), overload.max_lid());
+  EXPECT_GT(header.max_user_tag(), overload.max_user_tag());
+}
+
+TEST(TagCodecLimits, HeaderFieldLeavesTagFieldClean) {
+  TagCodec codec{AddressingMode::HeaderField};
+  const auto w = codec.encode(200, 100, 0x12345);
+  EXPECT_EQ(w.tag, 0x12345);  // user tag travels unmodified
+  EXPECT_NE(w.channel, 0);    // lids ride in the channel
+}
+
+}  // namespace

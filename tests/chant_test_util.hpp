@@ -1,0 +1,58 @@
+// chant_test_util.hpp — shared helpers for policy/addressing-swept tests.
+//
+// Most Chant semantics must be invariant under the polling policy and
+// the addressing mode, so whole suites run TEST_P over PolicyCase: the
+// three paper policies, the msgtestany WQ ablation, and both header
+// encodings — every functional test doubles as an equivalence property.
+#pragma once
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "chant/chant.hpp"
+
+namespace chant_test {
+
+struct PolicyCase {
+  chant::PollPolicy policy;
+  bool wq_testany;
+  chant::AddressingMode addressing;
+};
+
+inline std::string case_name(const PolicyCase& c) {
+  std::string s;
+  switch (c.policy) {
+    case chant::PollPolicy::ThreadPolls: s = "TP"; break;
+    case chant::PollPolicy::SchedulerPollsWQ:
+      s = c.wq_testany ? "WQta" : "WQ";
+      break;
+    case chant::PollPolicy::SchedulerPollsPS: s = "PS"; break;
+  }
+  s += c.addressing == chant::AddressingMode::TagOverload ? "_tag" : "_hdr";
+  return s;
+}
+
+inline chant::World::Config config_for(const PolicyCase& c, int pes = 2) {
+  chant::World::Config cfg;
+  cfg.pes = pes;
+  cfg.rt.policy = c.policy;
+  cfg.rt.wq_use_testany = c.wq_testany;
+  cfg.rt.addressing = c.addressing;
+  return cfg;
+}
+
+inline std::vector<PolicyCase> all_cases() {
+  using chant::AddressingMode;
+  using chant::PollPolicy;
+  std::vector<PolicyCase> cases;
+  for (auto mode : {AddressingMode::TagOverload, AddressingMode::HeaderField}) {
+    cases.push_back({PollPolicy::ThreadPolls, false, mode});
+    cases.push_back({PollPolicy::SchedulerPollsWQ, false, mode});
+    cases.push_back({PollPolicy::SchedulerPollsWQ, true, mode});
+    cases.push_back({PollPolicy::SchedulerPollsPS, false, mode});
+  }
+  return cases;
+}
+
+}  // namespace chant_test

@@ -1,0 +1,284 @@
+// integration_test.cpp — whole-system scenarios: the paper's Figure-9
+// workload in miniature, a master/worker farm, and a halo-exchange
+// stencil — verifying cross-module behaviour ends up consistent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "chant_test_util.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using chant::Gid;
+using chant::MsgInfo;
+using chant::PollPolicy;
+using chant::Runtime;
+
+/// The paper's Figure-9 loop: compute(alpha); send; compute(beta); recv —
+/// run by `threads` threads per pe for `iters` iterations. Returns pe 0's
+/// total context switches for the cross-policy sanity assertions.
+struct Fig9Result {
+  std::uint64_t full_switches = 0;
+  std::uint64_t msgtests = 0;
+  double avg_waiting = 0.0;
+};
+
+Fig9Result run_fig9(PollPolicy policy, int threads, int iters,
+                    std::uint64_t alpha, std::uint64_t beta) {
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.rt.policy = policy;
+  cfg.rt.start_server = false;
+  chant::World w(cfg);
+  Fig9Result res;
+  w.run([&](Runtime& rt) {
+    struct Ctx {
+      Runtime* rt;
+      int iters;
+      std::uint64_t alpha, beta;
+    };
+    Ctx ctx{&rt, iters, alpha, beta};
+    std::vector<Gid> mine;
+    for (int i = 0; i < threads; ++i) {
+      mine.push_back(rt.create(
+          [](void* p) -> void* {
+            auto& c = *static_cast<Ctx*>(p);
+            Runtime& r = *c.rt;
+            const Gid peer{1 - r.pe(), 0, r.self().thread};
+            for (int it = 0; it < c.iters; ++it) {
+              harness::consume(harness::compute(c.alpha));
+              long tick = it;
+              r.send(42, &tick, sizeof tick, peer);
+              harness::consume(harness::compute(c.beta));
+              long got = -1;
+              r.recv(42, &got, sizeof got, peer);
+              EXPECT_EQ(got, it);
+            }
+            return nullptr;
+          },
+          &ctx, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL));
+    }
+    for (const Gid& g : mine) rt.join(g);
+    if (rt.pe() == 0) {
+      res.full_switches = rt.sched_stats().full_switches;
+      res.msgtests = rt.net_counters().msgtest_calls.load();
+      res.avg_waiting = rt.sched_stats().avg_waiting();
+    }
+  });
+  return res;
+}
+
+TEST(Fig9Workload, AllPoliciesCompleteAndCountsRelate) {
+  const auto tp = run_fig9(PollPolicy::ThreadPolls, 6, 8, 200, 100);
+  const auto ps = run_fig9(PollPolicy::SchedulerPollsPS, 6, 8, 200, 100);
+  const auto wq = run_fig9(PollPolicy::SchedulerPollsWQ, 6, 8, 200, 100);
+  // Paper Figure 11 ordering: TP does the most complete switches, WQ the
+  // fewest (threads only restored when truly ready).
+  EXPECT_GE(tp.full_switches, ps.full_switches);
+  EXPECT_GE(ps.full_switches, wq.full_switches);
+}
+
+TEST(Fig9Workload, IncreasingAlphaIncreasesWaitingThreads) {
+  // Paper Figure 13: larger alpha -> more threads waiting on receives.
+  const auto small = run_fig9(PollPolicy::SchedulerPollsPS, 6, 6, 50, 50);
+  const auto large = run_fig9(PollPolicy::SchedulerPollsPS, 6, 6, 20000, 50);
+  EXPECT_GT(large.avg_waiting, small.avg_waiting * 0.8);
+  EXPECT_GT(large.avg_waiting, 0.0);
+}
+
+TEST(Integration, MasterWorkerFarmBalances) {
+  chant::World::Config cfg;
+  cfg.pes = 3;
+  cfg.rt.policy = PollPolicy::SchedulerPollsPS;
+  chant::World w(cfg);
+  w.run([](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    constexpr int kTasks = 60;
+    constexpr int kWorkers = 6;
+    struct Msg {
+      long id;
+    };
+    const Gid master = rt.self();
+    struct Boot {
+      Gid master;
+    } boot{master};
+    std::vector<Gid> workers;
+    for (int i = 0; i < kWorkers; ++i) {
+      workers.push_back(rt.create_marshalled(
+          [](Runtime& r, const void* p, std::size_t) {
+            Boot b{};
+            std::memcpy(&b, p, sizeof b);
+            long sum = 0;
+            for (;;) {
+              Msg ask{0};
+              r.send(80, &ask, sizeof ask, b.master);
+              Msg task{};
+              r.recv(81, &task, sizeof task, b.master);
+              if (task.id < 0) break;
+              sum += task.id;
+            }
+            r.send(82, &sum, sizeof sum, b.master);
+          },
+          &boot, sizeof boot, i % 3, 0));
+    }
+    long next = 0;
+    int retired = 0;
+    while (retired < kWorkers) {
+      Msg ask{};
+      const MsgInfo mi = rt.recv(80, &ask, sizeof ask, chant::kAnyThread);
+      Msg task{next < kTasks ? next++ : -1};
+      if (task.id < 0) ++retired;
+      rt.send(81, &task, sizeof task, mi.src);
+    }
+    long total = 0;
+    for (int i = 0; i < kWorkers; ++i) {
+      long part = 0;
+      rt.recv(82, &part, sizeof part, chant::kAnyThread);
+      total += part;
+    }
+    EXPECT_EQ(total, static_cast<long>(kTasks) * (kTasks - 1) / 2);
+    for (const Gid& g : workers) rt.join(g);
+  });
+}
+
+TEST(Integration, HaloExchangeStencilConverges) {
+  // 1-D Jacobi over 4 blocks on 2 pes, threads talking to neighbour
+  // threads by gid; verifies numerical agreement with a serial sweep.
+  constexpr int kCells = 32;
+  constexpr int kBlocks = 4;
+  constexpr int kSweeps = 25;
+  // Serial reference.
+  std::vector<double> ref(kBlocks * kCells + 2, 0.0);
+  for (int i = 1; i <= kBlocks * kCells; ++i) ref[static_cast<std::size_t>(i)] = std::sin(0.1 * i);
+  {
+    std::vector<double> nxt(ref.size(), 0.0);
+    for (int s = 0; s < kSweeps; ++s) {
+      for (int i = 1; i <= kBlocks * kCells; ++i) {
+        const auto u = static_cast<std::size_t>(i);
+        nxt[u] = 0.5 * ref[u] + 0.25 * (ref[u - 1] + ref[u + 1]);
+      }
+      ref.swap(nxt);
+    }
+  }
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.rt.policy = PollPolicy::SchedulerPollsWQ;
+  chant::World w(cfg);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    struct Arg {
+      Gid reporter;
+      Gid left, right;
+      int base;
+    };
+    std::vector<Gid> gids;
+    std::vector<Arg> args(kBlocks);
+    for (int b = 0; b < kBlocks; ++b) {
+      Arg dummy{};
+      gids.push_back(rt.create_marshalled(
+          [](Runtime& r, const void*, std::size_t) {
+            Arg a{};
+            r.recv(95, &a, sizeof a, chant::kAnyThread);
+            std::vector<double> cur(kCells + 2, 0.0);
+            std::vector<double> nxt(kCells + 2, 0.0);
+            for (int i = 1; i <= kCells; ++i) {
+              cur[static_cast<std::size_t>(i)] = std::sin(0.1 * (a.base + i));
+            }
+            for (int s = 0; s < kSweeps; ++s) {
+              if (a.left.pe >= 0) r.send(96, &cur[1], sizeof(double), a.left);
+              if (a.right.pe >= 0) {
+                r.send(97, &cur[kCells], sizeof(double), a.right);
+              }
+              if (a.left.pe >= 0) {
+                r.recv(97, &cur[0], sizeof(double), a.left);
+              }
+              if (a.right.pe >= 0) {
+                r.recv(96, &cur[kCells + 1], sizeof(double), a.right);
+              }
+              for (int i = 1; i <= kCells; ++i) {
+                const auto u = static_cast<std::size_t>(i);
+                nxt[u] = 0.5 * cur[u] + 0.25 * (cur[u - 1] + cur[u + 1]);
+              }
+              cur.swap(nxt);
+            }
+            r.send(98, cur.data() + 1, kCells * sizeof(double), a.reporter);
+          },
+          &dummy, sizeof dummy, b % 2, 0));
+    }
+    for (int b = 0; b < kBlocks; ++b) {
+      args[static_cast<std::size_t>(b)] =
+          Arg{rt.self(),
+              b > 0 ? gids[static_cast<std::size_t>(b - 1)] : Gid{-1, -1, -1},
+              b + 1 < kBlocks ? gids[static_cast<std::size_t>(b + 1)]
+                              : Gid{-1, -1, -1},
+              b * kCells};
+      rt.send(95, &args[static_cast<std::size_t>(b)], sizeof(Arg),
+              gids[static_cast<std::size_t>(b)]);
+    }
+    std::vector<double> got(kBlocks * kCells, 0.0);
+    for (int b = 0; b < kBlocks; ++b) {
+      std::vector<double> part(kCells);
+      const MsgInfo mi =
+          rt.recv(98, part.data(), kCells * sizeof(double), chant::kAnyThread);
+      // Identify which block replied by matching its thread id.
+      int idx = -1;
+      for (int k = 0; k < kBlocks; ++k) {
+        if (gids[static_cast<std::size_t>(k)] == mi.src) idx = k;
+      }
+      ASSERT_GE(idx, 0);
+      std::copy(part.begin(), part.end(),
+                got.begin() + static_cast<long>(idx) * kCells);
+    }
+    for (int i = 0; i < kBlocks * kCells; ++i) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                  ref[static_cast<std::size_t>(i + 1)], 1e-12);
+    }
+    for (const Gid& g : gids) rt.join(g);
+  });
+}
+
+TEST(Integration, ChurnCreateJoinUnderTraffic) {
+  // Threads are created and joined remotely while unrelated p2p traffic
+  // flows — the RSR plane and the p2p plane must not interfere.
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.rt.policy = PollPolicy::ThreadPolls;
+  chant::World w(cfg);
+  w.run([](Runtime& rt) {
+    const Gid peer_main{1 - rt.pe(), 0, chant::kMainLid};
+    struct Ctx {
+      Runtime* rt;
+      Gid peer;
+    } ctx{&rt, peer_main};
+    // Background chatter thread.
+    const Gid chatter = rt.create(
+        [](void* p) -> void* {
+          auto& c = *static_cast<Ctx*>(p);
+          const Gid twin{1 - c.rt->pe(), 0, c.rt->self().thread};
+          for (int i = 0; i < 50; ++i) {
+            long v = i;
+            c.rt->send(85, &v, sizeof v, twin);
+            long got = -1;
+            c.rt->recv(85, &got, sizeof got, twin);
+            EXPECT_EQ(got, i);
+          }
+          return nullptr;
+        },
+        &ctx, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    // Meanwhile churn remote threads.
+    if (rt.pe() == 0) {
+      for (long i = 0; i < 25; ++i) {
+        const Gid g = rt.create(
+            [](void* a) -> void* { return a; },
+            reinterpret_cast<void*>(i), 1, 0);
+        EXPECT_EQ(rt.join(g), reinterpret_cast<void*>(i));
+      }
+    }
+    rt.join(chatter);
+  });
+}
+
+}  // namespace

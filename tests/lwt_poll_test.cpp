@@ -1,0 +1,242 @@
+// lwt_poll_test.cpp — the scheduler's three message-wait mechanisms
+// (TP / WQ / PS) in isolation, using synthetic poll requests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lwt/lwt.hpp"
+
+namespace {
+
+struct Flag {
+  int value = 0;
+  int threshold = 1;
+  int tests = 0;
+  static bool test(void* p) {
+    auto* f = static_cast<Flag*>(p);
+    ++f->tests;
+    return f->value >= f->threshold;
+  }
+  lwt::PollRequest req() { return lwt::PollRequest{&Flag::test, this}; }
+};
+
+TEST(PollTp, CompletesWhenConditionHolds) {
+  lwt::run([] {
+    Flag f;
+    f.threshold = 3;
+    lwt::Tcb* w = lwt::go([&] {
+      lwt::Scheduler::current()->poll_block_tp(f.req());
+      EXPECT_GE(f.value, 3);
+    });
+    for (int i = 0; i < 5; ++i) {
+      ++f.value;
+      lwt::yield();
+    }
+    lwt::join(w);
+    EXPECT_GE(f.tests, 3);  // one per resumption until satisfied
+  });
+}
+
+TEST(PollTp, FastPathDoesNotYield) {
+  lwt::run([] {
+    Flag f;
+    f.value = 1;  // already satisfied
+    const auto yields_before = lwt::Scheduler::current()->stats().yields;
+    lwt::Scheduler::current()->poll_block_tp(f.req());
+    EXPECT_EQ(lwt::Scheduler::current()->stats().yields, yields_before);
+    EXPECT_EQ(f.tests, 1);
+  });
+}
+
+TEST(PollWq, ParkedThreadDoesNotConsumeSwitches) {
+  lwt::run([] {
+    Flag f;
+    f.threshold = 1;
+    lwt::Tcb* w = lwt::go([&] {
+      lwt::Scheduler::current()->poll_block_wq(f.req());
+    });
+    lwt::yield();  // waiter parks
+    const auto switches_parked =
+        lwt::Scheduler::current()->stats().full_switches;
+    for (int i = 0; i < 20; ++i) lwt::yield();
+    // While parked, only the main fiber was being restored.
+    EXPECT_EQ(lwt::Scheduler::current()->stats().full_switches,
+              switches_parked + 20);
+    f.value = 1;
+    lwt::join(w);
+    EXPECT_GT(lwt::Scheduler::current()->stats().wq_poll_tests, 0u);
+  });
+}
+
+TEST(PollWq, ManyWaitersWakeInAnyOrderButAll) {
+  lwt::run([] {
+    std::vector<Flag> flags(6);
+    int woken = 0;
+    std::vector<lwt::Tcb*> ts;
+    for (auto& f : flags) {
+      ts.push_back(lwt::go([&] {
+        lwt::Scheduler::current()->poll_block_wq(f.req());
+        ++woken;
+      }));
+    }
+    lwt::yield();
+    // Release in reverse order.
+    for (int i = 5; i >= 0; --i) {
+      flags[static_cast<std::size_t>(i)].value = 1;
+      lwt::yield();
+    }
+    for (auto* t : ts) lwt::join(t);
+    EXPECT_EQ(woken, 6);
+  });
+}
+
+TEST(PollPs, PartialSwitchTestsWithoutRestore) {
+  lwt::run([] {
+    Flag f;
+    lwt::Tcb* w = lwt::go([&] {
+      lwt::Scheduler::current()->poll_block_ps(f.req());
+    });
+    lwt::yield();  // waiter runs once, parks with poll in TCB
+    const auto full_before = lwt::Scheduler::current()->stats().full_switches;
+    for (int i = 0; i < 10; ++i) lwt::yield();
+    const auto& st = lwt::Scheduler::current()->stats();
+    // The waiter's context was never restored while pending...
+    EXPECT_EQ(st.full_switches, full_before + 10);
+    // ...but it was tested (partial switches) at scheduling points.
+    EXPECT_GE(st.partial_poll_tests, 10u);
+    f.value = 1;
+    lwt::join(w);
+  });
+}
+
+TEST(PollPs, MultipleParkedRotateFairly) {
+  lwt::run([] {
+    std::vector<Flag> flags(4);
+    std::vector<int> wake_order;
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 4; ++i) {
+      ts.push_back(lwt::go([&, i] {
+        lwt::Scheduler::current()->poll_block_ps(
+            flags[static_cast<std::size_t>(i)].req());
+        wake_order.push_back(i);
+      }));
+    }
+    lwt::yield();
+    flags[2].value = 1;
+    lwt::yield();
+    flags[0].value = 1;
+    lwt::yield();
+    flags[3].value = 1;
+    flags[1].value = 1;
+    for (auto* t : ts) lwt::join(t);
+    ASSERT_EQ(wake_order.size(), 4u);
+    EXPECT_EQ(wake_order[0], 2);
+    EXPECT_EQ(wake_order[1], 0);
+  });
+}
+
+TEST(PollPs, MsgWaitingCountTracksWaiters) {
+  lwt::run([] {
+    Flag f;
+    EXPECT_EQ(lwt::Scheduler::current()->msg_waiting_threads(), 0u);
+    lwt::Tcb* w = lwt::go([&] {
+      lwt::Scheduler::current()->poll_block_ps(f.req());
+    });
+    lwt::yield();
+    EXPECT_EQ(lwt::Scheduler::current()->msg_waiting_threads(), 1u);
+    f.value = 1;
+    lwt::join(w);
+    EXPECT_EQ(lwt::Scheduler::current()->msg_waiting_threads(), 0u);
+  });
+}
+
+TEST(PollCancel, TpWaiterCanBeCancelled) {
+  lwt::run([] {
+    Flag f;  // never satisfied
+    lwt::Tcb* w = lwt::go([&] {
+      lwt::Scheduler::current()->poll_block_tp(f.req());
+    });
+    lwt::yield();
+    lwt::Scheduler::current()->cancel(w);
+    EXPECT_EQ(lwt::join(w), lwt::kCanceled);
+  });
+}
+
+TEST(PollCancel, WqWaiterCanBeCancelled) {
+  lwt::run([] {
+    Flag f;
+    lwt::Tcb* w = lwt::go([&] {
+      lwt::Scheduler::current()->poll_block_wq(f.req());
+    });
+    lwt::yield();
+    lwt::Scheduler::current()->cancel(w);
+    EXPECT_EQ(lwt::join(w), lwt::kCanceled);
+  });
+}
+
+TEST(PollCancel, PsWaiterCanBeCancelled) {
+  lwt::run([] {
+    Flag f;
+    lwt::Tcb* w = lwt::go([&] {
+      lwt::Scheduler::current()->poll_block_ps(f.req());
+    });
+    lwt::yield();
+    lwt::Scheduler::current()->cancel(w);
+    EXPECT_EQ(lwt::join(w), lwt::kCanceled);
+  });
+}
+
+// ------------------------------------------------- group poll (msgtestany)
+
+struct GroupState {
+  std::vector<Flag*> parked;
+  int group_calls = 0;
+};
+
+std::size_t group_poll(void* ctx, lwt::Scheduler& s) {
+  auto* g = static_cast<GroupState*>(ctx);
+  ++g->group_calls;
+  for (std::size_t i = 0; i < g->parked.size(); ++i) {
+    Flag* f = g->parked[i];
+    if (f->value >= f->threshold) {
+      g->parked.erase(g->parked.begin() + static_cast<long>(i));
+      EXPECT_TRUE(s.wq_complete(f));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+TEST(PollWqGroup, GroupHookReplacesPerEntryScan) {
+  lwt::Scheduler s;
+  GroupState g;
+  s.set_wq_group_poll(&group_poll, &g);
+  struct Ctx {
+    GroupState* g;
+  } ctx{&g};
+  s.run_main(
+      [](void* p) -> void* {
+        auto* c = static_cast<Ctx*>(p);
+        std::vector<Flag> flags(3);
+        std::vector<lwt::Tcb*> ts;
+        for (auto& f : flags) {
+          c->g->parked.push_back(&f);
+          ts.push_back(lwt::go([&f] {
+            lwt::Scheduler::current()->poll_block_wq(f.req());
+          }));
+        }
+        lwt::yield();
+        for (auto& f : flags) {
+          f.value = 1;
+          lwt::yield();
+        }
+        for (auto* t : ts) lwt::join(t);
+        return nullptr;
+      },
+      &ctx);
+  EXPECT_GT(g.group_calls, 0);
+  // Per-entry scans were replaced: no wq_poll_tests counted.
+  EXPECT_EQ(s.stats().wq_poll_tests, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// lwt_rwlock_test.cpp — reader/writer lock and once-initialization.
+#include "lwt/rwlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lwt/lwt.hpp"
+
+namespace {
+
+TEST(RwLock, ManyReadersShareTheLock) {
+  lwt::run([] {
+    lwt::RwLock l;
+    int concurrent = 0;
+    int peak = 0;
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 8; ++i) {
+      ts.push_back(lwt::go([&] {
+        lwt::SharedLockGuard g(l);
+        ++concurrent;
+        if (concurrent > peak) peak = concurrent;
+        lwt::yield();
+        --concurrent;
+      }));
+    }
+    for (auto* t : ts) lwt::join(t);
+    EXPECT_GE(peak, 2);  // readers genuinely overlapped
+  });
+}
+
+TEST(RwLock, WriterExcludesEveryone) {
+  lwt::run([] {
+    lwt::RwLock l;
+    bool writer_inside = false;
+    bool violation = false;
+    std::vector<lwt::Tcb*> ts;
+    ts.push_back(lwt::go([&] {
+      lwt::WriteLockGuard g(l);
+      writer_inside = true;
+      for (int i = 0; i < 5; ++i) lwt::yield();
+      writer_inside = false;
+    }));
+    for (int i = 0; i < 4; ++i) {
+      ts.push_back(lwt::go([&] {
+        lwt::SharedLockGuard g(l);
+        if (writer_inside) violation = true;
+      }));
+      ts.push_back(lwt::go([&] {
+        lwt::WriteLockGuard g(l);
+        lwt::yield();
+      }));
+    }
+    for (auto* t : ts) lwt::join(t);
+    EXPECT_FALSE(violation);
+  });
+}
+
+TEST(RwLock, WriterIsNotStarvedByReaders) {
+  lwt::run([] {
+    lwt::RwLock l;
+    bool writer_done = false;
+    int reads_after_writer_queued = 0;
+    l.lock_shared();  // hold one read lock
+    lwt::Tcb* writer = lwt::go([&] {
+      lwt::WriteLockGuard g(l);
+      writer_done = true;
+    });
+    lwt::yield();  // writer parks
+    // New readers must now queue *behind* the writer.
+    std::vector<lwt::Tcb*> readers;
+    for (int i = 0; i < 3; ++i) {
+      readers.push_back(lwt::go([&] {
+        lwt::SharedLockGuard g(l);
+        if (writer_done) ++reads_after_writer_queued;
+      }));
+    }
+    lwt::yield();
+    EXPECT_FALSE(l.try_lock_shared());  // writer pending blocks new readers
+    l.unlock_shared();
+    lwt::join(writer);
+    for (auto* t : readers) lwt::join(t);
+    EXPECT_TRUE(writer_done);
+    EXPECT_EQ(reads_after_writer_queued, 3);
+  });
+}
+
+TEST(RwLock, TryVariantsReflectState) {
+  lwt::run([] {
+    lwt::RwLock l;
+    EXPECT_TRUE(l.try_lock_shared());
+    EXPECT_TRUE(l.try_lock_shared());  // shared is reentrant across fibers
+    EXPECT_FALSE(l.try_lock());
+    l.unlock_shared();
+    l.unlock_shared();
+    EXPECT_TRUE(l.try_lock());
+    EXPECT_FALSE(l.try_lock_shared());
+    l.unlock();
+  });
+}
+
+TEST(RwLock, CancellableWaits) {
+  lwt::run([] {
+    lwt::RwLock l;
+    l.lock();  // never released while the victim waits
+    lwt::Tcb* victim = lwt::go([&] {
+      lwt::SharedLockGuard g(l);
+    });
+    lwt::yield();
+    lwt::Scheduler::current()->cancel(victim);
+    EXPECT_EQ(lwt::join(victim), lwt::kCanceled);
+    l.unlock();
+  });
+}
+
+TEST(Once, RunsExactlyOnce) {
+  lwt::run([] {
+    lwt::Once once;
+    int runs = 0;
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 6; ++i) {
+      ts.push_back(lwt::go([&] {
+        once.call([&] {
+          lwt::yield();  // others must wait, not re-enter
+          ++runs;
+        });
+        EXPECT_EQ(runs, 1);  // visible to every caller afterwards
+      }));
+    }
+    for (auto* t : ts) lwt::join(t);
+    EXPECT_EQ(runs, 1);
+    EXPECT_TRUE(once.done());
+  });
+}
+
+TEST(Once, ThrowingInitializerIsRetried) {
+  lwt::run([] {
+    lwt::Once once;
+    int attempts = 0;
+    EXPECT_THROW(once.call([&] {
+                   ++attempts;
+                   throw std::runtime_error("first try fails");
+                 }),
+                 std::runtime_error);
+    EXPECT_FALSE(once.done());
+    once.call([&] { ++attempts; });
+    EXPECT_TRUE(once.done());
+    EXPECT_EQ(attempts, 2);
+  });
+}
+
+}  // namespace

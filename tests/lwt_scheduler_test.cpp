@@ -1,0 +1,275 @@
+// lwt_scheduler_test.cpp — scheduling semantics: spawn/join/yield,
+// priorities, detach, statistics, queue mechanics.
+#include "lwt/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lwt/lwt.hpp"
+
+namespace {
+
+TEST(TcbQueue, FifoOrder) {
+  lwt::TcbQueue q;
+  lwt::Tcb a, b, c;
+  EXPECT_TRUE(q.empty());
+  q.push_back(&a);
+  q.push_back(&b);
+  q.push_back(&c);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop_front(), &a);
+  EXPECT_EQ(q.pop_front(), &b);
+  EXPECT_EQ(q.pop_front(), &c);
+  EXPECT_EQ(q.pop_front(), nullptr);
+}
+
+TEST(TcbQueue, RemoveFromMiddleHeadTail) {
+  lwt::TcbQueue q;
+  lwt::Tcb a, b, c;
+  q.push_back(&a);
+  q.push_back(&b);
+  q.push_back(&c);
+  EXPECT_TRUE(q.remove(&b));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.remove(&a));
+  EXPECT_TRUE(q.remove(&c));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.remove(&a));  // not present anymore
+}
+
+TEST(TcbQueue, RemoveSingleElement) {
+  lwt::TcbQueue q;
+  lwt::Tcb a;
+  q.push_back(&a);
+  EXPECT_TRUE(q.remove(&a));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Scheduler, RunMainReturnsMainRetval) {
+  lwt::Scheduler s;
+  void* rv = s.run_main(
+      [](void* a) -> void* { return static_cast<char*>(a) + 5; },
+      reinterpret_cast<void*>(100));
+  EXPECT_EQ(rv, reinterpret_cast<void*>(105));
+}
+
+TEST(Scheduler, JoinReturnsChildRetval) {
+  lwt::run([] {
+    lwt::Tcb* t = lwt::Scheduler::current()->spawn(
+        [](void*) -> void* { return reinterpret_cast<void*>(77); }, nullptr);
+    EXPECT_EQ(lwt::join(t), reinterpret_cast<void*>(77));
+  });
+}
+
+TEST(Scheduler, JoinBlocksUntilChildFinishes) {
+  lwt::run([] {
+    int phase = 0;
+    lwt::Tcb* t = lwt::go([&] {
+      for (int i = 0; i < 10; ++i) lwt::yield();
+      phase = 1;
+    });
+    lwt::join(t);
+    EXPECT_EQ(phase, 1);
+  });
+}
+
+TEST(Scheduler, SelfAndCurrentAreConsistent) {
+  lwt::run([] {
+    lwt::Scheduler* s = lwt::Scheduler::current();
+    ASSERT_NE(s, nullptr);
+    lwt::Tcb* me = lwt::Scheduler::self();
+    ASSERT_NE(me, nullptr);
+    EXPECT_EQ(me->sched, s);
+    EXPECT_EQ(me->id, 1u);  // main fiber
+    EXPECT_STREQ(me->name, "main");
+  });
+  EXPECT_EQ(lwt::Scheduler::current(), nullptr);
+  EXPECT_EQ(lwt::Scheduler::self(), nullptr);
+}
+
+TEST(Scheduler, ThreadIdsAreSequential) {
+  lwt::run([] {
+    lwt::Tcb* a = lwt::go([] {});
+    lwt::Tcb* b = lwt::go([] {});
+    EXPECT_EQ(a->id, 2u);
+    EXPECT_EQ(b->id, 3u);
+    lwt::join(a);
+    lwt::join(b);
+  });
+}
+
+TEST(Scheduler, HigherPriorityRunsFirst) {
+  std::vector<char> order;
+  lwt::run([&] {
+    lwt::ThreadAttr low;
+    low.priority = 1;
+    lwt::ThreadAttr high;
+    high.priority = 6;
+    lwt::Tcb* l = lwt::go([&] { order.push_back('l'); }, low);
+    lwt::Tcb* h = lwt::go([&] { order.push_back('h'); }, high);
+    lwt::yield();  // let them run
+    lwt::join(l);
+    lwt::join(h);
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'h');
+  EXPECT_EQ(order[1], 'l');
+}
+
+TEST(Scheduler, SetPriorityMovesQueuedThread) {
+  std::vector<char> order;
+  lwt::run([&] {
+    lwt::Tcb* a = lwt::go([&] { order.push_back('a'); });
+    lwt::Tcb* b = lwt::go([&] { order.push_back('b'); });
+    // Promote b above a while both are queued.
+    lwt::Scheduler::current()->set_priority(b, lwt::kNumPriorities - 1);
+    lwt::join(a);
+    lwt::join(b);
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'b');
+}
+
+TEST(Scheduler, PriorityClamped) {
+  lwt::run([] {
+    lwt::ThreadAttr a;
+    a.priority = 99;
+    lwt::Tcb* t = lwt::go([] {}, a);
+    EXPECT_EQ(t->priority, lwt::kNumPriorities - 1);
+    lwt::ThreadAttr b;
+    b.priority = -5;
+    lwt::Tcb* u = lwt::go([] {}, b);
+    EXPECT_EQ(u->priority, 0);
+    lwt::join(t);
+    lwt::join(u);
+  });
+}
+
+TEST(Scheduler, DetachedThreadsReapThemselves) {
+  lwt::run([] {
+    lwt::ThreadAttr attr;
+    attr.detached = true;
+    int done = 0;
+    for (int i = 0; i < 50; ++i) {
+      lwt::go([&done] { ++done; }, attr);
+    }
+    while (lwt::Scheduler::current()->live_threads() > 1) lwt::yield();
+    EXPECT_EQ(done, 50);
+  });
+}
+
+TEST(Scheduler, DetachAfterFinishReaps) {
+  lwt::run([] {
+    lwt::Tcb* t = lwt::go([] {});
+    while (t->state != lwt::ThreadState::Finished) lwt::yield();
+    lwt::Scheduler::current()->detach(t);  // reaps the zombie, no join
+  });
+}
+
+TEST(Scheduler, NestedSpawning) {
+  int leaves = 0;
+  lwt::run([&] {
+    std::vector<lwt::Tcb*> mids;
+    for (int i = 0; i < 4; ++i) {
+      mids.push_back(lwt::go([&] {
+        lwt::Tcb* inner[4];
+        for (auto*& t : inner) {
+          t = lwt::go([&] { ++leaves; });
+        }
+        for (auto* t : inner) lwt::join(t);
+      }));
+    }
+    for (auto* t : mids) lwt::join(t);
+  });
+  EXPECT_EQ(leaves, 16);
+}
+
+TEST(Scheduler, ManyThreadsStress) {
+  long sum = 0;
+  lwt::run([&] {
+    std::vector<lwt::Tcb*> ts;
+    for (long i = 0; i < 500; ++i) {
+      ts.push_back(lwt::go([&sum, i] {
+        lwt::yield();
+        sum += i;
+      }));
+    }
+    for (auto* t : ts) lwt::join(t);
+  });
+  EXPECT_EQ(sum, 500 * 499 / 2);
+}
+
+TEST(Scheduler, StatsCountSwitchesAndYields) {
+  lwt::Scheduler s;
+  s.run_main(
+      [](void*) -> void* {
+        for (int i = 0; i < 10; ++i) lwt::Scheduler::current()->yield();
+        return nullptr;
+      },
+      nullptr);
+  EXPECT_EQ(s.stats().yields, 10u);
+  EXPECT_EQ(s.stats().spawns, 1u);
+  // main restored once at start + once per yield
+  EXPECT_EQ(s.stats().full_switches, 11u);
+}
+
+TEST(Scheduler, RunMainCanBeCalledTwice) {
+  lwt::Scheduler s;
+  EXPECT_EQ(s.run_main([](void*) -> void* { return nullptr; }, nullptr),
+            nullptr);
+  EXPECT_EQ(s.run_main([](void* a) -> void* { return a; }, &s), &s);
+}
+
+TEST(Scheduler, DebugDumpMentionsThreads) {
+  lwt::run([] {
+    lwt::ThreadAttr attr;
+    attr.name = "worker-x";
+    lwt::Tcb* t = lwt::go([] { lwt::yield(); }, attr);
+    const std::string dump = lwt::Scheduler::current()->debug_dump();
+    EXPECT_NE(dump.find("worker-x"), std::string::npos);
+    lwt::join(t);
+  });
+}
+
+TEST(Scheduler, ThreadNamesTruncateSafely) {
+  lwt::run([] {
+    lwt::ThreadAttr attr;
+    attr.name = "a-very-long-thread-name-that-exceeds-the-buffer";
+    lwt::Tcb* t = lwt::go([] {}, attr);
+    EXPECT_LT(std::string(t->name).size(), sizeof(t->name));
+    lwt::join(t);
+  });
+}
+
+using SchedulerDeathTest = ::testing::Test;
+
+TEST(SchedulerDeathTest, SelfJoinAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(lwt::run([] {
+                 lwt::Scheduler::current()->join(lwt::Scheduler::self());
+               }),
+               "invalid join");
+}
+
+TEST(SchedulerDeathTest, DoubleJoinAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(lwt::run([] {
+                 lwt::Tcb* t = lwt::go([] {});
+                 lwt::join(t);
+                 lwt::Scheduler::current()->join(t);
+               }),
+               "");
+}
+
+TEST(SchedulerDeathTest, DeadlockIsDetected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(lwt::run([] {
+                 lwt::TcbQueue never_signaled;
+                 lwt::Scheduler::current()->park_on(never_signaled);
+               }),
+               "deadlock");
+}
+
+}  // namespace

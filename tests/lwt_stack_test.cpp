@@ -1,0 +1,75 @@
+// lwt_stack_test.cpp — guard-paged stack allocation and pooling.
+#include "lwt/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+
+namespace {
+
+TEST(StackPool, RoundsUpToWholePages) {
+  lwt::StackPool pool;
+  const std::size_t pz = lwt::page_size();
+  lwt::Stack s = pool.acquire(1);
+  EXPECT_EQ(s.size, pz);
+  lwt::Stack s2 = pool.acquire(pz + 1);
+  EXPECT_EQ(s2.size, 2 * pz);
+  pool.release(s);
+  pool.release(s2);
+}
+
+TEST(StackPool, ReusesReleasedStacks) {
+  lwt::StackPool pool;
+  lwt::Stack s = pool.acquire(64 * 1024);
+  void* base = s.base;
+  pool.release(s);
+  EXPECT_EQ(pool.cached(), 1u);
+  lwt::Stack t = pool.acquire(64 * 1024);
+  EXPECT_EQ(t.base, base);  // same mapping came back
+  EXPECT_EQ(pool.cached(), 0u);
+  pool.release(t);
+}
+
+TEST(StackPool, DifferentSizesDoNotAlias) {
+  lwt::StackPool pool;
+  lwt::Stack small = pool.acquire(16 * 1024);
+  pool.release(small);
+  lwt::Stack big = pool.acquire(256 * 1024);
+  EXPECT_GE(big.size, 256u * 1024u);
+  EXPECT_EQ(pool.cached(), 1u);  // the small one is still cached
+  pool.release(big);
+}
+
+TEST(StackPool, TrimReleasesEverything) {
+  lwt::StackPool pool;
+  for (int i = 0; i < 4; ++i) pool.release(pool.acquire(32 * 1024));
+  EXPECT_GT(pool.cached(), 0u);
+  pool.trim();
+  EXPECT_EQ(pool.cached(), 0u);
+}
+
+TEST(StackPool, StackIsWritableEverywhere) {
+  lwt::StackPool pool;
+  lwt::Stack s = pool.acquire(64 * 1024);
+  std::memset(s.base, 0xAB, s.size);  // would fault if mapping were short
+  EXPECT_EQ(static_cast<unsigned char*>(s.base)[0], 0xAB);
+  EXPECT_EQ(static_cast<unsigned char*>(s.base)[s.size - 1], 0xAB);
+  pool.release(s);
+}
+
+using StackDeathTest = ::testing::Test;
+
+TEST(StackDeathTest, GuardPageCatchesOverflow) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        lwt::StackPool pool;
+        lwt::Stack s = pool.acquire(16 * 1024);
+        // One byte below the usable base lies the PROT_NONE guard page.
+        static_cast<volatile char*>(s.base)[-1] = 1;
+      },
+      "");
+}
+
+}  // namespace

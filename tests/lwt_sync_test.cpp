@@ -1,0 +1,256 @@
+// lwt_sync_test.cpp — fiber mutex / condvar / semaphore / barrier.
+#include "lwt/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lwt/lwt.hpp"
+
+namespace {
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  lwt::run([] {
+    lwt::Mutex m;
+    int in_critical = 0;
+    int max_in_critical = 0;
+    long counter = 0;
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 16; ++i) {
+      ts.push_back(lwt::go([&] {
+        for (int k = 0; k < 50; ++k) {
+          lwt::LockGuard g(m);
+          ++in_critical;
+          if (in_critical > max_in_critical) max_in_critical = in_critical;
+          lwt::yield();  // try hard to interleave inside the section
+          ++counter;
+          --in_critical;
+        }
+      }));
+    }
+    for (auto* t : ts) lwt::join(t);
+    EXPECT_EQ(max_in_critical, 1);
+    EXPECT_EQ(counter, 16 * 50);
+  });
+}
+
+TEST(Mutex, TryLockRespectsOwnership) {
+  lwt::run([] {
+    lwt::Mutex m;
+    EXPECT_TRUE(m.try_lock());
+    lwt::Tcb* t = lwt::go([&] { EXPECT_FALSE(m.try_lock()); });
+    lwt::join(t);
+    m.unlock();
+    EXPECT_FALSE(m.locked());
+  });
+}
+
+TEST(Mutex, UnlockWakesWaiterFifo) {
+  lwt::run([] {
+    lwt::Mutex m;
+    std::vector<int> order;
+    m.lock();
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 3; ++i) {
+      ts.push_back(lwt::go([&, i] {
+        lwt::LockGuard g(m);
+        order.push_back(i);
+      }));
+    }
+    lwt::yield();  // all three park on the mutex
+    m.unlock();
+    for (auto* t : ts) lwt::join(t);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 2);
+  });
+}
+
+TEST(CondVar, SignalWakesOneWaiter) {
+  lwt::run([] {
+    lwt::Mutex m;
+    lwt::CondVar cv;
+    int stage = 0;
+    lwt::Tcb* t = lwt::go([&] {
+      lwt::LockGuard g(m);
+      cv.wait(m, [&] { return stage == 1; });
+      stage = 2;
+    });
+    {
+      lwt::LockGuard g(m);
+      stage = 1;
+      cv.signal();
+    }
+    lwt::join(t);
+    EXPECT_EQ(stage, 2);
+  });
+}
+
+TEST(CondVar, BroadcastWakesAll) {
+  lwt::run([] {
+    lwt::Mutex m;
+    lwt::CondVar cv;
+    bool go = false;
+    int woke = 0;
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 10; ++i) {
+      ts.push_back(lwt::go([&] {
+        lwt::LockGuard g(m);
+        cv.wait(m, [&] { return go; });
+        ++woke;
+      }));
+    }
+    lwt::yield();
+    EXPECT_EQ(cv.waiting(), 10u);
+    {
+      lwt::LockGuard g(m);
+      go = true;
+      cv.broadcast();
+    }
+    for (auto* t : ts) lwt::join(t);
+    EXPECT_EQ(woke, 10);
+  });
+}
+
+TEST(CondVar, ProducerConsumerPipeline) {
+  lwt::run([] {
+    lwt::Mutex m;
+    lwt::CondVar not_empty;
+    lwt::CondVar not_full;
+    std::vector<int> q;
+    constexpr std::size_t kCap = 4;
+    long consumed_sum = 0;
+    lwt::Tcb* producer = lwt::go([&] {
+      for (int i = 1; i <= 100; ++i) {
+        lwt::LockGuard g(m);
+        not_full.wait(m, [&] { return q.size() < kCap; });
+        q.push_back(i);
+        not_empty.signal();
+      }
+    });
+    lwt::Tcb* consumer = lwt::go([&] {
+      for (int i = 0; i < 100; ++i) {
+        lwt::LockGuard g(m);
+        not_empty.wait(m, [&] { return !q.empty(); });
+        consumed_sum += q.front();
+        q.erase(q.begin());
+        not_full.signal();
+      }
+    });
+    lwt::join(producer);
+    lwt::join(consumer);
+    EXPECT_EQ(consumed_sum, 100L * 101 / 2);
+  });
+}
+
+TEST(Semaphore, BoundsConcurrency) {
+  lwt::run([] {
+    lwt::Semaphore sem(3);
+    int inside = 0;
+    int peak = 0;
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 12; ++i) {
+      ts.push_back(lwt::go([&] {
+        sem.acquire();
+        ++inside;
+        if (inside > peak) peak = inside;
+        lwt::yield();
+        --inside;
+        sem.release();
+      }));
+    }
+    for (auto* t : ts) lwt::join(t);
+    EXPECT_LE(peak, 3);
+    EXPECT_GE(peak, 2);  // with 12 fibers the limit is actually reached
+    EXPECT_EQ(sem.value(), 3);
+  });
+}
+
+TEST(Semaphore, TryAcquire) {
+  lwt::run([] {
+    lwt::Semaphore sem(1);
+    EXPECT_TRUE(sem.try_acquire());
+    EXPECT_FALSE(sem.try_acquire());
+    sem.release();
+    EXPECT_TRUE(sem.try_acquire());
+    sem.release();
+  });
+}
+
+TEST(Semaphore, ReleaseManyWakesMany) {
+  lwt::run([] {
+    lwt::Semaphore sem(0);
+    int woke = 0;
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 5; ++i) {
+      ts.push_back(lwt::go([&] {
+        sem.acquire();
+        ++woke;
+      }));
+    }
+    lwt::yield();
+    sem.release(5);
+    for (auto* t : ts) lwt::join(t);
+    EXPECT_EQ(woke, 5);
+  });
+}
+
+TEST(Barrier, SynchronizesGenerations) {
+  lwt::run([] {
+    constexpr int kParties = 6;
+    lwt::Barrier bar(kParties);
+    std::vector<int> round_of(kParties, -1);
+    int serials = 0;
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < kParties; ++i) {
+      ts.push_back(lwt::go([&, i] {
+        for (int r = 0; r < 5; ++r) {
+          round_of[static_cast<std::size_t>(i)] = r;
+          if (bar.arrive_and_wait()) ++serials;
+          // After the barrier, everyone must have reached round r.
+          for (int j = 0; j < kParties; ++j) {
+            EXPECT_GE(round_of[static_cast<std::size_t>(j)], r);
+          }
+        }
+      }));
+    }
+    for (auto* t : ts) lwt::join(t);
+    EXPECT_EQ(serials, 5);  // exactly one serial thread per generation
+  });
+}
+
+using SyncDeathTest = ::testing::Test;
+
+TEST(SyncDeathTest, RecursiveLockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(lwt::run([] {
+                 lwt::Mutex m;
+                 m.lock();
+                 m.lock();
+               }),
+               "recursive");
+}
+
+TEST(SyncDeathTest, UnlockByNonOwnerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(lwt::run([] {
+                 lwt::Mutex m;
+                 m.lock();
+                 lwt::Tcb* t = lwt::go([&] { m.unlock(); });
+                 lwt::join(t);
+               }),
+               "non-owner");
+}
+
+TEST(SyncDeathTest, CondWaitWithoutMutexAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(lwt::run([] {
+                 lwt::Mutex m;
+                 lwt::CondVar cv;
+                 cv.wait(m);  // mutex not held
+               }),
+               "without holding");
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// lwt_tls_cancel_test.cpp — thread-local data keys and deferred
+// cancellation semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lwt/lwt.hpp"
+
+namespace {
+
+TEST(Tls, PerThreadValuesAreIndependent) {
+  lwt::run([] {
+    lwt::Scheduler* s = lwt::Scheduler::current();
+    const int key = s->key_create(nullptr);
+    ASSERT_GE(key, 0);
+    std::vector<lwt::Tcb*> ts;
+    std::vector<long> seen(8, -1);
+    for (long i = 0; i < 8; ++i) {
+      ts.push_back(lwt::go([&, i] {
+        s->set_specific(key, reinterpret_cast<void*>(i + 100));
+        lwt::yield();  // others set theirs in between
+        seen[static_cast<std::size_t>(i)] =
+            reinterpret_cast<long>(s->get_specific(key));
+      }));
+    }
+    for (auto* t : ts) lwt::join(t);
+    for (long i = 0; i < 8; ++i) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(i)], i + 100);
+    }
+    s->key_delete(key);
+  });
+}
+
+TEST(Tls, DestructorRunsAtThreadExit) {
+  lwt::run([] {
+    lwt::Scheduler* s = lwt::Scheduler::current();
+    static int destroyed;
+    destroyed = 0;
+    const int key = s->key_create([](void* v) {
+      destroyed += static_cast<int>(reinterpret_cast<long>(v));
+    });
+    lwt::Tcb* t = lwt::go(
+        [&] { s->set_specific(key, reinterpret_cast<void*>(7L)); });
+    lwt::join(t);
+    EXPECT_EQ(destroyed, 7);
+    s->key_delete(key);
+  });
+}
+
+TEST(Tls, DestructorNotRunForNullValues) {
+  lwt::run([] {
+    lwt::Scheduler* s = lwt::Scheduler::current();
+    static int calls;
+    calls = 0;
+    const int key = s->key_create([](void*) { ++calls; });
+    lwt::Tcb* t = lwt::go([] {});  // never sets the key
+    lwt::join(t);
+    EXPECT_EQ(calls, 0);
+    s->key_delete(key);
+  });
+}
+
+TEST(Tls, KeysAreReusableAfterDelete) {
+  lwt::run([] {
+    lwt::Scheduler* s = lwt::Scheduler::current();
+    const int k1 = s->key_create(nullptr);
+    s->key_delete(k1);
+    const int k2 = s->key_create(nullptr);
+    EXPECT_EQ(k1, k2);
+    s->key_delete(k2);
+  });
+}
+
+TEST(Tls, ExhaustionReturnsMinusOne) {
+  lwt::run([] {
+    lwt::Scheduler* s = lwt::Scheduler::current();
+    std::vector<int> keys;
+    for (;;) {
+      const int k = s->key_create(nullptr);
+      if (k < 0) break;
+      keys.push_back(k);
+    }
+    EXPECT_EQ(keys.size(), lwt::kMaxTlsKeys);
+    for (int k : keys) s->key_delete(k);
+  });
+}
+
+// ------------------------------------------------------------ cancellation
+
+TEST(Cancel, CancelAtYieldPoint) {
+  lwt::run([] {
+    bool reached_end = false;
+    lwt::Tcb* t = lwt::go([&] {
+      for (;;) lwt::yield();
+      reached_end = true;  // unreachable
+    });
+    lwt::yield();
+    lwt::Scheduler::current()->cancel(t);
+    void* rv = lwt::join(t);
+    EXPECT_EQ(rv, lwt::kCanceled);
+    EXPECT_FALSE(reached_end);
+  });
+}
+
+TEST(Cancel, RaiiRunsDuringCancellation) {
+  lwt::run([] {
+    static bool cleaned;
+    cleaned = false;
+    struct Cleaner {
+      ~Cleaner() { cleaned = true; }
+    };
+    lwt::Tcb* t = lwt::go([] {
+      Cleaner c;
+      for (;;) lwt::yield();
+    });
+    lwt::yield();
+    lwt::Scheduler::current()->cancel(t);
+    lwt::join(t);
+    EXPECT_TRUE(cleaned);
+  });
+}
+
+TEST(Cancel, DisabledCancellationIsDeferred) {
+  lwt::run([] {
+    int progress = 0;
+    lwt::Tcb* t = lwt::go([&] {
+      lwt::Scheduler::current()->set_cancel_enabled(false);
+      for (int i = 0; i < 5; ++i) {
+        ++progress;
+        lwt::yield();  // cancel pending but masked
+      }
+      lwt::Scheduler::current()->set_cancel_enabled(true);
+      for (;;) lwt::yield();  // now it fires
+    });
+    lwt::yield();
+    lwt::Scheduler::current()->cancel(t);
+    EXPECT_EQ(lwt::join(t), lwt::kCanceled);
+    EXPECT_EQ(progress, 5);
+  });
+}
+
+TEST(Cancel, WakesThreadBlockedOnMutex) {
+  lwt::run([] {
+    lwt::Mutex m;
+    m.lock();
+    lwt::Tcb* t = lwt::go([&] {
+      m.lock();  // blocks forever; cancellation must eject us
+      m.unlock();
+    });
+    lwt::yield();
+    lwt::Scheduler::current()->cancel(t);
+    EXPECT_EQ(lwt::join(t), lwt::kCanceled);
+    m.unlock();
+    EXPECT_FALSE(m.locked());
+  });
+}
+
+TEST(Cancel, WakesThreadBlockedOnCondVar) {
+  lwt::run([] {
+    lwt::Mutex m;
+    lwt::CondVar cv;
+    lwt::Tcb* t = lwt::go([&] {
+      lwt::LockGuard g(m);
+      cv.wait(m, [] { return false; });  // waits forever
+    });
+    lwt::yield();
+    lwt::Scheduler::current()->cancel(t);
+    EXPECT_EQ(lwt::join(t), lwt::kCanceled);
+    // The cancelled waiter reacquired and (via LockGuard) released it.
+    EXPECT_FALSE(m.locked());
+  });
+}
+
+TEST(Cancel, WakesThreadBlockedOnSemaphore) {
+  lwt::run([] {
+    lwt::Semaphore sem(0);
+    lwt::Tcb* t = lwt::go([&] { sem.acquire(); });
+    lwt::yield();
+    lwt::Scheduler::current()->cancel(t);
+    EXPECT_EQ(lwt::join(t), lwt::kCanceled);
+    EXPECT_EQ(sem.value(), 0);
+  });
+}
+
+TEST(Cancel, FinishedThreadIsUnaffected) {
+  lwt::run([] {
+    lwt::Tcb* t = lwt::go([] {});
+    while (t->state != lwt::ThreadState::Finished) lwt::yield();
+    lwt::Scheduler::current()->cancel(t);
+    EXPECT_NE(lwt::join(t), lwt::kCanceled);
+  });
+}
+
+TEST(Cancel, SelfCancelTakesEffectAtNextPoint) {
+  lwt::run([] {
+    lwt::Tcb* t = lwt::go([] {
+      lwt::Scheduler* s = lwt::Scheduler::current();
+      s->cancel(lwt::Scheduler::self());
+      // Still running: cancellation is deferred to the next point.
+      s->yield();
+      FAIL() << "should have been cancelled at the yield";
+    });
+    EXPECT_EQ(lwt::join(t), lwt::kCanceled);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// lwt_trace_test.cpp — scheduler event tracing.
+#include "lwt/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lwt/lwt.hpp"
+
+namespace {
+
+using lwt::Trace;
+using lwt::TraceEvent;
+
+std::vector<Trace::Entry> run_traced(const std::function<void()>& body,
+                                     Trace& trace) {
+  lwt::Scheduler s;
+  s.set_trace(&trace);
+  struct Ctx {
+    const std::function<void()>* body;
+  } ctx{&body};
+  s.run_main(
+      [](void* p) -> void* {
+        (*static_cast<Ctx*>(p)->body)();
+        return nullptr;
+      },
+      &ctx);
+  return trace.snapshot();
+}
+
+int count(const std::vector<Trace::Entry>& es, TraceEvent e,
+          std::uint32_t tid = 0) {
+  return static_cast<int>(std::count_if(es.begin(), es.end(), [&](auto& x) {
+    return x.event == e && (tid == 0 || x.tid == tid);
+  }));
+}
+
+TEST(Trace, RecordsLifecycleInOrder) {
+  Trace trace;
+  const auto es = run_traced(
+      [] {
+        lwt::Tcb* t = lwt::go([] { lwt::yield(); });
+        lwt::join(t);
+      },
+      trace);
+  // Main (#1) and child (#2) both spawned, ran, finished.
+  EXPECT_EQ(count(es, TraceEvent::Spawn), 2);
+  EXPECT_EQ(count(es, TraceEvent::Finish), 2);
+  EXPECT_GE(count(es, TraceEvent::SwitchIn, 2), 2);  // child ran twice
+  // Per-thread causality: spawn precedes first switch-in precedes finish.
+  auto idx = [&](TraceEvent e, std::uint32_t tid) {
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      if (es[i].event == e && es[i].tid == tid) return static_cast<long>(i);
+    }
+    return -1L;
+  };
+  EXPECT_LT(idx(TraceEvent::Spawn, 2), idx(TraceEvent::SwitchIn, 2));
+  EXPECT_LT(idx(TraceEvent::SwitchIn, 2), idx(TraceEvent::Finish, 2));
+}
+
+TEST(Trace, TimestampsAreMonotonic) {
+  Trace trace;
+  const auto es = run_traced(
+      [] {
+        for (int i = 0; i < 20; ++i) lwt::yield();
+      },
+      trace);
+  ASSERT_GE(es.size(), 20u);
+  for (std::size_t i = 1; i < es.size(); ++i) {
+    EXPECT_GE(es[i].ns, es[i - 1].ns);
+  }
+}
+
+TEST(Trace, PollTestsAreVisible) {
+  Trace trace;
+  const auto es = run_traced(
+      [] {
+        static int flag;
+        flag = 0;
+        lwt::Tcb* w = lwt::go([] {
+          lwt::PollRequest r{[](void*) { return flag != 0; }, nullptr};
+          lwt::Scheduler::current()->poll_block_ps(r);
+        });
+        for (int i = 0; i < 10; ++i) lwt::yield();
+        flag = 1;
+        lwt::join(w);
+      },
+      trace);
+  EXPECT_GE(count(es, TraceEvent::PollTest, 2), 5);
+}
+
+TEST(Trace, RingOverwritesOldestAndCountsAll) {
+  Trace trace(16);
+  const auto es = run_traced(
+      [] {
+        for (int i = 0; i < 100; ++i) lwt::yield();
+      },
+      trace);
+  EXPECT_EQ(es.size(), 16u);                 // only capacity retained
+  EXPECT_GT(trace.recorded(), 100u);         // but everything counted
+  // The retained window is the *newest* events: it must contain the
+  // main fiber's finish.
+  EXPECT_EQ(es.back().event, TraceEvent::Finish);
+}
+
+TEST(Trace, DumpIsHumanReadable) {
+  Trace trace;
+  (void)run_traced([] { lwt::yield(); }, trace);
+  const std::string d = trace.dump();
+  EXPECT_NE(d.find("switch-in"), std::string::npos);
+  EXPECT_NE(d.find("finish"), std::string::npos);
+  EXPECT_NE(d.find("#1"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  Trace trace;
+  trace.record(TraceEvent::Spawn, 1);
+  EXPECT_EQ(trace.recorded(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_TRUE(trace.snapshot().empty());
+  EXPECT_TRUE(trace.dump().empty());
+}
+
+TEST(Trace, DetachedSchedulerRecordsNothing) {
+  Trace trace;
+  lwt::Scheduler s;
+  s.set_trace(&trace);
+  s.set_trace(nullptr);
+  s.run_main([](void*) -> void* { return nullptr; }, nullptr);
+  EXPECT_EQ(trace.recorded(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// nx_group_test.cpp — process groups and collectives (paper Fig. 3).
+#include "nx/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "nx/machine.hpp"
+
+namespace {
+
+std::vector<nx::NodeAddr> all_members(int pes) {
+  std::vector<nx::NodeAddr> m;
+  for (int p = 0; p < pes; ++p) m.push_back({p, 0});
+  return m;
+}
+
+/// Group sizes that exercise power-of-two and ragged binomial trees.
+class NxGroups : public ::testing::TestWithParam<int> {};
+
+TEST_P(NxGroups, BarrierSynchronizes) {
+  const int pes = GetParam();
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), 1 << 16}};
+  std::atomic<int> arrived{0};
+  std::atomic<bool> violated{false};
+  m.run([&](nx::Endpoint& ep) {
+    nx::Group g(ep, all_members(pes), /*group_id=*/7);
+    EXPECT_EQ(g.size(), pes);
+    EXPECT_EQ(g.rank(), ep.pe());
+    for (int round = 0; round < 5; ++round) {
+      arrived.fetch_add(1);
+      g.barrier();
+      if (arrived.load() < pes * (round + 1)) violated = true;
+      g.barrier();
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(NxGroups, BroadcastReachesEveryRoot) {
+  const int pes = GetParam();
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    nx::Group g(ep, all_members(pes), 9);
+    for (int root = 0; root < pes; ++root) {
+      long payload = g.rank() == root ? 1000 + root : -1;
+      g.broadcast(&payload, sizeof payload, root);
+      EXPECT_EQ(payload, 1000 + root);
+    }
+  });
+}
+
+TEST_P(NxGroups, ReduceSumMinMax) {
+  const int pes = GetParam();
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    nx::Group g(ep, all_members(pes), 11);
+    const std::int64_t mine[2] = {g.rank() + 1, 10 * (g.rank() + 1)};
+    std::int64_t out[2] = {0, 0};
+    g.reduce(mine, out, 2, nx::ReduceOp::Sum, /*root=*/0);
+    if (g.rank() == 0) {
+      const std::int64_t n = pes;
+      EXPECT_EQ(out[0], n * (n + 1) / 2);
+      EXPECT_EQ(out[1], 10 * n * (n + 1) / 2);
+    }
+    g.reduce(mine, out, 2, nx::ReduceOp::Min, /*root=*/0);
+    if (g.rank() == 0) EXPECT_EQ(out[0], 1);
+    g.reduce(mine, out, 2, nx::ReduceOp::Max, /*root=*/0);
+    if (g.rank() == 0) EXPECT_EQ(out[1], 10 * pes);
+  });
+}
+
+TEST_P(NxGroups, AllreduceGivesEveryoneTheAnswer) {
+  const int pes = GetParam();
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    nx::Group g(ep, all_members(pes), 13);
+    const double mine = 0.5 * (g.rank() + 1);
+    double out = 0;
+    g.allreduce(&mine, &out, 1, nx::ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(out, 0.5 * pes * (pes + 1) / 2);
+  });
+}
+
+TEST_P(NxGroups, GatherCollectsRankMajor) {
+  const int pes = GetParam();
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    nx::Group g(ep, all_members(pes), 15);
+    const int root = pes - 1;
+    long mine = 100 + g.rank();
+    std::vector<long> all(static_cast<std::size_t>(pes), -1);
+    g.gather(&mine, sizeof mine,
+             g.rank() == root ? all.data() : nullptr, root);
+    if (g.rank() == root) {
+      for (int r = 0; r < pes; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)], 100 + r);
+      }
+    }
+  });
+}
+
+TEST_P(NxGroups, AllgatherGivesEveryoneEverySlice) {
+  const int pes = GetParam();
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    nx::Group g(ep, all_members(pes), 16);
+    long mine = 500 + g.rank();
+    std::vector<long> all(static_cast<std::size_t>(pes), -1);
+    g.allgather(&mine, sizeof mine, all.data());
+    for (int r = 0; r < pes; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], 500 + r);
+    }
+  });
+}
+
+TEST_P(NxGroups, ScatterDistributesSlices) {
+  const int pes = GetParam();
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    nx::Group g(ep, all_members(pes), 17);
+    std::vector<long> src;
+    if (g.rank() == 0) {
+      for (int r = 0; r < pes; ++r) src.push_back(7000 + r);
+    }
+    long mine = -1;
+    g.scatter(g.rank() == 0 ? src.data() : nullptr, &mine, sizeof mine, 0);
+    EXPECT_EQ(mine, 7000 + g.rank());
+  });
+}
+
+TEST_P(NxGroups, BackToBackCollectivesDoNotCrossMatch) {
+  const int pes = GetParam();
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    nx::Group g(ep, all_members(pes), 19);
+    for (int i = 0; i < 20; ++i) {
+      long v = g.rank() == 0 ? i : -1;
+      g.broadcast(&v, sizeof v, 0);
+      EXPECT_EQ(v, i);
+      std::int64_t one = 1;
+      std::int64_t sum = 0;
+      g.allreduce(&one, &sum, 1, nx::ReduceOp::Sum);
+      EXPECT_EQ(sum, pes);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NxGroups, ::testing::Values(1, 2, 3, 4, 7),
+                         [](const auto& info) {
+                           return "pes" + std::to_string(info.param);
+                         });
+
+TEST(NxGroupMisc, SubsetGroupsCoexist) {
+  // Two disjoint groups with different ids run collectives concurrently;
+  // the group id in the channel keeps their traffic apart.
+  nx::Machine m{nx::Machine::Config{4, 1, nx::NetModel::zero(), 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    const bool low = ep.pe() < 2;
+    std::vector<nx::NodeAddr> members =
+        low ? std::vector<nx::NodeAddr>{{0, 0}, {1, 0}}
+            : std::vector<nx::NodeAddr>{{2, 0}, {3, 0}};
+    nx::Group g(ep, members, low ? 100 : 200);
+    EXPECT_TRUE(g.contains(ep.pe(), 0));
+    EXPECT_FALSE(g.contains(low ? 2 : 0, 0));
+    for (int i = 0; i < 10; ++i) {
+      std::int64_t one = low ? 1 : 100;
+      std::int64_t sum = 0;
+      g.allreduce(&one, &sum, 1, nx::ReduceOp::Sum);
+      EXPECT_EQ(sum, low ? 2 : 200);
+    }
+  });
+}
+
+TEST(NxGroupMisc, GroupTrafficSegregatedByChannel) {
+  // Application receives that pin the channel (as the Chant codec always
+  // does — channel 0 in tag-overload mode) can never capture collective
+  // traffic, which rides in the bit-29 group channel space.
+  nx::Machine m{nx::Machine::Config{2, 1, nx::NetModel::zero(), 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    nx::Group g(ep, all_members(2), 33);
+    char buf[64];
+    nx::Handle h = ep.irecv(nx::kAnyPe, nx::kAnyProc, 0, nx::kTagAny, buf,
+                            sizeof buf, /*channel=*/0, /*channel_mask=*/~0);
+    long v = ep.pe() == 0 ? 5 : -1;
+    g.broadcast(&v, sizeof v, 0);
+    g.barrier();
+    EXPECT_EQ(v, 5);
+    EXPECT_FALSE(ep.msgdone(h));
+    ep.cancel_recv(h);
+  });
+}
+
+TEST(NxGroupMisc, DeathOnBadConfig) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  nx::Machine m{nx::Machine::Config{2, 1, nx::NetModel::zero(), 1 << 16}};
+  EXPECT_DEATH(nx::Group(m.endpoint(0, 0), {{1, 0}}, 5), "not a member");
+  EXPECT_DEATH(nx::Group(m.endpoint(0, 0), {{0, 0}}, 0), "out of range");
+}
+
+}  // namespace

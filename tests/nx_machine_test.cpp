@@ -1,0 +1,159 @@
+// nx_machine_test.cpp — machine lifecycle, process hosting, barriers,
+// the network timing model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "nx/machine.hpp"
+
+namespace {
+
+TEST(NxMachine, EveryProcessRunsExactlyOnce) {
+  nx::Machine m{nx::Machine::Config{3, 2, nx::NetModel::zero(), 1 << 16}};
+  EXPECT_EQ(m.total_processes(), 6);
+  std::mutex mu;
+  std::set<std::pair<int, int>> seen;
+  m.run([&](nx::Endpoint& ep) {
+    std::lock_guard<std::mutex> lk(mu);
+    seen.insert({ep.pe(), ep.proc()});
+  });
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(seen.count({2, 1}));
+}
+
+TEST(NxMachine, EndpointAccessorsAgree) {
+  nx::Machine m{nx::Machine::Config{2, 2, nx::NetModel::zero(), 1 << 16}};
+  EXPECT_EQ(m.endpoint(1, 1).pe(), 1);
+  EXPECT_EQ(m.endpoint(1, 1).proc(), 1);
+  EXPECT_EQ(&m.endpoint(0, 0).machine(), &m);
+  EXPECT_EQ(m.flat_index(1, 1), 3);
+}
+
+TEST(NxMachine, ExceptionsPropagateFromProcesses) {
+  nx::Machine m{nx::Machine::Config{2, 1, nx::NetModel::zero(), 1 << 16}};
+  EXPECT_THROW(m.run([&](nx::Endpoint& ep) {
+                 if (ep.pe() == 1) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+}
+
+TEST(NxMachine, OsBarrierRendezvousesAllProcesses) {
+  nx::Machine m{nx::Machine::Config{4, 1, nx::NetModel::zero(), 1 << 16}};
+  std::atomic<int> before{0};
+  std::atomic<bool> violated{false};
+  m.run([&](nx::Endpoint&) {
+    before.fetch_add(1);
+    m.os_barrier();
+    if (before.load() != 4) violated = true;
+    m.os_barrier();  // reusable
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(NxMachine, CanBeRunRepeatedly) {
+  nx::Machine m{nx::Machine::Config{2, 1, nx::NetModel::zero(), 1 << 16}};
+  for (int round = 0; round < 3; ++round) {
+    m.run([&](nx::Endpoint& ep) {
+      char c = 'x';
+      if (ep.pe() == 0) {
+        ep.csend(1, 0, round, &c, 1);
+      } else {
+        ep.crecv(0, 0, round, nx::kTagExact, &c, 1);
+      }
+    });
+  }
+}
+
+using NxMachineDeathTest = ::testing::Test;
+
+TEST(NxMachineDeathTest, InvalidConfigAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(nx::Machine(nx::Machine::Config{0, 1}), "invalid");
+}
+
+TEST(NxMachineDeathTest, EndpointOutOfRangeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  nx::Machine m{nx::Machine::Config{2, 1, nx::NetModel::zero(), 1 << 16}};
+  EXPECT_DEATH((void)m.endpoint(5, 0), "out of range");
+}
+
+// ------------------------------------------------------------- net model
+
+TEST(NetModel, ZeroModelHasNoDelay) {
+  constexpr nx::NetModel z = nx::NetModel::zero();
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.delay_ns(1 << 20), 0u);
+}
+
+TEST(NetModel, DelayIsLinearInBytes) {
+  const nx::NetModel p = nx::NetModel::paragon();
+  const auto d1 = p.delay_ns(1024);
+  const auto d2 = p.delay_ns(2048);
+  const auto d4 = p.delay_ns(4096);
+  EXPECT_GT(d1, 0u);
+  // Equal byte increments add equal time: d2-d1 == d4-d2 within rounding.
+  EXPECT_NEAR(static_cast<double>(d2 - d1),
+              static_cast<double>(d4 - d2) / 2.0, 2.0);
+}
+
+TEST(NetModel, MessagesAreInvisibleUntilDelivered) {
+  nx::NetModel slow{0.0, 0.0};
+  slow.latency_us = 20000.0;  // 20 ms
+  nx::Machine m{nx::Machine::Config{2, 1, slow, 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    if (ep.pe() == 0) {
+      char c = 'd';
+      ep.csend(1, 0, 1, &c, 1);
+    } else {
+      // Wait for the message to be queued (but not yet deliverable).
+      while (ep.unexpected_count() == 0) std::this_thread::yield();
+      char buf[4];
+      nx::Handle h = ep.irecv(0, 0, 1, nx::kTagExact, buf, sizeof buf);
+      EXPECT_FALSE(ep.msgtest(h));  // still "in flight"
+      const auto t0 = nx::now_ns();
+      const nx::MsgHeader out = ep.msgwait(h);
+      const auto waited_ms = static_cast<double>(nx::now_ns() - t0) / 1e6;
+      EXPECT_EQ(out.len, 1u);
+      EXPECT_GT(waited_ms, 5.0);  // most of the modelled latency honoured
+    }
+  });
+}
+
+TEST(NetModel, LocalMessagesSkipTheWire) {
+  // Same-process traffic never crosses the interconnect: with a huge
+  // modelled latency, a self-send still delivers immediately.
+  nx::NetModel slow{1e6, 0.0};
+  nx::Machine m{nx::Machine::Config{1, 1, slow, 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  char c = 'l';
+  ep.csend(0, 0, 1, &c, 1);
+  char buf[4];
+  nx::Handle h = ep.irecv(0, 0, 1, nx::kTagExact, buf, sizeof buf);
+  EXPECT_TRUE(ep.msgtest(h));
+  EXPECT_EQ(buf[0], 'l');
+}
+
+TEST(NetModel, DeliveryStaysFifoPerSourceDespiteSizeSkew) {
+  // A big (slow) message followed by a tiny (fast) one with the same tag:
+  // the ordered-channel rule must deliver them in send order.
+  nx::NetModel model{1.0, 0.05};  // per-byte dominates
+  nx::Machine m{nx::Machine::Config{1, 1, model, 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  std::vector<char> big(4096, 'B');
+  char small = 'S';
+  ep.csend(0, 0, 9, big.data(), big.size());
+  ep.csend(0, 0, 9, &small, 1);
+  std::vector<char> buf(4096);
+  const nx::MsgHeader h1 =
+      ep.crecv(0, 0, 9, nx::kTagExact, buf.data(), buf.size());
+  EXPECT_EQ(h1.len, 4096u);
+  const nx::MsgHeader h2 =
+      ep.crecv(0, 0, 9, nx::kTagExact, buf.data(), buf.size());
+  EXPECT_EQ(h2.len, 1u);
+}
+
+}  // namespace

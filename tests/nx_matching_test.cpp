@@ -1,0 +1,141 @@
+// nx_matching_test.cpp — posted/unexpected matching semantics: tags,
+// masks, wildcards, per-source FIFO, truncation, channels.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nx/machine.hpp"
+
+namespace {
+
+/// Single-PE machine: all matching logic can be exercised with
+/// self-sends, which keeps these tests sequential and deterministic.
+class NxMatching : public ::testing::Test {
+ protected:
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep() { return m.endpoint(0, 0); }
+
+  void send_self(int tag, const std::string& s, int channel = 0) {
+    ep().csend(0, 0, tag, s.data(), s.size(), channel);
+  }
+};
+
+TEST_F(NxMatching, ExactTagMatches) {
+  send_self(42, "hello");
+  char buf[16];
+  const nx::MsgHeader h = ep().crecv(0, 0, 42, nx::kTagExact, buf, sizeof buf);
+  EXPECT_EQ(h.tag, 42);
+  EXPECT_EQ(h.len, 5u);
+  EXPECT_EQ(std::string(buf, h.len), "hello");
+}
+
+TEST_F(NxMatching, DifferentTagDoesNotMatch) {
+  send_self(1, "one");
+  send_self(2, "two");
+  char buf[16];
+  const nx::MsgHeader h = ep().crecv(0, 0, 2, nx::kTagExact, buf, sizeof buf);
+  EXPECT_EQ(std::string(buf, h.len), "two");
+  EXPECT_EQ(ep().unexpected_count(), 1u);  // tag 1 still queued
+  const nx::MsgHeader h1 = ep().crecv(0, 0, 1, nx::kTagExact, buf, sizeof buf);
+  EXPECT_EQ(std::string(buf, h1.len), "one");
+}
+
+TEST_F(NxMatching, AnyTagMatchesFirstArrival) {
+  send_self(7, "first");
+  send_self(8, "second");
+  char buf[16];
+  const nx::MsgHeader h = ep().crecv(0, 0, 0, nx::kTagAny, buf, sizeof buf);
+  EXPECT_EQ(h.tag, 7);
+  EXPECT_EQ(std::string(buf, h.len), "first");
+}
+
+TEST_F(NxMatching, MaskedTagMatchesBitPattern) {
+  // Pattern: upper byte must be 0x0A, rest free — the tag-overloading
+  // scheme Chant relies on (paper §3.1(2)).
+  send_self(0x0B01, "wrong-high-byte");
+  send_self(0x0A55, "right");
+  char buf[32];
+  const nx::MsgHeader h =
+      ep().crecv(0, 0, 0x0A00, 0xFF00, buf, sizeof buf);
+  EXPECT_EQ(h.tag, 0x0A55);
+  EXPECT_EQ(std::string(buf, h.len), "right");
+}
+
+TEST_F(NxMatching, ChannelFieldMatches) {
+  send_self(5, "chanA", /*channel=*/100);
+  send_self(5, "chanB", /*channel=*/200);
+  char buf[16];
+  nx::Handle h = ep().irecv(0, 0, 5, nx::kTagExact, buf, sizeof buf,
+                            /*channel=*/200, /*channel_mask=*/~0);
+  nx::MsgHeader out;
+  ASSERT_TRUE(ep().msgtest(h, &out));
+  EXPECT_EQ(out.channel, 200);
+  EXPECT_EQ(std::string(buf, out.len), "chanB");
+}
+
+TEST_F(NxMatching, PerSourceFifoWithinTag) {
+  for (int i = 0; i < 10; ++i) send_self(9, std::to_string(i));
+  char buf[16];
+  for (int i = 0; i < 10; ++i) {
+    const nx::MsgHeader h =
+        ep().crecv(0, 0, 9, nx::kTagExact, buf, sizeof buf);
+    EXPECT_EQ(std::string(buf, h.len), std::to_string(i));
+  }
+}
+
+TEST_F(NxMatching, PostedReceivesMatchInPostOrder) {
+  char b1[8] = {0};
+  char b2[8] = {0};
+  nx::Handle h1 = ep().irecv(0, 0, 3, nx::kTagExact, b1, sizeof b1);
+  nx::Handle h2 = ep().irecv(0, 0, 3, nx::kTagExact, b2, sizeof b2);
+  send_self(3, "A");
+  send_self(3, "B");
+  nx::MsgHeader o1;
+  nx::MsgHeader o2;
+  ASSERT_TRUE(ep().msgtest(h1, &o1));
+  ASSERT_TRUE(ep().msgtest(h2, &o2));
+  EXPECT_EQ(b1[0], 'A');  // first posted gets first sent
+  EXPECT_EQ(b2[0], 'B');
+}
+
+TEST_F(NxMatching, TruncationIsReported) {
+  send_self(4, "0123456789");
+  char buf[4];
+  const nx::MsgHeader h = ep().crecv(0, 0, 4, nx::kTagExact, buf, sizeof buf);
+  EXPECT_TRUE(h.truncated);
+  EXPECT_EQ(h.len, 10u);  // original length still reported
+  EXPECT_EQ(std::string(buf, 4), "0123");
+}
+
+TEST_F(NxMatching, ZeroByteMessages) {
+  ep().csend(0, 0, 11, nullptr, 0);
+  char buf[4];
+  const nx::MsgHeader h = ep().crecv(0, 0, 11, nx::kTagExact, buf, sizeof buf);
+  EXPECT_EQ(h.len, 0u);
+  EXPECT_FALSE(h.truncated);
+}
+
+TEST_F(NxMatching, ProbeSeesWithoutConsuming) {
+  EXPECT_FALSE(ep().iprobe(0, 0, 6, nx::kTagExact));
+  send_self(6, "peek");
+  nx::MsgHeader h;
+  EXPECT_TRUE(ep().iprobe(0, 0, 6, nx::kTagExact, &h));
+  EXPECT_EQ(h.len, 4u);
+  EXPECT_EQ(ep().unexpected_count(), 1u);  // still there
+  char buf[8];
+  ep().crecv(0, 0, 6, nx::kTagExact, buf, sizeof buf);
+  EXPECT_FALSE(ep().iprobe(0, 0, 6, nx::kTagExact));
+}
+
+TEST_F(NxMatching, WildcardSourceAcceptsAnyPe) {
+  send_self(12, "from-self");
+  char buf[16];
+  const nx::MsgHeader h =
+      ep().crecv(nx::kAnyPe, nx::kAnyProc, 12, nx::kTagExact, buf, sizeof buf);
+  EXPECT_EQ(h.src_pe, 0);
+  EXPECT_EQ(h.src_proc, 0);
+}
+
+}  // namespace

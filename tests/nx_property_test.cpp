@@ -1,0 +1,156 @@
+// nx_property_test.cpp — randomized property tests of the message layer:
+// no loss, no duplication, no corruption, per-source FIFO — across eager
+// thresholds (protocol mix) and machine shapes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "nx/machine.hpp"
+
+namespace {
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Wire {
+  int seq;
+  std::uint64_t checksum;
+  // payload follows
+};
+
+/// (eager_threshold, pes) sweep: small thresholds force rendezvous,
+/// large ones make everything eager; the properties must hold regardless.
+class NxDelivery
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(NxDelivery, AllToAllNoLossNoCorruption) {
+  const auto [eager, pes] = GetParam();
+  constexpr int kPerPair = 40;
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), eager}};
+  const int npes = pes;
+  m.run([&](nx::Endpoint& ep) {
+    std::mt19937 rng(static_cast<unsigned>(ep.pe()) * 7919u + 13u);
+    std::uniform_int_distribution<int> size_dist(0, 3000);
+    // Pre-post one receive per expected message, wildcard source.
+    struct Pending {
+      std::vector<std::uint8_t> buf;
+      nx::Handle h;
+      int src = -1;
+      int seq = -1;
+    };
+    const int expect = (npes - 1) * kPerPair;
+    std::vector<Pending> pend(static_cast<std::size_t>(expect));
+    for (auto& p : pend) {
+      p.buf.resize(sizeof(Wire) + 3000);
+      p.h = ep.irecv(nx::kAnyPe, nx::kAnyProc, 77, nx::kTagExact,
+                     p.buf.data(), p.buf.size());
+    }
+    // Blast random-size messages at every other PE.
+    std::vector<std::vector<std::uint8_t>> outbufs;
+    std::vector<nx::Handle> sends;
+    for (int dst = 0; dst < npes; ++dst) {
+      if (dst == ep.pe()) continue;
+      for (int i = 0; i < kPerPair; ++i) {
+        const int psize = size_dist(rng);
+        std::vector<std::uint8_t> msg(sizeof(Wire) +
+                                      static_cast<std::size_t>(psize));
+        for (int b = 0; b < psize; ++b) {
+          msg[sizeof(Wire) + static_cast<std::size_t>(b)] =
+              static_cast<std::uint8_t>(rng() & 0xFF);
+        }
+        Wire w{i, fnv1a(msg.data() + sizeof(Wire),
+                        static_cast<std::size_t>(psize))};
+        std::memcpy(msg.data(), &w, sizeof w);
+        sends.push_back(ep.isend(dst, 0, 77, msg.data(), msg.size()));
+        outbufs.push_back(std::move(msg));  // keep alive for rendezvous
+      }
+    }
+    // Drain all receives, recording which (source, seq) landed in each
+    // posted slot. (Completion *discovery* order is timing-dependent —
+    // a later receive can complete while an earlier one is being tested
+    // — so ordering is asserted on the final pairing below, not here.)
+    int done = 0;
+    while (done < expect) {
+      for (auto& p : pend) {
+        if (p.h == nx::kInvalidHandle) continue;
+        nx::MsgHeader out;
+        if (!ep.msgtest(p.h, &out)) continue;
+        p.h = nx::kInvalidHandle;
+        ++done;
+        ASSERT_FALSE(out.truncated);
+        Wire w;
+        std::memcpy(&w, p.buf.data(), sizeof w);
+        EXPECT_EQ(w.checksum,
+                  fnv1a(p.buf.data() + sizeof(Wire), out.len - sizeof(Wire)));
+        p.src = out.src_pe;
+        p.seq = w.seq;
+      }
+    }
+    // Per-source FIFO + posted-order matching: walking the receives in
+    // posted order, each source's sequence numbers must ascend 0,1,2,...
+    std::vector<int> next_seq(static_cast<std::size_t>(npes), 0);
+    for (const auto& p : pend) {
+      ASSERT_GE(p.src, 0);
+      auto& ns = next_seq[static_cast<std::size_t>(p.src)];
+      EXPECT_EQ(p.seq, ns) << "source " << p.src;
+      ns = p.seq + 1;
+    }
+    // Complete all sends (rendezvous ones finish once peers copied).
+    for (nx::Handle h : sends) ep.msgwait(h);
+    EXPECT_EQ(ep.counters().delivered.load(), static_cast<unsigned>(expect));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolMix, NxDelivery,
+    ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{512},
+                                         std::size_t{1} << 16),
+                       ::testing::Values(2, 4)),
+    [](const auto& info) {
+      return "eager" + std::to_string(std::get<0>(info.param)) + "_pes" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(NxDeliveryLatency, PropertyHoldsUnderNetworkDelay) {
+  // Same no-loss/ordering property with a nonzero latency model: the
+  // deliver-at gating must not lose or reorder per-source traffic.
+  nx::NetModel model{5.0, 0.01};
+  nx::Machine m{nx::Machine::Config{2, 1, model, 256}};
+  m.run([&](nx::Endpoint& ep) {
+    const int peer = 1 - ep.pe();
+    constexpr int kMsgs = 60;
+    std::vector<std::vector<std::uint8_t>> keep;
+    std::vector<nx::Handle> sends;
+    for (int i = 0; i < kMsgs; ++i) {
+      std::vector<std::uint8_t> msg(static_cast<std::size_t>(1 + (i * 37) % 900),
+                                    static_cast<std::uint8_t>(i));
+      Wire w{i, fnv1a(msg.data(), msg.size())};
+      std::vector<std::uint8_t> framed(sizeof w + msg.size());
+      std::memcpy(framed.data(), &w, sizeof w);
+      std::memcpy(framed.data() + sizeof w, msg.data(), msg.size());
+      sends.push_back(ep.isend(peer, 0, 5, framed.data(), framed.size()));
+      keep.push_back(std::move(framed));
+    }
+    std::vector<std::uint8_t> buf(4096);
+    for (int i = 0; i < kMsgs; ++i) {
+      const nx::MsgHeader h =
+          ep.crecv(peer, 0, 5, nx::kTagExact, buf.data(), buf.size());
+      Wire w;
+      std::memcpy(&w, buf.data(), sizeof w);
+      EXPECT_EQ(w.seq, i);  // strict per-source order
+      EXPECT_EQ(w.checksum, fnv1a(buf.data() + sizeof w, h.len - sizeof w));
+    }
+    for (nx::Handle h : sends) ep.msgwait(h);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// nx_protocol_test.cpp — transfer protocol behaviour: posted-receive
+// zero-copy path, eager buffering, rendezvous, handle lifecycle,
+// msgtest/msgtestany accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nx/machine.hpp"
+
+namespace {
+
+TEST(NxProtocol, PostedReceiveTakesZeroCopyPath) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  char buf[16] = {0};
+  nx::Handle h = ep.irecv(0, 0, 1, nx::kTagExact, buf, sizeof buf);
+  const char msg[] = "direct";
+  ep.csend(0, 0, 1, msg, sizeof msg);
+  EXPECT_EQ(ep.counters().posted_match.load(), 1u);
+  EXPECT_EQ(ep.counters().unexpected_eager.load(), 0u);
+  nx::MsgHeader out;
+  ASSERT_TRUE(ep.msgtest(h, &out));
+  EXPECT_STREQ(buf, "direct");
+}
+
+TEST(NxProtocol, UnexpectedSmallMessageIsEagerBuffered) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  char msg[64];
+  std::memset(msg, 'e', sizeof msg);
+  ep.csend(0, 0, 2, msg, sizeof msg);  // returns immediately: eager copy
+  EXPECT_EQ(ep.counters().unexpected_eager.load(), 1u);
+  // The sender's buffer is reusable right away.
+  std::memset(msg, 'X', sizeof msg);
+  char buf[64];
+  ep.crecv(0, 0, 2, nx::kTagExact, buf, sizeof buf);
+  EXPECT_EQ(buf[0], 'e');  // receiver sees the value at send time
+}
+
+TEST(NxProtocol, LargeMessageUsesRendezvous) {
+  nx::Machine m{nx::Machine::Config{2, 1, nx::NetModel::zero(),
+                                    /*eager=*/1024}};
+  std::vector<char> big(8192, 'r');
+  m.run([&](nx::Endpoint& ep) {
+    if (ep.pe() == 0) {
+      ep.csend(1, 0, 3, big.data(), big.size());  // blocks until copied
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::vector<char> buf(8192);
+      const nx::MsgHeader h =
+          ep.crecv(0, 0, 3, nx::kTagExact, buf.data(), buf.size());
+      EXPECT_EQ(h.len, 8192u);
+      EXPECT_EQ(buf[8191], 'r');
+      EXPECT_EQ(ep.counters().unexpected_rndv.load(), 1u);
+    }
+  });
+}
+
+TEST(NxProtocol, IsendRendezvousCompletesOnReceiverCopy) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(),
+                                    /*eager=*/64}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  std::vector<char> big(1024, 'z');
+  nx::Handle sh = ep.isend(0, 0, 4, big.data(), big.size());
+  EXPECT_FALSE(ep.msgdone(sh));  // no receiver yet
+  std::vector<char> buf(1024);
+  ep.crecv(0, 0, 4, nx::kTagExact, buf.data(), buf.size());
+  EXPECT_TRUE(ep.msgtest(sh));  // receiver copied; sender complete
+  EXPECT_EQ(buf[0], 'z');
+}
+
+TEST(NxProtocol, EagerThresholdBoundaryIsInclusive) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(),
+                                    /*eager=*/100}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  std::vector<char> at(100, 'a');
+  std::vector<char> over(101, 'b');
+  nx::Handle h1 = ep.isend(0, 0, 5, at.data(), at.size());
+  EXPECT_TRUE(ep.msgtest(h1));  // == threshold: eager, complete now
+  nx::Handle h2 = ep.isend(0, 0, 6, over.data(), over.size());
+  EXPECT_FALSE(ep.msgdone(h2));  // > threshold: rendezvous
+  std::vector<char> buf(256);
+  ep.crecv(0, 0, 5, nx::kTagExact, buf.data(), buf.size());
+  ep.crecv(0, 0, 6, nx::kTagExact, buf.data(), buf.size());
+  EXPECT_TRUE(ep.msgtest(h2));
+}
+
+TEST(NxProtocol, MsgtestCountsCallsAndFailures) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  char buf[8];
+  nx::Handle h = ep.irecv(0, 0, 7, nx::kTagExact, buf, sizeof buf);
+  EXPECT_FALSE(ep.msgtest(h));
+  EXPECT_FALSE(ep.msgtest(h));
+  EXPECT_EQ(ep.counters().msgtest_calls.load(), 2u);
+  EXPECT_EQ(ep.counters().msgtest_failed.load(), 2u);
+  ep.csend(0, 0, 7, "x", 1);
+  EXPECT_TRUE(ep.msgtest(h));
+  EXPECT_EQ(ep.counters().msgtest_calls.load(), 3u);
+  EXPECT_EQ(ep.counters().msgtest_failed.load(), 2u);
+}
+
+TEST(NxProtocol, HandlesAreInvalidatedAfterCompletion) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  char buf[8];
+  nx::Handle h = ep.irecv(0, 0, 8, nx::kTagExact, buf, sizeof buf);
+  ep.csend(0, 0, 8, "y", 1);
+  ASSERT_TRUE(ep.msgtest(h));
+  EXPECT_DEATH((void)ep.msgtest(h), "invalid handle");
+}
+
+TEST(NxProtocol, HandleSlotsAreRecycledSafely) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  char buf[8];
+  nx::Handle first = ep.irecv(0, 0, 9, nx::kTagExact, buf, sizeof buf);
+  ep.csend(0, 0, 9, "a", 1);
+  ASSERT_TRUE(ep.msgtest(first));
+  // Reuse the slot thousands of times (the generation counter wraps its
+  // 11 bits along the way); completion must stay correct throughout and
+  // handles must stay distinguishable within a generation window.
+  for (int i = 0; i < 5000; ++i) {
+    nx::Handle h = ep.irecv(0, 0, 9, nx::kTagExact, buf, sizeof buf);
+    if (i < 2000) EXPECT_NE(h, first);
+    EXPECT_GE(h, 0);
+    ep.csend(0, 0, 9, "b", 1);
+    ASSERT_TRUE(ep.msgtest(h));
+  }
+}
+
+TEST(NxProtocol, MsgtestanyFindsTheCompletedOne) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  char b0[8];
+  char b1[8];
+  char b2[8];
+  nx::Handle hs[3] = {
+      ep.irecv(0, 0, 20, nx::kTagExact, b0, sizeof b0),
+      ep.irecv(0, 0, 21, nx::kTagExact, b1, sizeof b1),
+      ep.irecv(0, 0, 22, nx::kTagExact, b2, sizeof b2),
+  };
+  EXPECT_EQ(ep.msgtestany(hs, 3), -1);
+  ep.csend(0, 0, 21, "m", 1);
+  nx::MsgHeader out;
+  EXPECT_EQ(ep.msgtestany(hs, 3, &out), 1);
+  EXPECT_EQ(out.tag, 21);
+  EXPECT_EQ(ep.counters().testany_calls.load(), 2u);
+  // Remaining handles still pending and testable.
+  hs[1] = nx::kInvalidHandle;
+  EXPECT_EQ(ep.msgtestany(hs, 3), -1);
+  ep.csend(0, 0, 20, "n", 1);
+  ep.csend(0, 0, 22, "o", 1);
+  EXPECT_EQ(ep.msgtestany(hs, 3, &out), 0);
+  EXPECT_EQ(ep.msgtestany(hs, 3, &out), 2);
+}
+
+TEST(NxProtocol, CancelRecvWithdrawsPosted) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  char buf[8] = {0};
+  nx::Handle h = ep.irecv(0, 0, 30, nx::kTagExact, buf, sizeof buf);
+  EXPECT_EQ(ep.posted_count(), 1u);
+  EXPECT_TRUE(ep.cancel_recv(h));
+  EXPECT_EQ(ep.posted_count(), 0u);
+  // A message sent now goes unexpected instead of into the dead buffer.
+  ep.csend(0, 0, 30, "q", 1);
+  EXPECT_EQ(buf[0], 0);
+  EXPECT_EQ(ep.unexpected_count(), 1u);
+}
+
+TEST(NxProtocol, BlockingSendRecvAcrossPes) {
+  nx::Machine m{nx::Machine::Config{2, 1, nx::NetModel::zero(), 1 << 16}};
+  m.run([&](nx::Endpoint& ep) {
+    char buf[32];
+    if (ep.pe() == 0) {
+      for (int i = 0; i < 100; ++i) {
+        std::string s = "msg" + std::to_string(i);
+        ep.csend(1, 0, 40, s.data(), s.size());
+        const nx::MsgHeader h =
+            ep.crecv(1, 0, 41, nx::kTagExact, buf, sizeof buf);
+        EXPECT_EQ(std::string(buf, h.len), "ack" + std::to_string(i));
+      }
+    } else {
+      for (int i = 0; i < 100; ++i) {
+        const nx::MsgHeader h =
+            ep.crecv(0, 0, 40, nx::kTagExact, buf, sizeof buf);
+        EXPECT_EQ(std::string(buf, h.len), "msg" + std::to_string(i));
+        std::string s = "ack" + std::to_string(i);
+        ep.csend(0, 0, 41, s.data(), s.size());
+      }
+    }
+  });
+}
+
+}  // namespace

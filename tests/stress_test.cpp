@@ -1,0 +1,163 @@
+// stress_test.cpp — randomized long-running mixes of every runtime
+// facility at once: p2p, RSR (sync/async), remote thread churn, SDA
+// traffic. Seeds are fixed, so failures replay deterministically up to
+// OS scheduling; invariants are end-state checks, not orderings.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+#include "chant/sda.hpp"
+#include "chant_test_util.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using chant::Gid;
+using chant::MsgInfo;
+using chant::Runtime;
+
+void accumulate_handler(Runtime&, Runtime::RsrContext&, const void* arg,
+                        std::size_t len, std::vector<std::uint8_t>& reply) {
+  long v = 0;
+  if (len >= sizeof v) std::memcpy(&v, arg, sizeof v);
+  const long out = v + 1;
+  reply.resize(sizeof out);
+  std::memcpy(reply.data(), &out, sizeof out);
+}
+
+TEST(Stress, LocalThreadChurnReusesEverything) {
+  chant::World::Config cfg;
+  cfg.pes = 1;
+  chant::World w(cfg);
+  w.run([](Runtime& rt) {
+    for (long round = 0; round < 3000; ++round) {
+      const Gid g = rt.create(
+          [](void* a) -> void* { return a; },
+          reinterpret_cast<void*>(round), PTHREAD_CHANTER_LOCAL,
+          PTHREAD_CHANTER_LOCAL);
+      ASSERT_LE(g.thread, rt.codec().max_lid());
+      ASSERT_EQ(rt.join(g), reinterpret_cast<void*>(round));
+    }
+  });
+}
+
+TEST(Stress, MixedFacilitiesRandomizedWorkload) {
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.rt.policy = chant::PollPolicy::SchedulerPollsPS;
+  chant::World w(cfg);
+  const int acc = w.register_handler(&accumulate_handler);
+  w.run([&](Runtime& rt) {
+    const Gid peer_main{1 - rt.pe(), 0, chant::kMainLid};
+    std::mt19937 rng(static_cast<unsigned>(rt.pe()) * 101u + 7u);
+    long rsr_sum = 0;
+    long p2p_sum = 0;
+    long spawn_sum = 0;
+    constexpr int kOps = 400;
+    std::vector<int> async_pending;
+    for (int op = 0; op < kOps; ++op) {
+      switch (rng() % 4) {
+        case 0: {  // sync RSR to the other pe
+          long v = static_cast<long>(rng() % 1000);
+          const auto rep = rt.call(1 - rt.pe(), 0, acc, &v, sizeof v);
+          long out = 0;
+          std::memcpy(&out, rep.data(), sizeof out);
+          ASSERT_EQ(out, v + 1);
+          rsr_sum += out;
+          break;
+        }
+        case 1: {  // async RSR, harvested opportunistically
+          long v = 7;
+          async_pending.push_back(
+              rt.call_async(1 - rt.pe(), 0, acc, &v, sizeof v));
+          if (async_pending.size() >= 8) {
+            for (int h : async_pending) {
+              const auto rep = rt.call_wait(h);
+              long out = 0;
+              std::memcpy(&out, rep.data(), sizeof out);
+              ASSERT_EQ(out, 8);
+            }
+            async_pending.clear();
+          }
+          break;
+        }
+        case 2: {  // echo p2p with the peer's *server*-side echo thread
+          // Self-exchange keeps both mains free-running: send to self.
+          long v = static_cast<long>(rng() % 100);
+          rt.send(80, &v, sizeof v, rt.self());
+          long got = -1;
+          rt.recv(80, &got, sizeof got, rt.self());
+          ASSERT_EQ(got, v);
+          p2p_sum += got;
+          break;
+        }
+        case 3: {  // remote thread spawn/join churn under the traffic
+          const Gid g = rt.create(
+              [](void* a) -> void* {
+                Runtime::current()->yield();
+                return a;
+              },
+              reinterpret_cast<void*>(static_cast<long>(op)), 1 - rt.pe(),
+              0);
+          ASSERT_EQ(rt.join(g),
+                    reinterpret_cast<void*>(static_cast<long>(op)));
+          spawn_sum += op;
+          break;
+        }
+      }
+    }
+    for (int h : async_pending) (void)rt.call_wait(h);
+    // Cross-check with the peer that both sides got through everything.
+    long done = 1;
+    rt.send(81, &done, sizeof done, peer_main);
+    long peer_done = 0;
+    rt.recv(81, &peer_done, sizeof peer_done, peer_main);
+    EXPECT_EQ(peer_done, 1);
+    harness::consume(
+        static_cast<std::uint64_t>(rsr_sum + p2p_sum + spawn_sum));
+  });
+}
+
+TEST(Stress, ManySdaInstancesInParallel) {
+  struct Cell {
+    long v = 0;
+  };
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  chant::World w(cfg);
+  chant::SdaClass<Cell> cls(w);
+  const int m = cls.method<long, long>(+[](Runtime& rt, Cell& c,
+                                           const long& d, long& out) {
+    c.v += d;
+    out = c.v;
+    (void)rt;
+  });
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    constexpr int kInstances = 24;
+    std::vector<chant::SdaRef> refs;
+    for (int i = 0; i < kInstances; ++i) {
+      refs.push_back(cls.create(rt, i % 2, 0));
+    }
+    // Interleave async bumps across every instance.
+    std::vector<int> handles;
+    for (int round = 0; round < 10; ++round) {
+      for (int i = 0; i < kInstances; ++i) {
+        handles.push_back(cls.invoke_async(rt, refs[(size_t)i], m,
+                                           static_cast<long>(i + 1)));
+      }
+      long out = 0;
+      for (int h : handles) cls.await(rt, h, out);
+      handles.clear();
+    }
+    for (int i = 0; i < kInstances; ++i) {
+      long out = 0;
+      cls.invoke(rt, refs[(size_t)i], m, 0L, out);
+      EXPECT_EQ(out, 10L * (i + 1));
+      cls.destroy(rt, refs[(size_t)i]);
+    }
+  });
+}
+
+}  // namespace
