@@ -1,0 +1,49 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "chant::lwt" for configuration "RelWithDebInfo"
+set_property(TARGET chant::lwt APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(chant::lwt PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "ASM;CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/liblwt.a"
+  )
+
+list(APPEND _cmake_import_check_targets chant::lwt )
+list(APPEND _cmake_import_check_files_for_chant::lwt "${_IMPORT_PREFIX}/lib/liblwt.a" )
+
+# Import target "chant::nx" for configuration "RelWithDebInfo"
+set_property(TARGET chant::nx APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(chant::nx PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libnx.a"
+  )
+
+list(APPEND _cmake_import_check_targets chant::nx )
+list(APPEND _cmake_import_check_files_for_chant::nx "${_IMPORT_PREFIX}/lib/libnx.a" )
+
+# Import target "chant::chant" for configuration "RelWithDebInfo"
+set_property(TARGET chant::chant APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(chant::chant PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libchant.a"
+  )
+
+list(APPEND _cmake_import_check_targets chant::chant )
+list(APPEND _cmake_import_check_files_for_chant::chant "${_IMPORT_PREFIX}/lib/libchant.a" )
+
+# Import target "chant::harness" for configuration "RelWithDebInfo"
+set_property(TARGET chant::harness APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(chant::harness PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libharness.a"
+  )
+
+list(APPEND _cmake_import_check_targets chant::harness )
+list(APPEND _cmake_import_check_files_for_chant::harness "${_IMPORT_PREFIX}/lib/libharness.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

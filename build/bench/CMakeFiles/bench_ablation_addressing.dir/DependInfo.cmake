@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_addressing.cpp" "bench/CMakeFiles/bench_ablation_addressing.dir/bench_ablation_addressing.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_addressing.dir/bench_ablation_addressing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chant/CMakeFiles/chant.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/lwt/CMakeFiles/lwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nx/CMakeFiles/nx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_addressing.dir/bench_ablation_addressing.cpp.o"
+  "CMakeFiles/bench_ablation_addressing.dir/bench_ablation_addressing.cpp.o.d"
+  "bench_ablation_addressing"
+  "bench_ablation_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

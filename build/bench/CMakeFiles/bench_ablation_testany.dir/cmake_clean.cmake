@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_testany.dir/bench_ablation_testany.cpp.o"
+  "CMakeFiles/bench_ablation_testany.dir/bench_ablation_testany.cpp.o.d"
+  "bench_ablation_testany"
+  "bench_ablation_testany.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_testany.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

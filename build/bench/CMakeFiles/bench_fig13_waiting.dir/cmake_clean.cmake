@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_waiting.dir/bench_fig13_waiting.cpp.o"
+  "CMakeFiles/bench_fig13_waiting.dir/bench_fig13_waiting.cpp.o.d"
+  "bench_fig13_waiting"
+  "bench_fig13_waiting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_waiting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

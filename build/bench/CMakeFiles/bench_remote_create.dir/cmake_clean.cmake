@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_create.dir/bench_remote_create.cpp.o"
+  "CMakeFiles/bench_remote_create.dir/bench_remote_create.cpp.o.d"
+  "bench_remote_create"
+  "bench_remote_create.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_create.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

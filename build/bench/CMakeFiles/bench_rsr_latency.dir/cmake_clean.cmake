@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rsr_latency.dir/bench_rsr_latency.cpp.o"
+  "CMakeFiles/bench_rsr_latency.dir/bench_rsr_latency.cpp.o.d"
+  "bench_rsr_latency"
+  "bench_rsr_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rsr_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

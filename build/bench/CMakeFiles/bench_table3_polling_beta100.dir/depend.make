@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_polling_beta100.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table4_polling_beta1000.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_polling_beta0.dir/bench_table5_polling_beta0.cpp.o"
+  "CMakeFiles/bench_table5_polling_beta0.dir/bench_table5_polling_beta0.cpp.o.d"
+  "bench_table5_polling_beta0"
+  "bench_table5_polling_beta0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_polling_beta0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

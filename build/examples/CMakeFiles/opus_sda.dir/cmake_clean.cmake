@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opus_sda.dir/opus_sda.cpp.o"
+  "CMakeFiles/opus_sda.dir/opus_sda.cpp.o.d"
+  "opus_sda"
+  "opus_sda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opus_sda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

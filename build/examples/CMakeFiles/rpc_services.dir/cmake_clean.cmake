@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_services.dir/rpc_services.cpp.o"
+  "CMakeFiles/rpc_services.dir/rpc_services.cpp.o.d"
+  "rpc_services"
+  "rpc_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

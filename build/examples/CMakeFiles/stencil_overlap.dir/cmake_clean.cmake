@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_overlap.dir/stencil_overlap.cpp.o"
+  "CMakeFiles/stencil_overlap.dir/stencil_overlap.cpp.o.d"
+  "stencil_overlap"
+  "stencil_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

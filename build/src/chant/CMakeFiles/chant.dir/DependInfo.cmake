@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chant/p2p.cpp" "src/chant/CMakeFiles/chant.dir/p2p.cpp.o" "gcc" "src/chant/CMakeFiles/chant.dir/p2p.cpp.o.d"
+  "/root/repo/src/chant/pthread_chanter.cpp" "src/chant/CMakeFiles/chant.dir/pthread_chanter.cpp.o" "gcc" "src/chant/CMakeFiles/chant.dir/pthread_chanter.cpp.o.d"
+  "/root/repo/src/chant/pthread_chanter_sync.cpp" "src/chant/CMakeFiles/chant.dir/pthread_chanter_sync.cpp.o" "gcc" "src/chant/CMakeFiles/chant.dir/pthread_chanter_sync.cpp.o.d"
+  "/root/repo/src/chant/remote.cpp" "src/chant/CMakeFiles/chant.dir/remote.cpp.o" "gcc" "src/chant/CMakeFiles/chant.dir/remote.cpp.o.d"
+  "/root/repo/src/chant/rsr.cpp" "src/chant/CMakeFiles/chant.dir/rsr.cpp.o" "gcc" "src/chant/CMakeFiles/chant.dir/rsr.cpp.o.d"
+  "/root/repo/src/chant/runtime.cpp" "src/chant/CMakeFiles/chant.dir/runtime.cpp.o" "gcc" "src/chant/CMakeFiles/chant.dir/runtime.cpp.o.d"
+  "/root/repo/src/chant/sda.cpp" "src/chant/CMakeFiles/chant.dir/sda.cpp.o" "gcc" "src/chant/CMakeFiles/chant.dir/sda.cpp.o.d"
+  "/root/repo/src/chant/world.cpp" "src/chant/CMakeFiles/chant.dir/world.cpp.o" "gcc" "src/chant/CMakeFiles/chant.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lwt/CMakeFiles/lwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nx/CMakeFiles/nx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

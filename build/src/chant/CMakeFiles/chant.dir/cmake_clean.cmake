@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant.dir/p2p.cpp.o"
+  "CMakeFiles/chant.dir/p2p.cpp.o.d"
+  "CMakeFiles/chant.dir/pthread_chanter.cpp.o"
+  "CMakeFiles/chant.dir/pthread_chanter.cpp.o.d"
+  "CMakeFiles/chant.dir/pthread_chanter_sync.cpp.o"
+  "CMakeFiles/chant.dir/pthread_chanter_sync.cpp.o.d"
+  "CMakeFiles/chant.dir/remote.cpp.o"
+  "CMakeFiles/chant.dir/remote.cpp.o.d"
+  "CMakeFiles/chant.dir/rsr.cpp.o"
+  "CMakeFiles/chant.dir/rsr.cpp.o.d"
+  "CMakeFiles/chant.dir/runtime.cpp.o"
+  "CMakeFiles/chant.dir/runtime.cpp.o.d"
+  "CMakeFiles/chant.dir/sda.cpp.o"
+  "CMakeFiles/chant.dir/sda.cpp.o.d"
+  "CMakeFiles/chant.dir/world.cpp.o"
+  "CMakeFiles/chant.dir/world.cpp.o.d"
+  "libchant.a"
+  "libchant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

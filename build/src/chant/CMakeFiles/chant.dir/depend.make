@@ -1,0 +1,2 @@
+# Empty dependencies file for chant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness.dir/harness.cpp.o"
+  "CMakeFiles/harness.dir/harness.cpp.o.d"
+  "libharness.a"
+  "libharness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/lwt/context_x86_64.S" "/root/repo/build/src/lwt/CMakeFiles/lwt.dir/context_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/include"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lwt/context.cpp" "src/lwt/CMakeFiles/lwt.dir/context.cpp.o" "gcc" "src/lwt/CMakeFiles/lwt.dir/context.cpp.o.d"
+  "/root/repo/src/lwt/rwlock.cpp" "src/lwt/CMakeFiles/lwt.dir/rwlock.cpp.o" "gcc" "src/lwt/CMakeFiles/lwt.dir/rwlock.cpp.o.d"
+  "/root/repo/src/lwt/scheduler.cpp" "src/lwt/CMakeFiles/lwt.dir/scheduler.cpp.o" "gcc" "src/lwt/CMakeFiles/lwt.dir/scheduler.cpp.o.d"
+  "/root/repo/src/lwt/stack.cpp" "src/lwt/CMakeFiles/lwt.dir/stack.cpp.o" "gcc" "src/lwt/CMakeFiles/lwt.dir/stack.cpp.o.d"
+  "/root/repo/src/lwt/sync.cpp" "src/lwt/CMakeFiles/lwt.dir/sync.cpp.o" "gcc" "src/lwt/CMakeFiles/lwt.dir/sync.cpp.o.d"
+  "/root/repo/src/lwt/trace.cpp" "src/lwt/CMakeFiles/lwt.dir/trace.cpp.o" "gcc" "src/lwt/CMakeFiles/lwt.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

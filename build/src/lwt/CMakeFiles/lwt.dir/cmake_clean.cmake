@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt.dir/context.cpp.o"
+  "CMakeFiles/lwt.dir/context.cpp.o.d"
+  "CMakeFiles/lwt.dir/context_x86_64.S.o"
+  "CMakeFiles/lwt.dir/rwlock.cpp.o"
+  "CMakeFiles/lwt.dir/rwlock.cpp.o.d"
+  "CMakeFiles/lwt.dir/scheduler.cpp.o"
+  "CMakeFiles/lwt.dir/scheduler.cpp.o.d"
+  "CMakeFiles/lwt.dir/stack.cpp.o"
+  "CMakeFiles/lwt.dir/stack.cpp.o.d"
+  "CMakeFiles/lwt.dir/sync.cpp.o"
+  "CMakeFiles/lwt.dir/sync.cpp.o.d"
+  "CMakeFiles/lwt.dir/trace.cpp.o"
+  "CMakeFiles/lwt.dir/trace.cpp.o.d"
+  "liblwt.a"
+  "liblwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/lwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nx.dir/endpoint.cpp.o"
+  "CMakeFiles/nx.dir/endpoint.cpp.o.d"
+  "CMakeFiles/nx.dir/group.cpp.o"
+  "CMakeFiles/nx.dir/group.cpp.o.d"
+  "CMakeFiles/nx.dir/machine.cpp.o"
+  "CMakeFiles/nx.dir/machine.cpp.o.d"
+  "libnx.a"
+  "libnx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

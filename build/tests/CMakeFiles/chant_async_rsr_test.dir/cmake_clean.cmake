@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant_async_rsr_test.dir/chant_async_rsr_test.cpp.o"
+  "CMakeFiles/chant_async_rsr_test.dir/chant_async_rsr_test.cpp.o.d"
+  "chant_async_rsr_test"
+  "chant_async_rsr_test.pdb"
+  "chant_async_rsr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant_async_rsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

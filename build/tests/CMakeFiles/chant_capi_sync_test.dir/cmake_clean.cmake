@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant_capi_sync_test.dir/chant_capi_sync_test.cpp.o"
+  "CMakeFiles/chant_capi_sync_test.dir/chant_capi_sync_test.cpp.o.d"
+  "chant_capi_sync_test"
+  "chant_capi_sync_test.pdb"
+  "chant_capi_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant_capi_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

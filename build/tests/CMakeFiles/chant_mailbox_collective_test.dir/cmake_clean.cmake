@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant_mailbox_collective_test.dir/chant_mailbox_collective_test.cpp.o"
+  "CMakeFiles/chant_mailbox_collective_test.dir/chant_mailbox_collective_test.cpp.o.d"
+  "chant_mailbox_collective_test"
+  "chant_mailbox_collective_test.pdb"
+  "chant_mailbox_collective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant_mailbox_collective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant_multiprocess_test.dir/chant_multiprocess_test.cpp.o"
+  "CMakeFiles/chant_multiprocess_test.dir/chant_multiprocess_test.cpp.o.d"
+  "chant_multiprocess_test"
+  "chant_multiprocess_test.pdb"
+  "chant_multiprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant_multiprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant_p2p_test.dir/chant_p2p_test.cpp.o"
+  "CMakeFiles/chant_p2p_test.dir/chant_p2p_test.cpp.o.d"
+  "chant_p2p_test"
+  "chant_p2p_test.pdb"
+  "chant_p2p_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant_p2p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant_policy_test.dir/chant_policy_test.cpp.o"
+  "CMakeFiles/chant_policy_test.dir/chant_policy_test.cpp.o.d"
+  "chant_policy_test"
+  "chant_policy_test.pdb"
+  "chant_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

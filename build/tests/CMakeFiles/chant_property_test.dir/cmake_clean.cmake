@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant_property_test.dir/chant_property_test.cpp.o"
+  "CMakeFiles/chant_property_test.dir/chant_property_test.cpp.o.d"
+  "chant_property_test"
+  "chant_property_test.pdb"
+  "chant_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant_remote_test.dir/chant_remote_test.cpp.o"
+  "CMakeFiles/chant_remote_test.dir/chant_remote_test.cpp.o.d"
+  "chant_remote_test"
+  "chant_remote_test.pdb"
+  "chant_remote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant_remote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant_sda_test.dir/chant_sda_test.cpp.o"
+  "CMakeFiles/chant_sda_test.dir/chant_sda_test.cpp.o.d"
+  "chant_sda_test"
+  "chant_sda_test.pdb"
+  "chant_sda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant_sda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for chant_sda_test.
+# This may be replaced when dependencies are built.

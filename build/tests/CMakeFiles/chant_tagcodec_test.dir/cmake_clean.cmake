@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chant_tagcodec_test.dir/chant_tagcodec_test.cpp.o"
+  "CMakeFiles/chant_tagcodec_test.dir/chant_tagcodec_test.cpp.o.d"
+  "chant_tagcodec_test"
+  "chant_tagcodec_test.pdb"
+  "chant_tagcodec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chant_tagcodec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_context_test.dir/lwt_context_test.cpp.o"
+  "CMakeFiles/lwt_context_test.dir/lwt_context_test.cpp.o.d"
+  "lwt_context_test"
+  "lwt_context_test.pdb"
+  "lwt_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lwt_poll_test.cpp" "tests/CMakeFiles/lwt_poll_test.dir/lwt_poll_test.cpp.o" "gcc" "tests/CMakeFiles/lwt_poll_test.dir/lwt_poll_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chant/CMakeFiles/chant.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/lwt/CMakeFiles/lwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nx/CMakeFiles/nx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

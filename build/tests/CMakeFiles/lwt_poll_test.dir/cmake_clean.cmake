@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_poll_test.dir/lwt_poll_test.cpp.o"
+  "CMakeFiles/lwt_poll_test.dir/lwt_poll_test.cpp.o.d"
+  "lwt_poll_test"
+  "lwt_poll_test.pdb"
+  "lwt_poll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_poll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

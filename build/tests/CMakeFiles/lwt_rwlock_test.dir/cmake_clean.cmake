@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_rwlock_test.dir/lwt_rwlock_test.cpp.o"
+  "CMakeFiles/lwt_rwlock_test.dir/lwt_rwlock_test.cpp.o.d"
+  "lwt_rwlock_test"
+  "lwt_rwlock_test.pdb"
+  "lwt_rwlock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_rwlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_scheduler_test.dir/lwt_scheduler_test.cpp.o"
+  "CMakeFiles/lwt_scheduler_test.dir/lwt_scheduler_test.cpp.o.d"
+  "lwt_scheduler_test"
+  "lwt_scheduler_test.pdb"
+  "lwt_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

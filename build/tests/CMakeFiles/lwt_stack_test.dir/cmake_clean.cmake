@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_stack_test.dir/lwt_stack_test.cpp.o"
+  "CMakeFiles/lwt_stack_test.dir/lwt_stack_test.cpp.o.d"
+  "lwt_stack_test"
+  "lwt_stack_test.pdb"
+  "lwt_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_sync_test.dir/lwt_sync_test.cpp.o"
+  "CMakeFiles/lwt_sync_test.dir/lwt_sync_test.cpp.o.d"
+  "lwt_sync_test"
+  "lwt_sync_test.pdb"
+  "lwt_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

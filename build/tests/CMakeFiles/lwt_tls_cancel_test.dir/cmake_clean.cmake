@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_tls_cancel_test.dir/lwt_tls_cancel_test.cpp.o"
+  "CMakeFiles/lwt_tls_cancel_test.dir/lwt_tls_cancel_test.cpp.o.d"
+  "lwt_tls_cancel_test"
+  "lwt_tls_cancel_test.pdb"
+  "lwt_tls_cancel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_tls_cancel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lwt_trace_test.dir/lwt_trace_test.cpp.o"
+  "CMakeFiles/lwt_trace_test.dir/lwt_trace_test.cpp.o.d"
+  "lwt_trace_test"
+  "lwt_trace_test.pdb"
+  "lwt_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lwt_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

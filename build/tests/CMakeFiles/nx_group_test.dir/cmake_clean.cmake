@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nx_group_test.dir/nx_group_test.cpp.o"
+  "CMakeFiles/nx_group_test.dir/nx_group_test.cpp.o.d"
+  "nx_group_test"
+  "nx_group_test.pdb"
+  "nx_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nx_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nx_machine_test.dir/nx_machine_test.cpp.o"
+  "CMakeFiles/nx_machine_test.dir/nx_machine_test.cpp.o.d"
+  "nx_machine_test"
+  "nx_machine_test.pdb"
+  "nx_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nx_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

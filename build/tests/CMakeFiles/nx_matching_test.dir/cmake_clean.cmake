@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nx_matching_test.dir/nx_matching_test.cpp.o"
+  "CMakeFiles/nx_matching_test.dir/nx_matching_test.cpp.o.d"
+  "nx_matching_test"
+  "nx_matching_test.pdb"
+  "nx_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nx_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nx_property_test.dir/nx_property_test.cpp.o"
+  "CMakeFiles/nx_property_test.dir/nx_property_test.cpp.o.d"
+  "nx_property_test"
+  "nx_property_test.pdb"
+  "nx_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nx_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nx_protocol_test.dir/nx_protocol_test.cpp.o"
+  "CMakeFiles/nx_protocol_test.dir/nx_protocol_test.cpp.o.d"
+  "nx_protocol_test"
+  "nx_protocol_test.pdb"
+  "nx_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nx_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

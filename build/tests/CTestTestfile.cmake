@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lwt_context_test[1]_include.cmake")
+include("/root/repo/build/tests/lwt_stack_test[1]_include.cmake")
+include("/root/repo/build/tests/lwt_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/lwt_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/lwt_rwlock_test[1]_include.cmake")
+include("/root/repo/build/tests/lwt_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/lwt_tls_cancel_test[1]_include.cmake")
+include("/root/repo/build/tests/lwt_poll_test[1]_include.cmake")
+include("/root/repo/build/tests/nx_matching_test[1]_include.cmake")
+include("/root/repo/build/tests/nx_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/nx_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/nx_group_test[1]_include.cmake")
+include("/root/repo/build/tests/nx_property_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_tagcodec_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_p2p_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_rsr_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_async_rsr_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_remote_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_sda_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_capi_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_capi_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_mailbox_collective_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_multiprocess_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/chant_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
