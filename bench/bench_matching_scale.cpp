@@ -1,0 +1,225 @@
+// bench_matching_scale.cpp — scaling of the nx::Endpoint matching engine.
+//
+// The paper's polling experiments (Tables 3–5) hammer msgtest tens of
+// thousands of times per run, and the ROADMAP north star pushes queue
+// depths and threads/process far beyond the paper's 12 — so the per-call
+// cost of (a) matching a send against N outstanding posted receives and
+// (b) a *failed* msgtest must not grow with queue depth. This bench
+// sweeps both axes and emits machine-readable JSON (BENCH_matching.json)
+// so successive PRs can track the trajectory.
+//
+// Three measurements:
+//   1. posted-depth sweep — D posted receives with distinct exact tags;
+//      each message matches the *last*-posted one (worst case for a
+//      linear scan, the steady case for the hash index). ns/message
+//      should be flat in D for an indexed engine, linear for a scan.
+//   2. threads/process sweep — T twin pairs across two processes doing
+//      tag-distinct ping-pong (the chant many-threads-per-process shape);
+//      ns per delivered message as T grows.
+//   3. failed-msgtest sweep — one never-matching receive tested M times
+//      while U non-matching unexpected messages and D other posted
+//      receives are queued. A drain-per-failure engine pays O(U×D) per
+//      call; an epoch-gated engine skips the lock entirely
+//      (counters().drain_skipped counts the skips).
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+#include "nx/machine.hpp"
+
+namespace {
+
+struct DepthRow {
+  int depth;
+  double ns_per_msg;
+  std::uint64_t bucket_hits;
+  std::uint64_t wildcard_scans;
+};
+
+struct ThreadsRow {
+  int threads;
+  double ns_per_msg;
+};
+
+struct FailRow {
+  int unexpected;
+  int posted;
+  double ns_per_call;
+  std::uint64_t drain_skipped;
+};
+
+// 1. D posted receives, distinct exact tags, message matches the last.
+DepthRow run_depth(int depth, int msgs) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  std::vector<long> bufs(static_cast<std::size_t>(depth), 0);
+  std::vector<nx::Handle> hs(static_cast<std::size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    hs[static_cast<std::size_t>(i)] =
+        ep.irecv(0, 0, /*tag=*/i, nx::kTagExact,
+                 &bufs[static_cast<std::size_t>(i)], sizeof(long));
+  }
+  const int hot = depth - 1;  // last posted = deepest scan position
+  long payload = 42;
+  ep.counters().reset();
+  harness::Timer t;
+  for (int i = 0; i < msgs; ++i) {
+    ep.csend(0, 0, hot, &payload, sizeof payload);
+    nx::MsgHeader out;
+    ep.msgtest(hs[static_cast<std::size_t>(hot)], &out);
+    hs[static_cast<std::size_t>(hot)] =
+        ep.irecv(0, 0, hot, nx::kTagExact,
+                 &bufs[static_cast<std::size_t>(hot)], sizeof(long));
+  }
+  const double ns = t.elapsed_us() * 1000.0 / msgs;
+  DepthRow r{depth, ns, ep.counters().bucket_hits.load(),
+             ep.counters().wildcard_scans.load()};
+  for (nx::Handle h : hs) ep.cancel_recv(h);
+  return r;
+}
+
+// 2. T tag-distinct twin pairs across two processes on one PE.
+ThreadsRow run_threads(int threads, int rounds) {
+  nx::Machine m{nx::Machine::Config{1, 2, nx::NetModel::zero(), 1 << 16}};
+  harness::Timer t;
+  m.run([&](nx::Endpoint& ep) {
+    const int peer = 1 - ep.proc();
+    std::vector<long> in(static_cast<std::size_t>(threads), 0);
+    std::vector<nx::Handle> hs(static_cast<std::size_t>(threads));
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 0; i < threads; ++i) {
+        hs[static_cast<std::size_t>(i)] =
+            ep.irecv(0, peer, i, nx::kTagExact,
+                     &in[static_cast<std::size_t>(i)], sizeof(long));
+      }
+      long out = r;
+      for (int i = 0; i < threads; ++i) {
+        ep.csend(0, peer, i, &out, sizeof out);
+      }
+      for (int i = 0; i < threads; ++i) {
+        ep.msgwait(hs[static_cast<std::size_t>(i)]);
+      }
+    }
+  });
+  const double total_msgs = 2.0 * threads * rounds;
+  return ThreadsRow{threads, t.elapsed_us() * 1000.0 / total_msgs};
+}
+
+// 3. failed msgtest with U queued unexpected + D posted receives.
+FailRow run_failed(int unexpected, int posted, int calls) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  long payload = 7;
+  for (int i = 0; i < unexpected; ++i) {
+    ep.csend(0, 0, /*tag=*/1000 + i, &payload, sizeof payload);
+  }
+  std::vector<long> bufs(static_cast<std::size_t>(posted), 0);
+  std::vector<nx::Handle> hs;
+  for (int i = 0; i < posted; ++i) {
+    hs.push_back(ep.irecv(0, 0, /*tag=*/i, nx::kTagExact,
+                          &bufs[static_cast<std::size_t>(i)], sizeof(long)));
+  }
+  long never = 0;
+  nx::Handle h = ep.irecv(0, 0, /*tag=*/999, nx::kTagExact, &never,
+                          sizeof never);
+  ep.counters().reset();
+  harness::Timer t;
+  for (int i = 0; i < calls; ++i) {
+    if (ep.msgtest(h)) std::abort();  // must never complete
+  }
+  const double ns = t.elapsed_us() * 1000.0 / calls;
+  FailRow r{unexpected, posted, ns, ep.counters().drain_skipped.load()};
+  ep.cancel_recv(h);
+  for (nx::Handle hh : hs) ep.cancel_recv(hh);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kMsgs = 200000;
+  constexpr int kRounds = 20000;
+  constexpr int kCalls = 2000000;
+
+  std::printf("== matching-engine scaling (nx::Endpoint) ==\n");
+
+  harness::Table td({"posted_depth", "ns_per_msg", "bucket_hits",
+                     "wildcard_scans"});
+  std::vector<DepthRow> depth_rows;
+  for (int d : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    const DepthRow r = run_depth(d, kMsgs);
+    depth_rows.push_back(r);
+    td.add_row({harness::fmt("%d", r.depth),
+                harness::fmt("%.1f", r.ns_per_msg),
+                harness::fmt("%llu", (unsigned long long)r.bucket_hits),
+                harness::fmt("%llu", (unsigned long long)r.wildcard_scans)});
+  }
+  td.print("matching_depth");
+
+  harness::Table tt({"threads_per_proc", "ns_per_msg"});
+  std::vector<ThreadsRow> thread_rows;
+  for (int n : {1, 4, 12, 32, 64}) {
+    const ThreadsRow r = run_threads(n, kRounds / n);
+    thread_rows.push_back(r);
+    tt.add_row({harness::fmt("%d", r.threads),
+                harness::fmt("%.1f", r.ns_per_msg)});
+  }
+  tt.print("matching_threads");
+
+  harness::Table tf({"unexpected", "posted", "ns_per_failed_test",
+                     "drain_skipped"});
+  std::vector<FailRow> fail_rows;
+  for (int u : {0, 16, 64, 256}) {
+    for (int d : {0, 64}) {
+      const FailRow r = run_failed(u, d, kCalls);
+      fail_rows.push_back(r);
+      tf.add_row({harness::fmt("%d", r.unexpected),
+                  harness::fmt("%d", r.posted),
+                  harness::fmt("%.1f", r.ns_per_call),
+                  harness::fmt("%llu", (unsigned long long)r.drain_skipped)});
+    }
+  }
+  tf.print("matching_failed");
+
+  // Machine-readable trajectory file.
+  std::FILE* f = std::fopen("BENCH_matching.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_matching.json");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"matching_scale\",\n");
+  std::fprintf(f, "  \"posted_depth\": [\n");
+  for (std::size_t i = 0; i < depth_rows.size(); ++i) {
+    const DepthRow& r = depth_rows[i];
+    std::fprintf(f,
+                 "    {\"depth\": %d, \"ns_per_msg\": %.1f, "
+                 "\"bucket_hits\": %llu, \"wildcard_scans\": %llu}%s\n",
+                 r.depth, r.ns_per_msg, (unsigned long long)r.bucket_hits,
+                 (unsigned long long)r.wildcard_scans,
+                 i + 1 < depth_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"threads_per_process\": [\n");
+  for (std::size_t i = 0; i < thread_rows.size(); ++i) {
+    const ThreadsRow& r = thread_rows[i];
+    std::fprintf(f, "    {\"threads\": %d, \"ns_per_msg\": %.1f}%s\n",
+                 r.threads, r.ns_per_msg,
+                 i + 1 < thread_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"failed_msgtest\": [\n");
+  for (std::size_t i = 0; i < fail_rows.size(); ++i) {
+    const FailRow& r = fail_rows[i];
+    std::fprintf(f,
+                 "    {\"unexpected\": %d, \"posted\": %d, "
+                 "\"ns_per_call\": %.1f, \"drain_skipped\": %llu}%s\n",
+                 r.unexpected, r.posted, r.ns_per_call,
+                 (unsigned long long)r.drain_skipped,
+                 i + 1 < fail_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_matching.json\n");
+  return 0;
+}

@@ -23,6 +23,14 @@ struct Counters {
   std::atomic<std::uint64_t> posted_match{0};     ///< zero-copy fast path
   std::atomic<std::uint64_t> unexpected_eager{0}; ///< buffered (1 extra copy)
   std::atomic<std::uint64_t> unexpected_rndv{0};  ///< rendezvous (no copy)
+  // Matching-engine introspection (the perf counters behind
+  // bench_matching_scale): how often the epoch gate let a failed test
+  // skip the lock+drain, how often a send resolved its receive through
+  // the (src,proc,tag) hash bucket, and how often it had to walk the
+  // wildcard fallback list.
+  std::atomic<std::uint64_t> drain_skipped{0};    ///< epoch-gated fast fails
+  std::atomic<std::uint64_t> bucket_hits{0};      ///< O(1) indexed matches
+  std::atomic<std::uint64_t> wildcard_scans{0};   ///< fallback list walks
 
   void reset() noexcept {
     sends = 0;
@@ -35,6 +43,9 @@ struct Counters {
     posted_match = 0;
     unexpected_eager = 0;
     unexpected_rndv = 0;
+    drain_skipped = 0;
+    bucket_hits = 0;
+    wildcard_scans = 0;
   }
 };
 

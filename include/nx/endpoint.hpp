@@ -25,14 +25,44 @@
 //  * msgtest / msgtestany are the *only* progress engines — there is no
 //    background thread and no interrupt, matching the paper's explicit
 //    design constraint (§3.2: MPI has no interrupt-driven delivery).
+//
+// Scalability (the matching engine, second generation):
+//
+//  * Posted receives that are fully specified — exact source pe and
+//    process, exact tag (mask == kTagExact) — live in a hash index keyed
+//    by (source, tag), so an arriving message resolves its receive in
+//    O(1) instead of scanning the posted list. Receives with any
+//    wildcard go to a sequence-numbered fallback list; post-order
+//    sequence numbers are compared across the two structures so the
+//    earliest-posted matching receive still wins, exactly as before.
+//  * Unexpected messages are queued per source process (deliver-at
+//    timestamps are monotonic per source, so each queue is a visible
+//    prefix plus an in-flight suffix), and matching is event-driven: a
+//    send offers its message to the posted index the moment it becomes
+//    visible, and a newly posted receive scans the visible queue
+//    entries. Between events there is nothing for a test call to do —
+//    except reveal messages whose modelled deliver-at time has passed.
+//  * That exception is gated by an *arrival epoch*: an atomic pair of
+//    sequence numbers (messages that entered the in-flight state vs. the
+//    value at the last drain) plus the earliest outstanding deliver-at
+//    timestamp. A failed msgtest/msgtestany consults the gate with two
+//    atomic loads and, in the common case (nothing newly visible — all
+//    of it, under a zero latency model), skips the endpoint lock and the
+//    drain entirely (Counters::drain_skipped).
+//  * The request slab has its own lock (slab_mu_), separate from the
+//    matching state (mu_), so handle allocation/release never contends
+//    with senders; Request::gen and slots_used_ are atomics with
+//    acquire/release pairing so the lock-free checked() fast path is
+//    race-free (gen is odd while a slot is live, even while free).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <list>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "nx/counters.hpp"
@@ -144,10 +174,16 @@ class Endpoint {
  private:
   struct Request {
     enum class Kind : std::uint8_t { None, Recv, Send };
-    Kind kind = Kind::None;
-    std::uint32_t gen = 1;
+    /// Written under slab_mu_, read lock-free on the test fast paths.
+    std::atomic<Kind> kind{Kind::None};
+    /// Generation counter: odd while the slot is live, even while it is
+    /// free. Bumped (release) on both allocation and release so the
+    /// lock-free checked() can validate a handle with a single acquire
+    /// load — no torn kind/gen pair, no lock.
+    std::atomic<std::uint32_t> gen{0};
     std::atomic<bool> complete{false};
-    // receive-side state
+    // receive-side state (written before the handle is published, read
+    // by matching under mu_)
     void* buf = nullptr;
     std::size_t cap = 0;
     int want_pe = kAnyPe;
@@ -162,19 +198,44 @@ class Endpoint {
   struct UnexMsg {
     MsgHeader hdr{};
     std::uint64_t deliver_at = 0;
-    // Fresh entries reference the sender's buffer (src_buf) so a drain
-    // that runs before the send returns delivers with zero intermediate
-    // copies. An entry that stays queued is either eager-buffered
-    // (payload owned here, sender released) or held for rendezvous
-    // (sender_flag raised when a receive finally takes it).
+    std::uint64_t arrival_seq = 0;  ///< global arrival order across sources
+    // Fresh messages are offered to the posted index straight from the
+    // sender's buffer (zero intermediate copies). An entry that stays
+    // queued is either eager-buffered (payload owned here, sender
+    // released) or held for rendezvous (sender_flag raised when a
+    // receive finally takes it).
     std::unique_ptr<std::uint8_t[]> payload;
     const void* src_buf = nullptr;
     std::atomic<bool>* sender_flag = nullptr;
   };
 
-  static constexpr std::uint32_t kSlotBits = 20;
+  /// One source's unexpected FIFO. Deliver-at timestamps are monotonic
+  /// per source, so the queue is always a *visible* prefix followed by
+  /// an *in-flight* suffix. The first `offered` entries have been
+  /// offered to (and refused by) every posted receive that existed when
+  /// they became visible — the standing invariant that lets the epoch
+  /// gate skip re-scans: a queued offered entry can only ever match a
+  /// receive posted later, and that receive scans the queues itself.
+  struct SrcQueue {
+    std::deque<UnexMsg> q;
+    std::size_t offered = 0;
+  };
+
+  /// Index entry for one posted receive; seq is the global post order,
+  /// compared across the bucket and wildcard structures so the
+  /// earliest-posted matching receive wins.
+  struct PostedEntry {
+    Handle h = kInvalidHandle;
+    std::uint64_t seq = 0;
+  };
+
+  static constexpr std::uint32_t kSlotBits = 19;
   static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint32_t kGenMask = (1u << (31 - kSlotBits)) - 1;
   static constexpr std::size_t kChunk = 256;  ///< requests per slab chunk
+  static constexpr std::size_t kMaxChunks =
+      (static_cast<std::size_t>(kSlotMask) + 1) / kChunk;
+  static constexpr std::uint64_t kNeverVisible = ~std::uint64_t{0};
 
   Request* slot_ptr(std::uint32_t slot) const;
   /// Current time for deliver-at gating (0 when the net model is zero,
@@ -184,12 +245,57 @@ class Endpoint {
   Handle alloc_request(Request::Kind kind);
   void release_slot(Handle h);
   bool recv_matches(const Request& r, const MsgHeader& h) const;
+
+  /// True if the receive can live in the (source, tag) hash index:
+  /// exact source pe + process and an exact tag. Channel constraints are
+  /// re-checked inside the bucket walk, so they do not disqualify.
+  static bool indexable(const Request& r) {
+    return r.want_pe != kAnyPe && r.want_proc != kAnyProc &&
+           r.tag_mask == kTagExact;
+  }
+  std::uint64_t bucket_key(int src_flat, int tag) const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_flat))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  void insert_posted(Handle h, const Request& r);
+  /// Removes `h` from whichever index structure holds it. Returns true
+  /// if it was found (i.e. the receive was still pending).
+  bool remove_posted(Handle h, const Request& r);
+  /// Finds, removes and returns the earliest-posted receive matching
+  /// `h`, or nullptr. O(1) bucket probe plus a wildcard-list walk that
+  /// early-exits on post order. Caller holds mu_.
+  Request* take_posted_match(const MsgHeader& h);
+
   /// Copies one unexpected entry into a posted receive and completes
   /// both sides. Caller holds mu_.
   void deliver_into(Request& r, const UnexMsg& m);
-  /// Pairs visible unexpected entries with posted receives under the
-  /// MPI/NX matching rules. Caller holds mu_.
+
+  /// True if a progress pass could reveal in-flight messages: either a
+  /// message entered the in-flight state since the last drain (the
+  /// arrival epoch advanced) or the earliest outstanding deliver-at has
+  /// been reached. Lock-free; the fast-path gate for failed tests.
+  bool progress_pending(std::uint64_t now) const {
+    if (arrival_seq_.load(std::memory_order_acquire) !=
+        drained_seq_.load(std::memory_order_acquire)) {
+      return true;
+    }
+    const std::uint64_t at = next_deliver_at_.load(std::memory_order_acquire);
+    return at != kNeverVisible && now >= at;
+  }
+
+  /// Offers newly visible (deliver-at reached) entries to the posted
+  /// index in global arrival order, then re-arms the epoch gate. The
+  /// exact equivalent of the first-generation linear drain() — but it
+  /// only ever touches entries past each source's offered prefix, so it
+  /// is O(newly visible), not O(queue). Caller holds mu_.
   void drain(std::uint64_t now);
+
+  /// Finds the earliest-arrived visible unexpected entry matching `r`,
+  /// delivers it and erases it from its queue. Returns true on a hit.
+  /// Caller holds mu_ and has already drained.
+  bool take_unexpected_match(Request& r);
 
   /// Entry point used by the sending endpoint (runs on the *sender's* OS
   /// thread). Returns true if the payload was consumed synchronously
@@ -204,14 +310,28 @@ class Endpoint {
   const int proc_;
   Counters counters_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Request[]>> slab_;
+  // ---- request slab (guarded by slab_mu_; gen/slots_used_ are atomics
+  // so checked() never locks) ----
+  mutable std::mutex slab_mu_;
+  std::vector<std::unique_ptr<Request[]>> slab_;  ///< fixed-size outer dir
   std::vector<std::uint32_t> free_slots_;
-  std::uint32_t slots_used_ = 0;
-  std::list<UnexMsg> unexpected_;  ///< arrival order; stable iterators
-  std::vector<Handle> posted_;     ///< FIFO of posted receive handles
+  std::atomic<std::uint32_t> slots_used_{0};
+
+  // ---- matching state (guarded by mu_) ----
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::deque<PostedEntry>> buckets_;
+  std::deque<PostedEntry> wildcard_;  ///< post-order fallback list
+  std::uint64_t next_post_seq_ = 0;
+  std::size_t posted_total_ = 0;
+  std::vector<SrcQueue> unex_;  ///< per-source unexpected FIFOs
+  std::size_t unex_total_ = 0;
+  std::uint64_t next_arrival_seq_ = 0;
   std::vector<std::uint64_t> last_deliver_;  ///< per-source monotonic clock
-  std::vector<std::uint8_t> blocked_scratch_;  ///< drain() per-source flags
+
+  // ---- epoch gate (written under mu_, read lock-free) ----
+  std::atomic<std::uint64_t> arrival_seq_{0};  ///< in-flight arrivals seen
+  std::atomic<std::uint64_t> drained_seq_{0};  ///< arrival_seq_ at last drain
+  std::atomic<std::uint64_t> next_deliver_at_{kNeverVisible};
 };
 
 }  // namespace nx

@@ -1,23 +1,43 @@
 // endpoint.cpp — matching engine for the simulated NX layer.
 //
-// Matching model: every incoming message is appended to the unexpected
-// queue, then drain() pairs queue entries with posted receives. drain()
-// walks the unexpected queue in arrival order and, for each *visible*
-// entry (deliver-at timestamp reached), delivers it to the *first*
-// matching posted receive — which yields exactly the MPI/NX matching
-// rules: earliest-posted receive wins, per-source FIFO holds (an entry
-// still in flight blocks later entries from the same source), and any
-// message left in the queue matches no posted receive. Payloads are
-// delivered straight from the sender's buffer whenever the receive is
-// already posted (the paper's zero-intermediate-copy path); only a
-// message that stays unexpected is eager-copied (at or below the
-// threshold, making the send locally blocking) or held for rendezvous.
+// Matching model (second generation — hash-indexed and event-driven,
+// same observable semantics as the first-generation linear drain):
 //
-// Locking protocol: all matching state of one endpoint is guarded by its
-// mu_. A send locks only the *destination* endpoint (its own slab
-// allocation happens first, under its own lock, released before the
-// destination lock is taken), so no thread holds two endpoint locks.
-// Completion flags are atomics so msgtest's fast path avoids the lock.
+//  * Posted receives live in a hash index keyed by (source, tag) when
+//    they are fully specified, or in a post-ordered wildcard fallback
+//    list otherwise. An arriving message resolves the earliest-posted
+//    matching receive by probing its bucket in O(1) and early-exiting
+//    the wildcard walk on post order.
+//  * Unexpected messages are queued per source. Deliver-at timestamps
+//    are monotonic per source, so each queue is a visible prefix plus an
+//    in-flight suffix; a global arrival sequence number preserves the
+//    cross-source arrival order wildcard receives and probes observe.
+//  * Matching is event-driven: a send offers its message to the posted
+//    index the moment it is visible (the zero-intermediate-copy path
+//    when a receive is already posted), and a newly posted receive scans
+//    the visible queue entries. The standing invariant — no visible
+//    queued entry matches any posted receive — means a test call has
+//    nothing to do *except* reveal messages whose modelled deliver-at
+//    time has passed, and the epoch gate (progress_pending) detects that
+//    case with two atomic loads, no lock. With a zero latency model a
+//    failed msgtest never takes the endpoint lock at all.
+//
+// These yield exactly the MPI/NX matching rules of the seed engine:
+// earliest-posted receive wins, per-source FIFO holds (an entry still in
+// flight blocks later entries from the same source), and any message
+// left in the queue matches no posted receive. Payloads are delivered
+// straight from the sender's buffer whenever the receive is already
+// posted; only a message that stays unexpected is eager-copied (at or
+// below the threshold, making the send locally blocking) or held for
+// rendezvous.
+//
+// Locking protocol: matching state is guarded by mu_; the request slab
+// by slab_mu_ (a send locks only the *destination* endpoint's mu_ — its
+// own slab allocation happens first, under its own slab lock, released
+// before the destination lock is taken — so no thread ever holds two
+// locks). Request::gen (odd = live, even = free) and slots_used_ are
+// atomics with acquire/release pairing, so checked(), msgdone() and the
+// msgtest fast path validate handles without any lock.
 #include "nx/endpoint.hpp"
 
 #include <cstdio>
@@ -41,9 +61,12 @@ Endpoint::Endpoint(Machine& machine, int pe, int proc)
     : machine_(machine),
       pe_(pe),
       proc_(proc),
-      last_deliver_(static_cast<std::size_t>(machine.total_processes()), 0),
-      blocked_scratch_(static_cast<std::size_t>(machine.total_processes()),
-                       0) {}
+      unex_(static_cast<std::size_t>(machine.total_processes())),
+      last_deliver_(static_cast<std::size_t>(machine.total_processes()), 0) {
+  // Fixed-size chunk directory: lock-free readers may index it while an
+  // allocation fills a new chunk, so it must never reallocate.
+  slab_.resize(kMaxChunks);
+}
 
 Endpoint::~Endpoint() = default;
 
@@ -58,53 +81,64 @@ std::uint64_t Endpoint::net_now() const {
 }
 
 Handle Endpoint::alloc_request(Request::Kind kind) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(slab_mu_);
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
   } else {
-    slot = slots_used_++;
-    if (slot / kChunk >= slab_.size()) {
-      slab_.push_back(std::make_unique<Request[]>(kChunk));
-    }
+    slot = slots_used_.load(std::memory_order_relaxed);
     if (slot > kSlotMask) {
       std::fprintf(stderr, "nx: request slab exhausted (%u)\n", slot);
       std::abort();
     }
+    if (slab_[slot / kChunk] == nullptr) {
+      slab_[slot / kChunk] = std::make_unique<Request[]>(kChunk);
+    }
+    // Release: publishes the chunk pointer to lock-free checked().
+    slots_used_.store(slot + 1, std::memory_order_release);
   }
   Request* r = slot_ptr(slot);
-  // 11 generation bits above the slot bits keep the handle non-negative.
-  const std::uint32_t gen = r->gen & ((1u << (31 - kSlotBits)) - 1);
-  r->kind = kind;
+  r->kind.store(kind, std::memory_order_relaxed);
   r->complete.store(false, std::memory_order_relaxed);
   r->buf = nullptr;
   r->cap = 0;
+  r->want_pe = kAnyPe;
+  r->want_proc = kAnyProc;
+  r->want_tag = 0;
+  r->tag_mask = kTagAny;
   r->want_channel = 0;
   r->channel_mask = 0;
   r->hdr = MsgHeader{};
-  return static_cast<Handle>((gen << kSlotBits) | slot);
+  // Free slots hold an even generation; bumping to odd marks the slot
+  // live and publishes the resets above to lock-free validators. The
+  // low 11 bits ride in the handle, keeping it non-negative.
+  const std::uint32_t gen = r->gen.load(std::memory_order_relaxed) + 1;
+  r->gen.store(gen, std::memory_order_release);
+  return static_cast<Handle>(((gen & kGenMask) << kSlotBits) | slot);
 }
 
 Endpoint::Request* Endpoint::checked(Handle h) const {
   if (h < 0) return nullptr;
   const auto slot = static_cast<std::uint32_t>(h) & kSlotMask;
-  if (slot >= slots_used_) return nullptr;
+  if (slot >= slots_used_.load(std::memory_order_acquire)) return nullptr;
   Request* r = slot_ptr(slot);
-  const auto gen = static_cast<std::uint32_t>(h) >> kSlotBits;
-  if ((r->gen & ((1u << (31 - kSlotBits)) - 1)) != gen ||
-      r->kind == Request::Kind::None) {
+  const std::uint32_t gen = r->gen.load(std::memory_order_acquire);
+  if ((gen & 1u) == 0u ||  // even: slot is free
+      (gen & kGenMask) != (static_cast<std::uint32_t>(h) >> kSlotBits)) {
     return nullptr;
   }
   return r;
 }
 
 void Endpoint::release_slot(Handle h) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(slab_mu_);
   const auto slot = static_cast<std::uint32_t>(h) & kSlotMask;
   Request* r = slot_ptr(slot);
-  r->kind = Request::Kind::None;
-  ++r->gen;  // invalidate stale handles
+  r->kind.store(Request::Kind::None, std::memory_order_relaxed);
+  // Odd -> even: invalidates stale handles in one atomic step.
+  r->gen.store(r->gen.load(std::memory_order_relaxed) + 1,
+               std::memory_order_release);
   free_slots_.push_back(slot);
 }
 
@@ -117,6 +151,111 @@ bool Endpoint::recv_matches(const Request& r, const MsgHeader& h) const {
     return false;
   }
   return (h.tag & r.tag_mask) == (r.want_tag & r.tag_mask);
+}
+
+void Endpoint::insert_posted(Handle h, const Request& r) {
+  const std::uint64_t seq = next_post_seq_++;
+  if (indexable(r)) {
+    const int src = machine_.flat_index(r.want_pe, r.want_proc);
+    buckets_[bucket_key(src, r.want_tag)].push_back(PostedEntry{h, seq});
+  } else {
+    wildcard_.push_back(PostedEntry{h, seq});
+  }
+  ++posted_total_;
+}
+
+bool Endpoint::remove_posted(Handle h, const Request& r) {
+  if (indexable(r)) {
+    const int src = machine_.flat_index(r.want_pe, r.want_proc);
+    auto it = buckets_.find(bucket_key(src, r.want_tag));
+    if (it == buckets_.end()) return false;
+    auto& dq = it->second;
+    for (std::size_t i = 0; i < dq.size(); ++i) {
+      if (dq[i].h != h) continue;
+      // The bucket is left in the map even when emptied: tags repeat
+      // (per-thread ids, round tags), and re-creating the node every
+      // cycle costs an allocation per message on the hot path.
+      dq.erase(dq.begin() + static_cast<std::ptrdiff_t>(i));
+      --posted_total_;
+      return true;
+    }
+    return false;
+  }
+  for (std::size_t i = 0; i < wildcard_.size(); ++i) {
+    if (wildcard_[i].h != h) continue;
+    wildcard_.erase(wildcard_.begin() + static_cast<std::ptrdiff_t>(i));
+    --posted_total_;
+    return true;
+  }
+  return false;
+}
+
+Endpoint::Request* Endpoint::take_posted_match(const MsgHeader& h) {
+  // Bucket probe: the earliest fully-specified receive for (src, tag).
+  auto bit = buckets_.end();
+  std::size_t bucket_pos = 0;
+  std::uint64_t bucket_seq = ~std::uint64_t{0};
+  Request* bucket_req = nullptr;
+  const int src = machine_.flat_index(h.src_pe, h.src_proc);
+  auto found = buckets_.find(bucket_key(src, h.tag));
+  if (found != buckets_.end()) {
+    auto& dq = found->second;
+    for (std::size_t i = 0; i < dq.size();) {
+      Request* r = checked(dq[i].h);
+      if (r == nullptr) {  // defensive: stale entry
+        dq.erase(dq.begin() + static_cast<std::ptrdiff_t>(i));
+        --posted_total_;
+        continue;
+      }
+      if (recv_matches(*r, h)) {
+        bit = found;
+        bucket_pos = i;
+        bucket_seq = dq[i].seq;
+        bucket_req = r;
+        break;
+      }
+      ++i;  // same (src, tag) but channel-constrained: try the next
+    }
+  }
+  // Wildcard fallback: the list is post-ordered, so only entries posted
+  // before the bucket hit can still win — early exit on seq.
+  Request* wild_req = nullptr;
+  std::size_t wild_pos = 0;
+  std::uint64_t scanned = 0;
+  for (std::size_t i = 0; i < wildcard_.size();) {
+    if (wildcard_[i].seq >= bucket_seq) break;
+    Request* r = checked(wildcard_[i].h);
+    if (r == nullptr) {  // defensive: stale entry
+      wildcard_.erase(wildcard_.begin() + static_cast<std::ptrdiff_t>(i));
+      --posted_total_;
+      continue;
+    }
+    ++scanned;
+    if (recv_matches(*r, h)) {
+      wild_req = r;
+      wild_pos = i;
+      break;
+    }
+    ++i;
+  }
+  if (scanned != 0) {
+    counters_.wildcard_scans.fetch_add(scanned, std::memory_order_relaxed);
+  }
+  if (wild_req != nullptr) {
+    wildcard_.erase(wildcard_.begin() + static_cast<std::ptrdiff_t>(wild_pos));
+    --posted_total_;
+    return wild_req;
+  }
+  if (bucket_req != nullptr) {
+    counters_.bucket_hits.fetch_add(1, std::memory_order_relaxed);
+    auto& dq = bit->second;
+    // Empty buckets stay resident (see remove_posted): one map node per
+    // distinct (source, tag) ever used, zero allocations at steady state.
+    dq.erase(dq.begin() + static_cast<std::ptrdiff_t>(bucket_pos));
+    --posted_total_;
+    return bucket_req;
+  }
+  return nullptr;
 }
 
 void Endpoint::deliver_into(Request& r, const UnexMsg& m) {
@@ -141,36 +280,87 @@ void Endpoint::deliver_into(Request& r, const UnexMsg& m) {
 }
 
 void Endpoint::drain(std::uint64_t now) {
-  // Caller holds mu_. Pair visible unexpected entries (arrival order,
-  // per-source FIFO) with posted receives (post order).
-  if (unexpected_.empty() || posted_.empty()) return;
-  std::fill(blocked_scratch_.begin(), blocked_scratch_.end(), 0);
-  for (auto it = unexpected_.begin(); it != unexpected_.end();) {
-    const int src = machine_.flat_index(it->hdr.src_pe, it->hdr.src_proc);
-    auto& blocked = blocked_scratch_[static_cast<std::size_t>(src)];
-    if (blocked != 0) {
-      ++it;
-      continue;
+  // Caller holds mu_. Offer newly visible entries to the posted index in
+  // global arrival order (k-way pick across the per-source queues —
+  // exactly the order the seed engine's arrival-ordered list walk used).
+  // Entries inside an offered prefix are skipped by construction: they
+  // were refused by every receive posted before they became visible, and
+  // receives posted later scan the queues themselves.
+  for (;;) {
+    SrcQueue* best = nullptr;
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    for (SrcQueue& sq : unex_) {
+      if (sq.offered >= sq.q.size()) continue;
+      const UnexMsg& m = sq.q[sq.offered];
+      if (m.deliver_at > now) continue;  // in-flight suffix: blocked
+      if (m.arrival_seq < best_seq) {
+        best = &sq;
+        best_seq = m.arrival_seq;
+      }
     }
-    if (it->deliver_at > now) {
-      // Still in flight: per-source channels are ordered, so nothing
-      // later from this source may be delivered either.
-      blocked = 1;
-      ++it;
-      continue;
+    if (best == nullptr) break;
+    UnexMsg& m = best->q[best->offered];
+    if (Request* r = take_posted_match(m.hdr)) {
+      deliver_into(*r, m);
+      best->q.erase(best->q.begin() +
+                    static_cast<std::ptrdiff_t>(best->offered));
+      --unex_total_;
+    } else {
+      ++best->offered;
     }
-    bool delivered = false;
-    for (auto pit = posted_.begin(); pit != posted_.end(); ++pit) {
-      Request* r = checked(*pit);
-      if (r == nullptr || !recv_matches(*r, it->hdr)) continue;
-      deliver_into(*r, *it);
-      posted_.erase(pit);
-      it = unexpected_.erase(it);
-      delivered = true;
-      break;
-    }
-    if (!delivered) ++it;
   }
+  // Re-arm the gate: earliest outstanding deliver-at, and the arrival
+  // epoch as of now (arrivals are serialized by mu_, which we hold).
+  std::uint64_t next = kNeverVisible;
+  for (const SrcQueue& sq : unex_) {
+    if (sq.offered < sq.q.size()) {
+      const std::uint64_t at = sq.q[sq.offered].deliver_at;
+      if (at < next) next = at;
+    }
+  }
+  next_deliver_at_.store(next, std::memory_order_release);
+  drained_seq_.store(arrival_seq_.load(std::memory_order_relaxed),
+                     std::memory_order_release);
+}
+
+bool Endpoint::take_unexpected_match(Request& r) {
+  SrcQueue* best = nullptr;
+  std::size_t best_pos = 0;
+  if (r.want_pe != kAnyPe && r.want_proc != kAnyProc) {
+    // Fully-specified source: one queue to scan, FIFO order.
+    const int src = machine_.flat_index(r.want_pe, r.want_proc);
+    if (src < 0 || static_cast<std::size_t>(src) >= unex_.size()) {
+      return false;  // source outside the machine: nothing can match
+    }
+    SrcQueue& sq = unex_[static_cast<std::size_t>(src)];
+    for (std::size_t i = 0; i < sq.offered; ++i) {
+      if (recv_matches(r, sq.q[i].hdr)) {
+        best = &sq;
+        best_pos = i;
+        break;
+      }
+    }
+  } else {
+    // Wildcard source: earliest global arrival among per-source heads.
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    for (SrcQueue& sq : unex_) {
+      for (std::size_t i = 0; i < sq.offered; ++i) {
+        if (!recv_matches(r, sq.q[i].hdr)) continue;
+        if (sq.q[i].arrival_seq < best_seq) {
+          best = &sq;
+          best_pos = i;
+          best_seq = sq.q[i].arrival_seq;
+        }
+        break;  // first match is this source's earliest
+      }
+    }
+  }
+  if (best == nullptr) return false;
+  deliver_into(r, best->q[best_pos]);
+  best->q.erase(best->q.begin() + static_cast<std::ptrdiff_t>(best_pos));
+  --best->offered;  // the erased entry sat inside the offered prefix
+  --unex_total_;
+  return true;
 }
 
 // ------------------------------------------------------------------ sends
@@ -194,32 +384,50 @@ bool Endpoint::accept_send(const MsgHeader& h, const void* buf,
     if (deliver_at <= last) deliver_at = last + 1;  // ordered channel
     last = deliver_at;
   }
-  unexpected_.push_back(UnexMsg{});
-  auto it = std::prev(unexpected_.end());
-  it->hdr = h;
-  it->deliver_at = deliver_at;
-  it->src_buf = buf;
-  it->sender_flag = sender_flag;
-  drain(now);
-  // If drain() delivered our entry it erased it (invalidating `it`) and
-  // raised sender_flag first — so the flag, not the iterator, is the
-  // delivery signal.
-  if (sender_flag->load(std::memory_order_acquire)) {
-    // Delivered straight from the sender's buffer (zero copies beyond
-    // the one into the user's receive buffer).
-    return true;
+  // Reveal anything that became visible first, so cross-source arrival
+  // order is preserved before this message is considered.
+  if (progress_pending(now)) drain(now);
+  SrcQueue& sq = unex_[static_cast<std::size_t>(src)];
+  const bool visible = deliver_at <= now && sq.offered == sq.q.size();
+  if (visible) {
+    if (Request* r = take_posted_match(h)) {
+      // Delivered straight from the sender's buffer (zero copies beyond
+      // the one into the user's receive buffer).
+      UnexMsg view;
+      view.hdr = h;
+      view.src_buf = buf;
+      view.sender_flag = sender_flag;
+      deliver_into(*r, view);
+      return true;
+    }
+  }
+  sq.q.emplace_back();
+  UnexMsg& m = sq.q.back();
+  m.hdr = h;
+  m.deliver_at = deliver_at;
+  m.arrival_seq = next_arrival_seq_++;
+  ++unex_total_;
+  if (visible) {
+    sq.offered = sq.q.size();  // offered above, refused: stays unexpected
+  } else {
+    // In-flight: advance the arrival epoch and keep the earliest
+    // outstanding deliver-at so the gate reopens when it is reached.
+    arrival_seq_.fetch_add(1, std::memory_order_release);
+    if (deliver_at < next_deliver_at_.load(std::memory_order_relaxed)) {
+      next_deliver_at_.store(deliver_at, std::memory_order_release);
+    }
   }
   if (h.len <= machine_.config().eager_threshold) {
     // Stays unexpected: buffer it so the send is locally blocking.
     if (h.len > 0) {
-      it->payload = std::make_unique<std::uint8_t[]>(h.len);
-      std::memcpy(it->payload.get(), buf, h.len);
+      m.payload = std::make_unique<std::uint8_t[]>(h.len);
+      std::memcpy(m.payload.get(), buf, h.len);
     }
-    it->src_buf = nullptr;
-    it->sender_flag = nullptr;
     counters_.unexpected_eager.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
+  m.src_buf = buf;
+  m.sender_flag = sender_flag;
   counters_.unexpected_rndv.fetch_add(1, std::memory_order_relaxed);
   return false;  // rendezvous: receiver will raise sender_flag
 }
@@ -265,8 +473,9 @@ Handle Endpoint::irecv(int src_pe, int src_proc, int tag, int tag_mask,
                        int channel_mask) {
   counters_.recvs_posted.fetch_add(1, std::memory_order_relaxed);
   Handle h = alloc_request(Request::Kind::Recv);
-  std::lock_guard<std::mutex> lk(mu_);
   Request* r = checked(h);
+  // Plain writes are safe here: the handle has not been published, and
+  // the insertion below (under mu_) orders them for the matching side.
   r->buf = buf;
   r->cap = cap;
   r->want_pe = src_pe;
@@ -275,8 +484,10 @@ Handle Endpoint::irecv(int src_pe, int src_proc, int tag, int tag_mask,
   r->tag_mask = tag_mask;
   r->want_channel = channel;
   r->channel_mask = channel_mask;
-  posted_.push_back(h);
-  drain(net_now());
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t now = net_now();
+  if (progress_pending(now)) drain(now);
+  if (!take_unexpected_match(*r)) insert_posted(h, *r);
   return h;
 }
 
@@ -288,11 +499,17 @@ bool Endpoint::msgtest(Handle h, MsgHeader* out) {
     std::abort();
   }
   if (!r->complete.load(std::memory_order_acquire)) {
-    if (r->kind == Request::Kind::Recv) {
-      // Progress: a matching message may have arrived (or become
-      // visible) since the receive was posted.
-      std::lock_guard<std::mutex> lk(mu_);
-      drain(net_now());
+    if (r->kind.load(std::memory_order_relaxed) == Request::Kind::Recv) {
+      // Progress: an in-flight message may have become visible. The
+      // epoch gate makes the (dominant) no-news case two atomic loads —
+      // no lock, no drain.
+      const std::uint64_t now = net_now();
+      if (progress_pending(now)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        drain(now);
+      } else {
+        counters_.drain_skipped.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     if (!r->complete.load(std::memory_order_acquire)) {
       counters_.msgtest_failed.fetch_add(1, std::memory_order_relaxed);
@@ -317,10 +534,14 @@ MsgHeader Endpoint::msgwait(Handle h) {
 int Endpoint::msgtestany(const Handle* hs, std::size_t n, MsgHeader* out) {
   counters_.testany_calls.fetch_add(1, std::memory_order_relaxed);
   // One progress pass, then one scan — the single-call semantics the
-  // paper attributes to MPI_TESTANY.
-  {
+  // paper attributes to MPI_TESTANY. The progress pass is epoch-gated
+  // exactly like msgtest's.
+  const std::uint64_t now = net_now();
+  if (progress_pending(now)) {
     std::lock_guard<std::mutex> lk(mu_);
-    drain(net_now());
+    drain(now);
+  } else {
+    counters_.drain_skipped.fetch_add(1, std::memory_order_relaxed);
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (hs[i] == kInvalidHandle) continue;
@@ -350,13 +571,31 @@ bool Endpoint::iprobe(int src_pe, int src_proc, int tag, int tag_mask,
   probe.want_proc = src_proc;
   probe.want_tag = tag;
   probe.tag_mask = tag_mask;
-  for (const auto& m : unexpected_) {
-    if (!recv_matches(probe, m.hdr)) continue;
-    if (m.deliver_at > now) continue;
-    if (out != nullptr) *out = m.hdr;
-    return true;
+  const UnexMsg* best = nullptr;
+  std::uint64_t best_seq = ~std::uint64_t{0};
+  auto scan = [&](const SrcQueue& sq) {
+    for (const UnexMsg& m : sq.q) {
+      if (m.deliver_at > now) break;  // in-flight suffix: invisible
+      if (!recv_matches(probe, m.hdr)) continue;
+      if (m.arrival_seq < best_seq) {
+        best = &m;
+        best_seq = m.arrival_seq;
+      }
+      break;  // first visible match is this source's earliest
+    }
+  };
+  if (src_pe != kAnyPe && src_proc != kAnyProc) {
+    const int src = machine_.flat_index(src_pe, src_proc);
+    if (src < 0 || static_cast<std::size_t>(src) >= unex_.size()) {
+      return false;
+    }
+    scan(unex_[static_cast<std::size_t>(src)]);
+  } else {
+    for (const SrcQueue& sq : unex_) scan(sq);
   }
-  return false;
+  if (best == nullptr) return false;
+  if (out != nullptr) *out = best->hdr;
+  return true;
 }
 
 bool Endpoint::msgdone(Handle h) const {
@@ -371,13 +610,7 @@ bool Endpoint::cancel_recv(Handle h) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!r->complete.load(std::memory_order_acquire)) {
-      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-        if (*it == h) {
-          posted_.erase(it);
-          was_pending = true;
-          break;
-        }
-      }
+      was_pending = remove_posted(h, *r);
     }
   }
   release_slot(h);
@@ -386,12 +619,12 @@ bool Endpoint::cancel_recv(Handle h) {
 
 std::size_t Endpoint::unexpected_count() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return unexpected_.size();
+  return unex_total_;
 }
 
 std::size_t Endpoint::posted_count() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return posted_.size();
+  return posted_total_;
 }
 
 }  // namespace nx

@@ -1,0 +1,397 @@
+// nx_matching_engine_test.cpp — the hash-indexed matching engine's own
+// corners, plus an oracle equivalence property: the indexed engine must
+// deliver *exactly* what a first-generation linear posted-list scan
+// would deliver, message for message, under randomized many-to-many
+// traffic mixing exact (bucket-indexed) and wildcard receives. A second
+// TEST_P suite asserts the same order property end-to-end through the
+// Chant layer under all three polling policies.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "chant_test_util.hpp"
+#include "nx/machine.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------- iprobe
+
+// A message still in flight (deliver-at in the future) must be invisible
+// to iprobe; once its modelled transfer time has passed it must appear.
+TEST(NxMatchingEngine, IprobeIgnoresInFlightMessages) {
+  // 5 ms flat latency: far longer than the instructions between csend
+  // and the first probe, far shorter than the test budget.
+  nx::Machine m{nx::Machine::Config{2, 1, nx::NetModel{5000.0, 0.0},
+                                    1 << 16}};
+  nx::Endpoint& dst = m.endpoint(0, 0);
+  long payload = 41;
+  const std::uint64_t t0 = nx::now_ns();
+  m.endpoint(1, 0).csend(0, 0, /*tag=*/7, &payload, sizeof payload);
+  const std::uint64_t wire_ns = m.config().net.delay_ns(sizeof payload);
+  // The message is queued (the eager csend completed locally)...
+  EXPECT_EQ(dst.unexpected_count(), 1u);
+  // ...but a probe may only see it after its deliver-at instant. The
+  // assertion is the implication, so a scheduler stall cannot fake a
+  // failure in either direction.
+  nx::MsgHeader hdr;
+  if (dst.iprobe(1, 0, 7, nx::kTagExact, &hdr)) {
+    EXPECT_GE(nx::now_ns() - t0, wire_ns);
+  } else {
+    EXPECT_LT(nx::now_ns() - t0, wire_ns + m.config().net.delay_ns(0));
+  }
+  // Eventually it must become visible, with the right envelope.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  bool seen = false;
+  while (!seen && std::chrono::steady_clock::now() < deadline) {
+    seen = dst.iprobe(1, 0, 7, nx::kTagExact, &hdr);
+    if (!seen) std::this_thread::yield();
+  }
+  ASSERT_TRUE(seen);
+  EXPECT_GE(nx::now_ns() - t0, wire_ns);
+  EXPECT_EQ(hdr.src_pe, 1);
+  EXPECT_EQ(hdr.tag, 7);
+  EXPECT_EQ(hdr.len, sizeof payload);
+  // A posted receive then takes it; iprobe never consumes.
+  long out = 0;
+  nx::Handle h = m.endpoint(0, 0).irecv(1, 0, 7, nx::kTagExact, &out,
+                                        sizeof out);
+  EXPECT_TRUE(dst.msgtest(h));
+  EXPECT_EQ(out, 41);
+  EXPECT_FALSE(dst.iprobe(1, 0, 7, nx::kTagExact));
+}
+
+// With a zero network model nothing is ever in flight, so every failed
+// msgtest must take the epoch-gated fast path (no lock, no drain).
+TEST(NxMatchingEngine, FailedTestsSkipDrainThroughEpochGate) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  long buf = 0;
+  nx::Handle h = ep.irecv(0, 0, /*tag=*/1, nx::kTagExact, &buf, sizeof buf);
+  ep.counters().reset();
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(ep.msgtest(h));
+  EXPECT_EQ(ep.counters().drain_skipped.load(), 100u);
+  EXPECT_EQ(ep.counters().msgtest_failed.load(), 100u);
+  ep.cancel_recv(h);
+}
+
+// ----------------------------------------------------------- cancel_recv
+
+// Cancelling must work identically for a bucket-indexed receive (exact
+// source and tag) and a wildcard-list receive, and must not disturb
+// other receives sharing the same bucket.
+TEST(NxMatchingEngine, CancelRecvBucketIndexedAndWildcard) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  long b1 = 0;
+  long b2 = 0;
+  long b3 = 0;
+  // Two receives in the same (src, tag) bucket plus one wildcard.
+  nx::Handle h1 = ep.irecv(0, 0, 5, nx::kTagExact, &b1, sizeof b1);
+  nx::Handle h2 = ep.irecv(0, 0, 5, nx::kTagExact, &b2, sizeof b2);
+  nx::Handle h3 = ep.irecv(nx::kAnyPe, nx::kAnyProc, 0, nx::kTagAny, &b3,
+                           sizeof b3);
+  EXPECT_EQ(ep.posted_count(), 3u);
+  // Cancel the *earliest* bucket entry: h2 must now be first in line.
+  EXPECT_TRUE(ep.cancel_recv(h1));
+  EXPECT_EQ(ep.posted_count(), 2u);
+  long v = 77;
+  ep.csend(0, 0, 5, &v, sizeof v);
+  EXPECT_TRUE(ep.msgtest(h2));
+  EXPECT_EQ(b2, 77);
+  EXPECT_EQ(b1, 0);  // cancelled receive's buffer untouched
+  // Cancel the wildcard receive; a message that only it could take
+  // must stay queued as unexpected.
+  EXPECT_TRUE(ep.cancel_recv(h3));
+  EXPECT_EQ(ep.posted_count(), 0u);
+  long w = 88;
+  ep.csend(0, 0, /*tag=*/9, &w, sizeof w);
+  EXPECT_EQ(ep.unexpected_count(), 1u);
+  EXPECT_EQ(b3, 0);
+  // Cancelling a completed handle reports false and releases it.
+  long b4 = 0;
+  nx::Handle h4 = ep.irecv(0, 0, 9, nx::kTagExact, &b4, sizeof b4);
+  EXPECT_EQ(b4, 88);  // matched the queued unexpected message
+  EXPECT_FALSE(ep.cancel_recv(h4));
+  // And a cancelled handle is dead: cancelling again reports false.
+  EXPECT_FALSE(ep.cancel_recv(h3));
+}
+
+// ------------------------------------------------------------ msgtestany
+
+// msgtestany must skip invalid and stale (already-released) handles
+// rather than aborting — the WQ policy hands it whole batches in which
+// some handles may have been completed by earlier passes.
+TEST(NxMatchingEngine, MsgtestanySkipsInvalidAndStaleHandles) {
+  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  nx::Endpoint& ep = m.endpoint(0, 0);
+  long b0 = 0;
+  nx::Handle stale = ep.irecv(0, 0, 1, nx::kTagExact, &b0, sizeof b0);
+  long v = 5;
+  ep.csend(0, 0, 1, &v, sizeof v);
+  ASSERT_TRUE(ep.msgtest(stale));  // completes and releases: now stale
+  long b1 = 0;
+  nx::Handle pending = ep.irecv(0, 0, 2, nx::kTagExact, &b1, sizeof b1);
+  // `pending` recycles the released slot, so `stale` additionally
+  // exercises the generation check, not just the live-slot check.
+  nx::Handle hs[3] = {nx::kInvalidHandle, stale, pending};
+  nx::MsgHeader out;
+  EXPECT_EQ(ep.msgtestany(hs, 3, &out), -1);
+  ep.csend(0, 0, 2, &v, sizeof v);
+  EXPECT_EQ(ep.msgtestany(hs, 3, &out), 2);
+  EXPECT_EQ(out.tag, 2);
+  EXPECT_EQ(b1, 5);
+  // An array with nothing testable completes nothing and returns -1.
+  nx::Handle none[2] = {nx::kInvalidHandle, stale};
+  EXPECT_EQ(ep.msgtestany(none, 2, &out), -1);
+}
+
+// ------------------------------------------------- oracle equivalence
+
+// Reference model: the first-generation engine's matching rules, stated
+// directly — one posted list in post order, one unexpected list in
+// arrival order, linear scans. With a zero network model every message
+// is visible on arrival, so this is the complete semantics.
+struct Oracle {
+  struct Recv {
+    int id;
+    int want_pe, want_proc, want_tag, tag_mask;
+  };
+  struct Msg {
+    int src_pe, src_proc, tag;
+    std::uint64_t serial;
+  };
+  std::deque<Recv> posted;
+  std::deque<Msg> unexpected;
+
+  static bool matches(const Recv& r, const Msg& m) {
+    if (r.want_pe != nx::kAnyPe && r.want_pe != m.src_pe) return false;
+    if (r.want_proc != nx::kAnyProc && r.want_proc != m.src_proc) {
+      return false;
+    }
+    return (m.tag & r.tag_mask) == (r.want_tag & r.tag_mask);
+  }
+
+  // Returns the receive id the message was delivered to, or -1.
+  int send(const Msg& m) {
+    for (std::size_t i = 0; i < posted.size(); ++i) {
+      if (matches(posted[i], m)) {
+        const int id = posted[i].id;
+        posted.erase(posted.begin() + static_cast<std::ptrdiff_t>(i));
+        return id;
+      }
+    }
+    unexpected.push_back(m);
+    return -1;
+  }
+
+  // Returns the serial delivered to the fresh receive, or 0 if it was
+  // posted unmatched (serials start at 1).
+  std::uint64_t post(const Recv& r) {
+    for (std::size_t i = 0; i < unexpected.size(); ++i) {
+      if (matches(r, unexpected[i])) {
+        const std::uint64_t s = unexpected[i].serial;
+        unexpected.erase(unexpected.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        return s;
+      }
+    }
+    posted.push_back(r);
+    return 0;
+  }
+
+  bool cancel(int id) {
+    for (std::size_t i = 0; i < posted.size(); ++i) {
+      if (posted[i].id == id) {
+        posted.erase(posted.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Randomized scripted traffic into one endpoint from four sources, with
+// a skewed mix of exact receives (hash bucket), source-wildcard and
+// tag-wildcard receives (fallback list), sends on colliding tags, and
+// cancels. After every step the engine must agree with the oracle on
+// *which* receive got *which* message — i.e. the indexed structures must
+// reproduce earliest-posted-wins and arrival-order semantics exactly.
+TEST(NxMatchingEngine, IndexedMatchingEqualsLinearScanOracle) {
+  for (unsigned seed = 1; seed <= 5; ++seed) {
+    nx::Machine m{nx::Machine::Config{2, 2, nx::NetModel::zero(), 1 << 16}};
+    nx::Endpoint& ep = m.endpoint(0, 0);
+    std::mt19937 rng(seed * 7919u);
+    Oracle oracle;
+
+    struct Live {
+      nx::Handle h;
+      std::uint64_t buf;       // stable: pointers into deque would move
+      std::uint64_t expect;    // oracle-assigned serial (0 = still open)
+      bool open;
+    };
+    std::deque<Live> recvs;  // index in this deque = oracle receive id
+    std::uint64_t next_serial = 1;
+
+    auto engine_side = [&](int id) -> Live& {
+      return recvs[static_cast<std::size_t>(id)];
+    };
+
+    for (int step = 0; step < 600; ++step) {
+      const unsigned op = rng() % 10;
+      if (op < 4) {
+        // Send from a random source endpoint on a colliding tag.
+        const int src = static_cast<int>(rng() % 4);
+        Oracle::Msg msg{src / 2, src % 2, static_cast<int>(rng() % 4),
+                        next_serial++};
+        const int hit = oracle.send(msg);
+        m.endpoint(msg.src_pe, msg.src_proc)
+            .csend(0, 0, msg.tag, &msg.serial, sizeof msg.serial);
+        if (hit >= 0) {
+          Live& lv = engine_side(hit);
+          lv.expect = msg.serial;
+          ASSERT_TRUE(ep.msgtest(lv.h)) << "seed " << seed;
+          ASSERT_EQ(lv.buf, msg.serial) << "seed " << seed;
+          lv.open = false;
+        }
+      } else if (op < 8) {
+        // Post a receive; 50% exact (bucket), rest wildcard flavours.
+        Oracle::Recv r{};
+        r.id = static_cast<int>(recvs.size());
+        const unsigned kind = rng() % 4;
+        r.want_pe = kind == 2 ? nx::kAnyPe : static_cast<int>(rng() % 2);
+        r.want_proc = kind == 2 ? nx::kAnyProc : static_cast<int>(rng() % 2);
+        r.want_tag = static_cast<int>(rng() % 4);
+        r.tag_mask = kind == 3 ? nx::kTagAny : nx::kTagExact;
+        recvs.push_back(Live{nx::kInvalidHandle, 0, 0, true});
+        Live& lv = recvs.back();
+        const std::uint64_t got = oracle.post(r);
+        lv.h = ep.irecv(r.want_pe, r.want_proc, r.want_tag, r.tag_mask,
+                        &lv.buf, sizeof lv.buf);
+        if (got != 0) {
+          lv.expect = got;
+          ASSERT_TRUE(ep.msgtest(lv.h)) << "seed " << seed;
+          ASSERT_EQ(lv.buf, got) << "seed " << seed;
+          lv.open = false;
+        }
+      } else if (op == 8) {
+        // Cancel a random still-open receive (if any).
+        std::vector<int> open_ids;
+        for (std::size_t i = 0; i < recvs.size(); ++i) {
+          if (recvs[i].open) open_ids.push_back(static_cast<int>(i));
+        }
+        if (!open_ids.empty()) {
+          const int id = open_ids[rng() % open_ids.size()];
+          const bool oracle_pending = oracle.cancel(id);
+          ASSERT_TRUE(oracle_pending);  // open == pending in this script
+          ASSERT_TRUE(ep.cancel_recv(engine_side(id).h)) << "seed " << seed;
+          engine_side(id).open = false;
+          engine_side(id).h = nx::kInvalidHandle;
+        }
+      } else {
+        // Both sides must agree on the queue shapes as well.
+        ASSERT_EQ(ep.posted_count(), oracle.posted.size());
+        ASSERT_EQ(ep.unexpected_count(), oracle.unexpected.size());
+      }
+    }
+    // Wind down: every oracle-pending receive must still be pending on
+    // the engine (failed msgtest), then cancel cleanly.
+    ASSERT_EQ(ep.posted_count(), oracle.posted.size());
+    ASSERT_EQ(ep.unexpected_count(), oracle.unexpected.size());
+    for (const auto& pr : oracle.posted) {
+      Live& lv = engine_side(pr.id);
+      ASSERT_TRUE(lv.open);
+      EXPECT_FALSE(ep.msgtest(lv.h)) << "seed " << seed;
+      EXPECT_TRUE(ep.cancel_recv(lv.h)) << "seed " << seed;
+      lv.open = false;
+    }
+    EXPECT_EQ(ep.posted_count(), 0u);
+  }
+}
+
+// --------------------------------------- order property across policies
+
+// End-to-end flavour of the same property: under randomized many-to-many
+// traffic with several tag streams per pair, every (sender, tag) stream
+// must arrive in send order — the observable consequence of linear-scan-
+// equivalent matching — under every polling policy and addressing mode.
+class MatchingOrder
+    : public ::testing::TestWithParam<chant_test::PolicyCase> {};
+
+TEST_P(MatchingOrder, ManyToManyStreamsStayFifoUnderAllPolicies) {
+  constexpr int kPes = 3;
+  constexpr int kStreams = 3;  // user tags per sender->receiver pair
+  constexpr int kMsgs = 12;    // per stream
+  chant::World w(chant_test::config_for(GetParam(), kPes));
+  w.run([](chant::Runtime& rt) {
+    struct Ctx {
+      chant::Runtime* rt;
+    } ctx{&rt};
+    const chant::Gid worker = rt.create(
+        [](void* p) -> void* {
+          chant::Runtime& r = *static_cast<Ctx*>(p)->rt;
+          const int my_pe = r.pe();
+          const int my_lid = r.self().thread;
+          std::mt19937 rng(static_cast<unsigned>(my_pe * 101 + 3));
+          struct Payload {
+            int seq;
+            int src_pe;
+            int stream;
+          };
+          // Interleave the outgoing streams in random order.
+          std::vector<int> sent(kPes * kStreams, 0);
+          int to_send = (kPes - 1) * kStreams * kMsgs;
+          int to_recv = (kPes - 1) * kStreams * kMsgs;
+          std::vector<int> expect(kPes * kStreams, 0);
+          while (to_send > 0 || to_recv > 0) {
+            if (to_send > 0) {
+              int dst;
+              int stream;
+              do {
+                dst = static_cast<int>(rng() % kPes);
+                stream = static_cast<int>(rng() % kStreams);
+              } while (dst == my_pe ||
+                       sent[static_cast<std::size_t>(dst * kStreams +
+                                                     stream)] >= kMsgs);
+              Payload pl{sent[static_cast<std::size_t>(dst * kStreams +
+                                                       stream)]++,
+                         my_pe, stream};
+              r.send(300 + pl.stream, &pl, sizeof pl,
+                     chant::Gid{dst, 0, my_lid});
+              --to_send;
+            }
+            if (to_recv > 0) {
+              Payload pl{};
+              // Wildcard receive: any stream tag, any sender thread.
+              const chant::MsgInfo mi = r.recv(chant::kAnyUserTag, &pl,
+                                               sizeof pl, chant::kAnyThread);
+              EXPECT_EQ(mi.len, sizeof pl);
+              EXPECT_EQ(mi.user_tag, 300 + pl.stream);
+              auto& e = expect[static_cast<std::size_t>(
+                  pl.src_pe * kStreams + pl.stream)];
+              EXPECT_EQ(pl.seq, e) << "stream (" << pl.src_pe << ","
+                                   << pl.stream << ") out of order";
+              e = pl.seq + 1;
+              --to_recv;
+            }
+          }
+          return nullptr;
+        },
+        &ctx, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    rt.join(worker);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, MatchingOrder,
+                         ::testing::ValuesIn(chant_test::all_cases()),
+                         [](const auto& info) {
+                           return chant_test::case_name(info.param);
+                         });
+
+}  // namespace
