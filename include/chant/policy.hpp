@@ -5,6 +5,10 @@
 
 #include "lwt/context.hpp"
 
+namespace lwt {
+class ScheduleController;
+}
+
 namespace chant {
 
 /// The three message-polling scheduling algorithms of paper §3.1/§4.2.
@@ -48,6 +52,17 @@ struct RuntimeConfig {
   std::size_t default_stack_size = 128 * 1024;
   /// Largest RSR request payload (server receive buffer size).
   std::size_t rsr_buffer_size = 16 * 1024;
+  /// Test-only hooks (the sim subsystem, include/sim/). The factory runs
+  /// once per process, on that process's OS thread, before any fiber
+  /// spawns; the returned controller (not owned) is installed on the
+  /// process's scheduler. The RSR observer fires on the server thread
+  /// just before each handler dispatch. Null = production behavior.
+  lwt::ScheduleController* (*controller_factory)(void* ctx, int pe,
+                                                 int proc) = nullptr;
+  void* controller_ctx = nullptr;
+  void (*rsr_observer)(void* ctx, int handler, int src_pe,
+                       int src_thread) = nullptr;
+  void* rsr_observer_ctx = nullptr;
 };
 
 }  // namespace chant

@@ -25,6 +25,11 @@ class World {
     nx::NetModel net = nx::NetModel::zero();
     std::size_t eager_threshold = 16 * 1024;
     RuntimeConfig rt;
+    /// Test-only nx hooks, forwarded into nx::Machine::Config (see
+    /// nx/fault.hpp and include/sim/). Null = production behavior.
+    nx::FaultInjector* fault = nullptr;
+    std::uint64_t (*clock)(void* ctx) = nullptr;
+    void* clock_ctx = nullptr;
   };
 
   explicit World(const Config& cfg);

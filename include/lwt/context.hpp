@@ -46,6 +46,14 @@ ContextBackend default_backend() noexcept;
 struct Context {
   void* sp = nullptr;        ///< Asm backend: saved stack pointer.
   ucontext_t* uc = nullptr;  ///< Ucontext backend: owned ucontext_t.
+  // Stack bounds of this context (fiber stack, or the OS thread stack
+  // bound via ctx_bind_os_stack) plus the fake-stack handle saved by
+  // __sanitizer_start_switch_fiber while the context is suspended.
+  // Needed so AddressSanitizer can follow the Asm backend's hand-rolled
+  // switches; harmless bookkeeping otherwise.
+  void* stack_base = nullptr;
+  std::size_t stack_size = 0;
+  void* fake_stack = nullptr;
 
   Context() = default;
   Context(const Context&) = delete;
@@ -62,6 +70,21 @@ void ctx_make(Context& ctx, ContextBackend backend, void* stack_base,
 /// Saves the current context into `from` and resumes `to`.
 /// Returns only when some other context swaps back into `from`.
 void ctx_swap(Context& from, Context& to, ContextBackend backend) noexcept;
+
+/// Like ctx_swap, but the calling context is abandoned forever (a dying
+/// fiber's last switch back to the scheduler); under ASan its fake stack
+/// is released instead of leaked. Aborts if the context is ever resumed.
+[[noreturn]] void ctx_swap_final(Context& from, Context& to,
+                                 ContextBackend backend) noexcept;
+
+/// Records the calling OS thread's native stack bounds into `ctx`, so
+/// sanitizer fiber annotations can describe switches back onto it.
+void ctx_bind_os_stack(Context& ctx) noexcept;
+
+/// First-entry sanitizer handshake for a fresh fiber; must be the first
+/// thing a fiber does. No-op unless compiled with ASan on the Asm
+/// backend (Ucontext relies on ASan's swapcontext interceptor).
+void ctx_note_fiber_entry(ContextBackend backend) noexcept;
 
 namespace detail {
 /// Common fiber entry point, defined in scheduler.cpp. Never returns.

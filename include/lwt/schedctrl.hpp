@@ -1,0 +1,49 @@
+// lwt/schedctrl.hpp — schedule-decision hooks for deterministic testing.
+//
+// A ScheduleController externalizes the scheduler's only source of
+// nondeterminism within one process: which of several equally eligible
+// ready threads runs next. Production runs install no controller and the
+// scheduler behaves exactly as before (strict priority, FIFO within a
+// level) at zero cost — every hook sits behind a null check on a pointer
+// that is never set outside tests.
+//
+// The sim harness (include/sim/) provides seedable implementations that
+// record every decision, so a rare interleaving that trips an assertion
+// can be replayed bit-identically from its seed or its decision trace
+// (single-process worlds; across OS threads the usual caveats apply).
+//
+// Decision-point taxonomy (see DESIGN.md §6):
+//  * pick(n)        — at a scheduling point, the highest nonempty
+//                     priority level holds n >= 2 candidates; the
+//                     returned rotation in [0, n) is applied to the
+//                     level's FIFO before the normal head-of-queue scan.
+//                     0 reproduces production order. This is the only
+//                     *choice* the scheduler ever makes: priorities are
+//                     strict, PS poll-tests and WQ scans are exhaustive,
+//                     so rotating the FIFO reaches every legal schedule.
+//  * on_sched_point — every scheduling decision, before the run-queue
+//                     scan (virtual-clock advance lives here).
+//  * on_idle        — nothing runnable (blocked threads waiting on
+//                     messages still in modelled flight).
+#pragma once
+
+#include <cstddef>
+
+namespace lwt {
+
+class ScheduleController {
+ public:
+  virtual ~ScheduleController() = default;
+
+  /// Returns the rotation in [0, n) to apply to the highest nonempty
+  /// priority level's FIFO (n >= 2) before the scheduler scans it.
+  virtual std::size_t pick(std::size_t n) = 0;
+
+  /// Called once per scheduling point, before wq_scan and pick_next.
+  virtual void on_sched_point() {}
+
+  /// Called when no thread is runnable at this scheduling point.
+  virtual void on_idle() {}
+};
+
+}  // namespace lwt

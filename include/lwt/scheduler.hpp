@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "lwt/schedctrl.hpp"
 #include "lwt/thread.hpp"
 #include "lwt/trace.hpp"
 
@@ -161,6 +162,12 @@ class Scheduler {
   void set_trace(Trace* trace) noexcept { trace_ = trace; }
   Trace* trace() const noexcept { return trace_; }
 
+  /// Installs (or removes, with null) a schedule controller consulted at
+  /// every yield/block/wake decision point; see lwt/schedctrl.hpp. Null
+  /// (the default) keeps production behavior and cost. Not owned.
+  void set_controller(ScheduleController* ctrl) noexcept { ctrl_ = ctrl; }
+  ScheduleController* controller() const noexcept { return ctrl_; }
+
   // ---- thread-local data (pthread_key analogue) ----
 
   /// Allocates a TLS key; `dtor` (may be null) runs at thread exit on
@@ -216,6 +223,7 @@ class Scheduler {
   void (*idle_hook_)(void*) = nullptr;
   void* idle_ctx_ = nullptr;
   Trace* trace_ = nullptr;
+  ScheduleController* ctrl_ = nullptr;
   struct TlsKey {
     bool used = false;
     void (*dtor)(void*) = nullptr;

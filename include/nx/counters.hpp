@@ -31,6 +31,9 @@ struct Counters {
   std::atomic<std::uint64_t> drain_skipped{0};    ///< epoch-gated fast fails
   std::atomic<std::uint64_t> bucket_hits{0};      ///< O(1) indexed matches
   std::atomic<std::uint64_t> wildcard_scans{0};   ///< fallback list walks
+  // Fault injection (nx/fault.hpp): messages the injector ate or cloned.
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> duplicated{0};
 
   void reset() noexcept {
     sends = 0;
@@ -46,6 +49,8 @@ struct Counters {
     drain_skipped = 0;
     bucket_hits = 0;
     wildcard_scans = 0;
+    dropped = 0;
+    duplicated = 0;
   }
 };
 

@@ -1,0 +1,39 @@
+// nx/fault.hpp — message-level fault injection hook.
+//
+// A FaultInjector lets a test harness perturb the modelled interconnect
+// one message at a time: extra delay (which reorders traffic *across*
+// sources — per-source FIFO is a guarantee the layer keeps even under
+// faults), duplication, and drop. The hook sits at the deliver-at layer
+// in Endpoint::accept_send, so every injected behavior flows through the
+// same visibility/epoch machinery real messages use and stays
+// reproducible from the injector's seed. Production machines configure
+// no injector and pay nothing.
+#pragma once
+
+#include <cstdint>
+
+namespace nx {
+
+struct MsgHeader;
+
+/// What the injector wants done to one message. Drop wins over the other
+/// fields. Duplicates are eager-buffered copies queued after the
+/// original (they never carry rendezvous state). Extra delay is added to
+/// the net model's wire delay before the per-source monotonic clamp.
+struct FaultDecision {
+  bool drop = false;
+  std::uint32_t duplicates = 0;
+  std::uint64_t extra_delay_ns = 0;
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Consulted once per send, on the sender's OS thread, while the
+  /// destination endpoint's matching lock is held — implementations must
+  /// not call back into the nx layer.
+  virtual FaultDecision on_send(const MsgHeader& h) = 0;
+};
+
+}  // namespace nx

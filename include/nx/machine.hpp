@@ -19,6 +19,8 @@
 
 namespace nx {
 
+class FaultInjector;
+
 class Machine {
  public:
   struct Config {
@@ -29,6 +31,14 @@ class Machine {
     /// are buffered eagerly (sender completes immediately, one extra
     /// copy); larger payloads rendezvous. NX behaved the same way.
     std::size_t eager_threshold = 16 * 1024;
+    /// Test-only hooks (see nx/fault.hpp and the sim subsystem). The
+    /// fault injector is consulted once per send; the clock override
+    /// replaces the real-time clock behind deliver-at gating (virtual
+    /// time — must be monotonic and must advance, or delayed messages
+    /// never become visible). Null = production behavior and cost.
+    FaultInjector* fault = nullptr;
+    std::uint64_t (*clock)(void* ctx) = nullptr;
+    void* clock_ctx = nullptr;
   };
 
   explicit Machine(const Config& cfg);

@@ -1,0 +1,50 @@
+// sim/clock.hpp — deterministic virtual time for schedule exploration.
+//
+// Wall-clock time is a hidden input: two runs of the same seed would
+// diverge the moment a deliver-at comparison read a different nanosecond.
+// The VirtualClock replaces it — installed as the Machine-level clock
+// override (nx::Machine::Config::clock), it only moves when the harness
+// says so: one quantum per scheduling point plus a catch-up jump when a
+// process idles waiting for modelled in-flight messages. Every deliver-at
+// decision then depends solely on the decision sequence, which the
+// controller records.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sim {
+
+class VirtualClock {
+ public:
+  /// Starts at 1, not 0: the per-source monotonic clamp in the nx layer
+  /// turns a deliver-at equal to a last-deliver of 0 into 1, and at
+  /// time 0 that would park the very first local message in flight.
+  VirtualClock() = default;
+
+  std::uint64_t now() const noexcept {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void advance(std::uint64_t ns) noexcept {
+    now_.fetch_add(ns, std::memory_order_acq_rel);
+  }
+
+  /// Moves time forward to at least `t` (never backwards).
+  void advance_to(std::uint64_t t) noexcept {
+    std::uint64_t cur = now_.load(std::memory_order_relaxed);
+    while (cur < t &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Trampoline matching nx::Machine::Config::clock.
+  static std::uint64_t read(void* self) noexcept {
+    return static_cast<VirtualClock*>(self)->now();
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_{1};
+};
+
+}  // namespace sim

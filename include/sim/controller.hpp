@@ -1,0 +1,132 @@
+// sim/controller.hpp — seedable schedule controllers.
+//
+// Implementations of lwt::ScheduleController that drive the scheduler's
+// pick(n) decision point (see lwt/schedctrl.hpp) from a reproducible
+// source, record every choice they make, and advance the virtual clock:
+//
+//  * RandomController    — choices from a seeded mt19937_64; the
+//                          workhorse of seed sweeps.
+//  * RoundRobinController— deterministic rotate-by-one; a cheap way to
+//                          force every thread through the head position.
+//  * TraceController     — replays a recorded DecisionTrace verbatim,
+//                          then decays to production order (0). With a
+//                          shrunken trace this replays a failure from
+//                          just the prefix that mattered.
+//
+// A controller is installed per process (per lwt::Scheduler). Its
+// recorded trace *is* the schedule for single-OS-thread worlds: replaying
+// it reproduces the interleaving bit-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "lwt/schedctrl.hpp"
+#include "sim/clock.hpp"
+
+namespace sim {
+
+/// A recorded sequence of pick() results; the replay/shrink currency.
+/// Encoded as comma-separated decimals ("0,2,1,0,...") for printing in
+/// failure banners and passing through CHANT_SIM_TRACE.
+struct DecisionTrace {
+  std::vector<std::uint32_t> choices;
+
+  std::string encode() const;
+  static DecisionTrace parse(const std::string& text);
+};
+
+/// Base: records every pick() and drives the virtual clock. Thread-safe
+/// (one scheduler consults it at a time, but worlds with several
+/// processes may share one controller in ad-hoc tests).
+class RecordingController : public lwt::ScheduleController {
+ public:
+  explicit RecordingController(VirtualClock* clock = nullptr,
+                               std::uint64_t quantum_ns = 200)
+      : clock_(clock), quantum_ns_(quantum_ns) {}
+
+  std::size_t pick(std::size_t n) final {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::size_t c = choose(n);
+    trace_.choices.push_back(static_cast<std::uint32_t>(c));
+    return c;
+  }
+
+  void on_sched_point() override {
+    if (clock_ != nullptr) clock_->advance(quantum_ns_);
+  }
+
+  void on_idle() override {
+    // Idle means every runnable candidate is gated on modelled time
+    // (in-flight messages); jump a full quantum burst so progress
+    // resumes instead of spinning the loop quantum by quantum.
+    if (clock_ != nullptr) clock_->advance(quantum_ns_ * 64);
+  }
+
+  const DecisionTrace& trace() const noexcept { return trace_; }
+  std::size_t decisions() const noexcept { return trace_.choices.size(); }
+
+ protected:
+  /// The strategy: returns a value in [0, n). Called under mu_.
+  virtual std::size_t choose(std::size_t n) = 0;
+
+ private:
+  std::mutex mu_;
+  DecisionTrace trace_;
+  VirtualClock* clock_;
+  std::uint64_t quantum_ns_;
+};
+
+class RandomController : public RecordingController {
+ public:
+  explicit RandomController(std::uint64_t seed, VirtualClock* clock = nullptr,
+                            std::uint64_t quantum_ns = 200)
+      : RecordingController(clock, quantum_ns), rng_(seed) {}
+
+ protected:
+  std::size_t choose(std::size_t n) override {
+    return static_cast<std::size_t>(rng_() % n);
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+class RoundRobinController : public RecordingController {
+ public:
+  explicit RoundRobinController(VirtualClock* clock = nullptr,
+                                std::uint64_t quantum_ns = 200)
+      : RecordingController(clock, quantum_ns) {}
+
+ protected:
+  std::size_t choose(std::size_t n) override { return ++step_ % n; }
+
+ private:
+  std::size_t step_ = 0;
+};
+
+/// Replays `trace` decision by decision; past its end every pick returns
+/// 0 (production order), which is what makes prefix-shrinking sound: a
+/// truncated trace is still a complete, legal schedule.
+class TraceController : public RecordingController {
+ public:
+  explicit TraceController(DecisionTrace trace, VirtualClock* clock = nullptr,
+                           std::uint64_t quantum_ns = 200)
+      : RecordingController(clock, quantum_ns), replay_(std::move(trace)) {}
+
+ protected:
+  std::size_t choose(std::size_t n) override {
+    if (pos_ >= replay_.choices.size()) return 0;
+    return replay_.choices[pos_++] % n;
+  }
+
+ private:
+  DecisionTrace replay_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,118 @@
+// sim/explore.hpp — seed-sweep schedule exploration for gtest suites.
+//
+// explore() runs a test body many times, each under a freshly seeded
+// schedule controller (and optionally a fault-injecting net), with every
+// run's gtest failures intercepted. The first failing seed stops the
+// sweep; the harness then
+//
+//   1. minimizes the recorded decision trace by prefix (binary search —
+//      a truncated trace is still a complete schedule because a
+//      TraceController decays to production order past its end),
+//   2. prints a banner with two one-line repros:
+//        CHANT_SIM_SEED=<seed>   ctest -R '<Suite.Name>'
+//        CHANT_SIM_TRACE='<...>' ctest -R '<Suite.Name>'
+//   3. re-raises one real gtest failure carrying the same information.
+//
+// Reproducibility contract: for worlds with a single simulated process
+// (one OS thread) a replayed seed or trace reproduces the interleaving
+// bit-identically — schedule decisions, virtual-clock reads and fault
+// draws are all pure functions of the seed and decision sequence. Worlds
+// with several processes replay the same decision streams but OS-thread
+// interleaving may differ; the seed is still the repro key in practice.
+//
+// Environment overrides (read by explore, for use from ctest):
+//   CHANT_SIM_SEED      run exactly this one seed, failures surface
+//                       directly (no interception, no shrink)
+//   CHANT_SIM_TRACE     replay this decision trace (with CHANT_SIM_SEED
+//                       or the suite's base seed for fault/body draws)
+//   CHANT_SIM_SEEDS     override the number of seeds swept
+//   CHANT_SIM_BASE_SEED override the first seed of the sweep
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chant/world.hpp"
+#include "sim/clock.hpp"
+#include "sim/controller.hpp"
+#include "sim/faultynet.hpp"
+
+namespace sim {
+
+enum class Strategy { Random, RoundRobin };
+
+struct Options {
+  /// Seeds swept: seeds beyond the first failure are not run.
+  std::size_t seeds = 128;
+  std::uint64_t base_seed = 0xC0FFEE;
+  Strategy strategy = Strategy::Random;
+  /// Fault injection; a FaultyNet is installed iff faults.any().
+  FaultConfig faults{};
+  /// Virtual-time step per scheduling point.
+  std::uint64_t quantum_ns = 200;
+  bool shrink = true;  ///< minimize the failing trace by prefix
+  bool report = true;  ///< re-raise a gtest failure for a failing seed
+};
+
+/// One seeded run's context. The body calls apply() on its World::Config
+/// before constructing the World, and may draw from rng() for its own
+/// randomized workload (the draws are part of the seed's identity).
+class Session {
+ public:
+  Session(const Options& opt, std::uint64_t seed);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::mt19937_64& rng() noexcept { return rng_; }
+  VirtualClock& clock() noexcept { return clock_; }
+  /// Null unless the Options enabled faults.
+  FaultyNet* faults() noexcept { return faults_.get(); }
+
+  /// Installs the virtual clock, the fault injector and the controller
+  /// factory into a World configuration.
+  void apply(chant::World::Config& cfg);
+
+  /// Encoded decision traces of every controller created so far, in
+  /// creation order, '/'-separated (one segment per process).
+  std::string trace_text() const;
+  /// Total decisions recorded across controllers.
+  std::size_t decisions() const;
+
+  /// Arms this session to replay `text` (as printed by trace_text)
+  /// instead of generating fresh decisions. Call before apply().
+  void replay(const std::string& text);
+
+ private:
+  static lwt::ScheduleController* factory(void* self, int pe, int proc);
+  lwt::ScheduleController* make_controller(int pe, int proc);
+
+  const Options& opt_;
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+  VirtualClock clock_;
+  std::unique_ptr<FaultyNet> faults_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<RecordingController>> controllers_;
+  std::vector<DecisionTrace> replay_;  ///< nonempty => replay mode
+};
+
+struct Result {
+  bool failed = false;
+  std::uint64_t seed = 0;        ///< the failing seed (if failed)
+  std::size_t iterations = 0;    ///< runs executed (including the failure)
+  std::string trace;             ///< full failing trace (if failed)
+  std::string shrunk;            ///< minimized trace ("" if not shrunk)
+  std::string first_message;     ///< first captured failure message
+};
+
+/// Sweeps seeds over `body`; see the file comment for the full contract.
+Result explore(const Options& opt, const std::function<void(Session&)>& body);
+
+}  // namespace sim

@@ -1,0 +1,88 @@
+// sim/faultynet.hpp — seedable fault-injecting wrapper over the net model.
+//
+// Implements nx::FaultInjector with per-seed reproducible decisions:
+// each message independently draws delay / duplication / drop from a
+// seeded mt19937_64, so a FaultConfig plus a seed fully determines the
+// fault pattern. Delay reorders messages *across* sources (the nx layer
+// clamps per-source deliver-at monotonic, so FIFO within a source is
+// preserved — the paper's ordered-channel guarantee is a property under
+// test, not something the injector may break directly). Drop makes the
+// payload vanish after the sender completes; duplication enqueues extra
+// eager copies behind the original.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+
+#include "nx/endpoint.hpp"
+#include "nx/fault.hpp"
+
+namespace sim {
+
+/// Per-message fault probabilities (each in [0, 1]).
+struct FaultConfig {
+  double delay_p = 0.0;   ///< chance of extra delivery delay
+  std::uint64_t max_delay_ns = 20'000;  ///< delay drawn uniform in [1, max]
+  double dup_p = 0.0;     ///< chance of one duplicate copy
+  double drop_p = 0.0;    ///< chance the message vanishes
+
+  bool any() const noexcept {
+    return delay_p > 0.0 || dup_p > 0.0 || drop_p > 0.0;
+  }
+};
+
+class FaultyNet : public nx::FaultInjector {
+ public:
+  struct Stats {
+    std::uint64_t messages = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  FaultyNet(const FaultConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed) {}
+
+  nx::FaultDecision on_send(const nx::MsgHeader& h) override {
+    (void)h;
+    // Senders on different OS threads may land here concurrently; the
+    // lock keeps the RNG stream well-defined (and for single-OS-thread
+    // worlds, the stream — hence the fault pattern — is deterministic).
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.messages;
+    nx::FaultDecision d;
+    if (draw() < cfg_.drop_p) {
+      d.drop = true;
+      ++stats_.dropped;
+      return d;
+    }
+    if (draw() < cfg_.dup_p) {
+      d.duplicates = 1;
+      ++stats_.duplicated;
+    }
+    if (draw() < cfg_.delay_p) {
+      d.extra_delay_ns = 1 + rng_() % cfg_.max_delay_ns;
+      ++stats_.delayed;
+    }
+    return d;
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+ private:
+  double draw() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+  }
+
+  FaultConfig cfg_;
+  mutable std::mutex mu_;
+  std::mt19937_64 rng_;
+  Stats stats_;
+};
+
+}  // namespace sim

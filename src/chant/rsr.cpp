@@ -55,6 +55,10 @@ void Runtime::server_loop() {
       continue;
     }
     std::vector<std::uint8_t> rep;
+    if (cfg_.rsr_observer != nullptr) {
+      cfg_.rsr_observer(cfg_.rsr_observer_ctx, req.handler, req.from.pe,
+                        req.from.thread);
+    }
     // Paper §3.2: on receipt of a request the server assumes a higher
     // priority so the dispatch (and its reply traffic) preempts queued
     // computation threads at every scheduling point it crosses.

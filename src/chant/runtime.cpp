@@ -50,6 +50,10 @@ Runtime::Runtime(World& world, nx::Endpoint& ep)
     sched_.set_wq_group_poll(&Runtime::wq_group_poll, this);
   }
   sched_.set_idle_hook(&idle_hook, nullptr);
+  if (cfg_.controller_factory != nullptr) {
+    sched_.set_controller(
+        cfg_.controller_factory(cfg_.controller_ctx, ep.pe(), ep.proc()));
+  }
 }
 
 Runtime::~Runtime() = default;

@@ -8,7 +8,8 @@ namespace chant {
 World::World(const Config& cfg)
     : cfg_(cfg),
       machine_(nx::Machine::Config{cfg.pes, cfg.processes_per_pe, cfg.net,
-                                   cfg.eager_threshold}) {}
+                                   cfg.eager_threshold, cfg.fault, cfg.clock,
+                                   cfg.clock_ctx}) {}
 
 int World::register_handler(Runtime::Handler h) {
   user_handlers_.push_back(h);

@@ -1,10 +1,30 @@
 // context.cpp — backend dispatch for fiber context creation and switching.
 #include "lwt/context.hpp"
 
+#include <pthread.h>
+
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
+
+// The Asm backend's hand-rolled stack switch is invisible to
+// AddressSanitizer, so each switch brackets itself with the sanitizer
+// fiber API. The Ucontext backend deliberately stays unannotated: ASan
+// interposes swapcontext itself, and double annotation corrupts its
+// shadow-stack bookkeeping.
+#if defined(__SANITIZE_ADDRESS__)
+#define LWT_ASAN_FIBERS 1
+#endif
+#if !defined(LWT_ASAN_FIBERS) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LWT_ASAN_FIBERS 1
+#endif
+#endif
+#if defined(LWT_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
 
 namespace lwt {
 
@@ -90,6 +110,9 @@ void uc_make(Context& ctx, void* stack_base, std::size_t stack_size,
 
 void ctx_make(Context& ctx, ContextBackend backend, void* stack_base,
               std::size_t stack_size, Tcb* tcb) {
+  ctx.stack_base = stack_base;
+  ctx.stack_size = stack_size;
+  ctx.fake_stack = nullptr;
   switch (backend) {
     case ContextBackend::Asm:
 #if defined(LWT_NO_ASM_CONTEXT)
@@ -112,7 +135,16 @@ void ctx_swap(Context& from, Context& to, ContextBackend backend) noexcept {
       assert(false && "asm backend unavailable on this platform");
       [[fallthrough]];
 #else
+#if defined(LWT_ASAN_FIBERS)
+      __sanitizer_start_switch_fiber(&from.fake_stack, to.stack_base,
+                                     to.stack_size);
+#endif
       lwt_asm_ctx_swap(&from.sp, to.sp);
+      // Back in `from`: from.fake_stack holds whatever the start_switch
+      // that most recently suspended this context saved there.
+#if defined(LWT_ASAN_FIBERS)
+      __sanitizer_finish_switch_fiber(from.fake_stack, nullptr, nullptr);
+#endif
       return;
 #endif
     case ContextBackend::Ucontext: {
@@ -121,6 +153,59 @@ void ctx_swap(Context& from, Context& to, ContextBackend backend) noexcept {
       return;
     }
   }
+}
+
+void ctx_swap_final(Context& from, Context& to,
+                    ContextBackend backend) noexcept {
+  switch (backend) {
+    case ContextBackend::Asm:
+#if defined(LWT_NO_ASM_CONTEXT)
+      assert(false && "asm backend unavailable on this platform");
+      [[fallthrough]];
+#else
+#if defined(LWT_ASAN_FIBERS)
+      // Null save slot: this context never resumes, release its fake stack.
+      __sanitizer_start_switch_fiber(nullptr, to.stack_base, to.stack_size);
+#endif
+      lwt_asm_ctx_swap(&from.sp, to.sp);
+      break;
+#endif
+    case ContextBackend::Ucontext:
+      if (from.uc == nullptr) from.uc = new ucontext_t;
+      (void)swapcontext(from.uc, to.uc);
+      break;
+  }
+  std::fprintf(stderr, "lwt: finished fiber rescheduled\n");
+  std::abort();
+}
+
+void ctx_bind_os_stack(Context& ctx) noexcept {
+#if defined(__linux__)
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* base = nullptr;
+    std::size_t size = 0;
+    if (pthread_attr_getstack(&attr, &base, &size) == 0) {
+      ctx.stack_base = base;
+      ctx.stack_size = size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+#else
+  (void)ctx;
+#endif
+}
+
+void ctx_note_fiber_entry(ContextBackend backend) noexcept {
+#if defined(LWT_ASAN_FIBERS) && !defined(LWT_NO_ASM_CONTEXT)
+  // A fresh fiber has no fake stack to restore; this completes the
+  // start_switch issued by whoever swapped into us for the first time.
+  if (backend == ContextBackend::Asm) {
+    __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+  }
+#else
+  (void)backend;
+#endif
 }
 
 }  // namespace lwt

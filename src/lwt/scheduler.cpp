@@ -123,6 +123,7 @@ void* Scheduler::run_main(EntryFn entry, void* arg, const ThreadAttr& attr) {
   Scheduler* prev = tl_sched;
   tl_sched = this;
   running_ = true;
+  ctx_bind_os_stack(sched_ctx_);
   Tcb* main_tcb = spawn(entry, arg, attr);
   if (main_tcb->name[0] == '\0') main_tcb->set_name("main");
   main_tcb->detached = false;
@@ -214,6 +215,14 @@ bool Scheduler::wq_complete(void* req_ctx) {
 Tcb* Scheduler::pick_next() {
   for (int p = kNumPriorities - 1; p >= 0; --p) {
     TcbQueue& q = run_q_[p];
+    if (ctrl_ != nullptr && q.size() > 1) {
+      // Decision point "pick": rotate the level so any queued thread can
+      // be the one the head-of-queue scan below sees first (0 keeps
+      // production FIFO order). Priorities stay strict: the controller
+      // only permutes within one level.
+      std::size_t r = ctrl_->pick(q.size()) % q.size();
+      while (r-- > 0) q.push_back(q.pop_front());
+    }
     // Bound the scan: each PS-parked thread whose message has not arrived
     // is rotated to the back, so one pass over the initial occupancy
     // either finds a runnable thread or proves there is none at this
@@ -248,6 +257,7 @@ void Scheduler::schedule_loop() {
     ++stats_.sched_points;
     stats_.waiting_sum += msg_waiting_;
     ++stats_.waiting_samples;
+    if (ctrl_ != nullptr) ctrl_->on_sched_point();
     wq_scan();
     Tcb* next = pick_next();
     if (next == nullptr) {
@@ -260,6 +270,7 @@ void Scheduler::schedule_loop() {
         std::abort();
       }
       ++stats_.idle_spins;
+      if (ctrl_ != nullptr) ctrl_->on_idle();
       if (idle_hook_ != nullptr) idle_hook_(idle_ctx_);
       continue;
     }
@@ -325,9 +336,7 @@ void Scheduler::finish_current(void* retval) {
   } else {
     zombies_.push_back(me);
   }
-  ctx_swap(me->ctx, sched_ctx_, backend_);
-  std::fprintf(stderr, "lwt: finished fiber rescheduled\n");
-  std::abort();
+  ctx_swap_final(me->ctx, sched_ctx_, backend_);
 }
 
 void Scheduler::reap(Tcb* t) {
@@ -611,6 +620,7 @@ namespace detail {
 
 [[noreturn]] void fiber_boot(Tcb* tcb) {
   Scheduler* sched = tcb->sched;
+  ctx_note_fiber_entry(sched->backend());
   void* ret = nullptr;
   bool canceled = false;
   try {

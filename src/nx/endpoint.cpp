@@ -45,6 +45,7 @@
 #include <cstring>
 #include <thread>
 
+#include "nx/fault.hpp"
 #include "nx/machine.hpp"
 
 namespace nx {
@@ -77,7 +78,12 @@ Endpoint::Request* Endpoint::slot_ptr(std::uint32_t slot) const {
 }
 
 std::uint64_t Endpoint::net_now() const {
-  return machine_.config().net.is_zero() ? 0 : now_ns();
+  const Machine::Config& cfg = machine_.config();
+  if (cfg.clock != nullptr) return cfg.clock(cfg.clock_ctx);
+  // A fault injector without a clock override still needs an advancing
+  // clock: injected delays gate visibility on it.
+  if (!cfg.net.is_zero() || cfg.fault != nullptr) return now_ns();
+  return 0;
 }
 
 Handle Endpoint::alloc_request(Request::Kind kind) {
@@ -369,21 +375,68 @@ bool Endpoint::accept_send(const MsgHeader& h, const void* buf,
                            std::atomic<bool>* sender_flag) {
   // Runs on the SENDER's OS thread, locking the receiver (this).
   std::lock_guard<std::mutex> lk(mu_);
-  const NetModel& net = machine_.config().net;
+  const Machine::Config& cfg = machine_.config();
+  const NetModel& net = cfg.net;
   const int src = machine_.flat_index(h.src_pe, h.src_proc);
-  std::uint64_t now = 0;
-  std::uint64_t deliver_at = 0;
+  FaultDecision fd{};
+  if (cfg.fault != nullptr) {
+    fd = cfg.fault->on_send(h);
+    if (fd.drop) {
+      // The wire ate the message after the sender handed it over: the
+      // send itself completes (a rendezvous sender must not wedge
+      // waiting on a copy that will never happen), the payload vanishes.
+      counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
   // Messages within one process never cross the interconnect (on the
   // Paragon they moved through local memory), so the wire model applies
   // only to remote traffic.
   const bool local = h.src_pe == pe_ && h.src_proc == proc_;
-  if (!net.is_zero() && !local) {
-    now = now_ns();
-    deliver_at = now + net.delay_ns(h.len);
+  const bool wire = !net.is_zero() && !local;
+  // Once any timed machinery is active, the per-source monotonic clamp
+  // must cover *every* message from a source — otherwise an undelayed
+  // message overtakes a delayed sibling and the ordered-channel
+  // guarantee (per-source FIFO) breaks. Injected delay therefore
+  // reorders across sources, never within one.
+  const bool timed = wire || cfg.fault != nullptr || cfg.clock != nullptr;
+  std::uint64_t now = 0;
+  std::uint64_t deliver_at = 0;
+  if (timed) {
+    now = net_now();
+    deliver_at = now + (wire ? net.delay_ns(h.len) : 0) + fd.extra_delay_ns;
     auto& last = last_deliver_[static_cast<std::size_t>(src)];
     if (deliver_at <= last) deliver_at = last + 1;  // ordered channel
     last = deliver_at;
   }
+  // Duplicates (injected): eager-buffered copies queued behind the
+  // original with their own clamped deliver-at. They are always marked
+  // in-flight — the epoch gate then guarantees the next progress pass
+  // offers them to posted receives, without replicating the fast path.
+  auto enqueue_duplicates = [&] {
+    for (std::uint32_t i = 0; i < fd.duplicates; ++i) {
+      auto& last = last_deliver_[static_cast<std::size_t>(src)];
+      std::uint64_t at = deliver_at;
+      if (at <= last) at = last + 1;
+      last = at;
+      SrcQueue& dsq = unex_[static_cast<std::size_t>(src)];
+      dsq.q.emplace_back();
+      UnexMsg& d = dsq.q.back();
+      d.hdr = h;
+      d.deliver_at = at;
+      d.arrival_seq = next_arrival_seq_++;
+      if (h.len > 0) {
+        d.payload = std::make_unique<std::uint8_t[]>(h.len);
+        std::memcpy(d.payload.get(), buf, h.len);
+      }
+      ++unex_total_;
+      arrival_seq_.fetch_add(1, std::memory_order_release);
+      if (at < next_deliver_at_.load(std::memory_order_relaxed)) {
+        next_deliver_at_.store(at, std::memory_order_release);
+      }
+      counters_.duplicated.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
   // Reveal anything that became visible first, so cross-source arrival
   // order is preserved before this message is considered.
   if (progress_pending(now)) drain(now);
@@ -398,6 +451,7 @@ bool Endpoint::accept_send(const MsgHeader& h, const void* buf,
       view.src_buf = buf;
       view.sender_flag = sender_flag;
       deliver_into(*r, view);
+      enqueue_duplicates();
       return true;
     }
   }
@@ -424,11 +478,13 @@ bool Endpoint::accept_send(const MsgHeader& h, const void* buf,
       std::memcpy(m.payload.get(), buf, h.len);
     }
     counters_.unexpected_eager.fetch_add(1, std::memory_order_relaxed);
+    enqueue_duplicates();
     return true;
   }
   m.src_buf = buf;
   m.sender_flag = sender_flag;
   counters_.unexpected_rndv.fetch_add(1, std::memory_order_relaxed);
+  enqueue_duplicates();
   return false;  // rendezvous: receiver will raise sender_flag
 }
 

@@ -1,0 +1,33 @@
+// controller.cpp — decision-trace text format.
+#include "sim/controller.hpp"
+
+#include <cstdlib>
+
+namespace sim {
+
+std::string DecisionTrace::encode() const {
+  std::string out;
+  out.reserve(choices.size() * 2);
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(choices[i]);
+  }
+  return out;
+}
+
+DecisionTrace DecisionTrace::parse(const std::string& text) {
+  DecisionTrace t;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    if (end > pos) {
+      t.choices.push_back(static_cast<std::uint32_t>(
+          std::strtoul(text.c_str() + pos, nullptr, 10)));
+    }
+    pos = end + 1;
+  }
+  return t;
+}
+
+}  // namespace sim

@@ -1,0 +1,257 @@
+// explore.cpp — seed sweep, failure capture, trace shrinking, repro banner.
+#include "sim/explore.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "gtest/gtest-spi.h"
+#include "gtest/gtest.h"
+
+namespace sim {
+
+// ------------------------------------------------------------------ Session
+
+Session::Session(const Options& opt, std::uint64_t seed)
+    : opt_(opt), seed_(seed), rng_(seed) {
+  if (opt.faults.any()) {
+    // Distinct stream from the schedule controllers and the body rng.
+    faults_ = std::make_unique<FaultyNet>(opt.faults, seed ^ 0xFA17EDull);
+  }
+}
+
+Session::~Session() = default;
+
+void Session::apply(chant::World::Config& cfg) {
+  cfg.clock = &VirtualClock::read;
+  cfg.clock_ctx = &clock_;
+  if (faults_ != nullptr) cfg.fault = faults_.get();
+  cfg.rt.controller_factory = &Session::factory;
+  cfg.rt.controller_ctx = this;
+}
+
+lwt::ScheduleController* Session::factory(void* self, int pe, int proc) {
+  return static_cast<Session*>(self)->make_controller(pe, proc);
+}
+
+lwt::ScheduleController* Session::make_controller(int pe, int proc) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t k = controllers_.size();
+  std::unique_ptr<RecordingController> c;
+  if (!replay_.empty()) {
+    // Replay mode: the k-th controller created replays the k-th recorded
+    // segment (creation order is deterministic wherever replay is
+    // guaranteed, i.e. single-process worlds).
+    DecisionTrace t = k < replay_.size() ? replay_[k] : DecisionTrace{};
+    c = std::make_unique<TraceController>(std::move(t), &clock_,
+                                          opt_.quantum_ns);
+  } else if (opt_.strategy == Strategy::RoundRobin) {
+    c = std::make_unique<RoundRobinController>(&clock_, opt_.quantum_ns);
+  } else {
+    // Per-process stream derived from (pe, proc), not creation order, so
+    // multi-process worlds get stable streams per process.
+    const std::uint64_t mix =
+        seed_ + 0x9E3779B97F4A7C15ull *
+                    (static_cast<std::uint64_t>(pe) * 1024u +
+                     static_cast<std::uint64_t>(proc) + 1u);
+    c = std::make_unique<RandomController>(mix, &clock_, opt_.quantum_ns);
+  }
+  controllers_.push_back(std::move(c));
+  return controllers_.back().get();
+}
+
+std::string Session::trace_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (std::size_t i = 0; i < controllers_.size(); ++i) {
+    if (i != 0) out.push_back('/');
+    out += controllers_[i]->trace().encode();
+  }
+  return out;
+}
+
+std::size_t Session::decisions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& c : controllers_) n += c->decisions();
+  return n;
+}
+
+void Session::replay(const std::string& text) {
+  replay_.clear();
+  std::size_t pos = 0;
+  for (;;) {
+    std::size_t end = text.find('/', pos);
+    if (end == std::string::npos) {
+      replay_.push_back(DecisionTrace::parse(text.substr(pos)));
+      break;
+    }
+    replay_.push_back(DecisionTrace::parse(text.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+}
+
+// ------------------------------------------------------------------ explore
+
+namespace {
+
+struct RunOutcome {
+  bool failed = false;
+  std::string message;
+  std::string trace;
+  std::size_t decisions = 0;
+};
+
+/// One seeded (or replayed) run with every gtest failure intercepted, so
+/// probe and shrink runs never poison the enclosing test's result.
+RunOutcome run_captured(const Options& opt, std::uint64_t seed,
+                        const std::string* replay_text,
+                        const std::function<void(Session&)>& body) {
+  Session s(opt, seed);
+  if (replay_text != nullptr) s.replay(*replay_text);
+  RunOutcome out;
+  {
+    testing::TestPartResultArray results;
+    testing::ScopedFakeTestPartResultReporter reporter(
+        testing::ScopedFakeTestPartResultReporter::INTERCEPT_ALL_THREADS,
+        &results);
+    try {
+      body(s);
+    } catch (const std::exception& e) {
+      out.failed = true;
+      out.message = std::string("uncaught exception: ") + e.what();
+    } catch (...) {
+      out.failed = true;
+      out.message = "uncaught non-standard exception";
+    }
+    for (int i = 0; i < results.size(); ++i) {
+      const testing::TestPartResult& r = results.GetTestPartResult(i);
+      if (!r.failed()) continue;
+      out.failed = true;
+      if (out.message.empty()) {
+        out.message = std::string(r.file_name() != nullptr ? r.file_name()
+                                                           : "<unknown>") +
+                      ":" + std::to_string(r.line_number()) + ": " +
+                      r.message();
+      }
+      break;
+    }
+  }
+  out.trace = s.trace_text();
+  out.decisions = s.decisions();
+  return out;
+}
+
+std::string current_test_name() {
+  const testing::TestInfo* ti =
+      testing::UnitTest::GetInstance()->current_test_info();
+  if (ti == nullptr) return "<test>";
+  return std::string(ti->test_suite_name()) + "." + ti->name();
+}
+
+std::string prefix_of(const std::string& enc, std::size_t len) {
+  DecisionTrace t = DecisionTrace::parse(enc);
+  if (t.choices.size() > len) t.choices.resize(len);
+  return t.encode();
+}
+
+/// Smallest prefix of the failing trace that still fails, by binary
+/// search (failure is treated as monotone in the prefix length — when it
+/// is not, the verification run below rejects the result and the full
+/// trace is reported instead).
+std::string shrink_trace(const Options& opt, std::uint64_t seed,
+                         const std::string& full,
+                         const std::function<void(Session&)>& body) {
+  const std::size_t total = DecisionTrace::parse(full).choices.size();
+  std::size_t lo = 0;
+  std::size_t hi = total;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const std::string candidate = prefix_of(full, mid);
+    if (run_captured(opt, seed, &candidate, body).failed) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (hi >= total) return {};
+  const std::string shrunk = prefix_of(full, hi);
+  if (!run_captured(opt, seed, &shrunk, body).failed) return {};
+  return shrunk;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 0);
+}
+
+}  // namespace
+
+Result explore(const Options& opt_in,
+               const std::function<void(Session&)>& body) {
+  Options opt = opt_in;
+  opt.seeds = static_cast<std::size_t>(env_u64("CHANT_SIM_SEEDS", opt.seeds));
+  opt.base_seed = env_u64("CHANT_SIM_BASE_SEED", opt.base_seed);
+  const char* seed_env = std::getenv("CHANT_SIM_SEED");
+  const char* trace_env = std::getenv("CHANT_SIM_TRACE");
+  if (seed_env != nullptr || trace_env != nullptr) {
+    // Direct repro: one run, nothing intercepted — assertion failures
+    // surface as this very test's failures, under a debugger if desired.
+    Result res;
+    res.seed = seed_env != nullptr ? std::strtoull(seed_env, nullptr, 0)
+                                   : opt.base_seed;
+    res.iterations = 1;
+    Session s(opt, res.seed);
+    if (trace_env != nullptr) s.replay(trace_env);
+    body(s);
+    res.failed = testing::Test::HasFailure();
+    res.trace = s.trace_text();
+    return res;
+  }
+
+  Result res;
+  for (std::size_t i = 0; i < opt.seeds; ++i) {
+    const std::uint64_t seed = opt.base_seed + i;
+    RunOutcome o = run_captured(opt, seed, nullptr, body);
+    ++res.iterations;
+    if (o.failed) {
+      res.failed = true;
+      res.seed = seed;
+      res.trace = o.trace;
+      res.first_message = o.message;
+      break;
+    }
+  }
+  if (!res.failed) return res;
+
+  // Prefix-shrink only single-segment traces: multi-process replay is
+  // not bit-guaranteed, so a "shrunken" trace there proves nothing.
+  if (opt.shrink && res.trace.find('/') == std::string::npos) {
+    res.shrunk = shrink_trace(opt, res.seed, res.trace, body);
+  }
+  const std::string name = current_test_name();
+  const std::string& best = res.shrunk.empty() ? res.trace : res.shrunk;
+  std::fprintf(stderr,
+               "[  SIM  ] %s: seed %" PRIu64 " failed (iteration %zu of %zu)\n"
+               "[  SIM  ] first failure: %s\n"
+               "[  SIM  ] repro:  CHANT_SIM_SEED=%" PRIu64
+               " ctest -R '%s' --output-on-failure\n"
+               "[  SIM  ] replay: CHANT_SIM_SEED=%" PRIu64
+               " CHANT_SIM_TRACE='%s' ctest -R '%s' --output-on-failure\n",
+               name.c_str(), res.seed, res.iterations, opt.seeds,
+               res.first_message.c_str(), res.seed, name.c_str(), res.seed,
+               best.c_str(), name.c_str());
+  if (opt.report) {
+    ADD_FAILURE() << "sim: seed " << res.seed << " failed after "
+                  << res.iterations << " interleavings: " << res.first_message
+                  << "\n  repro: CHANT_SIM_SEED=" << res.seed << " ctest -R '"
+                  << name << "' --output-on-failure"
+                  << "\n  replay trace (" << DecisionTrace::parse(best).choices.size()
+                  << " decisions): CHANT_SIM_TRACE='" << best << "'";
+  }
+  return res;
+}
+
+}  // namespace sim

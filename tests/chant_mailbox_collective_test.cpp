@@ -145,13 +145,24 @@ TEST_P(ChantCollective, CollectiveBlocksOnlyTheCallingThread) {
         },
         &ctx, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
     nx::Group g = chant::make_world_group(rt, 51);
-    if (rt.pe() == 1) {
-      // Stagger: pe 1 arrives late, forcing pe 0 to wait in the barrier.
-      for (int i = 0; i < 200; ++i) rt.yield();
+    long pre = 0;
+    if (rt.pe() == 0) {
+      // Causal stagger (a fixed yield count is a race under a loaded
+      // machine): pe 1 starts its delay only after pe 0 announces it is
+      // entering the barrier, so pe 0 is parked in the barrier for
+      // (at least most of) pe 1's delay.
+      char go = 'g';
+      rt.send(90, &go, sizeof go, Gid{1, 0, chant::kMainLid});
+      while (ctx.ticks == 0) rt.yield();  // sibling demonstrably live
+      pre = ctx.ticks;
+    } else {
+      char go = 0;
+      rt.recv(90, &go, sizeof go, Gid{0, 0, chant::kMainLid});
+      for (int i = 0; i < 400; ++i) rt.yield();
     }
     g.barrier();
     if (rt.pe() == 0) {
-      EXPECT_GT(ctx.ticks, 10) << "sibling starved during the barrier";
+      EXPECT_GT(ctx.ticks, pre) << "sibling starved during the barrier";
     }
     ctx.stop = true;
     rt.join(side);

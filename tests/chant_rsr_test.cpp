@@ -223,6 +223,46 @@ TEST_P(ChantRsr, OversizedPayloadIsRejectedLocally) {
   });
 }
 
+TEST_P(ChantRsr, ServerStaysLiveUnderReadyQueueSaturation) {
+  // Liveness of the Fig. 7 server thread: on every polling policy the
+  // server must keep serving remote requests while the pe's ready queue
+  // is saturated with runnable computation threads. Under TP the server
+  // polls at normal priority (a fair rotation must reach it); under
+  // WQ/PS it is parked at kServerPriority and must preempt the hogs the
+  // moment a request lands.
+  chant::World w(chant_test::config_for(GetParam()));
+  const int echo = w.register_handler(&echo_handler);
+  w.run([&](Runtime& rt) {
+    struct Ctx {
+      Runtime* rt;
+      std::atomic<bool>* stop;
+    };
+    std::atomic<bool> stop{false};
+    Ctx c{&rt, &stop};
+    std::vector<Gid> hogs;
+    for (int t = 0; t < 6; ++t) {
+      hogs.push_back(rt.create(
+          [](void* p) -> void* {
+            auto* c2 = static_cast<Ctx*>(p);
+            while (!c2->stop->load(std::memory_order_relaxed)) {
+              c2->rt->yield();
+            }
+            return nullptr;
+          },
+          &c, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL));
+    }
+    for (long v = 0; v < 32; ++v) {
+      const auto rep = rt.call(1 - rt.pe(), 0, echo, &v, sizeof v);
+      ASSERT_EQ(rep.size(), sizeof v);
+      long back = -1;
+      std::memcpy(&back, rep.data(), sizeof back);
+      ASSERT_EQ(back, v);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (const Gid& g : hogs) rt.join(g);
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPolicies, ChantRsr,
                          ::testing::ValuesIn(chant_test::all_cases()),
                          [](const auto& info) {

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "chant/chant.hpp"
+
 namespace {
 
 using chant::AddressingMode;
@@ -129,5 +133,76 @@ TEST(TagCodecLimits, HeaderFieldLeavesTagFieldClean) {
   EXPECT_EQ(w.tag, 0x12345);  // user tag travels unmodified
   EXPECT_NE(w.channel, 0);    // lids ride in the channel
 }
+
+TEST_P(TagCodecModes, AllBitsSetBoundaryRoundTrips) {
+  // Every field simultaneously at its maximum: the packed header has all
+  // usable bits set (in TagOverload the top bit makes the int negative),
+  // yet nothing may bleed between fields or into the internal bit.
+  TagCodec codec{GetParam()};
+  const int lid = codec.max_lid();
+  const int tag = codec.max_user_tag();
+  for (bool internal : {false, true}) {
+    const auto w = codec.encode(lid, lid, tag, internal);
+    const auto h = header_from(w);
+    EXPECT_EQ(codec.decode_src_lid(h), lid);
+    EXPECT_EQ(codec.decode_user_tag(h), tag);
+    EXPECT_EQ(codec.is_internal(h), internal);
+    EXPECT_TRUE(matches(codec.pattern(lid, lid, tag, internal), h));
+    // The complementary internal-bit pattern must not capture it.
+    EXPECT_FALSE(matches(codec.pattern(lid, lid, tag, !internal), h));
+  }
+}
+
+TEST_P(TagCodecModes, MaxLidDoesNotAliasItsNeighbours) {
+  TagCodec codec{GetParam()};
+  const int lid = codec.max_lid();
+  const auto pat = codec.pattern(lid, -1, -1);
+  EXPECT_TRUE(matches(pat, header_from(codec.encode(lid, 0, 1))));
+  EXPECT_FALSE(matches(pat, header_from(codec.encode(lid - 1, 0, 1))));
+  EXPECT_FALSE(matches(pat, header_from(codec.encode(0, 0, 1))));
+}
+
+class TagCodecOverflow : public ::testing::TestWithParam<AddressingMode> {};
+
+TEST_P(TagCodecOverflow, RuntimeRejectsOutOfRangeTagsAndLids) {
+  // Overflowing values must be rejected at the API boundary, not
+  // silently masked into somebody else's matching space.
+  chant::World::Config cfg;
+  cfg.pes = 1;
+  cfg.rt.addressing = GetParam();
+  cfg.rt.start_server = false;
+  chant::World w(cfg);
+  w.run([](chant::Runtime& rt) {
+    const int over_tag = rt.codec().max_user_tag() + 1;
+    const int over_lid = rt.codec().max_lid() + 1;
+    const chant::Gid self = rt.self();
+    int v = 0;
+    EXPECT_THROW(rt.send(over_tag, &v, sizeof v, self),
+                 std::invalid_argument);
+    EXPECT_THROW(rt.send(-1, &v, sizeof v, self), std::invalid_argument);
+    EXPECT_THROW(
+        rt.send(1, &v, sizeof v, chant::Gid{rt.pe(), rt.process(), over_lid}),
+        std::invalid_argument);
+    EXPECT_THROW(rt.recv(over_tag, &v, sizeof v, chant::kAnyThread),
+                 std::invalid_argument);
+    EXPECT_THROW(rt.irecv(over_tag, &v, sizeof v, chant::kAnyThread),
+                 std::invalid_argument);
+    // The maxima themselves are legal: a self round-trip at the exact
+    // boundary values must still deliver.
+    rt.send(rt.codec().max_user_tag(), &v, sizeof v, self);
+    int got = -1;
+    rt.recv(rt.codec().max_user_tag(), &got, sizeof got, self);
+    EXPECT_EQ(got, 0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TagCodecOverflow,
+                         ::testing::Values(AddressingMode::TagOverload,
+                                           AddressingMode::HeaderField),
+                         [](const auto& info) {
+                           return info.param == AddressingMode::TagOverload
+                                      ? "TagOverload"
+                                      : "HeaderField";
+                         });
 
 }  // namespace
