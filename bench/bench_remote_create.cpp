@@ -2,6 +2,10 @@
 // create+join versus remote create+join (which rides the RSR plane and
 // involves the destination's server thread plus a join-helper fiber),
 // and remote cancel.
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "chant/chant.hpp"
 #include "harness/table.hpp"
 #include "harness/timer.hpp"
@@ -22,10 +26,40 @@ int main() {
   cfg.pes = 2;
   cfg.rt.policy = chant::PollPolicy::SchedulerPollsPS;
   chant::World w(cfg);
+  // Staging totals across both endpoints: every byte parked in an
+  // intermediate buffer and every staging allocation the RSR traffic of
+  // an operation causes (the descriptor path keeps both near zero).
+  const auto staged_bytes = [&w, &cfg] {
+    std::uint64_t n = 0;
+    for (int pe = 0; pe < cfg.pes; ++pe) {
+      n += w.machine().endpoint(pe, 0).counters().bytes_copied.load();
+    }
+    return n;
+  };
+  const auto staged_allocs = [&w, &cfg] {
+    std::uint64_t n = 0;
+    for (int pe = 0; pe < cfg.pes; ++pe) {
+      n += w.machine().endpoint(pe, 0).counters().temp_allocs.load();
+    }
+    return n;
+  };
   w.run([&](chant::Runtime& rt) {
     if (rt.pe() != 0) return;
-    harness::Table t({"operation", "us_per_op"});
+    harness::Table t({"operation", "us_per_op", "copies_B_op",
+                      "tmp_allocs_op"});
+    std::uint64_t b0 = 0, a0 = 0;
+    const auto begin = [&] {
+      b0 = staged_bytes();
+      a0 = staged_allocs();
+    };
+    const auto staging_cells = [&](std::vector<std::string>& row) {
+      row.push_back(harness::fmt(
+          "%.1f", static_cast<double>(staged_bytes() - b0) / kIters));
+      row.push_back(harness::fmt(
+          "%.3f", static_cast<double>(staged_allocs() - a0) / kIters));
+    };
     {
+      begin();
       harness::Timer timer;
       for (int i = 0; i < kIters; ++i) {
         const chant::Gid g = rt.create(&trivial, nullptr,
@@ -33,32 +67,44 @@ int main() {
                                        PTHREAD_CHANTER_LOCAL);
         rt.join(g);
       }
-      t.add_row({"local create+join",
-                 harness::fmt("%.2f", timer.elapsed_us() / kIters)});
+      std::vector<std::string> row{
+          "local create+join",
+          harness::fmt("%.2f", timer.elapsed_us() / kIters)};
+      staging_cells(row);
+      t.add_row(std::move(row));
     }
     {
+      begin();
       harness::Timer timer;
       for (int i = 0; i < kIters; ++i) {
         const chant::Gid g = rt.create(&trivial, nullptr, 1, 0);
         rt.join(g);
       }
-      t.add_row({"remote create+join (RSR)",
-                 harness::fmt("%.2f", timer.elapsed_us() / kIters)});
+      std::vector<std::string> row{
+          "remote create+join (RSR)",
+          harness::fmt("%.2f", timer.elapsed_us() / kIters)};
+      staging_cells(row);
+      t.add_row(std::move(row));
     }
     {
+      begin();
       harness::Timer timer;
       for (int i = 0; i < kIters; ++i) {
         const chant::Gid g = rt.create(&spin, nullptr, 1, 0);
         rt.cancel(g);
         rt.join(g);
       }
-      t.add_row({"remote create+cancel+join",
-                 harness::fmt("%.2f", timer.elapsed_us() / kIters)});
+      std::vector<std::string> row{
+          "remote create+cancel+join",
+          harness::fmt("%.2f", timer.elapsed_us() / kIters)};
+      staging_cells(row);
+      t.add_row(std::move(row));
     }
     {
       struct P {
         long x[8];
       } p{};
+      begin();
       harness::Timer timer;
       for (int i = 0; i < kIters; ++i) {
         const chant::Gid g = rt.create_marshalled(
@@ -66,8 +112,11 @@ int main() {
             1, 0);
         rt.join(g);
       }
-      t.add_row({"remote create+join (marshalled 64B)",
-                 harness::fmt("%.2f", timer.elapsed_us() / kIters)});
+      std::vector<std::string> row{
+          "remote create+join (marshalled 64B)",
+          harness::fmt("%.2f", timer.elapsed_us() / kIters)};
+      staging_cells(row);
+      t.add_row(std::move(row));
     }
     std::printf("== Global thread operations (§3.3) ==\n");
     t.print("remote_create");

@@ -2,7 +2,15 @@
 // layer the paper designed but had not yet measured: round-trip latency
 // of a synchronous RSR versus payload size, the cost of the big-reply
 // tail path, and the effect of the server thread's priority boost when
-// computation threads compete for the PE.
+// computation threads compete for the PE. Alongside the latencies it
+// reports what the descriptor path promises to keep at zero: bytes
+// staged in intermediate buffers and temporary staging allocations per
+// call (nx counters, summed over every endpoint).
+//
+// With --check-zero-alloc it instead runs the CI smoke gate: a
+// steady-state single-pe RSR loop that must complete with zero staged
+// bytes, zero staging allocations, and zero fresh buffer-pool blocks —
+// exit status 1 if any counter moved.
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -21,15 +29,38 @@ void echo_handler(chant::Runtime&, chant::Runtime::RsrContext&,
                static_cast<const std::uint8_t*>(arg) + len);
 }
 
-double run_rsr(bool boost, std::size_t payload, int compute_threads,
-               int iters) {
+/// Staging totals across every endpoint of the world (copies happen on
+/// the *destination* endpoint, so a round trip touches both sides).
+struct Staging {
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t temp_allocs = 0;
+};
+
+Staging staging_sum(chant::World& w, int pes) {
+  Staging s;
+  for (int pe = 0; pe < pes; ++pe) {
+    const nx::Counters& c = w.machine().endpoint(pe, 0).counters();
+    s.bytes_copied += c.bytes_copied.load();
+    s.temp_allocs += c.temp_allocs.load();
+  }
+  return s;
+}
+
+struct RsrResult {
+  double us_per_call = 0;
+  double copies_per_call = 0;  ///< bytes staged en route, per call
+  double allocs_per_call = 0;  ///< staging allocations, per call
+};
+
+RsrResult run_rsr(bool boost, std::size_t payload, int compute_threads,
+                  int iters) {
   chant::World::Config cfg;
   cfg.pes = 2;
   cfg.rt.policy = chant::PollPolicy::SchedulerPollsPS;
   cfg.rt.server_high_priority = boost;
   chant::World w(cfg);
   const int echo = w.register_handler(&echo_handler);
-  double out = 0;
+  RsrResult out;
   w.run([&](chant::Runtime& rt) {
     // Competing computation threads on the *server's* pe (pe 1): without
     // the priority boost, a received RSR waits behind them in the queue.
@@ -59,11 +90,19 @@ double run_rsr(bool boost, std::size_t payload, int compute_threads,
       std::vector<std::uint8_t> arg(payload, 0x5A);
       // warm-up
       (void)rt.call(1, 0, echo, arg.data(), arg.size());
+      const Staging before = staging_sum(w, cfg.pes);
       harness::Timer t;
       for (int i = 0; i < iters; ++i) {
         const auto rep = rt.call(1, 0, echo, arg.data(), arg.size());
       }
-      out = t.elapsed_us() / iters;
+      out.us_per_call = t.elapsed_us() / iters;
+      const Staging after = staging_sum(w, cfg.pes);
+      out.copies_per_call =
+          static_cast<double>(after.bytes_copied - before.bytes_copied) /
+          iters;
+      out.allocs_per_call =
+          static_cast<double>(after.temp_allocs - before.temp_allocs) /
+          iters;
       char done = 1;
       rt.send(99, &done, 1, chant::Gid{1, 0, chant::kMainLid});
     } else {
@@ -76,22 +115,72 @@ double run_rsr(bool boost, std::size_t payload, int compute_threads,
   return out;
 }
 
+/// The CI smoke gate. Single pe + scheduler-polls make the steady state
+/// deterministic: the server re-posts its pooled receive before the
+/// caller resumes, every reply lands in the pre-posted landing zone, and
+/// the pool recycles every scratch buffer. Any nonzero delta means a
+/// copy or allocation crept back into the message path.
+int check_zero_alloc() {
+  constexpr int kWarmup = 5;
+  constexpr int kIters = 2000;
+  chant::World::Config cfg;
+  cfg.pes = 1;
+  cfg.rt.policy = chant::PollPolicy::SchedulerPollsPS;
+  chant::World w(cfg);
+  const int echo = w.register_handler(&echo_handler);
+  int rc = 1;
+  w.run([&](chant::Runtime& rt) {
+    std::uint8_t arg[64];
+    std::memset(arg, 0x5A, sizeof arg);
+    for (int i = 0; i < kWarmup; ++i) {
+      (void)rt.call(0, 0, echo, arg, sizeof arg);
+    }
+    const nx::Counters& nc = rt.net_counters();
+    const std::uint64_t copies0 = nc.bytes_copied.load();
+    const std::uint64_t allocs0 = nc.temp_allocs.load();
+    const std::uint64_t fresh0 = rt.buffer_pool().stats().fresh;
+    for (int i = 0; i < kIters; ++i) {
+      (void)rt.call(0, 0, echo, arg, sizeof arg);
+    }
+    const std::uint64_t copies = nc.bytes_copied.load() - copies0;
+    const std::uint64_t allocs = nc.temp_allocs.load() - allocs0;
+    const std::uint64_t fresh = rt.buffer_pool().stats().fresh - fresh0;
+    std::printf("zero-alloc check: %d steady-state RSR calls\n", kIters);
+    std::printf("  bytes staged en route : %llu\n",
+                static_cast<unsigned long long>(copies));
+    std::printf("  staging allocations   : %llu\n",
+                static_cast<unsigned long long>(allocs));
+    std::printf("  fresh pool blocks     : %llu\n",
+                static_cast<unsigned long long>(fresh));
+    rc = (copies == 0 && allocs == 0 && fresh == 0) ? 0 : 1;
+    std::printf("%s\n", rc == 0 ? "PASS" : "FAIL");
+  });
+  return rc;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--check-zero-alloc") == 0) {
+    return check_zero_alloc();
+  }
   constexpr int kIters = 3000;
   std::printf("== RSR round-trip latency (sync call through the server "
               "thread, §3.2) ==\n");
   harness::Table t({"payload_B", "reply_path", "idle_pe_us",
-                    "busy_boost_us", "busy_noboost_us"});
+                    "busy_boost_us", "busy_noboost_us", "copies_B_call",
+                    "tmp_allocs_call"});
   for (std::size_t payload : {16ul, 512ul, 2048ul, 8192ul}) {
     const char* path = payload <= 1024 ? "inline" : "tail";
-    const double idle = run_rsr(true, payload, 0, kIters);
-    const double boost = run_rsr(true, payload, 6, kIters);
-    const double noboost = run_rsr(false, payload, 6, kIters);
+    const RsrResult idle = run_rsr(true, payload, 0, kIters);
+    const RsrResult boost = run_rsr(true, payload, 6, kIters);
+    const RsrResult noboost = run_rsr(false, payload, 6, kIters);
     t.add_row({harness::fmt("%zu", payload), path,
-               harness::fmt("%.2f", idle), harness::fmt("%.2f", boost),
-               harness::fmt("%.2f", noboost)});
+               harness::fmt("%.2f", idle.us_per_call),
+               harness::fmt("%.2f", boost.us_per_call),
+               harness::fmt("%.2f", noboost.us_per_call),
+               harness::fmt("%.1f", idle.copies_per_call),
+               harness::fmt("%.3f", idle.allocs_per_call)});
   }
   t.print("rsr_latency");
   return 0;

@@ -1,0 +1,62 @@
+// chant/bufferpool.hpp — slab-recycling buffer pool for runtime traffic.
+//
+// The RSR plane needs a scratch buffer per in-flight operation: the
+// reply landing zone of every async call and the server loop's request
+// buffer. Allocating and freeing those per call is exactly the
+// marshalling overhead the paper's §3.1 efficiency argument forbids, so
+// a Runtime keeps this pool instead: released blocks are recycled with
+// their capacity intact, and at steady state an acquire touches the
+// heap zero times (the `fresh` stat stays flat — the bench smoke gate
+// asserts it).
+//
+// Single-threaded by design: a Runtime's fibers all run on the owning
+// process's OS thread, so acquire/release never race. Do not share a
+// pool across runtimes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace chant {
+
+class BufferPool {
+ public:
+  struct Stats {
+    std::uint64_t acquires = 0;  ///< total acquire() calls
+    std::uint64_t fresh = 0;     ///< acquires that had to touch the heap
+  };
+
+  /// Returns a buffer with size() == n. Recycles a free block when one
+  /// exists (growing it if needed — the grown capacity is then kept for
+  /// good), so a steady-state workload converges to zero heap traffic
+  /// after the first round of acquires.
+  std::vector<std::uint8_t> acquire(std::size_t n) {
+    ++stats_.acquires;
+    if (free_.empty()) {
+      ++stats_.fresh;
+      return std::vector<std::uint8_t>(n);
+    }
+    std::vector<std::uint8_t> b = std::move(free_.back());
+    free_.pop_back();
+    if (b.capacity() < n) ++stats_.fresh;  // recycled block had to grow
+    b.resize(n);
+    return b;
+  }
+
+  /// Hands a buffer back for reuse; its capacity is retained.
+  void release(std::vector<std::uint8_t>&& b) {
+    if (b.capacity() == 0) return;  // moved-from or never sized: worthless
+    free_.push_back(std::move(b));
+  }
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t free_blocks() const noexcept { return free_.size(); }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> free_;
+  Stats stats_;
+};
+
+}  // namespace chant

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chant/bufferpool.hpp"
 #include "chant/gid.hpp"
 #include "chant/policy.hpp"
 #include "chant/tagcodec.hpp"
@@ -157,6 +158,14 @@ class Runtime {
   /// number even when deferred handlers answer out of order).
   int call_async(int dst_pe, int dst_process, int handler, const void* arg,
                  std::size_t len);
+  /// Gather forms (the -v suffix mirrors nx::isendv): the request
+  /// payload is the concatenation of the descriptor's fragments, sent
+  /// zero-copy over the caller's buffers (no marshal vector). At most
+  /// nx::kMaxIov - 1 fragments (the RSR envelope occupies one slot).
+  int call_asyncv(int dst_pe, int dst_process, int handler,
+                  const nx::IoVec* iov, std::size_t iovcnt);
+  std::vector<std::uint8_t> callv(int dst_pe, int dst_process, int handler,
+                                  const nx::IoVec* iov, std::size_t iovcnt);
   /// Tests an async call; on completion moves the reply into *reply_out
   /// and releases the handle.
   bool call_test(int handle, std::vector<std::uint8_t>* reply_out = nullptr);
@@ -168,10 +177,18 @@ class Runtime {
   /// Completes a deferred RSR (callable from any thread of the process
   /// that received the request).
   void reply(const RsrContext& ctx, const void* data, std::size_t len);
+  /// Gather form: the reply payload is the concatenation of the
+  /// fragments ({status header, body} without a marshal vector). At
+  /// most nx::kMaxIov - 1 fragments.
+  void replyv(const RsrContext& ctx, const nx::IoVec* iov,
+              std::size_t iovcnt);
 
   // ---- statistics ----
   const lwt::SchedulerStats& sched_stats() const { return sched_.stats(); }
   nx::Counters& net_counters() { return ep_.counters(); }
+  /// The runtime's slab-recycling pool for RSR scratch buffers; exposed
+  /// for its stats (steady-state RSR must show zero fresh allocations).
+  const BufferPool& buffer_pool() const noexcept { return pool_; }
 
   /// Entry point used by World::run; runs `user_main` as the process's
   /// main chanter thread (lid 1), with the server thread (lid 0) started
@@ -235,6 +252,8 @@ class Runtime {
   // runtime traffic can never match a wildcard user receive)
   void send_from(int src_lid, int user_tag, const void* buf, std::size_t len,
                  const Gid& dst, bool internal);
+  void send_from(int src_lid, int user_tag, const nx::IoVec* iov,
+                 std::size_t iovcnt, const Gid& dst, bool internal);
   nx::Handle post_recv(int user_tag, void* buf, std::size_t cap,
                        const Gid& src, bool internal);
   MsgInfo recv_blocking(int user_tag, void* buf, std::size_t cap,
@@ -244,16 +263,24 @@ class Runtime {
 
   // RSR internals
   struct AsyncCall {
-    WaitCtx wait{};
-    std::vector<std::uint8_t> rbuf;
+    WaitCtx wait{};       ///< the pre-posted inline reply receive
+    WaitCtx tail_wait{};  ///< the tail receive, posted once announced
+    std::vector<std::uint8_t> rbuf;      ///< pooled inline landing zone
+    std::vector<std::uint8_t> tail_buf;  ///< tail landing zone (moved out)
     Gid server{-1, -1, -1};
     int seq = 0;
     std::uint32_t idx = 0;
     std::uint32_t gen = 1;
     bool active = false;
+    bool tail_posted = false;
   };
   void install_builtin_handlers();
   AsyncCall& checked_call(int handle);
+  /// Once the inline reply has landed: if its header announces a tail
+  /// message, post the tail receive (exactly once). Returns true when
+  /// every part of the reply has landed.
+  bool reply_parts_done(AsyncCall& c);
+  void abandon_call(AsyncCall& c);
   std::vector<std::uint8_t> finish_call(AsyncCall& c);
 
   World& world_;
@@ -273,6 +300,7 @@ class Runtime {
   std::vector<WaitCtx*> wq_waits_;  ///< live waits for the testany hook
   std::deque<AsyncCall> calls_;     ///< deque: parked WaitCtx stay pinned
   std::vector<std::uint32_t> free_calls_;
+  BufferPool pool_;  ///< recycles RSR scratch buffers (single-threaded)
   int next_reply_seq_ = 0;
   bool server_stop_ = false;
   lwt::Tcb* server_tcb_ = nullptr;

@@ -23,6 +23,16 @@ struct Counters {
   std::atomic<std::uint64_t> posted_match{0};     ///< zero-copy fast path
   std::atomic<std::uint64_t> unexpected_eager{0}; ///< buffered (1 extra copy)
   std::atomic<std::uint64_t> unexpected_rndv{0};  ///< rendezvous (no copy)
+  // Descriptor-path observability (the zero-copy invariant, testable):
+  // every byte staged in an *intermediate* buffer — eager buffering of
+  // unexpected messages, injected duplicates — and every temporary heap
+  // allocation on the message path. The one copy into the posted user
+  // buffer is the copy a contiguous transfer would make anyway and is
+  // deliberately NOT counted: a pre-posted receive must show both
+  // counters unchanged across a transfer.
+  std::atomic<std::uint64_t> gather_sends{0};     ///< isendv/csendv calls
+  std::atomic<std::uint64_t> bytes_copied{0};     ///< bytes staged en route
+  std::atomic<std::uint64_t> temp_allocs{0};      ///< staging buffer allocs
   // Matching-engine introspection (the perf counters behind
   // bench_matching_scale): how often the epoch gate let a failed test
   // skip the lock+drain, how often a send resolved its receive through
@@ -46,6 +56,9 @@ struct Counters {
     posted_match = 0;
     unexpected_eager = 0;
     unexpected_rndv = 0;
+    gather_sends = 0;
+    bytes_copied = 0;
+    temp_allocs = 0;
     drain_skipped = 0;
     bucket_hits = 0;
     wildcard_scans = 0;

@@ -83,6 +83,26 @@ inline constexpr int kTagAny = 0;
 using Handle = std::int32_t;
 inline constexpr Handle kInvalidHandle = -1;
 
+/// One fragment of a scatter-gather send descriptor (readv/writev
+/// iovec shape). A contiguous send is a single-fragment descriptor.
+struct IoVec {
+  const void* base = nullptr;
+  std::size_t len = 0;
+};
+
+/// Most fragments a gather send may carry. Sized for the layered
+/// runtime's deepest framing ({rsr envelope, protocol header, payload})
+/// plus one spare; descriptors are embedded in unexpected-message
+/// entries, so the cap keeps rendezvous state allocation-free.
+inline constexpr std::size_t kMaxIov = 4;
+
+/// Total payload bytes described by a descriptor.
+inline std::size_t iov_total(const IoVec* iov, std::size_t iovcnt) noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < iovcnt; ++i) n += iov[i].len;
+  return n;
+}
+
 /// Message envelope as seen by the receiver. `channel` plays the role of
 /// an MPI communicator: an extra header field a layered runtime may use
 /// to address entities *within* a process (paper §3.1(2)) without
@@ -120,6 +140,20 @@ class Endpoint {
   /// Locally-blocking send (NX csend): returns when `buf` is reusable.
   void csend(int dst_pe, int dst_proc, int tag, const void* buf,
              std::size_t len, int channel = 0);
+
+  /// Scatter-gather nonblocking send: the message is the concatenation
+  /// of the descriptor's fragments, assembled directly into the
+  /// receiver's buffer (one copy total — exactly what a contiguous send
+  /// pays). Every fragment must stay valid until the handle completes;
+  /// the descriptor array itself may be stack-allocated (it is copied
+  /// into the request). At most kMaxIov fragments.
+  Handle isendv(int dst_pe, int dst_proc, int tag, const IoVec* iov,
+                std::size_t iovcnt, int channel = 0);
+
+  /// Locally-blocking gather send: returns when every fragment is
+  /// reusable.
+  void csendv(int dst_pe, int dst_proc, int tag, const IoVec* iov,
+              std::size_t iovcnt, int channel = 0);
 
   // ---- receives ----
 
@@ -200,12 +234,14 @@ class Endpoint {
     std::uint64_t deliver_at = 0;
     std::uint64_t arrival_seq = 0;  ///< global arrival order across sources
     // Fresh messages are offered to the posted index straight from the
-    // sender's buffer (zero intermediate copies). An entry that stays
+    // sender's fragments (zero intermediate copies). An entry that stays
     // queued is either eager-buffered (payload owned here, sender
-    // released) or held for rendezvous (sender_flag raised when a
-    // receive finally takes it).
+    // released) or held for rendezvous (the sender's descriptor is
+    // retained in frags and sender_flag raised when a receive finally
+    // takes it).
     std::unique_ptr<std::uint8_t[]> payload;
-    const void* src_buf = nullptr;
+    IoVec frags[kMaxIov]{};
+    std::uint32_t nfrags = 0;
     std::atomic<bool>* sender_flag = nullptr;
   };
 
@@ -298,11 +334,18 @@ class Endpoint {
   bool take_unexpected_match(Request& r);
 
   /// Entry point used by the sending endpoint (runs on the *sender's* OS
-  /// thread). Returns true if the payload was consumed synchronously
-  /// (posted match or eager); false means rendezvous was set up and
-  /// `sender_flag` will be raised by the receiver.
-  bool accept_send(const MsgHeader& h, const void* buf,
+  /// thread). The message is described by a gather descriptor (a
+  /// contiguous send is one fragment). Returns true if the payload was
+  /// consumed synchronously (posted match or eager); false means
+  /// rendezvous was set up and `sender_flag` will be raised by the
+  /// receiver.
+  bool accept_send(const MsgHeader& h, const IoVec* iov, std::size_t iovcnt,
                    std::atomic<bool>* sender_flag);
+  /// Shared implementation behind isend/isendv.
+  Handle start_send(int dst_pe, int dst_proc, int tag, const IoVec* iov,
+                    std::size_t iovcnt, int channel);
+  void start_csend(int dst_pe, int dst_proc, int tag, const IoVec* iov,
+                   std::size_t iovcnt, int channel);
   friend class Machine;  // Machine routes accept_send between endpoints
 
   Machine& machine_;

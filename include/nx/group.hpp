@@ -102,6 +102,11 @@ class Group {
   template <typename T>
   void reduce_impl(const T* in, T* out, std::size_t n, ReduceOp op,
                    int root);
+  /// Per-type reduction scratch (accumulator + receive staging); the
+  /// capacity is retained across collectives so a steady-state reduce
+  /// loop performs no per-call heap allocations.
+  template <typename T>
+  std::vector<T>& scratch();
 
   Endpoint& ep_;
   std::vector<NodeAddr> members_;
@@ -109,6 +114,17 @@ class Group {
   int rank_ = -1;
   int seq_ = 0;
   std::function<void()> waiter_;
+  std::vector<std::int64_t> scratch_i64_;
+  std::vector<double> scratch_f64_;
 };
+
+template <>
+inline std::vector<std::int64_t>& Group::scratch<std::int64_t>() {
+  return scratch_i64_;
+}
+template <>
+inline std::vector<double>& Group::scratch<double>() {
+  return scratch_f64_;
+}
 
 }  // namespace nx

@@ -34,6 +34,20 @@ void Runtime::send_from(int src_lid, int user_tag, const void* buf,
   sched_.set_cancel_enabled(prev);
 }
 
+void Runtime::send_from(int src_lid, int user_tag, const nx::IoVec* iov,
+                        std::size_t iovcnt, const Gid& dst, bool internal) {
+  const TagCodec::Wire wire =
+      codec_.encode(dst.thread, src_lid, user_tag, internal);
+  WaitCtx w;
+  w.ep = &ep_;
+  w.nxh = ep_.isendv(dst.pe, dst.process, wire.tag, iov, iovcnt,
+                     wire.channel);
+  if (wait_test(&w)) return;  // all fragments gathered: buffers reusable
+  const bool prev = sched_.set_cancel_enabled(false);
+  block_until(w);
+  sched_.set_cancel_enabled(prev);
+}
+
 void Runtime::send(int user_tag, const void* buf, std::size_t len,
                    const Gid& dst) {
   if (user_tag < 0 || user_tag > codec_.max_user_tag()) {

@@ -286,11 +286,11 @@ Gid Runtime::create_marshalled(MarshalledEntry entry, const void* arg,
   req.priority = opts.priority;
   req.detached = opts.detached ? 1 : 0;
   req.payload_len = static_cast<std::uint32_t>(len);
-  std::vector<std::uint8_t> msg(sizeof req + len);
-  std::memcpy(msg.data(), &req, sizeof req);
-  if (len > 0) std::memcpy(msg.data() + sizeof req, arg, len);
-  const std::vector<std::uint8_t> rep =
-      call(dst_pe, dst_process, wire::kHCreate, msg.data(), msg.size());
+  // {Create header, argument bytes} ship as one gather descriptor — no
+  // marshal vector on the requesting side.
+  const nx::IoVec iov[2] = {{&req, sizeof req}, {arg, len}};
+  const std::vector<std::uint8_t> rep = callv(
+      dst_pe, dst_process, wire::kHCreate, iov, len > 0 ? 2u : 1u);
   wire::CreateReply out;
   if (rep.size() < sizeof out) {
     throw std::runtime_error("chant::create_marshalled: malformed reply");

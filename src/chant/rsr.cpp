@@ -11,6 +11,13 @@
 // pre-posts the reply receive (tagged with a per-request sequence number
 // so out-of-order replies pair correctly), ships the request, and hands
 // back a handle; call_wait blocks under the configured polling policy.
+//
+// Every message on this plane travels as a gather descriptor — the
+// envelope and the caller's payload go to nx as an iovec, so nothing is
+// marshalled into a temporary vector first — and the scratch buffers
+// (the server's request buffer, each call's reply landing zone) come
+// from the runtime's BufferPool, so a steady-state RSR loop performs
+// zero per-call heap allocations.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +35,12 @@ int Runtime::register_handler(Handler h) {
 }
 
 void Runtime::server_loop() {
-  std::vector<std::uint8_t> buf(sizeof(wire::Rsr) + cfg_.rsr_buffer_size);
+  // Pooled request buffer plus a persistent reply vector whose capacity
+  // survives across requests: after warmup the dispatch loop touches the
+  // heap zero times (the bench smoke gate asserts exactly this).
+  std::vector<std::uint8_t> buf =
+      pool_.acquire(sizeof(wire::Rsr) + cfg_.rsr_buffer_size);
+  std::vector<std::uint8_t> rep;
   while (!server_stop_) {
     const MsgInfo mi = recv_blocking(kTagRsr, buf.data(), buf.size(),
                                      kAnyThread, /*internal=*/true);
@@ -54,7 +66,7 @@ void Runtime::server_loop() {
       }
       continue;
     }
-    std::vector<std::uint8_t> rep;
+    rep.clear();  // capacity retained from the previous dispatch
     if (cfg_.rsr_observer != nullptr) {
       cfg_.rsr_observer(cfg_.rsr_observer_ctx, req.handler, req.from.pe,
                         req.from.thread);
@@ -72,34 +84,62 @@ void Runtime::server_loop() {
     if (ctx.needs_reply && !ctx.deferred) {
       reply(ctx, rep.data(), rep.size());
     }
-    if (cfg_.server_high_priority &&
-        cfg_.policy == PollPolicy::ThreadPolls) {
+    // Restore under *every* polling policy. With scheduler-polls
+    // policies the server already parks at kServerPriority so this is
+    // normally a no-op, but a server whose priority was lowered by the
+    // user must not have that setting silently clobbered by a dispatch.
+    if (cfg_.server_high_priority) {
       sched_.set_priority(me, base_prio);
     }
   }
+  pool_.release(std::move(buf));
 }
 
 void Runtime::reply(const RsrContext& ctx, const void* data,
                     std::size_t len) {
+  const nx::IoVec iov{data, len};
+  replyv(ctx, &iov, len > 0 ? 1u : 0u);
+}
+
+void Runtime::replyv(const RsrContext& ctx, const nx::IoVec* iov,
+                     std::size_t iovcnt) {
+  if (iovcnt + 1 > nx::kMaxIov) {
+    throw std::invalid_argument("chant::replyv: too many fragments");
+  }
+  const std::size_t len = nx::iov_total(iov, iovcnt);
   wire::Reply hdr;
   hdr.len = static_cast<std::uint32_t>(len);
   if (len <= wire::kInlineReply) {
-    std::vector<std::uint8_t> msg(sizeof hdr + len);
-    std::memcpy(msg.data(), &hdr, sizeof hdr);
-    if (len > 0) std::memcpy(msg.data() + sizeof hdr, data, len);
-    send_from(kServerLid, rsr_reply_tag(ctx.reply_seq), msg.data(),
-              msg.size(), ctx.from, /*internal=*/true);
+    // {header, payload...} leave as one gather descriptor: no marshal
+    // vector, no copy before the wire.
+    nx::IoVec all[nx::kMaxIov];
+    all[0] = {&hdr, sizeof hdr};
+    for (std::size_t i = 0; i < iovcnt; ++i) all[i + 1] = iov[i];
+    send_from(kServerLid, rsr_reply_tag(ctx.reply_seq), all, iovcnt + 1,
+              ctx.from, /*internal=*/true);
     return;
   }
+  // Large reply: announce the tail in the header message, then ship the
+  // payload as its own (per-source-ordered) message.
   hdr.tail = 1;
   send_from(kServerLid, rsr_reply_tag(ctx.reply_seq), &hdr, sizeof hdr,
             ctx.from, /*internal=*/true);
-  send_from(kServerLid, rsr_tail_tag(ctx.reply_seq), data, len, ctx.from,
+  send_from(kServerLid, rsr_tail_tag(ctx.reply_seq), iov, iovcnt, ctx.from,
             /*internal=*/true);
 }
 
 int Runtime::call_async(int dst_pe, int dst_process, int handler,
                         const void* arg, std::size_t len) {
+  const nx::IoVec iov{arg, len};
+  return call_asyncv(dst_pe, dst_process, handler, &iov, len > 0 ? 1u : 0u);
+}
+
+int Runtime::call_asyncv(int dst_pe, int dst_process, int handler,
+                         const nx::IoVec* iov, std::size_t iovcnt) {
+  if (iovcnt + 1 > nx::kMaxIov) {
+    throw std::invalid_argument("chant: RSR request has too many fragments");
+  }
+  const std::size_t len = nx::iov_total(iov, iovcnt);
   if (len > cfg_.rsr_buffer_size) {
     throw std::invalid_argument("chant: RSR payload exceeds rsr_buffer_size");
   }
@@ -122,9 +162,11 @@ int Runtime::call_async(int dst_pe, int dst_process, int handler,
   c.seq = next_reply_seq_;
   next_reply_seq_ = (next_reply_seq_ + 1) & 0xFFF;
   c.server = Gid{dst_pe, dst_process, kServerLid};
-  c.rbuf.resize(sizeof(wire::Reply) + wire::kInlineReply);
+  c.rbuf = pool_.acquire(sizeof(wire::Reply) + wire::kInlineReply);
   c.wait = WaitCtx{};
   c.wait.ep = &ep_;
+  c.tail_wait = WaitCtx{};
+  c.tail_posted = false;
   // Pre-post the reply receive (zero-copy path) before the request can
   // possibly be serviced.
   const TagCodec::Pattern pat = codec_.pattern(
@@ -133,15 +175,18 @@ int Runtime::call_async(int dst_pe, int dst_process, int handler,
                          c.rbuf.data(), c.rbuf.size(), pat.channel,
                          pat.channel_mask);
 
+  // The request envelope rides the same gather descriptor as the
+  // caller's fragments; send_from returns only once the buffers are
+  // reusable, so the stack-local envelope is safe.
   wire::Rsr req;
   req.handler = handler;
   req.needs_reply = 1;
   req.reply_seq = c.seq;
   req.from = me;
-  std::vector<std::uint8_t> msg(sizeof req + len);
-  std::memcpy(msg.data(), &req, sizeof req);
-  if (len > 0) std::memcpy(msg.data() + sizeof req, arg, len);
-  send_from(me.thread, kTagRsr, msg.data(), msg.size(), c.server,
+  nx::IoVec frags[nx::kMaxIov];
+  frags[0] = {&req, sizeof req};
+  for (std::size_t i = 0; i < iovcnt; ++i) frags[i + 1] = iov[i];
+  send_from(me.thread, kTagRsr, frags, iovcnt + 1, c.server,
             /*internal=*/true);
   // 15 generation bits keep the packed handle non-negative; the
   // comparison below masks identically so slot reuse wraps safely.
@@ -158,33 +203,76 @@ Runtime::AsyncCall& Runtime::checked_call(int handle) {
   return calls_[idx];
 }
 
+bool Runtime::reply_parts_done(AsyncCall& c) {
+  // Precondition: the inline reply has landed (c.wait.done).
+  if (!c.tail_posted) {
+    wire::Reply rep;
+    std::memcpy(&rep, c.rbuf.data(), sizeof rep);
+    if (rep.tail == 0) return true;
+    // The header announces a tail message; post its receive now — the
+    // length is unknown before the header arrives, and posting (rather
+    // than blocking in finish_call) keeps call_test nonblocking for
+    // arbitrarily large replies. Per-source FIFO orders the tail after
+    // the header, so this receive can never pair with a stale payload.
+    const Gid me = self();
+    c.tail_buf.resize(rep.len);
+    c.tail_wait = WaitCtx{};
+    c.tail_wait.ep = &ep_;
+    const TagCodec::Pattern pat = codec_.pattern(
+        me.thread, kServerLid, rsr_tail_tag(c.seq), /*internal=*/true);
+    c.tail_wait.nxh = ep_.irecv(c.server.pe, c.server.process, pat.tag,
+                                pat.tag_mask, c.tail_buf.data(),
+                                c.tail_buf.size(), pat.channel,
+                                pat.channel_mask);
+    c.tail_posted = true;
+  }
+  return wait_test(&c.tail_wait);
+}
+
+void Runtime::abandon_call(AsyncCall& c) {
+  if (!c.active) return;
+  if (!c.wait.done) ep_.cancel_recv(c.wait.nxh);
+  if (c.tail_posted && !c.tail_wait.done) ep_.cancel_recv(c.tail_wait.nxh);
+  pool_.release(std::move(c.rbuf));
+  c.rbuf = std::vector<std::uint8_t>{};
+  c.tail_buf = std::vector<std::uint8_t>{};
+  c.active = false;
+  ++c.gen;
+  free_calls_.push_back(c.idx);
+}
+
 std::vector<std::uint8_t> Runtime::finish_call(AsyncCall& c) {
   wire::Reply rep;
   std::memcpy(&rep, c.rbuf.data(), sizeof rep);
-  std::vector<std::uint8_t> out(rep.len);
+  std::vector<std::uint8_t> out;
+  bool tail_mismatch = false;
   if (rep.tail == 0) {
+    out.resize(rep.len);
     if (rep.len > 0) {
       std::memcpy(out.data(), c.rbuf.data() + sizeof rep, rep.len);
     }
   } else {
-    // Large reply: the payload follows as its own (ordered) message.
-    const MsgInfo mi = recv_blocking(rsr_tail_tag(c.seq), out.data(),
-                                     out.size(), c.server, /*internal=*/true);
-    if (mi.len != rep.len) {
-      throw std::runtime_error("chant: RSR tail length mismatch");
-    }
+    // The tail already landed directly in tail_buf (reply_parts_done
+    // posted the receive); hand it to the caller without another copy.
+    tail_mismatch = c.tail_wait.hdr.len != rep.len;
+    out = std::move(c.tail_buf);
   }
+  pool_.release(std::move(c.rbuf));
+  c.rbuf = std::vector<std::uint8_t>{};
+  c.tail_buf = std::vector<std::uint8_t>{};
   c.active = false;
   ++c.gen;
-  c.rbuf.clear();
-  c.rbuf.shrink_to_fit();
   free_calls_.push_back(c.idx);
+  if (tail_mismatch) {
+    throw std::runtime_error("chant: RSR tail length mismatch");
+  }
   return out;
 }
 
 bool Runtime::call_test(int handle, std::vector<std::uint8_t>* reply_out) {
   AsyncCall& c = checked_call(handle);
   if (!wait_test(&c.wait)) return false;
+  if (!reply_parts_done(c)) return false;  // tail announced, still in flight
   std::vector<std::uint8_t> out = finish_call(c);
   if (reply_out != nullptr) *reply_out = std::move(out);
   return true;
@@ -194,13 +282,11 @@ std::vector<std::uint8_t> Runtime::call_wait(int handle) {
   AsyncCall& c = checked_call(handle);
   try {
     block_until(c.wait);
+    if (!reply_parts_done(c)) block_until(c.tail_wait);
   } catch (...) {
-    if (!c.wait.done) {
-      ep_.cancel_recv(c.wait.nxh);
-      c.active = false;
-      ++c.gen;
-      free_calls_.push_back(c.idx);
-    }
+    // Cancelled mid-wait: withdraw any posted receives and retire the
+    // record so later messages cannot scribble into dead buffers.
+    abandon_call(c);
     throw;
   }
   return finish_call(c);
@@ -210,6 +296,12 @@ std::vector<std::uint8_t> Runtime::call(int dst_pe, int dst_process,
                                         int handler, const void* arg,
                                         std::size_t len) {
   return call_wait(call_async(dst_pe, dst_process, handler, arg, len));
+}
+
+std::vector<std::uint8_t> Runtime::callv(int dst_pe, int dst_process,
+                                         int handler, const nx::IoVec* iov,
+                                         std::size_t iovcnt) {
+  return call_wait(call_asyncv(dst_pe, dst_process, handler, iov, iovcnt));
 }
 
 void Runtime::post(int dst_pe, int dst_process, int handler, const void* arg,
@@ -222,12 +314,10 @@ void Runtime::post(int dst_pe, int dst_process, int handler, const void* arg,
   req.handler = handler;
   req.needs_reply = 0;
   req.from = me;
-  std::vector<std::uint8_t> msg(sizeof req + len);
-  std::memcpy(msg.data(), &req, sizeof req);
-  if (len > 0) std::memcpy(msg.data() + sizeof req, arg, len);
+  const nx::IoVec iov[2] = {{&req, sizeof req}, {arg, len}};
   // Anonymous helper fibers may post (one-way needs no reply address).
   const int src_lid = me.thread >= 0 ? me.thread : kServerLid;
-  send_from(src_lid, kTagRsr, msg.data(), msg.size(),
+  send_from(src_lid, kTagRsr, iov, len > 0 ? 2u : 1u,
             Gid{dst_pe, dst_process, kServerLid}, /*internal=*/true);
 }
 

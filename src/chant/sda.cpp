@@ -138,11 +138,12 @@ void SdaBase::rsr_handler(Runtime& rt, Runtime::RsrContext& ctx,
         }
         std::vector<std::uint8_t> out;
         method(rt, inst->state, body.data(), body.size(), out);
-        std::vector<std::uint8_t> framed(sizeof(SdaReplyWire) + out.size());
+        // {status frame, method output} leave as one gather descriptor;
+        // reply() returns only once both buffers are reusable.
         SdaReplyWire rw{0, 0};
-        std::memcpy(framed.data(), &rw, sizeof rw);
-        std::memcpy(framed.data() + sizeof rw, out.data(), out.size());
-        rt.reply(saved, framed.data(), framed.size());
+        const nx::IoVec iov[2] = {{&rw, sizeof rw},
+                                  {out.data(), out.size()}};
+        rt.replyv(saved, iov, out.empty() ? 1u : 2u);
       }, attr);
       return;
     }
@@ -208,12 +209,12 @@ int SdaBase::invoke_async_raw(Runtime& rt, const SdaRef& ref, int method,
   if (!ref.valid()) {
     throw std::invalid_argument("chant: invalid SDA reference");
   }
-  std::vector<std::uint8_t> msg(sizeof(SdaWire) + len);
+  // {SdaWire header, argument bytes} ship as one gather descriptor — no
+  // marshal vector; call_async returns once both buffers are reusable.
   SdaWire w{kOpInvoke, handler_id_, ref.instance, method};
-  std::memcpy(msg.data(), &w, sizeof w);
-  if (len > 0) std::memcpy(msg.data() + sizeof w, arg, len);
-  return rt.call_async(ref.pe, ref.process, handler_id_, msg.data(),
-                       msg.size());
+  const nx::IoVec iov[2] = {{&w, sizeof w}, {arg, len}};
+  return rt.call_asyncv(ref.pe, ref.process, handler_id_, iov,
+                        len > 0 ? 2u : 1u);
 }
 
 void SdaBase::destroy_instance(Runtime& rt, const SdaRef& ref) {

@@ -29,7 +29,12 @@
 // straight from the sender's buffer whenever the receive is already
 // posted; only a message that stays unexpected is eager-copied (at or
 // below the threshold, making the send locally blocking) or held for
-// rendezvous.
+// rendezvous. Every send travels as a gather descriptor (a contiguous
+// send is one fragment): fragments are assembled directly into the
+// posted buffer, so a framed {header, payload} message costs exactly
+// one copy, and the bytes_copied/temp_allocs counters record the only
+// paths that stage bytes in between (eager buffering, injected
+// duplicates).
 //
 // Locking protocol: matching state is guarded by mu_; the request slab
 // by slab_mu_ (a send locks only the *destination* endpoint's mu_ — its
@@ -55,6 +60,22 @@ inline void cpu_relax() noexcept {
 #if defined(__x86_64__)
   __builtin_ia32_pause();
 #endif
+}
+
+/// Copies up to `cap` bytes of the gathered message into `dst`; returns
+/// the number of bytes written. Fragment boundaries are invisible to the
+/// receiver — the result is byte-identical to a contiguous transfer.
+std::size_t gather_copy(void* dst, std::size_t cap, const nx::IoVec* iov,
+                        std::size_t iovcnt) {
+  auto* out = static_cast<std::uint8_t*>(dst);
+  std::size_t left = cap;
+  for (std::size_t i = 0; i < iovcnt && left > 0; ++i) {
+    const std::size_t n = iov[i].len < left ? iov[i].len : left;
+    if (n > 0) std::memcpy(out, iov[i].base, n);
+    out += n;
+    left -= n;
+  }
+  return cap - left;
 }
 }  // namespace
 
@@ -272,8 +293,13 @@ void Endpoint::deliver_into(Request& r, const UnexMsg& m) {
     r.hdr.truncated = true;
   }
   if (n > 0) {
-    const void* data = m.payload != nullptr ? m.payload.get() : m.src_buf;
-    std::memcpy(r.buf, data, n);
+    if (m.payload != nullptr) {
+      std::memcpy(r.buf, m.payload.get(), n);
+    } else {
+      // Assembled straight from the sender's fragments: the single copy
+      // of the whole transfer, identical in cost to a contiguous send.
+      gather_copy(r.buf, n, m.frags, m.nfrags);
+    }
   }
   if (m.payload == nullptr) {
     counters_.posted_match.fetch_add(1, std::memory_order_relaxed);
@@ -371,8 +397,14 @@ bool Endpoint::take_unexpected_match(Request& r) {
 
 // ------------------------------------------------------------------ sends
 
-bool Endpoint::accept_send(const MsgHeader& h, const void* buf,
+bool Endpoint::accept_send(const MsgHeader& h, const IoVec* iov,
+                           std::size_t iovcnt,
                            std::atomic<bool>* sender_flag) {
+  if (iovcnt > kMaxIov) {
+    std::fprintf(stderr, "nx: send descriptor has %zu fragments (max %zu)\n",
+                 iovcnt, kMaxIov);
+    std::abort();
+  }
   // Runs on the SENDER's OS thread, locking the receiver (this).
   std::lock_guard<std::mutex> lk(mu_);
   const Machine::Config& cfg = machine_.config();
@@ -427,7 +459,9 @@ bool Endpoint::accept_send(const MsgHeader& h, const void* buf,
       d.arrival_seq = next_arrival_seq_++;
       if (h.len > 0) {
         d.payload = std::make_unique<std::uint8_t[]>(h.len);
-        std::memcpy(d.payload.get(), buf, h.len);
+        gather_copy(d.payload.get(), h.len, iov, iovcnt);
+        counters_.temp_allocs.fetch_add(1, std::memory_order_relaxed);
+        counters_.bytes_copied.fetch_add(h.len, std::memory_order_relaxed);
       }
       ++unex_total_;
       arrival_seq_.fetch_add(1, std::memory_order_release);
@@ -444,11 +478,12 @@ bool Endpoint::accept_send(const MsgHeader& h, const void* buf,
   const bool visible = deliver_at <= now && sq.offered == sq.q.size();
   if (visible) {
     if (Request* r = take_posted_match(h)) {
-      // Delivered straight from the sender's buffer (zero copies beyond
-      // the one into the user's receive buffer).
+      // Delivered straight from the sender's fragments (zero copies
+      // beyond the one into the user's receive buffer).
       UnexMsg view;
       view.hdr = h;
-      view.src_buf = buf;
+      for (std::size_t i = 0; i < iovcnt; ++i) view.frags[i] = iov[i];
+      view.nfrags = static_cast<std::uint32_t>(iovcnt);
       view.sender_flag = sender_flag;
       deliver_into(*r, view);
       enqueue_duplicates();
@@ -472,44 +507,65 @@ bool Endpoint::accept_send(const MsgHeader& h, const void* buf,
     }
   }
   if (h.len <= machine_.config().eager_threshold) {
-    // Stays unexpected: buffer it so the send is locally blocking.
+    // Stays unexpected: buffer it so the send is locally blocking. This
+    // is the one intermediate copy the descriptor path ever makes, and
+    // the counters make it visible.
     if (h.len > 0) {
       m.payload = std::make_unique<std::uint8_t[]>(h.len);
-      std::memcpy(m.payload.get(), buf, h.len);
+      gather_copy(m.payload.get(), h.len, iov, iovcnt);
+      counters_.temp_allocs.fetch_add(1, std::memory_order_relaxed);
+      counters_.bytes_copied.fetch_add(h.len, std::memory_order_relaxed);
     }
     counters_.unexpected_eager.fetch_add(1, std::memory_order_relaxed);
     enqueue_duplicates();
     return true;
   }
-  m.src_buf = buf;
+  for (std::size_t i = 0; i < iovcnt; ++i) m.frags[i] = iov[i];
+  m.nfrags = static_cast<std::uint32_t>(iovcnt);
   m.sender_flag = sender_flag;
   counters_.unexpected_rndv.fetch_add(1, std::memory_order_relaxed);
   enqueue_duplicates();
   return false;  // rendezvous: receiver will raise sender_flag
 }
 
-Handle Endpoint::isend(int dst_pe, int dst_proc, int tag, const void* buf,
-                       std::size_t len, int channel) {
+Handle Endpoint::start_send(int dst_pe, int dst_proc, int tag,
+                            const IoVec* iov, std::size_t iovcnt,
+                            int channel) {
+  const std::size_t len = iov_total(iov, iovcnt);
   counters_.sends.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_sent.fetch_add(len, std::memory_order_relaxed);
   Handle h = alloc_request(Request::Kind::Send);
   Request* r = checked(h);
   MsgHeader hdr{pe_, proc_, tag, channel, len, false};
   Endpoint& dst = machine_.endpoint(dst_pe, dst_proc);
-  if (dst.accept_send(hdr, buf, &r->complete)) {
+  if (dst.accept_send(hdr, iov, iovcnt, &r->complete)) {
     r->complete.store(true, std::memory_order_release);
   }
   return h;
 }
 
-void Endpoint::csend(int dst_pe, int dst_proc, int tag, const void* buf,
-                     std::size_t len, int channel) {
+Handle Endpoint::isend(int dst_pe, int dst_proc, int tag, const void* buf,
+                       std::size_t len, int channel) {
+  const IoVec one{buf, len};
+  return start_send(dst_pe, dst_proc, tag, &one, 1, channel);
+}
+
+Handle Endpoint::isendv(int dst_pe, int dst_proc, int tag, const IoVec* iov,
+                        std::size_t iovcnt, int channel) {
+  counters_.gather_sends.fetch_add(1, std::memory_order_relaxed);
+  return start_send(dst_pe, dst_proc, tag, iov, iovcnt, channel);
+}
+
+void Endpoint::start_csend(int dst_pe, int dst_proc, int tag,
+                           const IoVec* iov, std::size_t iovcnt,
+                           int channel) {
+  const std::size_t len = iov_total(iov, iovcnt);
   counters_.sends.fetch_add(1, std::memory_order_relaxed);
   counters_.bytes_sent.fetch_add(len, std::memory_order_relaxed);
   std::atomic<bool> done{false};
   MsgHeader hdr{pe_, proc_, tag, channel, len, false};
   Endpoint& dst = machine_.endpoint(dst_pe, dst_proc);
-  if (dst.accept_send(hdr, buf, &done)) return;
+  if (dst.accept_send(hdr, iov, iovcnt, &done)) return;
   // Rendezvous: spin until the receiver copies. This parks the whole OS
   // thread, which is fine across processes; within one process use the
   // Chant layer's thread-aware send instead. A short relax burst covers
@@ -520,6 +576,18 @@ void Endpoint::csend(int dst_pe, int dst_proc, int tag, const void* buf,
     cpu_relax();
     if (++spins >= 4) std::this_thread::yield();
   }
+}
+
+void Endpoint::csend(int dst_pe, int dst_proc, int tag, const void* buf,
+                     std::size_t len, int channel) {
+  const IoVec one{buf, len};
+  start_csend(dst_pe, dst_proc, tag, &one, 1, channel);
+}
+
+void Endpoint::csendv(int dst_pe, int dst_proc, int tag, const IoVec* iov,
+                      std::size_t iovcnt, int channel) {
+  counters_.gather_sends.fetch_add(1, std::memory_order_relaxed);
+  start_csend(dst_pe, dst_proc, tag, iov, iovcnt, channel);
 }
 
 // --------------------------------------------------------------- receives

@@ -142,24 +142,29 @@ void Group::reduce_impl(const T* in, T* out, std::size_t n, ReduceOp op,
                         int root) {
   seq_ = (seq_ + 1) & 0x7FFF;
   const int gsize = size();
-  std::vector<T> acc(in, in + n);
-  std::vector<T> tmp(n);
+  // Accumulator and receive staging share one retained scratch vector:
+  // after the first reduce of a given size no collective touches the heap.
+  std::vector<T>& s = scratch<T>();
+  if (s.size() < 2 * n) s.resize(2 * n);
+  T* acc = s.data();
+  T* tmp = s.data() + n;
+  std::copy(in, in + n, acc);
   const int vr = (rank_ - root + gsize) % gsize;
   int round = 0;
   for (int mask = 1; mask < gsize; mask <<= 1, ++round) {
     if ((vr & mask) != 0) {
       const int parent = (vr - mask + root + gsize) % gsize;
-      send_to(parent, tag_for(kReduce, round), acc.data(), n * sizeof(T));
+      send_to(parent, tag_for(kReduce, round), acc, n * sizeof(T));
       return;  // contribution handed upwards; done
     }
     if (vr + mask < gsize) {
       const int child = (vr + mask + root) % gsize;
-      recv_from(child, tag_for(kReduce, round), tmp.data(), n * sizeof(T));
-      apply(op, acc.data(), tmp.data(), n);
+      recv_from(child, tag_for(kReduce, round), tmp, n * sizeof(T));
+      apply(op, acc, tmp, n);
     }
   }
   // vr == 0: this is the root.
-  std::copy(acc.begin(), acc.end(), out);
+  std::copy(acc, acc + n, out);
 }
 
 void Group::reduce(const std::int64_t* in, std::int64_t* out, std::size_t n,
