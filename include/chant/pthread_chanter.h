@@ -69,6 +69,14 @@ int pthread_chanter_create(pthread_chanter_t* thread,
  * cancelled). Remote joins go through the server thread. */
 int pthread_chanter_join(const pthread_chanter_t* thread, void** status);
 
+/* Bounded join: like pthread_chanter_join but waits at most timeout_ns
+ * nanoseconds (relative), then returns ETIMEDOUT. A timed-out local join
+ * relinquishes its claim (the thread can be joined again later); a
+ * timed-out remote join leaves the target claimed by the abandoned
+ * request and it cannot be re-joined. */
+int pthread_chanter_join_timed(const pthread_chanter_t* thread, void** status,
+                               unsigned long long timeout_ns);
+
 /* Reclaims the thread's storage when it exits (no join possible after). */
 int pthread_chanter_detach(const pthread_chanter_t* thread);
 

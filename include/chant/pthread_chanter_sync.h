@@ -47,6 +47,10 @@ int pthread_chanter_mutex_destroy(pthread_chanter_mutex_t* m);
 int pthread_chanter_mutex_lock(pthread_chanter_mutex_t* m);
 int pthread_chanter_mutex_trylock(pthread_chanter_mutex_t* m); /* EBUSY */
 int pthread_chanter_mutex_unlock(pthread_chanter_mutex_t* m);
+/* Bounded lock: waits at most timeout_ns nanoseconds (relative), then
+ * returns ETIMEDOUT. The wait is scheduler-integrated, never a spin. */
+int pthread_chanter_mutex_timedlock(pthread_chanter_mutex_t* m,
+                                    unsigned long long timeout_ns);
 
 /* -------- condition variables -------- */
 
@@ -58,6 +62,11 @@ int pthread_chanter_cond_init(pthread_chanter_cond_t* c);
 int pthread_chanter_cond_destroy(pthread_chanter_cond_t* c);
 int pthread_chanter_cond_wait(pthread_chanter_cond_t* c,
                               pthread_chanter_mutex_t* m);
+/* Bounded wait: returns ETIMEDOUT if not signalled within timeout_ns
+ * nanoseconds (relative). The mutex is reacquired either way. */
+int pthread_chanter_cond_timedwait(pthread_chanter_cond_t* c,
+                                   pthread_chanter_mutex_t* m,
+                                   unsigned long long timeout_ns);
 int pthread_chanter_cond_signal(pthread_chanter_cond_t* c);
 int pthread_chanter_cond_broadcast(pthread_chanter_cond_t* c);
 

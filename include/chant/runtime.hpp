@@ -26,6 +26,7 @@
 #include "chant/bufferpool.hpp"
 #include "chant/gid.hpp"
 #include "chant/policy.hpp"
+#include "chant/status.hpp"
 #include "chant/tagcodec.hpp"
 #include "lwt/lwt.hpp"
 #include "nx/endpoint.hpp"
@@ -39,6 +40,10 @@ struct MsgInfo {
   Gid src{-1, -1, -1};
   int user_tag = 0;
   std::size_t len = 0;
+  /// Ok, or Truncated when the message was longer than the buffer.
+  Status status{};
+  /// Deprecated: pre-Status field, kept in sync with status; test
+  /// status.code() == StatusCode::Truncated in new code.
   bool truncated = false;
 };
 
@@ -95,6 +100,14 @@ class Runtime {
   /// Waits for the thread to exit and returns its retval (lwt::kCanceled
   /// if it was cancelled). Sets *err (if non-null) to 0/ESRCH/EDEADLK/EINVAL.
   void* join(const Gid& g, int* err = nullptr);
+  /// Timed join: waits until the thread exits or the deadline passes.
+  /// Ok — *retval (if non-null) receives the exit value; the thread is
+  /// reaped. DeadlineExceeded — a *local* target stays joinable (the
+  /// claim is relinquished); a *remote* target stays claimed by the
+  /// abandoned server-side join and cannot be joined again. PeerGone —
+  /// unknown/detached/already-joined target. Invalid — self-join or a
+  /// malformed remote reply.
+  Status join(const Gid& g, Deadline deadline, void** retval);
   int detach(const Gid& g);
   int cancel(const Gid& g);
   /// Changes a (possibly remote) thread's scheduling priority — the
@@ -120,16 +133,33 @@ class Runtime {
   /// threads). `src` may be kAnyThread, `user_tag` may be kAnyUserTag.
   MsgInfo recv(int user_tag, void* buf, std::size_t cap, const Gid& src);
 
+  /// Deadline-bounded receive. Ok/Truncated — message landed, `out` (if
+  /// non-null) filled. DeadlineExceeded — the posted receive has been
+  /// withdrawn (nothing leaks; a message arriving later waits for the
+  /// next receive). Completion wins the race with the deadline: a
+  /// message delivered in the cancellation window is harvested, not
+  /// dropped. The wait parks on the lwt timer wheel — no polling.
+  Status recv(int user_tag, void* buf, std::size_t cap, const Gid& src,
+              Deadline deadline, MsgInfo* out = nullptr);
+
   /// Nonblocking receive; returns a handle for msgtest/msgwait.
   int irecv(int user_tag, void* buf, std::size_t cap, const Gid& src);
   /// Tests a receive; on completion fills `out` and releases the handle.
   bool msgtest(int handle, MsgInfo* out = nullptr);
   /// Blocks (policy-scheduled) until the receive completes; releases.
   MsgInfo msgwait(int handle);
+  /// Deadline-bounded msgwait. Ok/Truncated — completed, handle
+  /// released. DeadlineExceeded — the handle stays live (the receive
+  /// remains posted): keep waiting, msgtest, or cancel_irecv it.
+  Status msgwait(int handle, Deadline deadline, MsgInfo* out = nullptr);
   /// Withdraws a not-yet-completed nonblocking receive and releases the
-  /// handle (the buffer will not be written afterwards). Returns false
-  /// if the receive had already completed (handle released either way).
-  bool cancel_irecv(int handle);
+  /// handle (the buffer will not be written afterwards). Ok — the
+  /// receive was withdrawn before completion. AlreadyCompleted — the
+  /// receive had completed (handle released either way); idempotent: a
+  /// repeated cancel of a retired handle is AlreadyCompleted, not an
+  /// error. Invalid — the handle never existed. The implicit bool
+  /// conversion preserves the historical "withdrawn?" return.
+  Status cancel_irecv(int handle);
 
   // ---- remote service requests (paper §3.2) ----
 
@@ -166,11 +196,40 @@ class Runtime {
                   const nx::IoVec* iov, std::size_t iovcnt);
   std::vector<std::uint8_t> callv(int dst_pe, int dst_process, int handler,
                                   const nx::IoVec* iov, std::size_t iovcnt);
-  /// Tests an async call; on completion moves the reply into *reply_out
-  /// and releases the handle.
-  bool call_test(int handle, std::vector<std::uint8_t>* reply_out = nullptr);
+  /// Tests an async call. Ok — reply moved into *reply_out (if non-null)
+  /// and the handle released; Pending — not yet complete. The implicit
+  /// bool conversion preserves the historical complete/pending return.
+  Status call_test(int handle,
+                   std::vector<std::uint8_t>* reply_out = nullptr);
   /// Blocks (policy-scheduled) for an async call's reply; releases.
   std::vector<std::uint8_t> call_wait(int handle);
+  /// Deadline-bounded call_wait. Ok — reply in *reply_out (if non-null),
+  /// handle released. DeadlineExceeded — the call record is reclaimed
+  /// (reply receives withdrawn, pooled buffer released, handle retired;
+  /// nothing leaks) and a reply that still arrives is absorbed by the
+  /// stale-reply drain before its sequence number is reused.
+  Status call_wait(int handle, Deadline deadline,
+                   std::vector<std::uint8_t>* reply_out = nullptr);
+  /// Deadline-bounded synchronous RSR, optionally with retries. The
+  /// policy defaults to the handler's registered RetryPolicy (see
+  /// set_retry_policy), else no retries. Resends carry the same reply
+  /// sequence number with an incremented attempt counter; the server's
+  /// dedup cache executes the handler once and replays the recorded
+  /// reply to duplicates. Ok or DeadlineExceeded (slot reclaimed).
+  Status call(int dst_pe, int dst_process, int handler, const void* arg,
+              std::size_t len, Deadline deadline,
+              std::vector<std::uint8_t>* reply_out,
+              const RetryPolicy* retry = nullptr);
+  Status callv(int dst_pe, int dst_process, int handler,
+               const nx::IoVec* iov, std::size_t iovcnt, Deadline deadline,
+               std::vector<std::uint8_t>* reply_out,
+               const RetryPolicy* retry = nullptr);
+  /// Registers the default RetryPolicy used by deadline calls to
+  /// `handler` when no explicit policy is passed. Handlers with retries
+  /// must be idempotent OR rely on the server dedup window (DESIGN.md
+  /// §8.3); deferred handlers get duplicate *suppression* but no reply
+  /// replay.
+  void set_retry_policy(int handler, const RetryPolicy& policy);
   /// One-way RSR: no reply is generated or awaited.
   void post(int dst_pe, int dst_process, int handler, const void* arg,
             std::size_t len);
@@ -189,6 +248,26 @@ class Runtime {
   /// The runtime's slab-recycling pool for RSR scratch buffers; exposed
   /// for its stats (steady-state RSR must show zero fresh allocations).
   const BufferPool& buffer_pool() const noexcept { return pool_; }
+
+  /// Deadline/retry event counters (DESIGN.md §8).
+  struct RsrStats {
+    std::uint64_t retries_sent = 0;      ///< duplicate requests shipped
+    std::uint64_t deadline_timeouts = 0; ///< timed waits that expired
+    std::uint64_t dup_drops = 0;    ///< server: duplicate while in progress
+    std::uint64_t dup_replays = 0;  ///< server: cached reply resent
+    std::uint64_t stale_drained = 0;  ///< abandoned replies consumed
+    std::uint64_t stale_skipped = 0;  ///< seq allocations skipped as dirty
+  };
+  const RsrStats& rsr_stats() const noexcept { return rsr_stats_; }
+
+  /// Live (not yet completed/abandoned) async-call records and posted
+  /// irecv handles — the leak gauges the deadline tests assert on.
+  std::size_t outstanding_calls() const noexcept {
+    return calls_.size() - free_calls_.size();
+  }
+  std::size_t outstanding_recvs() const noexcept {
+    return reqs_.size() - free_reqs_.size();
+  }
 
   /// Entry point used by World::run; runs `user_main` as the process's
   /// main chanter thread (lid 1), with the server thread (lid 0) started
@@ -246,7 +325,13 @@ class Runtime {
   // blocking machinery
   static bool wait_test(void* ctx);
   void block_until(WaitCtx& w);
+  /// Deadline-bounded policy wait. True = completed; false = the
+  /// (absolute, scheduler-clock) deadline fired first. The wait parks on
+  /// the lwt timer wheel (TP checks the clock per re-test instead).
+  bool block_until(WaitCtx& w, std::uint64_t deadline_ns);
   static std::size_t wq_group_poll(void* rt, lwt::Scheduler& sched);
+  /// Absolute scheduler-clock deadline for `d` (kNoDeadline if infinite).
+  std::uint64_t resolve_deadline(const Deadline& d) const;
 
   // p2p internals (the `internal` flag selects the reserved tag space so
   // runtime traffic can never match a wildcard user receive)
@@ -282,6 +367,46 @@ class Runtime {
   bool reply_parts_done(AsyncCall& c);
   void abandon_call(AsyncCall& c);
   std::vector<std::uint8_t> finish_call(AsyncCall& c);
+  /// call_asyncv with the retry envelope fields; the public entry point
+  /// passes retryable = false.
+  int call_asyncv_ex(int dst_pe, int dst_process, int handler,
+                     const nx::IoVec* iov, std::size_t iovcnt,
+                     bool retryable);
+  /// (Re)ships the request envelope + payload fragments for `c`.
+  void send_rsr(const AsyncCall& c, int handler, const nx::IoVec* iov,
+                std::size_t iovcnt, int attempt, bool retryable);
+  /// Waits for every reply part with a deadline; Ok / DeadlineExceeded.
+  /// Does NOT finish or abandon the call — callers decide.
+  Status wait_call_until(AsyncCall& c, std::uint64_t deadline_ns);
+  /// Marks c.seq dirty: a reply (or `extra` duplicates of it) may still
+  /// arrive with no posted receive. Drained before the seq is reused.
+  void note_stale_reply(const AsyncCall& c);
+  /// Allocates the next reply sequence number, draining or skipping
+  /// sequence numbers whose previous user abandoned an in-flight reply.
+  int alloc_reply_seq();
+  /// Consumes every arrived unexpected message matching `pat`; true if
+  /// at least one was drained.
+  bool drain_stale(const TagCodec::Pattern& pat);
+  /// Remote-join / timed-join plumbing.
+  Status join_local_until(int lid, std::uint64_t deadline_ns, void** retval);
+
+  /// Server-side duplicate suppression for retryable requests, keyed by
+  /// (requester gid, reply_seq), bounded FIFO window.
+  struct DedupEntry {
+    bool done = false;
+    std::vector<std::uint8_t> reply;  ///< recorded bytes (done only)
+  };
+  static std::uint64_t dedup_key(const Gid& from, int seq) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.pe))
+            << 44) ^
+           (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(from.process))
+            << 28) ^
+           (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(from.thread) & 0xFFFFu)
+            << 12) ^
+           static_cast<std::uint64_t>(seq & 0xFFF);
+  }
 
   World& world_;
   nx::Endpoint& ep_;
@@ -304,6 +429,18 @@ class Runtime {
   int next_reply_seq_ = 0;
   bool server_stop_ = false;
   lwt::Tcb* server_tcb_ = nullptr;
+
+  // deadline / retry layer (DESIGN.md §8)
+  std::unordered_map<int, RetryPolicy> retry_policies_;
+  RsrStats rsr_stats_;
+  /// seq → forget-at time: abandoned calls whose reply may still arrive.
+  std::unordered_map<int, std::uint64_t> stale_replies_;
+  std::unordered_map<std::uint64_t, DedupEntry> dedup_;
+  std::deque<std::uint64_t> dedup_fifo_;  ///< eviction order
+  static constexpr std::size_t kDedupWindow = 128;
+  /// How long an abandoned reply seq stays dirty before it is presumed
+  /// dropped (scheduler-clock ns; generous against sim delays).
+  static constexpr std::uint64_t kStaleReplyTtl = 100'000'000;
 };
 
 }  // namespace chant

@@ -1,0 +1,115 @@
+// chant/status.hpp — unified result codes, deadlines and retry policy
+// for the Chant runtime (DESIGN.md §8).
+//
+// Every fallible runtime operation that is not a programming error
+// reports a Status; exceptions stay reserved for misuse (stale handles,
+// out-of-range tags) and cancellation (lwt::CancelInterrupt). Deadline
+// expresses "how long a blocking call may wait" in one value that works
+// under both the real steady clock and the sim layer's VirtualClock;
+// RetryPolicy opts a synchronous RSR call into bounded resends with
+// exponential backoff (duplicates are suppressed server-side by the
+// reply-sequence dedup cache).
+#pragma once
+
+#include <cstdint>
+
+#include "lwt/timer.hpp"
+
+namespace chant {
+
+enum class StatusCode : int {
+  Ok = 0,
+  Pending,           ///< operation has not completed yet (tests only)
+  DeadlineExceeded,  ///< the deadline passed before completion
+  Canceled,          ///< withdrawn by the caller before completion
+  Truncated,         ///< message delivered but longer than the buffer
+  PeerGone,          ///< target thread unknown / already reaped
+  AlreadyCompleted,  ///< cancel raced completion (or handle was retired)
+  Invalid,           ///< argument rejected (self-join, malformed reply)
+};
+
+const char* to_string(StatusCode c) noexcept;
+
+/// Value-type result code. Converts implicitly to bool (true == Ok) so
+/// call sites written against the pre-Status bool APIs — where
+/// call_test() returned "complete?" and cancel_irecv() returned
+/// "withdrawn?" — keep compiling with identical truth values. New code
+/// should test code() explicitly; the bool shim is a migration aid.
+class Status {
+ public:
+  constexpr Status() noexcept = default;
+  constexpr Status(StatusCode c) noexcept : code_(c) {}  // NOLINT(implicit)
+
+  constexpr StatusCode code() const noexcept { return code_; }
+  constexpr bool ok() const noexcept { return code_ == StatusCode::Ok; }
+  /// Deprecated migration shim: Ok ⇒ true, anything else ⇒ false.
+  constexpr operator bool() const noexcept { return ok(); }  // NOLINT
+
+  const char* message() const noexcept { return to_string(code_); }
+
+  friend constexpr bool operator==(Status a, Status b) noexcept {
+    return a.code_ == b.code_;
+  }
+  friend constexpr bool operator!=(Status a, Status b) noexcept {
+    return a.code_ != b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::Ok;
+};
+
+/// A wait bound for blocking runtime calls. Three forms:
+///   Deadline::infinite()  — wait forever (the default everywhere)
+///   Deadline::after(ns)   — relative: resolved against the scheduler
+///                           clock when the wait begins
+///   Deadline::at(abs_ns)  — absolute nanoseconds on the scheduler clock
+///                           (lwt::Scheduler::now(); the VirtualClock in
+///                           sim worlds)
+class Deadline {
+ public:
+  constexpr Deadline() noexcept = default;  // infinite
+
+  static constexpr Deadline infinite() noexcept { return Deadline{}; }
+  static constexpr Deadline at(std::uint64_t abs_ns) noexcept {
+    return Deadline{abs_ns, false};
+  }
+  static constexpr Deadline after(std::uint64_t rel_ns) noexcept {
+    return Deadline{rel_ns, true};
+  }
+
+  constexpr bool is_infinite() const noexcept {
+    return !relative_ && ns_ == lwt::kNoDeadline;
+  }
+  constexpr bool is_relative() const noexcept { return relative_; }
+  constexpr std::uint64_t raw_ns() const noexcept { return ns_; }
+
+  /// Absolute scheduler-clock deadline, given the current time.
+  constexpr std::uint64_t resolve(std::uint64_t now_ns) const noexcept {
+    if (!relative_) return ns_;
+    const std::uint64_t d = now_ns + ns_;
+    return d < now_ns ? lwt::kNoDeadline : d;  // saturate on overflow
+  }
+
+ private:
+  constexpr Deadline(std::uint64_t ns, bool relative) noexcept
+      : ns_(ns), relative_(relative) {}
+  std::uint64_t ns_ = lwt::kNoDeadline;
+  bool relative_ = false;
+};
+
+/// Opt-in resend policy for synchronous RSR calls with a deadline.
+/// Attempt k (0-based) is given initial_backoff_ns · multiplier^k (capped
+/// at max_backoff_ns) to produce a reply before the request is resent
+/// with the same reply-sequence number; the server suppresses duplicate
+/// executions and replays the recorded reply (DESIGN.md §8.3). The
+/// overall Deadline always wins: no resend is issued past it.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total sends (1 = never resend)
+  std::uint64_t initial_backoff_ns = 1'000'000;  ///< 1 ms
+  std::uint32_t multiplier = 2;
+  std::uint64_t max_backoff_ns = 100'000'000;  ///< 100 ms cap
+
+  constexpr bool retries() const noexcept { return max_attempts > 1; }
+};
+
+}  // namespace chant

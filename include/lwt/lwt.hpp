@@ -11,6 +11,7 @@
 #include "lwt/scheduler.hpp"
 #include "lwt/stack.hpp"
 #include "lwt/sync.hpp"
+#include "lwt/timer.hpp"
 #include "lwt/trace.hpp"
 #include "lwt/thread.hpp"
 
@@ -56,5 +57,12 @@ void run(F&& f, ContextBackend backend = default_backend()) {
 inline void yield() { Scheduler::current()->yield(); }
 inline Tcb* self() { return Scheduler::self(); }
 inline void* join(Tcb* t) { return Scheduler::current()->join(t); }
+inline std::uint64_t now() { return Scheduler::current()->now(); }
+inline void sleep_for(std::uint64_t ns) {
+  Scheduler::current()->sleep_for(ns);
+}
+inline void sleep_until(std::uint64_t deadline_ns) {
+  Scheduler::current()->sleep_until(deadline_ns);
+}
 
 }  // namespace lwt

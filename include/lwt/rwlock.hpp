@@ -18,10 +18,17 @@ class RwLock {
 
   void lock_shared();
   bool try_lock_shared();
+  /// Timed shared acquire; false = deadline passed first (lock not
+  /// held). Timer-wheel-parked; cancellation point.
+  bool try_lock_shared_until(std::uint64_t deadline_ns);
   void unlock_shared();
 
   void lock();
   bool try_lock();
+  /// Timed exclusive acquire; same contract as try_lock_shared_until.
+  /// A timed-out writer quietly leaves the writer queue; the reader
+  /// herd is released by the next unlock as usual.
+  bool try_lock_until(std::uint64_t deadline_ns);
   void unlock();
 
   int readers() const noexcept { return readers_; }

@@ -29,6 +29,7 @@
 
 #include "lwt/schedctrl.hpp"
 #include "lwt/thread.hpp"
+#include "lwt/timer.hpp"
 #include "lwt/trace.hpp"
 
 namespace lwt {
@@ -51,6 +52,11 @@ struct SchedulerStats {
   // number of threads inside a blocking message wait is accumulated.
   std::uint64_t waiting_samples = 0;
   std::uint64_t waiting_sum = 0;
+  // Timer wheel (deadline/cancellation layer).
+  std::uint64_t timers_armed = 0;   ///< timers ever armed
+  std::uint64_t timer_fires = 0;    ///< timers that expired and woke a thread
+  std::uint64_t timer_cancels = 0;  ///< timers disarmed before firing
+  std::uint64_t sleeps = 0;         ///< sleep_for / sleep_until calls
 
   double avg_waiting() const noexcept {
     return waiting_samples == 0
@@ -94,6 +100,14 @@ class Scheduler {
   /// Cancellation point.
   void* join(Tcb* t);
 
+  /// Timed join: waits until `t` finishes or the (absolute, scheduler
+  /// clock) deadline passes. On success stores the return value through
+  /// `retval` (if non-null), reaps `t`, and returns true. On timeout
+  /// returns false and relinquishes the join claim — `t` stays joinable
+  /// by anyone, exactly as if this call had never been made.
+  /// Cancellation point.
+  bool join_until(Tcb* t, std::uint64_t deadline_ns, void** retval);
+
   /// Marks `t` detached: its resources are reclaimed when it finishes.
   void detach(Tcb* t);
 
@@ -119,6 +133,13 @@ class Scheduler {
   /// queue via wake_one/wake_all/ready(), or when cancelled.
   void park_on(TcbQueue& wl);
 
+  /// Timed park: as park_on, but also arms a timer-wheel entry. Returns
+  /// true if woken by wake_one/wake_all/ready (or cancellation — the
+  /// caller's check_cancel() acts on that), false if the deadline fired
+  /// first (the fiber has been removed from `wl`). kNoDeadline waits
+  /// forever; an already-passed deadline returns false without parking.
+  bool park_on_until(TcbQueue& wl, std::uint64_t deadline_ns);
+
   /// Moves the first thread parked on `wl` (if any) to the run queue.
   Tcb* wake_one(TcbQueue& wl);
   /// Wakes every thread parked on `wl`; returns how many.
@@ -126,23 +147,63 @@ class Scheduler {
   /// Makes an unqueued Blocked thread ready.
   void ready(Tcb* t);
 
+  // ---- time & timers ----
+
+  /// Clock override (nanoseconds, monotone non-decreasing). Null (the
+  /// default) reads std::chrono::steady_clock; the sim harness installs
+  /// its VirtualClock here so timed waits expire under controller-driven
+  /// virtual time and timeout interleavings replay deterministically.
+  using ClockFn = std::uint64_t (*)(void* ctx);
+  void set_clock(ClockFn fn, void* ctx) noexcept {
+    clock_fn_ = fn;
+    clock_ctx_ = ctx;
+  }
+
+  /// Current scheduler time in nanoseconds.
+  std::uint64_t now() const;
+
+  /// now() + delta, saturating at kNoDeadline (which means "forever").
+  std::uint64_t deadline_after(std::uint64_t delta_ns) const;
+
+  /// Sleeps the calling fiber until the (absolute) deadline: parked on
+  /// the timer wheel, no polling, no run-queue presence — other fibers
+  /// (and the idle backoff) run undisturbed. Cancellation point.
+  void sleep_until(std::uint64_t deadline_ns);
+  void sleep_for(std::uint64_t ns);
+
+  /// Armed (not yet fired/disarmed) timer-wheel entries; introspection
+  /// for tests and the no-spin acceptance checks.
+  std::size_t armed_timers() const noexcept { return timers_.armed(); }
+
   // ---- message-wait primitives (the three polling policies) ----
+  //
+  // Each takes an optional absolute deadline (scheduler clock,
+  // kNoDeadline = wait forever) and returns true if the request
+  // completed, false if the deadline fired first. Completion wins a
+  // race with the deadline: the request is re-tested once after a
+  // timer wakeup before the wait reports failure.
 
   /// Thread-polls wait: full switch per failed test (paper Fig. 5).
-  void poll_block_tp(const PollRequest& req);
+  /// TP threads never park, so the deadline is checked against the
+  /// clock on each failed test instead of arming a timer.
+  bool poll_block_tp(const PollRequest& req,
+                     std::uint64_t deadline_ns = kNoDeadline);
   /// Waiting-queue wait: scheduler tests all parked requests at every
   /// scheduling point (paper Fig. 6).
-  void poll_block_wq(const PollRequest& req);
+  bool poll_block_wq(const PollRequest& req,
+                     std::uint64_t deadline_ns = kNoDeadline);
   /// Partial-switch wait: request parked in the TCB, tested just before
   /// the context would be restored.
-  void poll_block_ps(const PollRequest& req);
+  bool poll_block_ps(const PollRequest& req,
+                     std::uint64_t deadline_ns = kNoDeadline);
 
   /// Policy-independent parked wait: the request joins a generic list
   /// the scheduler tests at every scheduling point (and while idle),
   /// regardless of any group-poll hook. The waiter consumes no CPU and
   /// cannot be starved by priorities — used for runtime-internal waits
   /// like the cross-process termination protocol.
-  void poll_block_generic(const PollRequest& req);
+  bool poll_block_generic(const PollRequest& req,
+                          std::uint64_t deadline_ns = kNoDeadline);
 
   /// Replaces WQ's per-entry scan with one group test per scheduling
   /// point (msgtestany ablation). The hook must call wq_complete() for
@@ -200,6 +261,13 @@ class Scheduler {
   void enqueue_ready(Tcb* t);
   void reap(Tcb* t);
   void run_tls_dtors(Tcb* t);
+  TimerWheel::TimerId arm_timer(std::uint64_t deadline_ns, Tcb* t);
+  void disarm_timer(TimerWheel::TimerId id);
+  /// Timer-wheel expiry: wakes `t` from whatever wait parked it, with
+  /// Tcb::timed_out set. A stale fire (thread already woken by the real
+  /// event) is ignored so a completed wait never reports a timeout.
+  void timeout_wake(Tcb* t);
+  void expire_timers();
   friend void detail::fiber_boot(Tcb*);
 
   ContextBackend backend_;
@@ -218,6 +286,9 @@ class Scheduler {
   std::uint32_t msg_waiting_ = 0;
   bool running_ = false;
   SchedulerStats stats_;
+  TimerWheel timers_;
+  ClockFn clock_fn_ = nullptr;
+  void* clock_ctx_ = nullptr;
   WqGroupPoll wq_group_poll_ = nullptr;
   void* wq_group_ctx_ = nullptr;
   void (*idle_hook_)(void*) = nullptr;

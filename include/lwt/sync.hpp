@@ -26,6 +26,12 @@ class Mutex {
 
   void lock();
   bool try_lock();
+  /// As lock(), but gives up when the (absolute, scheduler-clock)
+  /// deadline passes first; false = timed out, lock not held. A free
+  /// lock is acquired even with an already-passed deadline. The wait is
+  /// timer-wheel-parked (no polling). Cancellation point.
+  bool try_lock_until(std::uint64_t deadline_ns);
+  bool try_lock_for(std::uint64_t ns);
   void unlock();
   bool locked() const noexcept { return owner_ != nullptr; }
   Tcb* owner() const noexcept { return owner_; }
@@ -62,6 +68,17 @@ class CondVar {
   void wait(Mutex& m, Pred pred) {
     while (!pred()) wait(m);
   }
+  /// Timed wait. Returns false on timeout; the mutex is reacquired
+  /// either way (pthread_cond_timedwait semantics — the predicate may
+  /// still have become true, re-check it). Cancellation point.
+  bool wait_until(Mutex& m, std::uint64_t deadline_ns);
+  template <typename Pred>
+  bool wait_until(Mutex& m, std::uint64_t deadline_ns, Pred pred) {
+    while (!pred()) {
+      if (!wait_until(m, deadline_ns)) return pred();
+    }
+    return true;
+  }
   void signal();
   void broadcast();
   std::size_t waiting() const noexcept { return waiters_.size(); }
@@ -79,6 +96,8 @@ class Semaphore {
 
   void acquire();
   bool try_acquire();
+  /// Timed acquire; false = deadline passed without a unit available.
+  bool try_acquire_until(std::uint64_t deadline_ns);
   void release(std::int64_t n = 1);
   std::int64_t value() const noexcept { return count_; }
 

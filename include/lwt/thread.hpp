@@ -95,6 +95,7 @@ struct Tcb {
   bool cancel_disabled = false;
   bool canceled = false;     ///< exited via cancellation
   bool msg_waiting = false;  ///< inside a blocking message wait (any policy)
+  bool timed_out = false;    ///< woken by the timer wheel, not by completion
 
   /// Scheduler-polls (PS): pending request tested during a partial switch.
   PollRequest poll{};

@@ -1,0 +1,81 @@
+// lwt/timer.hpp — the scheduler's timer wheel.
+//
+// Backs every timed wait in the package: sleep_for/sleep_until, the
+// timed sync-primitive waits, timed join, and the deadline-carrying
+// message waits the Chant layer builds on top. A timer is armed with an
+// *absolute* deadline in nanoseconds of the scheduler's clock — the
+// production steady clock, or the sim harness's VirtualClock when one
+// is installed — so the schedule-exploration controller can drive
+// timeout interleavings deterministically.
+//
+// Despite the name, the structure is a binary min-heap keyed on
+// (deadline, arm-order), not a hashed-and-hierarchical wheel: the
+// VirtualClock advances in large jumps when the scheduler idles, which
+// would cascade whole levels of a hashed wheel at once, and the sim
+// harness needs a deterministic *total* order on same-tick expiries —
+// the heap gives both for free at O(log n) per operation, and n (the
+// number of concurrently parked timed waits) is small.
+//
+// Cancellation safety: disarm() only erases the id from the live map;
+// the heap entry stays behind and is skipped when popped. Expiry hands
+// back the Tcb* recorded at arm time, so a Tcb freed after its wait
+// disarmed can never be touched through a stale heap entry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lwt {
+
+struct Tcb;
+
+/// Absolute-deadline sentinel meaning "wait forever". Every timed entry
+/// point treats it as its untimed counterpart.
+inline constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+
+class TimerWheel {
+ public:
+  /// Opaque handle for one armed timer; 0 is never returned.
+  using TimerId = std::uint64_t;
+
+  /// Arms a timer firing at `deadline_ns` for thread `t`.
+  TimerId arm(std::uint64_t deadline_ns, Tcb* t);
+
+  /// Cancels an armed timer. Returns false if it already fired (or was
+  /// never armed) — callers treat that as "the wakeup happened".
+  bool disarm(TimerId id);
+
+  /// Fires every timer with deadline <= now_ns in (deadline, arm-order)
+  /// order, invoking fire(ctx, tcb) for each. Returns how many fired.
+  std::size_t expire(std::uint64_t now_ns, void (*fire)(void* ctx, Tcb* t),
+                     void* ctx);
+
+  /// Earliest armed deadline, or kNoDeadline when none. May point at an
+  /// already-disarmed entry (conservative: an extra expire() call cleans
+  /// it up); never later than the true earliest.
+  std::uint64_t next_deadline() const noexcept {
+    return heap_.empty() ? kNoDeadline : heap_.front().deadline;
+  }
+
+  /// Number of armed (not yet fired or disarmed) timers.
+  std::size_t armed() const noexcept { return live_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t deadline;
+    TimerId id;  ///< tie-break: arm order, for a deterministic total order
+  };
+  static bool later(const Entry& a, const Entry& b) noexcept {
+    return a.deadline != b.deadline ? a.deadline > b.deadline : a.id > b.id;
+  }
+  void heap_push(Entry e);
+  Entry heap_pop();
+
+  std::vector<Entry> heap_;                   ///< min-heap on (deadline, id)
+  std::unordered_map<TimerId, Tcb*> live_;    ///< armed timers only
+  TimerId next_id_ = 1;
+};
+
+}  // namespace lwt

@@ -179,6 +179,17 @@ class Endpoint {
   /// Spins until `h` completes (whole-OS-thread wait; see crecv note).
   MsgHeader msgwait(Handle h);
 
+  /// Deadline-bounded msgwait: spins until `h` completes or the wall
+  /// clock (the Machine's clock override when one is installed — e.g.
+  /// the sim VirtualClock — else the steady clock) reaches the absolute
+  /// `deadline_ns`. True = completed (`out` filled, handle released);
+  /// false = deadline passed (the handle stays live: callers may keep
+  /// testing it, wait again, or cancel_recv it). Thread-friendly
+  /// deadline waits live in the Chant layer, which parks on the lwt
+  /// timer wheel instead of spinning here.
+  bool msgwait_until(Handle h, std::uint64_t deadline_ns,
+                     MsgHeader* out = nullptr);
+
   /// Tests `n` handles with one call (MPI_TESTANY analogue; the §4.2
   /// ablation). Returns the index of a completed handle — which is
   /// released, with `out` filled — or -1 if none completed. Counted once
@@ -195,8 +206,11 @@ class Endpoint {
   bool msgdone(Handle h) const;
 
   /// Cancels and releases a not-yet-completed receive handle. Returns
-  /// false if the handle already completed (it is then released too).
-  bool cancel_recv(Handle h);
+  /// false if the handle already completed (it is then released too —
+  /// and `out`, if non-null, receives the completed header, so a caller
+  /// losing the cancel-vs-delivery race can still harvest the message
+  /// it asked to abandon instead of silently dropping it).
+  bool cancel_recv(Handle h, MsgHeader* out = nullptr);
 
   Counters& counters() noexcept { return counters_; }
 

@@ -15,6 +15,7 @@ MsgInfo Runtime::decode(const nx::MsgHeader& h) const {
   mi.user_tag = codec_.decode_user_tag(h);
   mi.len = h.len;
   mi.truncated = h.truncated;
+  mi.status = h.truncated ? StatusCode::Truncated : StatusCode::Ok;
   return mi;
 }
 
@@ -103,6 +104,35 @@ MsgInfo Runtime::recv(int user_tag, void* buf, std::size_t cap,
   return recv_blocking(user_tag, buf, cap, src, /*internal=*/false);
 }
 
+Status Runtime::recv(int user_tag, void* buf, std::size_t cap,
+                     const Gid& src, Deadline deadline, MsgInfo* out) {
+  if (user_tag != kAnyUserTag &&
+      (user_tag < 0 || user_tag > codec_.max_user_tag())) {
+    throw std::invalid_argument("chant::recv: user tag out of range");
+  }
+  WaitCtx w;
+  w.ep = &ep_;
+  w.nxh = post_recv(user_tag, buf, cap, src, /*internal=*/false);
+  bool completed = false;
+  try {
+    completed = block_until(w, resolve_deadline(deadline));
+  } catch (...) {
+    if (!w.done) ep_.cancel_recv(w.nxh);
+    throw;
+  }
+  if (!completed) {
+    // Completion wins the race: a message delivered in the cancellation
+    // window is harvested through the cancel path instead of dropped.
+    if (ep_.cancel_recv(w.nxh, &w.hdr)) {
+      ++rsr_stats_.deadline_timeouts;
+      return StatusCode::DeadlineExceeded;
+    }
+  }
+  const MsgInfo mi = decode(w.hdr);
+  if (out != nullptr) *out = mi;
+  return mi.status;
+}
+
 // --------------------------------------------------- nonblocking receives
 
 int Runtime::irecv(int user_tag, void* buf, std::size_t cap, const Gid& src) {
@@ -148,19 +178,21 @@ bool Runtime::msgtest(int handle, MsgInfo* out) {
   return true;
 }
 
-bool Runtime::cancel_irecv(int handle) {
+Status Runtime::cancel_irecv(int handle) {
   const auto idx = static_cast<std::uint32_t>(handle) & kReqIdxMask;
   const auto gen = static_cast<std::uint32_t>(handle) >> 16;
-  if (idx >= reqs_.size() || (reqs_[idx].gen & kReqGenMask) != gen ||
-      !reqs_[idx].active) {
-    throw std::invalid_argument("chant::cancel_irecv: stale handle");
-  }
+  if (handle < 0 || idx >= reqs_.size()) return StatusCode::Invalid;
   ChantReq& r = reqs_[idx];
+  if ((r.gen & kReqGenMask) != gen || !r.active) {
+    // The handle was already retired (msgtest/msgwait completion or a
+    // previous cancel): cancelling again is an idempotent no-op.
+    return StatusCode::AlreadyCompleted;
+  }
   const bool withdrawn = !r.wait.done && ep_.cancel_recv(r.wait.nxh);
   r.active = false;
   ++r.gen;
   free_reqs_.push_back(idx);
-  return withdrawn;
+  return withdrawn ? StatusCode::Ok : StatusCode::AlreadyCompleted;
 }
 
 MsgInfo Runtime::msgwait(int handle) {
@@ -187,6 +219,40 @@ MsgInfo Runtime::msgwait(int handle) {
   ++r.gen;
   free_reqs_.push_back(idx);
   return mi;
+}
+
+Status Runtime::msgwait(int handle, Deadline deadline, MsgInfo* out) {
+  const auto idx = static_cast<std::uint32_t>(handle) & kReqIdxMask;
+  const auto gen = static_cast<std::uint32_t>(handle) >> 16;
+  if (idx >= reqs_.size() || (reqs_[idx].gen & kReqGenMask) != gen ||
+      !reqs_[idx].active) {
+    throw std::invalid_argument("chant::msgwait: stale or invalid handle");
+  }
+  ChantReq& r = reqs_[idx];
+  bool completed = false;
+  try {
+    completed = block_until(r.wait, resolve_deadline(deadline));
+  } catch (...) {
+    if (!r.wait.done) {
+      ep_.cancel_recv(r.wait.nxh);
+      r.active = false;
+      ++r.gen;
+      free_reqs_.push_back(idx);
+    }
+    throw;
+  }
+  if (!completed) {
+    // The receive stays posted and the handle stays live: the caller
+    // explicitly owns it (irecv) and may wait again or cancel_irecv.
+    ++rsr_stats_.deadline_timeouts;
+    return StatusCode::DeadlineExceeded;
+  }
+  const MsgInfo mi = decode(r.wait.hdr);
+  if (out != nullptr) *out = mi;
+  r.active = false;
+  ++r.gen;
+  free_reqs_.push_back(idx);
+  return mi.status;
 }
 
 }  // namespace chant

@@ -71,6 +71,32 @@ int pthread_chanter_join(const pthread_chanter_t* thread, void** status) {
   return err;
 }
 
+int pthread_chanter_join_timed(const pthread_chanter_t* thread, void** status,
+                               unsigned long long timeout_ns) {
+  Runtime* rt = rt_or_null();
+  if (rt == nullptr || thread == nullptr) return EINVAL;
+  try {
+    void* rv = nullptr;
+    const chant::Status st =
+        rt->join(*thread, chant::Deadline::after(timeout_ns), &rv);
+    switch (st.code()) {
+      case chant::StatusCode::Ok:
+        if (status != nullptr) *status = rv;
+        return 0;
+      case chant::StatusCode::DeadlineExceeded:
+        return ETIMEDOUT;
+      case chant::StatusCode::PeerGone:
+        return ESRCH;
+      default:
+        return EDEADLK;
+    }
+  } catch (const lwt::CancelInterrupt&) {
+    throw;
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
 int pthread_chanter_detach(const pthread_chanter_t* thread) {
   Runtime* rt = rt_or_null();
   if (rt == nullptr || thread == nullptr) return EINVAL;

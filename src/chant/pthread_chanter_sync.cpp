@@ -107,6 +107,14 @@ int pthread_chanter_mutex_trylock(pthread_chanter_mutex_t* m) {
   return x->try_lock() ? 0 : EBUSY;
 }
 
+int pthread_chanter_mutex_timedlock(pthread_chanter_mutex_t* m,
+                                    unsigned long long timeout_ns) {
+  lwt::Mutex* x = mu(m);
+  lwt::Scheduler* s = sched_or_null();
+  if (x == nullptr || s == nullptr) return EINVAL;
+  return x->try_lock_until(s->deadline_after(timeout_ns)) ? 0 : ETIMEDOUT;
+}
+
 int pthread_chanter_mutex_unlock(pthread_chanter_mutex_t* m) {
   lwt::Mutex* x = mu(m);
   if (x == nullptr) return EINVAL;
@@ -140,6 +148,17 @@ int pthread_chanter_cond_wait(pthread_chanter_cond_t* c,
   if (y->owner() != lwt::Scheduler::self()) return EPERM;
   x->wait(*y);
   return 0;
+}
+
+int pthread_chanter_cond_timedwait(pthread_chanter_cond_t* c,
+                                   pthread_chanter_mutex_t* m,
+                                   unsigned long long timeout_ns) {
+  lwt::CondVar* x = cv(c);
+  lwt::Mutex* y = mu(m);
+  lwt::Scheduler* s = sched_or_null();
+  if (x == nullptr || y == nullptr || s == nullptr) return EINVAL;
+  if (y->owner() != lwt::Scheduler::self()) return EPERM;
+  return x->wait_until(*y, s->deadline_after(timeout_ns)) ? 0 : ETIMEDOUT;
 }
 
 int pthread_chanter_cond_signal(pthread_chanter_cond_t* c) {

@@ -200,6 +200,29 @@ void* Runtime::join_local(int lid, int* err) {
 
 void* Runtime::join_for_rsr(int lid, int* err) { return join_local(lid, err); }
 
+Status Runtime::join_local_until(int lid, std::uint64_t deadline_ns,
+                                 void** retval) {
+  ThreadRec* rec = find(lid);
+  if (rec == nullptr || rec->join_committed || rec->detached) {
+    return StatusCode::PeerGone;
+  }
+  if (rec->tcb == lwt::Scheduler::self()) {
+    return StatusCode::Invalid;
+  }
+  rec->join_committed = true;
+  void* rv = nullptr;
+  if (!sched_.join_until(rec->tcb, deadline_ns, &rv)) {
+    // join_until relinquished the claim: the target stays joinable.
+    rec->join_committed = false;
+    ++rsr_stats_.deadline_timeouts;
+    return StatusCode::DeadlineExceeded;
+  }
+  threads_.erase(lid);
+  free_lid(lid);
+  if (retval != nullptr) *retval = rv;
+  return StatusCode::Ok;
+}
+
 int Runtime::cancel_local(int lid) {
   ThreadRec* rec = find(lid);
   if (rec == nullptr || rec->finished) return ESRCH;
@@ -321,6 +344,32 @@ void* Runtime::join(const Gid& g, int* err) {
   if (out.status != 0) return nullptr;
   if (out.canceled != 0) return lwt::kCanceled;
   return reinterpret_cast<void*>(static_cast<std::uintptr_t>(out.retval));
+}
+
+Status Runtime::join(const Gid& g, Deadline deadline, void** retval) {
+  if (is_local(g)) {
+    return join_local_until(g.thread, resolve_deadline(deadline), retval);
+  }
+  // Remote: a timed-out request abandons the call slot, but the remote
+  // join-helper keeps the target claimed — the caller cannot re-join it
+  // later (documented one-shot semantics for remote timed joins).
+  wire::Lid req{g.thread};
+  std::vector<std::uint8_t> rep;
+  const Status st =
+      call(g.pe, g.process, wire::kHJoin, &req, sizeof req, deadline, &rep);
+  if (!st.ok()) return st;
+  wire::JoinReply out;
+  if (rep.size() < sizeof out) return StatusCode::Invalid;
+  std::memcpy(&out, rep.data(), sizeof out);
+  if (out.status == ESRCH) return StatusCode::PeerGone;
+  if (out.status != 0) return StatusCode::Invalid;
+  if (retval != nullptr) {
+    *retval = out.canceled != 0
+                  ? lwt::kCanceled
+                  : reinterpret_cast<void*>(
+                        static_cast<std::uintptr_t>(out.retval));
+  }
+  return StatusCode::Ok;
 }
 
 int Runtime::cancel(const Gid& g) {

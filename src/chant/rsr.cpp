@@ -18,6 +18,7 @@
 // (the server's request buffer, each call's reply landing zone) come
 // from the runtime's BufferPool, so a steady-state RSR loop performs
 // zero per-call heap allocations.
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +67,34 @@ void Runtime::server_loop() {
       }
       continue;
     }
+    // Duplicate suppression for retryable requests (DESIGN.md §8.3): a
+    // request already executed gets its recorded reply replayed without
+    // re-dispatch; one still executing (a deferred handler's helper has
+    // the reply in hand) is dropped — the original reply is on its way.
+    // The window is a bounded FIFO; the client's backoff schedule keeps
+    // retries well inside it.
+    std::uint64_t dkey = 0;
+    bool record_reply = false;
+    if (req.retryable != 0 && ctx.needs_reply) {
+      dkey = dedup_key(req.from, req.reply_seq);
+      const auto it = dedup_.find(dkey);
+      if (it != dedup_.end()) {
+        if (it->second.done) {
+          ++rsr_stats_.dup_replays;
+          reply(ctx, it->second.reply.data(), it->second.reply.size());
+        } else {
+          ++rsr_stats_.dup_drops;
+        }
+        continue;
+      }
+      while (dedup_.size() >= kDedupWindow && !dedup_fifo_.empty()) {
+        dedup_.erase(dedup_fifo_.front());
+        dedup_fifo_.pop_front();
+      }
+      dedup_.emplace(dkey, DedupEntry{});
+      dedup_fifo_.push_back(dkey);
+      record_reply = true;
+    }
     rep.clear();  // capacity retained from the previous dispatch
     if (cfg_.rsr_observer != nullptr) {
       cfg_.rsr_observer(cfg_.rsr_observer_ctx, req.handler, req.from.pe,
@@ -83,6 +112,15 @@ void Runtime::server_loop() {
                                                      body_len, rep);
     if (ctx.needs_reply && !ctx.deferred) {
       reply(ctx, rep.data(), rep.size());
+      if (record_reply) {
+        // Record after the (possibly fault-dropped) send: a retry of this
+        // request replays these bytes instead of re-running the handler.
+        const auto it = dedup_.find(dkey);
+        if (it != dedup_.end()) {
+          it->second.done = true;
+          it->second.reply.assign(rep.begin(), rep.end());
+        }
+      }
     }
     // Restore under *every* polling policy. With scheduler-polls
     // policies the server already parks at kServerPriority so this is
@@ -136,6 +174,13 @@ int Runtime::call_async(int dst_pe, int dst_process, int handler,
 
 int Runtime::call_asyncv(int dst_pe, int dst_process, int handler,
                          const nx::IoVec* iov, std::size_t iovcnt) {
+  return call_asyncv_ex(dst_pe, dst_process, handler, iov, iovcnt,
+                        /*retryable=*/false);
+}
+
+int Runtime::call_asyncv_ex(int dst_pe, int dst_process, int handler,
+                            const nx::IoVec* iov, std::size_t iovcnt,
+                            bool retryable) {
   if (iovcnt + 1 > nx::kMaxIov) {
     throw std::invalid_argument("chant: RSR request has too many fragments");
   }
@@ -159,8 +204,7 @@ int Runtime::call_asyncv(int dst_pe, int dst_process, int handler,
   AsyncCall& c = calls_[idx];
   c.idx = idx;
   c.active = true;
-  c.seq = next_reply_seq_;
-  next_reply_seq_ = (next_reply_seq_ + 1) & 0xFFF;
+  c.seq = alloc_reply_seq();
   c.server = Gid{dst_pe, dst_process, kServerLid};
   c.rbuf = pool_.acquire(sizeof(wire::Reply) + wire::kInlineReply);
   c.wait = WaitCtx{};
@@ -174,7 +218,14 @@ int Runtime::call_asyncv(int dst_pe, int dst_process, int handler,
   c.wait.nxh = ep_.irecv(dst_pe, dst_process, pat.tag, pat.tag_mask,
                          c.rbuf.data(), c.rbuf.size(), pat.channel,
                          pat.channel_mask);
+  send_rsr(c, handler, iov, iovcnt, /*attempt=*/0, retryable);
+  // 15 generation bits keep the packed handle non-negative; the
+  // comparison below masks identically so slot reuse wraps safely.
+  return static_cast<int>(((c.gen & 0x7FFFu) << 16) | idx);
+}
 
+void Runtime::send_rsr(const AsyncCall& c, int handler, const nx::IoVec* iov,
+                       std::size_t iovcnt, int attempt, bool retryable) {
   // The request envelope rides the same gather descriptor as the
   // caller's fragments; send_from returns only once the buffers are
   // reusable, so the stack-local envelope is safe.
@@ -182,15 +233,68 @@ int Runtime::call_asyncv(int dst_pe, int dst_process, int handler,
   req.handler = handler;
   req.needs_reply = 1;
   req.reply_seq = c.seq;
-  req.from = me;
+  req.from = self();
+  req.attempt = attempt;
+  req.retryable = retryable ? 1 : 0;
   nx::IoVec frags[nx::kMaxIov];
   frags[0] = {&req, sizeof req};
   for (std::size_t i = 0; i < iovcnt; ++i) frags[i + 1] = iov[i];
-  send_from(me.thread, kTagRsr, frags, iovcnt + 1, c.server,
+  send_from(req.from.thread, kTagRsr, frags, iovcnt + 1, c.server,
             /*internal=*/true);
-  // 15 generation bits keep the packed handle non-negative; the
-  // comparison below masks identically so slot reuse wraps safely.
-  return static_cast<int>(((c.gen & 0x7FFFu) << 16) | idx);
+}
+
+int Runtime::alloc_reply_seq() {
+  for (int tries = 0; tries < 0x1000; ++tries) {
+    const int seq = next_reply_seq_;
+    next_reply_seq_ = (next_reply_seq_ + 1) & 0xFFF;
+    if (stale_replies_.empty()) return seq;  // common case: zero overhead
+    const auto it = stale_replies_.find(seq);
+    if (it == stale_replies_.end()) return seq;
+    // A previous user of this sequence number abandoned a reply that may
+    // still be in flight. Consume whatever has arrived, then either
+    // declare the seq clean (its dirty window aged out — anything left
+    // was dropped by the net) or skip it this time around.
+    const Gid me = self();
+    drain_stale(codec_.pattern(me.thread, kServerLid, rsr_reply_tag(seq),
+                               /*internal=*/true));
+    drain_stale(codec_.pattern(me.thread, kServerLid, rsr_tail_tag(seq),
+                               /*internal=*/true));
+    if (sched_.now() >= it->second) {
+      stale_replies_.erase(it);
+      return seq;
+    }
+    ++rsr_stats_.stale_skipped;
+  }
+  // 4096 simultaneously-dirty sequence numbers: not reachable without
+  // thousands of abandoned in-flight calls inside one TTL window.
+  throw std::runtime_error("chant: reply sequence space exhausted");
+}
+
+bool Runtime::drain_stale(const TagCodec::Pattern& pat) {
+  bool drained = false;
+  // iprobe filters by tag only; the posted receive applies the full
+  // pattern. A probe hit the receive cannot match (another lid's traffic
+  // in HeaderField mode) parks the receive, which is then withdrawn.
+  while (ep_.iprobe(nx::kAnyPe, nx::kAnyProc, pat.tag, pat.tag_mask)) {
+    std::vector<std::uint8_t> scratch =
+        pool_.acquire(sizeof(wire::Reply) + wire::kInlineReply);
+    WaitCtx w;
+    w.ep = &ep_;
+    w.nxh = ep_.irecv(nx::kAnyPe, nx::kAnyProc, pat.tag, pat.tag_mask,
+                      scratch.data(), scratch.size(), pat.channel,
+                      pat.channel_mask);
+    const bool got = wait_test(&w);
+    if (!got) ep_.cancel_recv(w.nxh);
+    pool_.release(std::move(scratch));
+    if (!got) break;
+    ++rsr_stats_.stale_drained;
+    drained = true;
+  }
+  return drained;
+}
+
+void Runtime::note_stale_reply(const AsyncCall& c) {
+  stale_replies_[c.seq] = sched_.deadline_after(kStaleReplyTtl);
 }
 
 Runtime::AsyncCall& Runtime::checked_call(int handle) {
@@ -231,8 +335,29 @@ bool Runtime::reply_parts_done(AsyncCall& c) {
 
 void Runtime::abandon_call(AsyncCall& c) {
   if (!c.active) return;
-  if (!c.wait.done) ep_.cancel_recv(c.wait.nxh);
-  if (c.tail_posted && !c.tail_wait.done) ep_.cancel_recv(c.tail_wait.nxh);
+  // Track whether any part of the reply may still arrive with no
+  // receive posted: that sequence number is then dirty until drained
+  // (alloc_reply_seq) or aged out.
+  bool in_flight = false;
+  if (!c.wait.done) {
+    if (ep_.cancel_recv(c.wait.nxh, &c.wait.hdr)) {
+      in_flight = true;  // withdrawn before the reply header landed
+    } else {
+      c.wait.done = true;  // lost the race: header harvested into rbuf
+    }
+  }
+  if (c.wait.done) {
+    wire::Reply rep;
+    std::memcpy(&rep, c.rbuf.data(), sizeof rep);
+    if (rep.tail != 0) {
+      if (!c.tail_posted) {
+        in_flight = true;  // announced tail was never posted
+      } else if (!c.tail_wait.done && ep_.cancel_recv(c.tail_wait.nxh)) {
+        in_flight = true;
+      }
+    }
+  }
+  if (in_flight) note_stale_reply(c);
   pool_.release(std::move(c.rbuf));
   c.rbuf = std::vector<std::uint8_t>{};
   c.tail_buf = std::vector<std::uint8_t>{};
@@ -269,27 +394,54 @@ std::vector<std::uint8_t> Runtime::finish_call(AsyncCall& c) {
   return out;
 }
 
-bool Runtime::call_test(int handle, std::vector<std::uint8_t>* reply_out) {
+Status Runtime::call_test(int handle, std::vector<std::uint8_t>* reply_out) {
   AsyncCall& c = checked_call(handle);
-  if (!wait_test(&c.wait)) return false;
-  if (!reply_parts_done(c)) return false;  // tail announced, still in flight
+  if (!wait_test(&c.wait)) return StatusCode::Pending;
+  if (!reply_parts_done(c)) {
+    return StatusCode::Pending;  // tail announced, still in flight
+  }
   std::vector<std::uint8_t> out = finish_call(c);
   if (reply_out != nullptr) *reply_out = std::move(out);
-  return true;
+  return StatusCode::Ok;
 }
 
-std::vector<std::uint8_t> Runtime::call_wait(int handle) {
-  AsyncCall& c = checked_call(handle);
+Status Runtime::wait_call_until(AsyncCall& c, std::uint64_t deadline_ns) {
   try {
-    block_until(c.wait);
-    if (!reply_parts_done(c)) block_until(c.tail_wait);
+    if (!block_until(c.wait, deadline_ns)) {
+      return StatusCode::DeadlineExceeded;
+    }
+    if (!reply_parts_done(c)) {
+      if (!block_until(c.tail_wait, deadline_ns)) {
+        return StatusCode::DeadlineExceeded;
+      }
+    }
   } catch (...) {
     // Cancelled mid-wait: withdraw any posted receives and retire the
     // record so later messages cannot scribble into dead buffers.
     abandon_call(c);
     throw;
   }
+  return StatusCode::Ok;
+}
+
+std::vector<std::uint8_t> Runtime::call_wait(int handle) {
+  AsyncCall& c = checked_call(handle);
+  wait_call_until(c, lwt::kNoDeadline);  // Ok or throws
   return finish_call(c);
+}
+
+Status Runtime::call_wait(int handle, Deadline deadline,
+                          std::vector<std::uint8_t>* reply_out) {
+  AsyncCall& c = checked_call(handle);
+  const Status st = wait_call_until(c, resolve_deadline(deadline));
+  if (!st.ok()) {
+    ++rsr_stats_.deadline_timeouts;
+    abandon_call(c);  // reclaims the slot; marks the seq dirty if needed
+    return st;
+  }
+  std::vector<std::uint8_t> out = finish_call(c);
+  if (reply_out != nullptr) *reply_out = std::move(out);
+  return StatusCode::Ok;
 }
 
 std::vector<std::uint8_t> Runtime::call(int dst_pe, int dst_process,
@@ -302,6 +454,74 @@ std::vector<std::uint8_t> Runtime::callv(int dst_pe, int dst_process,
                                          int handler, const nx::IoVec* iov,
                                          std::size_t iovcnt) {
   return call_wait(call_asyncv(dst_pe, dst_process, handler, iov, iovcnt));
+}
+
+Status Runtime::call(int dst_pe, int dst_process, int handler,
+                     const void* arg, std::size_t len, Deadline deadline,
+                     std::vector<std::uint8_t>* reply_out,
+                     const RetryPolicy* retry) {
+  const nx::IoVec iov{arg, len};
+  return callv(dst_pe, dst_process, handler, &iov, len > 0 ? 1u : 0u,
+               deadline, reply_out, retry);
+}
+
+Status Runtime::callv(int dst_pe, int dst_process, int handler,
+                      const nx::IoVec* iov, std::size_t iovcnt,
+                      Deadline deadline,
+                      std::vector<std::uint8_t>* reply_out,
+                      const RetryPolicy* retry) {
+  RetryPolicy policy;  // default: single attempt
+  if (retry != nullptr) {
+    policy = *retry;
+  } else {
+    const auto it = retry_policies_.find(handler);
+    if (it != retry_policies_.end()) policy = it->second;
+  }
+  if (policy.initial_backoff_ns == 0) policy.initial_backoff_ns = 1;
+  if (policy.multiplier == 0) policy.multiplier = 1;
+
+  const std::uint64_t overall = resolve_deadline(deadline);
+  const int handle = call_asyncv_ex(dst_pe, dst_process, handler, iov,
+                                    iovcnt, policy.retries());
+  AsyncCall& c = checked_call(handle);
+  std::uint64_t backoff = policy.initial_backoff_ns;
+  int attempts = 1;
+  for (;;) {
+    // While no reply part has landed and resends remain, bound this wait
+    // by the backoff window so a lost request or reply is retried; once
+    // the reply header is in, resending could only produce duplicates.
+    std::uint64_t att_deadline = overall;
+    if (!c.wait.done && attempts < policy.max_attempts) {
+      const std::uint64_t cand = sched_.deadline_after(backoff);
+      if (cand < att_deadline) att_deadline = cand;
+    }
+    const Status st = wait_call_until(c, att_deadline);
+    if (st.ok()) {
+      if (attempts > 1) {
+        // Extra attempts may yet produce replayed replies with this seq.
+        note_stale_reply(c);
+      }
+      std::vector<std::uint8_t> out = finish_call(c);
+      if (reply_out != nullptr) *reply_out = std::move(out);
+      return StatusCode::Ok;
+    }
+    if (c.wait.done || attempts >= policy.max_attempts ||
+        sched_.now() >= overall) {
+      ++rsr_stats_.deadline_timeouts;
+      abandon_call(c);  // marks the seq dirty for any straggler replies
+      return StatusCode::DeadlineExceeded;
+    }
+    send_rsr(c, handler, iov, iovcnt, attempts, /*retryable=*/true);
+    ++rsr_stats_.retries_sent;
+    ++attempts;
+    const std::uint64_t grown = backoff * policy.multiplier;
+    backoff = grown < backoff ? policy.max_backoff_ns  // overflow
+                              : std::min(grown, policy.max_backoff_ns);
+  }
+}
+
+void Runtime::set_retry_policy(int handler, const RetryPolicy& policy) {
+  retry_policies_[handler] = policy;
 }
 
 void Runtime::post(int dst_pe, int dst_process, int handler, const void* arg,

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "chant/world.hpp"
+#include "wire.hpp"
 
 namespace chant {
 
@@ -38,6 +39,20 @@ const char* to_string(AddressingMode m) noexcept {
   return "?";
 }
 
+const char* to_string(StatusCode c) noexcept {
+  switch (c) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::Pending: return "pending";
+    case StatusCode::DeadlineExceeded: return "deadline exceeded";
+    case StatusCode::Canceled: return "canceled";
+    case StatusCode::Truncated: return "truncated";
+    case StatusCode::PeerGone: return "peer gone";
+    case StatusCode::AlreadyCompleted: return "already completed";
+    case StatusCode::Invalid: return "invalid";
+  }
+  return "?";
+}
+
 Runtime::Runtime(World& world, nx::Endpoint& ep)
     : world_(world),
       ep_(ep),
@@ -45,6 +60,12 @@ Runtime::Runtime(World& world, nx::Endpoint& ep)
       codec_(cfg_.addressing),
       sched_(cfg_.backend) {
   install_builtin_handlers();
+  // The world's clock override (the sim VirtualClock) also drives the
+  // scheduler's timer wheel, so deadline expiries interleave
+  // deterministically with the modelled network.
+  if (world.config().clock != nullptr) {
+    sched_.set_clock(world.config().clock, world.config().clock_ctx);
+  }
   for (Handler h : world.user_handlers_) handlers_.push_back(h);
   if (cfg_.policy == PollPolicy::SchedulerPollsWQ && cfg_.wq_use_testany) {
     sched_.set_wq_group_poll(&Runtime::wq_group_poll, this);
@@ -208,26 +229,36 @@ bool Runtime::wait_test(void* ctx) {
 }
 
 void Runtime::block_until(WaitCtx& w) {
+  block_until(w, lwt::kNoDeadline);
+}
+
+bool Runtime::block_until(WaitCtx& w, std::uint64_t deadline_ns) {
   const lwt::PollRequest req{&Runtime::wait_test, &w};
   switch (cfg_.policy) {
     case PollPolicy::ThreadPolls:
-      sched_.poll_block_tp(req);
-      return;
+      return sched_.poll_block_tp(req, deadline_ns);
     case PollPolicy::SchedulerPollsPS:
-      sched_.poll_block_ps(req);
-      return;
+      return sched_.poll_block_ps(req, deadline_ns);
     case PollPolicy::SchedulerPollsWQ: {
       if (cfg_.wq_use_testany) wq_waits_.push_back(&w);
+      bool completed = false;
       try {
-        sched_.poll_block_wq(req);
+        completed = sched_.poll_block_wq(req, deadline_ns);
       } catch (...) {
         std::erase(wq_waits_, &w);
         throw;
       }
       if (cfg_.wq_use_testany) std::erase(wq_waits_, &w);
-      return;
+      return completed;
     }
   }
+  return false;  // unreachable
+}
+
+std::uint64_t Runtime::resolve_deadline(const Deadline& d) const {
+  if (d.is_infinite()) return lwt::kNoDeadline;
+  if (!d.is_relative()) return d.raw_ns();
+  return sched_.deadline_after(d.raw_ns());
 }
 
 std::size_t Runtime::wq_group_poll(void* rt_, lwt::Scheduler& sched) {
@@ -304,9 +335,19 @@ void* chant_main_tramp(void* p) {
       &world};
   rt.scheduler().poll_block_generic(all_done);
   if (server != nullptr) {
-    rt.post(rt.pe(), rt.process(), /*handler=*/0, nullptr, 0);  // shutdown
-    int err = 0;
-    rt.join(Gid{rt.pe(), rt.process(), kServerLid}, &err);
+    // The shutdown post is a one-way message, so under an injected lossy
+    // net (sim FaultyNet) it can vanish like any other message — and the
+    // server would then sit in its receive forever. Resending on a
+    // bounded timed join makes termination drop-tolerant; a duplicate
+    // shutdown is harmless (the first copy to land flips server_stop_,
+    // stragglers expire with the endpoint). On a loss-free net the first
+    // join returns before the deadline and this is a single post+join.
+    const Gid sgid{rt.pe(), rt.process(), kServerLid};
+    for (;;) {
+      rt.post(rt.pe(), rt.process(), wire::kHShutdown, nullptr, 0);
+      const Status st = rt.join(sgid, Deadline::after(5'000'000), nullptr);
+      if (st != StatusCode::DeadlineExceeded) break;
+    }
   }
   rt.on_thread_exit(kMainLid);
   return nullptr;

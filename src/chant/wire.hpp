@@ -34,6 +34,8 @@ struct Rsr {
   std::int32_t needs_reply = 0;
   std::int32_t reply_seq = 0;  ///< pairs the reply with this request
   Gid from{0, 0, 0};
+  std::int32_t attempt = 0;    ///< 0 = first send, >0 = retry resend
+  std::int32_t retryable = 0;  ///< enters the server dedup window
 };
 
 /// Reply envelope: [Reply][inline payload...]. If `tail` is set the

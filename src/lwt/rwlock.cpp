@@ -33,6 +33,17 @@ bool RwLock::try_lock_shared() {
   return true;
 }
 
+bool RwLock::try_lock_shared_until(std::uint64_t deadline_ns) {
+  Scheduler& s = sched();
+  s.check_cancel();
+  while (writer_ != nullptr || !waiting_writers_.empty()) {
+    if (!s.park_on_until(waiting_readers_, deadline_ns)) return false;
+    s.check_cancel();
+  }
+  ++readers_;
+  return true;
+}
+
 void RwLock::unlock_shared() {
   if (readers_ <= 0) {
     std::fprintf(stderr, "lwt: unlock_shared without shared lock\n");
@@ -55,6 +66,23 @@ void RwLock::lock() {
 bool RwLock::try_lock() {
   if (writer_ != nullptr || readers_ > 0) return false;
   writer_ = Scheduler::self();
+  return true;
+}
+
+bool RwLock::try_lock_until(std::uint64_t deadline_ns) {
+  Scheduler& s = sched();
+  s.check_cancel();
+  Tcb* me = Scheduler::self();
+  while (writer_ != nullptr || readers_ > 0) {
+    if (!s.park_on_until(waiting_writers_, deadline_ns)) {
+      // If this was the last queued writer and the lock is held only by
+      // readers, parked readers are released by the readers' eventual
+      // unlock via wake_next(); nothing to do here.
+      return false;
+    }
+    s.check_cancel();
+  }
+  writer_ = me;
   return true;
 }
 

@@ -1,6 +1,7 @@
 // scheduler.cpp — user-level thread scheduling with pollable waits.
 #include "lwt/scheduler.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -143,6 +144,111 @@ void* Scheduler::run_main(EntryFn entry, void* arg, const ThreadAttr& attr) {
   return ret;
 }
 
+// ----------------------------------------------------------- time & timers
+
+std::uint64_t Scheduler::now() const {
+  if (clock_fn_ != nullptr) return clock_fn_(clock_ctx_);
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+std::uint64_t Scheduler::deadline_after(std::uint64_t delta_ns) const {
+  const std::uint64_t t = now();
+  return delta_ns >= kNoDeadline - t ? kNoDeadline : t + delta_ns;
+}
+
+TimerWheel::TimerId Scheduler::arm_timer(std::uint64_t deadline_ns, Tcb* t) {
+  ++stats_.timers_armed;
+  return timers_.arm(deadline_ns, t);
+}
+
+void Scheduler::disarm_timer(TimerWheel::TimerId id) {
+  if (timers_.disarm(id)) ++stats_.timer_cancels;
+}
+
+void Scheduler::timeout_wake(Tcb* t) {
+  switch (t->state) {
+    case ThreadState::Blocked:
+      t->timed_out = true;
+      ++stats_.timer_fires;
+      if (t->waiting_on != nullptr) {
+        // Parked on a wait list (sync primitive / sleep via park).
+        t->waiting_on->remove(t);
+        t->waiting_on = nullptr;
+        --blocked_;
+        enqueue_ready(t);
+        return;
+      }
+      for (std::size_t i = 0; i < wq_.size(); ++i) {
+        if (wq_[i].tcb == t) {
+          wq_[i] = wq_.back();
+          wq_.pop_back();
+          --blocked_;
+          enqueue_ready(t);
+          return;
+        }
+      }
+      for (std::size_t i = 0; i < generic_wq_.size(); ++i) {
+        if (generic_wq_[i].tcb == t) {
+          generic_wq_[i] = generic_wq_.back();
+          generic_wq_.pop_back();
+          --blocked_;
+          enqueue_ready(t);
+          return;
+        }
+      }
+      // Blocked in join or sleep_until: just make it ready; the wait
+      // code inspects timed_out on resume.
+      --blocked_;
+      enqueue_ready(t);
+      return;
+    case ThreadState::Ready:
+      if (t->poll_active) {
+        // PS-parked: drop the poll so pick_next() restores the context;
+        // the wait re-tests the request once and then reports timeout.
+        t->poll_active = false;
+        --ps_parked_;
+        t->timed_out = true;
+        ++stats_.timer_fires;
+      }
+      // Plain Ready: the real wakeup beat the timer — stale fire.
+      return;
+    case ThreadState::Running:
+    case ThreadState::Finished:
+      return;  // stale fire
+  }
+}
+
+void Scheduler::expire_timers() {
+  if (timers_.armed() == 0) return;
+  const std::uint64_t t = now();
+  if (timers_.next_deadline() > t) return;
+  timers_.expire(
+      t,
+      [](void* ctx, Tcb* tcb) {
+        static_cast<Scheduler*>(ctx)->timeout_wake(tcb);
+      },
+      this);
+}
+
+void Scheduler::sleep_until(std::uint64_t deadline_ns) {
+  Tcb* me = current_;
+  check_cancel();
+  if (deadline_ns == kNoDeadline || now() >= deadline_ns) return;
+  ++stats_.sleeps;
+  if (trace_ != nullptr) trace_->record(TraceEvent::Park, me->id);
+  const TimerWheel::TimerId tid = arm_timer(deadline_ns, me);
+  me->state = ThreadState::Blocked;
+  me->waiting_on = nullptr;
+  ++blocked_;
+  ctx_swap(me->ctx, sched_ctx_, backend_);
+  disarm_timer(tid);  // no-op on the normal (timer-fired) path
+  me->timed_out = false;
+  check_cancel();  // cancel() is the only other wake source
+}
+
+void Scheduler::sleep_for(std::uint64_t ns) { sleep_until(deadline_after(ns)); }
+
 void Scheduler::enqueue_ready(Tcb* t) {
   if (trace_ != nullptr) trace_->record(TraceEvent::Ready, t->id);
   t->state = ThreadState::Ready;
@@ -258,11 +364,12 @@ void Scheduler::schedule_loop() {
     stats_.waiting_sum += msg_waiting_;
     ++stats_.waiting_samples;
     if (ctrl_ != nullptr) ctrl_->on_sched_point();
+    expire_timers();
     wq_scan();
     Tcb* next = pick_next();
     if (next == nullptr) {
       if (ps_parked_ == 0 && wq_.empty() && generic_wq_.empty() &&
-          blocked_ > 0) {
+          timers_.armed() == 0 && blocked_ > 0) {
         std::fprintf(stderr,
                      "lwt: deadlock — %u thread(s) blocked with nothing "
                      "runnable\n%s",
@@ -271,6 +378,22 @@ void Scheduler::schedule_loop() {
       }
       ++stats_.idle_spins;
       if (ctrl_ != nullptr) ctrl_->on_idle();
+      if (ctrl_ == nullptr && clock_fn_ == nullptr && timers_.armed() != 0 &&
+          ps_parked_ == 0 && wq_.empty() && generic_wq_.empty()) {
+        // Only timer-parked fibers remain and the clock is real time:
+        // sleep the OS thread toward the earliest deadline instead of
+        // spinning. Capped so a concurrently-arriving cancel() from
+        // this process (impossible — we are its only OS thread) or a
+        // stale heap top never oversleeps by much.
+        const std::uint64_t nd = timers_.next_deadline();
+        const std::uint64_t t = now();
+        if (nd > t) {
+          std::uint64_t slice = nd - t;
+          if (slice > 1'000'000) slice = 1'000'000;
+          std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+        }
+        continue;
+      }
       if (idle_hook_ != nullptr) idle_hook_(idle_ctx_);
       continue;
     }
@@ -296,6 +419,21 @@ void Scheduler::park_on(TcbQueue& wl) {
   wl.push_back(me);
   ++blocked_;
   ctx_swap(me->ctx, sched_ctx_, backend_);
+}
+
+bool Scheduler::park_on_until(TcbQueue& wl, std::uint64_t deadline_ns) {
+  if (deadline_ns == kNoDeadline) {
+    park_on(wl);
+    return true;
+  }
+  Tcb* me = current_;
+  if (now() >= deadline_ns) return false;
+  const TimerWheel::TimerId tid = arm_timer(deadline_ns, me);
+  park_on(wl);
+  disarm_timer(tid);
+  const bool timed_out = me->timed_out;
+  me->timed_out = false;
+  return !timed_out;
 }
 
 Tcb* Scheduler::wake_one(TcbQueue& wl) {
@@ -345,28 +483,44 @@ void Scheduler::reap(Tcb* t) {
 }
 
 void* Scheduler::join(Tcb* t) {
+  void* ret = nullptr;
+  (void)join_until(t, kNoDeadline, &ret);  // cannot time out
+  return ret;
+}
+
+bool Scheduler::join_until(Tcb* t, std::uint64_t deadline_ns, void** retval) {
   Tcb* me = current_;
   check_cancel();
   if (t == me || t->detached || t->join_taken) {
     std::fprintf(stderr, "lwt: invalid join (self/detached/double)\n");
     std::abort();
   }
-  t->join_taken = true;
   if (t->state != ThreadState::Finished) {
+    if (deadline_ns != kNoDeadline && now() >= deadline_ns) return false;
+    t->join_taken = true;
     t->joiner = me;
+    TimerWheel::TimerId tid = 0;
+    if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
     me->state = ThreadState::Blocked;
     ++blocked_;
     ctx_swap(me->ctx, sched_ctx_, backend_);
+    if (tid != 0) disarm_timer(tid);
+    const bool timed_out = me->timed_out;
+    me->timed_out = false;
     if (t->state != ThreadState::Finished) {
-      // Woken for some other reason (cancellation).
+      // Woken without the target finishing: timeout or cancellation.
+      // Give up the claim so the target stays joinable.
       t->joiner = nullptr;
       t->join_taken = false;
+      if (timed_out) return false;
       check_cancel();
       std::fprintf(stderr, "lwt: join woke without target finishing\n");
       std::abort();
     }
+  } else {
+    t->join_taken = true;
   }
-  void* ret = t->canceled ? kCanceled : t->retval;
+  if (retval != nullptr) *retval = t->canceled ? kCanceled : t->retval;
   for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
     if (*it == t) {
       zombies_.erase(it);
@@ -374,7 +528,7 @@ void* Scheduler::join(Tcb* t) {
     }
   }
   reap(t);
-  return ret;
+  return true;
 }
 
 void Scheduler::detach(Tcb* t) {
@@ -468,7 +622,8 @@ void Scheduler::set_priority(Tcb* t, int priority) {
 
 // ------------------------------------------------- polling-policy waits
 
-void Scheduler::poll_block_tp(const PollRequest& req) {
+bool Scheduler::poll_block_tp(const PollRequest& req,
+                              std::uint64_t deadline_ns) {
   Tcb* me = current_;
   me->msg_waiting = true;
   ++msg_waiting_;
@@ -479,7 +634,12 @@ void Scheduler::poll_block_tp(const PollRequest& req) {
   // timeslice (essential when processors share cores; the event counters
   // the experiments report are unaffected).
   unsigned fails = 0;
+  bool completed = true;
   while (!req.test(req.ctx)) {
+    if (deadline_ns != kNoDeadline && now() >= deadline_ns) {
+      completed = false;
+      break;
+    }
     ++fails;
     try {
       yield();
@@ -498,14 +658,19 @@ void Scheduler::poll_block_tp(const PollRequest& req) {
   }
   me->msg_waiting = false;
   --msg_waiting_;
+  return completed;
 }
 
-void Scheduler::poll_block_wq(const PollRequest& req) {
+bool Scheduler::poll_block_wq(const PollRequest& req,
+                              std::uint64_t deadline_ns) {
   Tcb* me = current_;
   check_cancel();
-  if (req.test(req.ctx)) return;  // fast path: already complete
+  if (req.test(req.ctx)) return true;  // fast path: already complete
+  if (deadline_ns != kNoDeadline && now() >= deadline_ns) return false;
   me->msg_waiting = true;
   ++msg_waiting_;
+  TimerWheel::TimerId tid = 0;
+  if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
   wq_.push_back(WqEntry{req, me});
   me->state = ThreadState::Blocked;
   me->waiting_on = nullptr;  // parked on wq_, not a TcbQueue
@@ -513,27 +678,44 @@ void Scheduler::poll_block_wq(const PollRequest& req) {
   ctx_swap(me->ctx, sched_ctx_, backend_);
   me->msg_waiting = false;
   --msg_waiting_;
+  if (tid != 0) disarm_timer(tid);
+  const bool timed_out = me->timed_out;
+  me->timed_out = false;
   check_cancel();  // cancel() may have ejected us before completion
+  // Completion wins a race with the timer: re-test once before failing.
+  return !timed_out || req.test(req.ctx);
 }
 
-void Scheduler::poll_block_generic(const PollRequest& req) {
+bool Scheduler::poll_block_generic(const PollRequest& req,
+                                   std::uint64_t deadline_ns) {
   Tcb* me = current_;
   check_cancel();
-  if (req.test(req.ctx)) return;  // fast path
+  if (req.test(req.ctx)) return true;  // fast path
+  if (deadline_ns != kNoDeadline && now() >= deadline_ns) return false;
+  TimerWheel::TimerId tid = 0;
+  if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
   generic_wq_.push_back(WqEntry{req, me});
   me->state = ThreadState::Blocked;
   me->waiting_on = nullptr;
   ++blocked_;
   ctx_swap(me->ctx, sched_ctx_, backend_);
+  if (tid != 0) disarm_timer(tid);
+  const bool timed_out = me->timed_out;
+  me->timed_out = false;
   check_cancel();  // cancel() may have ejected us before completion
+  return !timed_out || req.test(req.ctx);
 }
 
-void Scheduler::poll_block_ps(const PollRequest& req) {
+bool Scheduler::poll_block_ps(const PollRequest& req,
+                              std::uint64_t deadline_ns) {
   Tcb* me = current_;
   check_cancel();
-  if (req.test(req.ctx)) return;
+  if (req.test(req.ctx)) return true;
+  if (deadline_ns != kNoDeadline && now() >= deadline_ns) return false;
   me->msg_waiting = true;
   ++msg_waiting_;
+  TimerWheel::TimerId tid = 0;
+  if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
   me->poll = req;
   me->poll_active = true;
   ++ps_parked_;
@@ -541,7 +723,11 @@ void Scheduler::poll_block_ps(const PollRequest& req) {
   ctx_swap(me->ctx, sched_ctx_, backend_);
   me->msg_waiting = false;
   --msg_waiting_;
+  if (tid != 0) disarm_timer(tid);
+  const bool timed_out = me->timed_out;
+  me->timed_out = false;
   check_cancel();
+  return !timed_out || req.test(req.ctx);
 }
 
 void Scheduler::set_wq_group_poll(WqGroupPoll hook, void* hook_ctx) {

@@ -41,6 +41,27 @@ bool Mutex::try_lock() {
   return true;
 }
 
+bool Mutex::try_lock_until(std::uint64_t deadline_ns) {
+  Scheduler& s = sched();
+  s.check_cancel();
+  Tcb* me = Scheduler::self();
+  if (owner_ == me) {
+    std::fprintf(stderr, "lwt: recursive Mutex::try_lock_until by #%u '%s'\n",
+                 me->id, me->name);
+    std::abort();
+  }
+  while (owner_ != nullptr) {
+    if (!s.park_on_until(waiters_, deadline_ns)) return false;
+    s.check_cancel();  // cancel() may have ejected us from the wait list
+  }
+  owner_ = me;
+  return true;
+}
+
+bool Mutex::try_lock_for(std::uint64_t ns) {
+  return try_lock_until(sched().deadline_after(ns));
+}
+
 void Mutex::unlock() {
   Tcb* me = Scheduler::self();
   if (owner_ != me) {
@@ -75,6 +96,29 @@ void CondVar::wait(Mutex& m) {
   m.lock();
 }
 
+bool CondVar::wait_until(Mutex& m, std::uint64_t deadline_ns) {
+  Scheduler& s = sched();
+  s.check_cancel();
+  Tcb* me = Scheduler::self();
+  if (m.owner_ != me) {
+    std::fprintf(stderr,
+                 "lwt: CondVar::wait_until without holding the mutex\n");
+    std::abort();
+  }
+  m.owner_ = nullptr;
+  s.wake_one(m.waiters_);
+  bool signaled;
+  try {
+    signaled = s.park_on_until(waiters_, deadline_ns);
+    s.check_cancel();
+  } catch (...) {
+    m.lock();  // pthreads semantics: reacquire before acting on cancel
+    throw;
+  }
+  m.lock();
+  return signaled;
+}
+
 void CondVar::signal() { sched().wake_one(waiters_); }
 
 void CondVar::broadcast() { sched().wake_all(waiters_); }
@@ -93,6 +137,17 @@ void Semaphore::acquire() {
 
 bool Semaphore::try_acquire() {
   if (count_ <= 0) return false;
+  --count_;
+  return true;
+}
+
+bool Semaphore::try_acquire_until(std::uint64_t deadline_ns) {
+  Scheduler& s = sched();
+  s.check_cancel();
+  while (count_ <= 0) {
+    if (!s.park_on_until(waiters_, deadline_ns)) return false;
+    s.check_cancel();
+  }
   --count_;
   return true;
 }

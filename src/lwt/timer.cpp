@@ -1,0 +1,69 @@
+// timer.cpp — deterministic min-heap timer wheel (see lwt/timer.hpp).
+#include "lwt/timer.hpp"
+
+#include <utility>
+
+namespace lwt {
+
+void TimerWheel::heap_push(Entry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+TimerWheel::Entry TimerWheel::heap_pop() {
+  Entry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t l = 2 * i + 1;
+    std::size_t r = l + 1;
+    std::size_t m = i;
+    if (l < n && later(heap_[m], heap_[l])) m = l;
+    if (r < n && later(heap_[m], heap_[r])) m = r;
+    if (m == i) break;
+    std::swap(heap_[i], heap_[m]);
+    i = m;
+  }
+  return top;
+}
+
+TimerWheel::TimerId TimerWheel::arm(std::uint64_t deadline_ns, Tcb* t) {
+  const TimerId id = next_id_++;
+  live_.emplace(id, t);
+  heap_push(Entry{deadline_ns, id});
+  return id;
+}
+
+bool TimerWheel::disarm(TimerId id) {
+  const bool was_live = live_.erase(id) != 0;
+  // The heap entry is left behind as a tombstone, skipped at pop time.
+  // When the last live timer goes away, drop the tombstones so a burst
+  // of short timed waits cannot leave the heap holding stale entries.
+  if (live_.empty()) heap_.clear();
+  return was_live;
+}
+
+std::size_t TimerWheel::expire(std::uint64_t now_ns,
+                               void (*fire)(void* ctx, Tcb* t), void* ctx) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.front().deadline <= now_ns) {
+    const Entry e = heap_pop();
+    auto it = live_.find(e.id);
+    if (it == live_.end()) continue;  // disarmed tombstone
+    Tcb* t = it->second;
+    live_.erase(it);
+    fire(ctx, t);
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace lwt

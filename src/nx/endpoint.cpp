@@ -655,6 +655,26 @@ MsgHeader Endpoint::msgwait(Handle h) {
   return out;
 }
 
+bool Endpoint::msgwait_until(Handle h, std::uint64_t deadline_ns,
+                             MsgHeader* out) {
+  // Deadlines are judged against the installed clock override when the
+  // Machine has one (sim virtual time) and the steady clock otherwise —
+  // not net_now(), whose zero-model fast path never advances.
+  const Machine::Config& cfg = machine_.config();
+  const auto wall = [&]() -> std::uint64_t {
+    return cfg.clock != nullptr ? cfg.clock(cfg.clock_ctx) : now_ns();
+  };
+  MsgHeader hdr{};
+  unsigned spins = 0;
+  while (!msgtest(h, &hdr)) {
+    if (wall() >= deadline_ns) return false;
+    cpu_relax();
+    if (++spins >= 4) std::this_thread::yield();
+  }
+  if (out != nullptr) *out = hdr;
+  return true;
+}
+
 int Endpoint::msgtestany(const Handle* hs, std::size_t n, MsgHeader* out) {
   counters_.testany_calls.fetch_add(1, std::memory_order_relaxed);
   // One progress pass, then one scan — the single-call semantics the
@@ -727,7 +747,7 @@ bool Endpoint::msgdone(Handle h) const {
   return r != nullptr && r->complete.load(std::memory_order_acquire);
 }
 
-bool Endpoint::cancel_recv(Handle h) {
+bool Endpoint::cancel_recv(Handle h, MsgHeader* out) {
   Request* r = checked(h);
   if (r == nullptr) return false;
   bool was_pending = false;
@@ -737,6 +757,7 @@ bool Endpoint::cancel_recv(Handle h) {
       was_pending = remove_posted(h, *r);
     }
   }
+  if (!was_pending && out != nullptr) *out = r->hdr;
   release_slot(h);
   return was_pending;
 }

@@ -1,0 +1,124 @@
+// chant_capi_timed_test.cpp — the POSIX-shaped timed additions to the
+// Appendix-A C interface: pthread_chanter_mutex_timedlock,
+// pthread_chanter_cond_timedwait and pthread_chanter_join_timed, all
+// returning ETIMEDOUT on expiry (relative nanosecond timeouts, waits
+// parked on the scheduler's timer wheel).
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+#include "chant/chant.hpp"
+
+namespace {
+
+constexpr unsigned long long kMs = 1'000'000ULL;
+
+chant::World::Config one_pe() {
+  chant::World::Config cfg;
+  cfg.pes = 1;
+  return cfg;
+}
+
+TEST(ChanterTimedMutex, TimedlockTimesOutThenAcquires) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime& rt) {
+    static pthread_chanter_mutex_t m;
+    ASSERT_EQ(pthread_chanter_mutex_init(&m), 0);
+    ASSERT_EQ(pthread_chanter_mutex_lock(&m), 0);
+    const chant::Gid g = rt.create(
+        [](void*) -> void* {
+          // Held by main: bounded lock must expire with ETIMEDOUT.
+          return reinterpret_cast<void*>(static_cast<long>(
+              pthread_chanter_mutex_timedlock(&m, 2 * kMs)));
+        },
+        nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    EXPECT_EQ(rt.join(g), reinterpret_cast<void*>((long)ETIMEDOUT));
+    ASSERT_EQ(pthread_chanter_mutex_unlock(&m), 0);
+    // Free lock: the timed form acquires immediately.
+    EXPECT_EQ(pthread_chanter_mutex_timedlock(&m, 1 * kMs), 0);
+    EXPECT_EQ(pthread_chanter_mutex_unlock(&m), 0);
+    EXPECT_EQ(pthread_chanter_mutex_destroy(&m), 0);
+    EXPECT_EQ(pthread_chanter_mutex_timedlock(nullptr, 1 * kMs), EINVAL);
+  });
+}
+
+TEST(ChanterTimedCond, TimedwaitExpiresWithMutexReacquired) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime&) {
+    pthread_chanter_mutex_t m;
+    pthread_chanter_cond_t c;
+    ASSERT_EQ(pthread_chanter_mutex_init(&m), 0);
+    ASSERT_EQ(pthread_chanter_cond_init(&c), 0);
+    ASSERT_EQ(pthread_chanter_mutex_lock(&m), 0);
+    EXPECT_EQ(pthread_chanter_cond_timedwait(&c, &m, 2 * kMs), ETIMEDOUT);
+    // pthread_cond_timedwait contract: the mutex is held on return.
+    EXPECT_EQ(pthread_chanter_mutex_trylock(&m), EBUSY);
+    EXPECT_EQ(pthread_chanter_mutex_unlock(&m), 0);
+    EXPECT_EQ(pthread_chanter_cond_destroy(&c), 0);
+    EXPECT_EQ(pthread_chanter_mutex_destroy(&m), 0);
+  });
+}
+
+TEST(ChanterTimedCond, SignalBeatsTimeout) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime& rt) {
+    static pthread_chanter_mutex_t m;
+    static pthread_chanter_cond_t c;
+    static int stage;
+    stage = 0;
+    ASSERT_EQ(pthread_chanter_mutex_init(&m), 0);
+    ASSERT_EQ(pthread_chanter_cond_init(&c), 0);
+    const chant::Gid g = rt.create(
+        [](void*) -> void* {
+          pthread_chanter_mutex_lock(&m);
+          stage = 1;
+          pthread_chanter_cond_signal(&c);
+          pthread_chanter_mutex_unlock(&m);
+          return nullptr;
+        },
+        nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    ASSERT_EQ(pthread_chanter_mutex_lock(&m), 0);
+    int rc = 0;
+    while (stage == 0 && rc == 0) {
+      rc = pthread_chanter_cond_timedwait(&c, &m, 500 * kMs);
+    }
+    EXPECT_EQ(rc, 0);
+    EXPECT_EQ(stage, 1);
+    pthread_chanter_mutex_unlock(&m);
+    rt.join(g);
+    pthread_chanter_cond_destroy(&c);
+    pthread_chanter_mutex_destroy(&m);
+  });
+}
+
+TEST(ChanterTimedJoin, TimesOutThenJoins) {
+  chant::World w(one_pe());
+  w.run([](chant::Runtime& rt) {
+    static pthread_chanter_mutex_t gate;
+    ASSERT_EQ(pthread_chanter_mutex_init(&gate), 0);
+    ASSERT_EQ(pthread_chanter_mutex_lock(&gate), 0);
+    pthread_chanter_t t;
+    ASSERT_EQ(pthread_chanter_create(
+                  &t, nullptr,
+                  [](void*) -> void* {
+                    pthread_chanter_mutex_lock(&gate);  // parked until main
+                    pthread_chanter_mutex_unlock(&gate);
+                    return reinterpret_cast<void*>(static_cast<long>(55));
+                  },
+                  nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL),
+              0);
+    void* status = nullptr;
+    EXPECT_EQ(pthread_chanter_join_timed(&t, &status, 2 * kMs), ETIMEDOUT);
+    ASSERT_EQ(pthread_chanter_mutex_unlock(&gate), 0);
+    // The timed-out join relinquished its claim: joining again works.
+    EXPECT_EQ(pthread_chanter_join_timed(&t, &status, 2000 * kMs), 0);
+    EXPECT_EQ(status, reinterpret_cast<void*>(static_cast<long>(55)));
+    // The thread is gone now.
+    EXPECT_EQ(pthread_chanter_join_timed(&t, &status, 1 * kMs), ESRCH);
+    EXPECT_EQ(pthread_chanter_join_timed(nullptr, &status, 1 * kMs), EINVAL);
+    (void)rt;
+    pthread_chanter_mutex_destroy(&gate);
+  });
+}
+
+}  // namespace

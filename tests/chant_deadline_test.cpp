@@ -1,0 +1,390 @@
+// chant_deadline_test.cpp — the Status-based deadline/cancellation API
+// (DESIGN.md §8): timed recv / msgwait / call_wait / call / join, the
+// idempotent Status-returning cancel_irecv, the RSR retry machinery on a
+// reliable net, and the no-leak guarantees (outstanding_calls /
+// outstanding_recvs / pool gauges) after every timeout path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "chant_test_util.hpp"
+#include "lwt/lwt.hpp"
+
+namespace {
+
+using chant::Deadline;
+using chant::Gid;
+using chant::Runtime;
+using chant::Status;
+using chant::StatusCode;
+using chant_test::PolicyCase;
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+// ------------------------------------------------------- Status semantics
+
+TEST(Status, BoolShimMatchesHistoricalReturns) {
+  // call_test: Ok ≡ old `true` (complete), Pending ≡ old `false`.
+  EXPECT_TRUE(static_cast<bool>(Status(StatusCode::Ok)));
+  EXPECT_FALSE(static_cast<bool>(Status(StatusCode::Pending)));
+  // cancel_irecv: Ok ≡ old `true` (withdrawn before completion).
+  EXPECT_FALSE(static_cast<bool>(Status(StatusCode::AlreadyCompleted)));
+  EXPECT_FALSE(static_cast<bool>(Status(StatusCode::DeadlineExceeded)));
+  EXPECT_STREQ(Status(StatusCode::DeadlineExceeded).message(),
+               "deadline exceeded");
+  EXPECT_EQ(Status(StatusCode::Ok), StatusCode::Ok);
+  EXPECT_NE(Status(StatusCode::Ok), StatusCode::Canceled);
+}
+
+TEST(Status, DeadlineResolution) {
+  EXPECT_TRUE(Deadline::infinite().is_infinite());
+  EXPECT_EQ(Deadline::infinite().resolve(123), lwt::kNoDeadline);
+  EXPECT_EQ(Deadline::at(500).resolve(100), 500u);
+  EXPECT_EQ(Deadline::after(50).resolve(100), 150u);
+  // Relative deadlines saturate instead of wrapping.
+  EXPECT_EQ(Deadline::after(~std::uint64_t{0} - 1).resolve(100),
+            lwt::kNoDeadline);
+}
+
+// -------------------------------------------------------------- timed p2p
+
+class ChantDeadline : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(ChantDeadline, RecvTimesOutAndMessageIsNotLost) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([&](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      long v = 0;
+      // Nothing sent yet: the bounded receive must expire.
+      const Status st =
+          rt.recv(10, &v, sizeof v, peer, Deadline::after(5 * kMs));
+      EXPECT_EQ(st, StatusCode::DeadlineExceeded);
+      EXPECT_GE(rt.rsr_stats().deadline_timeouts, 1u);
+      // Release the sender; its message must land in a *later* receive —
+      // the timed-out one withdrew its posted buffer without losing
+      // anything (the message had not been sent when it expired).
+      long go = 1;
+      rt.send(11, &go, sizeof go, peer);
+      chant::MsgInfo mi;
+      const Status st2 =
+          rt.recv(10, &v, sizeof v, peer, Deadline::after(500 * kMs), &mi);
+      EXPECT_EQ(st2, StatusCode::Ok);
+      EXPECT_EQ(v, 42);
+      EXPECT_EQ(mi.len, sizeof v);
+      EXPECT_EQ(mi.src, peer);
+    } else {
+      long go = 0;
+      rt.recv(11, &go, sizeof go, peer);
+      long v = 42;
+      rt.send(10, &v, sizeof v, peer);
+    }
+  });
+}
+
+TEST_P(ChantDeadline, RecvWithInfiniteDeadlineBehavesLikeUntimed) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([&](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      long v = 7;
+      rt.send(20, &v, sizeof v, peer);
+    } else {
+      long v = 0;
+      EXPECT_EQ(rt.recv(20, &v, sizeof v, peer, Deadline::infinite()),
+                StatusCode::Ok);
+      EXPECT_EQ(v, 7);
+    }
+  });
+}
+
+TEST_P(ChantDeadline, TimedMsgwaitLeavesHandleLive) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([&](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      long v = 0;
+      const int h = rt.irecv(30, &v, sizeof v, peer);
+      EXPECT_EQ(rt.outstanding_recvs(), 1u);
+      EXPECT_EQ(rt.msgwait(h, Deadline::after(5 * kMs)),
+                StatusCode::DeadlineExceeded);
+      // Contract: the receive stays posted and the handle stays valid.
+      EXPECT_EQ(rt.outstanding_recvs(), 1u);
+      long go = 1;
+      rt.send(31, &go, sizeof go, peer);
+      chant::MsgInfo mi;
+      EXPECT_EQ(rt.msgwait(h, Deadline::after(500 * kMs), &mi),
+                StatusCode::Ok);
+      EXPECT_EQ(v, 99);
+      EXPECT_EQ(mi.src, peer);
+      EXPECT_EQ(rt.outstanding_recvs(), 0u);  // released on completion
+    } else {
+      long go = 0;
+      rt.recv(31, &go, sizeof go, peer);
+      long v = 99;
+      rt.send(30, &v, sizeof v, peer);
+    }
+  });
+}
+
+TEST_P(ChantDeadline, CancelIrecvIsIdempotent) {
+  // Regression: cancelling an already-completed (or already-cancelled)
+  // handle must be a harmless AlreadyCompleted, never a crash or Ok.
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([&](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 0) {
+      // (a) cancel before anything arrives: withdrawn.
+      long a = 0;
+      const int h1 = rt.irecv(40, &a, sizeof a, peer);
+      EXPECT_EQ(rt.cancel_irecv(h1), StatusCode::Ok);
+      // (b) double cancel: the handle is retired, second call is a no-op.
+      EXPECT_EQ(rt.cancel_irecv(h1), StatusCode::AlreadyCompleted);
+      EXPECT_EQ(rt.outstanding_recvs(), 0u);
+      // (c) cancel after the message has been delivered into the buffer.
+      long b = 0;
+      const int h2 = rt.irecv(41, &b, sizeof b, peer);
+      long go = 1;
+      rt.send(42, &go, sizeof go, peer);
+      long flag = 0;
+      rt.recv(43, &flag, sizeof flag, peer);  // FIFO: 41 delivered first
+      EXPECT_EQ(rt.cancel_irecv(h2), StatusCode::AlreadyCompleted);
+      EXPECT_EQ(rt.cancel_irecv(h2), StatusCode::AlreadyCompleted);
+      EXPECT_EQ(rt.outstanding_recvs(), 0u);
+      // (d) a handle that never existed.
+      EXPECT_EQ(rt.cancel_irecv(-1), StatusCode::Invalid);
+      // Bool shim: old call sites treat the return as "withdrawn?".
+      long c = 0;
+      const int h3 = rt.irecv(44, &c, sizeof c, peer);
+      EXPECT_TRUE(rt.cancel_irecv(h3));   // withdrawn → truthy
+      EXPECT_FALSE(rt.cancel_irecv(h3));  // retired → falsy
+    } else {
+      long go = 0;
+      rt.recv(42, &go, sizeof go, peer);
+      long v = 7;
+      rt.send(41, &v, sizeof v, peer);
+      long flag = 1;
+      rt.send(43, &flag, sizeof flag, peer);
+    }
+  });
+}
+
+// -------------------------------------------------------------- timed RSR
+
+void square_handler(Runtime&, Runtime::RsrContext&, const void* arg,
+                    std::size_t len, std::vector<std::uint8_t>& reply) {
+  long v = 0;
+  if (len >= sizeof v) std::memcpy(&v, arg, sizeof v);
+  const long out = v * v;
+  reply.resize(sizeof out);
+  std::memcpy(reply.data(), &out, sizeof out);
+}
+
+/// Defers and never replies: every bounded wait on it must expire.
+void black_hole_handler(Runtime&, Runtime::RsrContext& ctx, const void*,
+                        std::size_t, std::vector<std::uint8_t>&) {
+  ctx.deferred = true;
+}
+
+/// Counts invocations; defers the reply by ~30 ms of scheduler time so a
+/// short-backoff retry policy resends while the first attempt cooks.
+struct SlowCounter {
+  static int invocations;
+  static void handler(Runtime& rt, Runtime::RsrContext& ctx, const void* arg,
+                      std::size_t len, std::vector<std::uint8_t>&) {
+    ++invocations;
+    long v = 0;
+    if (len >= sizeof v) std::memcpy(&v, arg, sizeof v);
+    ctx.deferred = true;
+    const Runtime::RsrContext saved = ctx;
+    lwt::ThreadAttr attr;
+    attr.detached = true;
+    lwt::go(
+        [&rt, saved, v] {
+          lwt::sleep_for(30 * kMs);
+          const long out = v + 1000;
+          rt.reply(saved, &out, sizeof out);
+        },
+        attr);
+  }
+};
+int SlowCounter::invocations = 0;
+
+TEST_P(ChantDeadline, CallWaitTimesOutAndReclaimsSlot) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int hole = w.register_handler(&black_hole_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const auto pool_before = rt.buffer_pool().free_blocks();
+    long v = 1;
+    const int h = rt.call_async(1, 0, hole, &v, sizeof v);
+    EXPECT_EQ(rt.outstanding_calls(), 1u);
+    std::vector<std::uint8_t> rep;
+    EXPECT_EQ(rt.call_wait(h, Deadline::after(5 * kMs), &rep),
+              StatusCode::DeadlineExceeded);
+    // The slot and handle are gone, and every pooled block the call held
+    // is back on the free list (the pool grows lazily, so the count may
+    // exceed the pre-call snapshot — it must never fall below it).
+    EXPECT_EQ(rt.outstanding_calls(), 0u);
+    EXPECT_GE(rt.buffer_pool().free_blocks(), pool_before);
+    EXPECT_THROW((void)rt.call_test(h), std::invalid_argument);
+    // Steady-state proof of reclamation: a second abandoned call must
+    // recycle the first one's blocks — free count settles, zero fresh
+    // heap blocks.
+    const auto settled = rt.buffer_pool().free_blocks();
+    const auto fresh_before = rt.buffer_pool().stats().fresh;
+    const int h2 = rt.call_async(1, 0, hole, &v, sizeof v);
+    EXPECT_EQ(rt.call_wait(h2, Deadline::after(5 * kMs), nullptr),
+              StatusCode::DeadlineExceeded);
+    EXPECT_EQ(rt.outstanding_calls(), 0u);
+    EXPECT_EQ(rt.buffer_pool().free_blocks(), settled);
+    EXPECT_EQ(rt.buffer_pool().stats().fresh, fresh_before);
+  });
+}
+
+TEST_P(ChantDeadline, TimedCallSucceedsWellBeforeDeadline) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int square = w.register_handler(&square_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    long v = 6;
+    std::vector<std::uint8_t> rep;
+    EXPECT_EQ(rt.call(1, 0, square, &v, sizeof v, Deadline::after(2000 * kMs),
+                      &rep),
+              StatusCode::Ok);
+    long out = 0;
+    ASSERT_EQ(rep.size(), sizeof out);
+    std::memcpy(&out, rep.data(), sizeof out);
+    EXPECT_EQ(out, 36);
+    EXPECT_EQ(rt.outstanding_calls(), 0u);
+  });
+}
+
+TEST_P(ChantDeadline, TimedCallOnBlackHoleExpiresWithRetries) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int hole = w.register_handler(&black_hole_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    chant::RetryPolicy rp;
+    rp.max_attempts = 3;
+    rp.initial_backoff_ns = 3 * kMs;
+    long v = 1;
+    const Status st = rt.call(1, 0, hole, &v, sizeof v,
+                              Deadline::after(40 * kMs), nullptr, &rp);
+    EXPECT_EQ(st, StatusCode::DeadlineExceeded);
+    EXPECT_GE(rt.rsr_stats().retries_sent, 1u);
+    EXPECT_EQ(rt.outstanding_calls(), 0u);
+  });
+}
+
+TEST_P(ChantDeadline, RetriedSlowCallIsDedupedAndExecutedOnce) {
+  // Self-call so client and server counters live on the same Runtime.
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  const int slow = w.register_handler(&SlowCounter::handler);
+  w.run([&](Runtime& rt) {
+    SlowCounter::invocations = 0;
+    chant::RetryPolicy rp;
+    rp.max_attempts = 8;
+    rp.initial_backoff_ns = 4 * kMs;
+    rp.multiplier = 1;  // keep resending every ~4 ms while it cooks
+    long v = 5;
+    std::vector<std::uint8_t> rep;
+    const Status st = rt.call(0, 0, slow, &v, sizeof v,
+                              Deadline::after(2000 * kMs), &rep, &rp);
+    ASSERT_EQ(st, StatusCode::Ok);
+    long out = 0;
+    ASSERT_EQ(rep.size(), sizeof out);
+    std::memcpy(&out, rep.data(), sizeof out);
+    EXPECT_EQ(out, 1005);
+    // The ~30 ms handler outlasted several 4 ms backoff windows, so
+    // duplicates were sent — and every one was suppressed: the handler
+    // ran exactly once (deferred handlers get suppression, not replay).
+    EXPECT_GE(rt.rsr_stats().retries_sent, 1u);
+    EXPECT_GE(rt.rsr_stats().dup_drops, 1u);
+    EXPECT_EQ(SlowCounter::invocations, 1);
+    EXPECT_EQ(rt.outstanding_calls(), 0u);
+  });
+}
+
+TEST_P(ChantDeadline, PerHandlerRetryPolicyIsPickedUp) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  const int slow = w.register_handler(&SlowCounter::handler);
+  w.run([&](Runtime& rt) {
+    SlowCounter::invocations = 0;
+    chant::RetryPolicy rp;
+    rp.max_attempts = 8;
+    rp.initial_backoff_ns = 4 * kMs;
+    rp.multiplier = 1;
+    rt.set_retry_policy(slow, rp);  // opt-in: no per-call policy below
+    long v = 1;
+    std::vector<std::uint8_t> rep;
+    ASSERT_EQ(rt.call(0, 0, slow, &v, sizeof v, Deadline::after(2000 * kMs),
+                      &rep),
+              StatusCode::Ok);
+    EXPECT_GE(rt.rsr_stats().retries_sent, 1u);
+    EXPECT_EQ(SlowCounter::invocations, 1);
+  });
+}
+
+// ------------------------------------------------------------- timed join
+
+TEST_P(ChantDeadline, LocalTimedJoinRelinquishesClaim) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  w.run([&](Runtime& rt) {
+    static lwt::Semaphore* gate;
+    lwt::Semaphore g(0);
+    gate = &g;
+    const Gid t = rt.create(
+        [](void*) -> void* {
+          gate->acquire();
+          return reinterpret_cast<void*>(static_cast<long>(123));
+        },
+        nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+    void* rv = nullptr;
+    EXPECT_EQ(rt.join(t, Deadline::after(5 * kMs), &rv),
+              StatusCode::DeadlineExceeded);
+    g.release();
+    // The timeout relinquished the claim: a second join still works.
+    EXPECT_EQ(rt.join(t, Deadline::after(2000 * kMs), &rv), StatusCode::Ok);
+    EXPECT_EQ(rv, reinterpret_cast<void*>(static_cast<long>(123)));
+    // The thread is reaped: a third join reports it gone.
+    EXPECT_EQ(rt.join(t, Deadline::after(1 * kMs), &rv),
+              StatusCode::PeerGone);
+  });
+}
+
+TEST_P(ChantDeadline, SelfTimedJoinIsInvalid) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  w.run([&](Runtime& rt) {
+    void* rv = nullptr;
+    EXPECT_EQ(rt.join(rt.self(), Deadline::after(1 * kMs), &rv),
+              StatusCode::Invalid);
+  });
+}
+
+TEST_P(ChantDeadline, RemoteTimedJoinCompletesBeforeDeadline) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    const Gid t = rt.create(
+        [](void*) -> void* {
+          return reinterpret_cast<void*>(static_cast<long>(7));
+        },
+        nullptr, 1, 0);
+    void* rv = nullptr;
+    EXPECT_EQ(rt.join(t, Deadline::after(2000 * kMs), &rv), StatusCode::Ok);
+    EXPECT_EQ(rv, reinterpret_cast<void*>(static_cast<long>(7)));
+    // Joining again: the remote record is gone.
+    EXPECT_EQ(rt.join(t, Deadline::after(2000 * kMs), &rv),
+              StatusCode::PeerGone);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChantDeadline,
+                         ::testing::ValuesIn(chant_test::all_cases()),
+                         [](const auto& info) {
+                           return chant_test::case_name(info.param);
+                         });
+
+}  // namespace

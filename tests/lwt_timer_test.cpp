@@ -1,0 +1,281 @@
+// lwt_timer_test.cpp — the timer wheel and every timed wait built on it:
+// sleep_for/sleep_until, timed mutex / condvar / semaphore / rwlock
+// acquires, and timed join. Deadlines here use the production steady
+// clock with generous margins; deterministic timeout *interleavings* are
+// exercised under the VirtualClock in sim_timer_test.cpp (tier 2).
+#include "lwt/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "lwt/lwt.hpp"
+
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+// ------------------------------------------------------------ timer wheel
+
+TEST(TimerWheel, FiresInDeadlineThenArmOrder) {
+  lwt::TimerWheel w;
+  // Tcb pointers are opaque to the wheel; fake distinct ones.
+  auto* a = reinterpret_cast<lwt::Tcb*>(0x10);
+  auto* b = reinterpret_cast<lwt::Tcb*>(0x20);
+  auto* c = reinterpret_cast<lwt::Tcb*>(0x30);
+  w.arm(300, a);
+  w.arm(100, b);
+  w.arm(100, c);  // same tick as b: arm order breaks the tie
+  EXPECT_EQ(w.armed(), 3u);
+  EXPECT_EQ(w.next_deadline(), 100u);
+
+  std::vector<lwt::Tcb*> fired;
+  auto fire = [](void* ctx, lwt::Tcb* t) {
+    static_cast<std::vector<lwt::Tcb*>*>(ctx)->push_back(t);
+  };
+  EXPECT_EQ(w.expire(99, fire, &fired), 0u);
+  EXPECT_EQ(w.expire(100, fire, &fired), 2u);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], b);
+  EXPECT_EQ(fired[1], c);
+  EXPECT_EQ(w.next_deadline(), 300u);
+  EXPECT_EQ(w.expire(1000, fire, &fired), 1u);
+  EXPECT_EQ(fired.back(), a);
+  EXPECT_EQ(w.armed(), 0u);
+  EXPECT_EQ(w.next_deadline(), lwt::kNoDeadline);
+}
+
+TEST(TimerWheel, DisarmedTimerNeverFires) {
+  lwt::TimerWheel w;
+  auto* a = reinterpret_cast<lwt::Tcb*>(0x10);
+  const auto id = w.arm(100, a);
+  EXPECT_TRUE(w.disarm(id));
+  EXPECT_FALSE(w.disarm(id));  // second disarm: already gone
+  int fired = 0;
+  EXPECT_EQ(w.expire(1000,
+                     [](void* ctx, lwt::Tcb*) { ++*static_cast<int*>(ctx); },
+                     &fired),
+            0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(w.armed(), 0u);
+}
+
+// ------------------------------------------------------------------ sleep
+
+TEST(Sleep, SleepForAdvancesClockAndCounts) {
+  lwt::run([] {
+    const std::uint64_t before = lwt::now();
+    lwt::sleep_for(2 * kMs);
+    EXPECT_GE(lwt::now(), before + 2 * kMs);
+    const auto& st = lwt::Scheduler::current()->stats();
+    EXPECT_GE(st.sleeps, 1u);
+    EXPECT_GE(st.timer_fires, 1u);
+    EXPECT_EQ(lwt::Scheduler::current()->armed_timers(), 0u);
+  });
+}
+
+TEST(Sleep, SleepUntilPastDeadlineIsANoopYield) {
+  lwt::run([] {
+    lwt::sleep_until(0);  // already expired
+    SUCCEED();
+  });
+}
+
+TEST(Sleep, SleepersWakeInDeadlineOrder) {
+  lwt::run([] {
+    std::vector<int> order;
+    const std::uint64_t base = lwt::now();
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 3; i >= 1; --i) {  // spawn in reverse deadline order
+      ts.push_back(lwt::go([&order, base, i] {
+        lwt::sleep_until(base + static_cast<std::uint64_t>(i) * kMs);
+        order.push_back(i);
+      }));
+    }
+    for (auto* t : ts) lwt::join(t);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+  });
+}
+
+// ------------------------------------------------------------ timed mutex
+
+TEST(TimedMutex, TimesOutWhileHeldThenSucceeds) {
+  lwt::run([] {
+    lwt::Mutex m;
+    m.lock();
+    lwt::Tcb* t = lwt::go([&] {
+      EXPECT_FALSE(m.try_lock_for(1 * kMs));  // held: must time out
+      EXPECT_TRUE(m.try_lock_for(200 * kMs));  // released below
+      m.unlock();
+    });
+    lwt::sleep_for(5 * kMs);  // let the waiter time out first
+    m.unlock();
+    lwt::join(t);
+    EXPECT_FALSE(m.locked());
+    EXPECT_GE(lwt::Scheduler::current()->stats().timer_fires, 1u);
+  });
+}
+
+TEST(TimedMutex, UncontendedTimedLockTakesFastPath) {
+  lwt::run([] {
+    lwt::Mutex m;
+    const auto armed_before = lwt::Scheduler::current()->stats().timers_armed;
+    EXPECT_TRUE(m.try_lock_for(100 * kMs));
+    m.unlock();
+    // Fast path: no timer should have been armed at all.
+    EXPECT_EQ(lwt::Scheduler::current()->stats().timers_armed, armed_before);
+  });
+}
+
+TEST(TimedMutex, TimedOutWaiterDoesNotInheritLock) {
+  lwt::run([] {
+    lwt::Mutex m;
+    m.lock();
+    bool timed_out = false;
+    lwt::Tcb* t = lwt::go([&] { timed_out = !m.try_lock_for(1 * kMs); });
+    lwt::join(t);
+    EXPECT_TRUE(timed_out);
+    // The timed-out waiter must have left the wait queue: unlock may not
+    // hand the lock to it.
+    m.unlock();
+    EXPECT_FALSE(m.locked());
+  });
+}
+
+// ---------------------------------------------------------- timed condvar
+
+TEST(TimedCondVar, TimesOutAndReacquiresMutex) {
+  lwt::run([] {
+    lwt::Mutex m;
+    lwt::CondVar cv;
+    m.lock();
+    const bool signalled =
+        cv.wait_until(m, lwt::Scheduler::current()->deadline_after(1 * kMs));
+    EXPECT_FALSE(signalled);
+    EXPECT_EQ(m.owner(), lwt::self());  // reacquired on the timeout path
+    m.unlock();
+  });
+}
+
+TEST(TimedCondVar, SignalBeatsDeadline) {
+  lwt::run([] {
+    lwt::Mutex m;
+    lwt::CondVar cv;
+    bool ready = false;
+    lwt::Tcb* t = lwt::go([&] {
+      lwt::LockGuard g(m);
+      ready = true;
+      cv.signal();
+    });
+    m.lock();
+    const std::uint64_t deadline =
+        lwt::Scheduler::current()->deadline_after(500 * kMs);
+    const bool ok = cv.wait_until(m, deadline, [&] { return ready; });
+    EXPECT_TRUE(ok);
+    m.unlock();
+    lwt::join(t);
+  });
+}
+
+TEST(TimedCondVar, PredicateCheckedOnTimeout) {
+  lwt::run([] {
+    lwt::Mutex m;
+    lwt::CondVar cv;
+    m.lock();
+    // Timeout with a pred that is already true: overload returns true.
+    EXPECT_TRUE(cv.wait_until(
+        m, lwt::Scheduler::current()->deadline_after(1 * kMs),
+        [] { return true; }));
+    m.unlock();
+  });
+}
+
+// -------------------------------------------------------- timed semaphore
+
+TEST(TimedSemaphore, AcquireTimesOutThenSucceeds) {
+  lwt::run([] {
+    lwt::Semaphore sem(0);
+    EXPECT_FALSE(sem.try_acquire_until(
+        lwt::Scheduler::current()->deadline_after(1 * kMs)));
+    sem.release();
+    EXPECT_TRUE(sem.try_acquire_until(
+        lwt::Scheduler::current()->deadline_after(1 * kMs)));
+  });
+}
+
+// ----------------------------------------------------------- timed rwlock
+
+TEST(TimedRwLock, WriterTimesOutUnderReaderThenReaderTimesOutUnderWriter) {
+  lwt::run([] {
+    lwt::RwLock rw;
+    rw.lock_shared();
+    EXPECT_FALSE(rw.try_lock_until(
+        lwt::Scheduler::current()->deadline_after(1 * kMs)));
+    rw.unlock_shared();
+    rw.lock();
+    lwt::Tcb* t = lwt::go([&] {
+      EXPECT_FALSE(rw.try_lock_shared_until(
+          lwt::Scheduler::current()->deadline_after(1 * kMs)));
+    });
+    lwt::join(t);
+    rw.unlock();
+    // Both sides acquirable again after the timeouts.
+    EXPECT_TRUE(rw.try_lock_until(
+        lwt::Scheduler::current()->deadline_after(1 * kMs)));
+    rw.unlock();
+  });
+}
+
+// ------------------------------------------------------------- timed join
+
+TEST(TimedJoin, TimeoutRelinquishesClaimAndJoinStillWorks) {
+  lwt::run([] {
+    lwt::Semaphore gate(0);
+    lwt::Tcb* t = lwt::go([&]() -> void {
+      gate.acquire();
+    });
+    void* rv = reinterpret_cast<void*>(0xdead);
+    EXPECT_FALSE(lwt::Scheduler::current()->join_until(
+        t, lwt::Scheduler::current()->deadline_after(1 * kMs), &rv));
+    gate.release();
+    // The timed-out join relinquished its claim: a second join succeeds.
+    EXPECT_EQ(lwt::join(t), nullptr);
+  });
+}
+
+TEST(TimedJoin, CompletionBeforeDeadlineReturnsValue) {
+  lwt::run([] {
+    lwt::Tcb* t = lwt::go([] {});
+    lwt::yield();  // let it finish
+    void* rv = nullptr;
+    EXPECT_TRUE(lwt::Scheduler::current()->join_until(
+        t, lwt::Scheduler::current()->deadline_after(500 * kMs), &rv));
+    EXPECT_EQ(rv, nullptr);
+  });
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(TimerStats, CancelledTimersAreCounted) {
+  lwt::run([] {
+    lwt::Semaphore sem(1);
+    // Succeeds immediately after arming? No: count 1 means no timer at
+    // all. Force a parked timed wait that completes before the deadline.
+    sem.acquire();
+    lwt::Tcb* t = lwt::go([&] {
+      EXPECT_TRUE(sem.try_acquire_until(
+          lwt::Scheduler::current()->deadline_after(500 * kMs)));
+    });
+    lwt::yield();   // waiter parks with a timer armed
+    sem.release();  // wakes before the deadline → timer disarmed
+    lwt::join(t);
+    EXPECT_GE(lwt::Scheduler::current()->stats().timer_cancels, 1u);
+    EXPECT_EQ(lwt::Scheduler::current()->armed_timers(), 0u);
+  });
+}
+
+}  // namespace

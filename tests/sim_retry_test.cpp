@@ -1,0 +1,215 @@
+// sim_retry_test.cpp — RSR retry + duplicate suppression under a lossy
+// net (DESIGN.md §8.3). Requests and replies are dropped with 10–50%
+// probability per message; a deadline call with a retry policy must,
+// for every explored seed, either return the *correct* reply (Ok) or
+// give up with DeadlineExceeded by roughly the deadline — never hang,
+// never leak a call record or pool block, never pair a reply with the
+// wrong request, and never let a duplicate execute a non-idempotent
+// handler twice.
+//
+// The drop probability sweeps {0.1, 0.3, 0.5} by default; CI's
+// lossy-net job pins one value per matrix leg via CHANT_SIM_DROP.
+// CHANT_SIM_SEEDS / CHANT_SIM_SEED (read by sim::explore) reproduce a
+// failing schedule.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chant/chant.hpp"
+#include "sim/explore.hpp"
+
+namespace {
+
+using chant::Deadline;
+using chant::PollPolicy;
+using chant::RetryPolicy;
+using chant::Runtime;
+using chant::Status;
+using chant::StatusCode;
+
+/// Virtual-time scales: the controller advances 200 ns per scheduling
+/// point and 12.8 µs per idle burst, so a 2 ms deadline is hundreds of
+/// scheduling decisions — long enough for several retry rounds, short
+/// enough to keep a 1000-seed sweep cheap.
+constexpr std::uint64_t kDeadlineNs = 2'000'000;
+
+RetryPolicy lossy_policy() {
+  RetryPolicy rp;
+  rp.max_attempts = 8;
+  rp.initial_backoff_ns = 60'000;
+  rp.multiplier = 2;
+  rp.max_backoff_ns = 400'000;
+  return rp;
+}
+
+/// Non-idempotent on purpose: doubles a per-process counter and echoes
+/// (value, execution#). Duplicate suppression is what keeps the
+/// execution count equal to the number of *distinct* requests served.
+thread_local long t_executions = 0;
+
+void counting_echo(Runtime&, Runtime::RsrContext&, const void* arg,
+                   std::size_t len, std::vector<std::uint8_t>& reply) {
+  ++t_executions;
+  long v = 0;
+  if (len >= sizeof v) std::memcpy(&v, arg, sizeof v);
+  const long out[2] = {v, t_executions};
+  reply.resize(sizeof out);
+  std::memcpy(reply.data(), &out, sizeof out);
+}
+
+double drop_override(double fallback) {
+  const char* e = std::getenv("CHANT_SIM_DROP");
+  return e != nullptr ? std::atof(e) : fallback;
+}
+
+struct SweepTally {
+  std::size_t ok = 0;
+  std::size_t expired = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t replays = 0;
+};
+
+/// One exploration sweep at a given drop rate; every invariant is
+/// asserted inside the body (per seed), the tally is for the summary
+/// expectations of the callers.
+SweepTally sweep(double drop_p, std::size_t seeds, std::uint64_t base_seed) {
+  SweepTally tally;
+  sim::Options opt;
+  opt.seeds = seeds;
+  opt.base_seed = base_seed;
+  opt.faults.drop_p = drop_p;
+  opt.faults.delay_p = 0.3;
+  opt.faults.max_delay_ns = 50'000;
+  opt.faults.dup_p = 0.05;  // wire-level dups exercise dedup too
+  const sim::Result res = sim::explore(opt, [&](sim::Session& s) {
+    chant::World::Config cfg;
+    cfg.pes = 1;
+    cfg.rt.policy = PollPolicy::SchedulerPollsWQ;
+    s.apply(cfg);
+    chant::World w(cfg);
+    const int echo = w.register_handler(&counting_echo);
+    w.run([&](Runtime& rt) {
+      t_executions = 0;
+      const RetryPolicy rp = lossy_policy();
+      long expected_executions = 0;
+      for (long i = 0; i < 4; ++i) {
+        const std::uint64_t t0 = rt.scheduler().now();
+        const long v = 1000 + i;
+        std::vector<std::uint8_t> rep;
+        const Status st = rt.call(rt.pe(), rt.process(), echo, &v, sizeof v,
+                                  Deadline::after(kDeadlineNs), &rep, &rp);
+        const std::uint64_t elapsed = rt.scheduler().now() - t0;
+        if (st.ok()) {
+          // Correct pairing: the reply names *this* request's value.
+          long out[2] = {0, 0};
+          ASSERT_EQ(rep.size(), sizeof out);
+          std::memcpy(&out, rep.data(), sizeof out);
+          ASSERT_EQ(out[0], v) << "reply paired with the wrong request";
+          ++expected_executions;
+          ++tally.ok;
+        } else {
+          ASSERT_EQ(st, StatusCode::DeadlineExceeded);
+          // Give-up happens by ~the deadline: 2x covers the final
+          // attempt's scheduling slack (acceptance bound).
+          EXPECT_LE(elapsed, 2 * kDeadlineNs);
+          // The handler may or may not have executed (the reply may be
+          // what was lost); both are legal for an expired call.
+          if (t_executions > expected_executions) {
+            expected_executions = t_executions;
+          }
+          ++tally.expired;
+        }
+        // No leaks after either outcome.
+        ASSERT_EQ(rt.outstanding_calls(), 0u);
+        ASSERT_EQ(rt.outstanding_recvs(), 0u);
+      }
+      // Duplicate suppression: resends and wire dups never re-execute
+      // the (non-idempotent) handler for an already-served request.
+      EXPECT_LE(t_executions, 4);
+      EXPECT_GE(t_executions, expected_executions);
+      tally.retries += rt.rsr_stats().retries_sent;
+      tally.replays += rt.rsr_stats().dup_replays;
+    });
+  });
+  EXPECT_FALSE(res.failed) << "drop_p=" << drop_p;
+  if (std::getenv("CHANT_SIM_SEEDS") == nullptr) {
+    EXPECT_EQ(res.iterations, seeds);
+  }
+  return tally;
+}
+
+TEST(SimRetry, LossyNet10PercentMostCallsSucceed) {
+  // The acceptance sweep: 10% drop, 1000 explored schedules (4 bounded
+  // calls each), zero hangs, zero leaks — asserted per seed in sweep().
+  const double drop = drop_override(0.1);
+  const SweepTally t = sweep(drop, 1000, 0x0D10);
+  // With 8 attempts at 10% loss, nearly everything lands; at the CI
+  // sweep's harsher rates a majority should still land (p(fail/attempt)
+  // <= ~0.75 even at 50% drop, and attempts compound).
+  EXPECT_GT(t.ok, t.expired);
+  if (drop >= 0.05) {
+    // Drops happened, so retries must have been the thing that saved
+    // the calls that landed.
+    EXPECT_GT(t.retries, 0u);
+  }
+}
+
+TEST(SimRetry, LossyNet30PercentRepliesReplayFromDedupCache) {
+  const double drop = drop_override(0.3);
+  const SweepTally t = sweep(drop, 200, 0x0D30);
+  EXPECT_GT(t.retries, 0u);
+  // A dropped *reply* (not request) forces a resend of an already-served
+  // request; the server must answer it from the dedup cache. At 30%+
+  // drop over 200 seeds x 4 calls this path is hit essentially always.
+  EXPECT_GT(t.replays, 0u);
+}
+
+TEST(SimRetry, LossyNet50PercentNeverHangsOrLeaks) {
+  const double drop = drop_override(0.5);
+  const SweepTally t = sweep(drop, 200, 0x0D50);
+  // At 50% drop some calls expire — that is the *correct* outcome; the
+  // hard invariants (bounded time, no leak, exact pairing, dedup) are
+  // asserted per seed inside sweep().
+  EXPECT_GT(t.ok + t.expired, 0u);
+}
+
+TEST(SimRetry, NoRetryPolicyMeansSingleAttempt) {
+  // Without a policy a lost request is simply a DeadlineExceeded — no
+  // silent resends of a possibly non-idempotent handler.
+  sim::Options opt;
+  opt.seeds = 200;
+  opt.base_seed = 0x1501;
+  opt.faults.drop_p = 0.4;
+  const sim::Result res = sim::explore(opt, [](sim::Session& s) {
+    chant::World::Config cfg;
+    cfg.pes = 1;
+    cfg.rt.policy = PollPolicy::SchedulerPollsWQ;
+    s.apply(cfg);
+    chant::World w(cfg);
+    const int echo = w.register_handler(&counting_echo);
+    w.run([&](Runtime& rt) {
+      t_executions = 0;
+      long v = 77;
+      std::vector<std::uint8_t> rep;
+      const Status st = rt.call(rt.pe(), rt.process(), echo, &v, sizeof v,
+                                Deadline::after(kDeadlineNs), &rep);
+      if (st.ok()) {
+        long out[2] = {0, 0};
+        ASSERT_EQ(rep.size(), sizeof out);
+        std::memcpy(&out, rep.data(), sizeof out);
+        EXPECT_EQ(out[0], 77);
+      } else {
+        EXPECT_EQ(st, StatusCode::DeadlineExceeded);
+      }
+      EXPECT_EQ(rt.rsr_stats().retries_sent, 0u);
+      EXPECT_LE(t_executions, 1);
+      EXPECT_EQ(rt.outstanding_calls(), 0u);
+    });
+  });
+  EXPECT_FALSE(res.failed);
+}
+
+}  // namespace
