@@ -354,6 +354,7 @@ class Runtime {
     std::vector<std::uint8_t> tail_buf;  ///< tail landing zone (moved out)
     Gid server{-1, -1, -1};
     int seq = 0;
+    std::uint32_t nonce = 0;  ///< per-call id for server-side dedup
     std::uint32_t idx = 0;
     std::uint32_t gen = 1;
     bool active = false;
@@ -393,19 +394,26 @@ class Runtime {
   /// Server-side duplicate suppression for retryable requests, keyed by
   /// (requester gid, reply_seq), bounded FIFO window.
   struct DedupEntry {
+    std::uint32_t nonce = 0;  ///< the call that created this entry
     bool done = false;
     std::vector<std::uint8_t> reply;  ///< recorded bytes (done only)
   };
   static std::uint64_t dedup_key(const Gid& from, int seq) noexcept {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.pe))
-            << 44) ^
-           (static_cast<std::uint64_t>(
-                static_cast<std::uint32_t>(from.process))
-            << 28) ^
-           (static_cast<std::uint64_t>(
-                static_cast<std::uint32_t>(from.thread) & 0xFFFFu)
-            << 12) ^
-           static_cast<std::uint64_t>(seq & 0xFFF);
+    // Disjoint bit ranges — pe[46..63], process[28..45], thread[12..27],
+    // seq[0..11] — so no two callers can alias until pe/process exceed
+    // 2^18 or thread exceeds 2^16 (far past any configured world size).
+    return ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(from.pe)) &
+             0x3FFFFu)
+            << 46) |
+           ((static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(from.process)) &
+             0x3FFFFu)
+            << 28) |
+           ((static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(from.thread)) &
+             0xFFFFu)
+            << 12) |
+           (static_cast<std::uint64_t>(seq) & 0xFFFu);
   }
 
   World& world_;
@@ -427,6 +435,7 @@ class Runtime {
   std::vector<std::uint32_t> free_calls_;
   BufferPool pool_;  ///< recycles RSR scratch buffers (single-threaded)
   int next_reply_seq_ = 0;
+  std::uint32_t next_call_nonce_ = 0;  ///< wire::Rsr::nonce allocator
   bool server_stop_ = false;
   lwt::Tcb* server_tcb_ = nullptr;
 

@@ -206,12 +206,13 @@ MsgInfo Runtime::msgwait(int handle) {
   try {
     block_until(r.wait);
   } catch (...) {
-    if (!r.wait.done) {
-      ep_.cancel_recv(r.wait.nxh);
-      r.active = false;
-      ++r.gen;
-      free_reqs_.push_back(idx);
-    }
+    // Retire the handle whether or not the receive completed: a
+    // cancellation that raced with completion abandons the message, and
+    // leaving the slot active would leak it (and skew outstanding_recvs).
+    if (!r.wait.done) ep_.cancel_recv(r.wait.nxh);
+    r.active = false;
+    ++r.gen;
+    free_reqs_.push_back(idx);
     throw;
   }
   MsgInfo mi = decode(r.wait.hdr);
@@ -233,12 +234,12 @@ Status Runtime::msgwait(int handle, Deadline deadline, MsgInfo* out) {
   try {
     completed = block_until(r.wait, resolve_deadline(deadline));
   } catch (...) {
-    if (!r.wait.done) {
-      ep_.cancel_recv(r.wait.nxh);
-      r.active = false;
-      ++r.gen;
-      free_reqs_.push_back(idx);
-    }
+    // Retire unconditionally (see the untimed overload above): a
+    // cancellation/completion race must not leak the reqs_ slot.
+    if (!r.wait.done) ep_.cancel_recv(r.wait.nxh);
+    r.active = false;
+    ++r.gen;
+    free_reqs_.push_back(idx);
     throw;
   }
   if (!completed) {

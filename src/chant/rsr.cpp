@@ -72,28 +72,42 @@ void Runtime::server_loop() {
     // re-dispatch; one still executing (a deferred handler's helper has
     // the reply in hand) is dropped — the original reply is on its way.
     // The window is a bounded FIFO; the client's backoff schedule keeps
-    // retries well inside it.
+    // retries well inside it. An entry only suppresses requests carrying
+    // the nonce that created it: the client's 12-bit reply_seq wraps
+    // every 4096 calls, so a request landing on an occupied key with a
+    // *different* nonce is a new call whose stale entry must be
+    // displaced — replaying it would return another call's bytes, and a
+    // never-done deferred entry would swallow it and every retry.
     std::uint64_t dkey = 0;
     bool record_reply = false;
     if (req.retryable != 0 && ctx.needs_reply) {
       dkey = dedup_key(req.from, req.reply_seq);
       const auto it = dedup_.find(dkey);
       if (it != dedup_.end()) {
-        if (it->second.done) {
-          ++rsr_stats_.dup_replays;
-          reply(ctx, it->second.reply.data(), it->second.reply.size());
-        } else {
-          ++rsr_stats_.dup_drops;
+        if (it->second.nonce == req.nonce) {
+          if (it->second.done) {
+            ++rsr_stats_.dup_replays;
+            reply(ctx, it->second.reply.data(), it->second.reply.size());
+          } else {
+            ++rsr_stats_.dup_drops;
+          }
+          continue;
         }
-        continue;
+        // New call reusing a wrapped seq: reset the entry in place (it
+        // keeps its eviction slot) and dispatch normally.
+        it->second = DedupEntry{};
+        it->second.nonce = req.nonce;
+        record_reply = true;
+      } else {
+        while (dedup_.size() >= kDedupWindow && !dedup_fifo_.empty()) {
+          dedup_.erase(dedup_fifo_.front());
+          dedup_fifo_.pop_front();
+        }
+        const auto ins = dedup_.emplace(dkey, DedupEntry{});
+        ins.first->second.nonce = req.nonce;
+        dedup_fifo_.push_back(dkey);
+        record_reply = true;
       }
-      while (dedup_.size() >= kDedupWindow && !dedup_fifo_.empty()) {
-        dedup_.erase(dedup_fifo_.front());
-        dedup_fifo_.pop_front();
-      }
-      dedup_.emplace(dkey, DedupEntry{});
-      dedup_fifo_.push_back(dkey);
-      record_reply = true;
     }
     rep.clear();  // capacity retained from the previous dispatch
     if (cfg_.rsr_observer != nullptr) {
@@ -205,6 +219,7 @@ int Runtime::call_asyncv_ex(int dst_pe, int dst_process, int handler,
   c.idx = idx;
   c.active = true;
   c.seq = alloc_reply_seq();
+  c.nonce = next_call_nonce_++;
   c.server = Gid{dst_pe, dst_process, kServerLid};
   c.rbuf = pool_.acquire(sizeof(wire::Reply) + wire::kInlineReply);
   c.wait = WaitCtx{};
@@ -236,6 +251,7 @@ void Runtime::send_rsr(const AsyncCall& c, int handler, const nx::IoVec* iov,
   req.from = self();
   req.attempt = attempt;
   req.retryable = retryable ? 1 : 0;
+  req.nonce = c.nonce;
   nx::IoVec frags[nx::kMaxIov];
   frags[0] = {&req, sizeof req};
   for (std::size_t i = 0; i < iovcnt; ++i) frags[i + 1] = iov[i];

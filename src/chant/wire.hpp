@@ -36,6 +36,10 @@ struct Rsr {
   Gid from{0, 0, 0};
   std::int32_t attempt = 0;    ///< 0 = first send, >0 = retry resend
   std::int32_t retryable = 0;  ///< enters the server dedup window
+  /// Distinguishes a *new* call whose 12-bit reply_seq wrapped onto a
+  /// key still in the server dedup window from a genuine duplicate of
+  /// the call that created the entry (same nonce = same call).
+  std::uint32_t nonce = 0;
 };
 
 /// Reply envelope: [Reply][inline payload...]. If `tail` is set the

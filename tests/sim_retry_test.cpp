@@ -176,6 +176,58 @@ TEST(SimRetry, LossyNet50PercentNeverHangsOrLeaks) {
   EXPECT_GT(t.ok + t.expired, 0u);
 }
 
+TEST(SimRetry, SeqWrapDoesNotReplayStaleDedupEntry) {
+  // Regression: the client's 12-bit reply_seq wraps every 4096 calls,
+  // while a served retryable request lingers in the server's 128-entry
+  // dedup window until displaced by other *retryable* traffic. A new
+  // call reusing a wrapped seq (different wire nonce) must displace the
+  // stale entry and run the handler — not have another call's recorded
+  // bytes replayed at it, and not be dropped as an in-flight dup.
+  sim::Options opt;
+  opt.seeds = 1;
+  opt.base_seed = 0x5EC0;  // reliable net: no faults installed
+  const sim::Result res = sim::explore(opt, [](sim::Session& s) {
+    chant::World::Config cfg;
+    cfg.pes = 1;
+    cfg.rt.policy = PollPolicy::SchedulerPollsWQ;
+    s.apply(cfg);
+    chant::World w(cfg);
+    const int echo = w.register_handler(&counting_echo);
+    w.run([&](Runtime& rt) {
+      t_executions = 0;
+      const RetryPolicy rp = lossy_policy();
+      // Retryable call #1 takes seq 0 and leaves a done dedup entry
+      // (recorded reply = {111, 1}) in the server window.
+      long v = 111;
+      std::vector<std::uint8_t> rep;
+      Status st = rt.call(rt.pe(), rt.process(), echo, &v, sizeof v,
+                          Deadline::after(kDeadlineNs), &rep, &rp);
+      ASSERT_TRUE(st.ok());
+      // Burn the remaining 4095 seqs with non-retryable calls; these
+      // never enter the dedup window, so the seq-0 entry survives.
+      for (int i = 0; i < 4095; ++i) {
+        const auto r = rt.call(rt.pe(), rt.process(), echo, &v, sizeof v);
+        ASSERT_EQ(r.size(), 2 * sizeof(long));
+      }
+      // Retryable call #2 reuses seq 0. It must get *its own* reply.
+      long v2 = 999;
+      rep.clear();
+      st = rt.call(rt.pe(), rt.process(), echo, &v2, sizeof v2,
+                   Deadline::after(kDeadlineNs), &rep, &rp);
+      ASSERT_TRUE(st.ok());
+      long out[2] = {0, 0};
+      ASSERT_EQ(rep.size(), sizeof out);
+      std::memcpy(&out, rep.data(), sizeof out);
+      EXPECT_EQ(out[0], 999) << "stale dedup entry replayed an old reply";
+      EXPECT_EQ(t_executions, 4097);
+      EXPECT_EQ(rt.rsr_stats().dup_replays, 0u);
+      EXPECT_EQ(rt.rsr_stats().dup_drops, 0u);
+      EXPECT_EQ(rt.outstanding_calls(), 0u);
+    });
+  });
+  EXPECT_FALSE(res.failed);
+}
+
 TEST(SimRetry, NoRetryPolicyMeansSingleAttempt) {
   // Without a policy a lost request is simply a DeadlineExceeded — no
   // silent resends of a possibly non-idempotent handler.
