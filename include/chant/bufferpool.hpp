@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "chant/validate.hpp"
+
 namespace chant {
 
 class BufferPool {
@@ -40,6 +42,7 @@ class BufferPool {
     }
     std::vector<std::uint8_t> b = std::move(free_.back());
     free_.pop_back();
+    if (validate::enabled()) validate::pool_unpoison(this, b.data(), b.size());
     if (b.capacity() < n) ++stats_.fresh;  // recycled block had to grow
     b.resize(n);
     return b;
@@ -47,7 +50,14 @@ class BufferPool {
 
   /// Hands a buffer back for reuse; its capacity is retained.
   void release(std::vector<std::uint8_t>&& b) {
-    if (b.capacity() == 0) return;  // moved-from or never sized: worthless
+    if (b.capacity() == 0) {
+      // Moved-from or never sized. In a correct caller this arises only
+      // from releasing the same buffer twice (the first release moved it
+      // out), so the validator treats it as a double release.
+      if (validate::enabled()) validate::pool_double_release(this);
+      return;
+    }
+    if (validate::enabled()) validate::pool_poison(this, b.data(), b.size());
     free_.push_back(std::move(b));
   }
 

@@ -32,8 +32,10 @@ class Mailbox {
     if (pending_ >= 0) {
       MsgInfo scratch;
       if (!rt_.msgtest(pending_, &scratch)) {
-        // Still posted: cancel through the endpoint via msgwait-free path.
-        rt_.cancel_irecv(pending_);
+        // Still posted: cancel through the endpoint via msgwait-free
+        // path. Ok and AlreadyCompleted are both fine in a destructor —
+        // either way nothing writes into freed storage afterwards.
+        (void)rt_.cancel_irecv(pending_);
       }
     }
   }

@@ -107,7 +107,7 @@ class Runtime {
   /// abandoned server-side join and cannot be joined again. PeerGone —
   /// unknown/detached/already-joined target. Invalid — self-join or a
   /// malformed remote reply.
-  Status join(const Gid& g, Deadline deadline, void** retval);
+  [[nodiscard]] Status join(const Gid& g, Deadline deadline, void** retval);
   int detach(const Gid& g);
   int cancel(const Gid& g);
   /// Changes a (possibly remote) thread's scheduling priority — the
@@ -139,8 +139,9 @@ class Runtime {
   /// next receive). Completion wins the race with the deadline: a
   /// message delivered in the cancellation window is harvested, not
   /// dropped. The wait parks on the lwt timer wheel — no polling.
-  Status recv(int user_tag, void* buf, std::size_t cap, const Gid& src,
-              Deadline deadline, MsgInfo* out = nullptr);
+  [[nodiscard]] Status recv(int user_tag, void* buf, std::size_t cap,
+                            const Gid& src, Deadline deadline,
+                            MsgInfo* out = nullptr);
 
   /// Nonblocking receive; returns a handle for msgtest/msgwait.
   int irecv(int user_tag, void* buf, std::size_t cap, const Gid& src);
@@ -151,7 +152,8 @@ class Runtime {
   /// Deadline-bounded msgwait. Ok/Truncated — completed, handle
   /// released. DeadlineExceeded — the handle stays live (the receive
   /// remains posted): keep waiting, msgtest, or cancel_irecv it.
-  Status msgwait(int handle, Deadline deadline, MsgInfo* out = nullptr);
+  [[nodiscard]] Status msgwait(int handle, Deadline deadline,
+                               MsgInfo* out = nullptr);
   /// Withdraws a not-yet-completed nonblocking receive and releases the
   /// handle (the buffer will not be written afterwards). Ok — the
   /// receive was withdrawn before completion. AlreadyCompleted — the
@@ -159,7 +161,7 @@ class Runtime {
   /// repeated cancel of a retired handle is AlreadyCompleted, not an
   /// error. Invalid — the handle never existed. The implicit bool
   /// conversion preserves the historical "withdrawn?" return.
-  Status cancel_irecv(int handle);
+  [[nodiscard]] Status cancel_irecv(int handle);
 
   // ---- remote service requests (paper §3.2) ----
 
@@ -199,8 +201,8 @@ class Runtime {
   /// Tests an async call. Ok — reply moved into *reply_out (if non-null)
   /// and the handle released; Pending — not yet complete. The implicit
   /// bool conversion preserves the historical complete/pending return.
-  Status call_test(int handle,
-                   std::vector<std::uint8_t>* reply_out = nullptr);
+  [[nodiscard]] Status call_test(
+      int handle, std::vector<std::uint8_t>* reply_out = nullptr);
   /// Blocks (policy-scheduled) for an async call's reply; releases.
   std::vector<std::uint8_t> call_wait(int handle);
   /// Deadline-bounded call_wait. Ok — reply in *reply_out (if non-null),
@@ -208,22 +210,25 @@ class Runtime {
   /// (reply receives withdrawn, pooled buffer released, handle retired;
   /// nothing leaks) and a reply that still arrives is absorbed by the
   /// stale-reply drain before its sequence number is reused.
-  Status call_wait(int handle, Deadline deadline,
-                   std::vector<std::uint8_t>* reply_out = nullptr);
+  [[nodiscard]] Status call_wait(
+      int handle, Deadline deadline,
+      std::vector<std::uint8_t>* reply_out = nullptr);
   /// Deadline-bounded synchronous RSR, optionally with retries. The
   /// policy defaults to the handler's registered RetryPolicy (see
   /// set_retry_policy), else no retries. Resends carry the same reply
   /// sequence number with an incremented attempt counter; the server's
   /// dedup cache executes the handler once and replays the recorded
   /// reply to duplicates. Ok or DeadlineExceeded (slot reclaimed).
-  Status call(int dst_pe, int dst_process, int handler, const void* arg,
-              std::size_t len, Deadline deadline,
-              std::vector<std::uint8_t>* reply_out,
-              const RetryPolicy* retry = nullptr);
-  Status callv(int dst_pe, int dst_process, int handler,
-               const nx::IoVec* iov, std::size_t iovcnt, Deadline deadline,
-               std::vector<std::uint8_t>* reply_out,
-               const RetryPolicy* retry = nullptr);
+  [[nodiscard]] Status call(int dst_pe, int dst_process, int handler,
+                            const void* arg, std::size_t len,
+                            Deadline deadline,
+                            std::vector<std::uint8_t>* reply_out,
+                            const RetryPolicy* retry = nullptr);
+  [[nodiscard]] Status callv(int dst_pe, int dst_process, int handler,
+                             const nx::IoVec* iov, std::size_t iovcnt,
+                             Deadline deadline,
+                             std::vector<std::uint8_t>* reply_out,
+                             const RetryPolicy* retry = nullptr);
   /// Registers the default RetryPolicy used by deadline calls to
   /// `handler` when no explicit policy is passed. Handlers with retries
   /// must be idempotent OR rely on the server dedup window (DESIGN.md

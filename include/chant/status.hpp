@@ -35,7 +35,11 @@ const char* to_string(StatusCode c) noexcept;
 /// call_test() returned "complete?" and cancel_irecv() returned
 /// "withdrawn?" — keep compiling with identical truth values. New code
 /// should test code() explicitly; the bool shim is a migration aid.
-class Status {
+///
+/// [[nodiscard]]: a silently dropped Status turns a deadline expiry or a
+/// dead peer into data corruption several calls later. Every producer of
+/// one must be checked (or explicitly voided with a comment saying why).
+class [[nodiscard]] Status {
  public:
   constexpr Status() noexcept = default;
   constexpr Status(StatusCode c) noexcept : code_(c) {}  // NOLINT(implicit)

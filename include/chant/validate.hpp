@@ -1,0 +1,127 @@
+// chant/validate.hpp — runtime concurrency validator (DESIGN.md §9).
+//
+// An opt-in debug subsystem that checks three classes of concurrency
+// mistakes a race detector cannot see:
+//
+//  1. Lock-order cycles. Every lwt::Mutex / lwt::RwLock acquisition is
+//     recorded into a global lock-order graph; acquiring B while holding
+//     A adds the edge A->B, and a path B->...->A closing a cycle is
+//     reported as a potential deadlock, with the acquisition stacks of
+//     both conflicting edges. (An actual deadlock never fires the
+//     report — this catches the *ordering* hazard on runs where the
+//     interleaving happened to be benign.)
+//
+//  2. Blocking calls from no-block context. The RSR server thread
+//     dispatches handlers at boosted priority; a handler that makes an
+//     unbounded blocking call (recv / msgwait / call_wait / join /
+//     untimed mutex lock) can wedge the entire service plane. The
+//     dispatch loop brackets each handler with a HandlerScope that tags
+//     the fiber; unbounded blocking operations check the tag and report.
+//     Deadline-bounded waits are permitted (they bound the outage).
+//
+//  3. BufferPool misuse. Released blocks are poisoned (0xDB) and
+//     re-verified on recycle, catching writes through a buffer that was
+//     already handed back; releasing a moved-from (capacity-0) vector —
+//     the signature of releasing the same buffer twice — is reported as
+//     a double release.
+//
+// Everything is gated on enable() (or the CHANT_VALIDATE environment
+// variable, checked once at Runtime construction). When off, the only
+// residue is a relaxed atomic load per checkpoint.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace chant::validate {
+
+/// The classes of violation the validator reports.
+enum class Violation : std::uint8_t {
+  kLockOrderCycle = 0,   ///< lock-order graph cycle (potential deadlock)
+  kBlockingInHandler,    ///< unbounded blocking call in a no-block scope
+  kPoolDoubleRelease,    ///< BufferPool::release of a moved-from buffer
+  kPoolUseAfterRelease,  ///< poison damaged while a block sat in the pool
+};
+inline constexpr int kNumViolations = 4;
+
+/// One detected violation. `message` is a complete multi-line,
+/// human-readable report (including captured stacks where available).
+struct Report {
+  Violation kind;
+  std::string message;
+};
+
+/// Report consumer. The default sink prints to stderr.
+using Sink = void (*)(void* ctx, const Report& report);
+
+/// Turns validation on: installs the lwt hooks and arms the chant-side
+/// checkpoints. Safe to call more than once.
+void enable();
+
+/// Turns validation off and clears all recorded state.
+void disable();
+
+/// True when the validator is armed. One relaxed load — callers on hot
+/// paths guard their instrumentation with this.
+inline bool enabled() noexcept {
+  extern std::atomic<bool> g_enabled;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Calls enable() if the CHANT_VALIDATE environment variable is set to
+/// anything but "0" / "". Invoked by the Runtime constructor so test
+/// binaries pick validation up without code changes.
+void enable_from_env();
+
+/// Replaces the report sink (null restores the stderr default). The sink
+/// runs under the validator's internal mutex: keep it reentrancy-free
+/// (no lwt primitives, no chant calls).
+void set_sink(Sink sink, void* ctx) noexcept;
+
+/// Number of violations reported since enable()/reset(), in total or of
+/// one kind. Tests assert on these.
+std::uint64_t violation_count() noexcept;
+std::uint64_t violation_count(Violation kind) noexcept;
+
+/// Clears counters, the lock-order graph, held-lock sets and the pool
+/// registry, keeping validation enabled. For use between test cases.
+void reset();
+
+/// Tags the calling fiber as no-block context for the lifetime of the
+/// scope (nestable). The RSR dispatch loop wraps handler invocations in
+/// one; tests may use it directly.
+class HandlerScope {
+ public:
+  explicit HandlerScope(const char* what) noexcept;
+  ~HandlerScope();
+  HandlerScope(const HandlerScope&) = delete;
+  HandlerScope& operator=(const HandlerScope&) = delete;
+
+ private:
+  const char* prev_what_ = nullptr;
+  bool armed_ = false;
+};
+
+/// Checkpoint for chant-level blocking entry points (recv, msgwait,
+/// call_wait, join). Reports kBlockingInHandler when the calling fiber
+/// is inside a HandlerScope and the wait is unbounded.
+void check_blocking(const char* what, bool timed) noexcept;
+
+// ------------------------------------------------- BufferPool plumbing
+// Called by BufferPool (bufferpool.hpp) only while enabled().
+
+/// A capacity-0 vector reached release(): report a double release.
+void pool_double_release(const void* pool);
+
+/// `data[0, size)` is entering the free list: poison it and register the
+/// block so the matching acquire can verify the poison.
+void pool_poison(const void* pool, std::uint8_t* data, std::size_t size);
+
+/// The block is being recycled: verify the poison laid down by
+/// pool_poison survived, reporting kPoolUseAfterRelease otherwise, and
+/// drop the registration.
+void pool_unpoison(const void* pool, std::uint8_t* data, std::size_t size);
+
+}  // namespace chant::validate

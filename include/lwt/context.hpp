@@ -54,6 +54,15 @@ struct Context {
   void* stack_base = nullptr;
   std::size_t stack_size = 0;
   void* fake_stack = nullptr;
+  // ThreadSanitizer fiber handle (__tsan_create_fiber). Unlike ASan,
+  // TSan needs an explicit per-fiber object that every switch names via
+  // __tsan_switch_to_fiber; a switch with default flags also establishes
+  // the happens-before edge between the two contexts, which is exactly
+  // the scheduler-handoff ordering a cooperative scheduler guarantees.
+  // tsan_owned distinguishes fibers we created (destroyed with the
+  // context) from the OS thread's own fiber bound by ctx_bind_os_stack.
+  void* tsan_fiber = nullptr;
+  bool tsan_owned = false;
 
   Context() = default;
   Context(const Context&) = delete;

@@ -109,6 +109,13 @@ struct Tcb {
   Tcb* joiner = nullptr;   ///< thread blocked in join() on us
   bool join_taken = false; ///< someone already committed to joining us
 
+  /// Validator context tag (lwt/validate.hpp): while > 0 this fiber is
+  /// inside a no-block scope (e.g. a Chant RSR handler) and unbounded
+  /// blocking operations are reported. Maintained by chant::validate;
+  /// lwt only stores it so hooks can read it without a side table.
+  std::uint16_t no_block_depth = 0;
+  const char* no_block_what = nullptr;  ///< innermost scope label
+
   std::array<void*, kMaxTlsKeys> tls{};
   void* user = nullptr;  ///< opaque slot for layered runtimes (Chant)
   Scheduler* sched = nullptr;

@@ -1,0 +1,42 @@
+// lwt/validate.hpp — hook points for a layered concurrency validator.
+//
+// lwt cannot depend on chant, but chant's runtime validator
+// (chant::validate, DESIGN.md §9) needs to observe lock acquisitions and
+// potentially-blocking waits inside the fiber synchronization
+// primitives. The bridge is this hook table: a higher layer installs one
+// pointer and the primitives call through it. When no validator is
+// installed the pointer is null, so the cost of a hook site in
+// production is one relaxed load and a predictable branch.
+#pragma once
+
+#include <atomic>
+
+namespace lwt {
+
+struct Tcb;
+
+/// Observer callbacks for the synchronization primitives. All members
+/// must be non-null in an installed table; `self` is the calling fiber
+/// (never null — the primitives abort outside a scheduler first).
+struct ValidateHooks {
+  /// `self` now holds `lock`. `kind` names the primitive for reports
+  /// ("Mutex", "RwLock(R)", ...) and has static storage duration.
+  void (*lock_acquired)(Tcb* self, const void* lock, const char* kind);
+  /// `self` released `lock`.
+  void (*lock_released)(Tcb* self, const void* lock);
+  /// `self` entered an operation that may suspend it. `timed` is true
+  /// when the wait carries a deadline (bounded waits are permitted in
+  /// no-block contexts; unbounded ones are reported).
+  void (*blocking_call)(Tcb* self, const char* what, bool timed);
+};
+
+/// The installed hook table, or null when validation is off. Written
+/// only by chant::validate::enable/disable; read on every hooked
+/// operation.
+extern std::atomic<const ValidateHooks*> g_validate_hooks;
+
+inline const ValidateHooks* validate_hooks() noexcept {
+  return g_validate_hooks.load(std::memory_order_acquire);
+}
+
+}  // namespace lwt

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "chant/runtime.hpp"
+#include "chant/validate.hpp"
 
 namespace chant {
 
@@ -101,6 +102,7 @@ MsgInfo Runtime::recv(int user_tag, void* buf, std::size_t cap,
       (user_tag < 0 || user_tag > codec_.max_user_tag())) {
     throw std::invalid_argument("chant::recv: user tag out of range");
   }
+  validate::check_blocking("chant::Runtime::recv", /*timed=*/false);
   return recv_blocking(user_tag, buf, cap, src, /*internal=*/false);
 }
 
@@ -196,6 +198,7 @@ Status Runtime::cancel_irecv(int handle) {
 }
 
 MsgInfo Runtime::msgwait(int handle) {
+  validate::check_blocking("chant::Runtime::msgwait", /*timed=*/false);
   const auto idx = static_cast<std::uint32_t>(handle) & kReqIdxMask;
   const auto gen = static_cast<std::uint32_t>(handle) >> 16;
   if (idx >= reqs_.size() || (reqs_[idx].gen & kReqGenMask) != gen ||

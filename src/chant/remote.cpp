@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "chant/runtime.hpp"
+#include "chant/validate.hpp"
 #include "wire.hpp"
 
 namespace chant {
@@ -326,6 +327,7 @@ Gid Runtime::create_marshalled(MarshalledEntry entry, const void* arg,
 }
 
 void* Runtime::join(const Gid& g, int* err) {
+  validate::check_blocking("chant::Runtime::join", /*timed=*/false);
   int local_err = 0;
   int* e = err != nullptr ? err : &local_err;
   if (is_local(g)) {

@@ -26,6 +26,7 @@
 #include <stdexcept>
 
 #include "chant/runtime.hpp"
+#include "chant/validate.hpp"
 #include "wire.hpp"
 
 namespace chant {
@@ -122,8 +123,14 @@ void Runtime::server_loop() {
     if (cfg_.server_high_priority) {
       sched_.set_priority(me, lwt::kServerPriority);
     }
-    handlers_[static_cast<std::size_t>(req.handler)](*this, ctx, body,
-                                                     body_len, rep);
+    {
+      // Validator context tag (DESIGN.md §9): while the handler body
+      // runs, unbounded blocking calls on this fiber are reported — a
+      // handler that wedges stalls every future RSR on this process.
+      validate::HandlerScope vscope("an RSR handler dispatch");
+      handlers_[static_cast<std::size_t>(req.handler)](*this, ctx, body,
+                                                       body_len, rep);
+    }
     if (ctx.needs_reply && !ctx.deferred) {
       reply(ctx, rep.data(), rep.size());
       if (record_reply) {
@@ -441,8 +448,16 @@ Status Runtime::wait_call_until(AsyncCall& c, std::uint64_t deadline_ns) {
 }
 
 std::vector<std::uint8_t> Runtime::call_wait(int handle) {
+  validate::check_blocking("chant::Runtime::call_wait", /*timed=*/false);
   AsyncCall& c = checked_call(handle);
-  wait_call_until(c, lwt::kNoDeadline);  // Ok or throws
+  const Status st = wait_call_until(c, lwt::kNoDeadline);
+  if (!st.ok()) {
+    // Unreachable: an unbounded wait either completes (Ok) or throws
+    // (cancellation). Guard the invariant instead of dropping the Status.
+    std::fprintf(stderr, "chant: call_wait without deadline returned %s\n",
+                 st.message());
+    std::abort();
+  }
   return finish_call(c);
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <thread>
 
+#include "chant/validate.hpp"
 #include "chant/world.hpp"
 #include "wire.hpp"
 
@@ -59,6 +60,9 @@ Runtime::Runtime(World& world, nx::Endpoint& ep)
       cfg_(world.config().rt),
       codec_(cfg_.addressing),
       sched_(cfg_.backend) {
+  // Opt into the concurrency validator via the environment so existing
+  // binaries can run validated without code changes (DESIGN.md §9).
+  validate::enable_from_env();
   install_builtin_handlers();
   // The world's clock override (the sim VirtualClock) also drives the
   // scheduler's timer wheel, so deadline expiries interleave

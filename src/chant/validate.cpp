@@ -1,0 +1,364 @@
+// validate.cpp — runtime concurrency validator (chant/validate.hpp).
+//
+// All mutable state lives behind one std::mutex. The hooks run on
+// whichever OS thread hosts the calling fiber — one per simulated
+// process under nx::Machine — so the guard must be an OS-level mutex,
+// never an lwt primitive (which would recurse into the hooks). Nothing
+// here yields: holding g_mu never spans a fiber switch.
+#include "chant/validate.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__GLIBC__) || defined(__gnu_linux__)
+#include <execinfo.h>
+#define CHANT_VALIDATE_BACKTRACE 1
+#endif
+
+#include "lwt/scheduler.hpp"
+#include "lwt/thread.hpp"
+#include "lwt/validate.hpp"
+
+namespace chant::validate {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+constexpr std::uint8_t kPoisonByte = 0xDB;
+constexpr int kMaxStackFrames = 16;
+
+/// A captured acquisition stack. Raw return addresses; symbolized only
+/// when a report is actually emitted.
+struct StackTrace {
+  void* pc[kMaxStackFrames];
+  int depth = 0;
+};
+
+StackTrace capture_stack() {
+  StackTrace st;
+#if defined(CHANT_VALIDATE_BACKTRACE)
+  // glibc backtrace unwinds by FDE; the asm fiber trampoline
+  // (lwt_asm_fiber_start) has none and boot frames seed rbp = 0, so the
+  // walk terminates cleanly at the foot of a fiber stack.
+  st.depth = backtrace(st.pc, kMaxStackFrames);
+  if (st.depth < 0) st.depth = 0;
+#endif
+  return st;
+}
+
+void append_stack(std::ostringstream& os, const StackTrace& st,
+                  const char* indent) {
+#if defined(CHANT_VALIDATE_BACKTRACE)
+  if (st.depth == 0) {
+    os << indent << "(no stack captured)\n";
+    return;
+  }
+  char** syms = backtrace_symbols(st.pc, st.depth);
+  for (int i = 0; i < st.depth; ++i) {
+    os << indent << '#' << i << ' '
+       << (syms != nullptr ? syms[i] : "<unknown>") << '\n';
+  }
+  std::free(syms);
+#else
+  os << indent << "(stack capture unavailable on this platform)\n";
+#endif
+}
+
+/// One lock currently held by a fiber.
+struct HeldLock {
+  const void* lock;
+  const char* kind;
+  StackTrace stack;
+};
+
+/// A recorded lock-order edge from -> to: some fiber once acquired `to`
+/// while holding `from`. The first occurrence's stacks are kept.
+struct Edge {
+  const void* to;
+  const char* from_kind;
+  const char* to_kind;
+  StackTrace hold_stack;     ///< where `from` was acquired
+  StackTrace acquire_stack;  ///< where `to` was acquired on top of it
+};
+
+struct State {
+  std::mutex mu;
+  std::unordered_map<const void*, std::vector<Edge>> edges;
+  std::unordered_map<const lwt::Tcb*, std::vector<HeldLock>> held;
+  /// key: block data pointer; value: (owning pool, poisoned size)
+  std::unordered_map<const void*, std::pair<const void*, std::size_t>>
+      pool_blocks;
+  /// edge pairs already reported as closing a cycle (dedup)
+  std::set<std::pair<const void*, const void*>> reported_cycles;
+  Sink sink = nullptr;
+  void* sink_ctx = nullptr;
+  std::atomic<std::uint64_t> counts[kNumViolations] = {};
+};
+
+State& state() {
+  static State* s = new State;  // leaked: hooks may outlive static dtors
+  return *s;
+}
+
+/// Must be called with s.mu held.
+void emit_locked(State& s, Violation kind, std::string message) {
+  s.counts[static_cast<int>(kind)].fetch_add(1, std::memory_order_relaxed);
+  const Report r{kind, std::move(message)};
+  if (s.sink != nullptr) {
+    s.sink(s.sink_ctx, r);
+  } else {
+    std::fprintf(stderr, "%s", r.message.c_str());
+  }
+}
+
+/// Depth-first search for a path `from` -> ... -> `target` in the edge
+/// graph. Appends the path's edges to `path` and returns true if found.
+/// Must be called with s.mu held.
+bool find_path(State& s, const void* from, const void* target,
+               std::set<const void*>& visited,
+               std::vector<const Edge*>& path) {
+  if (!visited.insert(from).second) return false;
+  auto it = s.edges.find(from);
+  if (it == s.edges.end()) return false;
+  for (const Edge& e : it->second) {
+    path.push_back(&e);
+    if (e.to == target || find_path(s, e.to, target, visited, path)) {
+      return true;
+    }
+    path.pop_back();
+  }
+  return false;
+}
+
+/// Records the edge from->to and reports a potential deadlock if the
+/// reverse direction is already reachable. Must be called with s.mu held.
+void add_edge_locked(State& s, const HeldLock& from, const void* to,
+                     const char* to_kind, const StackTrace& to_stack,
+                     const lwt::Tcb* self) {
+  auto& out = s.edges[from.lock];
+  for (const Edge& e : out) {
+    if (e.to == to) return;  // known ordering, first stacks win
+  }
+  out.push_back(Edge{to, from.kind, to_kind, from.stack, to_stack});
+
+  // Does `to` already reach `from.lock`? Then this acquisition closes a
+  // cycle: two code paths take these locks in opposite orders.
+  std::set<const void*> visited;
+  std::vector<const Edge*> path;
+  if (!find_path(s, to, from.lock, visited, path)) return;
+  if (!s.reported_cycles.insert({from.lock, to}).second) return;
+
+  std::ostringstream os;
+  os << "chant-validate: POTENTIAL DEADLOCK (lock-order cycle)\n"
+     << "  fiber #" << (self != nullptr ? self->id : 0) << " '"
+     << (self != nullptr ? self->name : "?") << "' acquired " << to_kind
+     << " " << to << " while holding " << from.kind << " " << from.lock
+     << ",\n  but the opposite order is already on record.\n"
+     << "  this acquisition of " << to << ":\n";
+  append_stack(os, to_stack, "    ");
+  os << "  while holding " << from.lock << " acquired at:\n";
+  append_stack(os, from.stack, "    ");
+  for (const Edge* e : path) {
+    os << "  conflicting edge (" << e->from_kind << " -> " << e->to_kind
+       << " " << e->to << ") acquired at:\n";
+    append_stack(os, e->acquire_stack, "    ");
+  }
+  emit_locked(s, Violation::kLockOrderCycle, os.str());
+}
+
+// ------------------------------------------------------------ lwt hooks
+
+void on_lock_acquired(lwt::Tcb* self, const void* lock, const char* kind) {
+  State& s = state();
+  const StackTrace st = capture_stack();
+  std::lock_guard<std::mutex> g(s.mu);
+  std::vector<HeldLock>& held = s.held[self];
+  for (const HeldLock& h : held) {
+    if (h.lock != lock) add_edge_locked(s, h, lock, kind, st, self);
+  }
+  held.push_back(HeldLock{lock, kind, st});
+}
+
+void on_lock_released(lwt::Tcb* self, const void* lock) {
+  State& s = state();
+  std::lock_guard<std::mutex> g(s.mu);
+  auto it = s.held.find(self);
+  if (it == s.held.end()) return;
+  std::vector<HeldLock>& held = it->second;
+  for (auto h = held.rbegin(); h != held.rend(); ++h) {
+    if (h->lock == lock) {
+      held.erase(std::next(h).base());
+      break;
+    }
+  }
+  if (held.empty()) s.held.erase(it);
+}
+
+void report_blocking(lwt::Tcb* self, const char* what) {
+  State& s = state();
+  std::ostringstream os;
+  os << "chant-validate: BLOCKING CALL IN NO-BLOCK CONTEXT\n"
+     << "  fiber #" << self->id << " '" << self->name << "' called " << what
+     << " (unbounded wait)\n  inside "
+     << (self->no_block_what != nullptr ? self->no_block_what
+                                        : "a no-block scope")
+     << "; a wedged wait here stalls the whole RSR service plane.\n"
+     << "  call site:\n";
+  append_stack(os, capture_stack(), "    ");
+  std::lock_guard<std::mutex> g(s.mu);
+  emit_locked(s, Violation::kBlockingInHandler, os.str());
+}
+
+void on_blocking_call(lwt::Tcb* self, const char* what, bool timed) {
+  if (timed || self == nullptr || self->no_block_depth == 0) return;
+  report_blocking(self, what);
+}
+
+constexpr lwt::ValidateHooks kHooks{&on_lock_acquired, &on_lock_released,
+                                    &on_blocking_call};
+
+}  // namespace
+
+void enable() {
+  (void)state();  // construct before the hooks can fire
+  g_enabled.store(true, std::memory_order_relaxed);
+  lwt::g_validate_hooks.store(&kHooks, std::memory_order_release);
+}
+
+void disable() {
+  lwt::g_validate_hooks.store(nullptr, std::memory_order_release);
+  g_enabled.store(false, std::memory_order_relaxed);
+  reset();
+}
+
+void enable_from_env() {
+  static const bool wants = [] {
+    const char* v = std::getenv("CHANT_VALIDATE");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  if (wants && !enabled()) enable();
+}
+
+void set_sink(Sink sink, void* ctx) noexcept {
+  State& s = state();
+  std::lock_guard<std::mutex> g(s.mu);
+  s.sink = sink;
+  s.sink_ctx = ctx;
+}
+
+std::uint64_t violation_count() noexcept {
+  State& s = state();
+  std::uint64_t total = 0;
+  for (const auto& c : s.counts) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t violation_count(Violation kind) noexcept {
+  return state().counts[static_cast<int>(kind)].load(
+      std::memory_order_relaxed);
+}
+
+void reset() {
+  State& s = state();
+  std::lock_guard<std::mutex> g(s.mu);
+  s.edges.clear();
+  s.held.clear();
+  s.pool_blocks.clear();
+  s.reported_cycles.clear();
+  for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+}
+
+HandlerScope::HandlerScope(const char* what) noexcept {
+  if (!enabled()) return;
+  lwt::Tcb* self = lwt::Scheduler::self();
+  if (self == nullptr) return;
+  prev_what_ = self->no_block_what;
+  self->no_block_what = what;
+  ++self->no_block_depth;
+  armed_ = true;
+}
+
+HandlerScope::~HandlerScope() {
+  if (!armed_) return;
+  lwt::Tcb* self = lwt::Scheduler::self();
+  // A HandlerScope never outlives its fiber (it brackets a call on the
+  // fiber's own stack), so self matches the constructor's fiber.
+  if (self == nullptr || self->no_block_depth == 0) return;
+  --self->no_block_depth;
+  self->no_block_what = prev_what_;
+}
+
+void check_blocking(const char* what, bool timed) noexcept {
+  if (!enabled() || timed) return;
+  lwt::Tcb* self = lwt::Scheduler::self();
+  if (self == nullptr || self->no_block_depth == 0) return;
+  report_blocking(self, what);
+}
+
+// --------------------------------------------------- BufferPool plumbing
+
+void pool_double_release(const void* pool) {
+  State& s = state();
+  std::ostringstream os;
+  os << "chant-validate: BUFFERPOOL DOUBLE RELEASE\n"
+     << "  pool " << pool
+     << ": release() received a moved-from (capacity-0) buffer —\n"
+     << "  the same block was already released (or was never acquired).\n"
+     << "  release site:\n";
+  append_stack(os, capture_stack(), "    ");
+  std::lock_guard<std::mutex> g(s.mu);
+  emit_locked(s, Violation::kPoolDoubleRelease, os.str());
+}
+
+void pool_poison(const void* pool, std::uint8_t* data, std::size_t size) {
+  if (data == nullptr) return;
+  std::memset(data, kPoisonByte, size);
+  State& s = state();
+  std::lock_guard<std::mutex> g(s.mu);
+  s.pool_blocks[data] = {pool, size};
+}
+
+void pool_unpoison(const void* pool, std::uint8_t* data, std::size_t size) {
+  if (data == nullptr) return;
+  State& s = state();
+  std::unique_lock<std::mutex> g(s.mu);
+  auto it = s.pool_blocks.find(data);
+  if (it == s.pool_blocks.end()) return;  // poisoned before enable()/reset()
+  const std::size_t poisoned = it->second.second;
+  s.pool_blocks.erase(it);
+  g.unlock();
+
+  const std::size_t check = poisoned < size ? poisoned : size;
+  std::size_t bad = check;
+  for (std::size_t i = 0; i < check; ++i) {
+    if (data[i] != kPoisonByte) {
+      bad = i;
+      break;
+    }
+  }
+  if (bad == check) return;
+
+  std::ostringstream os;
+  os << "chant-validate: BUFFERPOOL USE AFTER RELEASE\n"
+     << "  pool " << pool << ", block " << static_cast<const void*>(data)
+     << ": byte " << bad << " of " << check
+     << " was overwritten (0x" << std::hex
+     << static_cast<unsigned>(data[bad]) << std::dec
+     << " != poison 0xdb) while the block sat in the free list.\n"
+     << "  Someone kept writing through a buffer after releasing it.\n"
+     << "  detected at acquire:\n";
+  append_stack(os, capture_stack(), "    ");
+  g.lock();
+  emit_locked(s, Violation::kPoolUseAfterRelease, os.str());
+}
+
+}  // namespace chant::validate

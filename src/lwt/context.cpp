@@ -26,6 +26,26 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer needs its own fiber API: every context gets a
+// __tsan_create_fiber handle and every switch (both backends — TSan has
+// no usable swapcontext interposer, unlike ASan) announces the target
+// with __tsan_switch_to_fiber *before* the machine-level switch. Default
+// flags make each switch a synchronization point, so all memory accesses
+// a fiber performed before suspending happen-before everything the next
+// fiber does — the scheduler-handoff, timer-fire and message-dispatch
+// edges within one OS thread come from these switch annotations.
+#if defined(__SANITIZE_THREAD__)
+#define LWT_TSAN_FIBERS 1
+#endif
+#if !defined(LWT_TSAN_FIBERS) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LWT_TSAN_FIBERS 1
+#endif
+#endif
+#if defined(LWT_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace lwt {
 
 #if !defined(LWT_NO_ASM_CONTEXT)
@@ -45,9 +65,26 @@ ContextBackend default_backend() noexcept {
 #endif
 }
 
-Context::~Context() { delete uc; }
+Context::~Context() {
+#if defined(LWT_TSAN_FIBERS)
+  // Only fibers created by ctx_make are destroyed; the OS thread's own
+  // fiber (bound by ctx_bind_os_stack) belongs to the TSan runtime. A
+  // Tcb is deleted from the scheduler context (reap/zombie teardown), so
+  // the fiber being destroyed is never the one currently executing.
+  if (tsan_owned && tsan_fiber != nullptr) __tsan_destroy_fiber(tsan_fiber);
+#endif
+  delete uc;
+}
 
 namespace {
+
+#if defined(LWT_TSAN_FIBERS)
+// Announces the upcoming switch to TSan. Must run on the suspending
+// fiber, immediately before the machine-level switch.
+inline void tsan_announce_switch(Context& to) noexcept {
+  __tsan_switch_to_fiber(to.tsan_fiber, 0);
+}
+#endif
 
 #if !defined(LWT_NO_ASM_CONTEXT)
 // Builds the initial frame lwt_asm_ctx_swap expects on a fresh stack:
@@ -113,6 +150,12 @@ void ctx_make(Context& ctx, ContextBackend backend, void* stack_base,
   ctx.stack_base = stack_base;
   ctx.stack_size = stack_size;
   ctx.fake_stack = nullptr;
+#if defined(LWT_TSAN_FIBERS)
+  if (ctx.tsan_fiber == nullptr) {
+    ctx.tsan_fiber = __tsan_create_fiber(0);
+    ctx.tsan_owned = true;
+  }
+#endif
   switch (backend) {
     case ContextBackend::Asm:
 #if defined(LWT_NO_ASM_CONTEXT)
@@ -129,6 +172,9 @@ void ctx_make(Context& ctx, ContextBackend backend, void* stack_base,
 }
 
 void ctx_swap(Context& from, Context& to, ContextBackend backend) noexcept {
+#if defined(LWT_TSAN_FIBERS)
+  tsan_announce_switch(to);
+#endif
   switch (backend) {
     case ContextBackend::Asm:
 #if defined(LWT_NO_ASM_CONTEXT)
@@ -157,6 +203,12 @@ void ctx_swap(Context& from, Context& to, ContextBackend backend) noexcept {
 
 void ctx_swap_final(Context& from, Context& to,
                     ContextBackend backend) noexcept {
+#if defined(LWT_TSAN_FIBERS)
+  // The dying fiber's TSan state is destroyed later, from the scheduler
+  // context, when its Tcb is reaped (~Context) — TSan forbids destroying
+  // the fiber that is currently running.
+  tsan_announce_switch(to);
+#endif
   switch (backend) {
     case ContextBackend::Asm:
 #if defined(LWT_NO_ASM_CONTEXT)
@@ -193,6 +245,14 @@ void ctx_bind_os_stack(Context& ctx) noexcept {
   }
 #else
   (void)ctx;
+#endif
+#if defined(LWT_TSAN_FIBERS)
+  // The scheduler context runs on the OS thread's own stack; its TSan
+  // fiber is the thread's implicit one and must never be destroyed.
+  if (ctx.tsan_fiber == nullptr) {
+    ctx.tsan_fiber = __tsan_get_current_fiber();
+    ctx.tsan_owned = false;
+  }
 #endif
 }
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "lwt/validate.hpp"
+
 namespace lwt {
 
 namespace {
@@ -20,27 +22,43 @@ Scheduler& sched() {
 void RwLock::lock_shared() {
   Scheduler& s = sched();
   s.check_cancel();
+  if (const auto* h = validate_hooks()) {
+    h->blocking_call(Scheduler::self(), "lwt::RwLock::lock_shared", false);
+  }
   while (writer_ != nullptr || !waiting_writers_.empty()) {
     s.park_on(waiting_readers_);
     s.check_cancel();
   }
   ++readers_;
+  if (const auto* h = validate_hooks()) {
+    h->lock_acquired(Scheduler::self(), this, "RwLock(R)");
+  }
 }
 
 bool RwLock::try_lock_shared() {
   if (writer_ != nullptr || !waiting_writers_.empty()) return false;
   ++readers_;
+  if (const auto* h = validate_hooks()) {
+    h->lock_acquired(Scheduler::self(), this, "RwLock(R)");
+  }
   return true;
 }
 
 bool RwLock::try_lock_shared_until(std::uint64_t deadline_ns) {
   Scheduler& s = sched();
   s.check_cancel();
+  if (const auto* h = validate_hooks()) {
+    h->blocking_call(Scheduler::self(), "lwt::RwLock::try_lock_shared_until",
+                     true);
+  }
   while (writer_ != nullptr || !waiting_writers_.empty()) {
     if (!s.park_on_until(waiting_readers_, deadline_ns)) return false;
     s.check_cancel();
   }
   ++readers_;
+  if (const auto* h = validate_hooks()) {
+    h->lock_acquired(Scheduler::self(), this, "RwLock(R)");
+  }
   return true;
 }
 
@@ -49,6 +67,9 @@ void RwLock::unlock_shared() {
     std::fprintf(stderr, "lwt: unlock_shared without shared lock\n");
     std::abort();
   }
+  if (const auto* h = validate_hooks()) {
+    h->lock_released(Scheduler::self(), this);
+  }
   if (--readers_ == 0) wake_next();
 }
 
@@ -56,16 +77,23 @@ void RwLock::lock() {
   Scheduler& s = sched();
   s.check_cancel();
   Tcb* me = Scheduler::self();
+  if (const auto* h = validate_hooks()) {
+    h->blocking_call(me, "lwt::RwLock::lock", false);
+  }
   while (writer_ != nullptr || readers_ > 0) {
     s.park_on(waiting_writers_);
     s.check_cancel();
   }
   writer_ = me;
+  if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "RwLock(W)");
 }
 
 bool RwLock::try_lock() {
   if (writer_ != nullptr || readers_ > 0) return false;
   writer_ = Scheduler::self();
+  if (const auto* h = validate_hooks()) {
+    h->lock_acquired(writer_, this, "RwLock(W)");
+  }
   return true;
 }
 
@@ -73,6 +101,9 @@ bool RwLock::try_lock_until(std::uint64_t deadline_ns) {
   Scheduler& s = sched();
   s.check_cancel();
   Tcb* me = Scheduler::self();
+  if (const auto* h = validate_hooks()) {
+    h->blocking_call(me, "lwt::RwLock::try_lock_until", true);
+  }
   while (writer_ != nullptr || readers_ > 0) {
     if (!s.park_on_until(waiting_writers_, deadline_ns)) {
       // If this was the last queued writer and the lock is held only by
@@ -83,6 +114,7 @@ bool RwLock::try_lock_until(std::uint64_t deadline_ns) {
     s.check_cancel();
   }
   writer_ = me;
+  if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "RwLock(W)");
   return true;
 }
 
@@ -92,6 +124,9 @@ void RwLock::unlock() {
     std::abort();
   }
   writer_ = nullptr;
+  if (const auto* h = validate_hooks()) {
+    h->lock_released(Scheduler::self(), this);
+  }
   wake_next();
 }
 

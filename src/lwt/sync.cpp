@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "lwt/validate.hpp"
+
 namespace lwt {
 
 namespace {
@@ -28,16 +30,19 @@ void Mutex::lock() {
                  me->name);
     std::abort();
   }
+  if (const auto* h = validate_hooks()) h->blocking_call(me, "lwt::Mutex::lock", false);
   while (owner_ != nullptr) {
     s.park_on(waiters_);
     s.check_cancel();  // cancel() may have ejected us from the wait list
   }
   owner_ = me;
+  if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "Mutex");
 }
 
 bool Mutex::try_lock() {
   if (owner_ != nullptr) return false;
   owner_ = Scheduler::self();
+  if (const auto* h = validate_hooks()) h->lock_acquired(owner_, this, "Mutex");
   return true;
 }
 
@@ -50,11 +55,15 @@ bool Mutex::try_lock_until(std::uint64_t deadline_ns) {
                  me->id, me->name);
     std::abort();
   }
+  if (const auto* h = validate_hooks()) {
+    h->blocking_call(me, "lwt::Mutex::try_lock_until", true);
+  }
   while (owner_ != nullptr) {
     if (!s.park_on_until(waiters_, deadline_ns)) return false;
     s.check_cancel();  // cancel() may have ejected us from the wait list
   }
   owner_ = me;
+  if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "Mutex");
   return true;
 }
 
@@ -69,6 +78,7 @@ void Mutex::unlock() {
     std::abort();
   }
   owner_ = nullptr;
+  if (const auto* h = validate_hooks()) h->lock_released(me, this);
   sched().wake_one(waiters_);
 }
 
@@ -81,6 +91,10 @@ void CondVar::wait(Mutex& m) {
   if (m.owner_ != me) {
     std::fprintf(stderr, "lwt: CondVar::wait without holding the mutex\n");
     std::abort();
+  }
+  if (const auto* h = validate_hooks()) {
+    h->blocking_call(me, "lwt::CondVar::wait", false);
+    h->lock_released(me, &m);
   }
   // Atomic with respect to fibers: no scheduling point between releasing
   // the mutex and parking, so a signal between them cannot be lost.
@@ -105,6 +119,10 @@ bool CondVar::wait_until(Mutex& m, std::uint64_t deadline_ns) {
                  "lwt: CondVar::wait_until without holding the mutex\n");
     std::abort();
   }
+  if (const auto* h = validate_hooks()) {
+    h->blocking_call(me, "lwt::CondVar::wait_until", true);
+    h->lock_released(me, &m);
+  }
   m.owner_ = nullptr;
   s.wake_one(m.waiters_);
   bool signaled;
@@ -128,6 +146,9 @@ void CondVar::broadcast() { sched().wake_all(waiters_); }
 void Semaphore::acquire() {
   Scheduler& s = sched();
   s.check_cancel();
+  if (const auto* h = validate_hooks()) {
+    h->blocking_call(Scheduler::self(), "lwt::Semaphore::acquire", false);
+  }
   while (count_ <= 0) {
     s.park_on(waiters_);
     s.check_cancel();
@@ -166,6 +187,10 @@ void Semaphore::release(std::int64_t n) {
 bool Barrier::arrive_and_wait() {
   Scheduler& s = sched();
   s.check_cancel();
+  if (const auto* h = validate_hooks()) {
+    h->blocking_call(Scheduler::self(), "lwt::Barrier::arrive_and_wait",
+                     false);
+  }
   const std::uint64_t gen = generation_;
   if (++arrived_ == parties_) {
     arrived_ = 0;

@@ -1,0 +1,8 @@
+// validate.cpp — storage for the validator hook table (lwt/validate.hpp).
+#include "lwt/validate.hpp"
+
+namespace lwt {
+
+std::atomic<const ValidateHooks*> g_validate_hooks{nullptr};
+
+}  // namespace lwt

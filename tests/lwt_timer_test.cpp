@@ -85,11 +85,15 @@ TEST(Sleep, SleepUntilPastDeadlineIsANoopYield) {
 TEST(Sleep, SleepersWakeInDeadlineOrder) {
   lwt::run([] {
     std::vector<int> order;
-    const std::uint64_t base = lwt::now();
+    // The cushion keeps every deadline in the future until all three
+    // sleepers have parked, even under sanitizer slowdown; otherwise a
+    // late spawner sees an expired deadline and yields straight through,
+    // jumping the queue.
+    const std::uint64_t base = lwt::now() + 40 * kMs;
     std::vector<lwt::Tcb*> ts;
     for (int i = 3; i >= 1; --i) {  // spawn in reverse deadline order
       ts.push_back(lwt::go([&order, base, i] {
-        lwt::sleep_until(base + static_cast<std::uint64_t>(i) * kMs);
+        lwt::sleep_until(base + static_cast<std::uint64_t>(i) * 10 * kMs);
         order.push_back(i);
       }));
     }

@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""chant-lint — Chant-specific static checks (DESIGN.md §9).
+
+Three rules the generic toolchain cannot express:
+
+  dropped-status        A call to an always-Status-returning runtime
+                        method (cancel_irecv, call_test) used as a bare
+                        expression statement. The [[nodiscard]] attribute
+                        catches this at compile time; the lint catches it
+                        in code that a given configuration never compiles
+                        (examples, platform-gated branches).
+
+  blocking-in-handler   An unbounded blocking runtime call (recv,
+                        msgwait, call_wait, call, callv, join, untimed
+                        lock/acquire) syntactically inside a registered
+                        RSR handler body. Handlers run on the
+                        priority-boosted server thread: one wedged wait
+                        stalls the whole RSR plane (paper §3.2). Calls
+                        inside an `lwt::go(...)` helper-fiber argument are
+                        exempt — deferring blocking work to a helper is
+                        the sanctioned pattern (paper §3.3, h_join).
+                        Deadline-bounded calls (an argument mentioning
+                        "deadline" / "Deadline") are exempt as well.
+
+  iovec-stack-lifetime  An nx::IoVec fragment pointed at a variable that
+                        was declared in a *nested* scope below the IoVec
+                        itself: the fragment outlives its target, and the
+                        gather send reads a dead stack slot.
+
+Suppress a finding with a trailing `// chant-lint: allow(<rule>)` on the
+offending line.
+
+Usage:
+  chant_lint.py FILE_OR_DIR...   lint (exit 1 if findings)
+  chant_lint.py --self-test      run against tools/lint/testdata, where
+                                 every expected finding is annotated with
+                                 `// LINT: <rule>`; exits 1 on mismatch.
+"""
+
+import os
+import re
+import sys
+
+RULES = ("dropped-status", "blocking-in-handler", "iovec-stack-lifetime")
+
+ALLOW_RE = re.compile(r"//\s*chant-lint:\s*allow\(([\w-]+)\)")
+LINT_EXPECT_RE = re.compile(r"//\s*LINT:\s*([\w-]+)")
+
+# Methods whose every overload returns chant::Status.
+ALWAYS_STATUS = ("cancel_irecv", "call_test")
+DROPPED_RE = re.compile(
+    r"^\s*(?:\w+(?:\.|->))?(" + "|".join(ALWAYS_STATUS) + r")\s*\("
+)
+
+# Registered-handler discovery.
+REGISTER_RE = re.compile(r"register_handler\s*\(\s*&?(\w+)")
+ASSIGN_HANDLER_RE = re.compile(r"handlers_\s*\[[^\]]*\]\s*=\s*&(\w+)")
+
+# Unbounded blocking runtime calls (on any object: rt., rt->, implicit).
+BLOCKING_RE = re.compile(
+    r"(?:\.|->)(recv|msgwait|call_wait|call|callv|join|join_for_rsr"
+    r"|lock|lock_shared|acquire)\s*\("
+)
+TIMED_HINT_RE = re.compile(r"deadline|_until|_for\s*\(", re.IGNORECASE)
+
+IOVEC_DECL_RE = re.compile(r"\bIoVec\s+(\w+)\s*(?:\[|;|=|\{)")
+# iov[0].base = &x;   iov.base = buf;   iov[i] = {x.data(), n};
+IOVEC_POINT_RE = re.compile(
+    r"\b(\w+)\s*(?:\[[^\]]*\])?\s*\.\s*base\s*=\s*&?(\w+)"
+)
+IOVEC_BRACE_RE = re.compile(
+    r"\b(\w+)\s*(?:\[[^\]]*\])?\s*=\s*\{\s*&?(\w+)"
+)
+# Local declarations we track for lifetime comparison (common forms).
+LOCAL_DECL_RE = re.compile(
+    r"^\s*(?:const\s+)?(?:unsigned\s+)?"
+    r"(?:char|int|long|short|float|double|auto|bool|size_t|wire::\w+"
+    r"|std::(?:uint|int)(?:8|16|32|64)_t|std::array<[^>]*>|std::string"
+    r"|std::vector<[^>]*>)\s+(\w+)\s*(?:\[[^\]]*\])?\s*(?:=|;|\{)"
+)
+
+# Statement contexts in which a Status return IS consumed.
+CONSUMED_RE = re.compile(
+    r"^\s*(?:return\b|if\b|while\b|for\b|case\b|\(void\)|[\w:<>,&\*\s]+=\s*"
+    r"|EXPECT_|ASSERT_|CHECK)"
+)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line):
+    """Blanks out string/char literals and // comments so the regexes
+    cannot match inside them. Column positions are preserved."""
+    out = []
+    i, n = 0, len(line)
+    quote = None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" " if c != quote else c)
+            if c == quote:
+                quote = None
+            i += 1
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+        elif c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is comment
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def find_handler_names(lines):
+    names = set()
+    for raw in lines:
+        line = strip_comments_and_strings(raw)
+        for m in REGISTER_RE.finditer(line):
+            names.add(m.group(1))
+        for m in ASSIGN_HANDLER_RE.finditer(line):
+            names.add(m.group(1))
+    return names
+
+
+def handler_body_ranges(lines, names):
+    """Yields (name, start_idx, end_idx) for each registered handler whose
+    definition (void name(Runtime& ...)) lives in this file."""
+    for name in names:
+        sig = re.compile(r"^\s*(?:static\s+)?void\s+" + re.escape(name)
+                         + r"\s*\(")
+        for i, raw in enumerate(lines):
+            if not sig.search(strip_comments_and_strings(raw)):
+                continue
+            depth = 0
+            started = False
+            for j in range(i, len(lines)):
+                code = strip_comments_and_strings(lines[j])
+                depth += code.count("{") - code.count("}")
+                if "{" in code:
+                    started = True
+                if started and depth <= 0:
+                    yield name, i, j
+                    break
+            break
+
+
+def check_file(path):
+    findings = []
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"chant-lint: cannot read {path}: {e}", file=sys.stderr)
+        return findings
+
+    allows = {}
+    for i, raw in enumerate(lines):
+        m = ALLOW_RE.search(raw)
+        if m:
+            allows.setdefault(i, set()).add(m.group(1))
+
+    def allowed(i, rule):
+        return rule in allows.get(i, ())
+
+    # ---- rule: dropped-status -------------------------------------
+    for i, raw in enumerate(lines):
+        code = strip_comments_and_strings(raw)
+        m = DROPPED_RE.search(code)
+        if m and not CONSUMED_RE.search(code) and not allowed(
+                i, "dropped-status"):
+            findings.append(Finding(
+                path, i + 1, "dropped-status",
+                f"return value of Status-returning '{m.group(1)}' is "
+                "discarded; check it or cast to (void) with a reason"))
+
+    # ---- rule: blocking-in-handler --------------------------------
+    names = find_handler_names(lines)
+    for name, start, end in handler_body_ranges(lines, names):
+        go_depth = None   # paren depth at which an lwt::go argument began
+        paren = 0
+        for i in range(start, end + 1):
+            code = strip_comments_and_strings(lines[i])
+            if go_depth is None:
+                g = re.search(r"\blwt::go\s*\(", code)
+                if g:
+                    # Everything inside the go(...) argument runs on a
+                    # helper fiber and may block freely.
+                    go_depth = paren
+            paren += code.count("(") - code.count(")")
+            if go_depth is not None:
+                if paren <= go_depth:
+                    go_depth = None
+                continue
+            m = BLOCKING_RE.search(code)
+            if not m:
+                continue
+            # The call's arguments may span lines: gather the statement
+            # until its parentheses balance before testing for a deadline.
+            stmt = code
+            k = i
+            while (stmt.count("(") > stmt.count(")") and k + 1 <= end
+                   and k - i < 6):
+                k += 1
+                stmt += " " + strip_comments_and_strings(lines[k])
+            if TIMED_HINT_RE.search(stmt):
+                continue  # deadline-bounded: permitted
+            if allowed(i, "blocking-in-handler"):
+                continue
+            findings.append(Finding(
+                path, i + 1, "blocking-in-handler",
+                f"unbounded blocking call '{m.group(1)}' inside RSR "
+                f"handler '{name}'; defer to an lwt::go helper fiber or "
+                "use a deadline-bounded variant"))
+
+    # ---- rule: iovec-stack-lifetime -------------------------------
+    depth = 0
+    iovec_depth = {}   # iovec var -> decl depth
+    local_depth = {}   # local var -> decl depth
+    scope_stack = []   # list of names declared per depth for popping
+    for i, raw in enumerate(lines):
+        code = strip_comments_and_strings(raw)
+        dm = IOVEC_DECL_RE.search(code)
+        if dm:
+            iovec_depth[dm.group(1)] = depth
+        lm = LOCAL_DECL_RE.match(code)
+        if lm and lm.group(1) not in iovec_depth:
+            local_depth[lm.group(1)] = depth
+            scope_stack.append((depth, lm.group(1)))
+        for pm in list(IOVEC_POINT_RE.finditer(code)) + list(
+                IOVEC_BRACE_RE.finditer(code)):
+            iov, target = pm.group(1), pm.group(2)
+            if iov not in iovec_depth or target not in local_depth:
+                continue
+            if local_depth[target] > iovec_depth[iov] and not allowed(
+                    i, "iovec-stack-lifetime"):
+                findings.append(Finding(
+                    path, i + 1, "iovec-stack-lifetime",
+                    f"IoVec '{iov}' (scope depth {iovec_depth[iov]}) "
+                    f"points at '{target}' declared in a nested scope "
+                    f"(depth {local_depth[target]}); the fragment "
+                    "outlives its target"))
+        opens = code.count("{")
+        closes = code.count("}")
+        depth += opens - closes
+        if closes:
+            # drop locals whose scope just ended
+            scope_stack = [(d, n) for (d, n) in scope_stack if d <= depth]
+            live = {n for (_, n) in scope_stack}
+            local_depth = {n: d for n, d in local_depth.items() if n in live}
+            iovec_depth = {n: d for n, d in iovec_depth.items()
+                           if d <= depth}
+    return findings
+
+
+def iter_sources(paths):
+    exts = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh")
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _, files in os.walk(p):
+                for f in sorted(files):
+                    if f.endswith(exts):
+                        yield os.path.join(root, f)
+        else:
+            yield p
+
+
+def self_test():
+    here = os.path.dirname(os.path.abspath(__file__))
+    testdata = os.path.join(here, "testdata")
+    ok = True
+    for path in iter_sources([testdata]):
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        expected = {}
+        for i, raw in enumerate(lines):
+            m = LINT_EXPECT_RE.search(raw)
+            if m:
+                expected.setdefault(i + 1, set()).add(m.group(1))
+        got = {}
+        for fd in check_file(path):
+            got.setdefault(fd.line, set()).add(fd.rule)
+        if expected != got:
+            ok = False
+            print(f"self-test MISMATCH in {path}:", file=sys.stderr)
+            for line in sorted(set(expected) | set(got)):
+                e = ",".join(sorted(expected.get(line, ()))) or "-"
+                g = ",".join(sorted(got.get(line, ()))) or "-"
+                if expected.get(line) != got.get(line):
+                    print(f"  line {line}: expected [{e}] got [{g}]",
+                          file=sys.stderr)
+    print("chant-lint self-test:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    findings = []
+    for path in iter_sources(argv[1:]):
+        findings.extend(check_file(path))
+    for fd in findings:
+        print(fd)
+    if findings:
+        print(f"chant-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

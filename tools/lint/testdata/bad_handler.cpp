@@ -1,0 +1,56 @@
+// testdata: blocking-in-handler — every seeded violation carries a
+// `// LINT: <rule>` annotation the self-test checks against.
+// (This file is lint fodder, never compiled.)
+#include "chant/runtime.hpp"
+
+namespace {
+
+using chant::Runtime;
+
+void bad_blocking_handler(Runtime& rt, Runtime::RsrContext&, const void*,
+                          std::size_t, std::vector<std::uint8_t>& reply) {
+  char buf[64];
+  rt.recv(7, buf, sizeof buf, chant::kAnyThread);  // LINT: blocking-in-handler
+  reply.clear();
+}
+
+void bad_join_handler(Runtime& rt, Runtime::RsrContext&, const void*,
+                      std::size_t, std::vector<std::uint8_t>&) {
+  rt.join(chant::Gid{0, 0, 1});  // LINT: blocking-in-handler
+}
+
+void good_deferred_handler(Runtime& rt, Runtime::RsrContext& ctx,
+                           const void*, std::size_t,
+                           std::vector<std::uint8_t>&) {
+  // The sanctioned pattern: blocking work rides on a helper fiber.
+  ctx.deferred = true;
+  const Runtime::RsrContext saved = ctx;
+  lwt::go([&rt, saved] {
+    int err = 0;
+    void* rv = rt.join_for_rsr(1, &err);  // helper fiber: allowed
+    rt.reply(saved, &rv, sizeof rv);
+  });
+}
+
+void good_timed_handler(Runtime& rt, Runtime::RsrContext&, const void*,
+                        std::size_t, std::vector<std::uint8_t>&) {
+  chant::MsgInfo mi;
+  char buf[8];
+  (void)rt.recv(7, buf, sizeof buf, chant::kAnyThread,
+                chant::Deadline::after_ms(5), &mi);  // bounded: allowed
+}
+
+void unregistered_free_function(Runtime& rt) {
+  // Not a handler: blocking here is ordinary thread code.
+  char buf[8];
+  rt.recv(7, buf, sizeof buf, chant::kAnyThread);
+}
+
+void register_all(chant::World& w) {
+  w.register_handler(&bad_blocking_handler);
+  w.register_handler(&bad_join_handler);
+  w.register_handler(&good_deferred_handler);
+  w.register_handler(&good_timed_handler);
+}
+
+}  // namespace

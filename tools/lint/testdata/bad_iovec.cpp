@@ -1,0 +1,33 @@
+// testdata: iovec-stack-lifetime. (Lint fodder, never compiled.)
+#include "nx/endpoint.hpp"
+
+void gather_send(nx::Endpoint& ep) {
+  nx::IoVec iov[2];
+  {
+    char tmp[16] = "fragment";
+    iov[0].base = tmp;  // LINT: iovec-stack-lifetime
+    iov[0].len = sizeof tmp;
+  }
+  // tmp is dead here but iov[0] still points at its stack slot.
+  ep.isendv(1, 0, 3, iov, 1, 0);
+}
+
+void gather_send_ok(nx::Endpoint& ep) {
+  // Target declared in the same scope as the descriptor: fine.
+  char payload[16] = "fragment";
+  nx::IoVec iov[2];
+  iov[0].base = payload;
+  iov[0].len = sizeof payload;
+  ep.isendv(1, 0, 3, iov, 1, 0);
+}
+
+void gather_send_suppressed(nx::Endpoint& ep) {
+  nx::IoVec iov[1];
+  {
+    char tmp[8] = "x";
+    // The send happens inside the block, so the pointer never dangles.
+    iov[0].base = tmp;  // chant-lint: allow(iovec-stack-lifetime)
+    iov[0].len = sizeof tmp;
+    ep.isendv(1, 0, 3, iov, 1, 0);
+  }
+}

@@ -1,0 +1,15 @@
+// testdata: dropped-status. (Lint fodder, never compiled.)
+#include "chant/runtime.hpp"
+
+void exercise(chant::Runtime& rt, int handle) {
+  rt.cancel_irecv(handle);  // LINT: dropped-status
+  rt.call_test(handle);  // LINT: dropped-status
+
+  // Consumed returns are fine:
+  const chant::Status st = rt.cancel_irecv(handle);
+  if (rt.call_test(handle)) {
+    (void)st;
+  }
+  (void)rt.cancel_irecv(handle);  // explicit discard: fine
+  rt.cancel_irecv(handle);  // chant-lint: allow(dropped-status)
+}
