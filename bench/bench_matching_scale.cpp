@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_json.hpp"
 #include "harness/table.hpp"
 #include "harness/timer.hpp"
 #include "nx/machine.hpp"
@@ -139,7 +140,7 @@ FailRow run_failed(int unexpected, int posted, int calls) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kMsgs = 200000;
   constexpr int kRounds = 20000;
   constexpr int kCalls = 2000000;
@@ -221,5 +222,27 @@ int main() {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_matching.json\n");
+
+  // Uniform trajectory document (`--json <path>`) for tools/bench_gate.py.
+  if (const char* path = harness::BenchJson::json_path(argc, argv)) {
+    harness::BenchJson json("matching_scale");
+    json.config("msgs", kMsgs);
+    json.config("rounds", kRounds);
+    json.config("calls", kCalls);
+    for (const DepthRow& r : depth_rows) {
+      json.metric("depth_" + std::to_string(r.depth) + "_ns", r.ns_per_msg,
+                  "ns/msg");
+    }
+    for (const ThreadsRow& r : thread_rows) {
+      json.metric("threads_" + std::to_string(r.threads) + "_ns",
+                  r.ns_per_msg, "ns/msg");
+    }
+    for (const FailRow& r : fail_rows) {
+      json.metric("failed_u" + std::to_string(r.unexpected) + "_d" +
+                      std::to_string(r.posted) + "_ns",
+                  r.ns_per_call, "ns/call");
+    }
+    if (!json.write(path)) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,224 @@
+// bench_mn_scaling — M:N scheduler scaling trajectory (DESIGN.md §10).
+//
+// The paper's thread package is strictly 1:N — one OS thread multiplexes
+// all fibers of a process. This bench records what the multi-worker
+// scheduler buys (or costs) as the worker pool grows: for workers in
+// {1, 2, 4, 8} it measures
+//   1. fiber create+join rate (spawn/join batches, stack pool warm),
+//   2. context-switch rate (a yield storm over a fixed fiber set),
+//   3. p2p message throughput — fiber pairs ping-ponging through their
+//      own pair of nx endpoints (endpoints are OS-thread-safe, so the
+//      pairs spread across workers with no extra locking), completion
+//      polled with msgtest + yield so a waiting fiber never wedges the
+//      worker under it.
+// Alongside the rates it prints the scheduler's own view of the run —
+// steals, injections, parks, local-queue hits — and the speedup of each
+// metric versus the 1-worker baseline. workers=1 must stay within noise
+// of the pre-M:N scheduler; that is the regression CI actually gates.
+//
+// Flags: --smoke (shrunk iteration counts for CI), --json <path>
+// (uniform trajectory document, schema in harness/bench_json.hpp).
+// NOTE: speedups > 1 need real cores; a 1-core host shows ~flat.
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "harness/bench_json.hpp"
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+#include "lwt/lwt.hpp"
+#include "nx/machine.hpp"
+
+namespace {
+
+/// lwt::run builds its own Scheduler, which would discard set_workers —
+/// so benches that sweep the worker count drive run_main directly.
+template <typename F>
+void run_on(lwt::Scheduler& s, F&& f) {
+  using Fn = std::decay_t<F>;
+  Fn fn(std::forward<F>(f));
+  s.run_main(
+      [](void* p) -> void* {
+        (*static_cast<Fn*>(p))();
+        return nullptr;
+      },
+      &fn);
+}
+
+struct ScaleRow {
+  unsigned workers = 0;
+  double create_per_s = 0;  ///< fibers spawned+joined per second
+  double yield_per_s = 0;   ///< voluntary context switches per second
+  double p2p_per_s = 0;     ///< messages delivered per second
+  lwt::SchedulerStats stats;
+};
+
+double measure_create(unsigned workers, int batch, int iters) {
+  lwt::Scheduler s;
+  s.set_workers(workers);
+  double rate = 0;
+  run_on(s, [&] {
+    std::vector<lwt::Tcb*> ts;
+    ts.reserve(static_cast<std::size_t>(batch));
+    for (int i = 0; i < 64; ++i) ts.push_back(lwt::go([] {}));  // warm pool
+    for (auto* t : ts) lwt::join(t);
+    ts.clear();
+    harness::Timer timer;
+    for (int it = 0; it < iters; ++it) {
+      for (int i = 0; i < batch; ++i) ts.push_back(lwt::go([] {}));
+      for (auto* t : ts) lwt::join(t);
+      ts.clear();
+    }
+    rate = 1e6 * batch * iters / timer.elapsed_us();
+  });
+  return rate;
+}
+
+double measure_yield(unsigned workers, int fibers, int yields_each) {
+  lwt::Scheduler s;
+  s.set_workers(workers);
+  double rate = 0;
+  run_on(s, [&] {
+    std::vector<lwt::Tcb*> ts;
+    harness::Timer timer;
+    for (int i = 0; i < fibers; ++i) {
+      ts.push_back(lwt::go([yields_each] {
+        for (int y = 0; y < yields_each; ++y) lwt::yield();
+      }));
+    }
+    for (auto* t : ts) lwt::join(t);
+    rate = 1e6 * static_cast<double>(fibers) * yields_each /
+           timer.elapsed_us();
+  });
+  return rate;
+}
+
+/// One side of a pair: post the receive, send, park until it completes.
+/// The wait goes through poll_block_generic — the fiber consumes no CPU
+/// and releases its worker, so a 1-core host degrades gracefully instead
+/// of burning its OS timeslice spin-polling for a descheduled peer.
+void exchange_loop(nx::Endpoint& ep, int peer, int rounds) {
+  struct WaitCtx {
+    nx::Endpoint* ep;
+    nx::Handle h;
+  };
+  long in = 0;
+  long out = 1;
+  for (int r = 0; r < rounds; ++r) {
+    WaitCtx wc{&ep, ep.irecv(0, peer, /*tag=*/0, nx::kTagExact, &in,
+                             sizeof in)};
+    ep.csend(0, peer, /*tag=*/0, &out, sizeof out);
+    if (!ep.msgtest(wc.h)) {  // fast path: already delivered
+      lwt::PollRequest req{[](void* p) {
+                             auto* w = static_cast<WaitCtx*>(p);
+                             return w->ep->msgtest(w->h);
+                           },
+                           &wc};
+      lwt::Scheduler::current()->poll_block_generic(req);
+    }
+  }
+}
+
+double measure_p2p(unsigned workers, int pairs, int rounds,
+                   lwt::SchedulerStats* stats_out) {
+  nx::Machine m{
+      nx::Machine::Config{1, 2 * pairs, nx::NetModel::zero(), 1 << 16}};
+  lwt::Scheduler s;
+  s.set_workers(workers);
+  double rate = 0;
+  run_on(s, [&] {
+    std::vector<lwt::Tcb*> fibers;
+    harness::Timer timer;
+    for (int p = 0; p < pairs; ++p) {
+      nx::Endpoint& a = m.endpoint(0, 2 * p);
+      nx::Endpoint& b = m.endpoint(0, 2 * p + 1);
+      fibers.push_back(
+          lwt::go([&a, p, rounds] { exchange_loop(a, 2 * p + 1, rounds); }));
+      fibers.push_back(
+          lwt::go([&b, p, rounds] { exchange_loop(b, 2 * p, rounds); }));
+    }
+    for (auto* t : fibers) lwt::join(t);
+    rate = 1e6 * 2.0 * pairs * rounds / timer.elapsed_us();
+  });
+  if (stats_out != nullptr) *stats_out = s.stats();
+  return rate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // Smoke still needs each timed region well past a scheduler timeslice
+  // (tens of ms), or run-to-run noise on a busy runner trips the gate.
+  const int kCreateBatch = smoke ? 512 : 2000;
+  const int kCreateIters = smoke ? 8 : 20;
+  const int kYieldFibers = 64;
+  const int kYieldsEach = smoke ? 5000 : 10000;
+  const int kPairs = 8;
+  const int kRounds = smoke ? 2500 : 10000;
+
+  std::printf("== M:N scheduler scaling (hardware_concurrency=%u%s) ==\n\n",
+              std::thread::hardware_concurrency(), smoke ? ", smoke" : "");
+
+  harness::Table t({"workers", "create_per_s", "yield_per_s", "p2p_msg_per_s",
+                    "steals", "injections", "parks", "local_hits"});
+  harness::BenchJson json("mn_scaling");
+  json.config("smoke", smoke ? "true" : "false");
+  json.config("create_batch", kCreateBatch);
+  json.config("create_iters", kCreateIters);
+  json.config("yield_fibers", kYieldFibers);
+  json.config("yields_each", kYieldsEach);
+  json.config("pairs", kPairs);
+  json.config("rounds", kRounds);
+  json.config("hardware_concurrency",
+              static_cast<long long>(std::thread::hardware_concurrency()));
+
+  std::vector<ScaleRow> rows;
+  for (unsigned w : {1u, 2u, 4u, 8u}) {
+    ScaleRow r;
+    r.workers = w;
+    r.create_per_s = measure_create(w, kCreateBatch, kCreateIters);
+    r.yield_per_s = measure_yield(w, kYieldFibers, kYieldsEach);
+    r.p2p_per_s = measure_p2p(w, kPairs, kRounds, &r.stats);
+    rows.push_back(r);
+    t.add_row({harness::fmt("%u", w), harness::fmt("%.0f", r.create_per_s),
+               harness::fmt("%.0f", r.yield_per_s),
+               harness::fmt("%.0f", r.p2p_per_s),
+               harness::fmt("%llu", (unsigned long long)r.stats.steals),
+               harness::fmt("%llu", (unsigned long long)r.stats.injections),
+               harness::fmt("%llu", (unsigned long long)r.stats.parks),
+               harness::fmt("%llu", (unsigned long long)r.stats.local_hits)});
+    // Only the workers=1 rates gate CI: they must stay within noise of
+    // the pre-M:N scheduler. Multi-worker rates are recorded trajectory
+    // but swing with core count and OS timeslicing across runners.
+    const std::string ws = std::to_string(w);
+    const bool gate = (w == 1);
+    json.metric("create_w" + ws, r.create_per_s, "fibers/s", gate);
+    json.metric("yield_w" + ws, r.yield_per_s, "switches/s", gate);
+    json.metric("p2p_w" + ws, r.p2p_per_s, "msg/s", gate);
+  }
+  t.print("mn_scaling");
+
+  harness::Table sp({"workers", "create_speedup", "yield_speedup",
+                     "p2p_speedup"});
+  for (const ScaleRow& r : rows) {
+    sp.add_row({harness::fmt("%u", r.workers),
+                harness::fmt("%.2fx", r.create_per_s / rows[0].create_per_s),
+                harness::fmt("%.2fx", r.yield_per_s / rows[0].yield_per_s),
+                harness::fmt("%.2fx", r.p2p_per_s / rows[0].p2p_per_s)});
+    if (r.workers != 1) {
+      const std::string ws = std::to_string(r.workers);
+      json.metric("p2p_speedup_w" + ws, r.p2p_per_s / rows[0].p2p_per_s, "x",
+                  /*gate=*/false);
+    }
+  }
+  sp.print("mn_speedup");
+
+  if (const char* path = harness::BenchJson::json_path(argc, argv)) {
+    if (!json.write(path)) return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "chant/chant.hpp"
+#include "harness/bench_json.hpp"
 #include "harness/table.hpp"
 #include "harness/timer.hpp"
 #include "harness/workload.hpp"
@@ -170,6 +171,8 @@ int main(int argc, char** argv) {
   harness::Table t({"payload_B", "reply_path", "idle_pe_us",
                     "busy_boost_us", "busy_noboost_us", "copies_B_call",
                     "tmp_allocs_call"});
+  harness::BenchJson json("rsr_latency");
+  json.config("iters", kIters);
   for (std::size_t payload : {16ul, 512ul, 2048ul, 8192ul}) {
     const char* path = payload <= 1024 ? "inline" : "tail";
     const RsrResult idle = run_rsr(true, payload, 0, kIters);
@@ -181,7 +184,14 @@ int main(int argc, char** argv) {
                harness::fmt("%.2f", noboost.us_per_call),
                harness::fmt("%.1f", idle.copies_per_call),
                harness::fmt("%.3f", idle.allocs_per_call)});
+    const std::string p = std::to_string(payload);
+    json.metric("idle_" + p + "B_us", idle.us_per_call, "us/call");
+    json.metric("boost_" + p + "B_us", boost.us_per_call, "us/call");
+    json.metric("noboost_" + p + "B_us", noboost.us_per_call, "us/call");
   }
   t.print("rsr_latency");
+  if (const char* path = harness::BenchJson::json_path(argc, argv)) {
+    if (!json.write(path)) return 1;
+  }
   return 0;
 }

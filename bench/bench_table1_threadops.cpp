@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "harness/bench_json.hpp"
 #include "harness/table.hpp"
 #include "harness/timer.hpp"
 #include "lwt/lwt.hpp"
@@ -95,23 +96,34 @@ OpTimes measure_kernel_threads() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Table 1: thread package create/switch times ==\n");
   std::printf("(paper's SS-10 numbers for reference: cthreads 423/81, REX "
               "230/60, pthreads 1300/29, LWP 400/25, Quickthreads 440/21 us)\n\n");
   harness::Table t({"package", "create_us", "switch_us"});
+  harness::BenchJson json("threadops");
+  json.config("workers", 1);
 #if !defined(LWT_NO_ASM_CONTEXT)
   const OpTimes asm_times = measure_lwt(lwt::ContextBackend::Asm);
   t.add_row({"lwt (asm, Quickthreads-class)",
              harness::fmt("%.3f", asm_times.create_us),
              harness::fmt("%.3f", asm_times.switch_us)});
+  json.metric("lwt_asm_create", asm_times.create_us, "us");
+  json.metric("lwt_asm_switch", asm_times.switch_us, "us");
 #endif
   const OpTimes uc = measure_lwt(lwt::ContextBackend::Ucontext);
   t.add_row({"lwt (ucontext, portable)", harness::fmt("%.3f", uc.create_us),
              harness::fmt("%.3f", uc.switch_us)});
+  json.metric("lwt_ucontext_create", uc.create_us, "us");
+  json.metric("lwt_ucontext_switch", uc.switch_us, "us");
   const OpTimes kt = measure_kernel_threads();
   t.add_row({"std::thread (kernel)", harness::fmt("%.3f", kt.create_us),
              harness::fmt("%.3f", kt.switch_us)});
+  json.metric("kernel_thread_create", kt.create_us, "us");
+  json.metric("kernel_thread_switch", kt.switch_us, "us");
   t.print("table1");
+  if (const char* path = harness::BenchJson::json_path(argc, argv)) {
+    if (!json.write(path)) return 1;
+  }
   return 0;
 }

@@ -48,6 +48,11 @@ struct RuntimeConfig {
   /// Start the server thread at all (pure-p2p experiments disable it so
   /// its polling does not perturb Table-2 style measurements).
   bool start_server = true;
+  /// Scheduler worker threads for this process: 0 (the default) resolves
+  /// CHANT_WORKERS at run time (unset -> 1), n >= 1 is used as given.
+  /// Installing a controller_factory or wq_use_testany forces 1 — the
+  /// sim determinism contract (see lwt::Scheduler::set_workers).
+  unsigned workers = 0;
   lwt::ContextBackend backend = lwt::default_backend();
   std::size_t default_stack_size = 128 * 1024;
   /// Largest RSR request payload (server receive buffer size).

@@ -16,10 +16,12 @@
 // class; C++ users can use it directly.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -248,7 +250,7 @@ class Runtime {
               std::size_t iovcnt);
 
   // ---- statistics ----
-  const lwt::SchedulerStats& sched_stats() const { return sched_.stats(); }
+  lwt::SchedulerStats sched_stats() const { return sched_.stats(); }
   nx::Counters& net_counters() { return ep_.counters(); }
   /// The runtime's slab-recycling pool for RSR scratch buffers; exposed
   /// for its stats (steady-state RSR must show zero fresh allocations).
@@ -321,7 +323,8 @@ class Runtime {
 
   friend class World;
 
-  // thread registry (single-threaded: only touched by this process)
+  // thread registry (guarded by reg_mu_: with a multi-worker scheduler,
+  // spawn / exit / lookup run on whichever worker hosts the fiber)
   int alloc_lid();
   void free_lid(int lid);
   ThreadRec* find(int lid);
@@ -427,6 +430,10 @@ class Runtime {
   TagCodec codec_;
   lwt::Scheduler sched_;
 
+  /// Guards threads_/free_lids_/next_lid_. An OS mutex, not an lwt
+  /// primitive: registry ops never park, and the lwt locks would recurse
+  /// into the scheduler under validation.
+  mutable std::mutex reg_mu_;
   std::unordered_map<int, ThreadRec> threads_;
   std::vector<int> free_lids_;
   int next_lid_ = kFirstUserLid;
@@ -441,7 +448,7 @@ class Runtime {
   BufferPool pool_;  ///< recycles RSR scratch buffers (single-threaded)
   int next_reply_seq_ = 0;
   std::uint32_t next_call_nonce_ = 0;  ///< wire::Rsr::nonce allocator
-  bool server_stop_ = false;
+  std::atomic<bool> server_stop_{false};
   lwt::Tcb* server_tcb_ = nullptr;
 
   // deadline / retry layer (DESIGN.md §8)

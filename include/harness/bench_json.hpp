@@ -1,0 +1,117 @@
+// harness/bench_json.hpp — machine-readable benchmark output.
+//
+// Every perf-tracked bench accepts `--json <path>` and, alongside its
+// human tables, writes one JSON document in a uniform schema so CI can
+// diff runs against the committed BENCH_*.json baselines:
+//
+//   {
+//     "bench": "threadops",
+//     "git_sha": "abc1234",
+//     "config": { "workers": "4", ... },
+//     "metrics": [
+//       { "name": "lwt_asm_create", "value": 0.42, "unit": "us" }, ...
+//     ]
+//   }
+//
+// Metric names are stable identifiers (tools/bench_gate.py matches on
+// them); values are doubles; units are informational. The writer is
+// deliberately dependency-free — the schema is flat enough that
+// hand-rolled escaping of the few string fields suffices.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef CHANT_GIT_SHA
+#define CHANT_GIT_SHA "unknown"
+#endif
+
+namespace harness {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Adds a config key (stringified; kept verbatim in the output).
+  void config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, value);
+  }
+  void config(const std::string& key, long long value) {
+    config(key, std::to_string(value));
+  }
+
+  /// Records one metric sample. `name` must be unique and stable across
+  /// runs; bench_gate.py keys regression checks on it. Pass gate=false
+  /// for trajectory-only metrics too host-dependent to fail CI on (e.g.
+  /// multi-worker rates, which need real cores to be stable).
+  void metric(const std::string& name, double value, const std::string& unit,
+              bool gate = true) {
+    metrics_.push_back(Metric{name, value, unit, gate});
+  }
+
+  /// Writes the document; returns false (with a perror) on I/O failure.
+  bool write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::perror("bench_json: fopen");
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\",\n",
+                 escaped(bench_).c_str(), escaped(CHANT_GIT_SHA).c_str());
+    std::fprintf(f, "  \"config\": {");
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", i == 0 ? "" : ",",
+                   escaped(config_[i].first).c_str(),
+                   escaped(config_[i].second).c_str());
+    }
+    std::fprintf(f, "%s},\n", config_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"metrics\": [");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    { \"name\": \"%s\", \"value\": %.6g, "
+                   "\"unit\": \"%s\"%s }",
+                   i == 0 ? "" : ",", escaped(metrics_[i].name).c_str(),
+                   metrics_[i].value, escaped(metrics_[i].unit).c_str(),
+                   metrics_[i].gate ? "" : ", \"gate\": false");
+    }
+    std::fprintf(f, "%s]\n}\n", metrics_.empty() ? "" : "\n  ");
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("wrote %s\n", path);
+    return ok;
+  }
+
+  /// Scans argv for `--json <path>`; returns the path or null.
+  static const char* json_path(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") return argv[i + 1];
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+    bool gate;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace harness

@@ -2,6 +2,8 @@
 // fibers (rounding out the "Synchronization" box of paper Figure 2).
 #pragma once
 
+#include <atomic>
+
 #include "lwt/scheduler.hpp"
 #include "lwt/thread.hpp"
 
@@ -31,14 +33,21 @@ class RwLock {
   bool try_lock_until(std::uint64_t deadline_ns);
   void unlock();
 
-  int readers() const noexcept { return readers_; }
-  bool has_writer() const noexcept { return writer_ != nullptr; }
+  int readers() const noexcept {
+    return readers_.load(std::memory_order_relaxed);
+  }
+  bool has_writer() const noexcept {
+    return writer_.load(std::memory_order_relaxed) != nullptr;
+  }
 
  private:
-  void wake_next();
+  /// Caller holds the scheduler's wait lock through `g`; stays held.
+  void wake_next(Scheduler& s, Scheduler::SyncGuard& g);
 
-  int readers_ = 0;
-  Tcb* writer_ = nullptr;
+  /// State transitions happen under the scheduler's wait lock; atomics
+  /// make the introspection reads above clean.
+  std::atomic<int> readers_{0};
+  std::atomic<Tcb*> writer_{nullptr};
   TcbQueue waiting_writers_;
   TcbQueue waiting_readers_;
 };
@@ -77,29 +86,38 @@ class Once {
 
   template <typename F>
   void call(F&& fn) {
-    if (state_ == State::Done) return;
+    if (state_.load(std::memory_order_acquire) == State::Done) return;
     Scheduler& s = *Scheduler::current();
-    if (state_ == State::Running) {
-      while (state_ != State::Done) s.park_on(waiters_);
-      return;
+    Scheduler::SyncGuard g(s);
+    while (true) {
+      const State st = state_.load(std::memory_order_relaxed);
+      if (st == State::Done) return;
+      if (st == State::Fresh) break;
+      s.park_on(waiters_, g);
+      g.lock();
     }
-    state_ = State::Running;
+    state_.store(State::Running, std::memory_order_relaxed);
+    g.unlock();  // fn() runs outside the wait lock (it may block/spawn)
     try {
       fn();
     } catch (...) {
-      state_ = State::Fresh;  // as with pthread_once: retryable
-      s.wake_all(waiters_);
+      g.lock();
+      state_.store(State::Fresh, std::memory_order_relaxed);
+      s.wake_all(waiters_, g);  // as with pthread_once: retryable
       throw;
     }
-    state_ = State::Done;
-    s.wake_all(waiters_);
+    g.lock();
+    state_.store(State::Done, std::memory_order_release);
+    s.wake_all(waiters_, g);
   }
 
-  bool done() const noexcept { return state_ == State::Done; }
+  bool done() const noexcept {
+    return state_.load(std::memory_order_acquire) == State::Done;
+  }
 
  private:
   enum class State : std::uint8_t { Fresh, Running, Done };
-  State state_ = State::Fresh;
+  std::atomic<State> state_{State::Fresh};
   TcbQueue waiters_;
 };
 

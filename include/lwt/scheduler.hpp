@@ -1,9 +1,12 @@
 // lwt/scheduler.hpp — the user-level thread scheduler.
 //
-// One Scheduler runs per OS thread (per simulated Chant "process"). The
-// scheduler itself executes on the OS thread's native stack; fibers swap
-// back into the scheduler context at every scheduling point, which is
-// exactly the structure the paper's polling algorithms assume:
+// One Scheduler runs per simulated Chant "process". Since the M:N rework
+// it owns a pool of OS worker threads (default 1 — the paper's original
+// 1:1 world — scaled via set_workers()/CHANT_WORKERS): each worker has
+// its own run queue and schedules fibers independently, stealing from
+// its peers when it idles. Fibers swap back into the owning worker's
+// scheduler context at every scheduling point, which is exactly the
+// structure the paper's polling algorithms assume:
 //
 //  * Thread polls (TP, paper Fig. 5): the waiting thread stays runnable
 //    and re-tests its own request every time it is rescheduled — a full
@@ -18,16 +21,41 @@
 //    it *before* restoring the context ("partial switch") and rotates
 //    the TCB to the back if the message has not arrived.
 //
+// Concurrency structure (multi-worker mode; see DESIGN.md §10):
+//  * each worker's run queues are guarded by that worker's spinlock —
+//    the local push/pop hot path never touches shared state;
+//  * one scheduler-wide *wait lock* guards every blocked-fiber structure
+//    (wait lists, WQ/generic entries, the timer wheel, zombies, TLS
+//    keys, join bookkeeping). A parking fiber holds it across its
+//    context switch — the worker releases it after the switch — so a
+//    waker can never enqueue a fiber that is still running;
+//  * cross-thread ready() calls (timer threads, foreign OS threads) are
+//    routed through a mutex-guarded injection queue that workers drain
+//    at every scheduling point;
+//  * idle workers steal the oldest non-PS fiber from a peer, or park on
+//    a condition variable (one "spinner" stays hot whenever pollable
+//    waits or timers exist, preserving message-completion latency).
+//
+// Determinism contract: installing a ScheduleController or a WQ group
+// poll hook forces workers=1, so every sim schedule replays bit-exactly.
+//
 // The scheduler also keeps the event counters the paper reports:
 // complete context switches, partial-switch tests, per-entry WQ tests,
-// and the average number of threads waiting on outstanding requests.
+// and the average number of threads waiting on outstanding requests —
+// plus the M:N counters (steals, injections, parks, local hits).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lwt/schedctrl.hpp"
+#include "lwt/spinlock.hpp"
 #include "lwt/thread.hpp"
 #include "lwt/timer.hpp"
 #include "lwt/trace.hpp"
@@ -38,6 +66,10 @@ namespace lwt {
 /// unwinds the fiber stack (running RAII destructors) back to the fiber
 /// bootstrap, which records kCanceled as the thread's return value.
 struct CancelInterrupt {};
+
+/// Maximum worker threads per scheduler (backstop; CHANT_WORKERS and
+/// set_workers() are clamped to it).
+inline constexpr unsigned kMaxWorkers = 64;
 
 /// Event counters (paper Tables 3–5 columns and Figures 11–13).
 struct SchedulerStats {
@@ -57,6 +89,11 @@ struct SchedulerStats {
   std::uint64_t timer_fires = 0;    ///< timers that expired and woke a thread
   std::uint64_t timer_cancels = 0;  ///< timers disarmed before firing
   std::uint64_t sleeps = 0;         ///< sleep_for / sleep_until calls
+  // M:N worker pool (DESIGN.md §10).
+  std::uint64_t steals = 0;      ///< fibers taken from a peer's run queue
+  std::uint64_t injections = 0;  ///< cross-thread ready() via injection queue
+  std::uint64_t parks = 0;       ///< idle workers that condvar-parked
+  std::uint64_t local_hits = 0;  ///< pick_next served from the own queue
 
   double avg_waiting() const noexcept {
     return waiting_samples == 0
@@ -74,14 +111,42 @@ class Scheduler {
   ~Scheduler();
 
   /// Runs `entry(arg)` as the main fiber (id 1) and schedules until every
-  /// fiber has finished. Returns the main fiber's return value. Must be
-  /// called on the OS thread that owns this scheduler; not reentrant.
+  /// fiber has finished, spinning up workers()-1 extra OS threads for the
+  /// duration. Returns the main fiber's return value. Must be called on
+  /// the OS thread that owns this scheduler; not reentrant.
   void* run_main(EntryFn entry, void* arg, const ThreadAttr& attr = {});
 
   /// The scheduler owning the calling OS thread (null outside run_main).
   static Scheduler* current();
   /// The currently running fiber (null outside a fiber).
   static Tcb* self();
+
+  // ---- worker pool ----
+
+  /// Sets the worker-thread count for the next run_main: 0 (the default)
+  /// resolves CHANT_WORKERS at run time, n >= 1 is used as given
+  /// (clamped to kMaxWorkers). A non-null ScheduleController or WQ
+  /// group-poll hook overrides this to 1 — the determinism contract.
+  void set_workers(unsigned n) noexcept { requested_workers_ = n; }
+
+  /// Effective worker count of the current (or last) run; the requested
+  /// resolution before the first run.
+  unsigned workers() const noexcept { return nworkers_; }
+
+  /// CHANT_WORKERS resolution: unset/empty -> 1 (today's single-core
+  /// behavior); "0" -> std::thread::hardware_concurrency(); otherwise
+  /// the value, clamped to [1, kMaxWorkers].
+  static unsigned default_workers() noexcept;
+
+  /// Hooks run at the start/end of every *extra* worker OS thread (not
+  /// the run_main caller), e.g. so a layered runtime can seed its own
+  /// thread-locals. Install before run_main.
+  using WorkerHook = void (*)(void* ctx);
+  void set_worker_hooks(WorkerHook start, WorkerHook stop, void* ctx) {
+    worker_start_hook_ = start;
+    worker_stop_hook_ = stop;
+    worker_hook_ctx_ = ctx;
+  }
 
   // ---- fiber-context operations (call from inside a fiber) ----
 
@@ -112,7 +177,8 @@ class Scheduler {
   void detach(Tcb* t);
 
   /// Requests deferred cancellation of `t`, waking it from any
-  /// cancellable wait (yield/join/sync/poll waits).
+  /// cancellable wait (yield/join/sync/poll waits). Safe from foreign
+  /// OS threads (the wake is routed through the injection queue).
   void cancel(Tcb* t);
 
   /// Enables/disables acting on cancellation for the calling thread;
@@ -123,15 +189,56 @@ class Scheduler {
   /// pending and enabled for the calling thread.
   void check_cancel();
 
-  /// Changes a thread's priority (takes effect at its next enqueue).
+  /// Changes a thread's priority. If `t` is queued on a run queue it is
+  /// requeued at the new level immediately; otherwise the change takes
+  /// effect at its next enqueue.
   void set_priority(Tcb* t, int priority);
 
   // ---- blocking-wait building blocks (used by sync.cpp and Chant) ----
 
+  /// RAII hold on the scheduler's wait lock — the lock every sync
+  /// primitive's check-then-park sequence must run under so a wake from
+  /// another worker cannot slip between the check and the park. The
+  /// guard-taking park_on overload *transfers* the lock to the
+  /// scheduler, which releases it only after the fiber has switched out.
+  class SyncGuard {
+   public:
+    explicit SyncGuard(Scheduler& s) : s_(s), owned_(true) {
+      s_.wait_mu_.lock();
+    }
+    ~SyncGuard() {
+      if (owned_) s_.wait_mu_.unlock();
+    }
+    SyncGuard(const SyncGuard&) = delete;
+    SyncGuard& operator=(const SyncGuard&) = delete;
+
+    void lock() {
+      s_.wait_mu_.lock();
+      owned_ = true;
+    }
+    void unlock() {
+      owned_ = false;
+      s_.wait_mu_.unlock();
+    }
+    bool owns() const noexcept { return owned_; }
+
+   private:
+    friend class Scheduler;
+    /// The scheduler takes over release (parking path).
+    void disown() noexcept { owned_ = false; }
+
+    Scheduler& s_;
+    bool owned_;
+  };
+
   /// Parks the calling fiber on `wl` and switches to the scheduler.
-  /// The fiber resumes when another thread moves it back to the run
+  /// The fiber resumes when another thread moves it back to a run
   /// queue via wake_one/wake_all/ready(), or when cancelled.
   void park_on(TcbQueue& wl);
+
+  /// As park_on, but the caller already holds the wait lock through `g`
+  /// (checked its predicate under it). Returns with `g` released.
+  void park_on(TcbQueue& wl, SyncGuard& g);
 
   /// Timed park: as park_on, but also arms a timer-wheel entry. Returns
   /// true if woken by wake_one/wake_all/ready (or cancellation — the
@@ -140,11 +247,19 @@ class Scheduler {
   /// forever; an already-passed deadline returns false without parking.
   bool park_on_until(TcbQueue& wl, std::uint64_t deadline_ns);
 
-  /// Moves the first thread parked on `wl` (if any) to the run queue.
+  /// Guard-holding variant; returns with `g` released on every path.
+  bool park_on_until(TcbQueue& wl, std::uint64_t deadline_ns, SyncGuard& g);
+
+  /// Moves the first thread parked on `wl` (if any) to a run queue.
   Tcb* wake_one(TcbQueue& wl);
+  /// Variant for callers already under the wait lock (`g` stays held).
+  Tcb* wake_one(TcbQueue& wl, SyncGuard& g);
   /// Wakes every thread parked on `wl`; returns how many.
   std::size_t wake_all(TcbQueue& wl);
-  /// Makes an unqueued Blocked thread ready.
+  std::size_t wake_all(TcbQueue& wl, SyncGuard& g);
+  /// Makes an unqueued Blocked thread ready. Safe from any OS thread:
+  /// callers outside this scheduler's workers are routed through the
+  /// injection queue (and counted in stats().injections).
   void ready(Tcb* t);
 
   // ---- time & timers ----
@@ -173,7 +288,9 @@ class Scheduler {
 
   /// Armed (not yet fired/disarmed) timer-wheel entries; introspection
   /// for tests and the no-spin acceptance checks.
-  std::size_t armed_timers() const noexcept { return timers_.armed(); }
+  std::size_t armed_timers() const noexcept {
+    return timers_live_.load(std::memory_order_relaxed);
+  }
 
   // ---- message-wait primitives (the three polling policies) ----
   //
@@ -208,6 +325,8 @@ class Scheduler {
   /// Replaces WQ's per-entry scan with one group test per scheduling
   /// point (msgtestany ablation). The hook must call wq_complete() for
   /// each request it finds complete and return how many it completed.
+  /// Installing a hook forces workers=1 (the hook's bookkeeping is not
+  /// required to be thread-safe).
   using WqGroupPoll = std::size_t (*)(void* hook_ctx, Scheduler& sched);
   void set_wq_group_poll(WqGroupPoll hook, void* hook_ctx);
 
@@ -226,6 +345,8 @@ class Scheduler {
   /// Installs (or removes, with null) a schedule controller consulted at
   /// every yield/block/wake decision point; see lwt/schedctrl.hpp. Null
   /// (the default) keeps production behavior and cost. Not owned.
+  /// A non-null controller forces workers=1 at the next run_main so the
+  /// explored schedule replays deterministically.
   void set_controller(ScheduleController* ctrl) noexcept { ctrl_ = ctrl; }
   ScheduleController* controller() const noexcept { return ctrl_; }
 
@@ -239,11 +360,17 @@ class Scheduler {
   void* get_specific(int key) const;
 
   // ---- introspection ----
-  const SchedulerStats& stats() const noexcept { return stats_; }
-  SchedulerStats& mutable_stats() noexcept { return stats_; }
+
+  /// Aggregated counters: per-worker stats summed, plus scheduler-wide
+  /// ones (injections). Returns by value — the sum is computed on call.
+  SchedulerStats stats() const;
   ContextBackend backend() const noexcept { return backend_; }
-  std::uint32_t live_threads() const noexcept { return active_; }
-  std::uint32_t msg_waiting_threads() const noexcept { return msg_waiting_; }
+  std::uint32_t live_threads() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t msg_waiting_threads() const noexcept {
+    return msg_waiting_.load(std::memory_order_relaxed);
+  }
   /// Human-readable dump of all known threads (deadlock diagnostics).
   std::string debug_dump() const;
 
@@ -253,40 +380,120 @@ class Scheduler {
     Tcb* tcb;
   };
 
-  void schedule_loop();
-  void switch_to(Tcb* t);
+  /// One scheduling OS thread: its own scheduler context, run queues and
+  /// counters. Padded so two workers' hot state never share a line.
+  struct alignas(64) Worker {
+    Scheduler* sched = nullptr;
+    std::uint32_t index = 0;
+    Context sched_ctx;                ///< bound to this worker's OS stack
+    SpinLock q_mu;                    ///< guards run_q + q_len
+    TcbQueue run_q[kNumPriorities];
+    std::atomic<std::uint32_t> q_len{0};  ///< total queued (steal gate)
+    Tcb* current = nullptr;           ///< fiber running on this worker
+    // Post-switch actions: performed by the worker right after a fiber
+    // switches out, while the fiber is guaranteed off its stack.
+    SpinLock* pending_unlock = nullptr;  ///< wait lock held across a park
+    Tcb* pending_enqueue = nullptr;      ///< self-requeue (yield/PS park)
+    Tcb* pending_reap = nullptr;         ///< finished detached fiber
+    std::uint64_t steal_rng = 0;
+    SchedulerStats stats;
+    std::thread thr;                  ///< workers[1..] only
+  };
+
+  void worker_loop(Worker& w);
+  void switch_to(Worker& w, Tcb* t);
   [[noreturn]] void finish_current(void* retval);
-  Tcb* pick_next();
-  void wq_scan();
+  Tcb* pick_next(Worker& w);
+  Tcb* try_steal(Worker& w);
+  void idle_wait(Worker& w);
+  void wq_scan(Worker& w);
   void enqueue_ready(Tcb* t);
+  /// enqueue_ready when on a worker of this scheduler, else inject().
+  void enqueue_or_inject(Tcb* t);
+  void inject(Tcb* t);
+  void drain_inject(Worker& w);
+  void unpark_one();
+  void unpark_all();
+  /// Transfers `g` to the scheduler and switches out; the worker
+  /// releases the wait lock after the switch completes.
+  void park_switch(SyncGuard& g);
   void reap(Tcb* t);
   void run_tls_dtors(Tcb* t);
+  /// Wait-lock-held timer ops (callers hold a SyncGuard).
   TimerWheel::TimerId arm_timer(std::uint64_t deadline_ns, Tcb* t);
   void disarm_timer(TimerWheel::TimerId id);
   /// Timer-wheel expiry: wakes `t` from whatever wait parked it, with
   /// Tcb::timed_out set. A stale fire (thread already woken by the real
   /// event) is ignored so a completed wait never reports a timeout.
+  /// Called with the wait lock held.
   void timeout_wake(Tcb* t);
-  void expire_timers();
+  void maybe_expire_timers();
+  SchedulerStats& local_stats();
+
+  /// The Worker owning the calling OS thread (null off any worker).
+  /// noinline so the thread-local address is re-derived on every call:
+  /// fiber code runs before AND after a ctx_swap that may resume it on a
+  /// different OS thread, and an inlined TLS access could legally cache
+  /// the first thread's slot address across the switch.
+  static Worker* this_worker() noexcept;
+  static thread_local Worker* tl_worker_;
+
   friend void detail::fiber_boot(Tcb*);
 
   ContextBackend backend_;
-  Context sched_ctx_;
-  StackPool stacks_;
-  TcbQueue run_q_[kNumPriorities];
-  std::vector<WqEntry> wq_;
-  std::vector<WqEntry> generic_wq_;
-  std::vector<Tcb*> zombies_;   ///< finished, unjoined, undetached
-  Tcb* current_ = nullptr;
-  Tcb* pending_reap_ = nullptr; ///< finished detached fiber awaiting reap
-  std::uint32_t next_id_ = 1;
-  std::uint32_t active_ = 0;    ///< fibers not yet Finished
-  std::uint32_t blocked_ = 0;   ///< fibers parked on wait lists / WQ
-  std::uint32_t ps_parked_ = 0; ///< fibers queued with poll_active
-  std::uint32_t msg_waiting_ = 0;
+  StackPool stacks_;  ///< internally locked (multi-worker spawn/reap)
+
+  // ---- worker pool ----
+  std::vector<std::unique_ptr<Worker>> workers_;
+  unsigned nworkers_ = 1;            ///< effective count for this run
+  unsigned requested_workers_ = 0;   ///< set_workers(); 0 = CHANT_WORKERS
+  WorkerHook worker_start_hook_ = nullptr;
+  WorkerHook worker_stop_hook_ = nullptr;
+  void* worker_hook_ctx_ = nullptr;
+
+  /// The wait lock: guards wq_, generic_wq_, timers_, zombies_,
+  /// tls_keys_, every TcbQueue wait list, joiner/join_taken/detached and
+  /// all Blocked<->Ready transitions. Lock order:
+  /// wait_mu_ -> (worker q_mu | inject_mu_ | park_mu_); never reverse.
+  mutable SpinLock wait_mu_;
+
+  // Injection queue: cross-thread ready() lands here; drained by every
+  // worker at every scheduling point. inject_len_/idle_workers_ use
+  // seq_cst so an injector and a parking worker can never miss each
+  // other (Dekker-style flag pair).
+  SpinLock inject_mu_;
+  TcbQueue inject_q_;
+  std::atomic<std::uint32_t> inject_len_{0};
+
+  // Worker parking (multi-worker idle).
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<std::uint32_t> idle_workers_{0};
+  std::atomic<int> spinner_{-1};  ///< worker index that stays hot, or -1
+
+  std::vector<WqEntry> wq_;          // guarded by wait_mu_
+  std::vector<WqEntry> generic_wq_;  // guarded by wait_mu_
+  std::vector<Tcb*> zombies_;        // guarded by wait_mu_
+  std::atomic<std::uint32_t> wq_len_{0};       ///< mirror of wq_.size()
+  std::atomic<std::uint32_t> generic_len_{0};  ///< mirror of generic size
+
+  std::atomic<std::uint32_t> next_id_{1};
+  std::atomic<std::uint32_t> active_{0};   ///< fibers not yet Finished
+  std::atomic<std::uint32_t> blocked_{0};  ///< parked on wait lists / WQ
+  std::atomic<std::uint32_t> ps_parked_{0};///< queued with poll_active
+  std::atomic<std::uint32_t> msg_waiting_{0};
   bool running_ = false;
-  SchedulerStats stats_;
-  TimerWheel timers_;
+
+  /// Counters retired from previous runs plus operations performed off
+  /// any worker (aggregated into stats()).
+  SchedulerStats base_stats_;
+  std::atomic<std::uint64_t> injections_{0};
+
+  TimerWheel timers_;  // guarded by wait_mu_
+  /// Lock-free mirrors of the wheel (idle gating without the lock).
+  std::atomic<std::uint64_t> next_deadline_cache_{kNoDeadline};
+  std::atomic<std::size_t> timers_live_{0};
+
   ClockFn clock_fn_ = nullptr;
   void* clock_ctx_ = nullptr;
   WqGroupPoll wq_group_poll_ = nullptr;
@@ -299,7 +506,7 @@ class Scheduler {
     bool used = false;
     void (*dtor)(void*) = nullptr;
   };
-  std::array<TlsKey, kMaxTlsKeys> tls_keys_{};
+  std::array<TlsKey, kMaxTlsKeys> tls_keys_{};  // guarded by wait_mu_
 };
 
 }  // namespace lwt

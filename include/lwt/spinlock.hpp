@@ -1,0 +1,37 @@
+// lwt/spinlock.hpp — a test-and-test-and-set spinlock.
+//
+// The scheduler's critical sections (queue pushes, wait-list edits,
+// trace records) are tens of instructions, so spinning beats a futex
+// round trip; the pause keeps a waiting core polite to its SMT sibling.
+// Satisfies Lockable, so std::lock_guard works.
+#pragma once
+
+#include <atomic>
+
+namespace lwt {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      while (locked_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+  bool try_lock() noexcept {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace lwt

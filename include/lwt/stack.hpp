@@ -12,6 +12,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "lwt/spinlock.hpp"
+
 namespace lwt {
 
 /// One usable fiber stack. `base` points at the lowest usable byte;
@@ -23,8 +25,9 @@ struct Stack {
   explicit operator bool() const noexcept { return base != nullptr; }
 };
 
-/// Allocates and recycles guard-paged stacks. Not thread-safe: each
-/// scheduler (one per simulated process / OS thread) owns its own pool.
+/// Allocates and recycles guard-paged stacks. Thread-safe: the workers
+/// of a multi-worker scheduler share one pool (spawn/reap may run on
+/// any of them); the free list is guarded by an internal spinlock.
 class StackPool {
  public:
   StackPool() = default;
@@ -47,6 +50,7 @@ class StackPool {
   void trim() noexcept;
 
  private:
+  mutable SpinLock mu_;
   std::unordered_map<std::size_t, std::vector<Stack>> pool_;
 };
 

@@ -8,6 +8,7 @@
 // goes through messages (nx/chant), never through these.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -33,12 +34,18 @@ class Mutex {
   bool try_lock_until(std::uint64_t deadline_ns);
   bool try_lock_for(std::uint64_t ns);
   void unlock();
-  bool locked() const noexcept { return owner_ != nullptr; }
-  Tcb* owner() const noexcept { return owner_; }
+  bool locked() const noexcept {
+    return owner_.load(std::memory_order_relaxed) != nullptr;
+  }
+  Tcb* owner() const noexcept {
+    return owner_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class CondVar;
-  Tcb* owner_ = nullptr;
+  /// Ownership transitions happen under the scheduler's wait lock; the
+  /// atomic makes the lock-free introspection reads above clean.
+  std::atomic<Tcb*> owner_{nullptr};
   TcbQueue waiters_;
 };
 
@@ -99,10 +106,13 @@ class Semaphore {
   /// Timed acquire; false = deadline passed without a unit available.
   bool try_acquire_until(std::uint64_t deadline_ns);
   void release(std::int64_t n = 1);
-  std::int64_t value() const noexcept { return count_; }
+  std::int64_t value() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t count_;
+  /// Modified under the scheduler's wait lock; atomic for value().
+  std::atomic<std::int64_t> count_;
   TcbQueue waiters_;
 };
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -88,18 +89,38 @@ struct Tcb {
   void* retval = nullptr;
 
   std::uint32_t id = 0;  ///< scheduler-local id, 1 = main fiber
-  int priority = kDefaultPriority;
-  ThreadState state = ThreadState::Ready;
-  bool detached = false;
-  bool cancel_requested = false;
-  bool cancel_disabled = false;
-  bool canceled = false;     ///< exited via cancellation
+  /// Atomic because set_priority() may race with another worker's
+  /// enqueue; the queue a Ready fiber sits in is still chosen under that
+  /// worker's queue lock.
+  std::atomic<int> priority{kDefaultPriority};
+  /// Atomic: with a multi-worker scheduler, timer fires, cancel() and
+  /// cross-worker wakes observe the state from foreign OS threads. All
+  /// Blocked<->Ready transitions happen under the scheduler's wait lock;
+  /// the atomic makes the *reads* (stale-fire checks, debug dumps) safe.
+  std::atomic<ThreadState> state{ThreadState::Ready};
+  bool detached = false;             ///< guarded by the scheduler wait lock
+  std::atomic<bool> cancel_requested{false};
+  std::atomic<bool> cancel_disabled{false};
+  bool canceled = false;     ///< exited via cancellation (owner-written)
   bool msg_waiting = false;  ///< inside a blocking message wait (any policy)
-  bool timed_out = false;    ///< woken by the timer wheel, not by completion
+  /// Woken by the timer wheel, not by completion. Atomic: a timer fire on
+  /// one worker may race a successful PS poll test on another; the wait
+  /// code re-tests the request whenever this is set, so a spurious value
+  /// can only cost one extra test, never a wrong result.
+  std::atomic<bool> timed_out{false};
 
   /// Scheduler-polls (PS): pending request tested during a partial switch.
+  /// poll_active is the claim token between the poll test (pick_next) and
+  /// a concurrent timer fire: whoever exchange()s it to false owns the
+  /// wakeup. A PS-parked fiber sits Ready in a run queue and is never
+  /// stolen (the owning worker keeps polling it).
   PollRequest poll{};
-  bool poll_active = false;
+  std::atomic<bool> poll_active{false};
+
+  /// Index of the worker whose run queue holds this (Ready) fiber; set
+  /// under that worker's queue lock at every enqueue. Stale outside the
+  /// Ready state — always re-verify under the queue lock before use.
+  std::atomic<std::uint32_t> home_worker{0};
 
   /// Intrusive queue links (run queue / wait list / zombie list).
   Tcb* qnext = nullptr;

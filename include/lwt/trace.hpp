@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "lwt/spinlock.hpp"
+
 namespace lwt {
 
 enum class TraceEvent : std::uint8_t {
@@ -38,11 +40,13 @@ class Trace {
   /// Ring capacity in entries (oldest entries are overwritten).
   explicit Trace(std::size_t capacity = 4096);
 
+  /// Thread-safe: workers of a multi-worker scheduler record into one
+  /// shared ring under an internal spinlock (a few stores per event).
   void record(TraceEvent e, std::uint32_t tid) noexcept;
 
   /// Number of entries recorded since construction/clear (may exceed
   /// capacity; only the newest `capacity` are retained).
-  std::uint64_t recorded() const noexcept { return recorded_; }
+  std::uint64_t recorded() const noexcept;
   std::size_t capacity() const noexcept { return ring_.size(); }
 
   /// Retained entries, oldest first.
@@ -55,6 +59,7 @@ class Trace {
   void clear() noexcept;
 
  private:
+  mutable SpinLock mu_;       ///< guards head_/recorded_/ring_ contents
   std::vector<Entry> ring_;
   std::size_t head_ = 0;      ///< next write position
   std::uint64_t recorded_ = 0;

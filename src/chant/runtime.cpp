@@ -21,6 +21,11 @@ void idle_hook(void*) {
   // process. Back off the OS thread briefly so peers make progress.
   std::this_thread::yield();
 }
+
+// Extra scheduler workers are fresh OS threads; seed their Runtime
+// thread-local so fibers migrated onto them still see Runtime::current().
+void worker_start_hook(void* rt) { tl_runtime = static_cast<Runtime*>(rt); }
+void worker_stop_hook(void*) { tl_runtime = nullptr; }
 }  // namespace
 
 const char* to_string(PollPolicy p) noexcept {
@@ -75,6 +80,8 @@ Runtime::Runtime(World& world, nx::Endpoint& ep)
     sched_.set_wq_group_poll(&Runtime::wq_group_poll, this);
   }
   sched_.set_idle_hook(&idle_hook, nullptr);
+  sched_.set_workers(cfg_.workers);
+  sched_.set_worker_hooks(&worker_start_hook, &worker_stop_hook, this);
   if (cfg_.controller_factory != nullptr) {
     sched_.set_controller(
         cfg_.controller_factory(cfg_.controller_ctx, ep.pe(), ep.proc()));
@@ -87,6 +94,7 @@ Runtime* Runtime::current() { return tl_runtime; }
 
 // ------------------------------------------------------------- registry
 
+// alloc_lid/free_lid/find run under reg_mu_, held by their callers.
 int Runtime::alloc_lid() {
   if (!free_lids_.empty()) {
     int lid = free_lids_.back();
@@ -110,6 +118,7 @@ Runtime::ThreadRec& Runtime::register_thread(lwt::Tcb* tcb, int lid) {
   ThreadRec rec;
   rec.tcb = tcb;
   rec.gid = Gid{pe(), process(), lid};
+  std::lock_guard<std::mutex> g(reg_mu_);
   auto [it, inserted] = threads_.emplace(lid, rec);
   if (!inserted) {
     std::fprintf(stderr, "chant: duplicate lid %d\n", lid);
@@ -125,6 +134,7 @@ Runtime::ThreadRec* Runtime::find(int lid) {
 }
 
 void Runtime::on_thread_exit(int lid) {
+  std::lock_guard<std::mutex> g(reg_mu_);
   ThreadRec* rec = find(lid);
   if (rec == nullptr) return;
   rec->finished = true;
@@ -147,6 +157,7 @@ int Runtime::current_lid() const { return self().thread; }
 
 lwt::Tcb* Runtime::local_tcb(const Gid& g) const {
   if (g.pe != pe() || g.process != process()) return nullptr;
+  std::lock_guard<std::mutex> lk(reg_mu_);
   auto it = threads_.find(g.thread);
   return it == threads_.end() ? nullptr : it->second.tcb;
 }
@@ -192,7 +203,11 @@ ExitGuard::~ExitGuard() { rt->on_thread_exit(lid); }
 
 Gid Runtime::spawn_wrapped(lwt::EntryFn entry, void* arg,
                            const SpawnOptions& opts, int fixed_lid) {
-  const int lid = fixed_lid >= 0 ? fixed_lid : alloc_lid();
+  int lid = fixed_lid;
+  if (lid < 0) {
+    std::lock_guard<std::mutex> g(reg_mu_);
+    lid = alloc_lid();
+  }
   auto e = std::make_unique<ChantEntry>(ChantEntry{this, entry, arg, lid});
   lwt::ThreadAttr attr;
   attr.stack_size =

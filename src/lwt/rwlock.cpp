@@ -1,4 +1,8 @@
 // rwlock.cpp — writer-preferring reader/writer lock for fibers.
+//
+// All check-then-park sequences run under the scheduler's wait lock
+// (SyncGuard), so a release on one worker cannot slip between another
+// worker's predicate check and its park; see sync.cpp for the pattern.
 #include "lwt/rwlock.hpp"
 
 #include <cstdio>
@@ -25,19 +29,29 @@ void RwLock::lock_shared() {
   if (const auto* h = validate_hooks()) {
     h->blocking_call(Scheduler::self(), "lwt::RwLock::lock_shared", false);
   }
-  while (writer_ != nullptr || !waiting_writers_.empty()) {
-    s.park_on(waiting_readers_);
+  Scheduler::SyncGuard g(s);
+  while (writer_.load(std::memory_order_relaxed) != nullptr ||
+         !waiting_writers_.empty()) {
+    s.park_on(waiting_readers_, g);
+    g.lock();
     s.check_cancel();
   }
-  ++readers_;
+  readers_.fetch_add(1, std::memory_order_relaxed);
+  g.unlock();
   if (const auto* h = validate_hooks()) {
     h->lock_acquired(Scheduler::self(), this, "RwLock(R)");
   }
 }
 
 bool RwLock::try_lock_shared() {
-  if (writer_ != nullptr || !waiting_writers_.empty()) return false;
-  ++readers_;
+  Scheduler& s = sched();
+  Scheduler::SyncGuard g(s);
+  if (writer_.load(std::memory_order_relaxed) != nullptr ||
+      !waiting_writers_.empty()) {
+    return false;
+  }
+  readers_.fetch_add(1, std::memory_order_relaxed);
+  g.unlock();
   if (const auto* h = validate_hooks()) {
     h->lock_acquired(Scheduler::self(), this, "RwLock(R)");
   }
@@ -51,11 +65,15 @@ bool RwLock::try_lock_shared_until(std::uint64_t deadline_ns) {
     h->blocking_call(Scheduler::self(), "lwt::RwLock::try_lock_shared_until",
                      true);
   }
-  while (writer_ != nullptr || !waiting_writers_.empty()) {
-    if (!s.park_on_until(waiting_readers_, deadline_ns)) return false;
+  Scheduler::SyncGuard g(s);
+  while (writer_.load(std::memory_order_relaxed) != nullptr ||
+         !waiting_writers_.empty()) {
+    if (!s.park_on_until(waiting_readers_, deadline_ns, g)) return false;
+    g.lock();
     s.check_cancel();
   }
-  ++readers_;
+  readers_.fetch_add(1, std::memory_order_relaxed);
+  g.unlock();
   if (const auto* h = validate_hooks()) {
     h->lock_acquired(Scheduler::self(), this, "RwLock(R)");
   }
@@ -63,14 +81,18 @@ bool RwLock::try_lock_shared_until(std::uint64_t deadline_ns) {
 }
 
 void RwLock::unlock_shared() {
-  if (readers_ <= 0) {
+  Scheduler& s = sched();
+  if (readers_.load(std::memory_order_relaxed) <= 0) {
     std::fprintf(stderr, "lwt: unlock_shared without shared lock\n");
     std::abort();
   }
   if (const auto* h = validate_hooks()) {
     h->lock_released(Scheduler::self(), this);
   }
-  if (--readers_ == 0) wake_next();
+  Scheduler::SyncGuard g(s);
+  if (readers_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    wake_next(s, g);
+  }
 }
 
 void RwLock::lock() {
@@ -80,19 +102,30 @@ void RwLock::lock() {
   if (const auto* h = validate_hooks()) {
     h->blocking_call(me, "lwt::RwLock::lock", false);
   }
-  while (writer_ != nullptr || readers_ > 0) {
-    s.park_on(waiting_writers_);
+  Scheduler::SyncGuard g(s);
+  while (writer_.load(std::memory_order_relaxed) != nullptr ||
+         readers_.load(std::memory_order_relaxed) > 0) {
+    s.park_on(waiting_writers_, g);
+    g.lock();
     s.check_cancel();
   }
-  writer_ = me;
+  writer_.store(me, std::memory_order_relaxed);
+  g.unlock();
   if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "RwLock(W)");
 }
 
 bool RwLock::try_lock() {
-  if (writer_ != nullptr || readers_ > 0) return false;
-  writer_ = Scheduler::self();
+  Scheduler& s = sched();
+  Tcb* me = Scheduler::self();
+  Scheduler::SyncGuard g(s);
+  if (writer_.load(std::memory_order_relaxed) != nullptr ||
+      readers_.load(std::memory_order_relaxed) > 0) {
+    return false;
+  }
+  writer_.store(me, std::memory_order_relaxed);
+  g.unlock();
   if (const auto* h = validate_hooks()) {
-    h->lock_acquired(writer_, this, "RwLock(W)");
+    h->lock_acquired(me, this, "RwLock(W)");
   }
   return true;
 }
@@ -104,37 +137,42 @@ bool RwLock::try_lock_until(std::uint64_t deadline_ns) {
   if (const auto* h = validate_hooks()) {
     h->blocking_call(me, "lwt::RwLock::try_lock_until", true);
   }
-  while (writer_ != nullptr || readers_ > 0) {
-    if (!s.park_on_until(waiting_writers_, deadline_ns)) {
+  Scheduler::SyncGuard g(s);
+  while (writer_.load(std::memory_order_relaxed) != nullptr ||
+         readers_.load(std::memory_order_relaxed) > 0) {
+    if (!s.park_on_until(waiting_writers_, deadline_ns, g)) {
       // If this was the last queued writer and the lock is held only by
       // readers, parked readers are released by the readers' eventual
       // unlock via wake_next(); nothing to do here.
       return false;
     }
+    g.lock();
     s.check_cancel();
   }
-  writer_ = me;
+  writer_.store(me, std::memory_order_relaxed);
+  g.unlock();
   if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "RwLock(W)");
   return true;
 }
 
 void RwLock::unlock() {
-  if (writer_ != Scheduler::self()) {
+  Scheduler& s = sched();
+  if (writer_.load(std::memory_order_relaxed) != Scheduler::self()) {
     std::fprintf(stderr, "lwt: RwLock::unlock by non-writer\n");
     std::abort();
   }
-  writer_ = nullptr;
   if (const auto* h = validate_hooks()) {
     h->lock_released(Scheduler::self(), this);
   }
-  wake_next();
+  Scheduler::SyncGuard g(s);
+  writer_.store(nullptr, std::memory_order_relaxed);
+  wake_next(s, g);
 }
 
-void RwLock::wake_next() {
-  Scheduler& s = sched();
+void RwLock::wake_next(Scheduler& s, Scheduler::SyncGuard& g) {
   // Prefer a waiting writer; otherwise release the whole reader herd.
-  if (s.wake_one(waiting_writers_) != nullptr) return;
-  s.wake_all(waiting_readers_);
+  if (s.wake_one(waiting_writers_, g) != nullptr) return;
+  s.wake_all(waiting_readers_, g);
 }
 
 }  // namespace lwt

@@ -1,8 +1,30 @@
-// scheduler.cpp — user-level thread scheduling with pollable waits.
+// scheduler.cpp — M:N user-level thread scheduling with pollable waits.
+//
+// Concurrency overview (single-worker runs behave exactly as the old
+// one-OS-thread scheduler; see DESIGN.md §10 for the full protocol):
+//
+//  * Each worker owns its run queues under its own spinlock; the local
+//    push/pop path touches nothing shared.
+//  * One global wait lock (wait_mu_) guards every blocked-fiber
+//    structure. A parking fiber KEEPS it across the context switch —
+//    the worker releases it after the switch (Worker::pending_unlock) —
+//    so a concurrent waker can never enqueue a fiber that is still
+//    running on its old worker's stack.
+//  * A fiber that re-queues ITSELF (yield, PS park) defers the enqueue
+//    the same way (Worker::pending_enqueue): the worker pushes it after
+//    the switch, so a stealer cannot grab a fiber mid-switch-out.
+//  * PS-parked fibers stay Ready in their owner's queue and are never
+//    stolen; the race between a successful poll test and a concurrent
+//    timer fire is settled by atomically claiming Tcb::poll_active.
+//  * Cross-thread ready() (timer threads, transport threads) lands in a
+//    mutex-guarded injection queue every worker drains at every
+//    scheduling point; inject_len_/idle_workers_ are seq_cst so an
+//    injector and a parking worker cannot miss each other.
 #include "lwt/scheduler.hpp"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <sstream>
@@ -22,7 +44,36 @@ const char* state_name(ThreadState s) {
   }
   return "?";
 }
+
+void accumulate(SchedulerStats& into, const SchedulerStats& from) {
+  into.spawns += from.spawns;
+  into.full_switches += from.full_switches;
+  into.yields += from.yields;
+  into.partial_poll_tests += from.partial_poll_tests;
+  into.wq_poll_tests += from.wq_poll_tests;
+  into.sched_points += from.sched_points;
+  into.idle_spins += from.idle_spins;
+  into.waiting_samples += from.waiting_samples;
+  into.waiting_sum += from.waiting_sum;
+  into.timers_armed += from.timers_armed;
+  into.timer_fires += from.timer_fires;
+  into.timer_cancels += from.timer_cancels;
+  into.sleeps += from.sleeps;
+  into.steals += from.steals;
+  into.injections += from.injections;
+  into.parks += from.parks;
+  into.local_hits += from.local_hits;
+}
 }  // namespace
+
+thread_local Scheduler::Worker* Scheduler::tl_worker_ = nullptr;
+
+// noinline: the thread-local slot address must be re-derived on every
+// call — fiber code calls this before and after context switches that
+// may have moved the fiber to a different OS thread.
+__attribute__((noinline)) Scheduler::Worker* Scheduler::this_worker() noexcept {
+  return tl_worker_;
+}
 
 // ---------------------------------------------------------------- TcbQueue
 
@@ -93,26 +144,55 @@ Scheduler::~Scheduler() {
 Scheduler* Scheduler::current() { return tl_sched; }
 
 Tcb* Scheduler::self() {
-  return tl_sched != nullptr ? tl_sched->current_ : nullptr;
+  Worker* w = this_worker();
+  return w != nullptr ? w->current : nullptr;
+}
+
+unsigned Scheduler::default_workers() noexcept {
+  const char* e = std::getenv("CHANT_WORKERS");
+  if (e == nullptr || *e == '\0') return 1;  // opt-in: unset keeps 1:1
+  char* end = nullptr;
+  const long v = std::strtol(e, &end, 10);
+  if (end == e || v < 0) return 1;
+  unsigned n = v == 0 ? std::thread::hardware_concurrency()
+                      : static_cast<unsigned>(v);
+  if (n == 0) n = 1;
+  if (n > kMaxWorkers) n = kMaxWorkers;
+  return n;
+}
+
+SchedulerStats& Scheduler::local_stats() {
+  // Off-worker callers (foreign-thread spawn/timer paths) must hold the
+  // wait lock; base_stats_ is guarded by it.
+  Worker* w = this_worker();
+  if (w != nullptr && w->sched == this) return w->stats;
+  return base_stats_;
 }
 
 Tcb* Scheduler::spawn(EntryFn entry, void* arg, const ThreadAttr& attr) {
   auto* t = new Tcb;
   t->entry = entry;
   t->arg = arg;
-  t->id = next_id_++;
-  t->priority = attr.priority < 0                ? 0
-                : attr.priority >= kNumPriorities ? kNumPriorities - 1
-                                                  : attr.priority;
+  t->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const int prio = attr.priority < 0                ? 0
+                   : attr.priority >= kNumPriorities ? kNumPriorities - 1
+                                                     : attr.priority;
+  t->priority.store(prio, std::memory_order_relaxed);
   t->detached = attr.detached;
   t->sched = this;
   t->set_name(attr.name);
   t->stack = stacks_.acquire(attr.stack_size);
   ctx_make(t->ctx, backend_, t->stack.base, t->stack.size, t);
-  ++active_;
-  ++stats_.spawns;
+  active_.fetch_add(1, std::memory_order_relaxed);
+  Worker* w = this_worker();
+  if (w != nullptr && w->sched == this) {
+    ++w->stats.spawns;
+  } else {
+    SyncGuard g(*this);
+    ++base_stats_.spawns;
+  }
   if (trace_ != nullptr) trace_->record(TraceEvent::Spawn, t->id);
-  enqueue_ready(t);
+  enqueue_or_inject(t);
   return t;
 }
 
@@ -121,18 +201,58 @@ void* Scheduler::run_main(EntryFn entry, void* arg, const ThreadAttr& attr) {
     std::fprintf(stderr, "lwt: run_main is not reentrant\n");
     std::abort();
   }
-  Scheduler* prev = tl_sched;
+  // Resolve the worker count. The determinism contract: a schedule
+  // controller or WQ group-poll hook forces one worker, so controlled
+  // interleavings (and their traces) replay bit-exactly.
+  unsigned n = requested_workers_ != 0 ? requested_workers_ : default_workers();
+  if (ctrl_ != nullptr || wq_group_poll_ != nullptr) n = 1;
+  if (n > kMaxWorkers) n = kMaxWorkers;
+  // Fold any previous run's counters, then build this run's pool.
+  for (auto& w : workers_) accumulate(base_stats_, w->stats);
+  workers_.clear();
+  nworkers_ = n;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->sched = this;
+    w->index = i;
+    w->steal_rng = 0x9e3779b97f4a7c15ull * (i + 1);
+    workers_.push_back(std::move(w));
+  }
+  spinner_.store(-1, std::memory_order_relaxed);
+  idle_workers_.store(0, std::memory_order_relaxed);
+
+  Scheduler* prev_sched = tl_sched;
+  Worker* prev_worker = tl_worker_;
   tl_sched = this;
+  tl_worker_ = workers_[0].get();
   running_ = true;
-  ctx_bind_os_stack(sched_ctx_);
+  ctx_bind_os_stack(workers_[0]->sched_ctx);
   Tcb* main_tcb = spawn(entry, arg, attr);
   if (main_tcb->name[0] == '\0') main_tcb->set_name("main");
   main_tcb->detached = false;
-  schedule_loop();
+  for (unsigned i = 1; i < n; ++i) {
+    Worker* w = workers_[i].get();
+    w->thr = std::thread([this, w] {
+      tl_sched = this;
+      tl_worker_ = w;
+      ctx_bind_os_stack(w->sched_ctx);
+      if (worker_start_hook_ != nullptr) worker_start_hook_(worker_hook_ctx_);
+      worker_loop(*w);
+      if (worker_stop_hook_ != nullptr) worker_stop_hook_(worker_hook_ctx_);
+      tl_sched = nullptr;
+      tl_worker_ = nullptr;
+    });
+  }
+  worker_loop(*workers_[0]);
+  unpark_all();
+  for (unsigned i = 1; i < n; ++i) workers_[i]->thr.join();
   running_ = false;
-  tl_sched = prev;
+  tl_sched = prev_sched;
+  tl_worker_ = prev_worker;
   void* ret = main_tcb->retval;
   // Reap the main fiber (it is a zombie by now unless someone joined it).
+  // All workers have exited: no locking needed.
   for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
     if (*it == main_tcb) {
       zombies_.erase(it);
@@ -158,145 +278,249 @@ std::uint64_t Scheduler::deadline_after(std::uint64_t delta_ns) const {
 }
 
 TimerWheel::TimerId Scheduler::arm_timer(std::uint64_t deadline_ns, Tcb* t) {
-  ++stats_.timers_armed;
-  return timers_.arm(deadline_ns, t);
+  ++local_stats().timers_armed;
+  const TimerWheel::TimerId id = timers_.arm(deadline_ns, t);
+  next_deadline_cache_.store(timers_.next_deadline(),
+                             std::memory_order_relaxed);
+  timers_live_.store(timers_.armed(), std::memory_order_relaxed);
+  return id;
 }
 
 void Scheduler::disarm_timer(TimerWheel::TimerId id) {
-  if (timers_.disarm(id)) ++stats_.timer_cancels;
+  if (timers_.disarm(id)) ++local_stats().timer_cancels;
+  next_deadline_cache_.store(
+      timers_.armed() != 0 ? timers_.next_deadline() : kNoDeadline,
+      std::memory_order_relaxed);
+  timers_live_.store(timers_.armed(), std::memory_order_relaxed);
 }
 
 void Scheduler::timeout_wake(Tcb* t) {
-  switch (t->state) {
-    case ThreadState::Blocked:
-      t->timed_out = true;
-      ++stats_.timer_fires;
-      if (t->waiting_on != nullptr) {
-        // Parked on a wait list (sync primitive / sleep via park).
-        t->waiting_on->remove(t);
-        t->waiting_on = nullptr;
-        --blocked_;
-        enqueue_ready(t);
-        return;
-      }
-      for (std::size_t i = 0; i < wq_.size(); ++i) {
-        if (wq_[i].tcb == t) {
-          wq_[i] = wq_.back();
-          wq_.pop_back();
-          --blocked_;
-          enqueue_ready(t);
-          return;
-        }
-      }
-      for (std::size_t i = 0; i < generic_wq_.size(); ++i) {
-        if (generic_wq_[i].tcb == t) {
-          generic_wq_[i] = generic_wq_.back();
-          generic_wq_.pop_back();
-          --blocked_;
-          enqueue_ready(t);
-          return;
-        }
-      }
-      // Blocked in join or sleep_until: just make it ready; the wait
-      // code inspects timed_out on resume.
-      --blocked_;
-      enqueue_ready(t);
-      return;
-    case ThreadState::Ready:
-      if (t->poll_active) {
-        // PS-parked: drop the poll so pick_next() restores the context;
-        // the wait re-tests the request once and then reports timeout.
-        t->poll_active = false;
-        --ps_parked_;
-        t->timed_out = true;
-        ++stats_.timer_fires;
-      }
-      // Plain Ready: the real wakeup beat the timer — stale fire.
-      return;
-    case ThreadState::Running:
-    case ThreadState::Finished:
-      return;  // stale fire
+  // PS claim first, independent of state: a PS fiber is Ready in a run
+  // queue — or Running for the instant between publishing poll_active
+  // and its deferred self-enqueue. Whoever exchanges poll_active to
+  // false owns the wakeup; the loser's work is already done (the fiber
+  // will run, and the wait code re-tests the request under timed_out).
+  if (t->poll_active.load(std::memory_order_acquire)) {
+    t->timed_out.store(true, std::memory_order_release);
+    if (t->poll_active.exchange(false, std::memory_order_acq_rel)) {
+      ps_parked_.fetch_sub(1, std::memory_order_relaxed);
+      ++local_stats().timer_fires;
+    }
+    return;
   }
+  if (t->state.load(std::memory_order_acquire) != ThreadState::Blocked) {
+    return;  // stale fire: the real wakeup beat the timer
+  }
+  t->timed_out.store(true, std::memory_order_release);
+  ++local_stats().timer_fires;
+  if (t->waiting_on != nullptr) {
+    // Parked on a wait list (sync primitive / sleep via park).
+    t->waiting_on->remove(t);
+    t->waiting_on = nullptr;
+    blocked_.fetch_sub(1, std::memory_order_relaxed);
+    enqueue_or_inject(t);
+    return;
+  }
+  for (std::size_t i = 0; i < wq_.size(); ++i) {
+    if (wq_[i].tcb == t) {
+      wq_[i] = wq_.back();
+      wq_.pop_back();
+      wq_len_.store(static_cast<std::uint32_t>(wq_.size()),
+                    std::memory_order_relaxed);
+      blocked_.fetch_sub(1, std::memory_order_relaxed);
+      enqueue_or_inject(t);
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < generic_wq_.size(); ++i) {
+    if (generic_wq_[i].tcb == t) {
+      generic_wq_[i] = generic_wq_.back();
+      generic_wq_.pop_back();
+      generic_len_.store(static_cast<std::uint32_t>(generic_wq_.size()),
+                         std::memory_order_relaxed);
+      blocked_.fetch_sub(1, std::memory_order_relaxed);
+      enqueue_or_inject(t);
+      return;
+    }
+  }
+  // Blocked in join or sleep_until: just make it ready; the wait code
+  // inspects timed_out on resume.
+  blocked_.fetch_sub(1, std::memory_order_relaxed);
+  enqueue_or_inject(t);
 }
 
-void Scheduler::expire_timers() {
-  if (timers_.armed() == 0) return;
+void Scheduler::maybe_expire_timers() {
+  // Lock-free gate: next_deadline_cache_ is refreshed under the wait
+  // lock at every arm/disarm/expire, so a worker only pays for the lock
+  // when a deadline has actually passed.
+  const std::uint64_t nd = next_deadline_cache_.load(std::memory_order_relaxed);
+  if (nd == kNoDeadline || now() < nd) return;
+  SyncGuard g(*this);
   const std::uint64_t t = now();
-  if (timers_.next_deadline() > t) return;
-  timers_.expire(
-      t,
-      [](void* ctx, Tcb* tcb) {
-        static_cast<Scheduler*>(ctx)->timeout_wake(tcb);
-      },
-      this);
+  if (timers_.armed() != 0 && timers_.next_deadline() <= t) {
+    timers_.expire(
+        t,
+        [](void* ctx, Tcb* tcb) {
+          static_cast<Scheduler*>(ctx)->timeout_wake(tcb);
+        },
+        this);
+  }
+  next_deadline_cache_.store(
+      timers_.armed() != 0 ? timers_.next_deadline() : kNoDeadline,
+      std::memory_order_relaxed);
+  timers_live_.store(timers_.armed(), std::memory_order_relaxed);
 }
 
 void Scheduler::sleep_until(std::uint64_t deadline_ns) {
-  Tcb* me = current_;
+  Worker* w = this_worker();
+  Tcb* me = w->current;
   check_cancel();
   if (deadline_ns == kNoDeadline || now() >= deadline_ns) return;
-  ++stats_.sleeps;
+  ++w->stats.sleeps;
   if (trace_ != nullptr) trace_->record(TraceEvent::Park, me->id);
+  SyncGuard g(*this);
   const TimerWheel::TimerId tid = arm_timer(deadline_ns, me);
-  me->state = ThreadState::Blocked;
+  me->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   me->waiting_on = nullptr;
-  ++blocked_;
-  ctx_swap(me->ctx, sched_ctx_, backend_);
-  disarm_timer(tid);  // no-op on the normal (timer-fired) path
-  me->timed_out = false;
+  blocked_.fetch_add(1, std::memory_order_relaxed);
+  park_switch(g);
+  {
+    SyncGuard g2(*this);
+    disarm_timer(tid);  // no-op on the normal (timer-fired) path
+  }
+  me->timed_out.store(false, std::memory_order_relaxed);
   check_cancel();  // cancel() is the only other wake source
 }
 
 void Scheduler::sleep_for(std::uint64_t ns) { sleep_until(deadline_after(ns)); }
 
+// ------------------------------------------------------ queues & switching
+
 void Scheduler::enqueue_ready(Tcb* t) {
   if (trace_ != nullptr) trace_->record(TraceEvent::Ready, t->id);
-  t->state = ThreadState::Ready;
+  Worker& w = *this_worker();
   t->waiting_on = nullptr;
-  run_q_[t->priority].push_back(t);
+  t->state.store(ThreadState::Ready, std::memory_order_relaxed);
+  w.q_mu.lock();
+  t->home_worker.store(w.index, std::memory_order_relaxed);
+  w.run_q[t->priority.load(std::memory_order_relaxed)].push_back(t);
+  const std::uint32_t qlen =
+      w.q_len.fetch_add(1, std::memory_order_relaxed) + 1;
+  w.q_mu.unlock();
+  // More runnable work than this worker can execute: offer it to a
+  // parked peer (stealing does the actual transfer).
+  if (qlen >= 2 && nworkers_ > 1) unpark_one();
 }
 
-void Scheduler::switch_to(Tcb* t) {
-  t->state = ThreadState::Running;
-  current_ = t;
-  ++stats_.full_switches;
-  if (trace_ != nullptr) trace_->record(TraceEvent::SwitchIn, t->id);
-  ctx_swap(sched_ctx_, t->ctx, backend_);
-  current_ = nullptr;
-  if (pending_reap_ != nullptr) {
-    reap(pending_reap_);
-    pending_reap_ = nullptr;
+void Scheduler::enqueue_or_inject(Tcb* t) {
+  Worker* w = this_worker();
+  if (w != nullptr && w->sched == this) {
+    enqueue_ready(t);
+  } else {
+    inject(t);
   }
 }
 
-void Scheduler::wq_scan() {
+void Scheduler::inject(Tcb* t) {
+  if (trace_ != nullptr) trace_->record(TraceEvent::Ready, t->id);
+  t->waiting_on = nullptr;
+  t->state.store(ThreadState::Ready, std::memory_order_release);
+  inject_mu_.lock();
+  inject_q_.push_back(t);
+  inject_mu_.unlock();
+  inject_len_.fetch_add(1, std::memory_order_seq_cst);
+  injections_.fetch_add(1, std::memory_order_relaxed);
+  unpark_one();
+}
+
+void Scheduler::drain_inject(Worker& w) {
+  // Move everything to a local list first so the two locks never nest.
+  TcbQueue batch;
+  inject_mu_.lock();
+  Tcb* t;
+  std::uint32_t n = 0;
+  while ((t = inject_q_.pop_front()) != nullptr) {
+    batch.push_back(t);
+    ++n;
+  }
+  inject_mu_.unlock();
+  if (n == 0) return;
+  inject_len_.fetch_sub(n, std::memory_order_seq_cst);
+  w.q_mu.lock();
+  while ((t = batch.pop_front()) != nullptr) {
+    t->home_worker.store(w.index, std::memory_order_relaxed);
+    w.run_q[t->priority.load(std::memory_order_relaxed)].push_back(t);
+    w.q_len.fetch_add(1, std::memory_order_relaxed);
+  }
+  w.q_mu.unlock();
+  if (n > 1 && nworkers_ > 1) unpark_one();
+}
+
+void Scheduler::switch_to(Worker& w, Tcb* t) {
+  t->state.store(ThreadState::Running, std::memory_order_relaxed);
+  w.current = t;
+  ++w.stats.full_switches;
+  if (trace_ != nullptr) trace_->record(TraceEvent::SwitchIn, t->id);
+  ctx_swap(w.sched_ctx, t->ctx, backend_);
+  // The fiber is off this worker's CPU now. Perform its deferred
+  // actions in this order: release a wait lock it held across the park
+  // (unblocks wakers), then make a self-requeue visible (stealable),
+  // then reap a finished detached fiber.
+  w.current = nullptr;
+  if (w.pending_unlock != nullptr) {
+    SpinLock* l = w.pending_unlock;
+    w.pending_unlock = nullptr;
+    l->unlock();
+  }
+  if (w.pending_enqueue != nullptr) {
+    Tcb* e = w.pending_enqueue;
+    w.pending_enqueue = nullptr;
+    enqueue_ready(e);
+  }
+  if (w.pending_reap != nullptr) {
+    reap(w.pending_reap);
+    w.pending_reap = nullptr;
+  }
+}
+
+void Scheduler::wq_scan(Worker& w) {
   // Generic (policy-independent) waits are tested at every point, even
   // when a group-poll hook replaces the per-entry WQ scan below.
-  for (std::size_t i = 0; i < generic_wq_.size();) {
-    if (generic_wq_[i].req.test(generic_wq_[i].req.ctx)) {
-      Tcb* t = generic_wq_[i].tcb;
-      generic_wq_[i] = generic_wq_.back();
-      generic_wq_.pop_back();
-      --blocked_;
-      enqueue_ready(t);
-    } else {
-      ++i;
+  if (generic_len_.load(std::memory_order_relaxed) != 0) {
+    SyncGuard g(*this);
+    for (std::size_t i = 0; i < generic_wq_.size();) {
+      if (generic_wq_[i].req.test(generic_wq_[i].req.ctx)) {
+        Tcb* t = generic_wq_[i].tcb;
+        generic_wq_[i] = generic_wq_.back();
+        generic_wq_.pop_back();
+        generic_len_.store(static_cast<std::uint32_t>(generic_wq_.size()),
+                           std::memory_order_relaxed);
+        blocked_.fetch_sub(1, std::memory_order_relaxed);
+        enqueue_ready(t);
+      } else {
+        ++i;
+      }
     }
   }
-  if (wq_.empty()) return;
+  if (wq_len_.load(std::memory_order_relaxed) == 0) return;
   if (wq_group_poll_ != nullptr) {
     // msgtestany-style ablation: one group test per scheduling point.
+    // Called without the wait lock (the hook forces workers=1 and
+    // completes entries through wq_complete, which locks itself).
     (void)wq_group_poll_(wq_group_ctx_, *this);
     return;
   }
   // NX-style: test each outstanding request in turn (paper §4.2, WQ).
+  SyncGuard g(*this);
   for (std::size_t i = 0; i < wq_.size();) {
-    ++stats_.wq_poll_tests;
+    ++w.stats.wq_poll_tests;
     if (wq_[i].req.test(wq_[i].req.ctx)) {
       Tcb* t = wq_[i].tcb;
       wq_[i] = wq_.back();
       wq_.pop_back();
-      --blocked_;
+      wq_len_.store(static_cast<std::uint32_t>(wq_.size()),
+                    std::memory_order_relaxed);
+      blocked_.fetch_sub(1, std::memory_order_relaxed);
       enqueue_ready(t);
     } else {
       ++i;
@@ -305,27 +529,31 @@ void Scheduler::wq_scan() {
 }
 
 bool Scheduler::wq_complete(void* req_ctx) {
+  SyncGuard g(*this);
   for (std::size_t i = 0; i < wq_.size(); ++i) {
     if (wq_[i].req.ctx == req_ctx) {
       Tcb* t = wq_[i].tcb;
       wq_[i] = wq_.back();
       wq_.pop_back();
-      --blocked_;
-      enqueue_ready(t);
+      wq_len_.store(static_cast<std::uint32_t>(wq_.size()),
+                    std::memory_order_relaxed);
+      blocked_.fetch_sub(1, std::memory_order_relaxed);
+      enqueue_or_inject(t);
       return true;
     }
   }
   return false;
 }
 
-Tcb* Scheduler::pick_next() {
+Tcb* Scheduler::pick_next(Worker& w) {
+  w.q_mu.lock();
   for (int p = kNumPriorities - 1; p >= 0; --p) {
-    TcbQueue& q = run_q_[p];
+    TcbQueue& q = w.run_q[p];
     if (ctrl_ != nullptr && q.size() > 1) {
-      // Decision point "pick": rotate the level so any queued thread can
-      // be the one the head-of-queue scan below sees first (0 keeps
-      // production FIFO order). Priorities stay strict: the controller
-      // only permutes within one level.
+      // Decision point "pick" (workers=1 under a controller): rotate the
+      // level so any queued thread can be the one the head-of-queue scan
+      // below sees first (0 keeps production FIFO order). Priorities
+      // stay strict: the controller only permutes within one level.
       std::size_t r = ctrl_->pick(q.size()) % q.size();
       while (r-- > 0) q.push_back(q.pop_front());
     }
@@ -336,145 +564,366 @@ Tcb* Scheduler::pick_next() {
     std::size_t scan = q.size();
     while (scan-- > 0) {
       Tcb* t = q.pop_front();
-      if (t->poll_active) {
-        ++stats_.partial_poll_tests;  // a "partial switch" (paper §4.2 PS)
+      if (t->poll_active.load(std::memory_order_acquire)) {
+        ++w.stats.partial_poll_tests;  // a "partial switch" (paper §4.2 PS)
         if (trace_ != nullptr) trace_->record(TraceEvent::PollTest, t->id);
-        if (t->cancel_requested && !t->cancel_disabled) {
-          t->poll_active = false;  // wake so the wait can act on cancel
-          --ps_parked_;
-          return t;
+        bool take = false;
+        if (t->cancel_requested.load(std::memory_order_relaxed) &&
+            !t->cancel_disabled.load(std::memory_order_relaxed)) {
+          take = true;  // wake so the wait can act on cancel
+        } else if (t->poll.test(t->poll.ctx)) {
+          take = true;
         }
-        if (t->poll.test(t->poll.ctx)) {
-          t->poll_active = false;
-          --ps_parked_;
+        if (take) {
+          // Claim the wakeup; a concurrent timer fire may win, in which
+          // case the fiber still runs (timed_out set) and the wait code
+          // re-tests the request — completion wins over the timeout.
+          if (t->poll_active.exchange(false, std::memory_order_acq_rel)) {
+            ps_parked_.fetch_sub(1, std::memory_order_relaxed);
+          }
+          w.q_len.fetch_sub(1, std::memory_order_relaxed);
+          w.q_mu.unlock();
           return t;
         }
         q.push_back(t);
         continue;
       }
+      w.q_len.fetch_sub(1, std::memory_order_relaxed);
+      ++w.stats.local_hits;
+      w.q_mu.unlock();
       return t;
     }
+  }
+  w.q_mu.unlock();
+  return nullptr;
+}
+
+Tcb* Scheduler::try_steal(Worker& w) {
+  const unsigned n = nworkers_;
+  w.steal_rng = w.steal_rng * 6364136223846793005ull + 1442695040888963407ull;
+  const unsigned start = static_cast<unsigned>(w.steal_rng >> 33) % n;
+  for (unsigned k = 0; k < n; ++k) {
+    const unsigned vi = (start + k) % n;
+    if (vi == w.index) continue;
+    Worker& v = *workers_[vi];
+    if (v.q_len.load(std::memory_order_relaxed) == 0) continue;
+    v.q_mu.lock();
+    for (int p = kNumPriorities - 1; p >= 0; --p) {
+      for (Tcb* t = v.run_q[p].front(); t != nullptr; t = t->qnext) {
+        // PS-parked fibers are never stolen: their owner keeps testing
+        // the request, and the claim protocol assumes one polling home.
+        if (t->poll_active.load(std::memory_order_acquire)) continue;
+        v.run_q[p].remove(t);
+        v.q_len.fetch_sub(1, std::memory_order_relaxed);
+        t->home_worker.store(w.index, std::memory_order_relaxed);
+        v.q_mu.unlock();
+        ++w.stats.steals;
+        return t;
+      }
+    }
+    v.q_mu.unlock();
   }
   return nullptr;
 }
 
-void Scheduler::schedule_loop() {
-  while (active_ > 0) {
-    ++stats_.sched_points;
-    stats_.waiting_sum += msg_waiting_;
-    ++stats_.waiting_samples;
-    if (ctrl_ != nullptr) ctrl_->on_sched_point();
-    expire_timers();
-    wq_scan();
-    Tcb* next = pick_next();
+void Scheduler::worker_loop(Worker& w) {
+  while (active_.load(std::memory_order_acquire) != 0) {
+    ++w.stats.sched_points;
+    w.stats.waiting_sum += msg_waiting_.load(std::memory_order_relaxed);
+    ++w.stats.waiting_samples;
+    if (ctrl_ != nullptr) ctrl_->on_sched_point();  // workers=1 only
+    if (inject_len_.load(std::memory_order_relaxed) != 0) drain_inject(w);
+    maybe_expire_timers();
+    wq_scan(w);
+    Tcb* next = pick_next(w);
+    if (next == nullptr && nworkers_ > 1) next = try_steal(w);
     if (next == nullptr) {
-      if (ps_parked_ == 0 && wq_.empty() && generic_wq_.empty() &&
-          timers_.armed() == 0 && blocked_ > 0) {
-        std::fprintf(stderr,
-                     "lwt: deadlock — %u thread(s) blocked with nothing "
-                     "runnable\n%s",
-                     blocked_, debug_dump().c_str());
-        std::abort();
-      }
-      ++stats_.idle_spins;
-      if (ctrl_ != nullptr) ctrl_->on_idle();
-      if (ctrl_ == nullptr && clock_fn_ == nullptr && timers_.armed() != 0 &&
-          ps_parked_ == 0 && wq_.empty() && generic_wq_.empty()) {
-        // Only timer-parked fibers remain and the clock is real time:
-        // sleep the OS thread toward the earliest deadline instead of
-        // spinning. Capped so a concurrently-arriving cancel() from
-        // this process (impossible — we are its only OS thread) or a
-        // stale heap top never oversleeps by much.
-        const std::uint64_t nd = timers_.next_deadline();
-        const std::uint64_t t = now();
-        if (nd > t) {
-          std::uint64_t slice = nd - t;
-          if (slice > 1'000'000) slice = 1'000'000;
-          std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
-        }
-        continue;
-      }
-      if (idle_hook_ != nullptr) idle_hook_(idle_ctx_);
+      idle_wait(w);
       continue;
     }
-    switch_to(next);
+    // Found work: release the spinner role so another idler can poll.
+    int exp = static_cast<int>(w.index);
+    spinner_.compare_exchange_strong(exp, -1, std::memory_order_relaxed);
+    switch_to(w, next);
   }
 }
 
+void Scheduler::idle_wait(Worker& w) {
+  if (nworkers_ == 1) {
+    // Single worker: the old scheduler's exact idle behavior, including
+    // the whole-process deadlock diagnosis.
+    if (ps_parked_.load(std::memory_order_relaxed) == 0 &&
+        wq_len_.load(std::memory_order_relaxed) == 0 &&
+        generic_len_.load(std::memory_order_relaxed) == 0 &&
+        timers_live_.load(std::memory_order_relaxed) == 0 &&
+        inject_len_.load(std::memory_order_seq_cst) == 0 &&
+        blocked_.load(std::memory_order_relaxed) > 0) {
+      std::fprintf(stderr,
+                   "lwt: deadlock — %u thread(s) blocked with nothing "
+                   "runnable\n%s",
+                   blocked_.load(std::memory_order_relaxed),
+                   debug_dump().c_str());
+      std::abort();
+    }
+    ++w.stats.idle_spins;
+    if (ctrl_ != nullptr) ctrl_->on_idle();
+    if (ctrl_ == nullptr && clock_fn_ == nullptr &&
+        timers_live_.load(std::memory_order_relaxed) != 0 &&
+        ps_parked_.load(std::memory_order_relaxed) == 0 &&
+        wq_len_.load(std::memory_order_relaxed) == 0 &&
+        generic_len_.load(std::memory_order_relaxed) == 0 &&
+        inject_len_.load(std::memory_order_seq_cst) == 0) {
+      // Only timer-parked fibers remain and the clock is real time:
+      // sleep the OS thread toward the earliest deadline instead of
+      // spinning. Capped so a cross-thread inject never oversleeps by
+      // much.
+      const std::uint64_t nd =
+          next_deadline_cache_.load(std::memory_order_relaxed);
+      const std::uint64_t t = now();
+      if (nd > t) {
+        std::uint64_t slice = nd - t;
+        if (slice > 1'000'000) slice = 1'000'000;
+        std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+      }
+      return;
+    }
+    if (idle_hook_ != nullptr) idle_hook_(idle_ctx_);
+    return;
+  }
+
+  ++w.stats.idle_spins;
+  if (w.q_len.load(std::memory_order_relaxed) != 0) {
+    // Our queue holds only PS-parked fibers: keep polling them, but
+    // donate the timeslice so co-scheduled processes make progress.
+    if (idle_hook_ != nullptr) {
+      idle_hook_(idle_ctx_);
+    } else {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  const bool pollable =
+      wq_len_.load(std::memory_order_relaxed) != 0 ||
+      generic_len_.load(std::memory_order_relaxed) != 0 ||
+      next_deadline_cache_.load(std::memory_order_relaxed) != kNoDeadline;
+  if (pollable) {
+    // One worker stays hot to keep testing WQ/generic requests and the
+    // timer wheel, preserving message-completion latency.
+    int exp = -1;
+    if (spinner_.load(std::memory_order_relaxed) ==
+            static_cast<int>(w.index) ||
+        spinner_.compare_exchange_strong(exp, static_cast<int>(w.index),
+                                         std::memory_order_relaxed)) {
+      if (idle_hook_ != nullptr) {
+        idle_hook_(idle_ctx_);
+      } else {
+        std::this_thread::yield();
+      }
+      return;
+    }
+  }
+  // Nothing to do here: park until an injector or a loaded peer pokes
+  // us. The 1 ms bound keeps any lost-wakeup window harmless. Release
+  // the spinner role first (nothing is pollable any more) so a later
+  // idler can claim it.
+  int exp = static_cast<int>(w.index);
+  spinner_.compare_exchange_strong(exp, -1, std::memory_order_relaxed);
+  idle_workers_.fetch_add(1, std::memory_order_seq_cst);
+  bool work = inject_len_.load(std::memory_order_seq_cst) != 0 ||
+              active_.load(std::memory_order_acquire) == 0;
+  if (!work) {
+    for (const auto& other : workers_) {
+      if (other->q_len.load(std::memory_order_relaxed) != 0) {
+        work = true;
+        break;
+      }
+    }
+  }
+  if (!work &&
+      idle_workers_.load(std::memory_order_seq_cst) == nworkers_ &&
+      ps_parked_.load(std::memory_order_relaxed) == 0 &&
+      wq_len_.load(std::memory_order_relaxed) == 0 &&
+      generic_len_.load(std::memory_order_relaxed) == 0 &&
+      timers_live_.load(std::memory_order_relaxed) == 0 &&
+      inject_len_.load(std::memory_order_seq_cst) == 0) {
+    // Every worker is idle (none holds a running fiber), every run queue
+    // and the injection queue are empty, and no timer or pollable wait
+    // can ever make progress — the multi-worker analogue of the
+    // single-worker deadlock diagnosis. blocked_ == active_ confirms no
+    // fiber is mid-transition on another worker.
+    const std::uint32_t blocked = blocked_.load(std::memory_order_acquire);
+    const std::uint32_t active = active_.load(std::memory_order_acquire);
+    if (active != 0 && blocked == active) {
+      std::fprintf(stderr,
+                   "lwt: deadlock — %u thread(s) blocked with nothing "
+                   "runnable on any of %u workers\n%s",
+                   blocked, nworkers_, debug_dump().c_str());
+      std::abort();
+    }
+  }
+  if (!work) {
+    ++w.stats.parks;
+    std::unique_lock<std::mutex> lk(park_mu_);
+    park_cv_.wait_for(lk, std::chrono::milliseconds(1));
+  }
+  idle_workers_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void Scheduler::unpark_one() {
+  if (nworkers_ <= 1) return;
+  if (idle_workers_.load(std::memory_order_seq_cst) == 0) return;
+  std::lock_guard<std::mutex> lk(park_mu_);
+  park_cv_.notify_one();
+}
+
+void Scheduler::unpark_all() {
+  if (nworkers_ <= 1) return;
+  std::lock_guard<std::mutex> lk(park_mu_);
+  park_cv_.notify_all();
+}
+
+// -------------------------------------------------------- parks and wakes
+
+void Scheduler::park_switch(SyncGuard& g) {
+  Worker* w = this_worker();
+  Tcb* me = w->current;
+  // Keep the wait lock across the switch: the worker releases it after
+  // the swap, so a waker that finds `me` on a wait list can never
+  // enqueue it while it is still running on this stack.
+  g.disown();
+  w->pending_unlock = &wait_mu_;
+  ctx_swap(me->ctx, w->sched_ctx, backend_);
+  // Resumed — possibly on a different worker; `w` is stale here.
+}
+
 void Scheduler::yield() {
-  Tcb* me = current_;
+  Worker* w = this_worker();
+  Tcb* me = w->current;
   check_cancel();
-  ++stats_.yields;
+  ++w->stats.yields;
   if (trace_ != nullptr) trace_->record(TraceEvent::Yield, me->id);
-  enqueue_ready(me);
-  ctx_swap(me->ctx, sched_ctx_, backend_);
+  // Deferred self-enqueue: the worker pushes us after the swap, so a
+  // stealer cannot resume this fiber while it is still switching out.
+  w->pending_enqueue = me;
+  ctx_swap(me->ctx, w->sched_ctx, backend_);
   check_cancel();
 }
 
 void Scheduler::park_on(TcbQueue& wl) {
-  Tcb* me = current_;
+  SyncGuard g(*this);
+  park_on(wl, g);
+}
+
+void Scheduler::park_on(TcbQueue& wl, SyncGuard& g) {
+  Tcb* me = this_worker()->current;
   if (trace_ != nullptr) trace_->record(TraceEvent::Park, me->id);
-  me->state = ThreadState::Blocked;
+  me->state.store(ThreadState::Blocked, std::memory_order_relaxed);
   me->waiting_on = &wl;
   wl.push_back(me);
-  ++blocked_;
-  ctx_swap(me->ctx, sched_ctx_, backend_);
+  blocked_.fetch_add(1, std::memory_order_relaxed);
+  park_switch(g);
 }
 
 bool Scheduler::park_on_until(TcbQueue& wl, std::uint64_t deadline_ns) {
+  SyncGuard g(*this);
+  return park_on_until(wl, deadline_ns, g);
+}
+
+bool Scheduler::park_on_until(TcbQueue& wl, std::uint64_t deadline_ns,
+                              SyncGuard& g) {
   if (deadline_ns == kNoDeadline) {
-    park_on(wl);
+    park_on(wl, g);
     return true;
   }
-  Tcb* me = current_;
-  if (now() >= deadline_ns) return false;
+  Tcb* me = this_worker()->current;
+  if (now() >= deadline_ns) {
+    g.unlock();
+    return false;
+  }
   const TimerWheel::TimerId tid = arm_timer(deadline_ns, me);
-  park_on(wl);
-  disarm_timer(tid);
-  const bool timed_out = me->timed_out;
-  me->timed_out = false;
+  park_on(wl, g);
+  {
+    SyncGuard g2(*this);
+    disarm_timer(tid);
+  }
+  const bool timed_out = me->timed_out.load(std::memory_order_relaxed);
+  me->timed_out.store(false, std::memory_order_relaxed);
   return !timed_out;
 }
 
 Tcb* Scheduler::wake_one(TcbQueue& wl) {
+  SyncGuard g(*this);
+  return wake_one(wl, g);
+}
+
+Tcb* Scheduler::wake_one(TcbQueue& wl, SyncGuard& g) {
+  (void)g;
   Tcb* t = wl.pop_front();
   if (t == nullptr) return nullptr;
-  --blocked_;
-  enqueue_ready(t);
+  t->waiting_on = nullptr;
+  blocked_.fetch_sub(1, std::memory_order_relaxed);
+  enqueue_or_inject(t);
   return t;
 }
 
 std::size_t Scheduler::wake_all(TcbQueue& wl) {
+  SyncGuard g(*this);
+  return wake_all(wl, g);
+}
+
+std::size_t Scheduler::wake_all(TcbQueue& wl, SyncGuard& g) {
   std::size_t n = 0;
-  while (wake_one(wl) != nullptr) ++n;
+  while (wake_one(wl, g) != nullptr) ++n;
   return n;
 }
 
 void Scheduler::ready(Tcb* t) {
-  if (t->state != ThreadState::Blocked) return;
-  --blocked_;
-  enqueue_ready(t);
+  SyncGuard g(*this);
+  if (t->state.load(std::memory_order_acquire) != ThreadState::Blocked) return;
+  // Hardening: historically callers guaranteed `t` was parked on no
+  // TcbQueue. Route the general case correctly instead of corrupting
+  // the list it sits on.
+  if (t->waiting_on != nullptr) {
+    t->waiting_on->remove(t);
+    t->waiting_on = nullptr;
+  }
+  blocked_.fetch_sub(1, std::memory_order_relaxed);
+  enqueue_or_inject(t);
 }
+
+// ------------------------------------------------------ finish / join / etc
 
 void Scheduler::exit_current(void* retval) { finish_current(retval); }
 
 void Scheduler::finish_current(void* retval) {
-  Tcb* me = current_;
+  Worker* w = this_worker();
+  Tcb* me = w->current;
   me->retval = retval;
   run_tls_dtors(me);
+  SyncGuard g(*this);
   if (trace_ != nullptr) trace_->record(TraceEvent::Finish, me->id);
-  me->state = ThreadState::Finished;
-  --active_;
+  me->state.store(ThreadState::Finished, std::memory_order_release);
   if (me->joiner != nullptr) {
-    ready(me->joiner);
+    Tcb* j = me->joiner;
     me->joiner = nullptr;
+    if (j->state.load(std::memory_order_relaxed) == ThreadState::Blocked) {
+      blocked_.fetch_sub(1, std::memory_order_relaxed);
+      enqueue_or_inject(j);
+    }
   }
   if (me->detached) {
-    pending_reap_ = me;  // scheduler frees the stack after switching away
+    w->pending_reap = me;  // worker frees the stack after switching away
   } else {
     zombies_.push_back(me);
   }
-  ctx_swap_final(me->ctx, sched_ctx_, backend_);
+  if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    unpark_all();  // last fiber: let parked workers observe shutdown
+  }
+  // Hold the wait lock across the final switch: a joiner we just woke
+  // may otherwise reap `me` while this stack is still live.
+  g.disown();
+  w->pending_unlock = &wait_mu_;
+  ctx_swap_final(me->ctx, w->sched_ctx, backend_);
 }
 
 void Scheduler::reap(Tcb* t) {
@@ -489,57 +938,78 @@ void* Scheduler::join(Tcb* t) {
 }
 
 bool Scheduler::join_until(Tcb* t, std::uint64_t deadline_ns, void** retval) {
-  Tcb* me = current_;
+  Tcb* me = this_worker()->current;
   check_cancel();
+  SyncGuard g(*this);
   if (t == me || t->detached || t->join_taken) {
     std::fprintf(stderr, "lwt: invalid join (self/detached/double)\n");
     std::abort();
   }
-  if (t->state != ThreadState::Finished) {
+  if (t->state.load(std::memory_order_acquire) != ThreadState::Finished) {
     if (deadline_ns != kNoDeadline && now() >= deadline_ns) return false;
     t->join_taken = true;
     t->joiner = me;
     TimerWheel::TimerId tid = 0;
     if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
-    me->state = ThreadState::Blocked;
-    ++blocked_;
-    ctx_swap(me->ctx, sched_ctx_, backend_);
-    if (tid != 0) disarm_timer(tid);
-    const bool timed_out = me->timed_out;
-    me->timed_out = false;
-    if (t->state != ThreadState::Finished) {
+    me->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+    me->waiting_on = nullptr;
+    blocked_.fetch_add(1, std::memory_order_relaxed);
+    park_switch(g);
+    if (tid != 0) {
+      SyncGuard g2(*this);
+      disarm_timer(tid);
+    }
+    const bool timed_out = me->timed_out.load(std::memory_order_relaxed);
+    me->timed_out.store(false, std::memory_order_relaxed);
+    // Re-acquire before inspecting the target: if it is finishing right
+    // now on another worker, this lock acquisition serializes with the
+    // finisher's post-switch release, so Finished here implies its
+    // stack is no longer in use and reaping is safe.
+    SyncGuard g2(*this);
+    if (t->state.load(std::memory_order_acquire) != ThreadState::Finished) {
       // Woken without the target finishing: timeout or cancellation.
       // Give up the claim so the target stays joinable.
       t->joiner = nullptr;
       t->join_taken = false;
+      g2.unlock();
       if (timed_out) return false;
       check_cancel();
       std::fprintf(stderr, "lwt: join woke without target finishing\n");
       std::abort();
     }
-  } else {
-    t->join_taken = true;
-  }
-  if (retval != nullptr) *retval = t->canceled ? kCanceled : t->retval;
-  for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
-    if (*it == t) {
-      zombies_.erase(it);
-      break;
-    }
-  }
-  reap(t);
-  return true;
-}
-
-void Scheduler::detach(Tcb* t) {
-  if (t->join_taken) return;
-  if (t->state == ThreadState::Finished) {
     for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
       if (*it == t) {
         zombies_.erase(it);
         break;
       }
     }
+    g2.unlock();
+  } else {
+    t->join_taken = true;
+    for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
+      if (*it == t) {
+        zombies_.erase(it);
+        break;
+      }
+    }
+    g.unlock();
+  }
+  if (retval != nullptr) *retval = t->canceled ? kCanceled : t->retval;
+  reap(t);
+  return true;
+}
+
+void Scheduler::detach(Tcb* t) {
+  SyncGuard g(*this);
+  if (t->join_taken) return;
+  if (t->state.load(std::memory_order_acquire) == ThreadState::Finished) {
+    for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
+      if (*it == t) {
+        zombies_.erase(it);
+        break;
+      }
+    }
+    g.unlock();
     reap(t);
     return;
   }
@@ -547,61 +1017,63 @@ void Scheduler::detach(Tcb* t) {
 }
 
 void Scheduler::cancel(Tcb* t) {
-  t->cancel_requested = true;
-  if (t->cancel_disabled) return;
-  switch (t->state) {
-    case ThreadState::Blocked:
-      // Parked on a wait list, the WQ, or in join: eject and make ready;
-      // the wait code re-checks cancellation on resume.
-      if (t->waiting_on != nullptr) {
-        t->waiting_on->remove(t);
-        t->waiting_on = nullptr;
-        --blocked_;
-        enqueue_ready(t);
-      } else {
-        for (std::size_t i = 0; i < wq_.size(); ++i) {
-          if (wq_[i].tcb == t) {
-            wq_[i] = wq_.back();
-            wq_.pop_back();
-            --blocked_;
-            enqueue_ready(t);
-            return;
-          }
-        }
-        for (std::size_t i = 0; i < generic_wq_.size(); ++i) {
-          if (generic_wq_[i].tcb == t) {
-            generic_wq_[i] = generic_wq_.back();
-            generic_wq_.pop_back();
-            --blocked_;
-            enqueue_ready(t);
-            return;
-          }
-        }
-        // Blocked in join: wake it; join() notices and re-checks.
-        --blocked_;
-        enqueue_ready(t);
-      }
-      break;
-    case ThreadState::Ready:
-      // If PS-parked, pick_next() notices cancel_requested and wakes it.
-      break;
-    case ThreadState::Running:
-    case ThreadState::Finished:
-      break;
+  t->cancel_requested.store(true, std::memory_order_release);
+  if (t->cancel_disabled.load(std::memory_order_acquire)) return;
+  SyncGuard g(*this);
+  if (t->state.load(std::memory_order_acquire) != ThreadState::Blocked) {
+    // Ready + PS-parked: pick_next() notices cancel_requested and wakes
+    // it. Running: the thread hits a cancellation point itself.
+    return;
   }
+  // Parked on a wait list, the WQ, or in join: eject and make ready;
+  // the wait code re-checks cancellation on resume.
+  if (t->waiting_on != nullptr) {
+    t->waiting_on->remove(t);
+    t->waiting_on = nullptr;
+    blocked_.fetch_sub(1, std::memory_order_relaxed);
+    enqueue_or_inject(t);
+    return;
+  }
+  for (std::size_t i = 0; i < wq_.size(); ++i) {
+    if (wq_[i].tcb == t) {
+      wq_[i] = wq_.back();
+      wq_.pop_back();
+      wq_len_.store(static_cast<std::uint32_t>(wq_.size()),
+                    std::memory_order_relaxed);
+      blocked_.fetch_sub(1, std::memory_order_relaxed);
+      enqueue_or_inject(t);
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < generic_wq_.size(); ++i) {
+    if (generic_wq_[i].tcb == t) {
+      generic_wq_[i] = generic_wq_.back();
+      generic_wq_.pop_back();
+      generic_len_.store(static_cast<std::uint32_t>(generic_wq_.size()),
+                         std::memory_order_relaxed);
+      blocked_.fetch_sub(1, std::memory_order_relaxed);
+      enqueue_or_inject(t);
+      return;
+    }
+  }
+  // Blocked in join: wake it; join() notices and re-checks.
+  blocked_.fetch_sub(1, std::memory_order_relaxed);
+  enqueue_or_inject(t);
 }
 
 bool Scheduler::set_cancel_enabled(bool enabled) {
-  Tcb* me = current_;
-  bool prev = !me->cancel_disabled;
-  me->cancel_disabled = !enabled;
+  Tcb* me = this_worker()->current;
+  const bool prev = !me->cancel_disabled.load(std::memory_order_relaxed);
+  me->cancel_disabled.store(!enabled, std::memory_order_release);
   return prev;
 }
 
 void Scheduler::check_cancel() {
-  Tcb* me = current_;
-  if (me != nullptr && me->cancel_requested && !me->cancel_disabled) {
-    me->cancel_requested = false;  // acting on it now
+  Worker* w = this_worker();
+  Tcb* me = w != nullptr ? w->current : nullptr;
+  if (me != nullptr && me->cancel_requested.load(std::memory_order_acquire) &&
+      !me->cancel_disabled.load(std::memory_order_relaxed)) {
+    me->cancel_requested.store(false, std::memory_order_relaxed);
     throw CancelInterrupt{};
   }
 }
@@ -609,24 +1081,35 @@ void Scheduler::check_cancel() {
 void Scheduler::set_priority(Tcb* t, int priority) {
   if (priority < 0) priority = 0;
   if (priority >= kNumPriorities) priority = kNumPriorities - 1;
-  if (t->state == ThreadState::Ready && t->waiting_on == nullptr) {
-    // Move between run queues so the change takes effect immediately.
-    if (run_q_[t->priority].remove(t)) {
-      t->priority = priority;
-      run_q_[t->priority].push_back(t);
+  if (!workers_.empty() &&
+      t->state.load(std::memory_order_acquire) == ThreadState::Ready) {
+    // Try to requeue in place so the change takes effect immediately.
+    // home_worker is a hint; verify under that worker's queue lock.
+    Worker& w =
+        *workers_[t->home_worker.load(std::memory_order_relaxed) % nworkers_];
+    w.q_mu.lock();
+    const int oldp = t->priority.load(std::memory_order_relaxed);
+    if (t->state.load(std::memory_order_relaxed) == ThreadState::Ready &&
+        w.run_q[oldp].remove(t)) {
+      t->priority.store(priority, std::memory_order_relaxed);
+      w.run_q[priority].push_back(t);
+      w.q_mu.unlock();
       return;
     }
+    w.q_mu.unlock();
   }
-  t->priority = priority;
+  // Not queued here (blocked, running, injected, or mid-migration): the
+  // new priority takes effect at the next enqueue.
+  t->priority.store(priority, std::memory_order_relaxed);
 }
 
 // ------------------------------------------------- polling-policy waits
 
 bool Scheduler::poll_block_tp(const PollRequest& req,
                               std::uint64_t deadline_ns) {
-  Tcb* me = current_;
+  Tcb* me = this_worker()->current;
   me->msg_waiting = true;
-  ++msg_waiting_;
+  msg_waiting_.fetch_add(1, std::memory_order_relaxed);
   // Paper Fig. 5: re-test on every resumption; yield (a full context
   // switch through the scheduler) after every failed test. After a burst
   // of consecutive failures nothing local is making progress — the data
@@ -645,7 +1128,7 @@ bool Scheduler::poll_block_tp(const PollRequest& req,
       yield();
     } catch (...) {
       me->msg_waiting = false;
-      --msg_waiting_;
+      msg_waiting_.fetch_sub(1, std::memory_order_relaxed);
       throw;
     }
     if (fails >= 4) {
@@ -657,30 +1140,38 @@ bool Scheduler::poll_block_tp(const PollRequest& req,
     }
   }
   me->msg_waiting = false;
-  --msg_waiting_;
+  msg_waiting_.fetch_sub(1, std::memory_order_relaxed);
   return completed;
 }
 
 bool Scheduler::poll_block_wq(const PollRequest& req,
                               std::uint64_t deadline_ns) {
-  Tcb* me = current_;
+  Tcb* me = this_worker()->current;
   check_cancel();
   if (req.test(req.ctx)) return true;  // fast path: already complete
   if (deadline_ns != kNoDeadline && now() >= deadline_ns) return false;
   me->msg_waiting = true;
-  ++msg_waiting_;
+  msg_waiting_.fetch_add(1, std::memory_order_relaxed);
   TimerWheel::TimerId tid = 0;
-  if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
-  wq_.push_back(WqEntry{req, me});
-  me->state = ThreadState::Blocked;
-  me->waiting_on = nullptr;  // parked on wq_, not a TcbQueue
-  ++blocked_;
-  ctx_swap(me->ctx, sched_ctx_, backend_);
+  {
+    SyncGuard g(*this);
+    if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
+    wq_.push_back(WqEntry{req, me});
+    wq_len_.store(static_cast<std::uint32_t>(wq_.size()),
+                  std::memory_order_relaxed);
+    me->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+    me->waiting_on = nullptr;  // parked on wq_, not a TcbQueue
+    blocked_.fetch_add(1, std::memory_order_relaxed);
+    park_switch(g);
+  }
   me->msg_waiting = false;
-  --msg_waiting_;
-  if (tid != 0) disarm_timer(tid);
-  const bool timed_out = me->timed_out;
-  me->timed_out = false;
+  msg_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  if (tid != 0) {
+    SyncGuard g2(*this);
+    disarm_timer(tid);
+  }
+  const bool timed_out = me->timed_out.load(std::memory_order_relaxed);
+  me->timed_out.store(false, std::memory_order_relaxed);
   check_cancel();  // cancel() may have ejected us before completion
   // Completion wins a race with the timer: re-test once before failing.
   return !timed_out || req.test(req.ctx);
@@ -688,44 +1179,64 @@ bool Scheduler::poll_block_wq(const PollRequest& req,
 
 bool Scheduler::poll_block_generic(const PollRequest& req,
                                    std::uint64_t deadline_ns) {
-  Tcb* me = current_;
+  Tcb* me = this_worker()->current;
   check_cancel();
   if (req.test(req.ctx)) return true;  // fast path
   if (deadline_ns != kNoDeadline && now() >= deadline_ns) return false;
   TimerWheel::TimerId tid = 0;
-  if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
-  generic_wq_.push_back(WqEntry{req, me});
-  me->state = ThreadState::Blocked;
-  me->waiting_on = nullptr;
-  ++blocked_;
-  ctx_swap(me->ctx, sched_ctx_, backend_);
-  if (tid != 0) disarm_timer(tid);
-  const bool timed_out = me->timed_out;
-  me->timed_out = false;
+  {
+    SyncGuard g(*this);
+    if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
+    generic_wq_.push_back(WqEntry{req, me});
+    generic_len_.store(static_cast<std::uint32_t>(generic_wq_.size()),
+                       std::memory_order_relaxed);
+    me->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+    me->waiting_on = nullptr;
+    blocked_.fetch_add(1, std::memory_order_relaxed);
+    park_switch(g);
+  }
+  if (tid != 0) {
+    SyncGuard g2(*this);
+    disarm_timer(tid);
+  }
+  const bool timed_out = me->timed_out.load(std::memory_order_relaxed);
+  me->timed_out.store(false, std::memory_order_relaxed);
   check_cancel();  // cancel() may have ejected us before completion
   return !timed_out || req.test(req.ctx);
 }
 
 bool Scheduler::poll_block_ps(const PollRequest& req,
                               std::uint64_t deadline_ns) {
-  Tcb* me = current_;
+  Worker* w = this_worker();
+  Tcb* me = w->current;
   check_cancel();
   if (req.test(req.ctx)) return true;
   if (deadline_ns != kNoDeadline && now() >= deadline_ns) return false;
   me->msg_waiting = true;
-  ++msg_waiting_;
-  TimerWheel::TimerId tid = 0;
-  if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
+  msg_waiting_.fetch_add(1, std::memory_order_relaxed);
+  // Publish the poll before arming the timer: a fire that beats the
+  // publication would find poll_active false and be dropped as stale,
+  // losing the timeout forever.
   me->poll = req;
-  me->poll_active = true;
-  ++ps_parked_;
-  enqueue_ready(me);  // stays queued; scheduler tests before restoring
-  ctx_swap(me->ctx, sched_ctx_, backend_);
+  me->poll_active.store(true, std::memory_order_release);
+  ps_parked_.fetch_add(1, std::memory_order_relaxed);
+  TimerWheel::TimerId tid = 0;
+  if (deadline_ns != kNoDeadline) {
+    SyncGuard g(*this);
+    tid = arm_timer(deadline_ns, me);
+  }
+  // Deferred self-enqueue (like yield): we stay Ready in our worker's
+  // queue; the scheduler tests the request before restoring us.
+  w->pending_enqueue = me;
+  ctx_swap(me->ctx, w->sched_ctx, backend_);
   me->msg_waiting = false;
-  --msg_waiting_;
-  if (tid != 0) disarm_timer(tid);
-  const bool timed_out = me->timed_out;
-  me->timed_out = false;
+  msg_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  if (tid != 0) {
+    SyncGuard g2(*this);
+    disarm_timer(tid);
+  }
+  const bool timed_out = me->timed_out.load(std::memory_order_relaxed);
+  me->timed_out.store(false, std::memory_order_relaxed);
   check_cancel();
   return !timed_out || req.test(req.ctx);
 }
@@ -743,6 +1254,7 @@ void Scheduler::set_idle_hook(void (*hook)(void*), void* ctx) {
 // -------------------------------------------------------- thread-local data
 
 int Scheduler::key_create(void (*dtor)(void*)) {
+  SyncGuard g(*this);
   for (std::size_t k = 0; k < kMaxTlsKeys; ++k) {
     if (!tls_keys_[k].used) {
       tls_keys_[k].used = true;
@@ -755,28 +1267,36 @@ int Scheduler::key_create(void (*dtor)(void*)) {
 
 void Scheduler::key_delete(int key) {
   if (key < 0 || key >= static_cast<int>(kMaxTlsKeys)) return;
+  SyncGuard g(*this);
   tls_keys_[static_cast<std::size_t>(key)] = TlsKey{};
 }
 
 void Scheduler::set_specific(int key, void* value) {
   if (key < 0 || key >= static_cast<int>(kMaxTlsKeys)) return;
-  current_->tls[static_cast<std::size_t>(key)] = value;
+  this_worker()->current->tls[static_cast<std::size_t>(key)] = value;
 }
 
 void* Scheduler::get_specific(int key) const {
   if (key < 0 || key >= static_cast<int>(kMaxTlsKeys)) return nullptr;
-  return current_->tls[static_cast<std::size_t>(key)];
+  return this_worker()->current->tls[static_cast<std::size_t>(key)];
 }
 
 void Scheduler::run_tls_dtors(Tcb* t) {
   // As in pthreads: iterate until a pass makes no progress, bounded.
+  // The key table is snapshotted per pass so user destructors run
+  // without the wait lock (they may create/delete keys themselves).
   for (int pass = 0; pass < 4; ++pass) {
+    std::array<TlsKey, kMaxTlsKeys> keys;
+    {
+      SyncGuard g(*this);
+      keys = tls_keys_;
+    }
     bool again = false;
     for (std::size_t k = 0; k < kMaxTlsKeys; ++k) {
       void* v = t->tls[k];
-      if (v != nullptr && tls_keys_[k].used && tls_keys_[k].dtor != nullptr) {
+      if (v != nullptr && keys[k].used && keys[k].dtor != nullptr) {
         t->tls[k] = nullptr;
-        tls_keys_[k].dtor(v);
+        keys[k].dtor(v);
         again = true;
       }
     }
@@ -784,14 +1304,37 @@ void Scheduler::run_tls_dtors(Tcb* t) {
   }
 }
 
+// ------------------------------------------------------------ introspection
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  wait_mu_.lock();
+  s = base_stats_;
+  wait_mu_.unlock();
+  // Worker counters are plain (each worker writes only its own): the sum
+  // is exact whenever the scheduler is quiescent or single-worker, which
+  // is when tests and benchmarks read it.
+  for (const auto& w : workers_) accumulate(s, w->stats);
+  s.injections += injections_.load(std::memory_order_relaxed);
+  return s;
+}
+
 std::string Scheduler::debug_dump() const {
   std::ostringstream os;
-  os << "scheduler: active=" << active_ << " blocked=" << blocked_
-     << " ps_parked=" << ps_parked_ << " wq=" << wq_.size() << "\n";
-  for (int p = kNumPriorities - 1; p >= 0; --p) {
-    for (Tcb* t = run_q_[p].front(); t != nullptr; t = t->qnext) {
-      os << "  prio " << p << " tcb #" << t->id << " '" << t->name << "' "
-         << state_name(t->state) << (t->poll_active ? " [poll]" : "") << "\n";
+  os << "scheduler: active=" << active_.load(std::memory_order_relaxed)
+     << " blocked=" << blocked_.load(std::memory_order_relaxed)
+     << " ps_parked=" << ps_parked_.load(std::memory_order_relaxed)
+     << " wq=" << wq_len_.load(std::memory_order_relaxed)
+     << " workers=" << nworkers_ << "\n";
+  for (const auto& wp : workers_) {
+    for (int p = kNumPriorities - 1; p >= 0; --p) {
+      for (Tcb* t = wp->run_q[p].front(); t != nullptr; t = t->qnext) {
+        os << "  w" << wp->index << " prio " << p << " tcb #" << t->id << " '"
+           << t->name << "' "
+           << state_name(t->state.load(std::memory_order_relaxed))
+           << (t->poll_active.load(std::memory_order_relaxed) ? " [poll]" : "")
+           << "\n";
+      }
     }
   }
   for (const auto& e : wq_) {

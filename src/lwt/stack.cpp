@@ -50,36 +50,46 @@ StackPool::~StackPool() { trim(); }
 
 Stack StackPool::acquire(std::size_t min_size) {
   const std::size_t usable = round_up_pages(min_size);
+  mu_.lock();
   auto it = pool_.find(usable);
   if (it != pool_.end() && !it->second.empty()) {
     Stack s = it->second.back();
     it->second.pop_back();
+    mu_.unlock();
     return s;
   }
-  return map_stack(usable);
+  mu_.unlock();
+  return map_stack(usable);  // the syscall runs outside the lock
 }
 
 void StackPool::release(Stack s) noexcept {
   if (!s) return;
+  mu_.lock();
   try {
     pool_[s.size].push_back(s);
+    mu_.unlock();
   } catch (...) {
+    mu_.unlock();
     unmap_stack(s);  // allocation failure: just give the memory back
   }
 }
 
 std::size_t StackPool::cached() const noexcept {
+  mu_.lock();
   std::size_t n = 0;
   for (const auto& [sz, v] : pool_) n += v.size();
+  mu_.unlock();
   return n;
 }
 
 void StackPool::trim() noexcept {
-  for (auto& [sz, v] : pool_) {
-    for (Stack s : v) unmap_stack(s);
-    v.clear();
-  }
+  mu_.lock();
+  auto stacks = std::move(pool_);
   pool_.clear();
+  mu_.unlock();
+  for (auto& [sz, v] : stacks) {
+    for (Stack s : v) unmap_stack(s);
+  }
 }
 
 }  // namespace lwt

@@ -1,4 +1,12 @@
 // sync.cpp — fiber mutex / condition variable / semaphore / barrier.
+//
+// Every check-then-park sequence runs under the scheduler's wait lock
+// (Scheduler::SyncGuard): with multiple workers, a wake from another
+// worker could otherwise slip between the predicate check and the park
+// and be lost. park_on(wl, guard) transfers the lock to the scheduler,
+// which releases it only after the parking fiber has switched out, so
+// the release-and-park is atomic with respect to wakers. Single-worker
+// runs pay one uncontended spinlock pair per operation.
 #include "lwt/sync.hpp"
 
 #include <cstdio>
@@ -25,24 +33,31 @@ void Mutex::lock() {
   Scheduler& s = sched();
   s.check_cancel();
   Tcb* me = Scheduler::self();
-  if (owner_ == me) {
+  if (owner_.load(std::memory_order_relaxed) == me) {
     std::fprintf(stderr, "lwt: recursive Mutex::lock by #%u '%s'\n", me->id,
                  me->name);
     std::abort();
   }
   if (const auto* h = validate_hooks()) h->blocking_call(me, "lwt::Mutex::lock", false);
-  while (owner_ != nullptr) {
-    s.park_on(waiters_);
+  Scheduler::SyncGuard g(s);
+  while (owner_.load(std::memory_order_relaxed) != nullptr) {
+    s.park_on(waiters_, g);  // returns with the guard released
+    g.lock();
     s.check_cancel();  // cancel() may have ejected us from the wait list
   }
-  owner_ = me;
+  owner_.store(me, std::memory_order_relaxed);
+  g.unlock();
   if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "Mutex");
 }
 
 bool Mutex::try_lock() {
-  if (owner_ != nullptr) return false;
-  owner_ = Scheduler::self();
-  if (const auto* h = validate_hooks()) h->lock_acquired(owner_, this, "Mutex");
+  Scheduler& s = sched();
+  Tcb* me = Scheduler::self();
+  Scheduler::SyncGuard g(s);
+  if (owner_.load(std::memory_order_relaxed) != nullptr) return false;
+  owner_.store(me, std::memory_order_relaxed);
+  g.unlock();
+  if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "Mutex");
   return true;
 }
 
@@ -50,7 +65,7 @@ bool Mutex::try_lock_until(std::uint64_t deadline_ns) {
   Scheduler& s = sched();
   s.check_cancel();
   Tcb* me = Scheduler::self();
-  if (owner_ == me) {
+  if (owner_.load(std::memory_order_relaxed) == me) {
     std::fprintf(stderr, "lwt: recursive Mutex::try_lock_until by #%u '%s'\n",
                  me->id, me->name);
     std::abort();
@@ -58,11 +73,14 @@ bool Mutex::try_lock_until(std::uint64_t deadline_ns) {
   if (const auto* h = validate_hooks()) {
     h->blocking_call(me, "lwt::Mutex::try_lock_until", true);
   }
-  while (owner_ != nullptr) {
-    if (!s.park_on_until(waiters_, deadline_ns)) return false;
+  Scheduler::SyncGuard g(s);
+  while (owner_.load(std::memory_order_relaxed) != nullptr) {
+    if (!s.park_on_until(waiters_, deadline_ns, g)) return false;
+    g.lock();
     s.check_cancel();  // cancel() may have ejected us from the wait list
   }
-  owner_ = me;
+  owner_.store(me, std::memory_order_relaxed);
+  g.unlock();
   if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "Mutex");
   return true;
 }
@@ -72,14 +90,16 @@ bool Mutex::try_lock_for(std::uint64_t ns) {
 }
 
 void Mutex::unlock() {
+  Scheduler& s = sched();
   Tcb* me = Scheduler::self();
-  if (owner_ != me) {
+  if (owner_.load(std::memory_order_relaxed) != me) {
     std::fprintf(stderr, "lwt: Mutex::unlock by non-owner\n");
     std::abort();
   }
-  owner_ = nullptr;
   if (const auto* h = validate_hooks()) h->lock_released(me, this);
-  sched().wake_one(waiters_);
+  Scheduler::SyncGuard g(s);
+  owner_.store(nullptr, std::memory_order_relaxed);
+  s.wake_one(waiters_, g);
 }
 
 // ---------------------------------------------------------------- CondVar
@@ -88,7 +108,7 @@ void CondVar::wait(Mutex& m) {
   Scheduler& s = sched();
   s.check_cancel();
   Tcb* me = Scheduler::self();
-  if (m.owner_ != me) {
+  if (m.owner_.load(std::memory_order_relaxed) != me) {
     std::fprintf(stderr, "lwt: CondVar::wait without holding the mutex\n");
     std::abort();
   }
@@ -96,12 +116,13 @@ void CondVar::wait(Mutex& m) {
     h->blocking_call(me, "lwt::CondVar::wait", false);
     h->lock_released(me, &m);
   }
-  // Atomic with respect to fibers: no scheduling point between releasing
-  // the mutex and parking, so a signal between them cannot be lost.
-  m.owner_ = nullptr;
-  s.wake_one(m.waiters_);
+  // Release and park under one hold of the wait lock: a signal between
+  // them cannot be lost, from any worker.
+  Scheduler::SyncGuard g(s);
+  m.owner_.store(nullptr, std::memory_order_relaxed);
+  s.wake_one(m.waiters_, g);
   try {
-    s.park_on(waiters_);
+    s.park_on(waiters_, g);
     s.check_cancel();
   } catch (...) {
     m.lock();  // pthreads semantics: reacquire before acting on cancel
@@ -114,7 +135,7 @@ bool CondVar::wait_until(Mutex& m, std::uint64_t deadline_ns) {
   Scheduler& s = sched();
   s.check_cancel();
   Tcb* me = Scheduler::self();
-  if (m.owner_ != me) {
+  if (m.owner_.load(std::memory_order_relaxed) != me) {
     std::fprintf(stderr,
                  "lwt: CondVar::wait_until without holding the mutex\n");
     std::abort();
@@ -123,11 +144,12 @@ bool CondVar::wait_until(Mutex& m, std::uint64_t deadline_ns) {
     h->blocking_call(me, "lwt::CondVar::wait_until", true);
     h->lock_released(me, &m);
   }
-  m.owner_ = nullptr;
-  s.wake_one(m.waiters_);
+  Scheduler::SyncGuard g(s);
+  m.owner_.store(nullptr, std::memory_order_relaxed);
+  s.wake_one(m.waiters_, g);
   bool signaled;
   try {
-    signaled = s.park_on_until(waiters_, deadline_ns);
+    signaled = s.park_on_until(waiters_, deadline_ns, g);
     s.check_cancel();
   } catch (...) {
     m.lock();  // pthreads semantics: reacquire before acting on cancel
@@ -149,36 +171,43 @@ void Semaphore::acquire() {
   if (const auto* h = validate_hooks()) {
     h->blocking_call(Scheduler::self(), "lwt::Semaphore::acquire", false);
   }
-  while (count_ <= 0) {
-    s.park_on(waiters_);
+  Scheduler::SyncGuard g(s);
+  while (count_.load(std::memory_order_relaxed) <= 0) {
+    s.park_on(waiters_, g);
+    g.lock();
     s.check_cancel();
   }
-  --count_;
+  count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 bool Semaphore::try_acquire() {
-  if (count_ <= 0) return false;
-  --count_;
+  Scheduler& s = sched();
+  Scheduler::SyncGuard g(s);
+  if (count_.load(std::memory_order_relaxed) <= 0) return false;
+  count_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
 bool Semaphore::try_acquire_until(std::uint64_t deadline_ns) {
   Scheduler& s = sched();
   s.check_cancel();
-  while (count_ <= 0) {
-    if (!s.park_on_until(waiters_, deadline_ns)) return false;
+  Scheduler::SyncGuard g(s);
+  while (count_.load(std::memory_order_relaxed) <= 0) {
+    if (!s.park_on_until(waiters_, deadline_ns, g)) return false;
+    g.lock();
     s.check_cancel();
   }
-  --count_;
+  count_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
 void Semaphore::release(std::int64_t n) {
   Scheduler& s = sched();
-  count_ += n;
+  Scheduler::SyncGuard g(s);
+  count_.fetch_add(n, std::memory_order_relaxed);
   // Mesa-style: wake as many waiters as units released; each re-checks.
   for (std::int64_t i = 0; i < n; ++i) {
-    if (s.wake_one(waiters_) == nullptr) break;
+    if (s.wake_one(waiters_, g) == nullptr) break;
   }
 }
 
@@ -191,15 +220,17 @@ bool Barrier::arrive_and_wait() {
     h->blocking_call(Scheduler::self(), "lwt::Barrier::arrive_and_wait",
                      false);
   }
+  Scheduler::SyncGuard g(s);
   const std::uint64_t gen = generation_;
   if (++arrived_ == parties_) {
     arrived_ = 0;
     ++generation_;
-    s.wake_all(waiters_);
+    s.wake_all(waiters_, g);
     return true;
   }
   while (generation_ == gen) {
-    s.park_on(waiters_);
+    s.park_on(waiters_, g);
+    g.lock();
     s.check_cancel();
   }
   return false;

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace lwt {
 
@@ -31,13 +32,24 @@ std::uint64_t trace_now() noexcept {
 Trace::Trace(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
 
 void Trace::record(TraceEvent e, std::uint32_t tid) noexcept {
-  ring_[head_] = Entry{trace_now(), e, tid};
+  const std::uint64_t ns = trace_now();
+  mu_.lock();
+  ring_[head_] = Entry{ns, e, tid};
   head_ = (head_ + 1) % ring_.size();
   ++recorded_;
+  mu_.unlock();
+}
+
+std::uint64_t Trace::recorded() const noexcept {
+  mu_.lock();
+  const std::uint64_t n = recorded_;
+  mu_.unlock();
+  return n;
 }
 
 std::vector<Trace::Entry> Trace::snapshot() const {
   std::vector<Entry> out;
+  std::lock_guard<SpinLock> lk(mu_);
   const std::size_t n =
       recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
                                : ring_.size();
@@ -67,8 +79,10 @@ std::string Trace::dump() const {
 }
 
 void Trace::clear() noexcept {
+  mu_.lock();
   head_ = 0;
   recorded_ = 0;
+  mu_.unlock();
 }
 
 }  // namespace lwt

@@ -1,0 +1,323 @@
+// lwt_mn_test.cpp — multi-worker (M:N) scheduler semantics: worker-count
+// resolution, steal-vs-ready races, cross-thread ready(), timer wakes
+// under parallel workers, priority preservation, and the new stats.
+//
+// These tests run genuinely parallel (set_workers(4)), so they assert
+// end-state invariants and counter identities that hold for any legal
+// interleaving — never orderings. Counters are read only after run_main
+// returns (the pool is quiescent, so stats() is exact).
+#include "lwt/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "lwt/lwt.hpp"
+
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+/// run_main with a callable on a caller-provided scheduler (lwt::run
+/// always builds a fresh one, which would discard set_workers).
+template <typename F>
+void run_on(lwt::Scheduler& s, F&& f) {
+  using Fn = std::decay_t<F>;
+  Fn fn(std::forward<F>(f));
+  s.run_main(
+      [](void* p) -> void* {
+        (*static_cast<Fn*>(p))();
+        return nullptr;
+      },
+      &fn);
+}
+
+TEST(MnWorkers, DefaultWorkersResolvesEnv) {
+  const char* saved = std::getenv("CHANT_WORKERS");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+
+  ::unsetenv("CHANT_WORKERS");
+  EXPECT_EQ(lwt::Scheduler::default_workers(), 1u);  // opt-in: unset = 1:1
+  ::setenv("CHANT_WORKERS", "", 1);
+  EXPECT_EQ(lwt::Scheduler::default_workers(), 1u);
+  ::setenv("CHANT_WORKERS", "3", 1);
+  EXPECT_EQ(lwt::Scheduler::default_workers(), 3u);
+  ::setenv("CHANT_WORKERS", "0", 1);  // 0 = hardware concurrency
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(lwt::Scheduler::default_workers(), hw == 0 ? 1u : hw);
+  ::setenv("CHANT_WORKERS", "100000", 1);
+  EXPECT_EQ(lwt::Scheduler::default_workers(), lwt::kMaxWorkers);
+  ::setenv("CHANT_WORKERS", "junk", 1);
+  EXPECT_EQ(lwt::Scheduler::default_workers(), 1u);
+
+  if (saved != nullptr) {
+    ::setenv("CHANT_WORKERS", saved_copy.c_str(), 1);
+  } else {
+    ::unsetenv("CHANT_WORKERS");
+  }
+}
+
+TEST(MnWorkers, SpawnJoinChurnAcrossWorkers) {
+  lwt::Scheduler s;
+  s.set_workers(4);
+  std::atomic<int> sum{0};
+  run_on(s, [&] {
+    constexpr int kFibers = 256;
+    std::vector<lwt::Tcb*> ts;
+    ts.reserve(kFibers);
+    for (int i = 0; i < kFibers; ++i) {
+      ts.push_back(lwt::go([&sum] {
+        for (int k = 0; k < 8; ++k) {
+          sum.fetch_add(1, std::memory_order_relaxed);
+          lwt::yield();
+        }
+      }));
+    }
+    for (lwt::Tcb* t : ts) lwt::join(t);
+  });
+  EXPECT_EQ(s.workers(), 4u);
+  EXPECT_EQ(sum.load(), 256 * 8);
+  const lwt::SchedulerStats st = s.stats();
+  EXPECT_EQ(st.spawns, 257u);  // main + 256
+  // Every pick came from somewhere: local queue or a steal.
+  EXPECT_GE(st.local_hits + st.steals, 256u);
+}
+
+TEST(MnWorkers, StealVsReadyRaceConverges) {
+  // Wakers and sleepers hammer the park/wake path from all four workers
+  // while yielding fibers keep the run queues hot for the stealers. Any
+  // lost wakeup deadlocks (caught by the multi-worker deadlock abort or
+  // the test timeout); any double enqueue corrupts a run queue.
+  lwt::Scheduler s;
+  s.set_workers(4);
+  std::atomic<int> done{0};
+  run_on(s, [&] {
+    lwt::Mutex mu;
+    lwt::CondVar cv;
+    int turn = 0;
+    constexpr int kPairs = 16;
+    constexpr int kRounds = 200;
+    std::vector<lwt::Tcb*> ts;
+    for (int p = 0; p < kPairs; ++p) {
+      ts.push_back(lwt::go([&] {
+        for (int r = 0; r < kRounds; ++r) {
+          lwt::LockGuard g(mu);
+          turn = (turn + 1) % kPairs;
+          cv.broadcast();
+          cv.wait_until(mu, lwt::Scheduler::current()->deadline_after(kMs));
+        }
+        done.fetch_add(1, std::memory_order_relaxed);
+      }));
+      ts.push_back(lwt::go([&] {
+        for (int r = 0; r < kRounds; ++r) lwt::yield();
+        done.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+    for (lwt::Tcb* t : ts) lwt::join(t);
+  });
+  EXPECT_EQ(done.load(), 2 * 16);
+}
+
+TEST(MnWorkers, CrossThreadReadyFromForeignOsThread) {
+  // A fiber parks with no timer and no peer to wake it; a foreign OS
+  // thread (not one of the scheduler's workers) calls ready(). The wake
+  // must route through the injection queue and be counted there.
+  lwt::Scheduler s;
+  s.set_workers(4);
+  std::atomic<bool> woken{false};
+  run_on(s, [&] {
+    lwt::TcbQueue wl;
+    lwt::Tcb* parked = lwt::go([&] {
+      lwt::Scheduler::current()->park_on(wl);
+      woken.store(true, std::memory_order_relaxed);
+    });
+    // A second fiber keeps a worker busy so the process cannot be
+    // declared deadlocked before the foreign thread fires.
+    lwt::Tcb* keeper = lwt::go([&] {
+      while (!woken.load(std::memory_order_relaxed)) {
+        lwt::sleep_for(1 * kMs);
+      }
+    });
+    std::thread foreign([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      s.ready(parked);
+    });
+    lwt::join(parked);
+    lwt::join(keeper);
+    foreign.join();
+  });
+  EXPECT_TRUE(woken.load());
+  EXPECT_GE(s.stats().injections, 1u);
+}
+
+TEST(MnWorkers, TimerFireWakesFiberOnAnyWorker) {
+  // Sleeping fibers spread over four workers; each timer expiry readies
+  // a fiber whose home worker may differ from the expiring one. All must
+  // resume exactly once (sum identity) with no lost or double wake.
+  lwt::Scheduler s;
+  s.set_workers(4);
+  std::atomic<int> resumed{0};
+  run_on(s, [&] {
+    constexpr int kSleepers = 64;
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < kSleepers; ++i) {
+      ts.push_back(lwt::go([&resumed, i] {
+        lwt::sleep_for(static_cast<std::uint64_t>(1 + i % 7) * kMs);
+        resumed.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+    for (lwt::Tcb* t : ts) lwt::join(t);
+  });
+  EXPECT_EQ(resumed.load(), 64);
+  const lwt::SchedulerStats st = s.stats();
+  EXPECT_EQ(st.sleeps, 64u);
+  EXPECT_EQ(st.timer_fires, 64u);
+}
+
+TEST(MnWorkers, TimedWaitCompletionWinsUnderWorkers) {
+  lwt::Scheduler s;
+  s.set_workers(4);
+  std::atomic<int> got{0};
+  run_on(s, [&] {
+    lwt::Semaphore sem(0);
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 8; ++i) {
+      ts.push_back(lwt::go([&] {
+        if (sem.try_acquire_until(
+                lwt::Scheduler::current()->deadline_after(500 * kMs))) {
+          got.fetch_add(1, std::memory_order_relaxed);
+        }
+      }));
+    }
+    lwt::sleep_for(2 * kMs);
+    sem.release(8);
+    for (lwt::Tcb* t : ts) lwt::join(t);
+  });
+  EXPECT_EQ(got.load(), 8);  // completion beats the generous deadline
+}
+
+TEST(MnWorkers, PriorityBoostSurvivesStealing) {
+  // A high-priority fiber readied while low-priority yielders saturate
+  // all four workers must still run promptly: every worker's pick_next
+  // scans priority levels high-to-low, and steals scan the victim's
+  // levels in the same order, so the boost survives migration.
+  lwt::Scheduler s;
+  s.set_workers(4);
+  std::atomic<bool> boosted_ran{false};
+  std::atomic<std::uint64_t> spins_after{0};
+  run_on(s, [&] {
+    std::atomic<bool> stop{false};
+    std::vector<lwt::Tcb*> yielders;
+    for (int i = 0; i < 8; ++i) {
+      yielders.push_back(lwt::go([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (boosted_ran.load(std::memory_order_relaxed)) {
+            stop.store(true, std::memory_order_relaxed);
+          }
+          spins_after.fetch_add(1, std::memory_order_relaxed);
+          lwt::yield();
+        }
+      }));
+    }
+    lwt::ThreadAttr attr;
+    attr.priority = lwt::kServerPriority;
+    lwt::Tcb* hi = lwt::go(
+        [&] { boosted_ran.store(true, std::memory_order_relaxed); }, attr);
+    lwt::join(hi);
+    for (lwt::Tcb* t : yielders) lwt::join(t);
+  });
+  EXPECT_TRUE(boosted_ran.load());
+}
+
+TEST(MnWorkers, ControllerForcesSingleWorker) {
+  struct Prod : lwt::ScheduleController {
+    std::size_t pick(std::size_t) override { return 0; }
+  } ctrl;
+  lwt::Scheduler s;
+  s.set_workers(4);
+  s.set_controller(&ctrl);
+  std::atomic<int> n{0};
+  run_on(s, [&] {
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 16; ++i) {
+      ts.push_back(lwt::go([&] {
+        n.fetch_add(1, std::memory_order_relaxed);
+        lwt::yield();
+      }));
+    }
+    for (lwt::Tcb* t : ts) lwt::join(t);
+  });
+  EXPECT_EQ(n.load(), 16);
+  EXPECT_EQ(s.workers(), 1u);  // determinism contract
+}
+
+TEST(MnWorkers, SingleWorkerCountersStayExact) {
+  // workers=1 must preserve the original scheduler's exact counter
+  // semantics (the w==1 parity contract the sim suites rely on).
+  lwt::Scheduler s;
+  s.set_workers(1);
+  run_on(s, [&] {
+    lwt::Tcb* t = lwt::go([] {
+      for (int i = 0; i < 10; ++i) lwt::yield();
+    });
+    lwt::join(t);
+  });
+  const lwt::SchedulerStats st = s.stats();
+  EXPECT_EQ(st.spawns, 2u);
+  EXPECT_EQ(st.yields, 10u);
+  EXPECT_EQ(st.steals, 0u);
+  EXPECT_EQ(st.injections, 0u);
+  EXPECT_EQ(st.parks, 0u);
+}
+
+TEST(MnWorkers, PollBlockGenericCompletesUnderWorkers) {
+  // The generic parked wait (termination protocol) must complete when
+  // its predicate flips from another worker — the spinner role keeps one
+  // worker testing the generic list while the rest park.
+  lwt::Scheduler s;
+  s.set_workers(4);
+  std::atomic<bool> flag{false};
+  std::atomic<bool> completed{false};
+  run_on(s, [&] {
+    lwt::Tcb* waiter = lwt::go([&] {
+      const lwt::PollRequest req{
+          [](void* p) {
+            return static_cast<std::atomic<bool>*>(p)->load(
+                std::memory_order_acquire);
+          },
+          &flag};
+      completed.store(lwt::Scheduler::current()->poll_block_generic(req),
+                      std::memory_order_relaxed);
+    });
+    lwt::Tcb* setter = lwt::go([&] {
+      lwt::sleep_for(5 * kMs);
+      flag.store(true, std::memory_order_release);
+    });
+    lwt::join(waiter);
+    lwt::join(setter);
+  });
+  EXPECT_TRUE(completed.load());
+}
+
+TEST(MnWorkers, WorkerHooksRunOnEveryExtraWorker) {
+  static std::atomic<int> starts;
+  static std::atomic<int> stops;
+  starts = 0;
+  stops = 0;
+  lwt::Scheduler s;
+  s.set_workers(4);
+  s.set_worker_hooks([](void*) { starts.fetch_add(1); },
+                     [](void*) { stops.fetch_add(1); }, nullptr);
+  run_on(s, [] {
+    std::vector<lwt::Tcb*> ts;
+    for (int i = 0; i < 8; ++i) ts.push_back(lwt::go([] { lwt::yield(); }));
+    for (lwt::Tcb* t : ts) lwt::join(t);
+  });
+  EXPECT_EQ(starts.load(), 3);  // workers 1..3; worker 0 is the caller
+  EXPECT_EQ(stops.load(), 3);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""bench_gate.py — regression gate over BENCH_*.json trajectory files.
+
+Compares a freshly produced bench JSON (schema: harness/bench_json.hpp)
+against the committed baseline and fails when any shared metric regressed
+by more than the threshold (default 25%, generous because CI machines are
+noisy and shared). Direction is inferred from the unit: throughput-style
+units ("…/s", "x") must not drop; latency-style units (us, ns, …) must
+not grow.
+
+Metrics present in only one file are reported but never fail the gate —
+adding a metric in the same change that introduces its baseline must not
+brick CI. Metrics carrying "gate": false (trajectory-only, e.g.
+multi-worker rates that need real cores to be stable) are printed as
+"(info)" and never fail either.
+
+Usage: bench_gate.py BASELINE CURRENT [--threshold 0.25]
+Exit status: 0 ok, 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def higher_is_better(unit: str) -> bool:
+    return "/s" in unit or unit == "x"
+
+
+def load_metrics(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    metrics = {}
+    for m in doc.get("metrics", []):
+        metrics[m["name"]] = (float(m["value"]), str(m.get("unit", "")),
+                              bool(m.get("gate", True)))
+    if not metrics:
+        print(f"bench_gate: {path} has no metrics", file=sys.stderr)
+        sys.exit(2)
+    return metrics
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed relative regression (default 0.25 = 25%%)")
+    args = ap.parse_args()
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+
+    failures = []
+    print(f"{'metric':32} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"{name:32} {'-':>12} {cur[name][0]:12.4g}    (new)")
+            continue
+        if name not in cur:
+            print(f"{name:32} {base[name][0]:12.4g} {'-':>12}    (gone)")
+            continue
+        bval, unit, gated = base[name]
+        cval = cur[name][0]
+        gated = gated and cur[name][2]
+        if bval == 0:
+            print(f"{name:32} {bval:12.4g} {cval:12.4g}    (zero base)")
+            continue
+        delta = (cval - bval) / bval
+        if not gated:
+            print(f"{name:32} {bval:12.4g} {cval:12.4g} {delta:+7.1%}  (info)")
+            continue
+        regressed = (delta < -args.threshold if higher_is_better(unit)
+                     else delta > args.threshold)
+        mark = "  FAIL" if regressed else ""
+        print(f"{name:32} {bval:12.4g} {cval:12.4g} {delta:+7.1%}{mark}")
+        if regressed:
+            failures.append(name)
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} metric(s) regressed beyond "
+              f"{args.threshold:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nbench_gate: ok ({len(set(base) & set(cur))} metrics within "
+          f"{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
