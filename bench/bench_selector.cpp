@@ -1,0 +1,221 @@
+// bench_selector — Selector wakeup cost versus registered fan-in.
+//
+// The Selector's contract (DESIGN.md §11) is that waiting costs
+// O(ready), not O(waiting): a fiber multiplexed over 4096 sources pays
+// the same per-wakeup price as one waiting on a single handle, because
+// readiness arrives through completion callbacks instead of a scan of
+// the registration table. This bench puts a number on that claim. For
+// fan-in N in {1, 64, 4096} — N live irecv registrations, exactly one
+// of which has traffic — it measures
+//   ready_us_N   — discovery cost when the source is already complete
+//                  at wait() time (send, then wait): the no-park path.
+//   wakeup_us_N  — full parked round trip against a sender in a peer
+//                  process: park → completion fire → poll_wake →
+//                  report → pong.
+//   drain_msg_per_s_N — throughput of a pipelined burst harvested
+//                  through one Selector with repost + re-add per
+//                  message (the epoll-style steady-state loop).
+// The sender lives in its own process (own nx endpoint): the pong must
+// not probe the receiver's 4096-deep masked posted queue, or the
+// numbers measure the matching engine's wildcard scan instead of the
+// Selector (a real effect, but bench_matching_scale's, not ours).
+// All three metrics are gated in CI (tools/bench_gate.py) against the
+// committed BENCH_selector.json; the ready_4096_over_1 ratio is the
+// flatness record — it should sit near 1.0, and a rewrite that
+// reintroduces an O(waiting) walk shows up as a multiple-of-N jump.
+//
+// Flags: --smoke (shrunk rounds for CI), --json <path>.
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "chant/chant.hpp"
+#include "harness/bench_json.hpp"
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+
+namespace {
+
+constexpr int kTagPing = 7;
+constexpr int kTagPong = 8;
+constexpr int kTagGo = 9;
+
+struct Fanin {
+  chant::Runtime* rt = nullptr;
+  chant::Selector* sel = nullptr;
+  std::vector<long> bufs;
+  std::unordered_map<int, std::size_t> slot_of;  // handle -> buffer slot
+
+  void post_all(int n) {
+    bufs.assign(static_cast<std::size_t>(n), 0);
+    slot_of.clear();
+    for (int i = 0; i < n; ++i) {
+      const int h = rt->irecv(kTagPing, &bufs[static_cast<std::size_t>(i)],
+                              sizeof(long), chant::kAnyThread);
+      slot_of[h] = static_cast<std::size_t>(i);
+      sel->add_recv(h);
+    }
+  }
+
+  /// Harvests one reported receive and re-arms its slot, keeping the
+  /// registered fan-in constant — the steady-state loop every consumer
+  /// of the Selector runs.
+  void harvest_and_rearm(const chant::Selector::Ready& r) {
+    const std::size_t slot = slot_of.at(r.handle);
+    slot_of.erase(r.handle);
+    (void)rt->msgtest(r.handle);  // reported ready ⇒ succeeds
+    const int h = rt->irecv(kTagPing, &bufs[slot], sizeof(long),
+                            chant::kAnyThread);
+    slot_of[h] = slot;
+    sel->add_recv(h);
+  }
+
+  void drain_remaining() {
+    for (const auto& kv : slot_of) (void)rt->cancel_irecv(kv.first);
+    slot_of.clear();
+  }
+};
+
+struct Row {
+  int fanin = 0;
+  double ready_us = 0;
+  double wakeup_us = 0;
+  double drain_per_s = 0;
+};
+
+/// Process 1: waits for a go message per phase, then drives the ping
+/// (+pong for the latency phase) traffic against process 0's Selector.
+void peer_process(chant::Runtime& rt, int wakeup_rounds, int drain_msgs) {
+  const chant::Gid owner{0, 0, chant::kMainLid};
+  long go = 0;
+  long v = 1;
+  long pong = 0;
+  rt.recv(kTagGo, &go, sizeof go, chant::kAnyThread);
+  for (int r = 0; r < wakeup_rounds; ++r) {
+    rt.send(kTagPing, &v, sizeof v, owner);
+    rt.recv(kTagPong, &pong, sizeof pong, chant::kAnyThread);
+  }
+  rt.recv(kTagGo, &go, sizeof go, chant::kAnyThread);
+  for (int m = 0; m < drain_msgs; ++m) {
+    rt.send(kTagPing, &v, sizeof v, owner);
+  }
+}
+
+Row measure(int fanin, int ready_rounds, int wakeup_rounds, int drain_msgs) {
+  Row row;
+  row.fanin = fanin;
+  chant::World::Config cfg;
+  cfg.pes = 1;
+  cfg.processes_per_pe = 2;
+  cfg.rt.policy = chant::PollPolicy::SchedulerPollsWQ;
+  chant::World w(cfg);
+  w.run([&](chant::Runtime& rt) {
+    if (rt.process() == 1) {
+      peer_process(rt, wakeup_rounds, drain_msgs);
+      return;
+    }
+    const chant::Gid peer{0, 1, chant::kMainLid};
+    chant::Selector sel(rt);
+    Fanin f;
+    f.rt = &rt;
+    f.sel = &sel;
+    std::vector<chant::Selector::Ready> ready;
+    long go = 1;
+
+    // --- ready path: source complete before wait() is called ---
+    f.post_all(fanin);
+    {
+      long v = 1;
+      const chant::Gid self = rt.self();
+      harness::Timer t;
+      for (int r = 0; r < ready_rounds; ++r) {
+        rt.send(kTagPing, &v, sizeof v, self);
+        if (!sel.wait(&ready).ok() || ready.size() != 1) std::abort();
+        f.harvest_and_rearm(ready[0]);
+      }
+      row.ready_us = t.elapsed_us() / ready_rounds;
+    }
+
+    // --- parked wakeup: cross-process ping-pong ---
+    {
+      long pong = 2;
+      rt.send(kTagGo, &go, sizeof go, peer);
+      harness::Timer t;
+      for (int r = 0; r < wakeup_rounds; ++r) {
+        if (!sel.wait(&ready).ok() || ready.size() != 1) std::abort();
+        f.harvest_and_rearm(ready[0]);
+        rt.send(kTagPong, &pong, sizeof pong, peer);
+      }
+      row.wakeup_us = t.elapsed_us() / wakeup_rounds;
+    }
+
+    // --- pipelined drain throughput ---
+    {
+      rt.send(kTagGo, &go, sizeof go, peer);
+      int got = 0;
+      harness::Timer t;
+      while (got < drain_msgs) {
+        if (!sel.wait(&ready).ok()) std::abort();
+        for (const auto& r : ready) {
+          f.harvest_and_rearm(r);
+          ++got;
+        }
+      }
+      row.drain_per_s = 1e6 * drain_msgs / t.elapsed_us();
+    }
+
+    f.drain_remaining();
+  });
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // Each timed region must outlast scheduler-timeslice noise (tens of
+  // ms) even in smoke, or the CI gate flakes on shared runners.
+  const int kReadyRounds = smoke ? 5000 : 40000;
+  const int kWakeupRounds = smoke ? 3000 : 20000;
+  const int kDrainMsgs = smoke ? 20000 : 200000;
+
+  std::printf("== Selector wakeup cost vs fan-in%s ==\n\n",
+              smoke ? " (smoke)" : "");
+
+  harness::Table t({"fanin", "ready_us", "wakeup_us", "drain_msg_per_s"});
+  harness::BenchJson json("selector");
+  json.config("smoke", smoke ? "true" : "false");
+  json.config("ready_rounds", kReadyRounds);
+  json.config("wakeup_rounds", kWakeupRounds);
+  json.config("drain_msgs", kDrainMsgs);
+
+  std::vector<Row> rows;
+  for (int fanin : {1, 64, 4096}) {
+    const Row r = measure(fanin, kReadyRounds, kWakeupRounds, kDrainMsgs);
+    rows.push_back(r);
+    t.add_row({harness::fmt("%d", fanin), harness::fmt("%.3f", r.ready_us),
+               harness::fmt("%.3f", r.wakeup_us),
+               harness::fmt("%.0f", r.drain_per_s)});
+    const std::string ns = std::to_string(fanin);
+    json.metric("ready_us_" + ns, r.ready_us, "us");
+    json.metric("wakeup_us_" + ns, r.wakeup_us, "us");
+    json.metric("drain_msg_per_s_" + ns, r.drain_per_s, "msg/s");
+  }
+  t.print("selector");
+
+  // The O(ready) record: per-wakeup cost at 4096 registrations over the
+  // cost at 1. Info-only (ratios of small latencies are noisy), but the
+  // printed trajectory is the claim the test campaign pins down.
+  const double flat = rows.back().ready_us / rows.front().ready_us;
+  std::printf("\nready_us flatness 4096/1: %.2fx\n", flat);
+  json.metric("ready_4096_over_1", flat, "x", /*gate=*/false);
+
+  if (const char* path = harness::BenchJson::json_path(argc, argv)) {
+    if (!json.write(path)) return 1;
+  }
+  return 0;
+}

@@ -18,5 +18,6 @@
 #include "chant/pthread_chanter_sync.h"
 #include "chant/runtime.hpp"
 #include "chant/sda.hpp"
+#include "chant/selector.hpp"
 #include "chant/tagcodec.hpp"
 #include "chant/world.hpp"

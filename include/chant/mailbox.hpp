@@ -76,6 +76,18 @@ class Mailbox {
     return slot_;
   }
 
+  /// The mailbox's internal posted receive, for Selector registration:
+  /// posts one (same as try_recv's first call) if none is pending and
+  /// returns its handle. Selector::add_mailbox uses this to arm its
+  /// readiness callback; a mailbox registered with a Selector must be
+  /// remove()d from it before the mailbox is destroyed.
+  int selector_handle() {
+    if (pending_ < 0) {
+      pending_ = rt_.irecv(tag_, &slot_, sizeof slot_, kAnyThread);
+    }
+    return pending_;
+  }
+
  private:
   Runtime& rt_;
   int tag_;

@@ -36,6 +36,7 @@
 namespace chant {
 
 class World;
+class Selector;
 
 /// Completion information for a receive.
 struct MsgInfo {
@@ -319,9 +320,15 @@ class Runtime {
     MsgInfo info{};
     std::uint32_t gen = 1;
     bool active = false;
+    // Selector back-pointer: non-null while registered, so every retire
+    // path (msgtest harvest, cancel_irecv, msgwait) deregisters the
+    // waiter entry atomically with the handle's retirement.
+    void* sel = nullptr;
+    std::uint64_t sel_token = 0;
   };
 
   friend class World;
+  friend class Selector;  // sel_* plumbing below, defined in selector.cpp
 
   // thread registry (guarded by reg_mu_: with a multi-worker scheduler,
   // spawn / exit / lookup run on whichever worker hosts the fiber)
@@ -340,6 +347,38 @@ class Runtime {
   static std::size_t wq_group_poll(void* rt, lwt::Scheduler& sched);
   /// Absolute scheduler-clock deadline for `d` (kNoDeadline if infinite).
   std::uint64_t resolve_deadline(const Deadline& d) const;
+
+  // Selector plumbing (selector.cpp). A Selector registers completion
+  // callbacks on the nx requests behind chant handles; these helpers
+  // translate handles, arm/disarm the waiters and keep the back-
+  // pointers consistent with every retire path.
+  enum class SelAttach { Armed, Ready, Invalid };
+  struct AsyncCall;  // defined below with the RSR internals
+  ChantReq* sel_checked_req(int handle);
+  AsyncCall* sel_checked_call(int handle);
+  SelAttach sel_attach_recv(int handle, nx::Endpoint::WaiterFn fn, void* sel,
+                            std::uint64_t token);
+  void sel_detach_recv(int handle, void* sel);
+  bool sel_recv_ready(int handle);
+  SelAttach sel_attach_call(int handle, nx::Endpoint::WaiterFn fn, void* sel,
+                            std::uint64_t token);
+  void sel_detach_call(int handle, void* sel);
+  /// Re-checks a registered call after a part completed: Ready — every
+  /// reply part landed; Armed — waiter re-armed on the next pending
+  /// part (the announced tail); Invalid — stale handle.
+  SelAttach sel_call_progress(int handle, nx::Endpoint::WaiterFn fn,
+                              void* sel, std::uint64_t token);
+  /// Retire-path notifications: clear the nx waiter (if still armed)
+  /// and drop the selector registration, atomically with respect to a
+  /// racing completion (queued fires are purged; in-flight fires are
+  /// filtered by the registration's generation).
+  void sel_notify_req_retired(ChantReq& r);
+  void sel_notify_call_retired(AsyncCall& c);
+  /// Policy-dispatched predicate park (Selector::wait): like
+  /// block_until but for a self-contained predicate that needs no
+  /// wq_waits_/testany registration.
+  bool block_on_predicate(const lwt::PollRequest& req,
+                          std::uint64_t deadline_ns);
 
   // p2p internals (the `internal` flag selects the reserved tag space so
   // runtime traffic can never match a wildcard user receive)
@@ -367,6 +406,10 @@ class Runtime {
     std::uint32_t gen = 1;
     bool active = false;
     bool tail_posted = false;
+    // Selector back-pointer (see ChantReq): finish_call/abandon_call
+    // deregister through it.
+    void* sel = nullptr;
+    std::uint64_t sel_token = 0;
   };
   void install_builtin_handlers();
   AsyncCall& checked_call(int handle);

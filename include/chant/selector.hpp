@@ -1,0 +1,175 @@
+// chant/selector.hpp — multiplexed wait over many message sources.
+//
+// The paper's §4.2 analysis blames WQ's poor showing on NX lacking
+// msgtestany: one fiber cannot efficiently wait on many pending events,
+// so schedulers fall back to O(waiting) polling scans. A Selector is
+// the select/epoll-style repair at the Chant layer: register N wait
+// sources — irecv handles, outstanding async calls, timers, mailbox
+// readiness — and block one fiber until any of them completes.
+//
+// Wakeup is readiness-driven, not scan-driven (osv/core/epoll.cc is the
+// shape): each registered source arms a one-shot completion callback on
+// its nx request. The completing delivery queues the callback (never
+// invoking it under the endpoint lock), the flush marks the selector
+// entry ready and pokes the parked fiber through Scheduler::poll_wake.
+// Waiting costs O(ready): the park predicate is one atomic load plus an
+// epoch-gated progress probe, independent of how many sources are
+// registered.
+//
+// Semantics (DESIGN.md §11):
+//  * level-triggered: wait() reports sources that ARE ready, verified
+//    at harvest time — a source that is still ready on the next wait()
+//    (an undrained mailbox) is reported again; recv/call/timer sources
+//    auto-deregister when reported (their readiness is consumed by the
+//    msgtest/call_test the caller issues next).
+//  * single owner: exactly one fiber may add/remove/wait on a Selector.
+//    Completion callbacks run on arbitrary OS threads and synchronize
+//    with the owner through the selector spinlock; everything else is
+//    owner-only.
+//  * handles registered with a Selector stay ordinary handles: msgtest,
+//    msgwait, cancel_irecv, call_test and call_wait all keep working
+//    and atomically deregister the source when they retire the handle.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "chant/status.hpp"
+#include "lwt/spinlock.hpp"
+
+namespace chant {
+
+class Runtime;
+template <typename T>
+class Mailbox;
+
+class Selector {
+ public:
+  /// What a ready-set element refers back to.
+  enum class Kind : std::uint8_t { None, Recv, Call, Timer, Mailbox };
+
+  /// One element of the ready-set wait() fills in.
+  struct Ready {
+    Kind kind = Kind::None;
+    std::uint64_t token = 0;  ///< the registration this readiness is for
+    int handle = -1;          ///< chant irecv/call handle (Recv/Call only)
+    Status status{};          ///< Ok (readiness is never an error)
+  };
+
+  explicit Selector(Runtime& rt);
+  Selector(const Selector&) = delete;
+  Selector& operator=(const Selector&) = delete;
+  /// Deregisters every source and quiesces in-flight callbacks before
+  /// the storage they target goes away.
+  ~Selector();
+
+  // ---- source registration (owner fiber only) ----
+  // Each add_* returns an opaque token identifying the registration
+  // (valid for remove() and matching wait() output). A source that is
+  // already ready at registration time is reported by the next wait()
+  // — no completion is ever missed by registering "too late". Invalid
+  // or stale handles throw std::invalid_argument, like msgtest.
+
+  /// An irecv handle: ready when the message has been delivered
+  /// (harvest it with msgtest, which deregisters automatically).
+  std::uint64_t add_recv(int handle);
+  /// A call_async handle: ready when every reply part has landed
+  /// (harvest with call_test, which deregisters automatically).
+  std::uint64_t add_call(int handle);
+  /// A one-shot timer: ready when the scheduler clock reaches `d`.
+  std::uint64_t add_timer(Deadline d);
+  /// A mailbox: ready while a message is available (level-triggered;
+  /// drain with try_recv). The registration survives deliveries.
+  template <typename T>
+  std::uint64_t add_mailbox(Mailbox<T>& mb) {
+    return add_mailbox_raw(&mb, [](void* p) {
+      return static_cast<Mailbox<T>*>(p)->selector_handle();
+    });
+  }
+
+  /// Deregisters a source. Ok — removed (atomically: after this returns
+  /// no callback for the registration can fire). Invalid — unknown or
+  /// already auto-deregistered token (idempotent, not an error state).
+  Status remove(std::uint64_t token);
+
+  // ---- waiting ----
+
+  /// Blocks the owner fiber until at least one source is ready or the
+  /// deadline passes. Ok — `out` (if non-null) holds the ready-set (at
+  /// least one element); one-shot sources in it are deregistered.
+  /// DeadlineExceeded — nothing became ready; every registration stays
+  /// armed. Invalid — no sources are registered. Cancellation unwinds
+  /// with lwt::CancelInterrupt like every blocking Chant call; the
+  /// registrations stay armed and the Selector stays usable.
+  Status wait(Deadline deadline, std::vector<Ready>* out);
+  Status wait(std::vector<Ready>* out) {
+    return wait(Deadline::infinite(), out);
+  }
+
+  /// Number of live registrations (introspection/tests).
+  std::size_t size() const;
+
+ private:
+  friend class Runtime;  // retire notifications (msgtest/cancel/call_*)
+
+  struct Entry {
+    Kind kind = Kind::None;
+    std::uint32_t gen = 1;  ///< odd while live; token embeds it
+    bool armed = false;     ///< a completion callback will fire
+    bool ready = false;     ///< completion observed, not yet harvested
+    int handle = -1;        ///< chant handle (Recv/Call; Mailbox: posted)
+    std::uint64_t deadline_ns = 0;  ///< Timer: absolute scheduler clock
+    void* mb = nullptr;             ///< Mailbox object
+    int (*mb_handle)(void*) = nullptr;  ///< posts/returns its irecv
+  };
+
+  /// Park predicate (lwt::PollRequest): one atomic load, plus the
+  /// endpoint's epoch-gated progress probe so in-flight (timed-net)
+  /// messages still get revealed while every fiber is parked. Runs
+  /// under the scheduler's wait lock — must not take the selector lock
+  /// or invoke callbacks (poll_progress only queues fires).
+  static bool poll_test(void* ctx);
+  /// Completion callback armed on nx requests; runs on whichever OS
+  /// thread drove the completing delivery.
+  static void waiter_fire(void* ctx, std::uint64_t token);
+  /// Called by the Runtime whenever a registered handle is retired
+  /// outside the selector (msgtest harvest, cancel_irecv, call_test /
+  /// call_wait / abandon). Drops the registration (mailboxes: disarms,
+  /// keeps) so no waiter entry dangles.
+  static void notify_handle_retired(void* sel, std::uint64_t token);
+
+  std::uint64_t add_mailbox_raw(void* mb, int (*handle_fn)(void*));
+  std::uint64_t new_entry(Entry&& e);
+  static std::uint64_t make_token(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(gen) << 32) | slot;
+  }
+  Entry* entry_for(std::uint64_t token);  ///< caller holds mu_
+  void mark_ready_locked(std::uint32_t slot);
+  void retire_locked(std::uint32_t slot);
+  /// Arms unarmed mailbox entries and flags expired timers; returns the
+  /// earliest armed timer deadline (kNoDeadline if none).
+  std::uint64_t arm_and_sweep();
+  /// Verifies and drains the ready list into `out`; returns the number
+  /// of entries reported.
+  std::size_t harvest(std::vector<Ready>* out);
+
+  Runtime* rt_;
+  /// Guards entries_/free_slots_/ready_list_ against completion
+  /// callbacks; owner-only state transitions keep critical sections to
+  /// a few stores, so a spinlock is right even under contention from a
+  /// sender's OS thread.
+  mutable lwt::SpinLock mu_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint64_t> ready_list_;  ///< tokens, fire order
+  std::atomic<std::uint32_t> ready_pending_{0};  ///< ready_list_ mirror
+  std::size_t live_ = 0;  ///< registrations (size() without a scan)
+  /// Live Timer + Mailbox entries — the only kinds arm_and_sweep must
+  /// visit. Zero (the common recv/call-only selector) skips the entry
+  /// walk entirely, keeping wait() strictly O(ready) at any fan-in.
+  std::size_t sweep_sources_ = 0;
+};
+
+}  // namespace chant

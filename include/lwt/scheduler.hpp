@@ -334,6 +334,17 @@ class Scheduler {
   /// ctx equals `req_ctx`. Returns false if no such fiber is parked.
   bool wq_complete(void* req_ctx);
 
+  /// Event-driven wake for a parked poller (Selector completion path):
+  /// readies the fiber whose PollRequest ctx equals `req_ctx`, whichever
+  /// of the WQ or generic wait lists it parked on. Safe from any OS
+  /// thread — foreign callers are routed through the inject queue. The
+  /// caller must make the request's predicate true *before* calling;
+  /// poll_block_wq/poll_block_generic re-test under wait_mu_ at park
+  /// time, so the wake survives either race order. Returns false when
+  /// no matching fiber is parked (not an error: the fiber saw readiness
+  /// before parking, or another waker won the removal).
+  bool poll_wake(void* req_ctx);
+
   /// Called when no thread is runnable (e.g. to back off the CPU while
   /// waiting for another simulated process to send).
   void set_idle_hook(void (*hook)(void*), void* ctx);

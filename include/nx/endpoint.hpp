@@ -212,6 +212,46 @@ class Endpoint {
   /// it asked to abandon instead of silently dropping it).
   bool cancel_recv(Handle h, MsgHeader* out = nullptr);
 
+  // ---- registered-waiter notification hooks (Selector support) ----
+
+  /// Completion callback signature: `fn(ctx, token)` fires once, after
+  /// the receive identified at registration time completes. Callbacks
+  /// run with *no* endpoint lock held (they may take their own locks and
+  /// call back into the scheduler), on whichever thread drove the
+  /// completing progress call — possibly a remote sender's OS thread.
+  using WaiterFn = void (*)(void* ctx, std::uint64_t token);
+
+  /// Arms a one-shot completion callback on a live receive handle.
+  /// Returns false — without arming — if the handle already completed
+  /// (the caller observes readiness directly instead). At most one
+  /// waiter per handle; re-arming replaces the previous registration.
+  bool set_recv_waiter(Handle h, WaiterFn fn, void* ctx, std::uint64_t token);
+
+  /// Disarms a previously armed waiter, including any fire already
+  /// queued but not yet invoked. After this returns, `fn` will not be
+  /// called for this registration unless the fire is concurrently
+  /// *in flight* on another thread — callers needing a hard guarantee
+  /// (e.g. a destructor) follow up with waiter_quiesce().
+  void clear_recv_waiter(Handle h);
+
+  /// Blocks (spin+yield) until every queued or in-flight waiter fire on
+  /// this endpoint has finished. Destructor-grade barrier only.
+  void waiter_quiesce();
+
+  /// Epoch-gated progress probe for parked waiters: reveals in-flight
+  /// messages whose deliver-at has passed (same drain msgtest performs)
+  /// but invokes no callbacks, so it is safe to call where locks are
+  /// already held above the endpoint — e.g. from a scheduler poll
+  /// predicate under wait_mu_. Returns true if waiter fires are queued;
+  /// the caller must then call flush_waiter_fires() from an unlocked
+  /// context to deliver them. Two atomic loads when there is no news.
+  bool poll_progress();
+
+  /// Invokes and drains queued waiter fires. Must be called with no
+  /// endpoint lock held (and not from inside a waiter callback). Public
+  /// because a fiber woken by a poll_progress() hit flushes here.
+  void flush_waiter_fires();
+
   Counters& counters() noexcept { return counters_; }
 
   /// Number of queued unexpected messages (tests / introspection).
@@ -241,6 +281,11 @@ class Endpoint {
     int want_channel = 0;
     int channel_mask = 0;
     MsgHeader hdr{};
+    // Registered-waiter hook (Selector support). Guarded by mu_; cleared
+    // the instant the fire is queued, so each registration is one-shot.
+    WaiterFn waiter_fn = nullptr;
+    void* waiter_ctx = nullptr;
+    std::uint64_t waiter_token = 0;
   };
 
   struct UnexMsg {
@@ -322,6 +367,18 @@ class Endpoint {
   /// both sides. Caller holds mu_.
   void deliver_into(Request& r, const UnexMsg& m);
 
+  /// One armed-waiter fire, queued by deliver_into under mu_ and invoked
+  /// by flush_waiter_fires() after mu_ is released. Callbacks take locks
+  /// of their own (selector mutex, then the scheduler's wait_mu_), and
+  /// wq_scan already holds wait_mu_ while testing entries through
+  /// msgtest — firing under mu_ would close an ABBA cycle. The deferred
+  /// flush keeps the invariant: no callback ever runs under mu_.
+  struct WaiterFire {
+    WaiterFn fn = nullptr;
+    void* ctx = nullptr;
+    std::uint64_t token = 0;
+  };
+
   /// True if a progress pass could reveal in-flight messages: either a
   /// message entered the in-flight state since the last drain (the
   /// arrival epoch advanced) or the earliest outstanding deliver-at has
@@ -355,6 +412,10 @@ class Endpoint {
   /// receiver.
   bool accept_send(const MsgHeader& h, const IoVec* iov, std::size_t iovcnt,
                    std::atomic<bool>* sender_flag);
+  /// accept_send's matching logic; caller holds mu_. Split out so the
+  /// public wrapper can flush waiter fires after releasing the lock.
+  bool accept_send_locked(const MsgHeader& h, const IoVec* iov,
+                          std::size_t iovcnt, std::atomic<bool>* sender_flag);
   /// Shared implementation behind isend/isendv.
   Handle start_send(int dst_pe, int dst_proc, int tag, const IoVec* iov,
                     std::size_t iovcnt, int channel);
@@ -389,6 +450,11 @@ class Endpoint {
   std::atomic<std::uint64_t> arrival_seq_{0};  ///< in-flight arrivals seen
   std::atomic<std::uint64_t> drained_seq_{0};  ///< arrival_seq_ at last drain
   std::atomic<std::uint64_t> next_deliver_at_{kNeverVisible};
+
+  // ---- deferred waiter fires (queue under mu_; invoked without it) ----
+  std::vector<WaiterFire> pending_fires_;      ///< guarded by mu_
+  std::atomic<std::size_t> fires_queued_{0};   ///< size mirror (lock-free gate)
+  std::atomic<std::size_t> fires_inflight_{0}; ///< batches being invoked
 };
 
 }  // namespace nx

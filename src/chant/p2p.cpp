@@ -174,6 +174,7 @@ bool Runtime::msgtest(int handle, MsgInfo* out) {
   ChantReq& r = reqs_[idx];
   if (!wait_test(&r.wait)) return false;
   if (out != nullptr) *out = decode(r.wait.hdr);
+  sel_notify_req_retired(r);
   r.active = false;
   ++r.gen;
   free_reqs_.push_back(idx);
@@ -190,6 +191,11 @@ Status Runtime::cancel_irecv(int handle) {
     // previous cancel): cancelling again is an idempotent no-op.
     return StatusCode::AlreadyCompleted;
   }
+  // Deregister from any Selector BEFORE the receive is withdrawn: the
+  // nx handle must still be live for the waiter (and any queued fire)
+  // to be cleared, or a racing completion could fire into a retired
+  // registration.
+  sel_notify_req_retired(r);
   const bool withdrawn = !r.wait.done && ep_.cancel_recv(r.wait.nxh);
   r.active = false;
   ++r.gen;
@@ -212,6 +218,7 @@ MsgInfo Runtime::msgwait(int handle) {
     // Retire the handle whether or not the receive completed: a
     // cancellation that raced with completion abandons the message, and
     // leaving the slot active would leak it (and skew outstanding_recvs).
+    sel_notify_req_retired(r);
     if (!r.wait.done) ep_.cancel_recv(r.wait.nxh);
     r.active = false;
     ++r.gen;
@@ -219,6 +226,7 @@ MsgInfo Runtime::msgwait(int handle) {
     throw;
   }
   MsgInfo mi = decode(r.wait.hdr);
+  sel_notify_req_retired(r);
   r.active = false;
   ++r.gen;
   free_reqs_.push_back(idx);
@@ -239,6 +247,7 @@ Status Runtime::msgwait(int handle, Deadline deadline, MsgInfo* out) {
   } catch (...) {
     // Retire unconditionally (see the untimed overload above): a
     // cancellation/completion race must not leak the reqs_ slot.
+    sel_notify_req_retired(r);
     if (!r.wait.done) ep_.cancel_recv(r.wait.nxh);
     r.active = false;
     ++r.gen;
@@ -247,12 +256,14 @@ Status Runtime::msgwait(int handle, Deadline deadline, MsgInfo* out) {
   }
   if (!completed) {
     // The receive stays posted and the handle stays live: the caller
-    // explicitly owns it (irecv) and may wait again or cancel_irecv.
+    // explicitly owns it (irecv) and may wait again or cancel_irecv —
+    // any Selector registration stays armed too.
     ++rsr_stats_.deadline_timeouts;
     return StatusCode::DeadlineExceeded;
   }
   const MsgInfo mi = decode(r.wait.hdr);
   if (out != nullptr) *out = mi;
+  sel_notify_req_retired(r);
   r.active = false;
   ++r.gen;
   free_reqs_.push_back(idx);

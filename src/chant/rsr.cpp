@@ -358,6 +358,9 @@ bool Runtime::reply_parts_done(AsyncCall& c) {
 
 void Runtime::abandon_call(AsyncCall& c) {
   if (!c.active) return;
+  // Deregister from any Selector before the reply receives are
+  // withdrawn (the nx handles must be live to clear their waiters).
+  sel_notify_call_retired(c);
   // Track whether any part of the reply may still arrive with no
   // receive posted: that sequence number is then dirty until drained
   // (alloc_reply_seq) or aged out.
@@ -390,6 +393,7 @@ void Runtime::abandon_call(AsyncCall& c) {
 }
 
 std::vector<std::uint8_t> Runtime::finish_call(AsyncCall& c) {
+  sel_notify_call_retired(c);  // every part landed; registration is done
   wire::Reply rep;
   std::memcpy(&rep, c.rbuf.data(), sizeof rep);
   std::vector<std::uint8_t> out;

@@ -282,6 +282,12 @@ std::uint64_t Runtime::resolve_deadline(const Deadline& d) const {
 
 std::size_t Runtime::wq_group_poll(void* rt_, lwt::Scheduler& sched) {
   auto* rt = static_cast<Runtime*>(rt_);
+  // Selector support: the group poll runs without the scheduler's wait
+  // lock, making it this policy's safe point for revealing in-flight
+  // messages and delivering deferred waiter fires. msgtest/msgtestany
+  // themselves must never flush — per-entry scans call them under
+  // wait_mu_, and the fire path re-enters the scheduler.
+  if (rt->ep_.poll_progress()) rt->ep_.flush_waiter_fires();
   auto& ws = rt->wq_waits_;
   if (ws.empty()) return 0;
   // One msgtestany per scheduling point — the MPI-style WQ the paper
@@ -291,6 +297,9 @@ std::size_t Runtime::wq_group_poll(void* rt_, lwt::Scheduler& sched) {
   for (WaitCtx* w : ws) hs.push_back(w->done ? nx::kInvalidHandle : w->nxh);
   nx::MsgHeader hdr;
   const int idx = rt->ep_.msgtestany(hs.data(), hs.size(), &hdr);
+  // The group test's drain may have delivered into waiter-armed
+  // receives; deliver those fires now (safe: no scheduler lock held).
+  rt->ep_.flush_waiter_fires();
   if (idx < 0) return 0;
   WaitCtx* w = ws[static_cast<std::size_t>(idx)];
   w->hdr = hdr;

@@ -1,0 +1,586 @@
+// selector.cpp — chant::Selector and the Runtime-side plumbing that
+// arms/disarms nx completion waiters behind chant handles.
+//
+// Lock order (DESIGN.md §11):
+//   * nx completion path: ep.mu_ held while a fire is *queued*; the
+//     callback itself (waiter_fire) runs from flush_waiter_fires with no
+//     endpoint lock, takes sel.mu_, releases it, THEN calls poll_wake
+//     (which takes the scheduler's wait_mu_). So the only chains are
+//     ep.mu_ alone, and sel.mu_ → (nothing), and wait_mu_ alone.
+//   * scheduler scan path: wait_mu_ → ep.mu_ (predicates call msgtest /
+//     poll_progress). This is why no callback may run under either lock.
+// Selector state transitions other than mark-ready are owner-fiber-only;
+// mu_ exists solely to order the mark-ready of a foreign completion
+// thread against the owner's harvest.
+#include <algorithm>
+#include <stdexcept>
+
+#include "chant/selector.hpp"
+
+#include "chant/runtime.hpp"
+#include "chant/validate.hpp"
+
+namespace chant {
+
+namespace {
+constexpr std::uint32_t kIdxMask = 0xFFFFu;
+constexpr std::uint32_t kGenMask = 0x7FFFu;
+}  // namespace
+
+// ------------------------------------------------ Runtime sel_* plumbing
+
+Runtime::ChantReq* Runtime::sel_checked_req(int handle) {
+  const auto idx = static_cast<std::uint32_t>(handle) & kIdxMask;
+  const auto gen = static_cast<std::uint32_t>(handle) >> 16;
+  if (handle < 0 || idx >= reqs_.size()) return nullptr;
+  ChantReq& r = reqs_[idx];
+  if ((r.gen & kGenMask) != gen || !r.active) return nullptr;
+  return &r;
+}
+
+Runtime::AsyncCall* Runtime::sel_checked_call(int handle) {
+  const auto idx = static_cast<std::uint32_t>(handle) & kIdxMask;
+  const auto gen = static_cast<std::uint32_t>(handle) >> 16;
+  if (handle < 0 || idx >= calls_.size()) return nullptr;
+  AsyncCall& c = calls_[idx];
+  if ((c.gen & kGenMask) != gen || !c.active) return nullptr;
+  return &c;
+}
+
+Runtime::SelAttach Runtime::sel_attach_recv(int handle,
+                                            nx::Endpoint::WaiterFn fn,
+                                            void* sel, std::uint64_t token) {
+  ChantReq* r = sel_checked_req(handle);
+  if (r == nullptr) return SelAttach::Invalid;
+  // One selector registration per handle; re-arming the same
+  // registration (mailbox rotation, post-fire re-check) is idempotent.
+  if (r->sel != nullptr && (r->sel != sel || r->sel_token != token)) {
+    return SelAttach::Invalid;
+  }
+  r->sel = sel;
+  r->sel_token = token;
+  if (r->wait.done) return SelAttach::Ready;  // harvested earlier
+  if (!ep_.set_recv_waiter(r->wait.nxh, fn, sel, token)) {
+    // Completed before the waiter armed: readiness is observed directly,
+    // no fire will come. wait_test harvests on the caller's next check.
+    return SelAttach::Ready;
+  }
+  return SelAttach::Armed;
+}
+
+void Runtime::sel_detach_recv(int handle, void* sel) {
+  ChantReq* r = sel_checked_req(handle);
+  if (r == nullptr || r->sel != sel) return;
+  if (!r->wait.done) ep_.clear_recv_waiter(r->wait.nxh);
+  r->sel = nullptr;
+  r->sel_token = 0;
+}
+
+bool Runtime::sel_recv_ready(int handle) {
+  ChantReq* r = sel_checked_req(handle);
+  if (r == nullptr) return false;
+  // Non-consuming at the chant layer: wait_test harvests the nx slot
+  // into r.wait.hdr and latches done, but the ChantReq stays active for
+  // the user's own msgtest/msgwait to retire.
+  return wait_test(&r->wait);
+}
+
+Runtime::SelAttach Runtime::sel_attach_call(int handle,
+                                            nx::Endpoint::WaiterFn fn,
+                                            void* sel, std::uint64_t token) {
+  AsyncCall* c = sel_checked_call(handle);
+  if (c == nullptr) return SelAttach::Invalid;
+  if (c->sel != nullptr && (c->sel != sel || c->sel_token != token)) {
+    return SelAttach::Invalid;
+  }
+  c->sel = sel;
+  c->sel_token = token;
+  return sel_call_progress(handle, fn, sel, token);
+}
+
+Runtime::SelAttach Runtime::sel_call_progress(int handle,
+                                              nx::Endpoint::WaiterFn fn,
+                                              void* sel,
+                                              std::uint64_t token) {
+  AsyncCall* c = sel_checked_call(handle);
+  if (c == nullptr || c->sel != sel) return SelAttach::Invalid;
+  if (wait_test(&c->wait)) {
+    // Inline reply landed; reply_parts_done lazily posts the announced
+    // tail receive — a call's readiness can move through two nx
+    // requests, so the waiter follows the pending part.
+    if (reply_parts_done(*c)) return SelAttach::Ready;
+    if (!ep_.set_recv_waiter(c->tail_wait.nxh, fn, sel, token)) {
+      return SelAttach::Ready;  // tail landed while re-arming
+    }
+    return SelAttach::Armed;
+  }
+  if (!ep_.set_recv_waiter(c->wait.nxh, fn, sel, token)) {
+    // Completed in the race window; readiness visible on the next test.
+    return SelAttach::Ready;
+  }
+  return SelAttach::Armed;
+}
+
+void Runtime::sel_detach_call(int handle, void* sel) {
+  AsyncCall* c = sel_checked_call(handle);
+  if (c == nullptr || c->sel != sel) return;
+  if (!c->wait.done) ep_.clear_recv_waiter(c->wait.nxh);
+  if (c->tail_posted && !c->tail_wait.done) {
+    ep_.clear_recv_waiter(c->tail_wait.nxh);
+  }
+  c->sel = nullptr;
+  c->sel_token = 0;
+}
+
+void Runtime::sel_notify_req_retired(ChantReq& r) {
+  if (r.sel == nullptr) return;
+  // Order matters: clear the nx waiter while the handle is still live so
+  // a queued-but-uninvoked fire is purged; only then drop the selector
+  // registration (its generation bump filters any in-flight fire).
+  if (!r.wait.done) ep_.clear_recv_waiter(r.wait.nxh);
+  Selector::notify_handle_retired(r.sel, r.sel_token);
+  r.sel = nullptr;
+  r.sel_token = 0;
+}
+
+void Runtime::sel_notify_call_retired(AsyncCall& c) {
+  if (c.sel == nullptr) return;
+  if (!c.wait.done) ep_.clear_recv_waiter(c.wait.nxh);
+  if (c.tail_posted && !c.tail_wait.done) {
+    ep_.clear_recv_waiter(c.tail_wait.nxh);
+  }
+  Selector::notify_handle_retired(c.sel, c.sel_token);
+  c.sel = nullptr;
+  c.sel_token = 0;
+}
+
+bool Runtime::block_on_predicate(const lwt::PollRequest& req,
+                                 std::uint64_t deadline_ns) {
+  // Like block_until, minus the wq_waits_/testany registration: the
+  // predicate is self-contained (not an nx handle the group poll could
+  // test), so it parks as an ordinary per-entry WQ wait even when the
+  // msgtestany hook is installed.
+  switch (cfg_.policy) {
+    case PollPolicy::ThreadPolls:
+      return sched_.poll_block_tp(req, deadline_ns);
+    case PollPolicy::SchedulerPollsPS:
+      return sched_.poll_block_ps(req, deadline_ns);
+    case PollPolicy::SchedulerPollsWQ:
+      return sched_.poll_block_wq(req, deadline_ns);
+  }
+  return false;  // unreachable
+}
+
+// ----------------------------------------------------------- Selector
+
+Selector::Selector(Runtime& rt) : rt_(&rt) {}
+
+Selector::~Selector() {
+  // Deregister everything (clears nx waiters and purges queued fires),
+  // then wait out any fire a concurrent flush already extracted: after
+  // quiesce, no thread can touch this object again.
+  mu_.lock();
+  std::vector<std::uint64_t> toks;
+  for (std::uint32_t slot = 0; slot < entries_.size(); ++slot) {
+    if (entries_[slot].kind != Kind::None) {
+      toks.push_back(make_token(slot, entries_[slot].gen));
+    }
+  }
+  mu_.unlock();
+  for (std::uint64_t t : toks) (void)remove(t);
+  rt_->ep_.waiter_quiesce();
+}
+
+std::uint64_t Selector::new_entry(Entry&& e) {
+  mu_.lock();
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    const std::uint32_t gen = entries_[slot].gen + 1;  // even→odd: live
+    entries_[slot] = std::move(e);
+    entries_[slot].gen = gen;
+  } else {
+    slot = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(std::move(e));
+  }
+  ++live_;
+  if (entries_[slot].kind == Kind::Timer ||
+      entries_[slot].kind == Kind::Mailbox) {
+    ++sweep_sources_;
+  }
+  const std::uint64_t token = make_token(slot, entries_[slot].gen);
+  mu_.unlock();
+  return token;
+}
+
+Selector::Entry* Selector::entry_for(std::uint64_t token) {
+  const auto slot = static_cast<std::uint32_t>(token & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(token >> 32);
+  if (slot >= entries_.size()) return nullptr;
+  Entry& e = entries_[slot];
+  if (e.kind == Kind::None || e.gen != gen) return nullptr;
+  return &e;
+}
+
+void Selector::mark_ready_locked(std::uint32_t slot) {
+  Entry& e = entries_[slot];
+  if (e.ready) return;
+  e.ready = true;
+  ready_list_.push_back(make_token(slot, e.gen));
+  ready_pending_.store(static_cast<std::uint32_t>(ready_list_.size()),
+                       std::memory_order_release);
+}
+
+void Selector::retire_locked(std::uint32_t slot) {
+  Entry& e = entries_[slot];
+  if (e.kind == Kind::Timer || e.kind == Kind::Mailbox) --sweep_sources_;
+  e.kind = Kind::None;
+  ++e.gen;  // odd→even: dead; filters queued/in-flight fires
+  e.armed = false;
+  e.ready = false;
+  e.handle = -1;
+  e.mb = nullptr;
+  e.mb_handle = nullptr;
+  free_slots_.push_back(slot);
+  --live_;
+}
+
+std::uint64_t Selector::add_recv(int handle) {
+  Entry e;
+  e.kind = Kind::Recv;
+  e.handle = handle;
+  const std::uint64_t token = new_entry(std::move(e));
+  const Runtime::SelAttach st =
+      rt_->sel_attach_recv(handle, &Selector::waiter_fire, this, token);
+  mu_.lock();
+  Entry* ent = entry_for(token);
+  if (st == Runtime::SelAttach::Invalid) {
+    if (ent != nullptr) {
+      retire_locked(static_cast<std::uint32_t>(token & 0xFFFFFFFFu));
+    }
+    mu_.unlock();
+    throw std::invalid_argument("chant::Selector::add_recv: stale handle");
+  }
+  if (ent != nullptr) {
+    if (st == Runtime::SelAttach::Ready) {
+      mark_ready_locked(static_cast<std::uint32_t>(token & 0xFFFFFFFFu));
+    } else {
+      ent->armed = true;
+    }
+  }
+  mu_.unlock();
+  return token;
+}
+
+std::uint64_t Selector::add_call(int handle) {
+  Entry e;
+  e.kind = Kind::Call;
+  e.handle = handle;
+  const std::uint64_t token = new_entry(std::move(e));
+  const Runtime::SelAttach st =
+      rt_->sel_attach_call(handle, &Selector::waiter_fire, this, token);
+  mu_.lock();
+  Entry* ent = entry_for(token);
+  if (st == Runtime::SelAttach::Invalid) {
+    if (ent != nullptr) {
+      retire_locked(static_cast<std::uint32_t>(token & 0xFFFFFFFFu));
+    }
+    mu_.unlock();
+    throw std::invalid_argument("chant::Selector::add_call: stale handle");
+  }
+  if (ent != nullptr) {
+    if (st == Runtime::SelAttach::Ready) {
+      mark_ready_locked(static_cast<std::uint32_t>(token & 0xFFFFFFFFu));
+    } else {
+      ent->armed = true;
+    }
+  }
+  mu_.unlock();
+  return token;
+}
+
+std::uint64_t Selector::add_timer(Deadline d) {
+  Entry e;
+  e.kind = Kind::Timer;
+  e.deadline_ns = rt_->resolve_deadline(d);
+  e.armed = true;
+  return new_entry(std::move(e));  // arm_and_sweep flags expiry
+}
+
+std::uint64_t Selector::add_mailbox_raw(void* mb, int (*handle_fn)(void*)) {
+  Entry e;
+  e.kind = Kind::Mailbox;
+  e.mb = mb;
+  e.mb_handle = handle_fn;
+  return new_entry(std::move(e));  // armed lazily by the next wait()
+}
+
+Status Selector::remove(std::uint64_t token) {
+  mu_.lock();
+  Entry* e = entry_for(token);
+  if (e == nullptr) {
+    mu_.unlock();
+    return StatusCode::Invalid;  // unknown or auto-deregistered: no-op
+  }
+  const Kind kind = e->kind;
+  const int handle = e->handle;
+  retire_locked(static_cast<std::uint32_t>(token & 0xFFFFFFFFu));
+  mu_.unlock();
+  // Generation already bumped: an in-flight fire is now filtered. Clear
+  // the nx waiter (purging any queued fire) and the back-pointer.
+  switch (kind) {
+    case Kind::Recv:
+      rt_->sel_detach_recv(handle, this);
+      break;
+    case Kind::Call:
+      rt_->sel_detach_call(handle, this);
+      break;
+    case Kind::Mailbox:
+      if (handle >= 0) rt_->sel_detach_recv(handle, this);
+      break;
+    case Kind::Timer:
+    case Kind::None:
+      break;
+  }
+  return StatusCode::Ok;
+}
+
+std::size_t Selector::size() const {
+  mu_.lock();
+  const std::size_t n = live_;
+  mu_.unlock();
+  return n;
+}
+
+bool Selector::poll_test(void* ctx) {
+  auto* s = static_cast<Selector*>(ctx);
+  if (s->ready_pending_.load(std::memory_order_acquire) != 0) return true;
+  // No marked entry yet — but in-flight (timed-net) messages only become
+  // visible through a progress pass, and every fiber may be parked. The
+  // probe queues fires without invoking them (we may hold wait_mu_
+  // here); returning true hands the flush to the woken fiber. A wake for
+  // another selector's fire is spurious but benign: it flushes, finds
+  // nothing of its own, re-parks.
+  return s->rt_->ep_.poll_progress();
+}
+
+void Selector::waiter_fire(void* ctx, std::uint64_t token) {
+  auto* s = static_cast<Selector*>(ctx);
+  s->mu_.lock();
+  Entry* e = s->entry_for(token);
+  bool marked = false;
+  if (e != nullptr) {
+    e->armed = false;  // the nx waiter is one-shot
+    s->mark_ready_locked(static_cast<std::uint32_t>(token & 0xFFFFFFFFu));
+    marked = true;
+  }
+  s->mu_.unlock();
+  // Wake with no selector lock held: poll_wake takes the scheduler's
+  // wait_mu_, and holding sel.mu_ across it would order sel.mu_ before
+  // wait_mu_ while the owner's harvest orders them the other way.
+  if (marked) (void)s->rt_->sched_.poll_wake(s);
+}
+
+void Selector::notify_handle_retired(void* sel, std::uint64_t token) {
+  auto* s = static_cast<Selector*>(sel);
+  s->mu_.lock();
+  Entry* e = s->entry_for(token);
+  if (e != nullptr) {
+    if (e->kind == Kind::Mailbox) {
+      // The mailbox's pending receive was harvested (try_recv) or
+      // withdrawn; the registration itself survives — the next wait()
+      // re-arms on a freshly posted receive.
+      e->armed = false;
+      e->handle = -1;
+    } else {
+      s->retire_locked(static_cast<std::uint32_t>(token & 0xFFFFFFFFu));
+    }
+  }
+  s->mu_.unlock();
+}
+
+std::uint64_t Selector::arm_and_sweep() {
+  const std::uint64_t now = rt_->sched_.now();
+  std::uint64_t earliest = lwt::kNoDeadline;
+  struct Arm {
+    std::uint64_t token;
+    void* mb;
+    int (*fn)(void*);
+  };
+  std::vector<Arm> to_arm;
+  mu_.lock();
+  if (sweep_sources_ == 0) {  // recv/call-only: nothing to sweep, O(ready)
+    mu_.unlock();
+    return earliest;
+  }
+  for (std::uint32_t slot = 0; slot < entries_.size(); ++slot) {
+    Entry& e = entries_[slot];
+    if (e.kind == Kind::Timer) {
+      if (e.ready) continue;
+      if (e.deadline_ns <= now) {
+        mark_ready_locked(slot);
+      } else if (e.deadline_ns < earliest) {
+        earliest = e.deadline_ns;
+      }
+    } else if (e.kind == Kind::Mailbox && !e.armed && !e.ready) {
+      to_arm.push_back(Arm{make_token(slot, e.gen), e.mb, e.mb_handle});
+    }
+  }
+  mu_.unlock();
+  for (const Arm& a : to_arm) {
+    const int h = a.fn(a.mb);  // posts the pending receive if none
+    const Runtime::SelAttach st =
+        h >= 0 ? rt_->sel_attach_recv(h, &Selector::waiter_fire, this,
+                                      a.token)
+               : Runtime::SelAttach::Invalid;
+    mu_.lock();
+    Entry* e = entry_for(a.token);
+    if (e != nullptr) {
+      e->handle = h;
+      if (st == Runtime::SelAttach::Ready) {
+        mark_ready_locked(static_cast<std::uint32_t>(a.token & 0xFFFFFFFFu));
+      } else if (st == Runtime::SelAttach::Armed) {
+        e->armed = true;
+      }
+    }
+    mu_.unlock();
+  }
+  return earliest;
+}
+
+std::size_t Selector::harvest(std::vector<Ready>* out) {
+  struct Cand {
+    std::uint64_t token;
+    Kind kind;
+    int handle;
+    void* mb;
+    int (*mb_fn)(void*);
+  };
+  std::vector<Cand> cands;
+  mu_.lock();
+  if (ready_list_.empty()) {
+    mu_.unlock();
+    return 0;
+  }
+  std::vector<std::uint64_t> toks;
+  toks.swap(ready_list_);
+  ready_pending_.store(0, std::memory_order_relaxed);
+  for (std::uint64_t t : toks) {
+    Entry* e = entry_for(t);
+    if (e == nullptr) continue;  // retired between fire and harvest
+    e->ready = false;
+    cands.push_back(Cand{t, e->kind, e->handle, e->mb, e->mb_handle});
+  }
+  mu_.unlock();
+
+  std::size_t reported = 0;
+  for (const Cand& c : cands) {
+    bool report = false;
+    int handle = c.handle;
+    switch (c.kind) {
+      case Kind::Timer:
+        report = true;  // the clock only moves forward
+        break;
+      case Kind::Recv:
+        // A fire means the nx delivery happened; verify through the
+        // non-consuming chant-level test (latches hdr for msgtest).
+        report = rt_->sel_recv_ready(c.handle);
+        break;
+      case Kind::Call: {
+        const Runtime::SelAttach st = rt_->sel_call_progress(
+            c.handle, &Selector::waiter_fire, this, c.token);
+        if (st == Runtime::SelAttach::Ready) {
+          report = true;
+        } else if (st == Runtime::SelAttach::Armed) {
+          // Inline part landed, tail still in flight: waiter re-armed on
+          // the tail; the entry stays registered, nothing reported.
+          mu_.lock();
+          if (Entry* e = entry_for(c.token)) e->armed = true;
+          mu_.unlock();
+        }
+        break;
+      }
+      case Kind::Mailbox: {
+        // Level-triggered: readiness is "a message is available NOW".
+        // The owner may have drained it since the fire — re-check, and
+        // re-arm when empty so the next delivery still wakes us.
+        handle = c.mb_fn(c.mb);
+        report = handle >= 0 && rt_->sel_recv_ready(handle);
+        const Runtime::SelAttach st =
+            handle >= 0 ? rt_->sel_attach_recv(
+                              handle, &Selector::waiter_fire, this, c.token)
+                        : Runtime::SelAttach::Invalid;
+        mu_.lock();
+        if (Entry* e = entry_for(c.token)) {
+          e->handle = handle;
+          e->armed = (st == Runtime::SelAttach::Armed);
+          if (st == Runtime::SelAttach::Ready) report = true;
+        }
+        mu_.unlock();
+        break;
+      }
+      case Kind::None:
+        break;
+    }
+    if (!report) continue;
+    ++reported;
+    if (out != nullptr) {
+      Ready r;
+      r.kind = c.kind;
+      r.token = c.token;
+      r.handle = (c.kind == Kind::Recv || c.kind == Kind::Call ||
+                  c.kind == Kind::Mailbox)
+                     ? handle
+                     : -1;
+      r.status = StatusCode::Ok;
+      out->push_back(r);
+    }
+    // One-shot kinds auto-deregister on report; mailboxes stay (their
+    // per-wait arming state was settled above).
+    if (c.kind == Kind::Recv || c.kind == Kind::Call ||
+        c.kind == Kind::Timer) {
+      mu_.lock();
+      Entry* e = entry_for(c.token);
+      if (e != nullptr) {
+        retire_locked(static_cast<std::uint32_t>(c.token & 0xFFFFFFFFu));
+      }
+      mu_.unlock();
+      if (c.kind == Kind::Recv) {
+        rt_->sel_detach_recv(c.handle, this);
+      } else if (c.kind == Kind::Call) {
+        rt_->sel_detach_call(c.handle, this);
+      }
+    }
+  }
+  return reported;
+}
+
+Status Selector::wait(Deadline deadline, std::vector<Ready>* out) {
+  if (out != nullptr) out->clear();
+  validate::check_blocking("chant::Selector::wait",
+                           /*timed=*/!deadline.is_infinite());
+  mu_.lock();
+  const bool empty = live_ == 0;
+  mu_.unlock();
+  if (empty) return StatusCode::Invalid;
+  const std::uint64_t user_dl = rt_->resolve_deadline(deadline);
+  const lwt::PollRequest req{&Selector::poll_test, this};
+  for (;;) {
+    // A poll_progress hit hands the flush to the woken fiber: run it
+    // before harvesting so freshly queued fires become marked entries.
+    rt_->ep_.flush_waiter_fires();
+    const std::uint64_t timer_dl = arm_and_sweep();
+    if (harvest(out) > 0) return StatusCode::Ok;
+    if (user_dl != lwt::kNoDeadline && rt_->sched_.now() >= user_dl) {
+      ++rt_->rsr_stats_.deadline_timeouts;
+      return StatusCode::DeadlineExceeded;
+    }
+    // Park until a fire marks an entry (poll_wake), a progress probe
+    // reveals queued fires, or the earliest deadline — ours or a timer
+    // registration's — expires. Spurious wakes just loop.
+    (void)rt_->block_on_predicate(req, std::min(user_dl, timer_dl));
+  }
+}
+
+}  // namespace chant

@@ -545,6 +545,47 @@ bool Scheduler::wq_complete(void* req_ctx) {
   return false;
 }
 
+bool Scheduler::poll_wake(void* req_ctx) {
+  // Event-driven completion for a parked poller, policy-agnostic: the
+  // waker does not know (or care) whether the fiber parked on the WQ or
+  // generic list, so both are searched. Callable from any OS thread —
+  // foreign callers (a sender's thread running a completion callback)
+  // route through enqueue_or_inject's inject path. A miss is not an
+  // error: either the fiber has not parked yet (its under-lock re-test
+  // at park time observes readiness instead — the lost-wakeup closure)
+  // or another waker got here first.
+  if (wq_len_.load(std::memory_order_acquire) == 0 &&
+      generic_len_.load(std::memory_order_acquire) == 0) {
+    return false;  // nothing parked: skip the lock
+  }
+  SyncGuard g(*this);
+  for (std::size_t i = 0; i < wq_.size(); ++i) {
+    if (wq_[i].req.ctx == req_ctx) {
+      Tcb* t = wq_[i].tcb;
+      wq_[i] = wq_.back();
+      wq_.pop_back();
+      wq_len_.store(static_cast<std::uint32_t>(wq_.size()),
+                    std::memory_order_relaxed);
+      blocked_.fetch_sub(1, std::memory_order_relaxed);
+      enqueue_or_inject(t);
+      return true;
+    }
+  }
+  for (std::size_t i = 0; i < generic_wq_.size(); ++i) {
+    if (generic_wq_[i].req.ctx == req_ctx) {
+      Tcb* t = generic_wq_[i].tcb;
+      generic_wq_[i] = generic_wq_.back();
+      generic_wq_.pop_back();
+      generic_len_.store(static_cast<std::uint32_t>(generic_wq_.size()),
+                         std::memory_order_relaxed);
+      blocked_.fetch_sub(1, std::memory_order_relaxed);
+      enqueue_or_inject(t);
+      return true;
+    }
+  }
+  return false;
+}
+
 Tcb* Scheduler::pick_next(Worker& w) {
   w.q_mu.lock();
   for (int p = kNumPriorities - 1; p >= 0; --p) {
@@ -1153,19 +1194,32 @@ bool Scheduler::poll_block_wq(const PollRequest& req,
   me->msg_waiting = true;
   msg_waiting_.fetch_add(1, std::memory_order_relaxed);
   TimerWheel::TimerId tid = 0;
+  bool ready_before_park = false;
   {
     SyncGuard g(*this);
-    if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
-    wq_.push_back(WqEntry{req, me});
-    wq_len_.store(static_cast<std::uint32_t>(wq_.size()),
-                  std::memory_order_relaxed);
-    me->state.store(ThreadState::Blocked, std::memory_order_relaxed);
-    me->waiting_on = nullptr;  // parked on wq_, not a TcbQueue
-    blocked_.fetch_add(1, std::memory_order_relaxed);
-    park_switch(g);
+    // Lost-wakeup closure: an event-driven waker (poll_wake) makes the
+    // request ready *before* taking wait_mu_ to look for a parked
+    // entry. Re-testing here, under the same lock, makes the race safe
+    // in both orders — either the waker finds our entry, or this test
+    // sees its readiness. Without it, a completion landing between the
+    // unlocked fast-path test and the push would strand the fiber when
+    // no per-entry scan runs (WQ group-poll mode skips wq_ entries).
+    if (req.test(req.ctx)) {
+      ready_before_park = true;
+    } else {
+      if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
+      wq_.push_back(WqEntry{req, me});
+      wq_len_.store(static_cast<std::uint32_t>(wq_.size()),
+                    std::memory_order_relaxed);
+      me->state.store(ThreadState::Blocked, std::memory_order_relaxed);
+      me->waiting_on = nullptr;  // parked on wq_, not a TcbQueue
+      blocked_.fetch_add(1, std::memory_order_relaxed);
+      park_switch(g);
+    }
   }
   me->msg_waiting = false;
   msg_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  if (ready_before_park) return true;
   if (tid != 0) {
     SyncGuard g2(*this);
     disarm_timer(tid);
@@ -1186,6 +1240,7 @@ bool Scheduler::poll_block_generic(const PollRequest& req,
   TimerWheel::TimerId tid = 0;
   {
     SyncGuard g(*this);
+    if (req.test(req.ctx)) return true;  // lost-wakeup closure (see WQ)
     if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
     generic_wq_.push_back(WqEntry{req, me});
     generic_len_.store(static_cast<std::uint32_t>(generic_wq_.size()),

@@ -43,8 +43,17 @@
 // locks). Request::gen (odd = live, even = free) and slots_used_ are
 // atomics with acquire/release pairing, so checked(), msgdone() and the
 // msgtest fast path validate handles without any lock.
+// Registered waiters (Selector support): deliver_into queues armed-
+// waiter fires under mu_ and flush_waiter_fires() invokes them after
+// the lock is released — callbacks re-enter the scheduler (selector
+// lock, then wait_mu_), and poll predicates already call msgtest under
+// wait_mu_, so firing under mu_ would order the same two locks both
+// ways. msgtest/msgtestany therefore never flush; accept_send and
+// irecv do, and parked selectors flush from fiber context when their
+// poll predicate (poll_progress) reports queued fires.
 #include "nx/endpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -137,6 +146,9 @@ Handle Endpoint::alloc_request(Request::Kind kind) {
   r->want_channel = 0;
   r->channel_mask = 0;
   r->hdr = MsgHeader{};
+  r->waiter_fn = nullptr;
+  r->waiter_ctx = nullptr;
+  r->waiter_token = 0;
   // Free slots hold an even generation; bumping to odd marks the slot
   // live and publishes the resets above to lock-free validators. The
   // low 11 bits ride in the handle, keeping it non-negative.
@@ -309,6 +321,18 @@ void Endpoint::deliver_into(Request& r, const UnexMsg& m) {
   }
   r.complete.store(true, std::memory_order_release);
   counters_.delivered.fetch_add(1, std::memory_order_relaxed);
+  if (r.waiter_fn != nullptr) {
+    // Queue the armed waiter's fire; the public entry point that drove
+    // this delivery invokes it after releasing mu_ (callbacks take the
+    // selector lock and then the scheduler's wait_mu_, and wq_scan
+    // already holds wait_mu_ while testing through msgtest — invoking
+    // here would close an ABBA cycle). One-shot: fn is cleared now;
+    // ctx/token stay so clear_recv_waiter can purge a queued fire.
+    pending_fires_.push_back(
+        WaiterFire{r.waiter_fn, r.waiter_ctx, r.waiter_token});
+    fires_queued_.store(pending_fires_.size(), std::memory_order_release);
+    r.waiter_fn = nullptr;
+  }
 }
 
 void Endpoint::drain(std::uint64_t now) {
@@ -405,8 +429,22 @@ bool Endpoint::accept_send(const MsgHeader& h, const IoVec* iov,
                  iovcnt, kMaxIov);
     std::abort();
   }
-  // Runs on the SENDER's OS thread, locking the receiver (this).
-  std::lock_guard<std::mutex> lk(mu_);
+  bool consumed;
+  {
+    // Runs on the SENDER's OS thread, locking the receiver (this).
+    std::lock_guard<std::mutex> lk(mu_);
+    consumed = accept_send_locked(h, iov, iovcnt, sender_flag);
+  }
+  // Deliveries above may have armed-waiter fires queued; invoke them now
+  // that mu_ is released — still on the sender's OS thread, which is why
+  // callbacks must be thread-safe against the receiver's fibers.
+  flush_waiter_fires();
+  return consumed;
+}
+
+bool Endpoint::accept_send_locked(const MsgHeader& h, const IoVec* iov,
+                                  std::size_t iovcnt,
+                                  std::atomic<bool>* sender_flag) {
   const Machine::Config& cfg = machine_.config();
   const NetModel& net = cfg.net;
   const int src = machine_.flat_index(h.src_pe, h.src_proc);
@@ -608,10 +646,14 @@ Handle Endpoint::irecv(int src_pe, int src_proc, int tag, int tag_mask,
   r->tag_mask = tag_mask;
   r->want_channel = channel;
   r->channel_mask = channel_mask;
-  std::lock_guard<std::mutex> lk(mu_);
-  const std::uint64_t now = net_now();
-  if (progress_pending(now)) drain(now);
-  if (!take_unexpected_match(*r)) insert_posted(h, *r);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t now = net_now();
+    if (progress_pending(now)) drain(now);
+    if (!take_unexpected_match(*r)) insert_posted(h, *r);
+  }
+  // The drain can complete *other* receives with waiters armed.
+  flush_waiter_fires();
   return h;
 }
 
@@ -627,6 +669,12 @@ bool Endpoint::msgtest(Handle h, MsgHeader* out) {
       // Progress: an in-flight message may have become visible. The
       // epoch gate makes the (dominant) no-news case two atomic loads —
       // no lock, no drain.
+      // NOTE: msgtest (unlike accept_send/irecv) does NOT flush waiter
+      // fires on the way out — scheduler poll predicates call it under
+      // wait_mu_, and a waiter callback re-enters the scheduler. A
+      // drain here only *queues* fires; any endpoint with armed waiters
+      // has a parked selector whose poll predicate (poll_progress)
+      // reports queued fires and flushes them from fiber context.
       const std::uint64_t now = net_now();
       if (progress_pending(now)) {
         std::lock_guard<std::mutex> lk(mu_);
@@ -760,6 +808,86 @@ bool Endpoint::cancel_recv(Handle h, MsgHeader* out) {
   if (!was_pending && out != nullptr) *out = r->hdr;
   release_slot(h);
   return was_pending;
+}
+
+// ------------------------------------------------- registered waiters
+
+bool Endpoint::set_recv_waiter(Handle h, WaiterFn fn, void* ctx,
+                               std::uint64_t token) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Request* r = checked(h);
+  if (r == nullptr || r->complete.load(std::memory_order_acquire)) {
+    return false;  // already delivered (or released): caller sees it ready
+  }
+  r->waiter_fn = fn;
+  r->waiter_ctx = ctx;
+  r->waiter_token = token;
+  return true;
+}
+
+void Endpoint::clear_recv_waiter(Handle h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Request* r = checked(h);
+  if (r == nullptr) return;
+  if (r->waiter_ctx != nullptr) {
+    // Purge a fire that was queued but not yet invoked, so deregistering
+    // is atomic with respect to delivery: after this returns the only
+    // fire that can still land is one a concurrent flush already
+    // extracted, and the caller's token generation filters that.
+    void* ctx = r->waiter_ctx;
+    const std::uint64_t token = r->waiter_token;
+    pending_fires_.erase(
+        std::remove_if(pending_fires_.begin(), pending_fires_.end(),
+                       [&](const WaiterFire& f) {
+                         return f.ctx == ctx && f.token == token;
+                       }),
+        pending_fires_.end());
+    fires_queued_.store(pending_fires_.size(), std::memory_order_release);
+  }
+  r->waiter_fn = nullptr;
+  r->waiter_ctx = nullptr;
+  r->waiter_token = 0;
+}
+
+bool Endpoint::poll_progress() {
+  const std::uint64_t now = net_now();
+  if (progress_pending(now)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    drain(now);
+  }
+  return fires_queued_.load(std::memory_order_acquire) != 0;
+}
+
+void Endpoint::flush_waiter_fires() {
+  while (fires_queued_.load(std::memory_order_acquire) != 0) {
+    std::vector<WaiterFire> batch;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      batch.swap(pending_fires_);
+      fires_queued_.store(0, std::memory_order_relaxed);
+      if (!batch.empty()) {
+        fires_inflight_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (batch.empty()) return;
+    for (const WaiterFire& f : batch) f.fn(f.ctx, f.token);
+    fires_inflight_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void Endpoint::waiter_quiesce() {
+  unsigned spins = 0;
+  for (;;) {
+    flush_waiter_fires();
+    if (fires_inflight_.load(std::memory_order_acquire) == 0 &&
+        fires_queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    // The in-flight flusher runs on another OS thread (fibers do not
+    // preempt), so donating the timeslice is enough for it to finish.
+    cpu_relax();
+    if (++spins >= 4) std::this_thread::yield();
+  }
 }
 
 std::size_t Endpoint::unexpected_count() const {

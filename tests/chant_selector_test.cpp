@@ -1,0 +1,618 @@
+// chant_selector_test.cpp — chant::Selector: multiplexed wait over
+// recvs, calls, timers and mailboxes. The core of the suite is an
+// oracle: for the same sent traffic, delivery observed through a
+// Selector must be observation-equivalent to per-handle msgwait — same
+// messages, same per-source FIFO order, same matching-engine counters —
+// across every polling policy and addressing mode.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "chant_test_util.hpp"
+
+namespace {
+
+using chant::Deadline;
+using chant::Gid;
+using chant::MsgInfo;
+using chant::Runtime;
+using chant::Selector;
+using chant::Status;
+using chant::StatusCode;
+using chant_test::PolicyCase;
+
+class ChantSelector : public ::testing::TestWithParam<PolicyCase> {};
+
+// ---------------------------------------------------------- basic shape
+
+TEST_P(ChantSelector, EmptySelectorIsInvalid) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  w.run([](Runtime& rt) {
+    Selector sel(rt);
+    EXPECT_EQ(sel.size(), 0u);
+    EXPECT_EQ(sel.wait(nullptr), StatusCode::Invalid);
+  });
+}
+
+TEST_P(ChantSelector, SingleRecvReportsAndAutoDeregisters) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 1) {
+      long v = 4242;
+      rt.send(7, &v, sizeof v, peer);
+      return;
+    }
+    long got = 0;
+    const int h = rt.irecv(7, &got, sizeof got, peer);
+    Selector sel(rt);
+    const std::uint64_t tok = sel.add_recv(h);
+    std::vector<Selector::Ready> ready;
+    ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0].kind, Selector::Kind::Recv);
+    EXPECT_EQ(ready[0].token, tok);
+    EXPECT_EQ(ready[0].handle, h);
+    EXPECT_EQ(sel.size(), 0u);  // one-shot: deregistered on report
+    // The handle is still an ordinary handle; harvest it normally.
+    MsgInfo mi;
+    ASSERT_TRUE(rt.msgtest(h, &mi));
+    EXPECT_EQ(got, 4242);
+    EXPECT_EQ(mi.src.pe, 1);
+    EXPECT_EQ(rt.outstanding_recvs(), 0u);
+  });
+}
+
+TEST_P(ChantSelector, AlreadyCompletedRecvIsReportedImmediately) {
+  // Registering "too late" — after the message landed — must not lose
+  // the completion: the next wait() reports it without blocking.
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    long v = 1;
+    if (rt.pe() == 1) {
+      rt.send(8, &v, sizeof v, peer);
+      v = 2;
+      rt.send(9, &v, sizeof v, peer);
+      return;
+    }
+    long got = 0;
+    const int h = rt.irecv(8, &got, sizeof got, peer);
+    // Per-source FIFO: once the tag-9 flag (sent second) has been
+    // received, the tag-8 message has been delivered into `h`.
+    long flag = 0;
+    rt.recv(9, &flag, sizeof flag, peer);
+    Selector sel(rt);
+    sel.add_recv(h);
+    std::vector<Selector::Ready> ready;
+    ASSERT_EQ(sel.wait(Deadline::after(50'000'000), &ready), StatusCode::Ok);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_TRUE(rt.msgtest(h, nullptr));
+    EXPECT_EQ(got, 1);
+  });
+}
+
+TEST_P(ChantSelector, TimerFiresAndDeregisters) {
+  chant::World w(chant_test::config_for(GetParam(), /*pes=*/1));
+  w.run([](Runtime& rt) {
+    Selector sel(rt);
+    const std::uint64_t tok = sel.add_timer(Deadline::after(2'000'000));
+    std::vector<Selector::Ready> ready;
+    ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0].kind, Selector::Kind::Timer);
+    EXPECT_EQ(ready[0].token, tok);
+    EXPECT_EQ(sel.size(), 0u);
+  });
+}
+
+TEST_P(ChantSelector, DeadlineExceededKeepsRegistrationsArmed) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    long v = 77;
+    if (rt.pe() == 1) {
+      long go = 0;
+      rt.recv(11, &go, sizeof go, peer);  // wait until the timeout ran
+      rt.send(10, &v, sizeof v, peer);
+      return;
+    }
+    long got = 0;
+    const int h = rt.irecv(10, &got, sizeof got, peer);
+    Selector sel(rt);
+    sel.add_recv(h);
+    std::vector<Selector::Ready> ready;
+    EXPECT_EQ(sel.wait(Deadline::after(1'000'000), &ready),
+              StatusCode::DeadlineExceeded);
+    EXPECT_TRUE(ready.empty());
+    EXPECT_EQ(sel.size(), 1u);  // registration survives the timeout
+    long go = 1;
+    rt.send(11, &go, sizeof go, peer);
+    ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+    ASSERT_EQ(ready.size(), 1u);
+    ASSERT_TRUE(rt.msgtest(h, nullptr));
+    EXPECT_EQ(got, 77);
+  });
+}
+
+TEST_P(ChantSelector, RemoveDeregistersAtomically) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    long v = 5;
+    if (rt.pe() == 1) {
+      rt.send(12, &v, sizeof v, peer);
+      return;
+    }
+    long a = 0;
+    long b = 0;
+    const int ha = rt.irecv(12, &a, sizeof a, peer);
+    const int hb = rt.irecv(13, &b, sizeof b, peer);
+    Selector sel(rt);
+    const std::uint64_t ta = sel.add_recv(ha);
+    const std::uint64_t tb = sel.add_recv(hb);
+    EXPECT_EQ(sel.remove(tb), StatusCode::Ok);
+    EXPECT_EQ(sel.remove(tb), StatusCode::Invalid);  // idempotent
+    EXPECT_EQ(sel.size(), 1u);
+    std::vector<Selector::Ready> ready;
+    ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0].token, ta);
+    ASSERT_TRUE(rt.msgtest(ha, nullptr));
+    EXPECT_EQ(rt.cancel_irecv(hb), StatusCode::Ok);
+    EXPECT_EQ(rt.outstanding_recvs(), 0u);
+  });
+}
+
+// Satellite regression: cancel_irecv on a handle registered with a live
+// Selector must deregister atomically — no dangling waiter entry, no
+// report of a withdrawn receive.
+TEST_P(ChantSelector, CancelIrecvDropsRegistration) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    long v = 3;
+    if (rt.pe() == 1) {
+      long go = 0;
+      rt.recv(15, &go, sizeof go, peer);
+      rt.send(14, &v, sizeof v, peer);
+      return;
+    }
+    long a = 0;
+    long b = 0;
+    const int ha = rt.irecv(14, &a, sizeof a, peer);
+    const int hb = rt.irecv(14, &b, sizeof b, peer);
+    Selector sel(rt);
+    sel.add_recv(ha);
+    sel.add_recv(hb);
+    EXPECT_EQ(sel.size(), 2u);
+    ASSERT_EQ(rt.cancel_irecv(hb), StatusCode::Ok);
+    EXPECT_EQ(sel.size(), 1u);  // registration followed the handle out
+    long go = 1;
+    rt.send(15, &go, sizeof go, peer);
+    std::vector<Selector::Ready> ready;
+    ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0].handle, ha);
+    ASSERT_TRUE(rt.msgtest(ha, nullptr));
+    EXPECT_EQ(a, 3);
+    EXPECT_EQ(rt.outstanding_recvs(), 0u);
+  });
+}
+
+TEST_P(ChantSelector, DirectMsgtestHarvestDropsRegistration) {
+  // The user may harvest a registered handle with plain msgtest; the
+  // Selector must notice the retirement instead of keeping a dangling
+  // entry (and the Selector must then report Invalid when drained).
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 1) {
+      long v = 6;
+      rt.send(16, &v, sizeof v, peer);
+      return;
+    }
+    long got = 0;
+    const int h = rt.irecv(16, &got, sizeof got, peer);
+    Selector sel(rt);
+    sel.add_recv(h);
+    while (!rt.msgtest(h, nullptr)) rt.yield();
+    EXPECT_EQ(got, 6);
+    EXPECT_EQ(sel.size(), 0u);
+    EXPECT_EQ(sel.wait(nullptr), StatusCode::Invalid);
+  });
+}
+
+// ------------------------------------------------------------- async calls
+
+void double_handler(Runtime&, Runtime::RsrContext&, const void* arg,
+                    std::size_t len, std::vector<std::uint8_t>& reply) {
+  long v = 0;
+  if (len >= sizeof v) std::memcpy(&v, arg, sizeof v);
+  const long out = v * 2;
+  reply.resize(sizeof out);
+  std::memcpy(reply.data(), &out, sizeof out);
+}
+
+void big_reply_handler(Runtime&, Runtime::RsrContext&, const void* arg,
+                       std::size_t len, std::vector<std::uint8_t>& reply) {
+  long v = 0;
+  if (len >= sizeof v) std::memcpy(&v, arg, sizeof v);
+  // Larger than the inline-reply window, so the reply arrives as a
+  // header + announced tail — the call's readiness spans two receives.
+  reply.assign(48 * 1024, static_cast<std::uint8_t>(v));
+}
+
+TEST_P(ChantSelector, AsyncCallReadiness) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int dbl = w.register_handler(&double_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    long v = 21;
+    const int h = rt.call_async(1, 0, dbl, &v, sizeof v);
+    Selector sel(rt);
+    const std::uint64_t tok = sel.add_call(h);
+    std::vector<Selector::Ready> ready;
+    ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0].kind, Selector::Kind::Call);
+    EXPECT_EQ(ready[0].token, tok);
+    EXPECT_EQ(sel.size(), 0u);
+    std::vector<std::uint8_t> rep;
+    ASSERT_EQ(rt.call_test(h, &rep), StatusCode::Ok);  // ready: no block
+    long out = 0;
+    std::memcpy(&out, rep.data(), sizeof out);
+    EXPECT_EQ(out, 42);
+    EXPECT_EQ(rt.outstanding_calls(), 0u);
+  });
+}
+
+TEST_P(ChantSelector, AsyncCallWithTailReply) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int big = w.register_handler(&big_reply_handler);
+  w.run([&](Runtime& rt) {
+    if (rt.pe() != 0) return;
+    long v = 9;
+    const int h = rt.call_async(1, 0, big, &v, sizeof v);
+    Selector sel(rt);
+    sel.add_call(h);
+    std::vector<Selector::Ready> ready;
+    ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+    ASSERT_EQ(ready.size(), 1u);
+    std::vector<std::uint8_t> rep;
+    ASSERT_EQ(rt.call_test(h, &rep), StatusCode::Ok);
+    ASSERT_EQ(rep.size(), 48u * 1024u);
+    EXPECT_EQ(rep[0], 9);
+    EXPECT_EQ(rep.back(), 9);
+    EXPECT_EQ(rt.outstanding_calls(), 0u);
+  });
+}
+
+// --------------------------------------------------------------- mailboxes
+
+TEST_P(ChantSelector, MailboxIsLevelTriggered) {
+  chant::World w(chant_test::config_for(GetParam()));
+  w.run([](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 1) {
+      chant::Mailbox<long> mb(rt, 17);
+      mb.send(100, peer);
+      mb.send(200, peer);
+      long ack = 0;
+      rt.recv(18, &ack, sizeof ack, peer);
+      return;
+    }
+    chant::Mailbox<long> mb(rt, 17);
+    Selector sel(rt);
+    const std::uint64_t tok = sel.add_mailbox(mb);
+    std::vector<long> got;
+    while (got.size() < 2) {
+      std::vector<Selector::Ready> ready;
+      ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+      ASSERT_EQ(ready.size(), 1u);
+      EXPECT_EQ(ready[0].kind, Selector::Kind::Mailbox);
+      EXPECT_EQ(ready[0].token, tok);
+      const auto v = mb.try_recv();
+      ASSERT_TRUE(v.has_value());  // reported ready ⇒ a message is there
+      got.push_back(*v);
+      EXPECT_EQ(sel.size(), 1u);  // registration survives the delivery
+    }
+    EXPECT_EQ(got[0], 100);
+    EXPECT_EQ(got[1], 200);
+    // Drained: the same registration must now time out, not re-report.
+    std::vector<Selector::Ready> ready;
+    EXPECT_EQ(sel.wait(Deadline::after(1'000'000), &ready),
+              StatusCode::DeadlineExceeded);
+    ASSERT_EQ(sel.remove(tok), StatusCode::Ok);
+    long ack = 1;
+    rt.send(18, &ack, sizeof ack, peer);
+  });
+}
+
+// ------------------------------------------------------- mixed-source wait
+
+TEST_P(ChantSelector, MixedSourcesOneFiber) {
+  chant::World w(chant_test::config_for(GetParam()));
+  const int dbl = w.register_handler(&double_handler);
+  w.run([&](Runtime& rt) {
+    const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+    if (rt.pe() == 1) {
+      long v = 31;
+      rt.send(19, &v, sizeof v, peer);
+      chant::Mailbox<long> mb(rt, 20);
+      mb.send(32, peer);
+      long ack = 0;
+      rt.recv(21, &ack, sizeof ack, peer);
+      return;
+    }
+    long got = 0;
+    const int hr = rt.irecv(19, &got, sizeof got, peer);
+    long arg = 33;
+    const int hc = rt.call_async(1, 0, dbl, &arg, sizeof arg);
+    chant::Mailbox<long> mb(rt, 20);
+    Selector sel(rt);
+    sel.add_recv(hr);
+    sel.add_call(hc);
+    const std::uint64_t mtok = sel.add_mailbox(mb);
+    sel.add_timer(Deadline::after(3'000'000));
+    std::map<Selector::Kind, int> seen;
+    // Timer + recv + call + mailbox: four distinct readiness events.
+    while (seen[Selector::Kind::Recv] == 0 ||
+           seen[Selector::Kind::Call] == 0 ||
+           seen[Selector::Kind::Mailbox] == 0 ||
+           seen[Selector::Kind::Timer] == 0) {
+      std::vector<Selector::Ready> ready;
+      ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+      ASSERT_FALSE(ready.empty());
+      for (const auto& r : ready) {
+        ++seen[r.kind];
+        if (r.kind == Selector::Kind::Recv) {
+          ASSERT_TRUE(rt.msgtest(hr, nullptr));
+          EXPECT_EQ(got, 31);
+        } else if (r.kind == Selector::Kind::Call) {
+          std::vector<std::uint8_t> rep;
+          ASSERT_EQ(rt.call_test(hc, &rep), StatusCode::Ok);
+          long out = 0;
+          std::memcpy(&out, rep.data(), sizeof out);
+          EXPECT_EQ(out, 66);
+        } else if (r.kind == Selector::Kind::Mailbox) {
+          const auto v = mb.try_recv();
+          ASSERT_TRUE(v.has_value());
+          EXPECT_EQ(*v, 32);
+        }
+      }
+    }
+    EXPECT_EQ(seen[Selector::Kind::Recv], 1);
+    EXPECT_EQ(seen[Selector::Kind::Call], 1);
+    EXPECT_EQ(seen[Selector::Kind::Timer], 1);
+    ASSERT_EQ(sel.remove(mtok), StatusCode::Ok);
+    EXPECT_EQ(sel.size(), 0u);
+    long ack = 1;
+    rt.send(21, &ack, sizeof ack, peer);
+    EXPECT_EQ(rt.outstanding_calls(), 0u);
+  });
+}
+
+// ----------------------------------------------------- oracle equivalence
+//
+// For the same sent traffic (kStreams tag-streams of kPerStream ordered
+// messages from the peer), a receiver multiplexed through one Selector
+// must observe exactly what per-handle msgwait observes: every message,
+// per-stream FIFO, identical delivered/unexpected-vs-posted counters.
+
+struct StreamObservation {
+  std::vector<std::vector<long>> per_stream;
+  std::uint64_t delivered = 0;
+  std::uint64_t matched = 0;  ///< posted_match + unexpected_{eager,rndv}
+};
+
+constexpr int kStreams = 6;
+constexpr int kPerStream = 25;
+
+void run_sender(Runtime& rt, const Gid& peer) {
+  // Interleave the streams so the receiver's multiplexer sees
+  // cross-stream completions in mixed order.
+  for (int i = 0; i < kPerStream; ++i) {
+    for (int s = 0; s < kStreams; ++s) {
+      const long v = static_cast<long>(s) * 1000 + i;
+      rt.send(30 + s, &v, sizeof v, peer);
+    }
+  }
+  long ack = 0;
+  rt.recv(29, &ack, sizeof ack, peer);
+}
+
+StreamObservation observe_with_selector(Runtime& rt, const Gid& peer) {
+  StreamObservation obs;
+  obs.per_stream.resize(kStreams);
+  Selector sel(rt);
+  long bufs[kStreams] = {};
+  int handles[kStreams];
+  std::map<std::uint64_t, int> stream_of;
+  for (int s = 0; s < kStreams; ++s) {
+    handles[s] = rt.irecv(30 + s, &bufs[s], sizeof(long), peer);
+    stream_of[sel.add_recv(handles[s])] = s;
+  }
+  int total = 0;
+  while (total < kStreams * kPerStream) {
+    std::vector<Selector::Ready> ready;
+    EXPECT_EQ(sel.wait(&ready), StatusCode::Ok);
+    for (const auto& r : ready) {
+      const int s = stream_of.at(r.token);
+      stream_of.erase(r.token);
+      MsgInfo mi;
+      EXPECT_TRUE(rt.msgtest(handles[s], &mi));
+      obs.per_stream[static_cast<std::size_t>(s)].push_back(bufs[s]);
+      ++total;
+      if (obs.per_stream[static_cast<std::size_t>(s)].size() <
+          static_cast<std::size_t>(kPerStream)) {
+        handles[s] = rt.irecv(30 + s, &bufs[s], sizeof(long), peer);
+        stream_of[sel.add_recv(handles[s])] = s;
+      }
+    }
+  }
+  const auto& c = rt.net_counters();
+  obs.delivered = c.delivered.load();
+  obs.matched = c.posted_match.load() + c.unexpected_eager.load() +
+                c.unexpected_rndv.load();
+  long ack = 1;
+  rt.send(29, &ack, sizeof ack, peer);
+  return obs;
+}
+
+StreamObservation observe_with_msgwait(Runtime& rt, const Gid& peer) {
+  StreamObservation obs;
+  obs.per_stream.resize(kStreams);
+  long bufs[kStreams] = {};
+  int handles[kStreams];
+  for (int s = 0; s < kStreams; ++s) {
+    handles[s] = rt.irecv(30 + s, &bufs[s], sizeof(long), peer);
+  }
+  // Round-robin per-handle msgwait: the baseline the paper's algorithms
+  // use when no testany-style multiplexer exists.
+  for (int i = 0; i < kPerStream; ++i) {
+    for (int s = 0; s < kStreams; ++s) {
+      rt.msgwait(handles[s]);
+      obs.per_stream[static_cast<std::size_t>(s)].push_back(bufs[s]);
+      if (i + 1 < kPerStream) {
+        handles[s] = rt.irecv(30 + s, &bufs[s], sizeof(long), peer);
+      }
+    }
+  }
+  const auto& c = rt.net_counters();
+  obs.delivered = c.delivered.load();
+  obs.matched = c.posted_match.load() + c.unexpected_eager.load() +
+                c.unexpected_rndv.load();
+  long ack = 1;
+  rt.send(29, &ack, sizeof ack, peer);
+  return obs;
+}
+
+void check_fifo(const StreamObservation& obs) {
+  for (int s = 0; s < kStreams; ++s) {
+    const auto& seq = obs.per_stream[static_cast<std::size_t>(s)];
+    ASSERT_EQ(seq.size(), static_cast<std::size_t>(kPerStream));
+    for (int i = 0; i < kPerStream; ++i) {
+      EXPECT_EQ(seq[static_cast<std::size_t>(i)],
+                static_cast<long>(s) * 1000 + i)
+          << "stream " << s << " position " << i;
+    }
+  }
+}
+
+TEST_P(ChantSelector, OracleEquivalentToPerHandleMsgwait) {
+  // Run 1: Selector-multiplexed receiver.
+  StreamObservation via_selector;
+  {
+    chant::World w(chant_test::config_for(GetParam()));
+    w.run([&](Runtime& rt) {
+      const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+      if (rt.pe() == 1) {
+        run_sender(rt, peer);
+      } else {
+        via_selector = observe_with_selector(rt, peer);
+      }
+    });
+  }
+  // Run 2: identical traffic, per-handle msgwait receiver (the oracle).
+  StreamObservation via_msgwait;
+  {
+    chant::World w(chant_test::config_for(GetParam()));
+    w.run([&](Runtime& rt) {
+      const Gid peer{1 - rt.pe(), 0, chant::kMainLid};
+      if (rt.pe() == 1) {
+        run_sender(rt, peer);
+      } else {
+        via_msgwait = observe_with_msgwait(rt, peer);
+      }
+    });
+  }
+  check_fifo(via_selector);
+  check_fifo(via_msgwait);
+  EXPECT_EQ(via_selector.per_stream, via_msgwait.per_stream);
+  // Matching-engine behaviour is unchanged by HOW completion was
+  // observed: same deliveries. (Posted-vs-unexpected split is timing-
+  // dependent, but their sum is every matched message either way.)
+  EXPECT_EQ(via_selector.delivered, via_msgwait.delivered);
+  EXPECT_EQ(via_selector.matched, via_msgwait.matched);
+}
+
+// --------------------------------------------------------------- M:N stress
+
+TEST_P(ChantSelector, MnStressSelectorUnderWorkers) {
+  // Many concurrent sender fibers (spread across scheduler workers when
+  // CHANT_WORKERS/workers > 1) complete receives whose fires must cross
+  // OS threads into one parked Selector without lost or spurious
+  // wakeups. wq_use_testany pins workers to 1 by design — the case
+  // still runs, single-worker.
+  PolicyCase pc = GetParam();
+  auto cfg = chant_test::config_for(pc, /*pes=*/1);
+  cfg.rt.workers = 4;
+  constexpr int kSenders = 8;
+  constexpr int kMsgs = 50;
+  chant::World w(cfg);
+  w.run([](Runtime& rt) {
+    struct Ctx {
+      Runtime* rt;
+      Gid main;
+      int id;
+    };
+    static Ctx ctxs[kSenders];
+    std::vector<Gid> senders;
+    for (int i = 0; i < kSenders; ++i) {
+      ctxs[i] = Ctx{&rt, rt.self(), i};
+      senders.push_back(rt.create(
+          [](void* p) -> void* {
+            auto* c = static_cast<Ctx*>(p);
+            for (int m = 0; m < kMsgs; ++m) {
+              const long v = static_cast<long>(c->id) * 10000 + m;
+              c->rt->send(40 + c->id, &v, sizeof v, c->main);
+              if ((m & 7) == 0) c->rt->yield();
+            }
+            return nullptr;
+          },
+          &ctxs[i], PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL));
+    }
+    Selector sel(rt);
+    long bufs[kSenders] = {};
+    int handles[kSenders];
+    std::map<std::uint64_t, int> sender_of;
+    int received[kSenders] = {};
+    for (int i = 0; i < kSenders; ++i) {
+      handles[i] = rt.irecv(40 + i, &bufs[i], sizeof(long), senders[i]);
+      sender_of[sel.add_recv(handles[i])] = i;
+    }
+    int total = 0;
+    while (total < kSenders * kMsgs) {
+      std::vector<Selector::Ready> ready;
+      ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+      ASSERT_FALSE(ready.empty());
+      for (const auto& r : ready) {
+        const int i = sender_of.at(r.token);
+        sender_of.erase(r.token);
+        ASSERT_TRUE(rt.msgtest(handles[i], nullptr));
+        // Per-sender FIFO even with fires racing across workers.
+        ASSERT_EQ(bufs[i], static_cast<long>(i) * 10000 + received[i]);
+        ++received[i];
+        ++total;
+        if (received[i] < kMsgs) {
+          handles[i] = rt.irecv(40 + i, &bufs[i], sizeof(long), senders[i]);
+          sender_of[sel.add_recv(handles[i])] = i;
+        }
+      }
+    }
+    for (const Gid& g : senders) rt.join(g);
+    EXPECT_EQ(rt.outstanding_recvs(), 0u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChantSelector,
+                         ::testing::ValuesIn(chant_test::all_cases()),
+                         [](const auto& info) {
+                           return chant_test::case_name(info.param);
+                         });
+
+}  // namespace

@@ -5,7 +5,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "nx/machine.hpp"
@@ -107,6 +109,131 @@ TEST_P(NxDelivery, AllToAllNoLossNoCorruption) {
     // Complete all sends (rendezvous ones finish once peers copied).
     for (nx::Handle h : sends) ep.msgwait(h);
     EXPECT_EQ(ep.counters().delivered.load(), static_cast<unsigned>(expect));
+  });
+}
+
+/// Completion *fires* run on whichever OS thread drove the completing
+/// progress call — often a remote sender's — so the observation record
+/// needs its own lock.
+struct FireLog {
+  std::mutex mu;
+  std::vector<std::uint64_t> tokens;
+};
+
+void record_fire(void* ctx, std::uint64_t token) {
+  auto* log = static_cast<FireLog*>(ctx);
+  std::lock_guard<std::mutex> g(log->mu);
+  log->tokens.push_back(token);
+}
+
+TEST_P(NxDelivery, WaiterHookObservationPreservesFifoAndCounters) {
+  // Same all-to-all blast as above, but completion is *discovered*
+  // through the registered-waiter hooks (set_recv_waiter +
+  // poll_progress/flush_waiter_fires) instead of a msgtest polling
+  // loop. Observation style must be invisible to the message layer:
+  // per-source FIFO pairing holds unchanged, every receive fires
+  // exactly once, and the matching-engine counters account for every
+  // delivery through exactly one match class.
+  const auto [eager, pes] = GetParam();
+  constexpr int kPerPair = 40;
+  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), eager}};
+  const int npes = pes;
+  m.run([&](nx::Endpoint& ep) {
+    std::mt19937 rng(static_cast<unsigned>(ep.pe()) * 6271u + 29u);
+    std::uniform_int_distribution<int> size_dist(0, 3000);
+    struct Pending {
+      std::vector<std::uint8_t> buf;
+      nx::Handle h;
+      int src = -1;
+      int seq = -1;
+    };
+    const int expect = (npes - 1) * kPerPair;
+    std::vector<Pending> pend(static_cast<std::size_t>(expect));
+    FireLog log;
+    std::size_t observed = 0;  // fires seen + already-complete at arm time
+    for (std::size_t i = 0; i < pend.size(); ++i) {
+      auto& p = pend[i];
+      p.buf.resize(sizeof(Wire) + 3000);
+      p.h = ep.irecv(nx::kAnyPe, nx::kAnyProc, 78, nx::kTagExact,
+                     p.buf.data(), p.buf.size());
+      if (!ep.set_recv_waiter(p.h, &record_fire, &log, i)) ++observed;
+    }
+    std::vector<std::vector<std::uint8_t>> outbufs;
+    std::vector<nx::Handle> sends;
+    for (int dst = 0; dst < npes; ++dst) {
+      if (dst == ep.pe()) continue;
+      for (int i = 0; i < kPerPair; ++i) {
+        const int psize = size_dist(rng);
+        std::vector<std::uint8_t> msg(sizeof(Wire) +
+                                      static_cast<std::size_t>(psize));
+        for (int b = 0; b < psize; ++b) {
+          msg[sizeof(Wire) + static_cast<std::size_t>(b)] =
+              static_cast<std::uint8_t>(rng() & 0xFF);
+        }
+        Wire w{i, fnv1a(msg.data() + sizeof(Wire),
+                        static_cast<std::size_t>(psize))};
+        std::memcpy(msg.data(), &w, sizeof w);
+        sends.push_back(ep.isend(dst, 0, 78, msg.data(), msg.size()));
+        outbufs.push_back(std::move(msg));
+      }
+    }
+    // Wait to be *told* about completions — no msgtest until a handle's
+    // fire (or its already-complete arm result) says it is ready.
+    // poll_progress drives the same deliver-at drain msgtest would, so
+    // rendezvous traffic still makes progress while we only listen.
+    while (true) {
+      if (ep.poll_progress()) ep.flush_waiter_fires();
+      std::size_t fired;
+      {
+        std::lock_guard<std::mutex> g(log.mu);
+        fired = log.tokens.size();
+      }
+      if (observed + fired >= static_cast<std::size_t>(expect)) break;
+      std::this_thread::yield();
+    }
+    // Every fire names a distinct live handle, and a fired handle is
+    // *ready*: its msgtest must succeed on the first try.
+    {
+      std::lock_guard<std::mutex> g(log.mu);
+      ASSERT_EQ(observed + log.tokens.size(),
+                static_cast<std::size_t>(expect));
+    }
+    const unsigned tests_before = ep.counters().msgtest_calls.load();
+    const unsigned failed_before = ep.counters().msgtest_failed.load();
+    for (auto& p : pend) {
+      nx::MsgHeader out;
+      ASSERT_TRUE(ep.msgtest(p.h, &out));
+      ASSERT_FALSE(out.truncated);
+      Wire w;
+      std::memcpy(&w, p.buf.data(), sizeof w);
+      EXPECT_EQ(w.checksum,
+                fnv1a(p.buf.data() + sizeof(Wire), out.len - sizeof(Wire)));
+      p.src = out.src_pe;
+      p.seq = w.seq;
+    }
+    // FIFO pairing is identical to the polling-observed variant above.
+    std::vector<int> next_seq(static_cast<std::size_t>(npes), 0);
+    for (const auto& p : pend) {
+      ASSERT_GE(p.src, 0);
+      auto& ns = next_seq[static_cast<std::size_t>(p.src)];
+      EXPECT_EQ(p.seq, ns) << "source " << p.src;
+      ns = p.seq + 1;
+    }
+    // Hooks make discovery O(ready): the harvest above spent exactly one
+    // successful msgtest per receive — no failed polls anywhere.
+    EXPECT_EQ(ep.counters().msgtest_calls.load() - tests_before,
+              static_cast<unsigned>(expect));
+    EXPECT_EQ(ep.counters().msgtest_failed.load(), failed_before);
+    for (nx::Handle h : sends) ep.msgwait(h);
+    // Counter accounting is observation-independent: every delivery is
+    // classified by exactly one path — assembled from the sender's
+    // fragments (posted_match) or copied out of the unexpected heap
+    // queue (unexpected_eager). unexpected_rndv tracks RTS queuing
+    // events and overlaps posted_match, so it is not part of the sum.
+    const auto& c = ep.counters();
+    EXPECT_EQ(c.delivered.load(), static_cast<unsigned>(expect));
+    EXPECT_EQ(c.posted_match.load() + c.unexpected_eager.load(),
+              static_cast<unsigned>(expect));
   });
 }
 

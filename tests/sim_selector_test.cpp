@@ -1,0 +1,296 @@
+// sim_selector_test.cpp — schedule-exploration campaign for
+// chant::Selector: completion vs deadline vs cancel vs deregister races
+// under the sim controller's seeded interleavings (bit-replayable via
+// CHANT_SIM_SEED/CHANT_SIM_TRACE, like every sim_* suite). Across every
+// seed the Selector must resolve each race to one of its legal
+// outcomes: no lost wakeups (a sent message is always harvestable), no
+// spurious reports (a withdrawn receive is never reported ready), no
+// leaked handles or dangling waiter entries (outstanding_recvs drains
+// to zero and the Selector destructor quiesces cleanly).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "chant/chant.hpp"
+#include "sim/explore.hpp"
+
+namespace {
+
+using chant::Deadline;
+using chant::Gid;
+using chant::PollPolicy;
+using chant::Runtime;
+using chant::Selector;
+using chant::Status;
+using chant::StatusCode;
+
+TEST(SimSelector, CompletionVsTimerVsUserDeadline) {
+  // One recv + one timer registration, a sender with a seed-drawn
+  // virtual delay, and a seed-drawn user deadline: three ways the wait
+  // can resolve, all legal, each leaving a coherent state the epilogue
+  // can always drain.
+  sim::Options opt;
+  opt.seeds = 400;
+  opt.base_seed = 0x5E1E;  // "SELE"
+  opt.faults.delay_p = 0.5;
+  opt.faults.max_delay_ns = 60'000;
+  const sim::Result res = sim::explore(opt, [](sim::Session& s) {
+    chant::World::Config cfg;
+    cfg.pes = 1;
+    cfg.rt.policy = PollPolicy::SchedulerPollsWQ;
+    s.apply(cfg);
+    const std::uint64_t send_after = s.rng()() % 300'000;
+    const std::uint64_t timer_after = s.rng()() % 300'000;
+    const std::uint64_t wait_for = s.rng()() % 300'000;
+    chant::World w(cfg);
+    w.run([&](Runtime& rt) {
+      static Runtime* rt_p;
+      static std::uint64_t delay_s;
+      static Gid main_gid;
+      rt_p = &rt;
+      delay_s = send_after;
+      main_gid = rt.self();
+      const Gid sender = rt.create(
+          [](void*) -> void* {
+            rt_p->scheduler().sleep_for(delay_s);
+            long v = 4242;
+            rt_p->send(5, &v, sizeof v, main_gid);
+            return nullptr;
+          },
+          nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+      long buf = 0;
+      const int h = rt.irecv(5, &buf, sizeof buf, chant::kAnyThread);
+      {
+        Selector sel(rt);
+        const std::uint64_t rtok = sel.add_recv(h);
+        const std::uint64_t ttok =
+            sel.add_timer(Deadline::after(timer_after));
+        std::vector<Selector::Ready> ready;
+        const Status st = sel.wait(Deadline::after(wait_for), &ready);
+        bool recv_reported = false;
+        bool timer_reported = false;
+        if (st.ok()) {
+          ASSERT_FALSE(ready.empty());
+          for (const auto& r : ready) {
+            if (r.token == rtok) {
+              ASSERT_EQ(r.kind, Selector::Kind::Recv);
+              recv_reported = true;
+            } else {
+              ASSERT_EQ(r.token, ttok);
+              ASSERT_EQ(r.kind, Selector::Kind::Timer);
+              timer_reported = true;
+            }
+          }
+        } else {
+          ASSERT_EQ(st, StatusCode::DeadlineExceeded);
+          ASSERT_TRUE(ready.empty());
+          // Neither source may have been consumed by the failed wait.
+          ASSERT_EQ(sel.size(), 2u);
+        }
+        if (recv_reported) {
+          // Reported ready ⇒ harvest must succeed immediately.
+          ASSERT_TRUE(rt.msgtest(h, nullptr));
+          ASSERT_EQ(buf, 4242);
+        } else {
+          // Not reported ⇒ the message is still owed; the handle must
+          // behave like any live handle (lost-wakeup check: an
+          // unbounded wait always completes because the send is real).
+          ASSERT_EQ(rt.msgwait(h, Deadline::infinite()), StatusCode::Ok);
+          ASSERT_EQ(buf, 4242);
+        }
+        if (!timer_reported) {
+          // Still registered: removing it must succeed exactly once.
+          // (If the recv harvest above dropped it implicitly something
+          // is very wrong — they are unrelated registrations.)
+          ASSERT_EQ(sel.remove(ttok), StatusCode::Ok);
+        }
+        ASSERT_EQ(sel.size(), 0u);
+      }  // ~Selector: waiter quiesce must not hang under any schedule
+      ASSERT_EQ(rt.outstanding_recvs(), 0u);
+      void* rv = nullptr;
+      ASSERT_EQ(rt.join(sender, Deadline::infinite(), &rv), StatusCode::Ok);
+      ASSERT_EQ(rt.scheduler().armed_timers(), 0u);
+    });
+  });
+  EXPECT_FALSE(res.failed);
+  EXPECT_EQ(res.iterations, 400u);
+}
+
+TEST(SimSelector, CancelVsCompletionLeavesNoDanglingWaiter) {
+  // The satellite-1 regression: cancel_irecv on a handle registered
+  // with a live Selector races against the sender's completion. Either
+  // the receive is withdrawn (Ok; message re-delivered to a fresh
+  // receive) or it completed first (AlreadyCompleted; payload absorbed)
+  // — in both cases the registration must vanish atomically, the
+  // companion receive must still be reported (its wakeup must not be
+  // lost to the cancel), and nothing may dangle or leak.
+  sim::Options opt;
+  opt.seeds = 400;
+  opt.base_seed = 0xCA4C;
+  opt.faults.delay_p = 0.5;
+  opt.faults.max_delay_ns = 50'000;
+  const sim::Result res = sim::explore(opt, [](sim::Session& s) {
+    chant::World::Config cfg;
+    cfg.pes = 1;
+    cfg.rt.policy = PollPolicy::SchedulerPollsPS;
+    s.apply(cfg);
+    const std::uint64_t send_after = s.rng()() % 200'000;
+    const std::uint64_t cancel_after = s.rng()() % 200'000;
+    // Deregister flavor: 0 = cancel_irecv (the handle's own retire
+    // path), 1 = Selector::remove (the selector-side path).
+    const bool via_remove = (s.rng()() & 1) != 0;
+    chant::World w(cfg);
+    w.run([&](Runtime& rt) {
+      static Runtime* rt_p;
+      static std::uint64_t delay_s;
+      static Gid main_gid;
+      rt_p = &rt;
+      delay_s = send_after;
+      main_gid = rt.self();
+      const Gid sender = rt.create(
+          [](void*) -> void* {
+            rt_p->scheduler().sleep_for(delay_s);
+            long v = 7;
+            rt_p->send(6, &v, sizeof v, main_gid);  // the raced receive
+            long u = 8;
+            rt_p->send(7, &u, sizeof u, main_gid);  // the companion
+            return nullptr;
+          },
+          nullptr, PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL);
+      long raced = 0;
+      long companion = 0;
+      const int hr = rt.irecv(6, &raced, sizeof raced, chant::kAnyThread);
+      const int hc =
+          rt.irecv(7, &companion, sizeof companion, chant::kAnyThread);
+      {
+        Selector sel(rt);
+        const std::uint64_t rtok = sel.add_recv(hr);
+        const std::uint64_t ctok = sel.add_recv(hc);
+        rt.scheduler().sleep_for(cancel_after);
+        // The raced receive may have completed (and been reported)
+        // already, or be mid-delivery right now, or still be pending.
+        bool raced_consumed = false;
+        if (via_remove) {
+          // Nothing has retired the handle yet (no wait, no harvest),
+          // so the explicit deregister must succeed exactly once.
+          ASSERT_EQ(sel.remove(rtok), StatusCode::Ok);
+          const Status cs = rt.cancel_irecv(hr);
+          ASSERT_TRUE(cs == StatusCode::Ok ||
+                      cs == StatusCode::AlreadyCompleted);
+          raced_consumed = cs == StatusCode::AlreadyCompleted;
+        } else {
+          const Status cs = rt.cancel_irecv(hr);
+          ASSERT_TRUE(cs == StatusCode::Ok ||
+                      cs == StatusCode::AlreadyCompleted);
+          raced_consumed = cs == StatusCode::AlreadyCompleted;
+        }
+        // Registration dropped atomically with the handle's retirement.
+        ASSERT_EQ(sel.size(), 1u);
+        // The companion's wakeup must not be lost: an unbounded wait
+        // reports it (the sender always sends both messages).
+        std::vector<Selector::Ready> ready;
+        ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+        ASSERT_EQ(ready.size(), 1u);
+        ASSERT_EQ(ready[0].token, ctok);
+        ASSERT_TRUE(rt.msgtest(hc, nullptr));
+        ASSERT_EQ(companion, 8);
+        ASSERT_EQ(sel.size(), 0u);
+        if (!raced_consumed) {
+          // Withdrawn before delivery: the raced message must reach a
+          // fresh receive whole — the cancel lost nothing.
+          long v2 = 0;
+          rt.recv(6, &v2, sizeof v2, chant::kAnyThread);
+          ASSERT_EQ(v2, 7);
+        }
+      }
+      ASSERT_EQ(rt.outstanding_recvs(), 0u);
+      void* rv = nullptr;
+      ASSERT_EQ(rt.join(sender, Deadline::infinite(), &rv), StatusCode::Ok);
+    });
+  });
+  EXPECT_FALSE(res.failed);
+  EXPECT_EQ(res.iterations, 400u);
+}
+
+TEST(SimSelector, MultiSourceExactlyOnceUnderTestany) {
+  // Three independently delayed senders, one Selector, WQ+testany (the
+  // group-poll policy whose scan skips per-entry predicates — the
+  // configuration most likely to lose a wakeup): every message must be
+  // reported exactly once, whatever the interleaving of deliveries,
+  // group polls and parks.
+  sim::Options opt;
+  opt.seeds = 256;
+  opt.base_seed = 0x371C;
+  opt.faults.delay_p = 0.4;
+  opt.faults.max_delay_ns = 40'000;
+  const sim::Result res = sim::explore(opt, [](sim::Session& s) {
+    chant::World::Config cfg;
+    cfg.pes = 1;
+    cfg.rt.policy = PollPolicy::SchedulerPollsWQ;
+    cfg.rt.wq_use_testany = true;
+    s.apply(cfg);
+    std::uint64_t delays[3];
+    for (auto& d : delays) d = s.rng()() % 150'000;
+    chant::World w(cfg);
+    w.run([&](Runtime& rt) {
+      static Runtime* rt_p;
+      static std::uint64_t delays_s[3];
+      static Gid main_gid;
+      rt_p = &rt;
+      std::memcpy(delays_s, delays, sizeof delays_s);
+      main_gid = rt.self();
+      std::vector<Gid> senders;
+      for (int i = 0; i < 3; ++i) {
+        senders.push_back(rt.create(
+            [](void* p) -> void* {
+              const int k =
+                  static_cast<int>(reinterpret_cast<std::intptr_t>(p));
+              rt_p->scheduler().sleep_for(delays_s[k]);
+              long v = 100 + k;
+              rt_p->send(10 + k, &v, sizeof v, main_gid);
+              return nullptr;
+            },
+            reinterpret_cast<void*>(static_cast<std::intptr_t>(i)),
+            PTHREAD_CHANTER_LOCAL, PTHREAD_CHANTER_LOCAL));
+      }
+      long bufs[3] = {};
+      int handles[3];
+      std::uint64_t toks[3];
+      int reports[3] = {};
+      Selector sel(rt);
+      for (int i = 0; i < 3; ++i) {
+        handles[i] = rt.irecv(10 + i, &bufs[i], sizeof(long),
+                              chant::kAnyThread);
+        toks[i] = sel.add_recv(handles[i]);
+      }
+      int total = 0;
+      while (total < 3) {
+        std::vector<Selector::Ready> ready;
+        ASSERT_EQ(sel.wait(&ready), StatusCode::Ok);
+        ASSERT_FALSE(ready.empty());
+        for (const auto& r : ready) {
+          int which = -1;
+          for (int i = 0; i < 3; ++i) {
+            if (toks[i] == r.token) which = i;
+          }
+          ASSERT_GE(which, 0);
+          ++reports[which];
+          ASSERT_TRUE(rt.msgtest(handles[which], nullptr));
+          ASSERT_EQ(bufs[which], 100 + which);
+          ++total;
+        }
+      }
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(reports[i], 1) << "source " << i;  // exactly once
+      }
+      ASSERT_EQ(sel.size(), 0u);
+      ASSERT_EQ(rt.outstanding_recvs(), 0u);
+      for (const Gid& g : senders) rt.join(g);
+    });
+  });
+  EXPECT_FALSE(res.failed);
+  EXPECT_EQ(res.iterations, 256u);
+}
+
+}  // namespace

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """chant-lint — Chant-specific static checks (DESIGN.md §9).
 
-Three rules the generic toolchain cannot express:
+Four rules the generic toolchain cannot express:
 
   dropped-status        A call to an always-Status-returning runtime
                         method (cancel_irecv, call_test) used as a bare
@@ -27,6 +27,15 @@ Three rules the generic toolchain cannot express:
                         itself: the fragment outlives its target, and the
                         gather send reads a dead stack slot.
 
+  msgwait-loop          A per-handle blocking msgwait on an indexed
+                        handle (msgwait(hs[i])) inside a loop body: the
+                        fiber serializes on one handle at a time, paying
+                        an O(waiting) blocking scan for completions that
+                        arrive in an order the loop cannot predict.
+                        chant::Selector multiplexes the same handles and
+                        wakes once per completion, O(ready)
+                        (DESIGN.md §11).
+
 Suppress a finding with a trailing `// chant-lint: allow(<rule>)` on the
 offending line.
 
@@ -41,7 +50,8 @@ import os
 import re
 import sys
 
-RULES = ("dropped-status", "blocking-in-handler", "iovec-stack-lifetime")
+RULES = ("dropped-status", "blocking-in-handler", "iovec-stack-lifetime",
+         "msgwait-loop")
 
 ALLOW_RE = re.compile(r"//\s*chant-lint:\s*allow\(([\w-]+)\)")
 LINT_EXPECT_RE = re.compile(r"//\s*LINT:\s*([\w-]+)")
@@ -78,6 +88,11 @@ LOCAL_DECL_RE = re.compile(
     r"|std::(?:uint|int)(?:8|16|32|64)_t|std::array<[^>]*>|std::string"
     r"|std::vector<[^>]*>)\s+(\w+)\s*(?:\[[^\]]*\])?\s*(?:=|;|\{)"
 )
+
+# Loop headers and the indexed per-handle wait that marks an O(waiting)
+# completion scan (scalar-handle msgwait is fine: one handle, no scan).
+LOOP_KW_RE = re.compile(r"\b(?:for|while|do)\b")
+MSGWAIT_IDX_RE = re.compile(r"(?:\.|->)msgwait\s*\(\s*\w+\s*\[")
 
 # Statement contexts in which a Status return IS consumed.
 CONSUMED_RE = re.compile(
@@ -226,6 +241,34 @@ def check_file(path):
                 f"unbounded blocking call '{m.group(1)}' inside RSR "
                 f"handler '{name}'; defer to an lwt::go helper fiber or "
                 "use a deadline-bounded variant"))
+
+    # ---- rule: msgwait-loop ---------------------------------------
+    depth = 0
+    loop_bodies = []   # brace depths at which a loop body opened
+    pending_loop = False
+    for i, raw in enumerate(lines):
+        code = strip_comments_and_strings(raw)
+        in_loop = bool(loop_bodies) or pending_loop
+        m = MSGWAIT_IDX_RE.search(code)
+        if m and in_loop and not allowed(i, "msgwait-loop"):
+            findings.append(Finding(
+                path, i + 1, "msgwait-loop",
+                "blocking per-handle msgwait on an indexed handle inside "
+                "a loop serializes completions (O(waiting) scan); "
+                "register the handles with a chant::Selector and wait "
+                "once per completion instead"))
+        if LOOP_KW_RE.search(code):
+            pending_loop = True
+        opens = code.count("{")
+        closes = code.count("}")
+        if pending_loop and opens:
+            loop_bodies.append(depth + 1)
+            pending_loop = False
+        elif pending_loop and (";" in code and not LOOP_KW_RE.search(code)):
+            pending_loop = False  # braceless body ended
+        depth += opens - closes
+        while loop_bodies and depth < loop_bodies[-1]:
+            loop_bodies.pop()
 
     # ---- rule: iovec-stack-lifetime -------------------------------
     depth = 0

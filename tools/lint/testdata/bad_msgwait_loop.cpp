@@ -1,0 +1,51 @@
+// Testdata for the msgwait-loop rule: blocking per-handle msgwait on an
+// indexed handle inside a loop is the O(waiting) completion scan a
+// chant::Selector replaces with one O(ready) wait per completion.
+#include <vector>
+
+namespace chant {
+struct Status { bool ok() const { return true; } };
+struct Runtime {
+  Status msgwait(int h);
+  bool msgtest(int h);
+};
+}  // namespace chant
+
+void serial_scan(chant::Runtime& rt, const std::vector<int>& hs) {
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    (void)rt.msgwait(hs[i]);  // LINT: msgwait-loop
+  }
+}
+
+void braceless_scan(chant::Runtime& rt, const std::vector<int>& hs) {
+  for (std::size_t i = 0; i < hs.size(); ++i)
+    (void)rt.msgwait(hs[i]);  // LINT: msgwait-loop
+}
+
+void pointer_receiver(chant::Runtime* rt, int* hs, int n) {
+  int i = 0;
+  while (i < n) {
+    (void)rt->msgwait(hs[i]);  // LINT: msgwait-loop
+    ++i;
+  }
+}
+
+// Scalar-handle msgwait in a loop is fine: one handle, no per-handle
+// scan — retrying a single wait is not the multiplexing anti-pattern.
+void scalar_ok(chant::Runtime& rt, int h) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (rt.msgwait(h).ok()) return;
+  }
+}
+
+// Indexed msgwait outside any loop: a one-shot wait, not a scan.
+void one_shot_ok(chant::Runtime& rt, const std::vector<int>& hs) {
+  (void)rt.msgwait(hs[0]);
+}
+
+// Suppressed: ordered drain where completion order IS the program order.
+void ordered_drain(chant::Runtime& rt, const std::vector<int>& hs) {
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    (void)rt.msgwait(hs[i]);  // chant-lint: allow(msgwait-loop)
+  }
+}
