@@ -175,6 +175,10 @@ int main(int argc, char** argv) {
   json.config("rounds", kRounds);
   json.config("hardware_concurrency",
               static_cast<long long>(std::thread::hardware_concurrency()));
+  // Worlds here use TransportKind::Default — record what it resolves to
+  // so a CHANT_TRANSPORT run is distinguishable in the trajectory.
+  json.config("transport", nx::to_string(nx::resolve_transport(
+                               nx::TransportKind::Default)));
 
   std::vector<ScaleRow> rows;
   for (unsigned w : {1u, 2u, 4u, 8u}) {

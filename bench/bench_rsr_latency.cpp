@@ -173,6 +173,10 @@ int main(int argc, char** argv) {
                     "tmp_allocs_call"});
   harness::BenchJson json("rsr_latency");
   json.config("iters", kIters);
+  // Worlds below use TransportKind::Default, so the active backend is
+  // whatever CHANT_TRANSPORT resolves to — record it with the numbers.
+  json.config("transport", nx::to_string(nx::resolve_transport(
+                               nx::TransportKind::Default)));
   for (std::size_t payload : {16ul, 512ul, 2048ul, 8192ul}) {
     const char* path = payload <= 1024 ? "inline" : "tail";
     const RsrResult idle = run_rsr(true, payload, 0, kIters);

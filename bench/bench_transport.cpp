@@ -1,0 +1,144 @@
+// bench_transport — the cost of the Transport seam: nx-level ping-pong
+// latency and one-way bandwidth on each delivery backend. The inproc
+// numbers double as the regression gate for the seam itself (the
+// refactor promised the simulated-multicomputer fast path verbatim);
+// the shmring numbers price a real cross-address-space hop (ring copy,
+// doorbell, pump) against it. Fork-mode latency is reported
+// trajectory-only (gate=false): process scheduling on shared CI
+// machines is far too noisy to gate on.
+//
+// Flags: --smoke (shrunk iteration counts for CI), --json <path>
+#include <atomic>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "harness/bench_json.hpp"
+#include "harness/table.hpp"
+#include "harness/timer.hpp"
+#include "nx/machine.hpp"
+
+namespace {
+
+nx::Machine::Config cfg_for(nx::TransportKind k, bool fork_processes) {
+  nx::Machine::Config c;
+  c.pes = 2;
+  c.transport = k;
+  c.fork_processes = fork_processes;
+  return c;
+}
+
+/// Results travel through the machine's shared scratch (bytes 16+, the
+/// chant-reserved prefix untouched) so fork mode reports identically.
+std::atomic<double>* result_slot(nx::Machine& m) {
+  return new (static_cast<unsigned char*>(m.shared_scratch()) + 16)
+      std::atomic<double>(0.0);
+}
+
+/// Round-trip latency: pe0 sends `size` bytes, pe1 echoes them back.
+double pingpong_us(nx::TransportKind k, bool fork_processes, int iters,
+                   std::size_t size) {
+  nx::Machine m{cfg_for(k, fork_processes)};
+  std::atomic<double>* out = result_slot(m);
+  m.run([&](nx::Endpoint& ep) {
+    std::vector<std::uint8_t> buf(size, 0xA5);
+    const int peer = 1 - ep.pe();
+    const int warmup = iters / 10 + 1;
+    for (int i = -warmup; i < iters; ++i) {
+      if (i == 0 && ep.pe() == 0) out->store(0.0);  // reuse as start marker
+      if (ep.pe() == 0) {
+        ep.csend(peer, 0, 1, buf.data(), buf.size());
+        ep.crecv(peer, 0, 2, nx::kTagExact, buf.data(), buf.size());
+      } else {
+        ep.crecv(peer, 0, 1, nx::kTagExact, buf.data(), buf.size());
+        ep.csend(peer, 0, 2, buf.data(), buf.size());
+      }
+    }
+  });
+  // Timed run: warmed code paths, measured from pe0 only.
+  nx::Machine m2{cfg_for(k, fork_processes)};
+  std::atomic<double>* out2 = result_slot(m2);
+  m2.run([&](nx::Endpoint& ep) {
+    std::vector<std::uint8_t> buf(size, 0xA5);
+    const int peer = 1 - ep.pe();
+    harness::Timer t;
+    for (int i = 0; i < iters; ++i) {
+      if (ep.pe() == 0) {
+        ep.csend(peer, 0, 1, buf.data(), buf.size());
+        ep.crecv(peer, 0, 2, nx::kTagExact, buf.data(), buf.size());
+      } else {
+        ep.crecv(peer, 0, 1, nx::kTagExact, buf.data(), buf.size());
+        ep.csend(peer, 0, 2, buf.data(), buf.size());
+      }
+    }
+    if (ep.pe() == 0) out2->store(t.elapsed_us() / iters);
+  });
+  return out2->load();
+}
+
+/// One-way stream bandwidth: pe0 pushes `iters` messages of `size`
+/// bytes, pe1 acks once after receiving them all.
+double stream_mbps(nx::TransportKind k, int iters, std::size_t size) {
+  nx::Machine m{cfg_for(k, false)};
+  std::atomic<double>* out = result_slot(m);
+  m.run([&](nx::Endpoint& ep) {
+    std::vector<std::uint8_t> buf(size, 0x3C);
+    if (ep.pe() == 0) {
+      harness::Timer t;
+      for (int i = 0; i < iters; ++i)
+        ep.csend(1, 0, 5, buf.data(), buf.size());
+      char ack;
+      ep.crecv(1, 0, 6, nx::kTagExact, &ack, 1);
+      const double secs = t.elapsed_us() / 1e6;
+      out->store(static_cast<double>(size) * iters / (1024.0 * 1024.0) /
+                 secs);
+    } else {
+      for (int i = 0; i < iters; ++i)
+        ep.crecv(0, 0, 5, nx::kTagExact, buf.data(), buf.size());
+      char ack = 1;
+      ep.csend(0, 0, 6, &ack, 1);
+    }
+  });
+  return out->load();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int kPpIters = smoke ? 500 : 20000;
+  const int kBwIters = smoke ? 200 : 4000;
+  constexpr std::size_t kSmall = 8;
+  constexpr std::size_t kBig = 64 * 1024;
+
+  std::printf("== transport backends: nx ping-pong and stream ==\n");
+  harness::Table t({"backend", "pp_8B_us", "bw_64KB_MBps"});
+  harness::BenchJson json("transport");
+  json.config("pp_iters", kPpIters);
+  json.config("bw_iters", kBwIters);
+  json.config("smoke", smoke ? "true" : "false");
+
+  for (auto k : {nx::TransportKind::InProc, nx::TransportKind::ShmRing}) {
+    const double pp = pingpong_us(k, false, kPpIters, kSmall);
+    const double bw = stream_mbps(k, kBwIters, kBig);
+    t.add_row({nx::to_string(k), harness::fmt("%.3f", pp),
+               harness::fmt("%.0f", bw)});
+    const std::string name = nx::to_string(k);
+    json.metric(name + "_pp_8B_us", pp, "us/rt");
+    json.metric(name + "_bw_64KB_MBps", bw, "MB/s");
+  }
+  // Fork mode: real OS processes over the same rings. Trajectory only.
+  const double fork_pp =
+      pingpong_us(nx::TransportKind::ShmRing, true, kPpIters / 10 + 1, kSmall);
+  t.add_row({"shmring+fork", harness::fmt("%.3f", fork_pp), "-"});
+  json.metric("shmring_fork_pp_8B_us", fork_pp, "us/rt", /*gate=*/false);
+
+  t.print("transport");
+  if (const char* path = harness::BenchJson::json_path(argc, argv)) {
+    if (!json.write(path)) return 1;
+  }
+  return 0;
+}

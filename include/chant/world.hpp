@@ -30,6 +30,11 @@ class World {
     nx::FaultInjector* fault = nullptr;
     std::uint64_t (*clock)(void* ctx) = nullptr;
     void* clock_ctx = nullptr;
+    /// Delivery backend selection, forwarded into nx::Machine::Config
+    /// (nx/transport.hpp). Default resolves CHANT_TRANSPORT.
+    nx::TransportKind transport = nx::TransportKind::Default;
+    bool fork_processes = false;       ///< ShmRing only
+    std::size_t shm_ring_bytes = 1 << 18;  ///< ShmRing only
   };
 
   explicit World(const Config& cfg);
@@ -52,11 +57,13 @@ class World {
 
   /// Termination protocol (used by the runtime's main-thread wrapper):
   /// a process announces its main returned, then waits for all peers.
+  /// The counter lives in the machine's shared scratch so it counts
+  /// across forked OS processes exactly as it does across threads.
   void note_main_done() noexcept {
-    mains_done_.fetch_add(1, std::memory_order_acq_rel);
+    mains_done_->fetch_add(1, std::memory_order_acq_rel);
   }
   int mains_done() const noexcept {
-    return mains_done_.load(std::memory_order_acquire);
+    return mains_done_->load(std::memory_order_acquire);
   }
 
  private:
@@ -64,7 +71,7 @@ class World {
   Config cfg_;
   nx::Machine machine_;
   std::vector<Runtime::Handler> user_handlers_;
-  std::atomic<int> mains_done_{0};
+  std::atomic<int>* mains_done_ = nullptr;  ///< in machine shared scratch
 };
 
 }  // namespace chant

@@ -292,6 +292,12 @@ class Scheduler {
     return timers_live_.load(std::memory_order_relaxed);
   }
 
+  /// Earliest armed timer deadline (scheduler clock), kNoDeadline when
+  /// none. Conservative snapshot — used by transport idle hooks to
+  /// bound how long an idle process may block on the wire doorbell
+  /// without delaying a due timer.
+  std::uint64_t next_timer_deadline() const noexcept;
+
   // ---- message-wait primitives (the three polling policies) ----
   //
   // Each takes an optional absolute deadline (scheduler clock,

@@ -71,6 +71,7 @@
 namespace nx {
 
 class Machine;
+class Transport;
 
 /// Wildcards for receive matching.
 inline constexpr int kAnyPe = -1;
@@ -404,28 +405,39 @@ class Endpoint {
   /// Caller holds mu_ and has already drained.
   bool take_unexpected_match(Request& r);
 
-  /// Entry point used by the sending endpoint (runs on the *sender's* OS
-  /// thread). The message is described by a gather descriptor (a
-  /// contiguous send is one fragment). Returns true if the payload was
-  /// consumed synchronously (posted match or eager); false means
-  /// rendezvous was set up and `sender_flag` will be raised by the
-  /// receiver.
+  /// Entry point used by the delivering transport (for the in-proc
+  /// backend this runs on the *sender's* OS thread). The message is
+  /// described by a gather descriptor (a contiguous send is one
+  /// fragment). Returns true if the payload was consumed synchronously
+  /// (posted match or eager); false means rendezvous was set up and
+  /// `sender_flag` will be raised by the receiver.
   bool accept_send(const MsgHeader& h, const IoVec* iov, std::size_t iovcnt,
                    std::atomic<bool>* sender_flag);
   /// accept_send's matching logic; caller holds mu_. Split out so the
   /// public wrapper can flush waiter fires after releasing the lock.
+  /// force_eager buffers any unmatched payload regardless of the eager
+  /// threshold — a wire transport's bytes are already consumed on the
+  /// sender's side, so the rendezvous branch must be unreachable.
   bool accept_send_locked(const MsgHeader& h, const IoVec* iov,
-                          std::size_t iovcnt, std::atomic<bool>* sender_flag);
+                          std::size_t iovcnt, std::atomic<bool>* sender_flag,
+                          bool force_eager = false);
   /// Shared implementation behind isend/isendv.
   Handle start_send(int dst_pe, int dst_proc, int tag, const IoVec* iov,
                     std::size_t iovcnt, int channel);
   void start_csend(int dst_pe, int dst_proc, int tag, const IoVec* iov,
                    std::size_t iovcnt, int channel);
-  friend class Machine;  // Machine routes accept_send between endpoints
+  friend class Machine;
+  friend class Transport;  // the delivery seam drives accept_send/_locked
 
   Machine& machine_;
   const int pe_;
   const int proc_;
+  /// Cached from machine_.transport() at construction. pump_active_ is
+  /// false for the in-proc backend, keeping every test fast path free of
+  /// even the virtual pump call (bit-identical sim replay, unchanged
+  /// counters); wire backends pump on each progress entry point.
+  Transport* transport_ = nullptr;
+  bool pump_active_ = false;
   Counters counters_;
 
   // ---- request slab (guarded by slab_mu_; gen/slots_used_ are atomics

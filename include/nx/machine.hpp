@@ -1,21 +1,22 @@
 // nx/machine.hpp — the simulated multicomputer.
 //
-// A Machine owns a grid of PEs × processes-per-PE endpoints and runs one
-// OS thread per simulated process. Processes share *nothing* except the
-// message layer: user code receives only its own Endpoint&, so any
+// A Machine owns a grid of PEs × processes-per-PE endpoints and hosts
+// one simulated process per grid cell through its Transport (nx/
+// transport.hpp): OS threads on the in-proc backend, optionally forked
+// OS processes on the shmring backend. Processes share *nothing* except
+// the message layer: user code receives only its own Endpoint&, so any
 // cross-process data flow must be a message — the property that keeps
-// this in-process simulation faithful to a distributed-memory machine.
+// this simulation faithful to a distributed-memory machine.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "nx/endpoint.hpp"
 #include "nx/netmodel.hpp"
+#include "nx/transport.hpp"
 
 namespace nx {
 
@@ -39,6 +40,17 @@ class Machine {
     FaultInjector* fault = nullptr;
     std::uint64_t (*clock)(void* ctx) = nullptr;
     void* clock_ctx = nullptr;
+    /// Delivery backend (nx/transport.hpp). Default resolves the
+    /// CHANT_TRANSPORT environment variable at construction.
+    TransportKind transport = TransportKind::Default;
+    /// ShmRing only: host each simulated process as a *forked OS
+    /// process* instead of a thread. The machine (endpoints, rings,
+    /// scratch) must be fully constructed before run() forks.
+    bool fork_processes = false;
+    /// ShmRing only: data bytes per direction ring (rounded up to a
+    /// power of two, min 4 KiB). Messages larger than a ring chunk are
+    /// fragmented and reassembled by the transport.
+    std::size_t shm_ring_bytes = 1 << 18;
   };
 
   explicit Machine(const Config& cfg);
@@ -51,19 +63,31 @@ class Machine {
   int total_processes() const noexcept {
     return cfg_.pes * cfg_.processes_per_pe;
   }
+  /// config().transport is resolved (never Default) after construction.
   const Config& config() const noexcept { return cfg_; }
 
   Endpoint& endpoint(int pe, int proc);
   const Endpoint& endpoint(int pe, int proc) const;
 
-  /// Runs `process_main(endpoint)` once per simulated process, each on
-  /// its own OS thread; returns when all have returned. If any process
-  /// throws, the first exception is rethrown after all threads join.
+  /// Runs `process_main(endpoint)` once per simulated process — each on
+  /// its own OS thread, or its own forked OS process when the transport
+  /// is configured for it; returns when all have finished. If any
+  /// process fails, the first failure is rethrown after all finish.
   void run(const std::function<void(Endpoint&)>& process_main);
 
   /// OS-level barrier across all processes (callable from inside run()).
   /// Blocks the calling OS thread — use only in setup/teardown phases.
   void os_barrier();
+
+  /// The delivery backend. Endpoints route every send through it; tests
+  /// and benches use it for introspection (transport().name()).
+  Transport& transport() noexcept { return *transport_; }
+  const Transport& transport() const noexcept { return *transport_; }
+
+  /// Per-machine scratch visible to every process on every backend
+  /// (nx::kSharedScratchBytes, zeroed at construction; the same mapping
+  /// in fork mode). First 16 bytes reserved for the chant layer.
+  void* shared_scratch() noexcept { return transport_->shared_scratch(); }
 
   /// Flat process index (pe-major) used internally for per-source tables.
   int flat_index(int pe, int proc) const noexcept {
@@ -72,13 +96,8 @@ class Machine {
 
  private:
   Config cfg_;
+  std::unique_ptr<Transport> transport_;  // before endpoints_: they point in
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  // simple reusable barrier (std::barrier needs the count at construction
-  // but run() may be called repeatedly; keep our own)
-  std::mutex bar_mu_;
-  std::condition_variable bar_cv_;
-  std::size_t bar_arrived_ = 0;
-  std::uint64_t bar_gen_ = 0;
 };
 
 }  // namespace nx

@@ -1,0 +1,147 @@
+// nx/transport.hpp — the delivery seam under the matching engine.
+//
+// A Transport owns *fragment movement* between processes: how the bytes
+// of a send travel from the sender's descriptor to the destination
+// endpoint's matching engine, how processes are hosted (threads vs.
+// forked OS processes), and how a process waits for inbound traffic.
+// Everything above the seam is backend-independent and must behave
+// identically on every transport:
+//
+//   * the matching engine (posted/unexpected, per-source FIFO,
+//     truncation status) — nx/endpoint.{hpp,cpp};
+//   * the zero-copy descriptor path (a posted receive is filled straight
+//     from the sender's fragments or the transport's inbound buffer —
+//     one copy total either way);
+//   * the registered-waiter hooks (Selector support) and their lock
+//     order (fires queue under the endpoint's mu_, flush only from
+//     unlocked context — a transport pump must never flush);
+//   * FaultyNet injection and NetModel deliver-at timing, which are
+//     applied in Endpoint::accept_send_locked at the instant a message
+//     enters the matching engine, whatever carried it there.
+//
+// Two backends ship (see DESIGN.md §12 for the full contract):
+//
+//   InProcTransport  — the original simulated multicomputer: submit is a
+//                      direct synchronous call into the destination
+//                      endpoint on the sender's OS thread, processes are
+//                      std::threads, the barrier is a condition
+//                      variable. Default; sim/ScheduleController replay
+//                      is bit-identical to the pre-seam engine.
+//   ShmRingTransport — cross-process: per-direction SPSC byte rings in
+//                      one shared-memory segment, futex doorbells, a
+//                      sense-reversing shm barrier, and (optionally)
+//                      one *forked OS process* per simulated process.
+//
+// Backend headers live in src/nx/ and are internal — include only this
+// header outside src/nx/ (chant-lint rule transport-internals).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "nx/endpoint.hpp"
+
+namespace nx {
+
+class Machine;
+
+/// Backend selector. Default resolves CHANT_TRANSPORT at Machine
+/// construction ("inproc" | "shmring"; unset or unknown -> InProc), so
+/// existing binaries can run any suite on another backend without code
+/// changes. Explicit values ignore the environment.
+enum class TransportKind { Default, InProc, ShmRing };
+
+const char* to_string(TransportKind k) noexcept;
+
+/// Parses a CHANT_TRANSPORT value; null/empty/unknown -> InProc.
+TransportKind parse_transport(const char* s) noexcept;
+
+/// Resolves Default against the environment; non-Default passes through.
+TransportKind resolve_transport(TransportKind k) noexcept;
+
+/// Size of the per-machine shared scratch area (Transport::
+/// shared_scratch): zeroed at machine construction and visible to every
+/// process on every backend — the same mapping in fork mode. The first
+/// 16 bytes are reserved for the chant layer's termination protocol;
+/// tests and tools may use the remainder.
+inline constexpr std::size_t kSharedScratchBytes = 256;
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  virtual TransportKind kind() const noexcept = 0;
+  const char* name() const noexcept { return to_string(kind()); }
+
+  /// Sender side: moves the described message toward (dst_pe, dst_proc).
+  /// Runs on the sending process's OS thread. Returns true if the
+  /// payload was consumed (the sender may reuse its fragments at once);
+  /// false means consumption is deferred and `sender_flag` will be
+  /// raised when it happens (the in-process rendezvous path).
+  virtual bool submit(Machine& m, const MsgHeader& h, int dst_pe,
+                      int dst_proc, const IoVec* iov, std::size_t iovcnt,
+                      std::atomic<bool>* sender_flag) = 0;
+
+  /// Receiver side: injects transport-buffered inbound messages into
+  /// `ep`'s matching engine and flushes this process's queued outbound.
+  /// Called from the endpoint's progress entry points (msgtest,
+  /// msgtestany, iprobe, irecv, poll_progress) — possibly under the
+  /// scheduler's wait_mu_, so implementations must only *queue* waiter
+  /// fires (Transport::inject), never flush them.
+  virtual void pump(Endpoint& ep) { (void)ep; }
+
+  /// True if pump() can ever have work. False lets the endpoint skip
+  /// the virtual call on every test fast path (the in-proc backend).
+  virtual bool needs_pump() const noexcept { return false; }
+
+  /// Hosts one invocation of `process_main` per simulated process and
+  /// returns when all have finished; rethrows the first failure.
+  virtual void run(Machine& m,
+                   const std::function<void(Endpoint&)>& process_main) = 0;
+
+  /// OS-level barrier across all of the machine's processes.
+  virtual void barrier(Machine& m) = 0;
+
+  /// Per-machine shared scratch (kSharedScratchBytes, zeroed at machine
+  /// construction); the same physical memory in every process.
+  virtual void* shared_scratch() noexcept = 0;
+
+  /// Bounded wait for inbound traffic addressed to `ep` (the doorbell).
+  /// Returns immediately when inbound data or queued outbound exists.
+  /// Default backoff: donate the timeslice.
+  virtual void wait_inbound(Endpoint& ep, std::uint64_t max_ns);
+
+ protected:
+  /// The in-process delivery path, verbatim: synchronous accept on the
+  /// destination endpoint (matching under its mu_, waiter fires flushed
+  /// after the lock drops — safe only because submit never runs under
+  /// wait_mu_). Returns the accept result (false = rendezvous pending).
+  static bool deliver(Endpoint& dst, const MsgHeader& h, const IoVec* iov,
+                      std::size_t iovcnt, std::atomic<bool>* sender_flag);
+
+  /// The wire-injection path: matching under mu_ with waiter fires left
+  /// *queued* (never flushed — pump may run under wait_mu_; parked
+  /// selectors flush via poll_progress, irecv and the WQ group poll
+  /// flush at their existing safe points). force_eager makes any
+  /// unmatched payload eager-buffered regardless of the threshold —
+  /// wire bytes are already consumed from the sender's point of view,
+  /// so the rendezvous (sender-referencing) branch must be unreachable.
+  static bool inject(Endpoint& dst, const MsgHeader& h, const IoVec* iov,
+                     std::size_t iovcnt, std::atomic<bool>* sender_flag,
+                     bool force_eager);
+
+  /// Shared thread-mode process hosting: one std::thread per process,
+  /// first exception rethrown after all join. Used by the in-proc
+  /// backend always and the shmring backend when not forking.
+  static void run_threads(Machine& m,
+                          const std::function<void(Endpoint&)>& process_main);
+};
+
+/// Builds the backend selected by m.config().transport (already
+/// resolved against the environment by the Machine constructor).
+std::unique_ptr<Transport> make_transport(Machine& m);
+
+}  // namespace nx

@@ -1,6 +1,7 @@
 // runtime.cpp — Runtime lifecycle, thread registry, blocking machinery.
 #include "chant/runtime.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,28 @@ void idle_hook(void*) {
   // Nothing runnable: the process is waiting on another simulated
   // process. Back off the OS thread briefly so peers make progress.
   std::this_thread::yield();
+}
+
+void transport_idle_hook(void* rt_) {
+  // Wire backends (needs_pump): instead of burning the timeslice, block
+  // on the transport doorbell until inbound traffic arrives — bounded
+  // both by a short budget (the 1 ms-bounded parks elsewhere stay the
+  // liveness backstop) and by the earliest armed timer, so an idle wait
+  // never delays a due deadline.
+  auto* rt = static_cast<Runtime*>(rt_);
+  std::uint64_t budget = 200'000;  // 200 µs
+  lwt::Scheduler& sched = rt->scheduler();
+  if (sched.armed_timers() != 0) {
+    const std::uint64_t due = sched.next_timer_deadline();
+    const std::uint64_t now = sched.now();
+    if (due <= now) {
+      std::this_thread::yield();
+      return;
+    }
+    budget = std::min(budget, due - now);
+  }
+  nx::Endpoint& ep = rt->endpoint();
+  ep.machine().transport().wait_inbound(ep, budget);
 }
 
 // Extra scheduler workers are fresh OS threads; seed their Runtime
@@ -79,7 +102,11 @@ Runtime::Runtime(World& world, nx::Endpoint& ep)
   if (cfg_.policy == PollPolicy::SchedulerPollsWQ && cfg_.wq_use_testany) {
     sched_.set_wq_group_poll(&Runtime::wq_group_poll, this);
   }
-  sched_.set_idle_hook(&idle_hook, nullptr);
+  if (ep.machine().transport().needs_pump()) {
+    sched_.set_idle_hook(&transport_idle_hook, this);
+  } else {
+    sched_.set_idle_hook(&idle_hook, nullptr);
+  }
   sched_.set_workers(cfg_.workers);
   sched_.set_worker_hooks(&worker_start_hook, &worker_stop_hook, this);
   if (cfg_.controller_factory != nullptr) {

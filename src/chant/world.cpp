@@ -1,6 +1,8 @@
 // world.cpp — whole-machine bootstrap.
 #include "chant/world.hpp"
 
+#include <new>
+
 #include "wire.hpp"
 
 namespace chant {
@@ -9,7 +11,14 @@ World::World(const Config& cfg)
     : cfg_(cfg),
       machine_(nx::Machine::Config{cfg.pes, cfg.processes_per_pe, cfg.net,
                                    cfg.eager_threshold, cfg.fault, cfg.clock,
-                                   cfg.clock_ctx}) {}
+                                   cfg.clock_ctx, cfg.transport,
+                                   cfg.fork_processes, cfg.shm_ring_bytes}) {
+  // Termination counter in the machine's shared scratch (the chant-
+  // reserved first 16 bytes): the same zeroed mapping is visible to
+  // every process on every backend, fork mode included.
+  static_assert(sizeof(std::atomic<int>) <= 16, "scratch reservation");
+  mains_done_ = new (machine_.shared_scratch()) std::atomic<int>(0);
+}
 
 int World::register_handler(Runtime::Handler h) {
   user_handlers_.push_back(h);
@@ -17,7 +26,7 @@ int World::register_handler(Runtime::Handler h) {
 }
 
 void World::run(const std::function<void(Runtime&)>& main_fn) {
-  mains_done_.store(0, std::memory_order_release);
+  mains_done_->store(0, std::memory_order_release);
   machine_.run([&](nx::Endpoint& ep) {
     Runtime rt(*this, ep);
     rt.run_process(main_fn);

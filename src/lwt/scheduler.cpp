@@ -277,6 +277,10 @@ std::uint64_t Scheduler::deadline_after(std::uint64_t delta_ns) const {
   return delta_ns >= kNoDeadline - t ? kNoDeadline : t + delta_ns;
 }
 
+std::uint64_t Scheduler::next_timer_deadline() const noexcept {
+  return next_deadline_cache_.load(std::memory_order_acquire);
+}
+
 TimerWheel::TimerId Scheduler::arm_timer(std::uint64_t deadline_ns, Tcb* t) {
   ++local_stats().timers_armed;
   const TimerWheel::TimerId id = timers_.arm(deadline_ns, t);

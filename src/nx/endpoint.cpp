@@ -92,6 +92,8 @@ Endpoint::Endpoint(Machine& machine, int pe, int proc)
     : machine_(machine),
       pe_(pe),
       proc_(proc),
+      transport_(&machine.transport()),
+      pump_active_(machine.transport().needs_pump()),
       unex_(static_cast<std::size_t>(machine.total_processes())),
       last_deliver_(static_cast<std::size_t>(machine.total_processes()), 0) {
   // Fixed-size chunk directory: lock-free readers may index it while an
@@ -444,7 +446,8 @@ bool Endpoint::accept_send(const MsgHeader& h, const IoVec* iov,
 
 bool Endpoint::accept_send_locked(const MsgHeader& h, const IoVec* iov,
                                   std::size_t iovcnt,
-                                  std::atomic<bool>* sender_flag) {
+                                  std::atomic<bool>* sender_flag,
+                                  bool force_eager) {
   const Machine::Config& cfg = machine_.config();
   const NetModel& net = cfg.net;
   const int src = machine_.flat_index(h.src_pe, h.src_proc);
@@ -544,10 +547,13 @@ bool Endpoint::accept_send_locked(const MsgHeader& h, const IoVec* iov,
       next_deliver_at_.store(deliver_at, std::memory_order_release);
     }
   }
-  if (h.len <= machine_.config().eager_threshold) {
+  if (force_eager || h.len <= machine_.config().eager_threshold) {
     // Stays unexpected: buffer it so the send is locally blocking. This
     // is the one intermediate copy the descriptor path ever makes, and
-    // the counters make it visible.
+    // the counters make it visible. Wire transports force this branch —
+    // their ring memory is recycled as soon as injection returns, so
+    // the rendezvous path (which would retain fragment pointers) must
+    // be unreachable for wire bytes.
     if (h.len > 0) {
       m.payload = std::make_unique<std::uint8_t[]>(h.len);
       gather_copy(m.payload.get(), h.len, iov, iovcnt);
@@ -575,8 +581,8 @@ Handle Endpoint::start_send(int dst_pe, int dst_proc, int tag,
   Handle h = alloc_request(Request::Kind::Send);
   Request* r = checked(h);
   MsgHeader hdr{pe_, proc_, tag, channel, len, false};
-  Endpoint& dst = machine_.endpoint(dst_pe, dst_proc);
-  if (dst.accept_send(hdr, iov, iovcnt, &r->complete)) {
+  if (transport_->submit(machine_, hdr, dst_pe, dst_proc, iov, iovcnt,
+                         &r->complete)) {
     r->complete.store(true, std::memory_order_release);
   }
   return h;
@@ -602,13 +608,14 @@ void Endpoint::start_csend(int dst_pe, int dst_proc, int tag,
   counters_.bytes_sent.fetch_add(len, std::memory_order_relaxed);
   std::atomic<bool> done{false};
   MsgHeader hdr{pe_, proc_, tag, channel, len, false};
-  Endpoint& dst = machine_.endpoint(dst_pe, dst_proc);
-  if (dst.accept_send(hdr, iov, iovcnt, &done)) return;
-  // Rendezvous: spin until the receiver copies. This parks the whole OS
-  // thread, which is fine across processes; within one process use the
-  // Chant layer's thread-aware send instead. A short relax burst covers
-  // the receiver-already-copying case; beyond it, donate the timeslice
-  // (the receiving "processor" may share this core).
+  if (transport_->submit(machine_, hdr, dst_pe, dst_proc, iov, iovcnt, &done))
+    return;
+  // Rendezvous: spin until the receiver copies. Only the in-proc backend
+  // can take this branch (wire backends always consume). This parks the
+  // whole OS thread, which is fine across processes; within one process
+  // use the Chant layer's thread-aware send instead. A short relax burst
+  // covers the receiver-already-copying case; beyond it, donate the
+  // timeslice (the receiving "processor" may share this core).
   unsigned spins = 0;
   while (!done.load(std::memory_order_acquire)) {
     cpu_relax();
@@ -646,6 +653,10 @@ Handle Endpoint::irecv(int src_pe, int src_proc, int tag, int tag_mask,
   r->tag_mask = tag_mask;
   r->want_channel = channel;
   r->channel_mask = channel_mask;
+  // Wire backends: drain inbound rings into the matching engine first,
+  // so this receive sees everything already on the wire (gated on a
+  // cached bool — the in-proc fast path stays free of the virtual call).
+  if (pump_active_) transport_->pump(*this);
   {
     std::lock_guard<std::mutex> lk(mu_);
     const std::uint64_t now = net_now();
@@ -665,6 +676,9 @@ bool Endpoint::msgtest(Handle h, MsgHeader* out) {
     std::abort();
   }
   if (!r->complete.load(std::memory_order_acquire)) {
+    // Wire backends make progress only when pumped; pump() injects with
+    // fires queued, never flushed, so this is safe under wait_mu_.
+    if (pump_active_) transport_->pump(*this);
     if (r->kind.load(std::memory_order_relaxed) == Request::Kind::Recv) {
       // Progress: an in-flight message may have become visible. The
       // epoch gate makes the (dominant) no-news case two atomic loads —
@@ -727,7 +741,8 @@ int Endpoint::msgtestany(const Handle* hs, std::size_t n, MsgHeader* out) {
   counters_.testany_calls.fetch_add(1, std::memory_order_relaxed);
   // One progress pass, then one scan — the single-call semantics the
   // paper attributes to MPI_TESTANY. The progress pass is epoch-gated
-  // exactly like msgtest's.
+  // exactly like msgtest's (and, like msgtest's, pumps queue-only).
+  if (pump_active_) transport_->pump(*this);
   const std::uint64_t now = net_now();
   if (progress_pending(now)) {
     std::lock_guard<std::mutex> lk(mu_);
@@ -756,6 +771,7 @@ MsgHeader Endpoint::crecv(int src_pe, int src_proc, int tag, int tag_mask,
 
 bool Endpoint::iprobe(int src_pe, int src_proc, int tag, int tag_mask,
                       MsgHeader* out) {
+  if (pump_active_) transport_->pump(*this);
   std::lock_guard<std::mutex> lk(mu_);
   const std::uint64_t now = net_now();
   Request probe;
@@ -850,6 +866,7 @@ void Endpoint::clear_recv_waiter(Handle h) {
 }
 
 bool Endpoint::poll_progress() {
+  if (pump_active_) transport_->pump(*this);
   const std::uint64_t now = net_now();
   if (progress_pending(now)) {
     std::lock_guard<std::mutex> lk(mu_);
@@ -891,6 +908,9 @@ void Endpoint::waiter_quiesce() {
 }
 
 std::size_t Endpoint::unexpected_count() const {
+  // Like iprobe, this observes arrivals — on wire backends the wire
+  // must be drained first or queued traffic stays invisible forever.
+  if (pump_active_) transport_->pump(*const_cast<Endpoint*>(this));
   std::lock_guard<std::mutex> lk(mu_);
   return unex_total_;
 }

@@ -1,10 +1,9 @@
-// machine.cpp — process hosting and lifecycle for the simulated machine.
+// machine.cpp — config resolution and lifecycle for the simulated
+// machine; process hosting and barriers live behind the Transport seam.
 #include "nx/machine.hpp"
 
 #include <cstdio>
 #include <cstdlib>
-#include <exception>
-#include <thread>
 
 namespace nx {
 
@@ -14,6 +13,17 @@ Machine::Machine(const Config& cfg) : cfg_(cfg) {
                  cfg_.pes, cfg_.processes_per_pe);
     std::abort();
   }
+  cfg_.transport = resolve_transport(cfg_.transport);
+  if (cfg_.fork_processes && cfg_.transport != TransportKind::ShmRing) {
+    std::fprintf(stderr,
+                 "nx: fork_processes requires the shmring transport "
+                 "(got %s)\n",
+                 to_string(cfg_.transport));
+    std::abort();
+  }
+  // The transport must exist before the endpoints: each Endpoint caches
+  // the backend pointer and its needs_pump() answer at construction.
+  transport_ = make_transport(*this);
   endpoints_.reserve(static_cast<std::size_t>(total_processes()));
   for (int pe = 0; pe < cfg_.pes; ++pe) {
     for (int pr = 0; pr < cfg_.processes_per_pe; ++pr) {
@@ -37,36 +47,9 @@ const Endpoint& Machine::endpoint(int pe, int proc) const {
 }
 
 void Machine::run(const std::function<void(Endpoint&)>& process_main) {
-  const int n = total_processes();
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
-  std::exception_ptr first_error;
-  std::mutex err_mu;
-  for (int i = 0; i < n; ++i) {
-    Endpoint* ep = endpoints_[static_cast<std::size_t>(i)].get();
-    threads.emplace_back([&, ep] {
-      try {
-        process_main(*ep);
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(err_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  transport_->run(*this, process_main);
 }
 
-void Machine::os_barrier() {
-  std::unique_lock<std::mutex> lk(bar_mu_);
-  const std::uint64_t gen = bar_gen_;
-  if (++bar_arrived_ == static_cast<std::size_t>(total_processes())) {
-    bar_arrived_ = 0;
-    ++bar_gen_;
-    bar_cv_.notify_all();
-    return;
-  }
-  bar_cv_.wait(lk, [&] { return bar_gen_ != gen; });
-}
+void Machine::os_barrier() { transport_->barrier(*this); }
 
 }  // namespace nx

@@ -1,0 +1,110 @@
+// transport.cpp — seam plumbing: kind parsing/resolution, the two
+// delivery helpers backends build on, thread hosting, and the factory.
+#include "nx/transport.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nx/machine.hpp"
+#include "transport_inproc.hpp"
+#include "transport_shmring.hpp"
+
+namespace nx {
+
+const char* to_string(TransportKind k) noexcept {
+  switch (k) {
+    case TransportKind::InProc:
+      return "inproc";
+    case TransportKind::ShmRing:
+      return "shmring";
+    case TransportKind::Default:
+      break;
+  }
+  return "default";
+}
+
+TransportKind parse_transport(const char* s) noexcept {
+  if (s == nullptr || *s == '\0') return TransportKind::InProc;
+  if (std::strcmp(s, "shmring") == 0 || std::strcmp(s, "shm") == 0)
+    return TransportKind::ShmRing;
+  return TransportKind::InProc;  // "inproc" and anything unknown
+}
+
+TransportKind resolve_transport(TransportKind k) noexcept {
+  if (k != TransportKind::Default) return k;
+  return parse_transport(std::getenv("CHANT_TRANSPORT"));
+}
+
+Transport::~Transport() = default;
+
+void Transport::wait_inbound(Endpoint& ep, std::uint64_t max_ns) {
+  (void)ep;
+  (void)max_ns;
+  std::this_thread::yield();
+}
+
+bool Transport::deliver(Endpoint& dst, const MsgHeader& h, const IoVec* iov,
+                        std::size_t iovcnt, std::atomic<bool>* sender_flag) {
+  // The pre-seam path: accept_send locks dst.mu_, matches or queues,
+  // and flushes waiter fires after dropping the lock. Only safe from a
+  // submit context (never under the scheduler's wait_mu_).
+  return dst.accept_send(h, iov, iovcnt, sender_flag);
+}
+
+bool Transport::inject(Endpoint& dst, const MsgHeader& h, const IoVec* iov,
+                       std::size_t iovcnt, std::atomic<bool>* sender_flag,
+                       bool force_eager) {
+  // Queue-only variant for pump contexts: pumps run inside msgtest /
+  // msgtestany, which poll predicates call under the scheduler's
+  // wait_mu_ — flushing waiter fires here would close the ABBA cycle
+  // documented in endpoint.hpp. Queued fires drain at the engine's
+  // existing safe points (poll_progress, irecv tail, wq_group_poll).
+  bool consumed;
+  {
+    std::lock_guard<std::mutex> lk(dst.mu_);
+    consumed = dst.accept_send_locked(h, iov, iovcnt, sender_flag, force_eager);
+  }
+  return consumed;
+}
+
+void Transport::run_threads(Machine& m,
+                            const std::function<void(Endpoint&)>& process_main) {
+  const int n = m.total_processes();
+  const int ppe = m.processes_per_pe();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  for (int i = 0; i < n; ++i) {
+    Endpoint* ep = &m.endpoint(i / ppe, i % ppe);
+    threads.emplace_back([&, ep] {
+      try {
+        process_main(*ep);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::unique_ptr<Transport> make_transport(Machine& m) {
+  switch (m.config().transport) {
+    case TransportKind::ShmRing:
+      return std::make_unique<ShmRingTransport>(m.total_processes(),
+                                                m.config().shm_ring_bytes,
+                                                m.config().fork_processes);
+    case TransportKind::InProc:
+    case TransportKind::Default:  // resolved by the Machine ctor
+      break;
+  }
+  return std::make_unique<InProcTransport>();
+}
+
+}  // namespace nx

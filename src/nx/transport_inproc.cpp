@@ -1,0 +1,42 @@
+// transport_inproc.cpp — in-process backend: direct synchronous accept,
+// std::thread process hosting, condition-variable barrier.
+#include "transport_inproc.hpp"
+
+#include <cstring>
+
+#include "nx/machine.hpp"
+
+namespace nx {
+
+InProcTransport::InProcTransport() {
+  std::memset(scratch_.bytes, 0, sizeof scratch_.bytes);
+}
+
+bool InProcTransport::submit(Machine& m, const MsgHeader& h, int dst_pe,
+                             int dst_proc, const IoVec* iov,
+                             std::size_t iovcnt,
+                             std::atomic<bool>* sender_flag) {
+  // The pre-seam delivery path verbatim: lock the destination's matching
+  // state on the sender's OS thread, match or queue, flush waiter fires
+  // after the lock drops. false = rendezvous (receiver raises the flag).
+  return deliver(m.endpoint(dst_pe, dst_proc), h, iov, iovcnt, sender_flag);
+}
+
+void InProcTransport::run(Machine& m,
+                          const std::function<void(Endpoint&)>& process_main) {
+  run_threads(m, process_main);
+}
+
+void InProcTransport::barrier(Machine& m) {
+  std::unique_lock<std::mutex> lk(bar_mu_);
+  const std::uint64_t gen = bar_gen_;
+  if (++bar_arrived_ == static_cast<std::size_t>(m.total_processes())) {
+    bar_arrived_ = 0;
+    ++bar_gen_;
+    bar_cv_.notify_all();
+    return;
+  }
+  bar_cv_.wait(lk, [&] { return bar_gen_ != gen; });
+}
+
+}  // namespace nx

@@ -1,0 +1,52 @@
+// transport_inproc.hpp — the original simulated multicomputer, behind
+// the Transport seam. INTERNAL to src/nx/ (chant-lint transport-
+// internals): everything else programs against nx/transport.hpp.
+//
+// submit is a direct synchronous accept on the destination endpoint,
+// executed on the sender's OS thread — the exact call the pre-seam
+// engine made, so matching order, counters, and sim/ScheduleController
+// replay are bit-identical. There is no pump (needs_pump() == false
+// keeps the endpoint fast paths free of even the virtual call), the
+// barrier is the original condition-variable generation barrier, and
+// processes are std::threads.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "nx/transport.hpp"
+
+namespace nx {
+
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport();
+
+  TransportKind kind() const noexcept override { return TransportKind::InProc; }
+
+  bool submit(Machine& m, const MsgHeader& h, int dst_pe, int dst_proc,
+              const IoVec* iov, std::size_t iovcnt,
+              std::atomic<bool>* sender_flag) override;
+
+  void run(Machine& m,
+           const std::function<void(Endpoint&)>& process_main) override;
+
+  void barrier(Machine& m) override;
+
+  void* shared_scratch() noexcept override { return scratch_.bytes; }
+
+ private:
+  // Simple reusable barrier (std::barrier needs the count at
+  // construction but run() may be called repeatedly; keep our own).
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  std::size_t bar_arrived_ = 0;
+  std::uint64_t bar_gen_ = 0;
+
+  struct alignas(64) Scratch {
+    unsigned char bytes[kSharedScratchBytes];
+  };
+  Scratch scratch_{};
+};
+
+}  // namespace nx

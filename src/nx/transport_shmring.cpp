@@ -1,0 +1,506 @@
+// transport_shmring.cpp — cross-process backend over one MAP_SHARED
+// anonymous segment: N*N SPSC byte rings, futex doorbells, a
+// sense-reversing barrier, and optional fork-per-process hosting.
+// See transport_shmring.hpp for the wire protocol overview.
+#include "transport_shmring.hpp"
+
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "nx/machine.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#endif
+
+namespace nx {
+
+namespace {
+
+constexpr std::uint32_t kSegMagic = 0x43524e47;  // "CRNG"
+
+std::size_t align64(std::size_t n) noexcept { return (n + 63) & ~std::size_t{63}; }
+
+std::size_t round_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Futex on shared memory: NOT the _PRIVATE variants — fork mode waits
+// and wakes across address spaces. Timeouts bound every wait so a lost
+// wake degrades to latency, never to a hang.
+#if defined(__linux__)
+void futex_wait_bounded(std::atomic<std::uint32_t>* addr, std::uint32_t expected,
+                        std::uint64_t timeout_ns) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1000000000ull);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1000000000ull);
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAIT,
+          expected, &ts, nullptr, 0);
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>* addr) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAKE,
+          INT32_MAX, nullptr, nullptr, 0);
+}
+#else
+void futex_wait_bounded(std::atomic<std::uint32_t>* addr, std::uint32_t expected,
+                        std::uint64_t timeout_ns) {
+  (void)timeout_ns;
+  if (addr->load(std::memory_order_acquire) == expected)
+    std::this_thread::yield();
+}
+
+void futex_wake_all(std::atomic<std::uint32_t>*) {}
+#endif
+
+/// Copies [offset, offset+n) of the gathered fragment list into dst.
+void copy_from_iov(std::uint8_t* dst, const IoVec* iov, std::size_t iovcnt,
+                   std::size_t offset, std::size_t n) {
+  std::size_t i = 0;
+  while (i < iovcnt && offset >= iov[i].len) {
+    offset -= iov[i].len;
+    ++i;
+  }
+  while (n != 0 && i < iovcnt) {
+    const std::size_t take = std::min(n, iov[i].len - offset);
+    if (take != 0)
+      std::memcpy(dst, static_cast<const std::uint8_t*>(iov[i].base) + offset,
+                  take);
+    dst += take;
+    n -= take;
+    offset = 0;
+    ++i;
+  }
+}
+
+}  // namespace
+
+ShmRingTransport::ShmRingTransport(int nprocs, std::size_t ring_bytes,
+                                   bool fork_processes)
+    : nprocs_(nprocs), fork_(fork_processes) {
+  cap_ = round_pow2(std::max<std::size_t>(ring_bytes, 4096));
+  // A record must fit contiguously with room to spare: cap one chunk's
+  // payload at a quarter ring (minus the header), 8-aligned, and never
+  // above 32 KiB so tiny test rings and huge production rings both
+  // fragment sensibly.
+  chunk_max_ =
+      std::min<std::size_t>(32768, cap_ / 4 - sizeof(RecHdr)) & ~std::size_t{7};
+
+  doors_off_ = align64(sizeof(SegHdr));
+  rings_off_ = align64(doors_off_ + static_cast<std::size_t>(nprocs_) * sizeof(Door));
+  ring_stride_ = sizeof(RingCtl) + cap_;  // both 64-aligned already
+  seg_bytes_ = rings_off_ +
+               static_cast<std::size_t>(nprocs_) * nprocs_ * ring_stride_;
+
+  seg_ = ::mmap(nullptr, seg_bytes_, PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (seg_ == MAP_FAILED) {
+    std::perror("nx: mmap shmring segment");
+    std::abort();
+  }
+  // mmap memory is zero-filled; C++20 value-initialized atomics are
+  // zero too, so placement-init just makes the lifetimes formal.
+  SegHdr* h = new (seg_) SegHdr{};
+  h->magic = kSegMagic;
+  h->nprocs = nprocs_;
+  h->ring_bytes = cap_;
+  for (int d = 0; d < nprocs_; ++d) new (door(d)) Door{};
+  for (int s = 0; s < nprocs_; ++s)
+    for (int d = 0; d < nprocs_; ++d) new (ctl(s, d)) RingCtl{};
+
+  local_.reserve(static_cast<std::size_t>(nprocs_));
+  for (int i = 0; i < nprocs_; ++i) {
+    auto pl = std::make_unique<ProcLocal>();
+    pl->pending.resize(static_cast<std::size_t>(nprocs_));
+    pl->staging.resize(static_cast<std::size_t>(nprocs_));
+    local_.push_back(std::move(pl));
+  }
+}
+
+ShmRingTransport::~ShmRingTransport() {
+  if (seg_ != nullptr) ::munmap(seg_, seg_bytes_);
+}
+
+ShmRingTransport::RingCtl* ShmRingTransport::ctl(int src, int dst) noexcept {
+  auto* base = static_cast<std::uint8_t*>(seg_) + rings_off_ +
+               (static_cast<std::size_t>(src) * nprocs_ + dst) * ring_stride_;
+  return reinterpret_cast<RingCtl*>(base);
+}
+
+std::uint8_t* ShmRingTransport::data(int src, int dst) noexcept {
+  return reinterpret_cast<std::uint8_t*>(ctl(src, dst)) + sizeof(RingCtl);
+}
+
+ShmRingTransport::Door* ShmRingTransport::door(int dst) noexcept {
+  return reinterpret_cast<Door*>(static_cast<std::uint8_t*>(seg_) + doors_off_ +
+                                 static_cast<std::size_t>(dst) * sizeof(Door));
+}
+
+ShmRingTransport::SegHdr* ShmRingTransport::hdr() noexcept {
+  return static_cast<SegHdr*>(seg_);
+}
+
+void* ShmRingTransport::shared_scratch() noexcept { return hdr()->scratch; }
+
+std::uint8_t* ShmRingTransport::reserve(int src, int dst, std::uint32_t need) {
+  RingCtl* c = ctl(src, dst);
+  const std::uint64_t head = c->head.load(std::memory_order_acquire);
+  std::uint64_t tail = c->tail.load(std::memory_order_relaxed);  // sole producer
+  std::uint64_t pos = tail & (cap_ - 1);
+  const std::uint64_t contig = cap_ - pos;
+  if (contig < need) {
+    // Pad over the short tail region and restart at offset 0. The pad
+    // is ≥ 8 bytes (records are 8-aligned) so {size, type} always fit.
+    if (cap_ - (tail - head) < contig + need) return nullptr;
+    RecHdr pad{};
+    pad.size = static_cast<std::uint32_t>(contig);
+    pad.type = Rec::kPad;
+    std::memcpy(data(src, dst) + pos, &pad, 8);
+    c->tail.store(tail + contig, std::memory_order_release);
+    tail += contig;
+    pos = 0;
+  } else if (cap_ - (tail - head) < need) {
+    return nullptr;
+  }
+  return data(src, dst) + pos;
+}
+
+void ShmRingTransport::publish(int src, int dst, std::uint32_t bytes) {
+  RingCtl* c = ctl(src, dst);
+  c->tail.store(c->tail.load(std::memory_order_relaxed) + bytes,
+                std::memory_order_release);
+}
+
+void ShmRingTransport::ring_doorbell(int dst) {
+  Door* d = door(dst);
+  d->seq.fetch_add(1, std::memory_order_release);
+  if (d->waiting.load(std::memory_order_acquire) != 0) futex_wake_all(&d->seq);
+}
+
+bool ShmRingTransport::write_record(int src, int dst, const std::uint8_t* rec,
+                                    std::uint32_t size) {
+  std::uint8_t* p = reserve(src, dst, size);
+  if (p == nullptr) return false;
+  std::memcpy(p, rec, size);
+  publish(src, dst, size);
+  return true;
+}
+
+bool ShmRingTransport::flush_pending_locked(int src, int dst) {
+  ProcLocal& pl = *local_[static_cast<std::size_t>(src)];
+  auto& q = pl.pending[static_cast<std::size_t>(dst)];
+  bool any = false;
+  while (!q.empty()) {
+    const auto& rec = q.front();
+    if (!write_record(src, dst, rec.data(),
+                      static_cast<std::uint32_t>(rec.size())))
+      break;
+    q.pop_front();
+    pl.pending_records.fetch_sub(1, std::memory_order_release);
+    any = true;
+  }
+  return any;
+}
+
+void ShmRingTransport::emit_record(int src, int dst, std::uint8_t type,
+                                   std::uint8_t last, const MsgHeader& h,
+                                   const IoVec* iov, std::size_t iovcnt,
+                                   std::size_t offset, std::size_t payload,
+                                   bool* published) {
+  const std::uint32_t need = static_cast<std::uint32_t>(
+      (sizeof(RecHdr) + payload + 7) & ~std::size_t{7});
+  RecHdr rh{};
+  rh.size = need;
+  rh.type = type;
+  rh.last = last;
+  rh.src_pe = h.src_pe;
+  rh.src_proc = h.src_proc;
+  rh.tag = h.tag;
+  rh.channel = h.channel;
+  rh.len = type == Rec::kChunkMore ? payload : h.len;
+
+  ProcLocal& pl = *local_[static_cast<std::size_t>(src)];
+  if (pl.pending[static_cast<std::size_t>(dst)].empty()) {
+    if (std::uint8_t* p = reserve(src, dst, need)) {
+      std::memcpy(p, &rh, sizeof rh);
+      copy_from_iov(p + sizeof(RecHdr), iov, iovcnt, offset, payload);
+      publish(src, dst, need);
+      *published = true;
+      return;
+    }
+  }
+  // Ring full (or records already queued ahead — FIFO): serialize onto
+  // the process-local pending queue. The payload is consumed either
+  // way; a submit on this backend never blocks the sender.
+  std::vector<std::uint8_t> rec(need, 0);
+  std::memcpy(rec.data(), &rh, sizeof rh);
+  copy_from_iov(rec.data() + sizeof(RecHdr), iov, iovcnt, offset, payload);
+  pl.pending[static_cast<std::size_t>(dst)].push_back(std::move(rec));
+  pl.pending_records.fetch_add(1, std::memory_order_release);
+}
+
+bool ShmRingTransport::submit(Machine& m, const MsgHeader& h, int dst_pe,
+                              int dst_proc, const IoVec* iov,
+                              std::size_t iovcnt,
+                              std::atomic<bool>* sender_flag) {
+  (void)sender_flag;  // always consumed: this backend never rendezvouses
+  const int src = m.flat_index(h.src_pe, h.src_proc);
+  const int dst = m.flat_index(dst_pe, dst_proc);
+  ProcLocal& pl = *local_[static_cast<std::size_t>(src)];
+  bool published = false;
+  {
+    std::lock_guard<std::mutex> lk(pl.send_mu);
+    // FIFO: anything queued for this destination must hit the ring
+    // before the new message.
+    if (flush_pending_locked(src, dst)) published = true;
+    if (h.len <= chunk_max_) {
+      emit_record(src, dst, Rec::kMsg, 0, h, iov, iovcnt, 0, h.len,
+                  &published);
+    } else {
+      emit_record(src, dst, Rec::kChunkStart, 0, h, iov, iovcnt, 0, chunk_max_,
+                  &published);
+      std::size_t off = chunk_max_;
+      while (off < h.len) {
+        const std::size_t pb = std::min(chunk_max_, h.len - off);
+        const std::uint8_t fin = off + pb == h.len ? 1 : 0;
+        emit_record(src, dst, Rec::kChunkMore, fin, h, iov, iovcnt, off, pb,
+                    &published);
+        off += pb;
+      }
+    }
+  }
+  if (published) ring_doorbell(dst);
+  return true;
+}
+
+void ShmRingTransport::inject_record(Endpoint& ep, int src, const RecHdr& rh,
+                                     const std::uint8_t* payload) {
+  (void)src;
+  MsgHeader h;
+  h.src_pe = rh.src_pe;
+  h.src_proc = rh.src_proc;
+  h.tag = rh.tag;
+  h.channel = rh.channel;
+  h.len = static_cast<std::size_t>(rh.len);
+  IoVec one{payload, h.len};
+  // Queue-only injection (fires are flushed by the engine's safe
+  // points, never from a pump — see DESIGN.md §12); force-eager so the
+  // wire payload is copied out before the ring space is recycled.
+  inject(ep, h, &one, 1, nullptr, /*force_eager=*/true);
+}
+
+void ShmRingTransport::pump(Endpoint& ep) {
+  Machine& m = ep.machine();
+  const int flat = m.flat_index(ep.pe(), ep.proc());
+  ProcLocal& pl = *local_[static_cast<std::size_t>(flat)];
+
+  // Outbound first: receivers elsewhere may be blocked on records still
+  // sitting in this process's pending queues.
+  if (pl.pending_records.load(std::memory_order_acquire) != 0) {
+    std::lock_guard<std::mutex> lk(pl.send_mu);
+    for (int dst = 0; dst < nprocs_; ++dst)
+      if (flush_pending_locked(flat, dst)) ring_doorbell(dst);
+  }
+
+  // Inbound: single consumer per destination. try_lock — if another of
+  // this process's threads is already draining, the rings are covered.
+  if (!pl.recv_mu.try_lock()) return;
+  std::lock_guard<std::mutex> lk(pl.recv_mu, std::adopt_lock);
+  for (int src = 0; src < nprocs_; ++src) {
+    RingCtl* c = ctl(src, flat);
+    std::uint64_t head = c->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = c->tail.load(std::memory_order_acquire);
+    const std::uint8_t* base = data(src, flat);
+    while (head != tail) {
+      const std::uint64_t pos = head & (cap_ - 1);
+      RecHdr rh;
+      std::memcpy(&rh, base + pos, 8);  // pads may be this short
+      if (rh.type != Rec::kPad) std::memcpy(&rh, base + pos, sizeof rh);
+      Staging& st = pl.staging[static_cast<std::size_t>(src)];
+      switch (rh.type) {
+        case Rec::kPad:
+          break;
+        case Rec::kMsg:
+          // Zero extra copy: the matching engine copies synchronously
+          // out of ring memory (posted match → user buffer, otherwise
+          // → eager heap buffer) before we advance head.
+          inject_record(ep, src, rh, base + pos + sizeof(RecHdr));
+          break;
+        case Rec::kChunkStart:
+          st.hdr = rh;
+          st.active = true;
+          st.buf.assign(base + pos + sizeof(RecHdr),
+                        base + pos + sizeof(RecHdr) + chunk_max_);
+          break;
+        case Rec::kChunkMore: {
+          const std::size_t pb = static_cast<std::size_t>(rh.len);
+          st.buf.insert(st.buf.end(), base + pos + sizeof(RecHdr),
+                        base + pos + sizeof(RecHdr) + pb);
+          if (rh.last != 0) {
+            inject_record(ep, src, st.hdr, st.buf.data());
+            st.active = false;
+            st.buf.clear();
+          }
+          break;
+        }
+        default:
+          std::fprintf(stderr, "nx: shmring corrupt record type %u\n",
+                       static_cast<unsigned>(rh.type));
+          std::abort();
+      }
+      head += rh.size;
+      // Publish per record so the producer regains space promptly.
+      c->head.store(head, std::memory_order_release);
+    }
+  }
+}
+
+bool ShmRingTransport::inbound_nonempty(int flat) noexcept {
+  for (int src = 0; src < nprocs_; ++src) {
+    RingCtl* c = ctl(src, flat);
+    if (c->tail.load(std::memory_order_acquire) !=
+        c->head.load(std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+void ShmRingTransport::drain_outbound(Endpoint& ep) {
+  Machine& m = ep.machine();
+  const int flat = m.flat_index(ep.pe(), ep.proc());
+  ProcLocal& pl = *local_[static_cast<std::size_t>(flat)];
+  while (pl.pending_records.load(std::memory_order_acquire) != 0) {
+    pump(ep);
+    std::this_thread::yield();
+  }
+}
+
+void ShmRingTransport::wait_inbound(Endpoint& ep, std::uint64_t max_ns) {
+  Machine& m = ep.machine();
+  const int flat = m.flat_index(ep.pe(), ep.proc());
+  ProcLocal& pl = *local_[static_cast<std::size_t>(flat)];
+  // Never sleep on undelivered outbound — peers can't wake us for
+  // records only we can flush. Pump instead: it both flushes pending
+  // and drains inbound (the latter is what frees the full ring).
+  if (pl.pending_records.load(std::memory_order_acquire) != 0) {
+    pump(ep);
+    std::this_thread::yield();
+    return;
+  }
+  Door* d = door(flat);
+  const std::uint32_t seen = d->seq.load(std::memory_order_acquire);
+  if (inbound_nonempty(flat)) return;
+  d->waiting.fetch_add(1, std::memory_order_acq_rel);
+  if (!inbound_nonempty(flat))
+    futex_wait_bounded(&d->seq, seen,
+                       std::min<std::uint64_t>(max_ns, 1000000));  // ≤ 1 ms
+  d->waiting.fetch_sub(1, std::memory_order_release);
+}
+
+void ShmRingTransport::barrier(Machine& m) {
+  (void)m;
+  SegHdr* h = hdr();
+  const std::uint32_t sense = h->bar_sense.load(std::memory_order_acquire);
+  if (h->bar_arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      static_cast<std::uint32_t>(nprocs_)) {
+    h->bar_arrived.store(0, std::memory_order_relaxed);
+    h->bar_sense.store(sense + 1, std::memory_order_release);
+    futex_wake_all(&h->bar_sense);
+    return;
+  }
+  while (h->bar_sense.load(std::memory_order_acquire) == sense)
+    futex_wait_bounded(&h->bar_sense, sense, 1000000);  // bounded: lost-wake safe
+}
+
+void ShmRingTransport::record_child_error(const char* what) noexcept {
+  SegHdr* h = hdr();
+  std::int32_t expected = 0;
+  if (h->err_raised.compare_exchange_strong(expected, 1,
+                                            std::memory_order_acq_rel)) {
+    std::strncpy(h->err_msg, what, sizeof h->err_msg - 1);
+    h->err_msg[sizeof h->err_msg - 1] = '\0';
+  }
+}
+
+void ShmRingTransport::run(Machine& m,
+                           const std::function<void(Endpoint&)>& process_main) {
+  // Wrap the process main so a sender whose rings backed up flushes its
+  // heap-queued records before going quiet — otherwise a receiver could
+  // wait forever on bytes only the (exited) sender can publish.
+  auto wrapped = [&](Endpoint& ep) {
+    process_main(ep);
+    drain_outbound(ep);
+  };
+  if (!fork_) {
+    run_threads(m, wrapped);
+    return;
+  }
+  run_forked(m, wrapped);
+}
+
+void ShmRingTransport::run_forked(
+    Machine& m, const std::function<void(Endpoint&)>& process_main) {
+  SegHdr* h = hdr();
+  h->err_raised.store(0, std::memory_order_relaxed);
+  h->bar_arrived.store(0, std::memory_order_relaxed);
+
+  std::fflush(nullptr);  // don't duplicate buffered output into children
+  const int n = m.total_processes();
+  const int ppe = m.processes_per_pe();
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("nx: fork");
+      std::abort();
+    }
+    if (pid == 0) {
+      int rc = 0;
+      try {
+        process_main(m.endpoint(i / ppe, i % ppe));
+      } catch (const std::exception& e) {
+        record_child_error(e.what());
+        rc = 1;
+      } catch (...) {
+        record_child_error("unknown exception in nx process");
+        rc = 1;
+      }
+      std::fflush(nullptr);
+      ::_exit(rc);  // never unwind into the parent's state
+    }
+    pids.push_back(pid);
+  }
+
+  bool failed = false;
+  for (pid_t p : pids) {
+    int wst = 0;
+    if (::waitpid(p, &wst, 0) < 0)
+      failed = true;
+    else if (!WIFEXITED(wst) || WEXITSTATUS(wst) != 0)
+      failed = true;
+  }
+  if (failed || h->err_raised.load(std::memory_order_acquire) != 0) {
+    std::string msg = "nx: shmring child process failed";
+    if (h->err_raised.load(std::memory_order_acquire) != 0) {
+      msg += ": ";
+      msg += h->err_msg;
+    }
+    throw std::runtime_error(msg);
+  }
+}
+
+}  // namespace nx

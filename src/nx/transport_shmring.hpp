@@ -1,0 +1,208 @@
+// transport_shmring.hpp — cross-process backend: SPSC shared-memory
+// byte rings with futex doorbells and a sense-reversing shm barrier.
+// INTERNAL to src/nx/ (chant-lint transport-internals): everything else
+// programs against nx/transport.hpp.
+//
+// Topology: one shared-memory segment (MAP_SHARED | MAP_ANONYMOUS,
+// mapped once at machine construction, inherited by threads and forked
+// children alike) holding N*N single-producer/single-consumer byte
+// rings — one per ordered (src, dst) process pair — plus per-process
+// doorbells, the barrier block, an error slot, and the machine's shared
+// scratch. Single-producer holds because each source process serializes
+// its submitters through a process-local send lock; single-consumer
+// holds because each destination serializes its pumpers through a
+// process-local receive lock.
+//
+// Wire format: 8-byte-aligned records {RecHdr, payload}. A record never
+// wraps — when the contiguous tail region is too small the producer
+// emits a Pad record covering it and restarts at offset zero. Messages
+// larger than one chunk travel as ChunkStart + ChunkMore records
+// (reassembled in a receiver-local staging buffer; SPSC FIFO guarantees
+// the chunks arrive contiguously in record order). When a ring is full
+// the producer serializes the remaining records into a process-local
+// pending queue, flushed by every later submit/pump from that process —
+// so a submit never blocks and always *consumes* the payload
+// (locally-blocking eager semantics; the in-proc rendezvous branch is
+// unreachable on this backend, which is exactly what force-eager
+// injection expresses on the receiving side).
+//
+// Delivery: pump() drains this process's inbound rings, injecting each
+// message into the matching engine via Transport::inject — matching,
+// per-source FIFO clamping, FaultyNet, and NetModel deliver-at all run
+// at injection time, above the seam. A message matched by a posted
+// receive is copied once, straight from ring (or staging) memory into
+// the user's buffer. Waiter fires are queued, never flushed (pump may
+// run under the scheduler's wait_mu_; see DESIGN.md §12).
+//
+// Process hosting: threads by default (any suite can run on this
+// backend unchanged); with Config::fork_processes each simulated
+// process becomes a forked OS process. Child failures are recorded in
+// the shm error slot and re-raised in the parent after waitpid.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "nx/transport.hpp"
+
+namespace nx {
+
+class ShmRingTransport final : public Transport {
+ public:
+  ShmRingTransport(int nprocs, std::size_t ring_bytes, bool fork_processes);
+  ~ShmRingTransport() override;
+
+  TransportKind kind() const noexcept override {
+    return TransportKind::ShmRing;
+  }
+
+  bool submit(Machine& m, const MsgHeader& h, int dst_pe, int dst_proc,
+              const IoVec* iov, std::size_t iovcnt,
+              std::atomic<bool>* sender_flag) override;
+
+  void pump(Endpoint& ep) override;
+  bool needs_pump() const noexcept override { return true; }
+
+  void run(Machine& m,
+           const std::function<void(Endpoint&)>& process_main) override;
+
+  void barrier(Machine& m) override;
+
+  void* shared_scratch() noexcept override;
+
+  void wait_inbound(Endpoint& ep, std::uint64_t max_ns) override;
+
+  /// Data bytes per direction ring after power-of-two rounding
+  /// (introspection for tests).
+  std::size_t ring_capacity() const noexcept { return cap_; }
+  /// Largest payload slice carried by one record (tests force tiny
+  /// rings to exercise fragmentation and wraparound).
+  std::size_t chunk_payload_max() const noexcept { return chunk_max_; }
+
+ private:
+  /// Record header, 8-byte aligned and contiguous in the ring. Pad
+  /// records may be as short as 8 bytes — only {size, type} are read.
+  struct RecHdr {
+    std::uint32_t size;      ///< whole record bytes (8-aligned)
+    std::uint8_t type;       ///< Rec::*
+    std::uint8_t last;       ///< ChunkMore: final chunk of its message
+    std::uint16_t reserved;
+    std::int32_t src_pe;
+    std::int32_t src_proc;
+    std::int32_t tag;
+    std::int32_t channel;
+    std::uint64_t len;  ///< Msg/ChunkStart: total message bytes;
+                        ///< ChunkMore: this chunk's payload bytes
+  };
+  static_assert(sizeof(RecHdr) == 32, "wire layout");
+
+  struct Rec {
+    static constexpr std::uint8_t kMsg = 1;
+    static constexpr std::uint8_t kPad = 2;
+    static constexpr std::uint8_t kChunkStart = 3;
+    static constexpr std::uint8_t kChunkMore = 4;
+  };
+
+  /// Ring control block: head and tail on separate cache lines, data[]
+  /// follows at ctl_stride() in the segment.
+  struct RingCtl {
+    alignas(64) std::atomic<std::uint64_t> head;  ///< consumer position
+    alignas(64) std::atomic<std::uint64_t> tail;  ///< producer position
+  };
+
+  /// Per-process doorbell: seq bumps (with a futex wake when anyone
+  /// waits) each time a producer publishes into any of the process's
+  /// inbound rings.
+  struct Door {
+    alignas(64) std::atomic<std::uint32_t> seq;
+    std::atomic<std::uint32_t> waiting;
+  };
+
+  struct SegHdr {
+    std::uint32_t magic;
+    std::int32_t nprocs;
+    std::uint64_t ring_bytes;
+    // Sense-reversing barrier: works identically for threads and forked
+    // processes (futex on shared memory).
+    alignas(64) std::atomic<std::uint32_t> bar_arrived;
+    std::atomic<std::uint32_t> bar_sense;
+    // First-failure slot for forked children.
+    alignas(64) std::atomic<std::int32_t> err_raised;
+    char err_msg[200];
+    alignas(64) unsigned char scratch[kSharedScratchBytes];
+  };
+
+  /// Receiver-local reassembly state for one inbound ring.
+  struct Staging {
+    std::vector<std::uint8_t> buf;
+    RecHdr hdr{};
+    bool active = false;
+  };
+
+  /// Process-local (never shared across the machine's processes; in
+  /// fork mode each child only ever touches its own slot).
+  struct ProcLocal {
+    std::mutex send_mu;  ///< serializes this source's producers
+    std::vector<std::deque<std::vector<std::uint8_t>>> pending;  ///< [dst]
+    std::atomic<std::size_t> pending_records{0};
+    std::mutex recv_mu;  ///< serializes this destination's pumpers
+    std::vector<Staging> staging;  ///< [src]
+  };
+
+  RingCtl* ctl(int src, int dst) noexcept;
+  std::uint8_t* data(int src, int dst) noexcept;
+  Door* door(int dst) noexcept;
+  SegHdr* hdr() noexcept;
+
+  /// Reserves `need` contiguous bytes in ring (src, dst), emitting a Pad
+  /// record over a too-small tail region. Caller holds send_mu[src].
+  /// Returns null when the ring cannot take the record right now.
+  std::uint8_t* reserve(int src, int dst, std::uint32_t need);
+  void publish(int src, int dst, std::uint32_t bytes);
+  void ring_doorbell(int dst);
+
+  /// Writes one fully serialized record; false if the ring is full.
+  bool write_record(int src, int dst, const std::uint8_t* rec,
+                    std::uint32_t size);
+  /// Moves queued records into the ring while space allows; returns true
+  /// if anything was published. Caller holds send_mu[src].
+  bool flush_pending_locked(int src, int dst);
+
+  /// Appends one record slicing [offset, offset+payload) of the gathered
+  /// message — directly into the ring when possible, else onto the
+  /// pending queue. Caller holds send_mu[src].
+  void emit_record(int src, int dst, std::uint8_t type, std::uint8_t last,
+                   const MsgHeader& h, const IoVec* iov, std::size_t iovcnt,
+                   std::size_t offset, std::size_t payload, bool* published);
+
+  void inject_record(Endpoint& ep, int src, const RecHdr& rh,
+                     const std::uint8_t* payload);
+
+  bool inbound_nonempty(int flat) noexcept;
+  /// Runs after process_main returns: keeps pumping until this
+  /// process's pending queues are empty, so records a backed-up ring
+  /// forced onto the heap still reach their receivers after the sender
+  /// goes quiet. Pumping (not just flushing) also keeps draining our
+  /// inbound rings, which is what breaks the two-full-rings deadlock
+  /// between mutually exiting processes.
+  void drain_outbound(Endpoint& ep);
+  void record_child_error(const char* what) noexcept;
+  void run_forked(Machine& m,
+                  const std::function<void(Endpoint&)>& process_main);
+
+  int nprocs_ = 0;
+  std::size_t cap_ = 0;        ///< data bytes per ring (power of two)
+  std::size_t chunk_max_ = 0;  ///< payload bytes per chunk record
+  bool fork_ = false;
+
+  void* seg_ = nullptr;  ///< MAP_SHARED segment
+  std::size_t seg_bytes_ = 0;
+  std::size_t doors_off_ = 0;
+  std::size_t rings_off_ = 0;
+  std::size_t ring_stride_ = 0;  ///< control block + data, 64-aligned
+
+  std::vector<std::unique_ptr<ProcLocal>> local_;
+};
+
+}  // namespace nx

@@ -18,6 +18,9 @@ struct PolicyCase {
   chant::PollPolicy policy;
   bool wq_testany;
   chant::AddressingMode addressing;
+  /// Delivery backend; Default keeps the environment's choice (so the
+  /// plain policy sweep honours CHANT_TRANSPORT in CI jobs).
+  nx::TransportKind transport = nx::TransportKind::Default;
 };
 
 inline std::string case_name(const PolicyCase& c) {
@@ -30,6 +33,11 @@ inline std::string case_name(const PolicyCase& c) {
     case chant::PollPolicy::SchedulerPollsPS: s = "PS"; break;
   }
   s += c.addressing == chant::AddressingMode::TagOverload ? "_tag" : "_hdr";
+  switch (c.transport) {
+    case nx::TransportKind::Default: break;
+    case nx::TransportKind::InProc: s += "_inp"; break;
+    case nx::TransportKind::ShmRing: s += "_shm"; break;
+  }
   return s;
 }
 
@@ -39,6 +47,7 @@ inline chant::World::Config config_for(const PolicyCase& c, int pes = 2) {
   cfg.rt.policy = c.policy;
   cfg.rt.wq_use_testany = c.wq_testany;
   cfg.rt.addressing = c.addressing;
+  cfg.transport = c.transport;
   return cfg;
 }
 
@@ -51,6 +60,20 @@ inline std::vector<PolicyCase> all_cases() {
     cases.push_back({PollPolicy::SchedulerPollsWQ, false, mode});
     cases.push_back({PollPolicy::SchedulerPollsWQ, true, mode});
     cases.push_back({PollPolicy::SchedulerPollsPS, false, mode});
+  }
+  return cases;
+}
+
+/// The cross-backend contract sweep: every policy/addressing case pinned
+/// to each concrete transport. Suites instantiated over this must behave
+/// identically on every backend (ISSUE 8 acceptance).
+inline std::vector<PolicyCase> transport_cases() {
+  std::vector<PolicyCase> cases;
+  for (auto k : {nx::TransportKind::InProc, nx::TransportKind::ShmRing}) {
+    for (PolicyCase c : all_cases()) {
+      c.transport = k;
+      cases.push_back(c);
+    }
   }
   return cases;
 }

@@ -12,9 +12,16 @@ namespace {
 
 /// Single-PE machine: all matching logic can be exercised with
 /// self-sends, which keeps these tests sequential and deterministic.
-class NxMatching : public ::testing::Test {
+/// Parameterized over the delivery backend — matching semantics are the
+/// transport contract, so every case must hold verbatim on each one.
+class NxMatching : public ::testing::TestWithParam<nx::TransportKind> {
  protected:
-  nx::Machine m{nx::Machine::Config{1, 1, nx::NetModel::zero(), 1 << 16}};
+  static nx::Machine::Config cfg(nx::TransportKind k) {
+    nx::Machine::Config c{1, 1, nx::NetModel::zero(), 1 << 16};
+    c.transport = k;
+    return c;
+  }
+  nx::Machine m{cfg(GetParam())};
   nx::Endpoint& ep() { return m.endpoint(0, 0); }
 
   void send_self(int tag, const std::string& s, int channel = 0) {
@@ -22,7 +29,7 @@ class NxMatching : public ::testing::Test {
   }
 };
 
-TEST_F(NxMatching, ExactTagMatches) {
+TEST_P(NxMatching, ExactTagMatches) {
   send_self(42, "hello");
   char buf[16];
   const nx::MsgHeader h = ep().crecv(0, 0, 42, nx::kTagExact, buf, sizeof buf);
@@ -31,7 +38,7 @@ TEST_F(NxMatching, ExactTagMatches) {
   EXPECT_EQ(std::string(buf, h.len), "hello");
 }
 
-TEST_F(NxMatching, DifferentTagDoesNotMatch) {
+TEST_P(NxMatching, DifferentTagDoesNotMatch) {
   send_self(1, "one");
   send_self(2, "two");
   char buf[16];
@@ -42,7 +49,7 @@ TEST_F(NxMatching, DifferentTagDoesNotMatch) {
   EXPECT_EQ(std::string(buf, h1.len), "one");
 }
 
-TEST_F(NxMatching, AnyTagMatchesFirstArrival) {
+TEST_P(NxMatching, AnyTagMatchesFirstArrival) {
   send_self(7, "first");
   send_self(8, "second");
   char buf[16];
@@ -51,7 +58,7 @@ TEST_F(NxMatching, AnyTagMatchesFirstArrival) {
   EXPECT_EQ(std::string(buf, h.len), "first");
 }
 
-TEST_F(NxMatching, MaskedTagMatchesBitPattern) {
+TEST_P(NxMatching, MaskedTagMatchesBitPattern) {
   // Pattern: upper byte must be 0x0A, rest free — the tag-overloading
   // scheme Chant relies on (paper §3.1(2)).
   send_self(0x0B01, "wrong-high-byte");
@@ -63,7 +70,7 @@ TEST_F(NxMatching, MaskedTagMatchesBitPattern) {
   EXPECT_EQ(std::string(buf, h.len), "right");
 }
 
-TEST_F(NxMatching, ChannelFieldMatches) {
+TEST_P(NxMatching, ChannelFieldMatches) {
   send_self(5, "chanA", /*channel=*/100);
   send_self(5, "chanB", /*channel=*/200);
   char buf[16];
@@ -75,7 +82,7 @@ TEST_F(NxMatching, ChannelFieldMatches) {
   EXPECT_EQ(std::string(buf, out.len), "chanB");
 }
 
-TEST_F(NxMatching, PerSourceFifoWithinTag) {
+TEST_P(NxMatching, PerSourceFifoWithinTag) {
   for (int i = 0; i < 10; ++i) send_self(9, std::to_string(i));
   char buf[16];
   for (int i = 0; i < 10; ++i) {
@@ -85,7 +92,7 @@ TEST_F(NxMatching, PerSourceFifoWithinTag) {
   }
 }
 
-TEST_F(NxMatching, PostedReceivesMatchInPostOrder) {
+TEST_P(NxMatching, PostedReceivesMatchInPostOrder) {
   char b1[8] = {0};
   char b2[8] = {0};
   nx::Handle h1 = ep().irecv(0, 0, 3, nx::kTagExact, b1, sizeof b1);
@@ -100,7 +107,7 @@ TEST_F(NxMatching, PostedReceivesMatchInPostOrder) {
   EXPECT_EQ(b2[0], 'B');
 }
 
-TEST_F(NxMatching, TruncationIsReported) {
+TEST_P(NxMatching, TruncationIsReported) {
   send_self(4, "0123456789");
   char buf[4];
   const nx::MsgHeader h = ep().crecv(0, 0, 4, nx::kTagExact, buf, sizeof buf);
@@ -109,7 +116,7 @@ TEST_F(NxMatching, TruncationIsReported) {
   EXPECT_EQ(std::string(buf, 4), "0123");
 }
 
-TEST_F(NxMatching, ZeroByteMessages) {
+TEST_P(NxMatching, ZeroByteMessages) {
   ep().csend(0, 0, 11, nullptr, 0);
   char buf[4];
   const nx::MsgHeader h = ep().crecv(0, 0, 11, nx::kTagExact, buf, sizeof buf);
@@ -117,7 +124,7 @@ TEST_F(NxMatching, ZeroByteMessages) {
   EXPECT_FALSE(h.truncated);
 }
 
-TEST_F(NxMatching, ProbeSeesWithoutConsuming) {
+TEST_P(NxMatching, ProbeSeesWithoutConsuming) {
   EXPECT_FALSE(ep().iprobe(0, 0, 6, nx::kTagExact));
   send_self(6, "peek");
   nx::MsgHeader h;
@@ -129,7 +136,7 @@ TEST_F(NxMatching, ProbeSeesWithoutConsuming) {
   EXPECT_FALSE(ep().iprobe(0, 0, 6, nx::kTagExact));
 }
 
-TEST_F(NxMatching, WildcardSourceAcceptsAnyPe) {
+TEST_P(NxMatching, WildcardSourceAcceptsAnyPe) {
   send_self(12, "from-self");
   char buf[16];
   const nx::MsgHeader h =
@@ -137,5 +144,12 @@ TEST_F(NxMatching, WildcardSourceAcceptsAnyPe) {
   EXPECT_EQ(h.src_pe, 0);
   EXPECT_EQ(h.src_proc, 0);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, NxMatching,
+    ::testing::Values(nx::TransportKind::InProc, nx::TransportKind::ShmRing),
+    [](const ::testing::TestParamInfo<nx::TransportKind>& info) {
+      return std::string(nx::to_string(info.param));
+    });
 
 }  // namespace

@@ -29,15 +29,25 @@ struct Wire {
   // payload follows
 };
 
-/// (eager_threshold, pes) sweep: small thresholds force rendezvous,
-/// large ones make everything eager; the properties must hold regardless.
-class NxDelivery
-    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+/// (eager_threshold, pes, transport) sweep: small thresholds force
+/// rendezvous, large ones make everything eager, and both delivery
+/// backends must satisfy every property identically (the conservation
+/// and FIFO oracles are the cross-backend contract).
+class NxDelivery : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, int, nx::TransportKind>> {
+ protected:
+  static nx::Machine::Config cfg(std::size_t eager, int pes,
+                                 nx::TransportKind k) {
+    nx::Machine::Config c{pes, 1, nx::NetModel::zero(), eager};
+    c.transport = k;
+    return c;
+  }
+};
 
 TEST_P(NxDelivery, AllToAllNoLossNoCorruption) {
-  const auto [eager, pes] = GetParam();
+  const auto [eager, pes, kind] = GetParam();
   constexpr int kPerPair = 40;
-  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), eager}};
+  nx::Machine m{cfg(eager, pes, kind)};
   const int npes = pes;
   m.run([&](nx::Endpoint& ep) {
     std::mt19937 rng(static_cast<unsigned>(ep.pe()) * 7919u + 13u);
@@ -134,9 +144,9 @@ TEST_P(NxDelivery, WaiterHookObservationPreservesFifoAndCounters) {
   // per-source FIFO pairing holds unchanged, every receive fires
   // exactly once, and the matching-engine counters account for every
   // delivery through exactly one match class.
-  const auto [eager, pes] = GetParam();
+  const auto [eager, pes, kind] = GetParam();
   constexpr int kPerPair = 40;
-  nx::Machine m{nx::Machine::Config{pes, 1, nx::NetModel::zero(), eager}};
+  nx::Machine m{cfg(eager, pes, kind)};
   const int npes = pes;
   m.run([&](nx::Endpoint& ep) {
     std::mt19937 rng(static_cast<unsigned>(ep.pe()) * 6271u + 29u);
@@ -241,10 +251,13 @@ INSTANTIATE_TEST_SUITE_P(
     ProtocolMix, NxDelivery,
     ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{512},
                                          std::size_t{1} << 16),
-                       ::testing::Values(2, 4)),
+                       ::testing::Values(2, 4),
+                       ::testing::Values(nx::TransportKind::InProc,
+                                         nx::TransportKind::ShmRing)),
     [](const auto& info) {
       return "eager" + std::to_string(std::get<0>(info.param)) + "_pes" +
-             std::to_string(std::get<1>(info.param));
+             std::to_string(std::get<1>(info.param)) + "_" +
+             nx::to_string(std::get<2>(info.param));
     });
 
 TEST(NxDeliveryLatency, PropertyHoldsUnderNetworkDelay) {

@@ -1,0 +1,269 @@
+// nx_transport_test.cpp — the Transport seam itself: backend selection,
+// shm ring mechanics (fragmentation, wraparound, backpressure), the
+// cross-process barrier, shared scratch, and fork-per-process hosting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <new>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "chant/chant.hpp"
+#include "nx/machine.hpp"
+
+namespace {
+
+// Forking from a gtest binary whose main thread is instrumented trips
+// TSan's "starting new threads after multi-threaded fork" check; the
+// fork path is exercised by the plain and ASan CI jobs instead.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CHANT_TSAN 1
+#endif
+#endif
+#ifndef CHANT_TSAN
+#define CHANT_TSAN 0
+#endif
+#define SKIP_UNDER_TSAN() \
+  if (CHANT_TSAN) GTEST_SKIP() << "fork mode is not TSan-compatible"
+
+nx::Machine::Config shm_cfg(int pes, bool fork_processes = false,
+                            std::size_t ring_bytes = 1 << 18) {
+  nx::Machine::Config c;
+  c.pes = pes;
+  c.transport = nx::TransportKind::ShmRing;
+  c.fork_processes = fork_processes;
+  c.shm_ring_bytes = ring_bytes;
+  return c;
+}
+
+/// Test scratch region: the first 16 bytes of the machine's shared
+/// scratch are reserved for the chant layer, so nx-level tests stake
+/// out the bytes after them.
+std::atomic<int>* test_counter(nx::Machine& m) {
+  return new (static_cast<unsigned char*>(m.shared_scratch()) + 16)
+      std::atomic<int>(0);
+}
+
+TEST(TransportKind, ParseAndResolve) {
+  EXPECT_EQ(nx::parse_transport(nullptr), nx::TransportKind::InProc);
+  EXPECT_EQ(nx::parse_transport(""), nx::TransportKind::InProc);
+  EXPECT_EQ(nx::parse_transport("inproc"), nx::TransportKind::InProc);
+  EXPECT_EQ(nx::parse_transport("shmring"), nx::TransportKind::ShmRing);
+  EXPECT_EQ(nx::parse_transport("shm"), nx::TransportKind::ShmRing);
+  EXPECT_EQ(nx::parse_transport("nonsense"), nx::TransportKind::InProc);
+  // Pinned kinds resolve to themselves regardless of the environment.
+  EXPECT_EQ(nx::resolve_transport(nx::TransportKind::InProc),
+            nx::TransportKind::InProc);
+  EXPECT_EQ(nx::resolve_transport(nx::TransportKind::ShmRing),
+            nx::TransportKind::ShmRing);
+}
+
+TEST(TransportKind, MachineResolvesAndReportsBackend) {
+  nx::Machine inproc{nx::Machine::Config{}};
+  EXPECT_NE(inproc.config().transport, nx::TransportKind::Default);
+  EXPECT_STREQ(nx::to_string(nx::TransportKind::InProc), "inproc");
+  nx::Machine shm{shm_cfg(2)};
+  EXPECT_EQ(shm.config().transport, nx::TransportKind::ShmRing);
+  EXPECT_STREQ(shm.transport().name(), "shmring");
+  EXPECT_TRUE(shm.transport().needs_pump());
+}
+
+TEST(ShmRing, TinyRingFragmentsLargeMessages) {
+  // 4 KiB rings: a 64 KiB payload must travel as many chunk records and
+  // reassemble byte-exact. The pending queue absorbs what the ring
+  // cannot hold while the receiver drains.
+  nx::Machine m{shm_cfg(2, false, 4096)};
+  const std::size_t n = 64 * 1024;
+  m.run([&](nx::Endpoint& ep) {
+    if (ep.pe() == 0) {
+      std::vector<std::uint8_t> msg(n);
+      std::iota(msg.begin(), msg.end(), std::uint8_t{0});
+      ep.csend(1, 0, 9, msg.data(), msg.size());
+    } else {
+      std::vector<std::uint8_t> buf(n);
+      const nx::MsgHeader h =
+          ep.crecv(0, 0, 9, nx::kTagExact, buf.data(), buf.size());
+      ASSERT_EQ(h.len, n);
+      EXPECT_FALSE(h.truncated);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(buf[i], static_cast<std::uint8_t>(i)) << "byte " << i;
+    }
+  });
+}
+
+TEST(ShmRing, ManySmallMessagesWrapAround) {
+  // Far more traffic than ring capacity: exercises wraparound pads and
+  // producer backpressure, and the per-source FIFO must survive both.
+  nx::Machine m{shm_cfg(2, false, 4096)};
+  constexpr int kMsgs = 3000;
+  m.run([&](nx::Endpoint& ep) {
+    const int peer = 1 - ep.pe();
+    if (ep.pe() == 0) {
+      for (int i = 0; i < kMsgs; ++i) ep.csend(peer, 0, 3, &i, sizeof i);
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        int got = -1;
+        ep.crecv(peer, 0, 3, nx::kTagExact, &got, sizeof got);
+        ASSERT_EQ(got, i);
+      }
+    }
+  });
+}
+
+TEST(ShmRing, ZeroByteAndTruncationAcrossTheWire) {
+  nx::Machine m{shm_cfg(2)};
+  m.run([&](nx::Endpoint& ep) {
+    if (ep.pe() == 0) {
+      ep.csend(1, 0, 1, nullptr, 0);
+      const char big[32] = "0123456789abcdef0123456789abcde";
+      ep.csend(1, 0, 2, big, sizeof big);
+    } else {
+      char buf[8];
+      const nx::MsgHeader z = ep.crecv(0, 0, 1, nx::kTagExact, buf, sizeof buf);
+      EXPECT_EQ(z.len, 0u);
+      EXPECT_FALSE(z.truncated);
+      const nx::MsgHeader t = ep.crecv(0, 0, 2, nx::kTagExact, buf, sizeof buf);
+      EXPECT_EQ(t.len, 32u);  // original length still reported
+      EXPECT_TRUE(t.truncated);
+      EXPECT_EQ(std::string(buf, 8), "01234567");
+    }
+  });
+}
+
+TEST(ShmRing, SharedScratchVisibleToAllProcesses) {
+  nx::Machine m{shm_cfg(2)};
+  std::atomic<int>* ctr = test_counter(m);
+  m.run([&](nx::Endpoint& ep) {
+    ctr->fetch_add(1, std::memory_order_acq_rel);
+    ep.machine().os_barrier();
+    EXPECT_EQ(ctr->load(std::memory_order_acquire), 2);
+  });
+}
+
+TEST(OsBarrier, InProcessPathUnchanged) {
+  // Regression for the barrier extraction: on the inproc backend the
+  // barrier must still rendezvous all processes (no thread released
+  // before the last arrives), run() after run() on the same machine.
+  // Pinned to InProc explicitly so a CHANT_TRANSPORT sweep of this
+  // binary still exercises the original condvar barrier.
+  nx::Machine::Config c{4, 1, nx::NetModel::zero(), 1 << 16};
+  c.transport = nx::TransportKind::InProc;
+  nx::Machine m{c};
+  ASSERT_EQ(m.config().transport, nx::TransportKind::InProc);
+  for (int round = 0; round < 2; ++round) {
+    std::atomic<int> arrived{0};
+    std::atomic<bool> violated{false};
+    m.run([&](nx::Endpoint& ep) {
+      (void)ep;
+      arrived.fetch_add(1, std::memory_order_acq_rel);
+      ep.machine().os_barrier();
+      if (arrived.load(std::memory_order_acquire) != 4) violated = true;
+      ep.machine().os_barrier();
+    });
+    EXPECT_FALSE(violated.load());
+  }
+}
+
+TEST(ForkMode, RequiresShmRing) {
+  EXPECT_DEATH(
+      {
+        nx::Machine::Config c;
+        c.transport = nx::TransportKind::InProc;
+        c.fork_processes = true;
+        nx::Machine m{c};
+      },
+      "fork_processes requires the shmring transport");
+}
+
+TEST(ForkMode, PingPongAcrossRealProcesses) {
+  SKIP_UNDER_TSAN();
+  nx::Machine m{shm_cfg(2, /*fork_processes=*/true)};
+  std::atomic<int>* ok = test_counter(m);
+  m.run([&](nx::Endpoint& ep) {
+    const int peer = 1 - ep.pe();
+    constexpr int kRounds = 50;
+    // gtest assertions in a forked child die with the child, invisible
+    // to the parent's reporter — verify via the shared error/ok slots.
+    for (int i = 0; i < kRounds; ++i) {
+      if (ep.pe() == 0) {
+        ep.csend(peer, 0, 7, &i, sizeof i);
+        int echo = -1;
+        ep.crecv(peer, 0, 8, nx::kTagExact, &echo, sizeof echo);
+        if (echo != i * 2) throw std::runtime_error("bad echo");
+      } else {
+        int got = -1;
+        ep.crecv(peer, 0, 7, nx::kTagExact, &got, sizeof got);
+        const int reply = got * 2;
+        ep.csend(peer, 0, 8, &reply, sizeof reply);
+      }
+    }
+    ok->fetch_add(1, std::memory_order_acq_rel);
+  });
+  // Each forked child bumped the shared counter exactly once.
+  EXPECT_EQ(ok->load(std::memory_order_acquire), 2);
+}
+
+TEST(ForkMode, BarrierSynchronizesRealProcesses) {
+  SKIP_UNDER_TSAN();
+  nx::Machine m{shm_cfg(3, /*fork_processes=*/true)};
+  std::atomic<int>* phase = test_counter(m);
+  m.run([&](nx::Endpoint& ep) {
+    nx::Machine& mm = ep.machine();
+    for (int round = 1; round <= 4; ++round) {
+      phase->fetch_add(1, std::memory_order_acq_rel);
+      mm.os_barrier();
+      // Everyone arrived: the counter must read exactly round * procs
+      // in every process before anyone races into the next round.
+      if (phase->load(std::memory_order_acquire) != round * 3)
+        throw std::runtime_error("barrier let a process through early");
+      mm.os_barrier();
+    }
+  });
+  EXPECT_EQ(phase->load(std::memory_order_acquire), 12);
+}
+
+TEST(ForkMode, ChildFailurePropagatesToParent) {
+  SKIP_UNDER_TSAN();
+  nx::Machine m{shm_cfg(2, /*fork_processes=*/true)};
+  EXPECT_THROW(
+      m.run([&](nx::Endpoint& ep) {
+        if (ep.pe() == 1) throw std::runtime_error("child boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(ForkMode, ChantWorldRunsForkedProcesses) {
+  SKIP_UNDER_TSAN();
+  // The full chant stack (runtime, server thread, RSR wire, termination
+  // protocol) on forked OS processes; results land in shared scratch.
+  chant::World::Config cfg;
+  cfg.pes = 2;
+  cfg.transport = nx::TransportKind::ShmRing;
+  cfg.fork_processes = true;
+  chant::World world{cfg};
+  std::atomic<int>* sum = test_counter(world.machine());
+  world.run([&](chant::Runtime& rt) {
+    const int me = rt.endpoint().pe();
+    const int peer = 1 - me;
+    const chant::Gid to{peer, 0, chant::kMainLid};
+    if (me == 0) {
+      int token = 21;
+      rt.send(5, &token, sizeof token, to);
+      int back = 0;
+      rt.recv(6, &back, sizeof back, to);
+      sum->fetch_add(back, std::memory_order_acq_rel);
+    } else {
+      int got = 0;
+      rt.recv(5, &got, sizeof got, to);
+      got *= 2;
+      rt.send(6, &got, sizeof got, to);
+    }
+  });
+  EXPECT_EQ(sum->load(std::memory_order_acquire), 42);
+}
+
+}  // namespace

@@ -14,12 +14,22 @@ brick CI. Metrics carrying "gate": false (trajectory-only, e.g.
 multi-worker rates that need real cores to be stable) are printed as
 "(info)" and never fail either.
 
-Usage: bench_gate.py BASELINE CURRENT [--threshold 0.25]
-Exit status: 0 ok, 1 regression, 2 usage/parse error.
+On failure the per-metric report is followed by a summary table naming
+each failed metric's baseline, current value, delta, the allowed bound,
+and the gating direction — enough to judge a flake from the CI log alone.
+
+--update refreshes the committed baseline: the CURRENT file is copied
+over BASELINE (after both parse and the would-be gate report is shown),
+for intentional re-baselining after an accepted perf change.
+
+Usage: bench_gate.py BASELINE CURRENT [--threshold 0.25] [--update]
+Exit status: 0 ok (always 0 with --update), 1 regression, 2 usage/parse
+error.
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
@@ -50,12 +60,14 @@ def main() -> int:
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="allowed relative regression (default 0.25 = 25%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy CURRENT over BASELINE (re-baseline) and exit 0")
     args = ap.parse_args()
 
     base = load_metrics(args.baseline)
     cur = load_metrics(args.current)
 
-    failures = []
+    failures = []  # (name, baseline, current, delta, unit)
     print(f"{'metric':32} {'baseline':>12} {'current':>12} {'delta':>8}")
     for name in sorted(set(base) | set(cur)):
         if name not in base:
@@ -79,11 +91,35 @@ def main() -> int:
         mark = "  FAIL" if regressed else ""
         print(f"{name:32} {bval:12.4g} {cval:12.4g} {delta:+7.1%}{mark}")
         if regressed:
-            failures.append(name)
+            failures.append((name, bval, cval, delta, unit))
+
+    if args.update:
+        try:
+            shutil.copyfile(args.current, args.baseline)
+        except OSError as e:
+            print(f"bench_gate: cannot update {args.baseline}: {e}",
+                  file=sys.stderr)
+            return 2
+        print(f"\nbench_gate: baseline {args.baseline} updated from "
+              f"{args.current}")
+        return 0
 
     if failures:
         print(f"\nbench_gate: {len(failures)} metric(s) regressed beyond "
-              f"{args.threshold:.0%}: {', '.join(failures)}", file=sys.stderr)
+              f"{args.threshold:.0%}", file=sys.stderr)
+        hdr = (f"{'metric':32} {'baseline':>12} {'current':>12} {'delta':>8} "
+               f"{'allowed':>8}  direction")
+        print(hdr, file=sys.stderr)
+        for name, bval, cval, delta, unit in failures:
+            direction = ("must not drop" if higher_is_better(unit)
+                         else "must not grow")
+            bound = (-args.threshold if higher_is_better(unit)
+                     else args.threshold)
+            print(f"{name:32} {bval:12.4g} {cval:12.4g} {delta:+7.1%} "
+                  f"{bound:+7.0%}  {direction} ({unit})", file=sys.stderr)
+        print("\nIf this change is an accepted trade-off, re-baseline with:\n"
+              f"  tools/bench_gate.py {args.baseline} {args.current} --update",
+              file=sys.stderr)
         return 1
     print(f"\nbench_gate: ok ({len(set(base) & set(cur))} metrics within "
           f"{args.threshold:.0%})")

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """chant-lint — Chant-specific static checks (DESIGN.md §9).
 
-Four rules the generic toolchain cannot express:
+Five rules the generic toolchain cannot express:
 
   dropped-status        A call to an always-Status-returning runtime
                         method (cancel_irecv, call_test) used as a bare
@@ -36,6 +36,15 @@ Four rules the generic toolchain cannot express:
                         wakes once per completion, O(ready)
                         (DESIGN.md §11).
 
+  transport-internals   A `#include` of a transport backend's private
+                        header (transport_inproc.hpp,
+                        transport_shmring.hpp) from a file outside
+                        src/nx/. The backends live behind the
+                        nx::Transport seam (DESIGN.md §12); callers pick
+                        one via Machine::Config::transport or
+                        CHANT_TRANSPORT, never by reaching into a
+                        backend's ring/doorbell internals.
+
 Suppress a finding with a trailing `// chant-lint: allow(<rule>)` on the
 offending line.
 
@@ -51,7 +60,7 @@ import re
 import sys
 
 RULES = ("dropped-status", "blocking-in-handler", "iovec-stack-lifetime",
-         "msgwait-loop")
+         "msgwait-loop", "transport-internals")
 
 ALLOW_RE = re.compile(r"//\s*chant-lint:\s*allow\(([\w-]+)\)")
 LINT_EXPECT_RE = re.compile(r"//\s*LINT:\s*([\w-]+)")
@@ -93,6 +102,19 @@ LOCAL_DECL_RE = re.compile(
 # completion scan (scalar-handle msgwait is fine: one handle, no scan).
 LOOP_KW_RE = re.compile(r"\b(?:for|while|do)\b")
 MSGWAIT_IDX_RE = re.compile(r"(?:\.|->)msgwait\s*\(\s*\w+\s*\[")
+
+# Private transport-backend headers; only src/nx/ may include them.
+TRANSPORT_INTERNAL_RE = re.compile(
+    r'#\s*include\s*[<"][^<">]*transport_(inproc|shmring)\.hpp[">]'
+)
+
+
+def inside_nx_backend(path):
+    """True for files under a src/nx/ directory — the one place the
+    backend headers are legitimately included."""
+    norm = os.path.normpath(os.path.abspath(path)).replace(os.sep, "/")
+    return "/src/nx/" in norm
+
 
 # Statement contexts in which a Status return IS consumed.
 CONSUMED_RE = re.compile(
@@ -241,6 +263,22 @@ def check_file(path):
                 f"unbounded blocking call '{m.group(1)}' inside RSR "
                 f"handler '{name}'; defer to an lwt::go helper fiber or "
                 "use a deadline-bounded variant"))
+
+    # ---- rule: transport-internals --------------------------------
+    # Matched against the raw line minus trailing // comments: the header
+    # name sits inside the include's quotes, which
+    # strip_comments_and_strings would blank out.
+    if not inside_nx_backend(path):
+        for i, raw in enumerate(lines):
+            code = raw.split("//", 1)[0]
+            m = TRANSPORT_INTERNAL_RE.search(code)
+            if m and not allowed(i, "transport-internals"):
+                findings.append(Finding(
+                    path, i + 1, "transport-internals",
+                    f"transport_{m.group(1)}.hpp is a backend-private "
+                    "header; select a backend through "
+                    "Machine::Config::transport (or CHANT_TRANSPORT), "
+                    "not by including src/nx internals"))
 
     # ---- rule: msgwait-loop ---------------------------------------
     depth = 0

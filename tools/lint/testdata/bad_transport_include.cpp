@@ -1,0 +1,18 @@
+// testdata: transport-internals. (Lint fodder, never compiled.)
+// This file lives outside src/nx/, so reaching into a backend's private
+// header must be flagged; the public seam header is fine.
+#include "nx/transport.hpp"
+#include "nx/machine.hpp"
+
+#include "transport_inproc.hpp"  // LINT: transport-internals
+#include "transport_shmring.hpp"  // LINT: transport-internals
+#include "nx/transport_shmring.hpp"  // LINT: transport-internals
+
+// Suppressed on purpose (e.g. a whitebox test poking ring geometry):
+#include "transport_shmring.hpp"  // chant-lint: allow(transport-internals)
+
+void use_machine() {
+  nx::Machine::Config cfg;
+  cfg.transport = nx::TransportKind::ShmRing;  // the sanctioned way
+  (void)cfg;
+}
