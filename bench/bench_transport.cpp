@@ -3,14 +3,17 @@
 // numbers double as the regression gate for the seam itself (the
 // refactor promised the simulated-multicomputer fast path verbatim);
 // the shmring numbers price a real cross-address-space hop (ring copy,
-// doorbell, pump) against it. Fork-mode latency is reported
-// trajectory-only (gate=false): process scheduling on shared CI
-// machines is far too noisy to gate on.
+// doorbell, pump) against it; the tcp numbers price the full socket
+// stack on loopback — the floor for what rank mode costs before a real
+// network is involved. Fork-mode latency is reported trajectory-only
+// (gate=false): process scheduling on shared CI machines is far too
+// noisy to gate on.
 //
 // Flags: --smoke (shrunk iteration counts for CI), --json <path>
 #include <atomic>
 #include <cstring>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "harness/bench_json.hpp"
@@ -20,11 +23,10 @@
 
 namespace {
 
-nx::Machine::Config cfg_for(nx::TransportKind k, bool fork_processes) {
+nx::Machine::Config cfg_for(const std::string& spec) {
   nx::Machine::Config c;
   c.pes = 2;
-  c.transport = k;
-  c.fork_processes = fork_processes;
+  c.transport_spec = nx::TransportSpec::parse(spec);
   return c;
 }
 
@@ -36,9 +38,8 @@ std::atomic<double>* result_slot(nx::Machine& m) {
 }
 
 /// Round-trip latency: pe0 sends `size` bytes, pe1 echoes them back.
-double pingpong_us(nx::TransportKind k, bool fork_processes, int iters,
-                   std::size_t size) {
-  nx::Machine m{cfg_for(k, fork_processes)};
+double pingpong_us(const std::string& spec, int iters, std::size_t size) {
+  nx::Machine m{cfg_for(spec)};
   std::atomic<double>* out = result_slot(m);
   m.run([&](nx::Endpoint& ep) {
     std::vector<std::uint8_t> buf(size, 0xA5);
@@ -56,7 +57,7 @@ double pingpong_us(nx::TransportKind k, bool fork_processes, int iters,
     }
   });
   // Timed run: warmed code paths, measured from pe0 only.
-  nx::Machine m2{cfg_for(k, fork_processes)};
+  nx::Machine m2{cfg_for(spec)};
   std::atomic<double>* out2 = result_slot(m2);
   m2.run([&](nx::Endpoint& ep) {
     std::vector<std::uint8_t> buf(size, 0xA5);
@@ -78,8 +79,8 @@ double pingpong_us(nx::TransportKind k, bool fork_processes, int iters,
 
 /// One-way stream bandwidth: pe0 pushes `iters` messages of `size`
 /// bytes, pe1 acks once after receiving them all.
-double stream_mbps(nx::TransportKind k, int iters, std::size_t size) {
-  nx::Machine m{cfg_for(k, false)};
+double stream_mbps(const std::string& spec, int iters, std::size_t size) {
+  nx::Machine m{cfg_for(spec)};
   std::atomic<double>* out = result_slot(m);
   m.run([&](nx::Endpoint& ep) {
     std::vector<std::uint8_t> buf(size, 0x3C);
@@ -121,18 +122,21 @@ int main(int argc, char** argv) {
   json.config("bw_iters", kBwIters);
   json.config("smoke", smoke ? "true" : "false");
 
-  for (auto k : {nx::TransportKind::InProc, nx::TransportKind::ShmRing}) {
-    const double pp = pingpong_us(k, false, kPpIters, kSmall);
-    const double bw = stream_mbps(k, kBwIters, kBig);
-    t.add_row({nx::to_string(k), harness::fmt("%.3f", pp),
+  // Thread-hosted backends: same two PEs, three delivery mechanisms —
+  // shared queues, shm rings, and real loopback sockets.
+  for (const char* spec : {"inproc", "shmring", "tcp://127.0.0.1:0"}) {
+    const std::string name =
+        nx::to_string(nx::TransportSpec::parse(spec).kind);
+    const double pp = pingpong_us(spec, kPpIters, kSmall);
+    const double bw = stream_mbps(spec, kBwIters, kBig);
+    t.add_row({name.c_str(), harness::fmt("%.3f", pp),
                harness::fmt("%.0f", bw)});
-    const std::string name = nx::to_string(k);
     json.metric(name + "_pp_8B_us", pp, "us/rt");
     json.metric(name + "_bw_64KB_MBps", bw, "MB/s");
   }
   // Fork mode: real OS processes over the same rings. Trajectory only.
   const double fork_pp =
-      pingpong_us(nx::TransportKind::ShmRing, true, kPpIters / 10 + 1, kSmall);
+      pingpong_us("shmring?fork=1", kPpIters / 10 + 1, kSmall);
   t.add_row({"shmring+fork", harness::fmt("%.3f", fork_pp), "-"});
   json.metric("shmring_fork_pp_8B_us", fork_pp, "us/rt", /*gate=*/false);
 

@@ -43,11 +43,10 @@ struct MsgInfo {
   Gid src{-1, -1, -1};
   int user_tag = 0;
   std::size_t len = 0;
-  /// Ok, or Truncated when the message was longer than the buffer.
+  /// Ok; Truncated when the message was longer than the buffer; or
+  /// PeerGone when a wire transport lost the exact source this receive
+  /// was posted against (len is 0 — no bytes were delivered).
   Status status{};
-  /// Deprecated: pre-Status field, kept in sync with status; test
-  /// status.code() == StatusCode::Truncated in new code.
-  bool truncated = false;
 };
 
 /// First RSR handler id handed out to user registrations (ids below it

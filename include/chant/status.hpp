@@ -30,11 +30,11 @@ enum class StatusCode : int {
 
 const char* to_string(StatusCode c) noexcept;
 
-/// Value-type result code. Converts implicitly to bool (true == Ok) so
-/// call sites written against the pre-Status bool APIs — where
-/// call_test() returned "complete?" and cancel_irecv() returned
-/// "withdrawn?" — keep compiling with identical truth values. New code
-/// should test code() explicitly; the bool shim is a migration aid.
+/// Value-type result code. Test ok() (or compare code()) explicitly —
+/// there is deliberately no implicit bool conversion: "truthiness" hid
+/// the difference between DeadlineExceeded and PeerGone at call sites
+/// that only cared whether to retry. (The pre-PR-9 conversion shim was
+/// removed; see DESIGN.md §8.)
 ///
 /// [[nodiscard]]: a silently dropped Status turns a deadline expiry or a
 /// dead peer into data corruption several calls later. Every producer of
@@ -46,8 +46,6 @@ class [[nodiscard]] Status {
 
   constexpr StatusCode code() const noexcept { return code_; }
   constexpr bool ok() const noexcept { return code_ == StatusCode::Ok; }
-  /// Deprecated migration shim: Ok ⇒ true, anything else ⇒ false.
-  constexpr operator bool() const noexcept { return ok(); }  // NOLINT
 
   const char* message() const noexcept { return to_string(code_); }
 

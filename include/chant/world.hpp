@@ -30,11 +30,20 @@ class World {
     nx::FaultInjector* fault = nullptr;
     std::uint64_t (*clock)(void* ctx) = nullptr;
     void* clock_ctx = nullptr;
-    /// Delivery backend selection, forwarded into nx::Machine::Config
-    /// (nx/transport.hpp). Default resolves CHANT_TRANSPORT.
+    /// DEPRECATED (PR 9): legacy backend selector, superseded by
+    /// transport_spec below (kept one release, forwarded verbatim).
+    /// chant-lint: allow(legacy-transport-config)
     nx::TransportKind transport = nx::TransportKind::Default;
-    bool fork_processes = false;       ///< ShmRing only
-    std::size_t shm_ring_bytes = 1 << 18;  ///< ShmRing only
+    /// DEPRECATED (PR 9): see transport_spec.fork.
+    /// chant-lint: allow(legacy-transport-config)
+    bool fork_processes = false;
+    /// DEPRECATED (PR 9): see transport_spec.ring_bytes.
+    std::size_t shm_ring_bytes = 1 << 18;
+    /// Delivery backend addressing (nx/transport.hpp TransportSpec),
+    /// forwarded into nx::Machine::Config. Resolution precedence there:
+    /// explicit spec > legacy fields above > CHANT_TRANSPORT > inproc;
+    /// a malformed CHANT_TRANSPORT throws at Machine construction.
+    nx::TransportSpec transport_spec{};
   };
 
   explicit World(const Config& cfg);
@@ -57,13 +66,20 @@ class World {
 
   /// Termination protocol (used by the runtime's main-thread wrapper):
   /// a process announces its main returned, then waits for all peers.
-  /// The counter lives in the machine's shared scratch so it counts
-  /// across forked OS processes exactly as it does across threads.
+  /// The counter rides the transport's shared-scratch ops (offset 0 of
+  /// the chant-reserved first 16 bytes), so it counts across threads,
+  /// forked OS processes, and tcp rank processes alike.
   void note_main_done() noexcept {
-    mains_done_->fetch_add(1, std::memory_order_acq_rel);
+    machine_.transport().scratch_add(0, 1);
   }
   int mains_done() const noexcept {
-    return mains_done_->load(std::memory_order_acquire);
+    return static_cast<int>(machine_.transport().scratch_load(0));
+  }
+  /// Peers this OS process lost uncleanly (wire transports; always 0
+  /// elsewhere). Counted toward termination so one dead peer cannot
+  /// wedge world shutdown.
+  int peers_gone() const noexcept {
+    return machine_.transport().peers_gone();
   }
 
  private:
@@ -71,7 +87,6 @@ class World {
   Config cfg_;
   nx::Machine machine_;
   std::vector<Runtime::Handler> user_handlers_;
-  std::atomic<int>* mains_done_ = nullptr;  ///< in machine shared scratch
 };
 
 }  // namespace chant

@@ -116,6 +116,10 @@ struct MsgHeader {
   int channel = 0;
   std::size_t len = 0;    ///< payload bytes the sender sent
   bool truncated = false; ///< receive buffer was smaller than len
+  /// The matched source died before satisfying this receive (wire
+  /// backends only): no payload was delivered, len is 0, and the
+  /// receive completed so its waiter does not hang forever.
+  bool peer_gone = false;
 };
 
 class Endpoint {
@@ -259,6 +263,15 @@ class Endpoint {
   std::size_t unexpected_count() const;
   /// Number of outstanding posted receives.
   std::size_t posted_count() const;
+
+  /// Wire-backend peer-loss surfacing: records (src_pe, src_proc) as
+  /// dead and completes every posted receive that names that exact
+  /// source and has no already-queued message able to satisfy it, with
+  /// hdr.peer_gone set. Later exact-source irecvs against a dead source
+  /// complete the same way once the queued backlog cannot match.
+  /// Queue-only (inject discipline): waiter fires are queued, never
+  /// flushed — callable from pump contexts under the scheduler's locks.
+  void mark_peer_gone(int src_pe, int src_proc);
 
  private:
   struct Request {
@@ -405,6 +418,22 @@ class Endpoint {
   /// Caller holds mu_ and has already drained.
   bool take_unexpected_match(Request& r);
 
+  /// Greedy claim simulation over dead source `src`'s queued backlog
+  /// (visible *and* in-flight entries), mirroring exactly the engine's
+  /// future delivery order: posted receives in post order each claim
+  /// their earliest matching unclaimed entry. Posted receives that
+  /// claim nothing are appended to `doomed` — the backlog can never
+  /// satisfy them. If `extra` is non-null it is simulated as the
+  /// latest post; the return value reports whether it found a claim.
+  /// Caller holds mu_.
+  bool simulate_claims(int src, std::vector<Handle>* doomed,
+                       const Request* extra) const;
+
+  /// Completes `r` with hdr.peer_gone (no payload), queueing any armed
+  /// waiter fire. Caller holds mu_ and has removed `r` from the posted
+  /// index (or never inserted it).
+  void complete_peer_gone(Request& r, int src_pe, int src_proc);
+
   /// Entry point used by the delivering transport (for the in-proc
   /// backend this runs on the *sender's* OS thread). The message is
   /// described by a gather descriptor (a contiguous send is one
@@ -457,6 +486,8 @@ class Endpoint {
   std::size_t unex_total_ = 0;
   std::uint64_t next_arrival_seq_ = 0;
   std::vector<std::uint64_t> last_deliver_;  ///< per-source monotonic clock
+  std::vector<char> dead_src_;  ///< per-source peer-gone flags (wire)
+  bool any_dead_src_ = false;
 
   // ---- epoch gate (written under mu_, read lock-free) ----
   std::atomic<std::uint64_t> arrival_seq_{0};  ///< in-flight arrivals seen

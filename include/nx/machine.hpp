@@ -40,17 +40,24 @@ class Machine {
     FaultInjector* fault = nullptr;
     std::uint64_t (*clock)(void* ctx) = nullptr;
     void* clock_ctx = nullptr;
-    /// Delivery backend (nx/transport.hpp). Default resolves the
-    /// CHANT_TRANSPORT environment variable at construction.
+    /// DEPRECATED (PR 9): legacy backend selector, superseded by
+    /// transport_spec below. Kept one release as a thin shim: a
+    /// non-Default value (with fork_processes / shm_ring_bytes) is
+    /// converted to an equivalent TransportSpec at construction.
+    /// chant-lint: allow(legacy-transport-config)
     TransportKind transport = TransportKind::Default;
-    /// ShmRing only: host each simulated process as a *forked OS
-    /// process* instead of a thread. The machine (endpoints, rings,
-    /// scratch) must be fully constructed before run() forks.
+    /// DEPRECATED (PR 9): see transport_spec.fork.
+    /// chant-lint: allow(legacy-transport-config)
     bool fork_processes = false;
-    /// ShmRing only: data bytes per direction ring (rounded up to a
-    /// power of two, min 4 KiB). Messages larger than a ring chunk are
-    /// fragmented and reassembled by the transport.
+    /// DEPRECATED (PR 9): see transport_spec.ring_bytes.
     std::size_t shm_ring_bytes = 1 << 18;
+    /// Delivery backend addressing (nx/transport.hpp). Resolution
+    /// precedence at construction: an explicit spec (kind != Default)
+    /// wins; else a non-Default legacy `transport` field is converted;
+    /// else CHANT_TRANSPORT is parsed with the full TransportSpec
+    /// grammar — a malformed or unknown value throws
+    /// std::invalid_argument naming the offending string; else inproc.
+    TransportSpec transport_spec{};
   };
 
   explicit Machine(const Config& cfg);
@@ -63,7 +70,9 @@ class Machine {
   int total_processes() const noexcept {
     return cfg_.pes * cfg_.processes_per_pe;
   }
-  /// config().transport is resolved (never Default) after construction.
+  /// config().transport_spec is resolved (kind never Default) after
+  /// construction, and the legacy transport/fork_processes fields are
+  /// back-filled from it so existing introspection keeps working.
   const Config& config() const noexcept { return cfg_; }
 
   Endpoint& endpoint(int pe, int proc);

@@ -19,7 +19,7 @@
 //     applied in Endpoint::accept_send_locked at the instant a message
 //     enters the matching engine, whatever carried it there.
 //
-// Two backends ship (see DESIGN.md §12 for the full contract):
+// Three backends ship (see DESIGN.md §12/§13 for the full contract):
 //
 //   InProcTransport  — the original simulated multicomputer: submit is a
 //                      direct synchronous call into the destination
@@ -31,7 +31,14 @@
 //                      one shared-memory segment, futex doorbells, a
 //                      sense-reversing shm barrier, and (optionally)
 //                      one *forked OS process* per simulated process.
+//   TcpTransport     — cross-machine: a sessionful full-mesh of
+//                      connected nonblocking TCP streams speaking the
+//                      same RecHdr framing as shmring, epoll instead of
+//                      the futex doorbell, peer loss surfaced as
+//                      PeerGone on in-flight traffic.
 //
+// Backends are addressed through a TransportSpec — a parsed form of the
+// CHANT_TRANSPORT grammar — carried by Machine::Config::transport_spec.
 // Backend headers live in src/nx/ and are internal — include only this
 // header outside src/nx/ (chant-lint rule transport-internals).
 #pragma once
@@ -41,6 +48,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "nx/endpoint.hpp"
 
@@ -48,25 +56,104 @@ namespace nx {
 
 class Machine;
 
-/// Backend selector. Default resolves CHANT_TRANSPORT at Machine
-/// construction ("inproc" | "shmring"; unset or unknown -> InProc), so
-/// existing binaries can run any suite on another backend without code
-/// changes. Explicit values ignore the environment.
-enum class TransportKind { Default, InProc, ShmRing };
+/// Backend discriminator. Default means "unset": a Machine resolves it
+/// through TransportSpec precedence (explicit spec > legacy config
+/// fields > CHANT_TRANSPORT > inproc).
+enum class TransportKind { Default, InProc, ShmRing, Tcp };
 
 const char* to_string(TransportKind k) noexcept;
 
-/// Parses a CHANT_TRANSPORT value; null/empty/unknown -> InProc.
-TransportKind parse_transport(const char* s) noexcept;
+/// A fully addressed transport selection: backend kind plus every
+/// backend option, round-trippable through the CHANT_TRANSPORT grammar:
+///
+///   inproc
+///   shmring[?fork=1&ring_kb=K]                        ("shm" accepted)
+///   tcp://host:base_port[?rank=N&nprocs=M&fork=1&chunk_kb=K
+///                         &sndbuf=B&listen_fd=FD&connect_ms=T]
+///
+/// tcp hosting modes:
+///   * no rank, no fork — every machine process is hosted as a thread of
+///     this OS process, talking over real loopback sockets (base_port 0
+///     binds ephemeral ports; actual ports are exchanged in-process).
+///   * fork=1 — the full mesh is connected in the parent, then one OS
+///     process is forked per machine process (each child keeps only its
+///     rank's sockets). base_port 0 works: connections predate fork.
+///   * rank=N&nprocs=M — this OS process hosts *only* flat rank N of an
+///     M-process machine; peers are separate OS processes (possibly on
+///     other hosts) running the same program with their own rank. Rank r
+///     listens on base_port+r; a pair's higher rank connects to the
+///     lower rank's port. nprocs must equal the machine's process count.
+struct TransportSpec {
+  TransportKind kind = TransportKind::Default;
+  /// shmring/tcp: host each machine process in a forked OS process.
+  bool fork = false;
+  /// shmring: per-direction ring capacity (grammar key ring_kb).
+  std::size_t ring_bytes = 1 << 18;
+  /// tcp: peer host (rendezvous address for rank mode; loopback
+  /// otherwise) and first listen port (0 = ephemeral, single-OS-process
+  /// modes only).
+  std::string host;
+  std::uint16_t base_port = 0;
+  /// tcp: flat rank hosted by this OS process; -1 = host all ranks.
+  int rank = -1;
+  /// tcp: expected machine process count in rank mode (0 = derive).
+  int nprocs = 0;
+  /// tcp: largest payload carried by one wire record; larger messages
+  /// travel as chunk records (grammar key chunk_kb).
+  std::size_t chunk_bytes = 64 * 1024;
+  /// tcp: SO_SNDBUF override in bytes (0 = OS default). Tiny values
+  /// force the partial-write/pending-queue paths — used by tests.
+  int sndbuf_bytes = 0;
+  /// tcp: pre-bound listening socket inherited from a parent process
+  /// (-1 = bind our own). Lets a test harness make rank-mode rendezvous
+  /// deterministic without picking a fixed port.
+  int listen_fd = -1;
+  /// tcp: per-connection rendezvous budget before giving up.
+  std::uint32_t connect_timeout_ms = 10'000;
 
-/// Resolves Default against the environment; non-Default passes through.
-TransportKind resolve_transport(TransportKind k) noexcept;
+  static TransportSpec inproc();
+  static TransportSpec shmring(std::size_t ring_bytes = 1 << 18,
+                               bool fork = false);
+  static TransportSpec tcp(std::string host, std::uint16_t base_port);
+
+  /// Parses the grammar above. Throws std::invalid_argument naming the
+  /// offending spec on an unknown scheme, unknown option key, or
+  /// malformed value — unknown specs never fall back silently.
+  static TransportSpec parse(const std::string& s);
+
+  /// Non-throwing parse; on failure returns false and fills *err with
+  /// the same message parse() would throw. Options already set on *out
+  /// act as defaults (the Machine ctor merges legacy config fields
+  /// under an environment spec this way).
+  static bool try_parse(const std::string& s, TransportSpec* out,
+                        std::string* err);
+
+  /// Canonical spec string: parse(to_string()) == *this.
+  std::string to_string() const;
+};
+
+/// DEPRECATED (PR 9): lenient CHANT_TRANSPORT parsing that mapped
+/// unknown values to InProc. Kept one release for out-of-tree callers;
+/// new code addresses backends through TransportSpec::parse, which
+/// reports errors instead of guessing (chant-lint rule
+/// legacy-transport-config flags new uses).
+TransportKind parse_transport(const char* s) noexcept;  // chant-lint: allow(legacy-transport-config)
+
+/// DEPRECATED (PR 9): resolves Default against the environment with the
+/// lenient parser above. Machine construction now resolves through
+/// TransportSpec precedence instead.
+TransportKind resolve_transport(TransportKind k) noexcept;  // chant-lint: allow(legacy-transport-config)
 
 /// Size of the per-machine shared scratch area (Transport::
 /// shared_scratch): zeroed at machine construction and visible to every
 /// process on every backend — the same mapping in fork mode. The first
 /// 16 bytes are reserved for the chant layer's termination protocol;
 /// tests and tools may use the remainder.
+///
+/// On distributed backends (tcp fork/rank modes) the scratch is a
+/// per-OS-process mirror kept coherent by the transport: use
+/// scratch_add/scratch_load for cross-process counters there — raw
+/// pointer writes stay local to the writing OS process.
 inline constexpr std::size_t kSharedScratchBytes = 256;
 
 class Transport {
@@ -102,12 +189,35 @@ class Transport {
   virtual void run(Machine& m,
                    const std::function<void(Endpoint&)>& process_main) = 0;
 
-  /// OS-level barrier across all of the machine's processes.
+  /// OS-level barrier across all of the machine's processes. On wire
+  /// backends, scratch counter updates made before entering the barrier
+  /// are visible to every process after it releases.
   virtual void barrier(Machine& m) = 0;
 
   /// Per-machine shared scratch (kSharedScratchBytes, zeroed at machine
-  /// construction); the same physical memory in every process.
+  /// construction); the same physical memory in every process on
+  /// shared-memory backends, a transport-coherent mirror on tcp.
   virtual void* shared_scratch() noexcept = 0;
+
+  /// Atomically adds `delta` to the 32-bit scratch counter at byte
+  /// offset `off` (4-aligned, off + 4 <= kSharedScratchBytes) and
+  /// returns the updated local value. On shared-memory backends this is
+  /// a plain atomic RMW; on distributed tcp modes the delta is also
+  /// broadcast so every process's mirror converges, with barrier()
+  /// ordering the visibility (see barrier above). Deltas commute, so
+  /// counters are the supported cross-process scratch idiom.
+  virtual std::uint32_t scratch_add(std::size_t off, std::uint32_t delta);
+
+  /// Reads the 32-bit scratch counter at byte offset `off` as currently
+  /// visible to this OS process.
+  virtual std::uint32_t scratch_load(std::size_t off) const noexcept;
+
+  /// Number of this OS process's peers whose connection was lost
+  /// *uncleanly* (died without the transport's goodbye handshake).
+  /// Always 0 on backends that cannot lose a peer. The chant
+  /// termination protocol counts these so one dead peer cannot wedge
+  /// world shutdown.
+  virtual int peers_gone() const noexcept { return 0; }
 
   /// Bounded wait for inbound traffic addressed to `ep` (the doorbell).
   /// Returns immediately when inbound data or queued outbound exists.
@@ -133,15 +243,21 @@ class Transport {
                      std::size_t iovcnt, std::atomic<bool>* sender_flag,
                      bool force_eager);
 
+  /// Wire-side peer-loss surfacing: marks (src_pe, src_proc) dead on
+  /// `dst`'s matching engine, completing exact-source receives that can
+  /// never be satisfied with hdr.peer_gone set. Queue-only like inject.
+  static void mark_peer_gone(Endpoint& dst, int src_pe, int src_proc);
+
   /// Shared thread-mode process hosting: one std::thread per process,
   /// first exception rethrown after all join. Used by the in-proc
-  /// backend always and the shmring backend when not forking.
+  /// backend always and the wire backends when not forking.
   static void run_threads(Machine& m,
                           const std::function<void(Endpoint&)>& process_main);
 };
 
-/// Builds the backend selected by m.config().transport (already
-/// resolved against the environment by the Machine constructor).
+/// Builds the backend selected by m.config().transport_spec (already
+/// resolved against legacy fields and the environment by the Machine
+/// constructor).
 std::unique_ptr<Transport> make_transport(Machine& m);
 
 }  // namespace nx

@@ -15,8 +15,10 @@ MsgInfo Runtime::decode(const nx::MsgHeader& h) const {
   mi.src = Gid{h.src_pe, h.src_proc, codec_.decode_src_lid(h)};
   mi.user_tag = codec_.decode_user_tag(h);
   mi.len = h.len;
-  mi.truncated = h.truncated;
-  mi.status = h.truncated ? StatusCode::Truncated : StatusCode::Ok;
+  if (h.peer_gone)
+    mi.status = StatusCode::PeerGone;
+  else
+    mi.status = h.truncated ? StatusCode::Truncated : StatusCode::Ok;
   return mi;
 }
 

@@ -46,7 +46,7 @@ void Runtime::server_loop() {
   while (!server_stop_) {
     const MsgInfo mi = recv_blocking(kTagRsr, buf.data(), buf.size(),
                                      kAnyThread, /*internal=*/true);
-    if (mi.truncated || mi.len < sizeof(wire::Rsr)) {
+    if (!mi.status.ok() || mi.len < sizeof(wire::Rsr)) {
       std::fprintf(stderr, "chant: malformed RSR (%zu bytes) dropped\n",
                    mi.len);
       continue;
@@ -372,7 +372,9 @@ void Runtime::abandon_call(AsyncCall& c) {
       c.wait.done = true;  // lost the race: header harvested into rbuf
     }
   }
-  if (c.wait.done) {
+  // A peer_gone completion delivered no bytes: rbuf holds no header and
+  // the (dead) server can have nothing in flight — skip the parse.
+  if (c.wait.done && !c.wait.hdr.peer_gone) {
     wire::Reply rep;
     std::memcpy(&rep, c.rbuf.data(), sizeof rep);
     if (rep.tail != 0) {
@@ -424,6 +426,12 @@ std::vector<std::uint8_t> Runtime::finish_call(AsyncCall& c) {
 Status Runtime::call_test(int handle, std::vector<std::uint8_t>* reply_out) {
   AsyncCall& c = checked_call(handle);
   if (!wait_test(&c.wait)) return StatusCode::Pending;
+  if (c.wait.hdr.peer_gone) {
+    // The server's process died before replying: rbuf holds no header
+    // to parse and no reply can ever arrive. Terminal — retire the call.
+    abandon_call(c);
+    return StatusCode::PeerGone;
+  }
   if (!reply_parts_done(c)) {
     return StatusCode::Pending;  // tail announced, still in flight
   }
@@ -437,10 +445,14 @@ Status Runtime::wait_call_until(AsyncCall& c, std::uint64_t deadline_ns) {
     if (!block_until(c.wait, deadline_ns)) {
       return StatusCode::DeadlineExceeded;
     }
+    // A wire transport completes the receive with peer_gone when the
+    // server's process is lost: no header landed and none ever will.
+    if (c.wait.hdr.peer_gone) return StatusCode::PeerGone;
     if (!reply_parts_done(c)) {
       if (!block_until(c.tail_wait, deadline_ns)) {
         return StatusCode::DeadlineExceeded;
       }
+      if (c.tail_wait.hdr.peer_gone) return StatusCode::PeerGone;
     }
   } catch (...) {
     // Cancelled mid-wait: withdraw any posted receives and retire the
@@ -455,9 +467,16 @@ std::vector<std::uint8_t> Runtime::call_wait(int handle) {
   validate::check_blocking("chant::Runtime::call_wait", /*timed=*/false);
   AsyncCall& c = checked_call(handle);
   const Status st = wait_call_until(c, lwt::kNoDeadline);
+  if (st.code() == StatusCode::PeerGone) {
+    // The untimed call has no Status channel: surface the dead server
+    // as an exception after retiring the call record.
+    abandon_call(c);
+    throw std::runtime_error("chant: RSR server process gone");
+  }
   if (!st.ok()) {
-    // Unreachable: an unbounded wait either completes (Ok) or throws
-    // (cancellation). Guard the invariant instead of dropping the Status.
+    // Unreachable: an unbounded wait either completes (Ok), throws
+    // (cancellation), or is PeerGone (handled above). Guard the
+    // invariant instead of dropping the Status.
     std::fprintf(stderr, "chant: call_wait without deadline returned %s\n",
                  st.message());
     std::abort();
@@ -470,7 +489,9 @@ Status Runtime::call_wait(int handle, Deadline deadline,
   AsyncCall& c = checked_call(handle);
   const Status st = wait_call_until(c, resolve_deadline(deadline));
   if (!st.ok()) {
-    ++rsr_stats_.deadline_timeouts;
+    // PeerGone is terminal, not a timeout: don't count it as one.
+    if (st.code() == StatusCode::DeadlineExceeded)
+      ++rsr_stats_.deadline_timeouts;
     abandon_call(c);  // reclaims the slot; marks the seq dirty if needed
     return st;
   }
@@ -539,6 +560,11 @@ Status Runtime::callv(int dst_pe, int dst_process, int handler,
       std::vector<std::uint8_t> out = finish_call(c);
       if (reply_out != nullptr) *reply_out = std::move(out);
       return StatusCode::Ok;
+    }
+    if (st.code() == StatusCode::PeerGone) {
+      // The server's process is gone: resending can never help.
+      abandon_call(c);
+      return StatusCode::PeerGone;
     }
     if (c.wait.done || attempts >= policy.max_attempts ||
         sched_.now() >= overall) {

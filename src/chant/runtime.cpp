@@ -385,7 +385,11 @@ void* chant_main_tramp(void* p) {
   const lwt::PollRequest all_done{
       [](void* w) {
         auto* wld = static_cast<World*>(w);
-        return wld->mains_done() >= wld->total_processes();
+        // Uncleanly lost peers can never announce their main returned;
+        // counting them keeps a dead peer from wedging shutdown (the
+        // loss itself surfaced as PeerGone on any in-flight traffic).
+        return wld->mains_done() + wld->peers_gone() >=
+               wld->total_processes();
       },
       &world};
   rt.scheduler().poll_block_generic(all_done);

@@ -1,24 +1,33 @@
 // world.cpp — whole-machine bootstrap.
 #include "chant/world.hpp"
 
-#include <new>
+#include <atomic>
 
 #include "wire.hpp"
 
 namespace chant {
 
-World::World(const Config& cfg)
-    : cfg_(cfg),
-      machine_(nx::Machine::Config{cfg.pes, cfg.processes_per_pe, cfg.net,
-                                   cfg.eager_threshold, cfg.fault, cfg.clock,
-                                   cfg.clock_ctx, cfg.transport,
-                                   cfg.fork_processes, cfg.shm_ring_bytes}) {
-  // Termination counter in the machine's shared scratch (the chant-
-  // reserved first 16 bytes): the same zeroed mapping is visible to
-  // every process on every backend, fork mode included.
-  static_assert(sizeof(std::atomic<int>) <= 16, "scratch reservation");
-  mains_done_ = new (machine_.shared_scratch()) std::atomic<int>(0);
+namespace {
+
+nx::Machine::Config machine_config(const World::Config& cfg) {
+  nx::Machine::Config mc;
+  mc.pes = cfg.pes;
+  mc.processes_per_pe = cfg.processes_per_pe;
+  mc.net = cfg.net;
+  mc.eager_threshold = cfg.eager_threshold;
+  mc.fault = cfg.fault;
+  mc.clock = cfg.clock;
+  mc.clock_ctx = cfg.clock_ctx;
+  mc.transport = cfg.transport;  // chant-lint: allow(legacy-transport-config)
+  mc.fork_processes = cfg.fork_processes;  // chant-lint: allow(legacy-transport-config)
+  mc.shm_ring_bytes = cfg.shm_ring_bytes;  // chant-lint: allow(legacy-transport-config)
+  mc.transport_spec = cfg.transport_spec;
+  return mc;
 }
+
+}  // namespace
+
+World::World(const Config& cfg) : cfg_(cfg), machine_(machine_config(cfg)) {}
 
 int World::register_handler(Runtime::Handler h) {
   user_handlers_.push_back(h);
@@ -26,7 +35,13 @@ int World::register_handler(Runtime::Handler h) {
 }
 
 void World::run(const std::function<void(Runtime&)>& main_fn) {
-  mains_done_->store(0, std::memory_order_release);
+  // Zero this OS process's view of the termination counter before its
+  // first pump: shared-memory backends share the store, wire-mirrored
+  // backends zero their local mirror (children inherit it in fork mode,
+  // and peer deltas only ever apply through a later pump).
+  std::atomic_ref<std::uint32_t>(
+      *static_cast<std::uint32_t*>(machine_.shared_scratch()))
+      .store(0, std::memory_order_release);
   machine_.run([&](nx::Endpoint& ep) {
     Runtime rt(*this, ep);
     rt.run_process(main_fn);

@@ -95,7 +95,8 @@ Endpoint::Endpoint(Machine& machine, int pe, int proc)
       transport_(&machine.transport()),
       pump_active_(machine.transport().needs_pump()),
       unex_(static_cast<std::size_t>(machine.total_processes())),
-      last_deliver_(static_cast<std::size_t>(machine.total_processes()), 0) {
+      last_deliver_(static_cast<std::size_t>(machine.total_processes()), 0),
+      dead_src_(static_cast<std::size_t>(machine.total_processes()), 0) {
   // Fixed-size chunk directory: lock-free readers may index it while an
   // allocation fills a new chunk, so it must never reallocate.
   slab_.resize(kMaxChunks);
@@ -421,6 +422,85 @@ bool Endpoint::take_unexpected_match(Request& r) {
   return true;
 }
 
+// ------------------------------------------------------------- peer loss
+
+bool Endpoint::simulate_claims(int src, std::vector<Handle>* doomed,
+                               const Request* extra) const {
+  // Posted receives naming exactly this source, in post order — the
+  // order the engine will serve them from the dead source's backlog.
+  std::vector<std::pair<std::uint64_t, Handle>> posts;
+  for (const auto& [key, dq] : buckets_) {
+    if (static_cast<std::uint32_t>(key >> 32) !=
+        static_cast<std::uint32_t>(src)) {
+      continue;
+    }
+    for (const PostedEntry& pe : dq) posts.emplace_back(pe.seq, pe.h);
+  }
+  for (const PostedEntry& pe : wildcard_) {
+    const Request* r = checked(pe.h);
+    if (r == nullptr) continue;
+    if (r->want_pe == kAnyPe || r->want_proc == kAnyProc) continue;
+    if (machine_.flat_index(r->want_pe, r->want_proc) != src) continue;
+    posts.emplace_back(pe.seq, pe.h);
+  }
+  std::sort(posts.begin(), posts.end());
+  const SrcQueue& sq = unex_[static_cast<std::size_t>(src)];
+  std::vector<char> claimed(sq.q.size(), 0);
+  auto claim_for = [&](const Request& r) {
+    for (std::size_t i = 0; i < sq.q.size(); ++i) {
+      if (claimed[i] || !recv_matches(r, sq.q[i].hdr)) continue;
+      claimed[i] = 1;
+      return true;
+    }
+    return false;
+  };
+  for (const auto& [seq, h] : posts) {
+    const Request* r = checked(h);
+    if (r == nullptr) continue;
+    if (!claim_for(*r) && doomed != nullptr) doomed->push_back(h);
+  }
+  return extra != nullptr && claim_for(*extra);
+}
+
+void Endpoint::complete_peer_gone(Request& r, int src_pe, int src_proc) {
+  r.hdr = MsgHeader{};
+  r.hdr.src_pe = src_pe;
+  r.hdr.src_proc = src_proc;
+  r.hdr.tag = r.want_tag;
+  r.hdr.channel = r.want_channel;
+  r.hdr.peer_gone = true;
+  r.complete.store(true, std::memory_order_release);
+  counters_.delivered.fetch_add(1, std::memory_order_relaxed);
+  if (r.waiter_fn != nullptr) {
+    // Queue-only, exactly as deliver_into: peer loss is reported from
+    // pump contexts, which may run under the scheduler's wait_mu_.
+    pending_fires_.push_back(
+        WaiterFire{r.waiter_fn, r.waiter_ctx, r.waiter_token});
+    fires_queued_.store(pending_fires_.size(), std::memory_order_release);
+    r.waiter_fn = nullptr;
+  }
+}
+
+void Endpoint::mark_peer_gone(int src_pe, int src_proc) {
+  const int src = machine_.flat_index(src_pe, src_proc);
+  if (src < 0 || static_cast<std::size_t>(src) >= dead_src_.size()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (dead_src_[static_cast<std::size_t>(src)] != 0) return;
+  dead_src_[static_cast<std::size_t>(src)] = 1;
+  any_dead_src_ = true;
+  // The backlog the dead source already delivered keeps matching
+  // normally; only receives the claim simulation proves unsatisfiable
+  // fail over (their data can never arrive now).
+  std::vector<Handle> doomed;
+  simulate_claims(src, &doomed, nullptr);
+  for (Handle h : doomed) {
+    Request* r = checked(h);
+    if (r == nullptr) continue;
+    remove_posted(h, *r);
+    complete_peer_gone(*r, src_pe, src_proc);
+  }
+}
+
 // ------------------------------------------------------------------ sends
 
 bool Endpoint::accept_send(const MsgHeader& h, const IoVec* iov,
@@ -661,7 +741,25 @@ Handle Endpoint::irecv(int src_pe, int src_proc, int tag, int tag_mask,
     std::lock_guard<std::mutex> lk(mu_);
     const std::uint64_t now = net_now();
     if (progress_pending(now)) drain(now);
-    if (!take_unexpected_match(*r)) insert_posted(h, *r);
+    if (!take_unexpected_match(*r)) {
+      // Exact-source receive against a peer already reported dead: post
+      // it only if the remaining backlog (after earlier posts take
+      // their claims) can still satisfy it; otherwise it would hang
+      // forever, so it completes with peer_gone instead.
+      bool doomed = false;
+      if (any_dead_src_ && r->want_pe != kAnyPe && r->want_proc != kAnyProc) {
+        const int src = machine_.flat_index(r->want_pe, r->want_proc);
+        if (src >= 0 && static_cast<std::size_t>(src) < dead_src_.size() &&
+            dead_src_[static_cast<std::size_t>(src)] != 0) {
+          doomed = !simulate_claims(src, nullptr, r);
+        }
+      }
+      if (doomed) {
+        complete_peer_gone(*r, r->want_pe, r->want_proc);
+      } else {
+        insert_posted(h, *r);
+      }
+    }
   }
   // The drain can complete *other* receives with waiters armed.
   flush_waiter_fires();

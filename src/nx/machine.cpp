@@ -4,8 +4,59 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace nx {
+
+namespace {
+
+/// TransportSpec resolution precedence (machine.hpp Config docs):
+/// explicit spec > legacy enum fields > CHANT_TRANSPORT > inproc.
+/// A malformed environment spec is a hard error carrying the offending
+/// string — unknown values must never fall back to inproc silently.
+TransportSpec resolve_spec(const Machine::Config& cfg) {
+  if (cfg.transport_spec.kind != TransportKind::Default) {
+    return cfg.transport_spec;
+  }
+  if (cfg.transport != TransportKind::Default) {
+    switch (cfg.transport) {
+      case TransportKind::ShmRing:
+        return TransportSpec::shmring(cfg.shm_ring_bytes, cfg.fork_processes);
+      case TransportKind::Tcp: {
+        // Legacy enum value carries no address: thread-hosted loopback
+        // on ephemeral ports, the only mode that needs none.
+        TransportSpec s = TransportSpec::tcp("127.0.0.1", 0);
+        s.fork = cfg.fork_processes;
+        return s;
+      }
+      case TransportKind::InProc:
+      case TransportKind::Default:
+        break;
+    }
+    // Legacy fork flag on inproc falls through to validation below.
+    TransportSpec s = TransportSpec::inproc();
+    s.fork = cfg.fork_processes;
+    return s;
+  }
+  const char* env = std::getenv("CHANT_TRANSPORT");
+  if (env != nullptr && *env != '\0') {
+    // Legacy config fields act as defaults for options the environment
+    // spec does not mention (a fork-mode binary swept over backends
+    // keeps forking).
+    TransportSpec s;
+    s.fork = cfg.fork_processes;
+    s.ring_bytes = cfg.shm_ring_bytes;
+    std::string err;
+    if (!TransportSpec::try_parse(env, &s, &err)) {
+      throw std::invalid_argument("nx: bad CHANT_TRANSPORT: " + err);
+    }
+    return s;
+  }
+  return TransportSpec::inproc();
+}
+
+}  // namespace
 
 Machine::Machine(const Config& cfg) : cfg_(cfg) {
   if (cfg_.pes < 1 || cfg_.processes_per_pe < 1) {
@@ -13,14 +64,43 @@ Machine::Machine(const Config& cfg) : cfg_(cfg) {
                  cfg_.pes, cfg_.processes_per_pe);
     std::abort();
   }
-  cfg_.transport = resolve_transport(cfg_.transport);
-  if (cfg_.fork_processes && cfg_.transport != TransportKind::ShmRing) {
+  TransportSpec spec = resolve_spec(cfg_);
+  if (spec.fork && spec.kind != TransportKind::ShmRing &&
+      spec.kind != TransportKind::Tcp) {
     std::fprintf(stderr,
-                 "nx: fork_processes requires the shmring transport "
-                 "(got %s)\n",
-                 to_string(cfg_.transport));
+                 "nx: fork requires a cross-process transport "
+                 "(shmring or tcp), got %s\n",
+                 to_string(spec.kind));
     std::abort();
   }
+  if (spec.kind == TransportKind::Tcp) {
+    if (spec.host.empty()) {
+      throw std::invalid_argument("nx: tcp transport spec needs a host: '" +
+                                  spec.to_string() + "'");
+    }
+    if (spec.nprocs == 0) spec.nprocs = total_processes();
+    if (spec.nprocs != total_processes()) {
+      throw std::invalid_argument(
+          "nx: tcp spec nprocs=" + std::to_string(spec.nprocs) +
+          " does not match the machine's " +
+          std::to_string(total_processes()) + " processes: '" +
+          spec.to_string() + "'");
+    }
+    if (spec.rank >= 0 && (spec.rank >= spec.nprocs || spec.fork)) {
+      throw std::invalid_argument(
+          "nx: tcp rank mode needs 0 <= rank < nprocs and no fork: '" +
+          spec.to_string() + "'");
+    }
+  } else if (spec.rank >= 0) {
+    throw std::invalid_argument("nx: rank is a tcp-only option: '" +
+                                spec.to_string() + "'");
+  }
+  cfg_.transport_spec = spec;
+  // Back-fill the deprecated fields so config().transport introspection
+  // keeps working for one release.
+  cfg_.transport = spec.kind;        // chant-lint: allow(legacy-transport-config)
+  cfg_.fork_processes = spec.fork;   // chant-lint: allow(legacy-transport-config)
+  cfg_.shm_ring_bytes = spec.ring_bytes;  // chant-lint: allow(legacy-transport-config)
   // The transport must exist before the endpoints: each Endpoint caches
   // the backend pointer and its needs_pump() answer at construction.
   transport_ = make_transport(*this);

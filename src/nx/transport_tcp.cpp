@@ -1,0 +1,901 @@
+// transport_tcp.cpp — cross-machine backend over a connected full mesh
+// of nonblocking TCP streams; shmring's record framing plus header-only
+// control records for scratch coherence, the wire barrier, and the
+// goodbye handshake. See transport_tcp.hpp for the protocol overview.
+#include "transport_tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "nx/machine.hpp"
+
+namespace nx {
+
+namespace {
+
+std::size_t align8(std::size_t n) noexcept { return (n + 7) & ~std::size_t{7}; }
+
+/// Copies [offset, offset+n) of the gathered fragment list into dst.
+void copy_from_iov(std::uint8_t* dst, const IoVec* iov, std::size_t iovcnt,
+                   std::size_t offset, std::size_t n) {
+  std::size_t i = 0;
+  while (i < iovcnt && offset >= iov[i].len) {
+    offset -= iov[i].len;
+    ++i;
+  }
+  while (n != 0 && i < iovcnt) {
+    const std::size_t take = std::min(n, iov[i].len - offset);
+    if (take != 0)
+      std::memcpy(dst, static_cast<const std::uint8_t*>(iov[i].base) + offset,
+                  take);
+    dst += take;
+    n -= take;
+    offset = 0;
+    ++i;
+  }
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("nx: tcp " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_in resolve_v4(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    throw std::runtime_error("nx: tcp cannot resolve host '" + host +
+                             "': " + ::gai_strerror(rc));
+  }
+  sockaddr_in addr{};
+  std::memcpy(&addr, res->ai_addr, sizeof addr);
+  addr.sin_port = htons(port);
+  ::freeaddrinfo(res);
+  return addr;
+}
+
+int make_listener(const sockaddr_in& addr, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("bind");
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("listen");
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw_errno("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+std::uint64_t mono_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void write_full(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n != 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("rendezvous write");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void read_full(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n != 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("rendezvous read");
+    }
+    if (r == 0) throw std::runtime_error("nx: tcp rendezvous peer hung up");
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+}
+
+/// Blocking connect with bounded retry: the peer's listener may not be
+/// bound yet when ranks start independently.
+int connect_retry(const sockaddr_in& addr, std::uint32_t timeout_ms) {
+  const std::uint64_t deadline = mono_ms() + timeout_ms;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0)
+      return fd;
+    const int e = errno;
+    ::close(fd);
+    const bool transient = e == ECONNREFUSED || e == ETIMEDOUT ||
+                           e == ENETUNREACH || e == EHOSTUNREACH ||
+                           e == EAGAIN || e == EINTR;
+    if (!transient || mono_ms() >= deadline) {
+      errno = e;
+      throw_errno("rendezvous connect");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+int accept_deadline(int lfd, std::uint64_t deadline) {
+  for (;;) {
+    const std::uint64_t now = mono_ms();
+    if (now >= deadline)
+      throw std::runtime_error("nx: tcp rendezvous accept timed out");
+    pollfd pfd{lfd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(deadline - now));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("rendezvous poll");
+    }
+    if (pr == 0)
+      throw std::runtime_error("nx: tcp rendezvous accept timed out");
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR || errno == EAGAIN) continue;
+    throw_errno("rendezvous accept");
+  }
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int nprocs, const TransportSpec& spec)
+    : nprocs_(nprocs), spec_(spec) {
+  chunk_max_ = std::max<std::size_t>(8, spec_.chunk_bytes) & ~std::size_t{7};
+  local_.reserve(static_cast<std::size_t>(nprocs_));
+  for (int i = 0; i < nprocs_; ++i) {
+    auto p = std::make_unique<ProcLocal>();
+    p->out.resize(static_cast<std::size_t>(nprocs_));
+    p->in.resize(static_cast<std::size_t>(nprocs_));
+    p->fd.assign(static_cast<std::size_t>(nprocs_), -1);
+    local_.push_back(std::move(p));
+  }
+  if (spec_.rank >= 0) {
+    my_rank_ = spec_.rank;
+    rendezvous_rank();
+  } else {
+    connect_mesh_local();
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  for (auto& p : local_) {
+    for (int& fd : p->fd)
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    if (p->epfd >= 0) {
+      ::close(p->epfd);
+      p->epfd = -1;
+    }
+  }
+  for (int& fd : err_pipe_)
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+}
+
+void TcpTransport::tune_socket(int fd) const {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (spec_.sndbuf_bytes > 0)
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &spec_.sndbuf_bytes,
+                 sizeof spec_.sndbuf_bytes);
+}
+
+void TcpTransport::connect_mesh_local() {
+  // All ranks live in this OS process (threads now, or forked children
+  // later): one ephemeral-capable listener and a sequential
+  // connect/accept per pair gives deterministic correspondence over
+  // loopback without a hello.
+  const sockaddr_in bind_addr = resolve_v4(spec_.host, spec_.base_port);
+  const int lfd = make_listener(bind_addr, nprocs_ * nprocs_ + 8);
+  sockaddr_in dial = bind_addr;
+  dial.sin_port = htons(local_port(lfd));
+  for (int i = 0; i < nprocs_; ++i) {
+    for (int j = i + 1; j < nprocs_; ++j) {
+      const int c = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      if (c < 0) throw_errno("socket");
+      if (::connect(c, reinterpret_cast<const sockaddr*>(&dial),
+                    sizeof dial) != 0) {
+        const int e = errno;
+        ::close(c);
+        ::close(lfd);
+        errno = e;
+        throw_errno("loopback connect");
+      }
+      const int a = accept_deadline(lfd, mono_ms() + spec_.connect_timeout_ms);
+      tune_socket(c);
+      tune_socket(a);
+      // The higher rank holds the connecting end (the same orientation
+      // rank mode produces).
+      pl(j).fd[static_cast<std::size_t>(i)] = c;
+      pl(i).fd[static_cast<std::size_t>(j)] = a;
+      pl(j).in[static_cast<std::size_t>(i)].open = true;
+      pl(i).in[static_cast<std::size_t>(j)].open = true;
+    }
+  }
+  ::close(lfd);
+}
+
+void TcpTransport::rendezvous_rank() {
+  const int me = my_rank_;
+  ProcLocal& p = pl(me);
+  int lfd = spec_.listen_fd;
+  if (lfd < 0 && me < nprocs_ - 1) {
+    // Every rank with higher-ranked peers accepts from them on its own
+    // well-known port.
+    lfd = make_listener(resolve_v4(spec_.host, static_cast<std::uint16_t>(
+                                                    spec_.base_port + me)),
+                        nprocs_ + 8);
+  }
+  const std::uint64_t deadline = mono_ms() + spec_.connect_timeout_ms;
+  // Connect to every lower rank first (their listeners queue the SYN in
+  // the backlog even before they accept, so the fixed order can't
+  // deadlock), identifying ourselves with a 4-byte hello.
+  for (int i = 0; i < me; ++i) {
+    const int fd = connect_retry(
+        resolve_v4(spec_.host,
+                   static_cast<std::uint16_t>(spec_.base_port + i)),
+        spec_.connect_timeout_ms);
+    const std::int32_t hello = me;
+    write_full(fd, &hello, sizeof hello);
+    tune_socket(fd);
+    p.fd[static_cast<std::size_t>(i)] = fd;
+    p.in[static_cast<std::size_t>(i)].open = true;
+  }
+  // Accept every higher rank; the hello says who arrived.
+  for (int k = me + 1; k < nprocs_; ++k) {
+    const int fd = accept_deadline(lfd, deadline);
+    std::int32_t hello = -1;
+    read_full(fd, &hello, sizeof hello);
+    if (hello <= me || hello >= nprocs_ ||
+        p.fd[static_cast<std::size_t>(hello)] != -1) {
+      ::close(fd);
+      if (lfd >= 0) ::close(lfd);
+      throw std::runtime_error("nx: tcp rendezvous got bad hello rank " +
+                               std::to_string(hello));
+    }
+    tune_socket(fd);
+    p.fd[static_cast<std::size_t>(hello)] = fd;
+    p.in[static_cast<std::size_t>(hello)].open = true;
+  }
+  if (lfd >= 0) ::close(lfd);
+}
+
+void TcpTransport::ensure_epoll_locked(int flat) {
+  ProcLocal& p = pl(flat);
+  if (p.epfd >= 0) return;
+  p.epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (p.epfd < 0) throw_errno("epoll_create1");
+  for (int peer = 0; peer < nprocs_; ++peer) {
+    const int fd = p.fd[static_cast<std::size_t>(peer)];
+    if (fd < 0 || !p.in[static_cast<std::size_t>(peer)].open) continue;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<std::uint32_t>(peer);
+    if (::epoll_ctl(p.epfd, EPOLL_CTL_ADD, fd, &ev) != 0)
+      throw_errno("epoll_ctl add");
+  }
+}
+
+std::vector<std::uint8_t> TcpTransport::serialize(const RecHdr& rh,
+                                                  const IoVec* iov,
+                                                  std::size_t iovcnt,
+                                                  std::size_t offset,
+                                                  std::size_t payload) {
+  std::vector<std::uint8_t> rec(rh.size, 0);
+  std::memcpy(rec.data(), &rh, sizeof rh);
+  if (iovcnt != 0)
+    copy_from_iov(rec.data() + sizeof(RecHdr), iov, iovcnt, offset, payload);
+  return rec;
+}
+
+void TcpTransport::ship_record(int src, int dst,
+                               std::vector<std::uint8_t> rec) {
+  ProcLocal& p = pl(src);
+  if (dst == src) {
+    std::lock_guard<std::mutex> lk(p.self_mu);
+    p.self_q.push_back(std::move(rec));
+    p.self_records.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  OutQ& oq = p.out[static_cast<std::size_t>(dst)];
+  const int fd = p.fd[static_cast<std::size_t>(dst)];
+  if (fd < 0 || oq.dead) return;  // stream gone: the reader side surfaced it
+  if (oq.q.empty()) {
+    std::size_t off = 0;
+    while (off < rec.size()) {
+      const ssize_t w =
+          ::send(fd, rec.data() + off, rec.size() - off, MSG_NOSIGNAL);
+      if (w > 0) {
+        off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // Write failure (EPIPE/RESET). The reader side owns deciding
+      // clean-vs-unclean when it sees EOF; here just stop writing.
+      oq.dead = true;
+      return;
+    }
+    if (off == rec.size()) return;
+    oq.front_off = off;
+  }
+  oq.q.push_back(std::move(rec));
+  p.pending_records.fetch_add(1, std::memory_order_release);
+}
+
+bool TcpTransport::flush_pending_locked(int src, int dst) {
+  ProcLocal& p = pl(src);
+  OutQ& oq = p.out[static_cast<std::size_t>(dst)];
+  if (oq.q.empty()) return true;
+  const int fd = p.fd[static_cast<std::size_t>(dst)];
+  const auto discard = [&] {
+    p.pending_records.fetch_sub(oq.q.size(), std::memory_order_release);
+    oq.q.clear();
+    oq.front_off = 0;
+    oq.dead = true;
+  };
+  if (fd < 0 || oq.dead) {
+    discard();
+    return false;
+  }
+  while (!oq.q.empty()) {
+    const auto& front = oq.q.front();
+    while (oq.front_off < front.size()) {
+      const ssize_t w = ::send(fd, front.data() + oq.front_off,
+                               front.size() - oq.front_off, MSG_NOSIGNAL);
+      if (w > 0) {
+        oq.front_off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      discard();
+      return false;
+    }
+    oq.q.pop_front();
+    oq.front_off = 0;
+    p.pending_records.fetch_sub(1, std::memory_order_release);
+  }
+  return true;
+}
+
+void TcpTransport::send_control(int src, int dst, std::uint8_t type,
+                                std::int32_t tag, std::uint64_t len,
+                                std::int32_t origin) {
+  RecHdr rh{};
+  rh.size = sizeof(RecHdr);
+  rh.type = type;
+  rh.src_pe = origin;
+  rh.tag = tag;
+  rh.len = len;
+  ProcLocal& p = pl(src);
+  std::lock_guard<std::mutex> lk(p.send_mu);
+  flush_pending_locked(src, dst);
+  ship_record(src, dst, serialize(rh, nullptr, 0, 0, 0));
+}
+
+bool TcpTransport::submit(Machine& m, const MsgHeader& h, int dst_pe,
+                          int dst_proc, const IoVec* iov, std::size_t iovcnt,
+                          std::atomic<bool>* sender_flag) {
+  (void)sender_flag;  // always consumed: this backend never rendezvouses
+  const int src = m.flat_index(h.src_pe, h.src_proc);
+  const int dst = m.flat_index(dst_pe, dst_proc);
+  ProcLocal& p = pl(src);
+  std::lock_guard<std::mutex> lk(p.send_mu);
+  // FIFO: anything queued for this destination must hit the stream
+  // before the new message.
+  flush_pending_locked(src, dst);
+  const auto emit = [&](std::uint8_t type, std::uint8_t last,
+                        std::size_t offset, std::size_t payload) {
+    RecHdr rh{};
+    rh.size = static_cast<std::uint32_t>(align8(sizeof(RecHdr) + payload));
+    rh.type = type;
+    rh.last = last;
+    rh.src_pe = h.src_pe;
+    rh.src_proc = h.src_proc;
+    rh.tag = h.tag;
+    rh.channel = h.channel;
+    rh.len = type == Rec::kChunkMore ? payload : h.len;
+    ship_record(src, dst, serialize(rh, iov, iovcnt, offset, payload));
+  };
+  if (h.len <= chunk_max_) {
+    emit(Rec::kMsg, 0, 0, h.len);
+  } else {
+    emit(Rec::kChunkStart, 0, 0, chunk_max_);
+    std::size_t off = chunk_max_;
+    while (off < h.len) {
+      const std::size_t pb = std::min(chunk_max_, h.len - off);
+      emit(Rec::kChunkMore, off + pb == h.len ? 1 : 0, off, pb);
+      off += pb;
+    }
+  }
+  return true;
+}
+
+void TcpTransport::inject_record(Endpoint& ep, const RecHdr& rh,
+                                 const std::uint8_t* payload) {
+  MsgHeader h;
+  h.src_pe = rh.src_pe;
+  h.src_proc = rh.src_proc;
+  h.tag = rh.tag;
+  h.channel = rh.channel;
+  h.len = static_cast<std::size_t>(rh.len);
+  IoVec one{payload, h.len};
+  // Queue-only injection, force-eager: the bytes are already off the
+  // wire, so the rendezvous branch must be unreachable (DESIGN.md §12).
+  inject(ep, h, &one, 1, nullptr, /*force_eager=*/true);
+}
+
+void TcpTransport::apply_scratch_locked(int flat, const RecHdr& rh) {
+  const std::size_t off = static_cast<std::size_t>(rh.tag);
+  if (off + 4 > kSharedScratchBytes || (off & 3) != 0) {
+    std::fprintf(stderr, "nx: tcp corrupt scratch record offset %zu\n", off);
+    std::abort();
+  }
+  std::atomic_ref<std::uint32_t>(
+      *reinterpret_cast<std::uint32_t*>(scratch_.bytes + off))
+      .fetch_add(static_cast<std::uint32_t>(rh.len),
+                 std::memory_order_acq_rel);
+  // Rank 0 is the scratch router: every delta it hears about is
+  // rebroadcast to everyone except its origin, so all mirrors converge.
+  if (flat == 0) {
+    for (int d = 1; d < nprocs_; ++d)
+      if (d != rh.src_pe)
+        send_control(0, d, Rec::kScratch, rh.tag, rh.len, rh.src_pe);
+  }
+}
+
+std::uint32_t TcpTransport::scratch_add(std::size_t off, std::uint32_t delta) {
+  if (my_rank_ < 0) return Transport::scratch_add(off, delta);  // shared mem
+  const std::uint32_t v =
+      std::atomic_ref<std::uint32_t>(
+          *reinterpret_cast<std::uint32_t*>(scratch_.bytes + off))
+          .fetch_add(delta, std::memory_order_acq_rel) +
+      delta;
+  if (my_rank_ == 0) {
+    for (int d = 1; d < nprocs_; ++d)
+      send_control(0, d, Rec::kScratch, static_cast<std::int32_t>(off), delta,
+                   0);
+  } else {
+    send_control(my_rank_, 0, Rec::kScratch, static_cast<std::int32_t>(off),
+                 delta, my_rank_);
+  }
+  return v;
+}
+
+void TcpTransport::handle_record(Endpoint& ep, int flat, int peer,
+                                 const RecHdr& rh,
+                                 const std::uint8_t* payload) {
+  PeerIn& in = pl(flat).in[static_cast<std::size_t>(peer)];
+  // Any live traffic clears a pending goodbye: the peer came back for
+  // another run.
+  if (rh.type != Rec::kGoodbye) in.bye = false;
+  switch (rh.type) {
+    case Rec::kMsg:
+      inject_record(ep, rh, payload);
+      break;
+    case Rec::kChunkStart:
+      in.chunk_hdr = rh;
+      in.chunk_active = true;
+      in.chunk.assign(payload, payload + chunk_max_);
+      break;
+    case Rec::kChunkMore: {
+      const std::size_t pb = static_cast<std::size_t>(rh.len);
+      in.chunk.insert(in.chunk.end(), payload, payload + pb);
+      if (rh.last != 0) {
+        inject_record(ep, in.chunk_hdr, in.chunk.data());
+        in.chunk_active = false;
+        in.chunk.clear();
+      }
+      break;
+    }
+    case Rec::kScratch:
+      apply_scratch_locked(flat, rh);
+      break;
+    case Rec::kBarrierArrive:
+      pl(flat).bar_arrived[rh.len & 1].fetch_add(1, std::memory_order_release);
+      break;
+    case Rec::kBarrierRelease: {
+      auto& seen = pl(flat).bar_release_seen;
+      if (rh.len > seen.load(std::memory_order_relaxed))
+        seen.store(rh.len, std::memory_order_release);
+      break;
+    }
+    case Rec::kGoodbye:
+      in.bye = true;
+      break;
+    default:
+      std::fprintf(stderr, "nx: tcp corrupt record type %u from rank %d\n",
+                   static_cast<unsigned>(rh.type), peer);
+      std::abort();
+  }
+}
+
+void TcpTransport::decode_locked(Endpoint& ep, int flat, int peer) {
+  PeerIn& in = pl(flat).in[static_cast<std::size_t>(peer)];
+  const std::size_t max_rec = align8(sizeof(RecHdr) + chunk_max_);
+  for (;;) {
+    const std::size_t avail = in.buf.size() - in.off;
+    if (avail < sizeof(RecHdr)) break;
+    RecHdr rh;
+    std::memcpy(&rh, in.buf.data() + in.off, sizeof rh);
+    if (rh.size < sizeof(RecHdr) || rh.size > max_rec || (rh.size & 7) != 0) {
+      std::fprintf(stderr, "nx: tcp corrupt record size %u from rank %d\n",
+                   rh.size, peer);
+      std::abort();
+    }
+    if (avail < rh.size) break;  // short read: wait for the rest
+    handle_record(ep, flat, peer, rh, in.buf.data() + in.off + sizeof(RecHdr));
+    in.off += rh.size;
+  }
+  if (in.off == in.buf.size()) {
+    in.buf.clear();
+    in.off = 0;
+  } else if (in.off > (std::size_t{1} << 16)) {
+    in.buf.erase(in.buf.begin(),
+                 in.buf.begin() + static_cast<std::ptrdiff_t>(in.off));
+    in.off = 0;
+  }
+}
+
+void TcpTransport::close_peer_locked(Endpoint& ep, int flat, int peer,
+                                     bool clean) {
+  ProcLocal& p = pl(flat);
+  PeerIn& in = p.in[static_cast<std::size_t>(peer)];
+  if (!in.open) return;
+  in.open = false;
+  int& fd = p.fd[static_cast<std::size_t>(peer)];
+  if (p.epfd >= 0) ::epoll_ctl(p.epfd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  fd = -1;
+  {
+    // Discard the outbound backlog for the dead stream so exit-time
+    // draining can never wedge on bytes nobody will read.
+    std::lock_guard<std::mutex> lk(p.send_mu);
+    OutQ& oq = p.out[static_cast<std::size_t>(peer)];
+    p.pending_records.fetch_sub(oq.q.size(), std::memory_order_release);
+    oq.q.clear();
+    oq.front_off = 0;
+    oq.dead = true;
+  }
+  if (!clean && !in.gone) {
+    in.gone = true;
+    gone_count_.fetch_add(1, std::memory_order_acq_rel);
+    const int ppe = ep.machine().processes_per_pe();
+    mark_peer_gone(ep, peer / ppe, peer % ppe);
+  }
+}
+
+void TcpTransport::pump(Endpoint& ep) {
+  Machine& m = ep.machine();
+  const int flat = m.flat_index(ep.pe(), ep.proc());
+  ProcLocal& p = pl(flat);
+
+  // Outbound first: receivers elsewhere may be blocked on records still
+  // sitting in this process's pending queues.
+  if (p.pending_records.load(std::memory_order_acquire) != 0) {
+    std::lock_guard<std::mutex> lk(p.send_mu);
+    for (int dst = 0; dst < nprocs_; ++dst) flush_pending_locked(flat, dst);
+  }
+
+  // Inbound: single consumer per destination. try_lock — if another of
+  // this process's threads is already draining, the streams are covered.
+  if (!p.recv_mu.try_lock()) return;
+  std::lock_guard<std::mutex> lk(p.recv_mu, std::adopt_lock);
+
+  // Loopback records (src == dst) go through the same decoder path.
+  if (p.self_records.load(std::memory_order_acquire) != 0) {
+    std::deque<std::vector<std::uint8_t>> batch;
+    {
+      std::lock_guard<std::mutex> sl(p.self_mu);
+      batch.swap(p.self_q);
+      p.self_records.store(0, std::memory_order_release);
+    }
+    for (const auto& rec : batch) {
+      RecHdr rh;
+      std::memcpy(&rh, rec.data(), sizeof rh);
+      handle_record(ep, flat, flat, rh, rec.data() + sizeof(RecHdr));
+    }
+  }
+
+  ensure_epoll_locked(flat);
+  epoll_event evs[16];
+  for (;;) {
+    const int nev = ::epoll_wait(p.epfd, evs, 16, 0);
+    if (nev <= 0) break;
+    for (int e = 0; e < nev; ++e) {
+      const int peer = static_cast<int>(evs[e].data.u32);
+      PeerIn& in = p.in[static_cast<std::size_t>(peer)];
+      const int fd = p.fd[static_cast<std::size_t>(peer)];
+      if (fd < 0 || !in.open) continue;
+      bool eof = false;
+      for (;;) {
+        std::uint8_t buf[65536];
+        const ssize_t r = ::read(fd, buf, sizeof buf);
+        if (r > 0) {
+          in.buf.insert(in.buf.end(), buf, buf + r);
+          if (static_cast<std::size_t>(r) < sizeof buf) break;
+          continue;
+        }
+        if (r == 0) {
+          eof = true;
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        eof = true;  // RESET and friends: same as EOF for liveness
+        break;
+      }
+      decode_locked(ep, flat, peer);
+      if (eof) close_peer_locked(ep, flat, peer, in.bye);
+    }
+    if (nev < 16) break;
+  }
+}
+
+void TcpTransport::wait_inbound(Endpoint& ep, std::uint64_t max_ns) {
+  Machine& m = ep.machine();
+  const int flat = m.flat_index(ep.pe(), ep.proc());
+  ProcLocal& p = pl(flat);
+  // Never sleep on undelivered outbound (or undrained loopback) — peers
+  // can't wake us for records only we can flush.
+  if (p.pending_records.load(std::memory_order_acquire) != 0 ||
+      p.self_records.load(std::memory_order_acquire) != 0) {
+    pump(ep);
+    std::this_thread::yield();
+    return;
+  }
+  if (p.epfd < 0) {
+    if (p.recv_mu.try_lock()) {
+      std::lock_guard<std::mutex> lk(p.recv_mu, std::adopt_lock);
+      ensure_epoll_locked(flat);
+    } else {
+      std::this_thread::yield();
+      return;
+    }
+  }
+  // The epoll fd itself is pollable: level-triggered readiness means a
+  // ppoll on it returns immediately when inbound bytes already wait,
+  // and gives nanosecond-bounded sleeps otherwise (≤ 10 ms so control
+  // traffic and termination polling stay live).
+  const std::uint64_t ns = std::min<std::uint64_t>(max_ns, 10'000'000);
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(ns / 1000000000ull);
+  ts.tv_nsec = static_cast<long>(ns % 1000000000ull);
+  pollfd pfd{p.epfd, POLLIN, 0};
+  ::ppoll(&pfd, 1, &ts, nullptr);
+}
+
+void TcpTransport::drain_outbound(Endpoint& ep) {
+  Machine& m = ep.machine();
+  const int flat = m.flat_index(ep.pe(), ep.proc());
+  ProcLocal& p = pl(flat);
+  while (p.pending_records.load(std::memory_order_acquire) != 0 ||
+         p.self_records.load(std::memory_order_acquire) != 0) {
+    pump(ep);
+    std::this_thread::yield();
+  }
+}
+
+void TcpTransport::send_goodbyes(int flat) {
+  for (int peer = 0; peer < nprocs_; ++peer) {
+    if (peer == flat) continue;
+    if (pl(flat).fd[static_cast<std::size_t>(peer)] < 0) continue;
+    send_control(flat, peer, Rec::kGoodbye, 0, 0, flat);
+  }
+}
+
+void TcpTransport::barrier(Machine& m) {
+  if (my_rank_ >= 0) {
+    barrier_wire(m);
+    return;
+  }
+  // Thread mode: all ranks share this object — the classic reusable
+  // condvar generation barrier.
+  std::unique_lock<std::mutex> lk(bar_mu_);
+  const std::uint64_t gen = bar_gen_;
+  if (++bar_arrived_ == static_cast<std::size_t>(nprocs_)) {
+    bar_arrived_ = 0;
+    ++bar_gen_;
+    bar_cv_.notify_all();
+    return;
+  }
+  bar_cv_.wait(lk, [&] { return bar_gen_ != gen; });
+}
+
+void TcpTransport::barrier_wire(Machine& m) {
+  // Centralized at rank 0, generation-stamped. Per-pair FIFO makes the
+  // visibility guarantee: arrive follows the sender's earlier scratch
+  // deltas, release follows every rebroadcast rank 0 issued before it —
+  // so all pre-barrier deltas are applied everywhere on release.
+  const int me = my_rank_;
+  const int ppe = m.processes_per_pe();
+  Endpoint& ep = m.endpoint(me / ppe, me % ppe);
+  ProcLocal& p = pl(me);
+  const std::uint64_t gen = ++p.bar_gen;
+  if (me == 0) {
+    auto& arrived = p.bar_arrived[gen & 1];
+    const std::uint32_t need = static_cast<std::uint32_t>(nprocs_ - 1);
+    // A lost peer can never arrive: counting it keeps loss a visible
+    // degradation instead of a hang.
+    while (arrived.load(std::memory_order_acquire) +
+               static_cast<std::uint32_t>(
+                   gone_count_.load(std::memory_order_acquire)) <
+           need) {
+      pump(ep);
+      wait_inbound(ep, 1'000'000);
+    }
+    arrived.store(0, std::memory_order_relaxed);
+    for (int d = 1; d < nprocs_; ++d)
+      send_control(0, d, Rec::kBarrierRelease, 0, gen, 0);
+  } else {
+    send_control(me, 0, Rec::kBarrierArrive, 0, gen, me);
+    while (p.bar_release_seen.load(std::memory_order_acquire) < gen) {
+      if (!p.in[0].open) break;  // rank 0 is gone: nothing will release us
+      pump(ep);
+      wait_inbound(ep, 1'000'000);
+    }
+  }
+}
+
+void TcpTransport::run(Machine& m,
+                       const std::function<void(Endpoint&)>& process_main) {
+  auto wrapped = [&](Endpoint& ep) {
+    process_main(ep);
+    // A sender whose streams backed up flushes its heap-queued records
+    // before going quiet; single-hosted-rank modes then wave goodbye so
+    // the eventual EOF reads as clean shutdown, not peer loss.
+    drain_outbound(ep);
+    if (my_rank_ >= 0)
+      send_goodbyes(ep.machine().flat_index(ep.pe(), ep.proc()));
+  };
+  if (spec_.rank >= 0) {
+    const int ppe = m.processes_per_pe();
+    wrapped(m.endpoint(my_rank_ / ppe, my_rank_ % ppe));
+    return;
+  }
+  if (!spec_.fork) {
+    run_threads(m, wrapped);
+    return;
+  }
+  run_forked(m, wrapped);
+}
+
+void TcpTransport::run_forked(
+    Machine& m, const std::function<void(Endpoint&)>& process_main) {
+  if (ran_) {
+    throw std::runtime_error(
+        "nx: tcp fork transport is single-shot per Machine — a child's "
+        "stream decoder state dies with it; build a fresh Machine");
+  }
+  ran_ = true;
+  if (::pipe(err_pipe_) != 0) {
+    std::perror("nx: pipe");
+    std::abort();
+  }
+  std::fflush(nullptr);  // don't duplicate buffered output into children
+  const int n = m.total_processes();
+  const int ppe = m.processes_per_pe();
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("nx: fork");
+      std::abort();
+    }
+    if (pid == 0) {
+      ::close(err_pipe_[0]);
+      err_pipe_[0] = -1;
+      my_rank_ = i;
+      // Keep only this rank's end of the mesh: every other descriptor
+      // must close here so a dead sibling is visible as EOF.
+      for (int r = 0; r < n; ++r) {
+        if (r == i) continue;
+        for (int& fd : pl(r).fd) {
+          if (fd >= 0) ::close(fd);
+          fd = -1;
+        }
+      }
+      if (pl(i).epfd >= 0) {  // stale across fork: rebuild lazily
+        ::close(pl(i).epfd);
+        pl(i).epfd = -1;
+      }
+      int rc = 0;
+      try {
+        process_main(m.endpoint(i / ppe, i % ppe));
+      } catch (const std::exception& e) {
+        const char* w = e.what();
+        (void)!::write(err_pipe_[1], w, std::strlen(w));
+        rc = 1;
+      } catch (...) {
+        const char msg[] = "unknown exception in nx process";
+        (void)!::write(err_pipe_[1], msg, sizeof msg - 1);
+        rc = 1;
+      }
+      std::fflush(nullptr);
+      ::_exit(rc);  // never unwind into the parent's state
+    }
+    pids.push_back(pid);
+  }
+  // Parent closes the whole mesh: it never pumps, and a child's death
+  // must not be masked by the parent's still-open descriptor.
+  for (int r = 0; r < n; ++r)
+    for (int& fd : pl(r).fd) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  ::close(err_pipe_[1]);
+  err_pipe_[1] = -1;
+
+  bool failed = false;
+  for (pid_t pp : pids) {
+    int wst = 0;
+    if (::waitpid(pp, &wst, 0) < 0)
+      failed = true;
+    else if (!WIFEXITED(wst) || WEXITSTATUS(wst) != 0)
+      failed = true;
+  }
+  std::string child_err;
+  char buf[256];
+  const ssize_t got = ::read(err_pipe_[0], buf, sizeof buf - 1);
+  if (got > 0) child_err.assign(buf, static_cast<std::size_t>(got));
+  ::close(err_pipe_[0]);
+  err_pipe_[0] = -1;
+  if (failed) {
+    std::string msg = "nx: tcp child process failed";
+    if (!child_err.empty()) msg += ": " + child_err;
+    throw std::runtime_error(msg);
+  }
+}
+
+}  // namespace nx

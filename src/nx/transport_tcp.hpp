@@ -1,0 +1,235 @@
+// transport_tcp.hpp — cross-machine backend: a sessionful full mesh of
+// connected nonblocking TCP streams speaking the same 32-byte RecHdr
+// framing as the shmring backend. INTERNAL to src/nx/ (chant-lint
+// transport-internals): everything else programs against
+// nx/transport.hpp.
+//
+// Topology: one connected stream per unordered process pair, built at
+// machine construction (single-OS-process modes) or by a rendezvous
+// phase (rank mode: rank r listens on base_port + r and the higher rank
+// of each pair connects to the lower rank's port, identifying itself
+// with a 4-byte hello). Self-sends never touch a socket: they are
+// serialized into a per-rank loopback queue drained by pump through the
+// same record decoder.
+//
+// Wire format: the shmring record framing minus pads (a stream has no
+// wraparound): 8-byte-aligned {RecHdr, payload} records, chunked above
+// chunk_bytes. Four header-only control records ride the same streams —
+// kScratch (a shared-scratch counter delta, routed through rank 0 and
+// rebroadcast so every mirror converges), kBarrierArrive /
+// kBarrierRelease (the centralized wire barrier, generation-stamped),
+// and kGoodbye (the clean-shutdown flag: a peer whose stream hits EOF
+// *without* a goodbye is surfaced as PeerGone on in-flight traffic; a
+// later data record clears the flag so a machine can run again).
+//
+// Delivery mirrors shmring exactly: a submit never blocks and always
+// consumes the payload — when the socket's send buffer is full the
+// serialized remainder goes onto a process-local per-destination
+// pending queue (FIFO: anything queued flushes before new bytes), and
+// pump() drains inbound sockets through a short-read-tolerant decoder
+// into Transport::inject (queue-only waiter fires, force-eager).
+// wait_inbound is a level-triggered epoll wait bounded by the caller's
+// deadline — never entered while outbound is pending, the shmring
+// invariant that peers can't wake us for bytes only we can flush.
+//
+// Hosting modes (see TransportSpec in nx/transport.hpp):
+//   threads (default) — every rank a std::thread over real loopback
+//     sockets; condvar barrier; scratch is ordinary shared memory.
+//   fork=1 — mesh connected in the parent *before* forking one OS
+//     process per rank (ephemeral ports work: connections predate
+//     fork); each child keeps only its rank's sockets and the parent
+//     closes all of them, so a dead child is visible as EOF. Wire
+//     barrier + wire scratch. Single-shot per Machine: a child dying
+//     mid-record leaves undecodable stream state behind.
+//   rank=N — this OS process hosts only flat rank N; peers are other
+//     OS processes (possibly other hosts) running their own rank.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "nx/transport.hpp"
+
+namespace nx {
+
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport(int nprocs, const TransportSpec& spec);
+  ~TcpTransport() override;
+
+  TransportKind kind() const noexcept override { return TransportKind::Tcp; }
+
+  bool submit(Machine& m, const MsgHeader& h, int dst_pe, int dst_proc,
+              const IoVec* iov, std::size_t iovcnt,
+              std::atomic<bool>* sender_flag) override;
+
+  void pump(Endpoint& ep) override;
+  bool needs_pump() const noexcept override { return true; }
+
+  void run(Machine& m,
+           const std::function<void(Endpoint&)>& process_main) override;
+
+  void barrier(Machine& m) override;
+
+  void* shared_scratch() noexcept override { return scratch_.bytes; }
+
+  std::uint32_t scratch_add(std::size_t off, std::uint32_t delta) override;
+
+  int peers_gone() const noexcept override {
+    return gone_count_.load(std::memory_order_acquire);
+  }
+
+  void wait_inbound(Endpoint& ep, std::uint64_t max_ns) override;
+
+  /// Largest payload slice carried by one wire record (tests force tiny
+  /// chunks to exercise fragmentation over the stream).
+  std::size_t chunk_payload_max() const noexcept { return chunk_max_; }
+  /// Flat rank hosted by this OS process; -1 while hosting every rank
+  /// as a thread (and in the fork-mode parent).
+  int hosted_rank() const noexcept { return my_rank_; }
+
+ private:
+  /// Identical layout to the shmring record header (wire compatible).
+  struct RecHdr {
+    std::uint32_t size;      ///< whole record bytes (8-aligned)
+    std::uint8_t type;       ///< Rec::*
+    std::uint8_t last;       ///< ChunkMore: final chunk of its message
+    std::uint16_t reserved;
+    std::int32_t src_pe;     ///< kScratch: origin flat rank
+    std::int32_t src_proc;
+    std::int32_t tag;        ///< kScratch: scratch byte offset
+    std::int32_t channel;
+    std::uint64_t len;  ///< Msg/ChunkStart: total message bytes;
+                        ///< ChunkMore: this chunk's bytes;
+                        ///< kScratch: delta; kBarrier*: generation
+  };
+  static_assert(sizeof(RecHdr) == 32, "wire layout");
+
+  struct Rec {
+    static constexpr std::uint8_t kMsg = 1;
+    // 2 is shmring's kPad — never valid on a stream.
+    static constexpr std::uint8_t kChunkStart = 3;
+    static constexpr std::uint8_t kChunkMore = 4;
+    static constexpr std::uint8_t kScratch = 5;
+    static constexpr std::uint8_t kBarrierArrive = 6;
+    static constexpr std::uint8_t kBarrierRelease = 7;
+    static constexpr std::uint8_t kGoodbye = 8;
+  };
+
+  /// Receiver-side state for one inbound stream: the short-read decode
+  /// buffer plus chunk reassembly and liveness flags.
+  struct PeerIn {
+    std::vector<std::uint8_t> buf;  ///< undecoded inbound bytes
+    std::size_t off = 0;            ///< consumed prefix of buf
+    std::vector<std::uint8_t> chunk;
+    RecHdr chunk_hdr{};
+    bool chunk_active = false;
+    bool bye = false;   ///< goodbye seen (clean shutdown pending)
+    bool gone = false;  ///< unclean loss already surfaced
+    bool open = false;
+  };
+
+  /// One destination's outbound backlog: fully serialized records, the
+  /// front possibly part-written (front_off).
+  struct OutQ {
+    std::deque<std::vector<std::uint8_t>> q;
+    std::size_t front_off = 0;
+    bool dead = false;  ///< stream failed for writing: discard silently
+  };
+
+  /// Per-rank state. Thread mode touches one slot per rank-thread; in
+  /// fork and rank modes each OS process only ever touches its own.
+  struct ProcLocal {
+    std::mutex send_mu;  ///< serializes this source's producers
+    std::vector<OutQ> out;  ///< [dst]
+    std::atomic<std::size_t> pending_records{0};
+
+    std::mutex recv_mu;  ///< serializes this destination's pumpers
+    std::vector<PeerIn> in;  ///< [src]
+
+    std::mutex self_mu;  ///< loopback queue (src == dst records)
+    std::deque<std::vector<std::uint8_t>> self_q;
+    std::atomic<std::size_t> self_records{0};
+
+    std::vector<int> fd;  ///< [peer] connected stream, -1 = none/self
+    int epfd = -1;        ///< lazily created (post-fork safe)
+
+    // Wire barrier (single-hosted-rank modes). Generations overlap by
+    // at most one, so rank 0's arrival counters index by parity.
+    std::uint64_t bar_gen = 0;
+    std::atomic<std::uint64_t> bar_release_seen{0};
+    std::atomic<std::uint32_t> bar_arrived[2] = {{0}, {0}};
+  };
+
+  ProcLocal& pl(int flat) noexcept { return *local_[static_cast<std::size_t>(flat)]; }
+
+  void connect_mesh_local();  ///< threads/fork: full mesh pre-fork
+  void rendezvous_rank();     ///< rank mode: listen + connect by rank
+  void tune_socket(int fd) const;
+  void ensure_epoll_locked(int flat);
+
+  /// Serializes one record slicing [offset, offset+payload) of the
+  /// gathered message. Control records pass iovcnt == 0.
+  static std::vector<std::uint8_t> serialize(const RecHdr& rh,
+                                             const IoVec* iov,
+                                             std::size_t iovcnt,
+                                             std::size_t offset,
+                                             std::size_t payload);
+
+  /// Queues or writes one serialized record toward dst. Caller holds
+  /// send_mu[src]. Self records go to the loopback queue.
+  void ship_record(int src, int dst, std::vector<std::uint8_t> rec);
+  /// Nonblocking write of queued records; false return means the peer's
+  /// stream failed (backlog discarded). Caller holds send_mu[src].
+  bool flush_pending_locked(int src, int dst);
+  /// Header-only control record (barrier / scratch / goodbye).
+  void send_control(int src, int dst, std::uint8_t type, std::int32_t tag,
+                    std::uint64_t len, std::int32_t origin);
+
+  /// Marks the (src rank → this rank) stream dead. clean == goodbye was
+  /// seen; unclean loss surfaces PeerGone and bumps gone_count_.
+  /// Caller holds recv_mu[flat].
+  void close_peer_locked(Endpoint& ep, int flat, int peer, bool clean);
+  /// Decodes and dispatches every complete record in in.buf.
+  void decode_locked(Endpoint& ep, int flat, int peer);
+  void handle_record(Endpoint& ep, int flat, int peer, const RecHdr& rh,
+                     const std::uint8_t* payload);
+  void inject_record(Endpoint& ep, const RecHdr& rh,
+                     const std::uint8_t* payload);
+  void apply_scratch_locked(int flat, const RecHdr& rh);
+
+  void drain_outbound(Endpoint& ep);
+  void send_goodbyes(int flat);
+  void barrier_wire(Machine& m);
+  void run_forked(Machine& m,
+                  const std::function<void(Endpoint&)>& process_main);
+
+  int nprocs_ = 0;
+  TransportSpec spec_;
+  std::size_t chunk_max_ = 0;
+  int my_rank_ = -1;  ///< single-hosted-rank modes; -1 = all ranks here
+  bool ran_ = false;  ///< fork mode is single-shot per Machine
+
+  std::vector<std::unique_ptr<ProcLocal>> local_;
+  std::atomic<int> gone_count_{0};
+
+  // Thread-mode barrier (reusable; run() may be called repeatedly).
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  std::size_t bar_arrived_ = 0;
+  std::uint64_t bar_gen_ = 0;
+
+  // Scratch: ordinary shared memory in thread mode; a per-OS-process
+  // mirror kept coherent by kScratch routing in fork/rank modes.
+  struct alignas(64) Scratch {
+    unsigned char bytes[kSharedScratchBytes];
+  };
+  Scratch scratch_{};
+  std::mutex scratch_mu_;  ///< serializes mirror updates vs. broadcast
+
+  int err_pipe_[2] = {-1, -1};  ///< fork mode child-failure channel
+};
+
+}  // namespace nx

@@ -70,7 +70,7 @@ TEST_P(ChantAsyncRsr, CallTestPollsWithoutBlocking) {
     const int h = rt.call_async(1, 0, square, &v, sizeof v);
     std::vector<std::uint8_t> rep;
     int polls = 0;
-    while (!rt.call_test(h, &rep)) {
+    while (!rt.call_test(h, &rep).ok()) {
       ++polls;
       rt.yield();
     }

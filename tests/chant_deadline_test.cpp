@@ -24,13 +24,11 @@ constexpr std::uint64_t kMs = 1'000'000;
 
 // ------------------------------------------------------- Status semantics
 
-TEST(Status, BoolShimMatchesHistoricalReturns) {
-  // call_test: Ok ≡ old `true` (complete), Pending ≡ old `false`.
-  EXPECT_TRUE(static_cast<bool>(Status(StatusCode::Ok)));
-  EXPECT_FALSE(static_cast<bool>(Status(StatusCode::Pending)));
-  // cancel_irecv: Ok ≡ old `true` (withdrawn before completion).
-  EXPECT_FALSE(static_cast<bool>(Status(StatusCode::AlreadyCompleted)));
-  EXPECT_FALSE(static_cast<bool>(Status(StatusCode::DeadlineExceeded)));
+TEST(Status, OkAndMessageSemantics) {
+  EXPECT_TRUE(Status(StatusCode::Ok).ok());
+  EXPECT_FALSE(Status(StatusCode::Pending).ok());
+  EXPECT_FALSE(Status(StatusCode::AlreadyCompleted).ok());
+  EXPECT_FALSE(Status(StatusCode::DeadlineExceeded).ok());
   EXPECT_STREQ(Status(StatusCode::DeadlineExceeded).message(),
                "deadline exceeded");
   EXPECT_EQ(Status(StatusCode::Ok), StatusCode::Ok);
@@ -154,11 +152,10 @@ TEST_P(ChantDeadline, CancelIrecvIsIdempotent) {
       EXPECT_EQ(rt.outstanding_recvs(), 0u);
       // (d) a handle that never existed.
       EXPECT_EQ(rt.cancel_irecv(-1), StatusCode::Invalid);
-      // Bool shim: old call sites treat the return as "withdrawn?".
       long c = 0;
       const int h3 = rt.irecv(44, &c, sizeof c, peer);
-      EXPECT_TRUE(rt.cancel_irecv(h3));   // withdrawn → truthy
-      EXPECT_FALSE(rt.cancel_irecv(h3));  // retired → falsy
+      EXPECT_TRUE(rt.cancel_irecv(h3).ok());   // withdrawn
+      EXPECT_FALSE(rt.cancel_irecv(h3).ok());  // retired
     } else {
       long go = 0;
       rt.recv(42, &go, sizeof go, peer);

@@ -241,7 +241,7 @@ TEST_P(ChantP2p, TruncationReported) {
     } else {
       char small[8];
       const MsgInfo mi = rt.recv(11, small, sizeof small, peer);
-      EXPECT_TRUE(mi.truncated);
+      EXPECT_EQ(mi.status.code(), chant::StatusCode::Truncated);
       EXPECT_EQ(mi.len, 64u);
       EXPECT_EQ(small[7], 'T');
     }
@@ -257,7 +257,7 @@ TEST_P(ChantP2p, ZeroByteMessageDelivers) {
     } else {
       const MsgInfo mi = rt.recv(12, nullptr, 0, peer);
       EXPECT_EQ(mi.len, 0u);
-      EXPECT_FALSE(mi.truncated);
+      EXPECT_TRUE(mi.status.ok());
     }
   });
 }

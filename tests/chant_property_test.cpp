@@ -132,7 +132,7 @@ TEST_P(ChantMesh, MixedSizesAcrossEagerBoundary) {
     for (int i = 0; i < kRounds; ++i) {
       const MsgInfo mi = rt.msgwait(handles[static_cast<std::size_t>(i)]);
       EXPECT_EQ(mi.user_tag, 200 + i);
-      EXPECT_FALSE(mi.truncated);
+      EXPECT_TRUE(mi.status.ok());
       EXPECT_EQ(inbox[static_cast<std::size_t>(i)][0],
                 static_cast<std::uint8_t>(i));
     }

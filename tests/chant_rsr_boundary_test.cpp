@@ -81,7 +81,7 @@ TEST_P(RsrBoundary, BoundaryRepliesViaCallTest) {
       for (int i = 0; i < 3; ++i) {
         if (done[i]) continue;
         std::vector<std::uint8_t> rep;
-        if (rt.call_test(handles[i], &rep)) {
+        if (rt.call_test(handles[i], &rep).ok()) {
           check_reply(rep, sizes[i]);
           done[i] = true;
           --remaining;
@@ -130,7 +130,7 @@ TEST(RsrTailLoss, CallTestStaysNonblockingWhenTailNeverArrives) {
     // returning false, each probe a bounded amount of work.
     for (int i = 0; i < 300; ++i) {
       std::vector<std::uint8_t> rep;
-      ASSERT_FALSE(rt.call_test(call, &rep));
+      ASSERT_FALSE(rt.call_test(call, &rep).ok());
       rt.yield();
     }
     // The call is abandoned un-completed; runtime teardown tolerates it.

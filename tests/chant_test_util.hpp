@@ -37,6 +37,7 @@ inline std::string case_name(const PolicyCase& c) {
     case nx::TransportKind::Default: break;
     case nx::TransportKind::InProc: s += "_inp"; break;
     case nx::TransportKind::ShmRing: s += "_shm"; break;
+    case nx::TransportKind::Tcp: s += "_tcp"; break;
   }
   return s;
 }
@@ -47,7 +48,21 @@ inline chant::World::Config config_for(const PolicyCase& c, int pes = 2) {
   cfg.rt.policy = c.policy;
   cfg.rt.wq_use_testany = c.wq_testany;
   cfg.rt.addressing = c.addressing;
-  cfg.transport = c.transport;
+  // Pin through the TransportSpec API; Default leaves the spec unset so
+  // the Machine honours CHANT_TRANSPORT.
+  switch (c.transport) {
+    case nx::TransportKind::Default: break;
+    case nx::TransportKind::InProc:
+      cfg.transport_spec = nx::TransportSpec::inproc();
+      break;
+    case nx::TransportKind::ShmRing:
+      cfg.transport_spec = nx::TransportSpec::shmring();
+      break;
+    case nx::TransportKind::Tcp:
+      // Thread-hosted loopback sockets on ephemeral ports.
+      cfg.transport_spec = nx::TransportSpec::tcp("127.0.0.1", 0);
+      break;
+  }
   return cfg;
 }
 
@@ -66,10 +81,11 @@ inline std::vector<PolicyCase> all_cases() {
 
 /// The cross-backend contract sweep: every policy/addressing case pinned
 /// to each concrete transport. Suites instantiated over this must behave
-/// identically on every backend (ISSUE 8 acceptance).
+/// identically on every backend (ISSUE 8/9 acceptance).
 inline std::vector<PolicyCase> transport_cases() {
   std::vector<PolicyCase> cases;
-  for (auto k : {nx::TransportKind::InProc, nx::TransportKind::ShmRing}) {
+  for (auto k : {nx::TransportKind::InProc, nx::TransportKind::ShmRing,
+                 nx::TransportKind::Tcp}) {
     for (PolicyCase c : all_cases()) {
       c.transport = k;
       cases.push_back(c);

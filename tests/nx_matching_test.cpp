@@ -12,13 +12,14 @@ namespace {
 
 /// Single-PE machine: all matching logic can be exercised with
 /// self-sends, which keeps these tests sequential and deterministic.
-/// Parameterized over the delivery backend — matching semantics are the
-/// transport contract, so every case must hold verbatim on each one.
-class NxMatching : public ::testing::TestWithParam<nx::TransportKind> {
+/// Parameterized over the delivery backend (addressed through the
+/// TransportSpec grammar) — matching semantics are the transport
+/// contract, so every case must hold verbatim on each one.
+class NxMatching : public ::testing::TestWithParam<const char*> {
  protected:
-  static nx::Machine::Config cfg(nx::TransportKind k) {
+  static nx::Machine::Config cfg(const char* spec) {
     nx::Machine::Config c{1, 1, nx::NetModel::zero(), 1 << 16};
-    c.transport = k;
+    c.transport_spec = nx::TransportSpec::parse(spec);
     return c;
   }
   nx::Machine m{cfg(GetParam())};
@@ -147,9 +148,10 @@ TEST_P(NxMatching, WildcardSourceAcceptsAnyPe) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllTransports, NxMatching,
-    ::testing::Values(nx::TransportKind::InProc, nx::TransportKind::ShmRing),
-    [](const ::testing::TestParamInfo<nx::TransportKind>& info) {
-      return std::string(nx::to_string(info.param));
+    ::testing::Values("inproc", "shmring", "tcp://127.0.0.1:0"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(
+          nx::to_string(nx::TransportSpec::parse(info.param).kind));
     });
 
 }  // namespace

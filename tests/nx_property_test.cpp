@@ -29,17 +29,17 @@ struct Wire {
   // payload follows
 };
 
-/// (eager_threshold, pes, transport) sweep: small thresholds force
-/// rendezvous, large ones make everything eager, and both delivery
-/// backends must satisfy every property identically (the conservation
+/// (eager_threshold, pes, transport-spec) sweep: small thresholds force
+/// rendezvous, large ones make everything eager, and every delivery
+/// backend must satisfy every property identically (the conservation
 /// and FIFO oracles are the cross-backend contract).
 class NxDelivery : public ::testing::TestWithParam<
-                       std::tuple<std::size_t, int, nx::TransportKind>> {
+                       std::tuple<std::size_t, int, const char*>> {
  protected:
   static nx::Machine::Config cfg(std::size_t eager, int pes,
-                                 nx::TransportKind k) {
+                                 const char* spec) {
     nx::Machine::Config c{pes, 1, nx::NetModel::zero(), eager};
-    c.transport = k;
+    c.transport_spec = nx::TransportSpec::parse(spec);
     return c;
   }
 };
@@ -252,12 +252,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(std::size_t{0}, std::size_t{512},
                                          std::size_t{1} << 16),
                        ::testing::Values(2, 4),
-                       ::testing::Values(nx::TransportKind::InProc,
-                                         nx::TransportKind::ShmRing)),
+                       ::testing::Values("inproc", "shmring",
+                                         "tcp://127.0.0.1:0")),
     [](const auto& info) {
       return "eager" + std::to_string(std::get<0>(info.param)) + "_pes" +
              std::to_string(std::get<1>(info.param)) + "_" +
-             nx::to_string(std::get<2>(info.param));
+             nx::to_string(
+                 nx::TransportSpec::parse(std::get<2>(info.param)).kind);
     });
 
 TEST(NxDeliveryLatency, PropertyHoldsUnderNetworkDelay) {

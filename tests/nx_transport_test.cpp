@@ -49,11 +49,15 @@ std::atomic<int>* test_counter(nx::Machine& m) {
 }
 
 TEST(TransportKind, ParseAndResolve) {
+  // Deprecated lenient shims (removal scheduled after PR 9): unknown
+  // values still fall back to InProc here — the strict path is
+  // TransportSpec::parse, covered in nx_transport_tcp_test.cpp.
   EXPECT_EQ(nx::parse_transport(nullptr), nx::TransportKind::InProc);
   EXPECT_EQ(nx::parse_transport(""), nx::TransportKind::InProc);
   EXPECT_EQ(nx::parse_transport("inproc"), nx::TransportKind::InProc);
   EXPECT_EQ(nx::parse_transport("shmring"), nx::TransportKind::ShmRing);
   EXPECT_EQ(nx::parse_transport("shm"), nx::TransportKind::ShmRing);
+  EXPECT_EQ(nx::parse_transport("tcp://127.0.0.1:0"), nx::TransportKind::Tcp);
   EXPECT_EQ(nx::parse_transport("nonsense"), nx::TransportKind::InProc);
   // Pinned kinds resolve to themselves regardless of the environment.
   EXPECT_EQ(nx::resolve_transport(nx::TransportKind::InProc),
@@ -168,15 +172,15 @@ TEST(OsBarrier, InProcessPathUnchanged) {
   }
 }
 
-TEST(ForkMode, RequiresShmRing) {
+TEST(ForkMode, RequiresCrossProcessTransport) {
   EXPECT_DEATH(
       {
         nx::Machine::Config c;
-        c.transport = nx::TransportKind::InProc;
-        c.fork_processes = true;
+        c.transport_spec = nx::TransportSpec::inproc();
+        c.transport_spec.fork = true;
         nx::Machine m{c};
       },
-      "fork_processes requires the shmring transport");
+      "fork requires a cross-process transport");
 }
 
 TEST(ForkMode, PingPongAcrossRealProcesses) {

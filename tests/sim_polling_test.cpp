@@ -80,7 +80,7 @@ TEST_P(SimPolling, BlockingAndNonblockingReceivesComplete) {
           case 1: {
             const int h = rt.irecv(5, &got, sizeof got, chant::kAnyThread);
             const chant::MsgInfo mi = rt.msgwait(h);
-            EXPECT_FALSE(mi.truncated);
+            EXPECT_TRUE(mi.status.ok());
             break;
           }
           default: {

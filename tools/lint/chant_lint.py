@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """chant-lint — Chant-specific static checks (DESIGN.md §9).
 
-Five rules the generic toolchain cannot express:
+Six rules the generic toolchain cannot express:
 
   dropped-status        A call to an always-Status-returning runtime
                         method (cancel_irecv, call_test) used as a bare
@@ -38,12 +38,25 @@ Five rules the generic toolchain cannot express:
 
   transport-internals   A `#include` of a transport backend's private
                         header (transport_inproc.hpp,
-                        transport_shmring.hpp) from a file outside
-                        src/nx/. The backends live behind the
-                        nx::Transport seam (DESIGN.md §12); callers pick
-                        one via Machine::Config::transport or
+                        transport_shmring.hpp, transport_tcp.hpp) from a
+                        file outside src/nx/. The backends live behind
+                        the nx::Transport seam (DESIGN.md §12); callers
+                        pick one via the TransportSpec grammar or
                         CHANT_TRANSPORT, never by reaching into a
-                        backend's ring/doorbell internals.
+                        backend's ring/doorbell/socket internals.
+
+  legacy-transport-config
+                        A call to the deprecated lenient parsers
+                        (parse_transport / resolve_transport) or a write
+                        to the deprecated Config fields (.transport,
+                        .fork_processes, .shm_ring_bytes). Both were
+                        superseded by the TransportSpec addressing API
+                        in PR 9 (DESIGN.md §13): new code sets
+                        Config::transport_spec (TransportSpec::parse /
+                        factories), which reports malformed specs
+                        instead of guessing. The shims themselves and
+                        their one-release forwarding sites carry allow
+                        comments.
 
 Suppress a finding with a trailing `// chant-lint: allow(<rule>)` on the
 offending line.
@@ -60,7 +73,7 @@ import re
 import sys
 
 RULES = ("dropped-status", "blocking-in-handler", "iovec-stack-lifetime",
-         "msgwait-loop", "transport-internals")
+         "msgwait-loop", "transport-internals", "legacy-transport-config")
 
 ALLOW_RE = re.compile(r"//\s*chant-lint:\s*allow\(([\w-]+)\)")
 LINT_EXPECT_RE = re.compile(r"//\s*LINT:\s*([\w-]+)")
@@ -105,7 +118,16 @@ MSGWAIT_IDX_RE = re.compile(r"(?:\.|->)msgwait\s*\(\s*\w+\s*\[")
 
 # Private transport-backend headers; only src/nx/ may include them.
 TRANSPORT_INTERNAL_RE = re.compile(
-    r'#\s*include\s*[<"][^<">]*transport_(inproc|shmring)\.hpp[">]'
+    r'#\s*include\s*[<"][^<">]*transport_(inproc|shmring|tcp)\.hpp[">]'
+)
+
+# Deprecated backend-selection surface (PR 9): the lenient parsers and
+# writes to the legacy Config fields. `transport_spec` does not match —
+# the field names must end at a word boundary before the `=`. `=(?!=)`
+# keeps comparisons out.
+LEGACY_TRANSPORT_RE = re.compile(
+    r"\b(parse_transport|resolve_transport)\s*\("
+    r"|(?:\.|->)\s*(transport|fork_processes|shm_ring_bytes)\s*=(?!=)"
 )
 
 
@@ -279,6 +301,19 @@ def check_file(path):
                     "header; select a backend through "
                     "Machine::Config::transport (or CHANT_TRANSPORT), "
                     "not by including src/nx internals"))
+
+    # ---- rule: legacy-transport-config ----------------------------
+    for i, raw in enumerate(lines):
+        code = strip_comments_and_strings(raw)
+        m = LEGACY_TRANSPORT_RE.search(code)
+        if m and not allowed(i, "legacy-transport-config"):
+            what = m.group(1) or m.group(2)
+            findings.append(Finding(
+                path, i + 1, "legacy-transport-config",
+                f"'{what}' is the deprecated backend-selection surface "
+                "(PR 9); address the backend through Config::"
+                "transport_spec and the TransportSpec grammar "
+                "(DESIGN.md §13) instead"))
 
     # ---- rule: msgwait-loop ---------------------------------------
     depth = 0

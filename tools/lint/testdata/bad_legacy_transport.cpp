@@ -1,0 +1,28 @@
+// testdata: legacy-transport-config. (Lint fodder, never compiled.)
+// The PR-9 TransportSpec grammar superseded the lenient parsers and the
+// raw Config fields; new writes to either surface must be flagged.
+#include "nx/transport.hpp"
+#include "nx/machine.hpp"
+
+void legacy_surface(nx::Machine::Config& cfg, nx::Machine::Config* pcfg) {
+  (void)nx::parse_transport("shmring");  // LINT: legacy-transport-config
+  (void)nx::resolve_transport(nx::TransportKind::Default);  // LINT: legacy-transport-config
+  cfg.transport = nx::TransportKind::ShmRing;  // LINT: legacy-transport-config
+  cfg.fork_processes = true;  // LINT: legacy-transport-config
+  pcfg->shm_ring_bytes = 1 << 16;  // LINT: legacy-transport-config
+}
+
+void sanctioned_surface(nx::Machine::Config& cfg) {
+  // The spec field and grammar are the replacement — no findings here.
+  cfg.transport_spec = nx::TransportSpec::parse("shmring?fork=1");
+  cfg.transport_spec.fork = true;
+  if (cfg.transport == nx::TransportKind::ShmRing) {  // comparison, not a write
+    cfg.transport_spec = nx::TransportSpec::shmring(cfg.shm_ring_bytes);
+  }
+}
+
+void one_release_forwarding(nx::Machine::Config& cfg) {
+  // The deprecation shims forward the old fields for one release; those
+  // sites are annotated deliberately.
+  cfg.transport = nx::TransportKind::InProc;  // chant-lint: allow(legacy-transport-config)
+}

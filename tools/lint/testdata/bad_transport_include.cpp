@@ -7,12 +7,13 @@
 #include "transport_inproc.hpp"  // LINT: transport-internals
 #include "transport_shmring.hpp"  // LINT: transport-internals
 #include "nx/transport_shmring.hpp"  // LINT: transport-internals
+#include "transport_tcp.hpp"  // LINT: transport-internals
 
 // Suppressed on purpose (e.g. a whitebox test poking ring geometry):
 #include "transport_shmring.hpp"  // chant-lint: allow(transport-internals)
 
 void use_machine() {
   nx::Machine::Config cfg;
-  cfg.transport = nx::TransportKind::ShmRing;  // the sanctioned way
+  cfg.transport_spec = nx::TransportSpec::shmring();  // the sanctioned way
   (void)cfg;
 }
