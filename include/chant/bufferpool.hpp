@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "chant/hb.hpp"
 #include "chant/validate.hpp"
 
 namespace chant {
@@ -38,13 +39,18 @@ class BufferPool {
     ++stats_.acquires;
     if (free_.empty()) {
       ++stats_.fresh;
-      return std::vector<std::uint8_t>(n);
+      std::vector<std::uint8_t> b(n);
+      if (hb::enabled()) hb::pool_acquired(b.data(), b.size());
+      return b;
     }
     std::vector<std::uint8_t> b = std::move(free_.back());
     free_.pop_back();
     if (validate::enabled()) validate::pool_unpoison(this, b.data(), b.size());
     if (b.capacity() < n) ++stats_.fresh;  // recycled block had to grow
     b.resize(n);
+    // Recycling counts as a claim-write on the block: any access through
+    // a pointer kept past release() now races with the new owner.
+    if (hb::enabled()) hb::pool_acquired(b.data(), b.size());
     return b;
   }
 
@@ -58,6 +64,7 @@ class BufferPool {
       return;
     }
     if (validate::enabled()) validate::pool_poison(this, b.data(), b.size());
+    if (hb::enabled()) hb::pool_released(b.data());
     free_.push_back(std::move(b));
   }
 

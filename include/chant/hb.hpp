@@ -1,0 +1,154 @@
+// chant/hb.hpp — vector-clock happens-before checker (DESIGN.md §14).
+//
+// A layered concurrency checker that turns the sim harness into a model
+// checker: it maintains one vector clock per fiber, derives
+// happens-before edges from every runtime event (fiber spawn/join, lock
+// and sync-object operations, message send → matched receive, RSR call
+// → handler → reply), and runs three detectors on top:
+//
+//   1. data races     — over regions registered with hb::track() (and
+//                       BufferPool blocks automatically), checked at
+//                       annotated / runtime copy accesses;
+//   2. deadlocks      — a wait-for graph spanning fibers blocked on
+//                       locks, joins, Once initializers and RSR calls,
+//                       across every process of the (in-proc) world;
+//   3. lost wakeups   — a fiber still blocked on an unbounded wait when
+//                       the whole world has quiesced: nothing runnable,
+//                       no armed timer, no in-flight message.
+//
+// Off (the default), every instrumentation site costs one relaxed /
+// acquire load of a null pointer — the gated bench_hb_overhead row
+// proves the production path is unchanged. Enabled (explicitly or via
+// CHANT_HB=1), every explored sim interleaving is checked; a violation
+// inside sim::explore() fails the iteration, which prints the
+// CHANT_SIM_SEED / CHANT_SIM_TRACE repro line and feeds the shrinker.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lwt {
+struct Tcb;
+class Scheduler;
+}  // namespace lwt
+
+namespace chant::hb {
+
+/// Everything the checker can report.
+enum class Violation : int {
+  kDataRace = 0,    ///< unordered accesses to a tracked region
+  kDeadlock,        ///< cycle in the cross-PE wait-for graph
+  kLostWakeup,      ///< unbounded wait with no possible waker left
+  kNumViolations,   // count — keep last
+};
+
+constexpr int kNumViolations = static_cast<int>(Violation::kNumViolations);
+
+const char* to_string(Violation v) noexcept;
+
+/// A reported violation, delivered to the installed sink.
+struct Report {
+  Violation kind;
+  const char* message;  ///< multi-line human-readable diagnosis
+};
+
+/// Report consumer. The default sink prints to stderr (including the
+/// CHANT_SIM_SEED hint when running under the sim harness).
+using Sink = void (*)(const Report&);
+
+// ------------------------------------------------------------ lifecycle
+
+/// Install the checker (lwt + nx hook tables). Idempotent.
+void enable();
+/// Uninstall the hooks and stop checking. State is kept for inspection
+/// until reset().
+void disable();
+/// enable() when CHANT_HB is set to a non-empty, non-"0" value.
+void enable_from_env();
+
+extern std::atomic<bool> g_enabled;
+inline bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+/// Clear all clocks, regions, counters and world bookkeeping. Call
+/// between independent runs (sim iterations).
+void reset();
+
+void set_sink(Sink sink);  ///< null restores the default stderr sink
+
+std::uint64_t violation_count();             ///< total since reset()
+std::uint64_t violation_count(Violation v);  ///< per kind
+
+// -------------------------------------------------- shared-region races
+
+/// Register [ptr, ptr+len) as checked shared state. `name` appears in
+/// race reports and must outlive the registration (static storage or
+/// world lifetime).
+void track(const void* ptr, std::size_t len, const char* name);
+/// Remove a registration made by track() (matched by base pointer).
+void untrack(const void* ptr);
+
+/// Announce an access to possibly-tracked memory. No-ops (one atomic
+/// load) when the checker is off or the range overlaps no tracked
+/// region. `site` names the access for reports (static storage).
+void on_read(const void* ptr, std::size_t len, const char* site);
+void on_write(const void* ptr, std::size_t len, const char* site);
+
+// ------------------------------------------- runtime integration points
+// (called by the Chant runtime; not part of the user API)
+
+/// A World::run covering `processes` runtimes is starting: quiescence
+/// detection arms once all of them have registered.
+void world_begin(unsigned processes);
+/// A Runtime bound to `sched` came up at (pe, proc) / went down.
+void runtime_started(lwt::Scheduler* sched, int pe, int proc);
+void runtime_stopped(lwt::Scheduler* sched);
+/// The RSR server fiber of (pe, proc): target node for call edges in
+/// the wait-for graph.
+void server_started(int pe, int proc, lwt::Tcb* tcb);
+
+/// The current fiber consumed the message carrying `token`
+/// (MsgHeader::hb_clk): merge the sender's clock (send → recv edge).
+void msg_delivered(std::uint64_t token);
+
+/// Scratch-counter / barrier traffic at the transport layer: a single
+/// conservatively-ordered global sync object (merge both ways).
+void global_sync();
+
+/// BufferPool block lifecycle: blocks are auto-tracked regions, and
+/// acquire/release are ordered through the pool (plus count as claim
+/// writes, so stale accesses race with the next recycle).
+void pool_acquired(const void* base, std::size_t len);
+void pool_released(const void* base);
+
+/// RAII wrapper for a chant-level blocking site (recv / msgwait /
+/// rendezvous send / selector wait). Restores any outer wait on exit,
+/// so nesting (call wait → internal block_until) is safe. `what` must
+/// have static storage duration.
+class WaitScope {
+ public:
+  WaitScope(const void* obj, const char* what, bool timed);
+  ~WaitScope();
+  WaitScope(const WaitScope&) = delete;
+  WaitScope& operator=(const WaitScope&) = delete;
+
+ private:
+  lwt::Tcb* tcb_;
+};
+
+/// Like WaitScope, for an RSR call wait: the wait-for edge targets the
+/// server fiber of (pe, proc).
+class CallWaitScope {
+ public:
+  CallWaitScope(int pe, int proc, const char* what, bool timed);
+  ~CallWaitScope();
+  CallWaitScope(const CallWaitScope&) = delete;
+  CallWaitScope& operator=(const CallWaitScope&) = delete;
+
+ private:
+  lwt::Tcb* tcb_;
+};
+
+}  // namespace chant::hb

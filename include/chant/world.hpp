@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "chant/hb.hpp"
 #include "chant/policy.hpp"
 #include "chant/runtime.hpp"
 #include "nx/machine.hpp"
@@ -70,9 +71,13 @@ class World {
   /// the chant-reserved first 16 bytes), so it counts across threads,
   /// forked OS processes, and tcp rank processes alike.
   void note_main_done() noexcept {
+    // Scratch-counter traffic orders the publisher against every later
+    // observer; model it as one conservative global sync point.
+    if (hb::enabled()) hb::global_sync();
     machine_.transport().scratch_add(0, 1);
   }
   int mains_done() const noexcept {
+    if (hb::enabled()) hb::global_sync();
     return static_cast<int>(machine_.transport().scratch_load(0));
   }
   /// Peers this OS process lost uncleanly (wire transports; always 0

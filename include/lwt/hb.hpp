@@ -1,0 +1,76 @@
+// lwt/hb.hpp — hook points for a layered happens-before checker.
+//
+// Mirrors lwt/validate.hpp: lwt cannot depend on chant, but chant::hb
+// (DESIGN.md §14) needs to observe every fiber lifecycle and
+// synchronization event to maintain vector clocks and a wait-for graph.
+// A higher layer installs one pointer; every hook site is a single
+// acquire load and a predictable branch when no checker is installed,
+// so the production (null-controller) cost is effectively zero.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lwt {
+
+struct Tcb;
+class Scheduler;
+
+/// Observer callbacks for fiber lifecycle and synchronization events.
+/// All members must be non-null in an installed table. `self` is the
+/// calling fiber; `parent` in thread_spawn may be null (spawn from a
+/// foreign OS thread or run_main bootstrap).
+struct HbHooks {
+  /// `child` was created (by `parent`, when non-null). Establishes the
+  /// spawn happens-before edge parent → child.
+  void (*thread_spawn)(Tcb* parent, Tcb* child);
+  /// `self` is finishing. `detached` fibers are never joined, so their
+  /// clock state can be reclaimed immediately.
+  void (*thread_exit)(Tcb* self, bool detached);
+  /// `self` successfully joined `joinee` (exit → join edge). Called
+  /// before the joinee's Tcb is reaped.
+  void (*thread_join)(Tcb* self, Tcb* joinee);
+  /// `self` now holds `obj` (Mutex / RwLock / Once). Acquire edge plus
+  /// ownership tracking for the wait-for graph. `kind` has static
+  /// storage duration.
+  void (*lock_acquired)(Tcb* self, const void* obj, const char* kind);
+  /// `self` released `obj`.
+  void (*lock_released)(Tcb* self, const void* obj);
+  /// `self` performed a release-flavored operation on `obj` (CondVar
+  /// signal/broadcast, Semaphore release, Barrier arrival): publish
+  /// self's clock into the object.
+  void (*sync_release)(Tcb* self, const void* obj);
+  /// `self` completed an acquire-flavored wait on `obj` (CondVar wakeup,
+  /// Semaphore acquire, Barrier release): merge the object's clock.
+  void (*sync_acquire)(Tcb* self, const void* obj);
+  /// `self` is about to block on `obj` (wait-for graph node). `what`
+  /// names the site for reports ("lwt::CondVar::wait", ...; static
+  /// storage duration). `timed` waits are exempt from deadlock /
+  /// lost-wakeup classification (their timer guarantees a wakeup).
+  void (*wait_begin)(Tcb* self, const void* obj, const char* what,
+                     bool timed);
+  /// `self` resumed from the wait announced by wait_begin.
+  void (*wait_end)(Tcb* self);
+  /// The (single-worker) scheduler `s` found nothing runnable.
+  /// `timers_live` and `generic_len` are its live timer and generic-wait
+  /// counts; `locally_dead` is the scheduler's own whole-process
+  /// deadlock predicate (blocked fibers with nothing pollable left).
+  /// Returns true when the checker claims this idle pass — either it
+  /// diagnosed a terminal stuck state and recovered (canceled the stuck
+  /// fibers), or it is still converging on a world-wide diagnosis and
+  /// the caller must hold its local deadlock abort for now.
+  bool (*quiesce)(Scheduler* s, std::uint64_t timers_live,
+                  std::uint64_t generic_len, bool locally_dead);
+  /// The scheduler `s` is about to run a fiber (not idle).
+  void (*progress)(Scheduler* s);
+};
+
+/// The installed hook table, or null when the checker is off. Written
+/// only by chant::hb::enable/disable; read on every hooked operation.
+extern std::atomic<const HbHooks*> g_hb_hooks;
+
+inline const HbHooks* hb_hooks() noexcept {
+  return g_hb_hooks.load(std::memory_order_acquire);
+}
+
+}  // namespace lwt

@@ -4,8 +4,10 @@
 
 #include <atomic>
 
+#include "lwt/hb.hpp"
 #include "lwt/scheduler.hpp"
 #include "lwt/thread.hpp"
+#include "lwt/validate.hpp"
 
 namespace lwt {
 
@@ -19,18 +21,18 @@ class RwLock {
   RwLock& operator=(const RwLock&) = delete;
 
   void lock_shared();
-  bool try_lock_shared();
+  [[nodiscard]] bool try_lock_shared();
   /// Timed shared acquire; false = deadline passed first (lock not
   /// held). Timer-wheel-parked; cancellation point.
-  bool try_lock_shared_until(std::uint64_t deadline_ns);
+  [[nodiscard]] bool try_lock_shared_until(std::uint64_t deadline_ns);
   void unlock_shared();
 
   void lock();
-  bool try_lock();
+  [[nodiscard]] bool try_lock();
   /// Timed exclusive acquire; same contract as try_lock_shared_until.
   /// A timed-out writer quietly leaves the writer queue; the reader
   /// herd is released by the next unlock as usual.
-  bool try_lock_until(std::uint64_t deadline_ns);
+  [[nodiscard]] bool try_lock_until(std::uint64_t deadline_ns);
   void unlock();
 
   int readers() const noexcept {
@@ -86,26 +88,56 @@ class Once {
 
   template <typename F>
   void call(F&& fn) {
-    if (state_.load(std::memory_order_acquire) == State::Done) return;
+    if (state_.load(std::memory_order_acquire) == State::Done) {
+      // The initializer's effects happen-before every later caller.
+      if (const auto* hb = hb_hooks()) hb->sync_acquire(Scheduler::self(), this);
+      return;
+    }
     Scheduler& s = *Scheduler::current();
+    Tcb* me = Scheduler::self();
+    // A latecomer may block behind the running initializer: announce the
+    // (unbounded) wait to the validator and the wait-for graph. The
+    // runner "owns" the Once while fn() executes, so an initializer that
+    // blocks forever shows up as a deadlock edge, not a mystery hang.
+    if (const auto* h = validate_hooks()) {
+      h->blocking_call(me, "lwt::Once::call", false);
+    }
+    const HbHooks* hb = hb_hooks();
+    if (hb != nullptr) hb->wait_begin(me, this, "lwt::Once::call", false);
     Scheduler::SyncGuard g(s);
     while (true) {
       const State st = state_.load(std::memory_order_relaxed);
-      if (st == State::Done) return;
+      if (st == State::Done) {
+        g.unlock();
+        if (hb != nullptr) {
+          hb->wait_end(me);
+          hb->sync_acquire(me, this);
+        }
+        return;
+      }
       if (st == State::Fresh) break;
       s.park_on(waiters_, g);
       g.lock();
     }
     state_.store(State::Running, std::memory_order_relaxed);
     g.unlock();  // fn() runs outside the wait lock (it may block/spawn)
+    if (hb != nullptr) {
+      hb->wait_end(me);
+      hb->lock_acquired(me, this, "Once");
+    }
+    if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "Once");
     try {
       fn();
     } catch (...) {
+      if (hb != nullptr) hb->lock_released(me, this);
+      if (const auto* h = validate_hooks()) h->lock_released(me, this);
       g.lock();
       state_.store(State::Fresh, std::memory_order_relaxed);
       s.wake_all(waiters_, g);  // as with pthread_once: retryable
       throw;
     }
+    if (hb != nullptr) hb->lock_released(me, this);
+    if (const auto* h = validate_hooks()) h->lock_released(me, this);
     g.lock();
     state_.store(State::Done, std::memory_order_release);
     s.wake_all(waiters_, g);

@@ -26,13 +26,13 @@ class Mutex {
   Mutex& operator=(const Mutex&) = delete;
 
   void lock();
-  bool try_lock();
+  [[nodiscard]] bool try_lock();
   /// As lock(), but gives up when the (absolute, scheduler-clock)
   /// deadline passes first; false = timed out, lock not held. A free
   /// lock is acquired even with an already-passed deadline. The wait is
   /// timer-wheel-parked (no polling). Cancellation point.
-  bool try_lock_until(std::uint64_t deadline_ns);
-  bool try_lock_for(std::uint64_t ns);
+  [[nodiscard]] bool try_lock_until(std::uint64_t deadline_ns);
+  [[nodiscard]] bool try_lock_for(std::uint64_t ns);
   void unlock();
   bool locked() const noexcept {
     return owner_.load(std::memory_order_relaxed) != nullptr;
@@ -78,7 +78,7 @@ class CondVar {
   /// Timed wait. Returns false on timeout; the mutex is reacquired
   /// either way (pthread_cond_timedwait semantics — the predicate may
   /// still have become true, re-check it). Cancellation point.
-  bool wait_until(Mutex& m, std::uint64_t deadline_ns);
+  [[nodiscard]] bool wait_until(Mutex& m, std::uint64_t deadline_ns);
   template <typename Pred>
   bool wait_until(Mutex& m, std::uint64_t deadline_ns, Pred pred) {
     while (!pred()) {
@@ -102,9 +102,9 @@ class Semaphore {
   Semaphore& operator=(const Semaphore&) = delete;
 
   void acquire();
-  bool try_acquire();
+  [[nodiscard]] bool try_acquire();
   /// Timed acquire; false = deadline passed without a unit available.
-  bool try_acquire_until(std::uint64_t deadline_ns);
+  [[nodiscard]] bool try_acquire_until(std::uint64_t deadline_ns);
   void release(std::int64_t n = 1);
   std::int64_t value() const noexcept {
     return count_.load(std::memory_order_relaxed);

@@ -120,6 +120,11 @@ struct MsgHeader {
   /// backends only): no payload was delivered, len is 0, and the
   /// receive completed so its waiter does not hang forever.
   bool peer_gone = false;
+  /// Happens-before clock token (nx/hb.hpp), minted at submit time when
+  /// the checker is installed; 0 = untracked. In-proc only: the wire
+  /// backends serialize headers field-by-field and do not carry it (the
+  /// checker is a single-address-space tool).
+  std::uint64_t hb_clk = 0;
 };
 
 class Endpoint {

@@ -1,0 +1,38 @@
+// nx/hb.hpp — message-layer hook points for the happens-before checker.
+//
+// nx cannot depend on chant, but chant::hb needs two things from the
+// message layer: a clock token minted at submit time (it rides the
+// header's hb_clk field so the receiving fiber can merge the sender's
+// vector clock), and in-flight accounting (a message that has left the
+// sender but not yet reached the destination endpoint's queues can
+// still wake a blocked fiber, so quiescence detection must wait for
+// it). Same null-pointer seam as lwt/validate.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace nx {
+
+struct MsgHeader;
+
+struct NxHbHooks {
+  /// A message is being submitted. Returns the clock token to place in
+  /// MsgHeader::hb_clk (0 = untracked). Increments the in-flight count.
+  std::uint64_t (*msg_send)(const MsgHeader& h);
+  /// The message carrying `token` reached the destination endpoint
+  /// (matched a posted receive or was queued unexpected). Idempotent:
+  /// fault-injected duplicates deliver the same token twice.
+  void (*msg_arrived)(std::uint64_t token);
+  /// The message carrying `token` was dropped by fault injection and
+  /// will never arrive.
+  void (*msg_dropped)(std::uint64_t token);
+};
+
+extern std::atomic<const NxHbHooks*> g_nx_hb_hooks;
+
+inline const NxHbHooks* nx_hb_hooks() noexcept {
+  return g_nx_hb_hooks.load(std::memory_order_acquire);
+}
+
+}  // namespace nx

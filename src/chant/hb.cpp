@@ -1,0 +1,939 @@
+// hb.cpp — the vector-clock happens-before checker (chant/hb.hpp,
+// DESIGN.md §14).
+//
+// One global State guarded by one recursive mutex: hook sites across
+// every scheduler of the (in-process) world serialize here. That is
+// deliberate — the checker runs under sim (one worker per scheduler),
+// where contention is zero and total ordering of bookkeeping is what
+// makes the quiescence protocol sound. Lock discipline: the State mutex
+// is a leaf except for the report sink; no code holding it ever calls
+// back into a Scheduler (recovery cancels are issued after unlocking),
+// so hook sites may be invoked while a scheduler's wait lock is held.
+#include "chant/hb.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "lwt/hb.hpp"
+#include "lwt/scheduler.hpp"
+#include "lwt/thread.hpp"
+#include "nx/endpoint.hpp"
+#include "nx/hb.hpp"
+
+namespace chant::hb {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+// ---------------------------------------------------------- vector clocks
+
+/// Sparse vector clock: checker-assigned fiber id → event counter.
+/// Sparse because fibers come and go (Tcb pointers are recycled; the
+/// checker's ids are never reused within a run).
+using VClock = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+/// Idle passes every scheduler must complete, with no checker-visible
+/// event in between, before the world counts as quiesced. Each pass
+/// includes one full poll round (wq_scan / PS tests / timer expiry), so
+/// three event-free passes mean no parked predicate can still flip.
+constexpr unsigned kStableRounds = 3;
+
+void vc_merge(VClock& into, const VClock& from) {
+  for (const auto& [id, clk] : from) {
+    auto& slot = into[id];
+    if (clk > slot) slot = clk;
+  }
+}
+
+// ------------------------------------------------------------------ state
+
+/// One entry of a fiber's wait stack (innermost wait is back()). An RSR
+/// call wait targets (call_pe, call_proc); every other wait is keyed by
+/// the object it parks on (lock / condvar / joinee / null).
+struct Wait {
+  const void* obj = nullptr;
+  const char* what = "";
+  bool timed = false;
+  int call_pe = -1;
+  int call_proc = -1;
+};
+
+struct Fiber {
+  std::uint64_t id = 0;  ///< checker id (never reused, unlike Tcb*)
+  VClock vc;
+  std::vector<Wait> waits;
+};
+
+/// One recorded access to a tracked region.
+struct Access {
+  std::uint64_t fiber = 0;  ///< checker fiber id
+  std::uint64_t clk = 0;    ///< accessor's own clock component
+  const char* site = "";
+  std::string who;          ///< "#id 'name'" at access time
+};
+
+struct Region {
+  std::uintptr_t lo = 0;
+  std::uintptr_t hi = 0;
+  const char* name = "";
+  bool has_write = false;
+  Access write;
+  std::vector<Access> reads;
+  bool reported = false;  ///< one report per region per reset
+};
+
+struct Token {
+  VClock vc;            ///< sender's clock at submit
+  bool pending = true;  ///< not yet arrived at the destination endpoint
+};
+
+struct SchedState {
+  bool idle = false;
+  std::uint64_t timers = 0;
+  int pe = -1;
+  int proc = -1;
+  std::uint64_t seen_gen = 0;  ///< event_gen at this sched's last idle pass
+  unsigned stable = 0;         ///< consecutive idle passes at seen_gen
+  unsigned suppressed = 0;     ///< local-abort holds granted at seen_gen
+};
+
+struct State {
+  std::recursive_mutex mu;
+  std::uint64_t next_fiber = 1;
+  std::uint64_t next_token = 1;
+  std::unordered_map<lwt::Tcb*, Fiber> fibers;
+  std::unordered_map<const void*, VClock> syncs;  ///< locks, cvs, sems, ...
+  std::unordered_map<const void*, std::vector<lwt::Tcb*>> owners;
+  std::unordered_map<const void*, const char*> lock_kind;
+  std::unordered_map<std::uint64_t, Token> tokens;
+  std::uint64_t inflight = 0;
+  /// Bumped on every checker-visible sign of life (a fiber scheduled, a
+  /// message arriving). Quiescence needs every scheduler to complete
+  /// several full idle passes — each one includes a poll round over its
+  /// parked predicates — with this counter unchanged, which closes the
+  /// window between "message visible at the endpoint" and "the blocked
+  /// fiber's next predicate test consumes it".
+  std::uint64_t event_gen = 1;
+  VClock gsync;      ///< transport scratch/barrier ordering
+  VClock pool_sync;  ///< BufferPool recycle ordering
+  std::vector<Region> regions;
+  std::unordered_map<lwt::Scheduler*, SchedState> scheds;
+  std::map<std::pair<int, int>, lwt::Tcb*> servers;
+  unsigned expected = 0;
+  unsigned registered = 0;
+  bool reported = false;  ///< one stuck-world diagnosis per world
+  std::uint64_t counts[kNumViolations] = {};
+  Sink sink = nullptr;  ///< null = default stderr sink
+};
+
+State& state() {
+  static State st;
+  return st;
+}
+
+using Guard = std::lock_guard<std::recursive_mutex>;
+
+Fiber& fiber_of(State& st, lwt::Tcb* t) {
+  auto [it, fresh] = st.fibers.try_emplace(t);
+  Fiber& f = it->second;
+  if (fresh) {
+    f.id = st.next_fiber++;
+    f.vc[f.id] = 1;
+  }
+  return f;
+}
+
+void tick(Fiber& f) { ++f.vc[f.id]; }
+
+std::string describe(const State& st, lwt::Tcb* t) {
+  const Fiber* f = nullptr;
+  if (auto it = st.fibers.find(t); it != st.fibers.end()) f = &it->second;
+  char buf[96];
+  int pe = -1;
+  int proc = -1;
+  if (t->sched != nullptr) {
+    if (auto it = st.scheds.find(t->sched); it != st.scheds.end()) {
+      pe = it->second.pe;
+      proc = it->second.proc;
+    }
+  }
+  if (pe >= 0) {
+    std::snprintf(buf, sizeof buf, "fiber #%u '%s' (pe %d proc %d)", t->id,
+                  t->name, pe, proc);
+  } else {
+    std::snprintf(buf, sizeof buf, "fiber #%u '%s'", t->id, t->name);
+  }
+  (void)f;
+  return buf;
+}
+
+void default_sink(const Report& r) {
+  std::fprintf(stderr, "%s\n", r.message);
+  // Under the sim harness these env vars pin the failing interleaving;
+  // echoing them makes any captured log a one-line repro.
+  const char* seed = std::getenv("CHANT_SIM_SEED");
+  const char* trace = std::getenv("CHANT_SIM_TRACE");
+  if (seed != nullptr || trace != nullptr) {
+    std::fprintf(stderr, "chant::hb: reproduce with%s%s%s%s\n",
+                 seed != nullptr ? " CHANT_SIM_SEED=" : "",
+                 seed != nullptr ? seed : "",
+                 trace != nullptr ? " CHANT_SIM_TRACE=" : "",
+                 trace != nullptr ? trace : "");
+  }
+}
+
+/// Count the violation and deliver the report. Caller holds the State
+/// mutex (recursive, so a sink reading violation_count() is fine).
+void emit(State& st, Violation kind, const std::string& message) {
+  ++st.counts[static_cast<int>(kind)];
+  Report r{kind, message.c_str()};
+  (st.sink != nullptr ? st.sink : &default_sink)(r);
+}
+
+// ----------------------------------------------------------- race checks
+
+bool ordered_before(const Access& a, const Fiber& f) {
+  auto it = f.vc.find(a.fiber);
+  return it != f.vc.end() && a.clk <= it->second;
+}
+
+Access make_access(const State& st, const Fiber& f, lwt::Tcb* t,
+                   const char* site) {
+  Access a;
+  a.fiber = f.id;
+  a.clk = f.vc.at(f.id);
+  a.site = site;
+  a.who = describe(st, t);
+  return a;
+}
+
+void report_race(State& st, Region& rg, const char* verb, const Access& prev,
+                 const char* prev_verb, const Access& cur) {
+  if (rg.reported) return;
+  rg.reported = true;
+  std::string m = "chant::hb: DATA RACE on region '";
+  m += rg.name;
+  m += "'\n  ";
+  m += verb;
+  m += " by ";
+  m += cur.who;
+  m += " at ";
+  m += cur.site;
+  m += "\n  is unordered with earlier ";
+  m += prev_verb;
+  m += " by ";
+  m += prev.who;
+  m += " at ";
+  m += prev.site;
+  emit(st, Violation::kDataRace, m);
+}
+
+void region_write(State& st, Region& rg, Fiber& f, lwt::Tcb* t,
+                  const char* site) {
+  Access cur = make_access(st, f, t, site);
+  if (rg.has_write && !ordered_before(rg.write, f)) {
+    report_race(st, rg, "write", rg.write, "write", cur);
+  }
+  for (const Access& rd : rg.reads) {
+    if (!ordered_before(rd, f)) report_race(st, rg, "write", rd, "read", cur);
+  }
+  rg.write = std::move(cur);
+  rg.has_write = true;
+  rg.reads.clear();
+}
+
+void region_read(State& st, Region& rg, Fiber& f, lwt::Tcb* t,
+                 const char* site) {
+  Access cur = make_access(st, f, t, site);
+  if (rg.has_write && !ordered_before(rg.write, f)) {
+    report_race(st, rg, "read", rg.write, "write", cur);
+  }
+  for (Access& rd : rg.reads) {
+    if (rd.fiber == f.id) {
+      rd = std::move(cur);
+      return;
+    }
+  }
+  rg.reads.push_back(std::move(cur));
+}
+
+template <typename Fn>
+void for_overlapping(State& st, const void* ptr, std::size_t len, Fn&& fn) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(ptr);
+  const auto hi = lo + len;
+  for (Region& rg : st.regions) {
+    if (lo < rg.hi && rg.lo < hi) fn(rg);
+  }
+}
+
+// ------------------------------------------------------------- lwt hooks
+
+void hook_thread_spawn(lwt::Tcb* parent, lwt::Tcb* child) {
+  State& st = state();
+  Guard g(st.mu);
+  st.fibers.erase(child);  // Tcb pointers are recycled; checker ids aren't
+  Fiber& c = fiber_of(st, child);
+  if (parent != nullptr) {
+    Fiber& p = fiber_of(st, parent);
+    vc_merge(c.vc, p.vc);
+    tick(p);
+  }
+}
+
+void hook_thread_exit(lwt::Tcb* t, bool detached) {
+  State& st = state();
+  Guard g(st.mu);
+  auto it = st.fibers.find(t);
+  if (it == st.fibers.end()) return;
+  it->second.waits.clear();
+  for (auto& [obj, v] : st.owners) {
+    (void)obj;
+    v.erase(std::remove(v.begin(), v.end(), t), v.end());
+  }
+  // A joinable fiber's clock survives until thread_join merges it; a
+  // detached one can never be joined, so drop it now (the Tcb pointer
+  // may be recycled, but hook_thread_spawn resets the entry anyway).
+  if (detached) st.fibers.erase(it);
+}
+
+void hook_thread_join(lwt::Tcb* joiner, lwt::Tcb* joinee) {
+  State& st = state();
+  Guard g(st.mu);
+  auto it = st.fibers.find(joinee);
+  if (it == st.fibers.end()) return;
+  Fiber& j = fiber_of(st, joiner);
+  vc_merge(j.vc, it->second.vc);
+  st.fibers.erase(joinee);
+}
+
+void hook_lock_acquired(lwt::Tcb* t, const void* obj, const char* kind) {
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  Fiber& f = fiber_of(st, t);
+  vc_merge(f.vc, st.syncs[obj]);
+  st.owners[obj].push_back(t);
+  st.lock_kind[obj] = kind;
+}
+
+void hook_lock_released(lwt::Tcb* t, const void* obj) {
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  Fiber& f = fiber_of(st, t);
+  auto& v = st.owners[obj];
+  auto it = std::find(v.begin(), v.end(), t);
+  if (it != v.end()) v.erase(it);
+  vc_merge(st.syncs[obj], f.vc);
+  tick(f);
+}
+
+void hook_sync_release(lwt::Tcb* t, const void* obj) {
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  Fiber& f = fiber_of(st, t);
+  vc_merge(st.syncs[obj], f.vc);
+  tick(f);
+}
+
+void hook_sync_acquire(lwt::Tcb* t, const void* obj) {
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  Fiber& f = fiber_of(st, t);
+  vc_merge(f.vc, st.syncs[obj]);
+}
+
+void hook_wait_begin(lwt::Tcb* t, const void* obj, const char* what,
+                     bool timed) {
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  fiber_of(st, t).waits.push_back(Wait{obj, what, timed, -1, -1});
+}
+
+void hook_wait_end(lwt::Tcb* t) {
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  auto it = st.fibers.find(t);
+  if (it != st.fibers.end() && !it->second.waits.empty()) {
+    it->second.waits.pop_back();
+  }
+}
+
+void hook_progress(lwt::Scheduler* s) {
+  State& st = state();
+  Guard g(st.mu);
+  st.scheds[s].idle = false;
+  ++st.event_gen;
+}
+
+/// The stuck-world diagnosis. All schedulers idle, nothing in flight,
+/// no armed timer anywhere, every runtime registered: any fiber inside
+/// an unbounded instrumented wait can never be woken. Classify via the
+/// wait-for graph (cycle = deadlock, rest = lost wakeup), report once,
+/// then cancel the stuck fibers so the world can unwind and the sim
+/// iteration can fail cleanly instead of hanging.
+bool hook_quiesce(lwt::Scheduler* s, std::uint64_t timers_live,
+                  std::uint64_t generic_len, bool locally_dead) {
+  (void)generic_len;  // termination-protocol waits poll; they don't pin us
+  State& st = state();
+  std::vector<lwt::Tcb*> victims;
+  {
+    Guard g(st.mu);
+    auto& ss = st.scheds[s];
+    ss.idle = true;
+    ss.timers = timers_live;
+    if (ss.seen_gen != st.event_gen) {
+      ss.seen_gen = st.event_gen;
+      ss.stable = 1;
+      ss.suppressed = 0;
+    } else if (ss.stable < kStableRounds) {
+      ++ss.stable;
+    }
+    if (st.reported) return false;
+    if (st.expected == 0 || st.registered != st.expected) return false;
+    // The scheduler's own whole-process deadlock abort would fire on the
+    // FIRST idle pass, but our diagnosis needs kStableRounds of them (and
+    // possibly peers still draining). While the world is under check,
+    // claim the pass so the caller holds its abort — bounded, so a world
+    // that never converges (a peer busy-looping forever) still dies with
+    // the scheduler's own diagnostics instead of spinning silently.
+    const bool suppress =
+        locally_dead && ss.suppressed < 1'000'000u && ++ss.suppressed != 0;
+    if (st.inflight != 0) return suppress;
+    for (const auto& [sp, s2] : st.scheds) {
+      (void)sp;
+      if (!s2.idle || s2.timers != 0) return suppress;
+      if (s2.seen_gen != st.event_gen || s2.stable < kStableRounds) {
+        return suppress;
+      }
+    }
+
+    struct Node {
+      lwt::Tcb* t;
+      const Fiber* f;
+      const Wait* w;  ///< the wait shown in reports / yielding the edges
+      std::vector<lwt::Tcb*> out;
+      int color = 0;    // 0 white, 1 on stack, 2 done
+      bool cyclic = false;
+      bool reaches = false;
+    };
+    std::vector<Node> nodes;
+    std::unordered_map<lwt::Tcb*, std::size_t> index;
+    for (auto& [t, f] : st.fibers) {
+      if (f.waits.empty() || f.waits.back().timed) continue;
+      index.emplace(t, nodes.size());
+      nodes.push_back(Node{t, &f, &f.waits.back(), {}, 0, false, false});
+    }
+    if (nodes.empty()) return false;
+
+    // Wait-for edges. A blocked site can nest (an RSR call wait parks
+    // through a generic message wait), so scan the wait stack from the
+    // innermost entry outward and take the first one with a resolvable
+    // target: RSR call → server fiber, owned lock → its owners, joinee
+    // fiber → itself. Waits with no target (condvar, semaphore, plain
+    // receive) leave the node edgeless — a lost-wakeup candidate.
+    for (Node& n : nodes) {
+      for (auto rit = n.f->waits.rbegin(); rit != n.f->waits.rend(); ++rit) {
+        const Wait& w = *rit;
+        std::vector<lwt::Tcb*> out;
+        if (w.call_pe >= 0) {
+          auto it = st.servers.find({w.call_pe, w.call_proc});
+          if (it != st.servers.end()) out.push_back(it->second);
+        } else if (w.obj != nullptr) {
+          auto ow = st.owners.find(w.obj);
+          if (ow != st.owners.end() && !ow->second.empty()) {
+            out = ow->second;
+          } else {
+            auto* joinee = static_cast<lwt::Tcb*>(const_cast<void*>(w.obj));
+            if (st.fibers.count(joinee) != 0) out.push_back(joinee);
+          }
+        }
+        if (!out.empty()) {
+          n.out = std::move(out);
+          n.w = &w;
+          break;
+        }
+      }
+    }
+
+    // Cycle detection (iterative DFS over stuck nodes; edges to
+    // non-stuck fibers are dangling and cannot close a cycle).
+    std::vector<std::vector<std::size_t>> cycles;
+    std::vector<std::size_t> stack;
+    for (std::size_t root = 0; root < nodes.size(); ++root) {
+      if (nodes[root].color != 0) continue;
+      struct Frame {
+        std::size_t n;
+        std::size_t edge = 0;
+      };
+      std::vector<Frame> frames{{root, 0}};
+      nodes[root].color = 1;
+      stack.push_back(root);
+      while (!frames.empty()) {
+        Frame& fr = frames.back();
+        Node& n = nodes[fr.n];
+        if (fr.edge < n.out.size()) {
+          lwt::Tcb* tgt = n.out[fr.edge++];
+          auto it = index.find(tgt);
+          if (it == index.end()) continue;
+          const std::size_t v = it->second;
+          if (nodes[v].color == 0) {
+            nodes[v].color = 1;
+            stack.push_back(v);
+            frames.push_back({v, 0});
+          } else if (nodes[v].color == 1) {
+            // Back edge: everything from v to the top of the stack is
+            // one cycle.
+            auto pos = std::find(stack.begin(), stack.end(), v);
+            std::vector<std::size_t> cyc(pos, stack.end());
+            bool fresh = false;
+            for (std::size_t m : cyc) {
+              if (!nodes[m].cyclic) fresh = true;
+              nodes[m].cyclic = true;
+            }
+            if (fresh) cycles.push_back(std::move(cyc));
+          }
+        } else {
+          nodes[fr.n].color = 2;
+          stack.pop_back();
+          frames.pop_back();
+        }
+      }
+    }
+
+    // A stuck fiber that can reach a cycle is a deadlock victim, not a
+    // lost wakeup. Small n: iterate to fixpoint.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (Node& n : nodes) {
+        if (n.cyclic || n.reaches) continue;
+        for (lwt::Tcb* tgt : n.out) {
+          auto it = index.find(tgt);
+          if (it == index.end()) continue;
+          const Node& m = nodes[it->second];
+          if (m.cyclic || m.reaches) {
+            n.reaches = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    st.reported = true;
+    for (const auto& cyc : cycles) {
+      std::string m = "chant::hb: DEADLOCK — wait-for cycle of " +
+                      std::to_string(cyc.size()) + " fiber(s):";
+      for (std::size_t ni : cyc) {
+        const Node& n = nodes[ni];
+        m += "\n  " + describe(st, n.t) + " blocked at " + n.w->what;
+        if (n.w->call_pe >= 0) {
+          m += " → server (pe " + std::to_string(n.w->call_pe) + " proc " +
+               std::to_string(n.w->call_proc) + ")";
+        } else if (n.w->obj != nullptr) {
+          auto kit = st.lock_kind.find(n.w->obj);
+          char addr[32];
+          std::snprintf(addr, sizeof addr, "%p", n.w->obj);
+          m += std::string(" on ") +
+               (kit != st.lock_kind.end() ? kit->second : "object") + " " +
+               addr;
+          auto ow = st.owners.find(n.w->obj);
+          if (ow != st.owners.end() && !ow->second.empty()) {
+            m += " held by " + describe(st, ow->second.front());
+          }
+        }
+      }
+      emit(st, Violation::kDeadlock, m);
+    }
+    std::string lost;
+    std::size_t nlost = 0;
+    for (const Node& n : nodes) {
+      if (n.cyclic || n.reaches) continue;
+      ++nlost;
+      lost += "\n  " + describe(st, n.t) + " blocked at " + n.w->what +
+              " with no armed timer, in-flight message or runnable fiber "
+              "left to wake it";
+    }
+    if (nlost != 0) {
+      std::string m =
+          "chant::hb: LOST WAKEUP — " + std::to_string(nlost) +
+          " fiber(s) still blocked after the world quiesced:" + lost;
+      for (std::size_t i = 0; i < nlost; ++i) {
+        // one count per stranded fiber; the report is combined
+        ++st.counts[static_cast<int>(Violation::kLostWakeup)];
+      }
+      --st.counts[static_cast<int>(Violation::kLostWakeup)];  // emit adds 1
+      emit(st, Violation::kLostWakeup, m);
+    }
+
+    for (Node& n : nodes) {
+      victims.push_back(n.t);
+      auto it = st.fibers.find(n.t);
+      if (it != st.fibers.end()) it->second.waits.clear();
+    }
+    // Everyone re-announces idleness before the next diagnosis pass.
+    ++st.event_gen;
+    for (auto& [sp, s2] : st.scheds) {
+      (void)sp;
+      s2.idle = false;
+      s2.stable = 0;
+    }
+  }
+  // Recovery outside the State mutex: cancel takes scheduler locks.
+  for (lwt::Tcb* t : victims) {
+    if (t->sched != nullptr) t->sched->cancel(t);
+  }
+  return true;
+}
+
+constexpr lwt::HbHooks kLwtHooks = {
+    &hook_thread_spawn, &hook_thread_exit,  &hook_thread_join,
+    &hook_lock_acquired, &hook_lock_released, &hook_sync_release,
+    &hook_sync_acquire, &hook_wait_begin,   &hook_wait_end,
+    &hook_quiesce,      &hook_progress,
+};
+
+// -------------------------------------------------------------- nx hooks
+
+std::uint64_t hook_msg_send(const nx::MsgHeader& h) {
+  (void)h;
+  State& st = state();
+  Guard g(st.mu);
+  const std::uint64_t tok = st.next_token++;
+  Token& ti = st.tokens[tok];
+  if (lwt::Tcb* t = lwt::Scheduler::self()) {
+    Fiber& f = fiber_of(st, t);
+    ti.vc = f.vc;
+    tick(f);
+  }
+  ++st.inflight;
+  return tok;
+}
+
+void hook_msg_arrived(std::uint64_t token) {
+  if (token == 0) return;
+  State& st = state();
+  Guard g(st.mu);
+  auto it = st.tokens.find(token);
+  if (it == st.tokens.end() || !it->second.pending) return;  // duplicate
+  it->second.pending = false;
+  --st.inflight;
+  // The arrival may unblock a receive on some scheduler we cannot name
+  // from here: force every scheduler back through fresh idle passes
+  // before quiescence can be declared again.
+  ++st.event_gen;
+  for (auto& [sp, s2] : st.scheds) {
+    (void)sp;
+    s2.idle = false;
+  }
+}
+
+void hook_msg_dropped(std::uint64_t token) {
+  if (token == 0) return;
+  State& st = state();
+  Guard g(st.mu);
+  auto it = st.tokens.find(token);
+  if (it == st.tokens.end()) return;
+  if (it->second.pending) --st.inflight;
+  st.tokens.erase(it);
+}
+
+constexpr nx::NxHbHooks kNxHooks = {
+    &hook_msg_send,
+    &hook_msg_arrived,
+    &hook_msg_dropped,
+};
+
+}  // namespace
+
+// ----------------------------------------------------------- public API
+
+const char* to_string(Violation v) noexcept {
+  switch (v) {
+    case Violation::kDataRace: return "data-race";
+    case Violation::kDeadlock: return "deadlock";
+    case Violation::kLostWakeup: return "lost-wakeup";
+    case Violation::kNumViolations: break;
+  }
+  return "?";
+}
+
+void enable() {
+  lwt::g_hb_hooks.store(&kLwtHooks, std::memory_order_release);
+  nx::g_nx_hb_hooks.store(&kNxHooks, std::memory_order_release);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() {
+  g_enabled.store(false, std::memory_order_release);
+  lwt::g_hb_hooks.store(nullptr, std::memory_order_release);
+  nx::g_nx_hb_hooks.store(nullptr, std::memory_order_release);
+}
+
+void enable_from_env() {
+  const char* e = std::getenv("CHANT_HB");
+  if (e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) enable();
+}
+
+void reset() {
+  State& st = state();
+  Guard g(st.mu);
+  st.fibers.clear();
+  st.syncs.clear();
+  st.owners.clear();
+  st.lock_kind.clear();
+  st.tokens.clear();
+  st.inflight = 0;
+  st.gsync.clear();
+  st.pool_sync.clear();
+  st.regions.clear();
+  st.scheds.clear();
+  st.servers.clear();
+  st.expected = 0;
+  st.registered = 0;
+  st.reported = false;
+  for (auto& c : st.counts) c = 0;
+}
+
+void set_sink(Sink sink) {
+  State& st = state();
+  Guard g(st.mu);
+  st.sink = sink;
+}
+
+std::uint64_t violation_count() {
+  State& st = state();
+  Guard g(st.mu);
+  std::uint64_t n = 0;
+  for (auto c : st.counts) n += c;
+  return n;
+}
+
+std::uint64_t violation_count(Violation v) {
+  State& st = state();
+  Guard g(st.mu);
+  return st.counts[static_cast<int>(v)];
+}
+
+void track(const void* ptr, std::size_t len, const char* name) {
+  if (!enabled()) return;
+  State& st = state();
+  Guard g(st.mu);
+  Region rg;
+  rg.lo = reinterpret_cast<std::uintptr_t>(ptr);
+  rg.hi = rg.lo + len;
+  rg.name = name;
+  st.regions.push_back(std::move(rg));
+}
+
+void untrack(const void* ptr) {
+  if (!enabled()) return;
+  State& st = state();
+  Guard g(st.mu);
+  const auto lo = reinterpret_cast<std::uintptr_t>(ptr);
+  st.regions.erase(std::remove_if(st.regions.begin(), st.regions.end(),
+                                  [lo](const Region& r) { return r.lo == lo; }),
+                   st.regions.end());
+}
+
+void on_read(const void* ptr, std::size_t len, const char* site) {
+  if (!enabled()) return;
+  lwt::Tcb* t = lwt::Scheduler::self();
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  Fiber& f = fiber_of(st, t);
+  for_overlapping(st, ptr, len,
+                  [&](Region& rg) { region_read(st, rg, f, t, site); });
+}
+
+void on_write(const void* ptr, std::size_t len, const char* site) {
+  if (!enabled()) return;
+  lwt::Tcb* t = lwt::Scheduler::self();
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  Fiber& f = fiber_of(st, t);
+  for_overlapping(st, ptr, len,
+                  [&](Region& rg) { region_write(st, rg, f, t, site); });
+}
+
+void world_begin(unsigned processes) {
+  if (!enabled()) return;
+  State& st = state();
+  Guard g(st.mu);
+  // World-scoped liveness state restarts; violation counters and the
+  // sink survive so a test can sum across nested runs.
+  st.fibers.clear();
+  st.syncs.clear();
+  st.owners.clear();
+  st.lock_kind.clear();
+  st.tokens.clear();
+  st.inflight = 0;
+  st.gsync.clear();
+  st.pool_sync.clear();
+  st.regions.clear();
+  st.scheds.clear();
+  st.servers.clear();
+  st.expected = processes;
+  st.registered = 0;
+  st.reported = false;
+}
+
+void runtime_started(lwt::Scheduler* sched, int pe, int proc) {
+  if (!enabled()) return;
+  State& st = state();
+  Guard g(st.mu);
+  SchedState& ss = st.scheds[sched];
+  ss.idle = false;
+  ss.timers = 0;
+  ss.pe = pe;
+  ss.proc = proc;
+  ++st.registered;
+}
+
+void runtime_stopped(lwt::Scheduler* sched) {
+  if (!enabled()) return;
+  State& st = state();
+  Guard g(st.mu);
+  auto it = st.scheds.find(sched);
+  if (it == st.scheds.end()) return;
+  st.servers.erase({it->second.pe, it->second.proc});
+  st.scheds.erase(it);
+  if (st.registered > 0) --st.registered;
+}
+
+void server_started(int pe, int proc, lwt::Tcb* tcb) {
+  if (!enabled()) return;
+  State& st = state();
+  Guard g(st.mu);
+  st.servers[{pe, proc}] = tcb;
+}
+
+void msg_delivered(std::uint64_t token) {
+  if (!enabled() || token == 0) return;
+  lwt::Tcb* t = lwt::Scheduler::self();
+  State& st = state();
+  Guard g(st.mu);
+  auto it = st.tokens.find(token);
+  if (it == st.tokens.end()) return;
+  if (t != nullptr) vc_merge(fiber_of(st, t).vc, it->second.vc);
+  // Kept (not erased) until world_begin/reset: an injected duplicate
+  // delivers the same token to a second receive and still needs the
+  // sender's clock for its merge.
+}
+
+void global_sync() {
+  if (!enabled()) return;
+  lwt::Tcb* t = lwt::Scheduler::self();
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  Fiber& f = fiber_of(st, t);
+  vc_merge(f.vc, st.gsync);
+  vc_merge(st.gsync, f.vc);
+  tick(f);
+}
+
+void pool_acquired(const void* base, std::size_t len) {
+  if (!enabled()) return;
+  lwt::Tcb* t = lwt::Scheduler::self();
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  Fiber& f = fiber_of(st, t);
+  // Pool operations are ordered through the pool itself (they run on
+  // one scheduler), so claim writes never race with each other — only
+  // with stale accesses from fibers that kept a pointer past release.
+  vc_merge(f.vc, st.pool_sync);
+  vc_merge(st.pool_sync, f.vc);
+  tick(f);
+  const auto lo = reinterpret_cast<std::uintptr_t>(base);
+  for (Region& rg : st.regions) {
+    if (rg.lo == lo) {
+      rg.hi = lo + len;
+      region_write(st, rg, f, t, "BufferPool::acquire (block recycled)");
+      return;
+    }
+  }
+  Region rg;
+  rg.lo = lo;
+  rg.hi = lo + len;
+  rg.name = "BufferPool block";
+  st.regions.push_back(std::move(rg));
+  region_write(st, st.regions.back(), f, t, "BufferPool::acquire");
+}
+
+void pool_released(const void* base) {
+  if (!enabled()) return;
+  lwt::Tcb* t = lwt::Scheduler::self();
+  if (t == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  Fiber& f = fiber_of(st, t);
+  vc_merge(f.vc, st.pool_sync);
+  vc_merge(st.pool_sync, f.vc);
+  tick(f);
+  const auto lo = reinterpret_cast<std::uintptr_t>(base);
+  for (Region& rg : st.regions) {
+    if (rg.lo == lo) {
+      region_write(st, rg, f, t, "BufferPool::release");
+      return;
+    }
+  }
+}
+
+WaitScope::WaitScope(const void* obj, const char* what, bool timed)
+    : tcb_(nullptr) {
+  if (!enabled()) return;
+  tcb_ = lwt::Scheduler::self();
+  if (tcb_ == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  fiber_of(st, tcb_).waits.push_back(Wait{obj, what, timed, -1, -1});
+}
+
+WaitScope::~WaitScope() {
+  if (tcb_ == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  auto it = st.fibers.find(tcb_);
+  if (it != st.fibers.end() && !it->second.waits.empty()) {
+    it->second.waits.pop_back();
+  }
+}
+
+CallWaitScope::CallWaitScope(int pe, int proc, const char* what, bool timed)
+    : tcb_(nullptr) {
+  if (!enabled()) return;
+  tcb_ = lwt::Scheduler::self();
+  if (tcb_ == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  fiber_of(st, tcb_).waits.push_back(Wait{nullptr, what, timed, pe, proc});
+}
+
+CallWaitScope::~CallWaitScope() {
+  if (tcb_ == nullptr) return;
+  State& st = state();
+  Guard g(st.mu);
+  auto it = st.fibers.find(tcb_);
+  if (it != st.fibers.end() && !it->second.waits.empty()) {
+    it->second.waits.pop_back();
+  }
+}
+
+}  // namespace chant::hb

@@ -5,12 +5,16 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "chant/hb.hpp"
 #include "chant/runtime.hpp"
 #include "chant/validate.hpp"
 
 namespace chant {
 
 MsgInfo Runtime::decode(const nx::MsgHeader& h) const {
+  // Send → matched-receive edge: merge the sender's clock into the
+  // consuming fiber (decode is the single funnel for received headers).
+  hb::msg_delivered(h.hb_clk);
   MsgInfo mi;
   mi.src = Gid{h.src_pe, h.src_proc, codec_.decode_src_lid(h)};
   mi.user_tag = codec_.decode_user_tag(h);
@@ -26,6 +30,7 @@ void Runtime::send_from(int src_lid, int user_tag, const void* buf,
                         std::size_t len, const Gid& dst, bool internal) {
   const TagCodec::Wire wire =
       codec_.encode(dst.thread, src_lid, user_tag, internal);
+  hb::on_read(buf, len, "chant::send payload");
   WaitCtx w;
   w.ep = &ep_;
   w.nxh = ep_.isend(dst.pe, dst.process, wire.tag, buf, len, wire.channel);
@@ -42,6 +47,9 @@ void Runtime::send_from(int src_lid, int user_tag, const nx::IoVec* iov,
                         std::size_t iovcnt, const Gid& dst, bool internal) {
   const TagCodec::Wire wire =
       codec_.encode(dst.thread, src_lid, user_tag, internal);
+  for (std::size_t i = 0; i < iovcnt; ++i) {
+    hb::on_read(iov[i].base, iov[i].len, "chant::send payload");
+  }
   WaitCtx w;
   w.ep = &ep_;
   w.nxh = ep_.isendv(dst.pe, dst.process, wire.tag, iov, iovcnt,
@@ -95,7 +103,9 @@ MsgInfo Runtime::recv_blocking(int user_tag, void* buf, std::size_t cap,
     if (!w.done) ep_.cancel_recv(w.nxh);
     throw;
   }
-  return decode(w.hdr);
+  const MsgInfo mi = decode(w.hdr);
+  hb::on_write(buf, mi.len < cap ? mi.len : cap, "chant::recv payload");
+  return mi;
 }
 
 MsgInfo Runtime::recv(int user_tag, void* buf, std::size_t cap,
@@ -133,6 +143,7 @@ Status Runtime::recv(int user_tag, void* buf, std::size_t cap,
     }
   }
   const MsgInfo mi = decode(w.hdr);
+  hb::on_write(buf, mi.len < cap ? mi.len : cap, "chant::recv payload");
   if (out != nullptr) *out = mi;
   return mi.status;
 }

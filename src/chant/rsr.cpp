@@ -25,6 +25,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "chant/hb.hpp"
 #include "chant/runtime.hpp"
 #include "chant/validate.hpp"
 #include "wire.hpp"
@@ -441,6 +442,13 @@ Status Runtime::call_test(int handle, std::vector<std::uint8_t>* reply_out) {
 }
 
 Status Runtime::wait_call_until(AsyncCall& c, std::uint64_t deadline_ns) {
+  // Call → reply edge for the wait-for graph: while this fiber waits,
+  // it depends on the server fiber of (pe, proc). The inner block_until
+  // pushes its own (generic) wait scope; the deadlock detector scans
+  // the stack outward and finds this one.
+  const hb::CallWaitScope hb_scope(c.server.pe, c.server.process,
+                                   "chant::Runtime RSR call wait",
+                                   deadline_ns != lwt::kNoDeadline);
   try {
     if (!block_until(c.wait, deadline_ns)) {
       return StatusCode::DeadlineExceeded;

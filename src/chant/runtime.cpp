@@ -8,6 +8,7 @@
 #include <memory>
 #include <thread>
 
+#include "chant/hb.hpp"
 #include "chant/validate.hpp"
 #include "chant/world.hpp"
 #include "wire.hpp"
@@ -91,6 +92,7 @@ Runtime::Runtime(World& world, nx::Endpoint& ep)
   // Opt into the concurrency validator via the environment so existing
   // binaries can run validated without code changes (DESIGN.md §9).
   validate::enable_from_env();
+  hb::runtime_started(&sched_, ep.pe(), ep.proc());
   install_builtin_handlers();
   // The world's clock override (the sim VirtualClock) also drives the
   // scheduler's timer wheel, so deadline expiries interleave
@@ -115,7 +117,7 @@ Runtime::Runtime(World& world, nx::Endpoint& ep)
   }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() { hb::runtime_stopped(&sched_); }
 
 Runtime* Runtime::current() { return tl_runtime; }
 
@@ -279,6 +281,8 @@ void Runtime::block_until(WaitCtx& w) {
 }
 
 bool Runtime::block_until(WaitCtx& w, std::uint64_t deadline_ns) {
+  const hb::WaitScope hb_scope(&w, "chant::Runtime message wait",
+                               deadline_ns != lwt::kNoDeadline);
   const lwt::PollRequest req{&Runtime::wait_test, &w};
   switch (cfg_.policy) {
     case PollPolicy::ThreadPolls:
@@ -372,8 +376,16 @@ void* chant_main_tramp(void* p) {
     so.name = "chant-server";
     rt.spawn_wrapped(&chant_server_tramp, &rt, so, kServerLid);
     server = rt.local_tcb(Gid{rt.pe(), rt.process(), kServerLid});
+    hb::server_started(rt.pe(), rt.process(), server);
   }
-  (*mc->fn)(rt);
+  try {
+    (*mc->fn)(rt);
+  } catch (const lwt::CancelInterrupt&) {
+    // The hb checker recovers a diagnosed-stuck world by canceling the
+    // stranded fibers; letting main unwind into the normal termination
+    // protocol turns a would-be hang into a clean (failed) iteration.
+    if (!hb::enabled()) throw;
+  }
   // Termination protocol: a process may not stop serving RSRs until
   // every process's main has returned (a peer might still be joining a
   // thread we host). Main parks on a policy-independent scheduler wait,

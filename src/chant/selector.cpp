@@ -17,6 +17,7 @@
 
 #include "chant/selector.hpp"
 
+#include "chant/hb.hpp"
 #include "chant/runtime.hpp"
 #include "chant/validate.hpp"
 
@@ -160,6 +161,8 @@ bool Runtime::block_on_predicate(const lwt::PollRequest& req,
   // predicate is self-contained (not an nx handle the group poll could
   // test), so it parks as an ordinary per-entry WQ wait even when the
   // msgtestany hook is installed.
+  const hb::WaitScope hb_scope(req.ctx, "chant::Selector::wait",
+                               deadline_ns != lwt::kNoDeadline);
   switch (cfg_.policy) {
     case PollPolicy::ThreadPolls:
       return sched_.poll_block_tp(req, deadline_ns);

@@ -3,6 +3,7 @@
 
 #include <atomic>
 
+#include "chant/hb.hpp"
 #include "wire.hpp"
 
 namespace chant {
@@ -35,6 +36,8 @@ int World::register_handler(Runtime::Handler h) {
 }
 
 void World::run(const std::function<void(Runtime&)>& main_fn) {
+  hb::enable_from_env();
+  hb::world_begin(static_cast<unsigned>(cfg_.pes * cfg_.processes_per_pe));
   // Zero this OS process's view of the termination counter before its
   // first pump: shared-memory backends share the store, wire-mirrored
   // backends zero their local mirror (children inherit it in fork mode,

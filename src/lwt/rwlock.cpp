@@ -3,11 +3,16 @@
 // All check-then-park sequences run under the scheduler's wait lock
 // (SyncGuard), so a release on one worker cannot slip between another
 // worker's predicate check and its park; see sync.cpp for the pattern.
+// The happens-before checker models the RwLock as a single clock
+// (readers are conservatively ordered with each other); ownership is a
+// multiset so the wait-for graph can point a blocked writer at every
+// current reader.
 #include "lwt/rwlock.hpp"
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "lwt/hb.hpp"
 #include "lwt/validate.hpp"
 
 namespace lwt {
@@ -26,20 +31,32 @@ Scheduler& sched() {
 void RwLock::lock_shared() {
   Scheduler& s = sched();
   s.check_cancel();
+  Tcb* me = Scheduler::self();
   if (const auto* h = validate_hooks()) {
-    h->blocking_call(Scheduler::self(), "lwt::RwLock::lock_shared", false);
+    h->blocking_call(me, "lwt::RwLock::lock_shared", false);
   }
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) hb->wait_begin(me, this, "lwt::RwLock::lock_shared", false);
   Scheduler::SyncGuard g(s);
-  while (writer_.load(std::memory_order_relaxed) != nullptr ||
-         !waiting_writers_.empty()) {
-    s.park_on(waiting_readers_, g);
-    g.lock();
-    s.check_cancel();
+  try {
+    while (writer_.load(std::memory_order_relaxed) != nullptr ||
+           !waiting_writers_.empty()) {
+      s.park_on(waiting_readers_, g);
+      g.lock();
+      s.check_cancel();
+    }
+  } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
+    throw;
   }
   readers_.fetch_add(1, std::memory_order_relaxed);
   g.unlock();
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    hb->lock_acquired(me, this, "RwLock(R)");
+  }
   if (const auto* h = validate_hooks()) {
-    h->lock_acquired(Scheduler::self(), this, "RwLock(R)");
+    h->lock_acquired(me, this, "RwLock(R)");
   }
 }
 
@@ -52,6 +69,9 @@ bool RwLock::try_lock_shared() {
   }
   readers_.fetch_add(1, std::memory_order_relaxed);
   g.unlock();
+  if (const auto* hb = hb_hooks()) {
+    hb->lock_acquired(Scheduler::self(), this, "RwLock(R)");
+  }
   if (const auto* h = validate_hooks()) {
     h->lock_acquired(Scheduler::self(), this, "RwLock(R)");
   }
@@ -61,21 +81,37 @@ bool RwLock::try_lock_shared() {
 bool RwLock::try_lock_shared_until(std::uint64_t deadline_ns) {
   Scheduler& s = sched();
   s.check_cancel();
+  Tcb* me = Scheduler::self();
   if (const auto* h = validate_hooks()) {
-    h->blocking_call(Scheduler::self(), "lwt::RwLock::try_lock_shared_until",
-                     true);
+    h->blocking_call(me, "lwt::RwLock::try_lock_shared_until", true);
+  }
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) {
+    hb->wait_begin(me, this, "lwt::RwLock::try_lock_shared_until", true);
   }
   Scheduler::SyncGuard g(s);
-  while (writer_.load(std::memory_order_relaxed) != nullptr ||
-         !waiting_writers_.empty()) {
-    if (!s.park_on_until(waiting_readers_, deadline_ns, g)) return false;
-    g.lock();
-    s.check_cancel();
+  try {
+    while (writer_.load(std::memory_order_relaxed) != nullptr ||
+           !waiting_writers_.empty()) {
+      if (!s.park_on_until(waiting_readers_, deadline_ns, g)) {
+        if (hb != nullptr) hb->wait_end(me);
+        return false;
+      }
+      g.lock();
+      s.check_cancel();
+    }
+  } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
+    throw;
   }
   readers_.fetch_add(1, std::memory_order_relaxed);
   g.unlock();
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    hb->lock_acquired(me, this, "RwLock(R)");
+  }
   if (const auto* h = validate_hooks()) {
-    h->lock_acquired(Scheduler::self(), this, "RwLock(R)");
+    h->lock_acquired(me, this, "RwLock(R)");
   }
   return true;
 }
@@ -85,6 +121,9 @@ void RwLock::unlock_shared() {
   if (readers_.load(std::memory_order_relaxed) <= 0) {
     std::fprintf(stderr, "lwt: unlock_shared without shared lock\n");
     std::abort();
+  }
+  if (const auto* hb = hb_hooks()) {
+    hb->lock_released(Scheduler::self(), this);
   }
   if (const auto* h = validate_hooks()) {
     h->lock_released(Scheduler::self(), this);
@@ -102,15 +141,26 @@ void RwLock::lock() {
   if (const auto* h = validate_hooks()) {
     h->blocking_call(me, "lwt::RwLock::lock", false);
   }
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) hb->wait_begin(me, this, "lwt::RwLock::lock", false);
   Scheduler::SyncGuard g(s);
-  while (writer_.load(std::memory_order_relaxed) != nullptr ||
-         readers_.load(std::memory_order_relaxed) > 0) {
-    s.park_on(waiting_writers_, g);
-    g.lock();
-    s.check_cancel();
+  try {
+    while (writer_.load(std::memory_order_relaxed) != nullptr ||
+           readers_.load(std::memory_order_relaxed) > 0) {
+      s.park_on(waiting_writers_, g);
+      g.lock();
+      s.check_cancel();
+    }
+  } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
+    throw;
   }
   writer_.store(me, std::memory_order_relaxed);
   g.unlock();
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    hb->lock_acquired(me, this, "RwLock(W)");
+  }
   if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "RwLock(W)");
 }
 
@@ -124,6 +174,7 @@ bool RwLock::try_lock() {
   }
   writer_.store(me, std::memory_order_relaxed);
   g.unlock();
+  if (const auto* hb = hb_hooks()) hb->lock_acquired(me, this, "RwLock(W)");
   if (const auto* h = validate_hooks()) {
     h->lock_acquired(me, this, "RwLock(W)");
   }
@@ -137,20 +188,34 @@ bool RwLock::try_lock_until(std::uint64_t deadline_ns) {
   if (const auto* h = validate_hooks()) {
     h->blocking_call(me, "lwt::RwLock::try_lock_until", true);
   }
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) {
+    hb->wait_begin(me, this, "lwt::RwLock::try_lock_until", true);
+  }
   Scheduler::SyncGuard g(s);
-  while (writer_.load(std::memory_order_relaxed) != nullptr ||
-         readers_.load(std::memory_order_relaxed) > 0) {
-    if (!s.park_on_until(waiting_writers_, deadline_ns, g)) {
-      // If this was the last queued writer and the lock is held only by
-      // readers, parked readers are released by the readers' eventual
-      // unlock via wake_next(); nothing to do here.
-      return false;
+  try {
+    while (writer_.load(std::memory_order_relaxed) != nullptr ||
+           readers_.load(std::memory_order_relaxed) > 0) {
+      if (!s.park_on_until(waiting_writers_, deadline_ns, g)) {
+        // If this was the last queued writer and the lock is held only
+        // by readers, parked readers are released by the readers'
+        // eventual unlock via wake_next(); nothing to do here.
+        if (hb != nullptr) hb->wait_end(me);
+        return false;
+      }
+      g.lock();
+      s.check_cancel();
     }
-    g.lock();
-    s.check_cancel();
+  } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
+    throw;
   }
   writer_.store(me, std::memory_order_relaxed);
   g.unlock();
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    hb->lock_acquired(me, this, "RwLock(W)");
+  }
   if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "RwLock(W)");
   return true;
 }
@@ -160,6 +225,9 @@ void RwLock::unlock() {
   if (writer_.load(std::memory_order_relaxed) != Scheduler::self()) {
     std::fprintf(stderr, "lwt: RwLock::unlock by non-writer\n");
     std::abort();
+  }
+  if (const auto* hb = hb_hooks()) {
+    hb->lock_released(Scheduler::self(), this);
   }
   if (const auto* h = validate_hooks()) {
     h->lock_released(Scheduler::self(), this);

@@ -30,6 +30,8 @@
 #include <sstream>
 #include <thread>
 
+#include "lwt/hb.hpp"
+
 namespace lwt {
 
 namespace {
@@ -192,6 +194,10 @@ Tcb* Scheduler::spawn(EntryFn entry, void* arg, const ThreadAttr& attr) {
     ++base_stats_.spawns;
   }
   if (trace_ != nullptr) trace_->record(TraceEvent::Spawn, t->id);
+  if (const HbHooks* hb = hb_hooks()) {
+    hb->thread_spawn(w != nullptr && w->sched == this ? w->current : nullptr,
+                     t);
+  }
   enqueue_or_inject(t);
   return t;
 }
@@ -689,20 +695,36 @@ void Scheduler::worker_loop(Worker& w) {
     // Found work: release the spinner role so another idler can poll.
     int exp = static_cast<int>(w.index);
     spinner_.compare_exchange_strong(exp, -1, std::memory_order_relaxed);
+    if (const HbHooks* hb = hb_hooks()) hb->progress(this);
     switch_to(w, next);
   }
 }
 
 void Scheduler::idle_wait(Worker& w) {
   if (nworkers_ == 1) {
-    // Single worker: the old scheduler's exact idle behavior, including
-    // the whole-process deadlock diagnosis.
-    if (ps_parked_.load(std::memory_order_relaxed) == 0 &&
+    // The happens-before checker (chant::hb) sees every idle pass: it
+    // decides globally (across all registered schedulers) whether the
+    // world has quiesced with fibers still blocked, and gets first
+    // crack at diagnosing a deadlock before the local abort below.
+    const bool locally_dead =
+        ps_parked_.load(std::memory_order_relaxed) == 0 &&
         wq_len_.load(std::memory_order_relaxed) == 0 &&
         generic_len_.load(std::memory_order_relaxed) == 0 &&
         timers_live_.load(std::memory_order_relaxed) == 0 &&
         inject_len_.load(std::memory_order_seq_cst) == 0 &&
-        blocked_.load(std::memory_order_relaxed) > 0) {
+        blocked_.load(std::memory_order_relaxed) > 0;
+    if (const HbHooks* hb = hb_hooks()) {
+      if (hb->quiesce(this, timers_live_.load(std::memory_order_relaxed),
+                      generic_len_.load(std::memory_order_relaxed),
+                      locally_dead)) {
+        // Either the stuck fibers were canceled (runnable now), or the
+        // checker is mid-diagnosis and asked us to hold the abort below.
+        return;
+      }
+    }
+    // Single worker: the old scheduler's exact idle behavior, including
+    // the whole-process deadlock diagnosis.
+    if (locally_dead) {
       std::fprintf(stderr,
                    "lwt: deadlock — %u thread(s) blocked with nothing "
                    "runnable\n%s",
@@ -945,6 +967,7 @@ void Scheduler::finish_current(void* retval) {
   Tcb* me = w->current;
   me->retval = retval;
   run_tls_dtors(me);
+  if (const HbHooks* hb = hb_hooks()) hb->thread_exit(me, me->detached);
   SyncGuard g(*this);
   if (trace_ != nullptr) trace_->record(TraceEvent::Finish, me->id);
   me->state.store(ThreadState::Finished, std::memory_order_release);
@@ -996,10 +1019,15 @@ bool Scheduler::join_until(Tcb* t, std::uint64_t deadline_ns, void** retval) {
     t->joiner = me;
     TimerWheel::TimerId tid = 0;
     if (deadline_ns != kNoDeadline) tid = arm_timer(deadline_ns, me);
+    if (const HbHooks* hb = hb_hooks()) {
+      hb->wait_begin(me, t, "lwt::Scheduler::join",
+                     deadline_ns != kNoDeadline);
+    }
     me->state.store(ThreadState::Blocked, std::memory_order_relaxed);
     me->waiting_on = nullptr;
     blocked_.fetch_add(1, std::memory_order_relaxed);
     park_switch(g);
+    if (const HbHooks* hb = hb_hooks()) hb->wait_end(me);
     if (tid != 0) {
       SyncGuard g2(*this);
       disarm_timer(tid);
@@ -1040,6 +1068,7 @@ bool Scheduler::join_until(Tcb* t, std::uint64_t deadline_ns, void** retval) {
     g.unlock();
   }
   if (retval != nullptr) *retval = t->canceled ? kCanceled : t->retval;
+  if (const HbHooks* hb = hb_hooks()) hb->thread_join(me, t);
   reap(t);
   return true;
 }

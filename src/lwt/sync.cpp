@@ -7,11 +7,18 @@
 // which releases it only after the parking fiber has switched out, so
 // the release-and-park is atomic with respect to wakers. Single-worker
 // runs pay one uncontended spinlock pair per operation.
+//
+// Hook discipline: validate/hb hooks fire outside the wait lock where
+// possible (the checker takes its own mutex; holding the scheduler
+// spinlock across it would serialize workers). A wait_begin with no
+// matching wait_end (cancellation unwinding) is cleaned up by the
+// checker's thread_exit handler.
 #include "lwt/sync.hpp"
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "lwt/hb.hpp"
 #include "lwt/validate.hpp"
 
 namespace lwt {
@@ -39,14 +46,25 @@ void Mutex::lock() {
     std::abort();
   }
   if (const auto* h = validate_hooks()) h->blocking_call(me, "lwt::Mutex::lock", false);
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) hb->wait_begin(me, this, "lwt::Mutex::lock", false);
   Scheduler::SyncGuard g(s);
-  while (owner_.load(std::memory_order_relaxed) != nullptr) {
-    s.park_on(waiters_, g);  // returns with the guard released
-    g.lock();
-    s.check_cancel();  // cancel() may have ejected us from the wait list
+  try {
+    while (owner_.load(std::memory_order_relaxed) != nullptr) {
+      s.park_on(waiters_, g);  // returns with the guard released
+      g.lock();
+      s.check_cancel();  // cancel() may have ejected us from the wait list
+    }
+  } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
+    throw;
   }
   owner_.store(me, std::memory_order_relaxed);
   g.unlock();
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    hb->lock_acquired(me, this, "Mutex");
+  }
   if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "Mutex");
 }
 
@@ -57,6 +75,7 @@ bool Mutex::try_lock() {
   if (owner_.load(std::memory_order_relaxed) != nullptr) return false;
   owner_.store(me, std::memory_order_relaxed);
   g.unlock();
+  if (const auto* hb = hb_hooks()) hb->lock_acquired(me, this, "Mutex");
   if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "Mutex");
   return true;
 }
@@ -73,14 +92,30 @@ bool Mutex::try_lock_until(std::uint64_t deadline_ns) {
   if (const auto* h = validate_hooks()) {
     h->blocking_call(me, "lwt::Mutex::try_lock_until", true);
   }
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) {
+    hb->wait_begin(me, this, "lwt::Mutex::try_lock_until", true);
+  }
   Scheduler::SyncGuard g(s);
-  while (owner_.load(std::memory_order_relaxed) != nullptr) {
-    if (!s.park_on_until(waiters_, deadline_ns, g)) return false;
-    g.lock();
-    s.check_cancel();  // cancel() may have ejected us from the wait list
+  try {
+    while (owner_.load(std::memory_order_relaxed) != nullptr) {
+      if (!s.park_on_until(waiters_, deadline_ns, g)) {
+        if (hb != nullptr) hb->wait_end(me);
+        return false;
+      }
+      g.lock();
+      s.check_cancel();  // cancel() may have ejected us from the wait list
+    }
+  } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
+    throw;
   }
   owner_.store(me, std::memory_order_relaxed);
   g.unlock();
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    hb->lock_acquired(me, this, "Mutex");
+  }
   if (const auto* h = validate_hooks()) h->lock_acquired(me, this, "Mutex");
   return true;
 }
@@ -96,6 +131,7 @@ void Mutex::unlock() {
     std::fprintf(stderr, "lwt: Mutex::unlock by non-owner\n");
     std::abort();
   }
+  if (const auto* hb = hb_hooks()) hb->lock_released(me, this);
   if (const auto* h = validate_hooks()) h->lock_released(me, this);
   Scheduler::SyncGuard g(s);
   owner_.store(nullptr, std::memory_order_relaxed);
@@ -116,6 +152,11 @@ void CondVar::wait(Mutex& m) {
     h->blocking_call(me, "lwt::CondVar::wait", false);
     h->lock_released(me, &m);
   }
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) {
+    hb->lock_released(me, &m);
+    hb->wait_begin(me, this, "lwt::CondVar::wait", false);
+  }
   // Release and park under one hold of the wait lock: a signal between
   // them cannot be lost, from any worker.
   Scheduler::SyncGuard g(s);
@@ -125,8 +166,13 @@ void CondVar::wait(Mutex& m) {
     s.park_on(waiters_, g);
     s.check_cancel();
   } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
     m.lock();  // pthreads semantics: reacquire before acting on cancel
     throw;
+  }
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    hb->sync_acquire(me, this);  // signaler's clock
   }
   m.lock();
 }
@@ -144,6 +190,11 @@ bool CondVar::wait_until(Mutex& m, std::uint64_t deadline_ns) {
     h->blocking_call(me, "lwt::CondVar::wait_until", true);
     h->lock_released(me, &m);
   }
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) {
+    hb->lock_released(me, &m);
+    hb->wait_begin(me, this, "lwt::CondVar::wait_until", true);
+  }
   Scheduler::SyncGuard g(s);
   m.owner_.store(nullptr, std::memory_order_relaxed);
   s.wake_one(m.waiters_, g);
@@ -152,32 +203,60 @@ bool CondVar::wait_until(Mutex& m, std::uint64_t deadline_ns) {
     signaled = s.park_on_until(waiters_, deadline_ns, g);
     s.check_cancel();
   } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
     m.lock();  // pthreads semantics: reacquire before acting on cancel
     throw;
+  }
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    if (signaled) hb->sync_acquire(me, this);
   }
   m.lock();
   return signaled;
 }
 
-void CondVar::signal() { sched().wake_one(waiters_); }
+void CondVar::signal() {
+  Scheduler& s = sched();
+  if (const auto* hb = hb_hooks()) hb->sync_release(Scheduler::self(), this);
+  s.wake_one(waiters_);
+}
 
-void CondVar::broadcast() { sched().wake_all(waiters_); }
+void CondVar::broadcast() {
+  Scheduler& s = sched();
+  if (const auto* hb = hb_hooks()) hb->sync_release(Scheduler::self(), this);
+  s.wake_all(waiters_);
+}
 
 // -------------------------------------------------------------- Semaphore
 
 void Semaphore::acquire() {
   Scheduler& s = sched();
   s.check_cancel();
+  Tcb* me = Scheduler::self();
   if (const auto* h = validate_hooks()) {
-    h->blocking_call(Scheduler::self(), "lwt::Semaphore::acquire", false);
+    h->blocking_call(me, "lwt::Semaphore::acquire", false);
+  }
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) {
+    hb->wait_begin(me, this, "lwt::Semaphore::acquire", false);
   }
   Scheduler::SyncGuard g(s);
-  while (count_.load(std::memory_order_relaxed) <= 0) {
-    s.park_on(waiters_, g);
-    g.lock();
-    s.check_cancel();
+  try {
+    while (count_.load(std::memory_order_relaxed) <= 0) {
+      s.park_on(waiters_, g);
+      g.lock();
+      s.check_cancel();
+    }
+  } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
+    throw;
   }
   count_.fetch_sub(1, std::memory_order_relaxed);
+  g.unlock();
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    hb->sync_acquire(me, this);  // releaser's clock
+  }
 }
 
 bool Semaphore::try_acquire() {
@@ -185,24 +264,53 @@ bool Semaphore::try_acquire() {
   Scheduler::SyncGuard g(s);
   if (count_.load(std::memory_order_relaxed) <= 0) return false;
   count_.fetch_sub(1, std::memory_order_relaxed);
+  g.unlock();
+  if (const auto* hb = hb_hooks()) {
+    hb->sync_acquire(Scheduler::self(), this);
+  }
   return true;
 }
 
 bool Semaphore::try_acquire_until(std::uint64_t deadline_ns) {
   Scheduler& s = sched();
   s.check_cancel();
+  Tcb* me = Scheduler::self();
+  // Bounded wait: visible to the validator like every other timed
+  // primitive (a try_acquire_until inside a no-block scope is permitted
+  // but must still be announced).
+  if (const auto* h = validate_hooks()) {
+    h->blocking_call(me, "lwt::Semaphore::try_acquire_until", true);
+  }
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) {
+    hb->wait_begin(me, this, "lwt::Semaphore::try_acquire_until", true);
+  }
   Scheduler::SyncGuard g(s);
-  while (count_.load(std::memory_order_relaxed) <= 0) {
-    if (!s.park_on_until(waiters_, deadline_ns, g)) return false;
-    g.lock();
-    s.check_cancel();
+  try {
+    while (count_.load(std::memory_order_relaxed) <= 0) {
+      if (!s.park_on_until(waiters_, deadline_ns, g)) {
+        if (hb != nullptr) hb->wait_end(me);
+        return false;
+      }
+      g.lock();
+      s.check_cancel();
+    }
+  } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
+    throw;
   }
   count_.fetch_sub(1, std::memory_order_relaxed);
+  g.unlock();
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    hb->sync_acquire(me, this);
+  }
   return true;
 }
 
 void Semaphore::release(std::int64_t n) {
   Scheduler& s = sched();
+  if (const auto* hb = hb_hooks()) hb->sync_release(Scheduler::self(), this);
   Scheduler::SyncGuard g(s);
   count_.fetch_add(n, std::memory_order_relaxed);
   // Mesa-style: wake as many waiters as units released; each re-checks.
@@ -216,22 +324,44 @@ void Semaphore::release(std::int64_t n) {
 bool Barrier::arrive_and_wait() {
   Scheduler& s = sched();
   s.check_cancel();
+  Tcb* me = Scheduler::self();
   if (const auto* h = validate_hooks()) {
-    h->blocking_call(Scheduler::self(), "lwt::Barrier::arrive_and_wait",
-                     false);
+    h->blocking_call(me, "lwt::Barrier::arrive_and_wait", false);
   }
+  // Every arrival publishes into the barrier's clock; every departure
+  // (including the serial arriver's) merges it back, so all pre-barrier
+  // work happens-before all post-barrier work.
+  const HbHooks* hb = hb_hooks();
+  if (hb != nullptr) hb->sync_release(me, this);
   Scheduler::SyncGuard g(s);
   const std::uint64_t gen = generation_;
   if (++arrived_ == parties_) {
     arrived_ = 0;
     ++generation_;
     s.wake_all(waiters_, g);
+    g.unlock();
+    if (hb != nullptr) hb->sync_acquire(me, this);
     return true;
   }
-  while (generation_ == gen) {
-    s.park_on(waiters_, g);
+  if (hb != nullptr) {
+    g.unlock();
+    hb->wait_begin(me, this, "lwt::Barrier::arrive_and_wait", false);
     g.lock();
-    s.check_cancel();
+  }
+  try {
+    while (generation_ == gen) {
+      s.park_on(waiters_, g);
+      g.lock();
+      s.check_cancel();
+    }
+  } catch (...) {
+    if (hb != nullptr) hb->wait_end(me);
+    throw;
+  }
+  g.unlock();
+  if (hb != nullptr) {
+    hb->wait_end(me);
+    hb->sync_acquire(me, this);
   }
   return false;
 }

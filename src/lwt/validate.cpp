@@ -1,8 +1,11 @@
-// validate.cpp — storage for the validator hook table (lwt/validate.hpp).
+// validate.cpp — storage for the validator and happens-before hook
+// tables (lwt/validate.hpp, lwt/hb.hpp).
+#include "lwt/hb.hpp"
 #include "lwt/validate.hpp"
 
 namespace lwt {
 
 std::atomic<const ValidateHooks*> g_validate_hooks{nullptr};
+std::atomic<const HbHooks*> g_hb_hooks{nullptr};
 
 }  // namespace lwt

@@ -60,9 +60,12 @@
 #include <thread>
 
 #include "nx/fault.hpp"
+#include "nx/hb.hpp"
 #include "nx/machine.hpp"
 
 namespace nx {
+
+std::atomic<const NxHbHooks*> g_nx_hb_hooks{nullptr};
 
 namespace {
 inline void cpu_relax() noexcept {
@@ -301,6 +304,9 @@ Endpoint::Request* Endpoint::take_posted_match(const MsgHeader& h) {
 }
 
 void Endpoint::deliver_into(Request& r, const UnexMsg& m) {
+  // The message is now at its destination (matched): quiescence
+  // detection must no longer count it as able to wake someone later.
+  if (const auto* hb = nx_hb_hooks()) hb->msg_arrived(m.hdr.hb_clk);
   r.hdr = m.hdr;
   std::size_t n = m.hdr.len;
   if (n > r.cap) {
@@ -365,6 +371,9 @@ void Endpoint::drain(std::uint64_t now) {
                     static_cast<std::ptrdiff_t>(best->offered));
       --unex_total_;
     } else {
+      // Revealed but refused: an ordinary unexpected message from here
+      // on — it has arrived for quiescence purposes.
+      if (const auto* hb = nx_hb_hooks()) hb->msg_arrived(m.hdr.hb_clk);
       ++best->offered;
     }
   }
@@ -539,6 +548,7 @@ bool Endpoint::accept_send_locked(const MsgHeader& h, const IoVec* iov,
       // send itself completes (a rendezvous sender must not wedge
       // waiting on a copy that will never happen), the payload vanishes.
       counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+      if (const auto* hb = nx_hb_hooks()) hb->msg_dropped(h.hb_clk);
       return true;
     }
   }
@@ -619,6 +629,7 @@ bool Endpoint::accept_send_locked(const MsgHeader& h, const IoVec* iov,
   ++unex_total_;
   if (visible) {
     sq.offered = sq.q.size();  // offered above, refused: stays unexpected
+    if (const auto* hb = nx_hb_hooks()) hb->msg_arrived(h.hb_clk);
   } else {
     // In-flight: advance the arrival epoch and keep the earliest
     // outstanding deliver-at so the gate reopens when it is reached.
@@ -661,6 +672,7 @@ Handle Endpoint::start_send(int dst_pe, int dst_proc, int tag,
   Handle h = alloc_request(Request::Kind::Send);
   Request* r = checked(h);
   MsgHeader hdr{pe_, proc_, tag, channel, len, false};
+  if (const auto* hb = nx_hb_hooks()) hdr.hb_clk = hb->msg_send(hdr);
   if (transport_->submit(machine_, hdr, dst_pe, dst_proc, iov, iovcnt,
                          &r->complete)) {
     r->complete.store(true, std::memory_order_release);
@@ -688,6 +700,7 @@ void Endpoint::start_csend(int dst_pe, int dst_proc, int tag,
   counters_.bytes_sent.fetch_add(len, std::memory_order_relaxed);
   std::atomic<bool> done{false};
   MsgHeader hdr{pe_, proc_, tag, channel, len, false};
+  if (const auto* hb = nx_hb_hooks()) hdr.hb_clk = hb->msg_send(hdr);
   if (transport_->submit(machine_, hdr, dst_pe, dst_proc, iov, iovcnt, &done))
     return;
   // Rendezvous: spin until the receiver copies. Only the in-proc backend

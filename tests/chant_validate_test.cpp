@@ -116,6 +116,69 @@ TEST_F(ValidateTest, ThreeLockCycleIsReported) {
   EXPECT_EQ(count(Violation::kLockOrderCycle), 1u);
 }
 
+// Regression: acquisitions made through the timed variants must enter
+// the lock-order graph exactly like their untimed siblings. A cycle one
+// of whose edges was taken via try_lock_until / try_lock_for used to be
+// invisible.
+TEST_F(ValidateTest, AbbaViaTimedMutexAcquisitionIsReported) {
+  lwt::run([] {
+    lwt::Mutex a;
+    lwt::Mutex b;
+    a.lock();
+    ASSERT_TRUE(
+        b.try_lock_until(lwt::Scheduler::current()->deadline_after(1000000)));
+    b.unlock();
+    a.unlock();
+    b.lock();
+    ASSERT_TRUE(a.try_lock_for(1000000));  // closes b -> a via timed path
+    a.unlock();
+    b.unlock();
+  });
+  EXPECT_EQ(count(Violation::kLockOrderCycle), 1u);
+}
+
+TEST_F(ValidateTest, AbbaViaTimedRwLockWriterIsReported) {
+  lwt::run([] {
+    lwt::RwLock rw;
+    lwt::Mutex m;
+    ASSERT_TRUE(
+        rw.try_lock_until(lwt::Scheduler::current()->deadline_after(1000000)));
+    m.lock();
+    m.unlock();
+    rw.unlock();
+    m.lock();
+    ASSERT_TRUE(
+        rw.try_lock_until(lwt::Scheduler::current()->deadline_after(1000000)));
+    rw.unlock();
+    m.unlock();
+  });
+  EXPECT_EQ(count(Violation::kLockOrderCycle), 1u);
+}
+
+// Regression: CondVar::wait_until releases the mutex for the park and
+// reacquires it on the way out (timeout or signal alike). The
+// reacquisition must be recorded, or every edge from that mutex taken
+// after the wait would silently vanish from the order graph.
+TEST_F(ValidateTest, MutexReacquiredByTimedCondWaitStaysInOrderGraph) {
+  lwt::run([] {
+    lwt::Mutex m;
+    lwt::Mutex b;
+    lwt::CondVar cv;
+    m.lock();
+    // Nobody signals: the wait times out and reacquires m.
+    EXPECT_FALSE(
+        cv.wait_until(m, lwt::Scheduler::current()->deadline_after(100000)));
+    b.lock();  // edge m -> b, with m held only via the reacquisition
+    b.unlock();
+    m.unlock();
+    b.lock();
+    m.lock();  // closes b -> m
+    m.unlock();
+    b.unlock();
+  });
+  EXPECT_EQ(count(Violation::kLockOrderCycle), 1u);
+}
+
 // ------------------------------------------------- no-block context tag
 
 TEST_F(ValidateTest, UntimedMutexLockInNoBlockScopeIsReported) {
@@ -134,6 +197,46 @@ TEST_F(ValidateTest, TimedLockInNoBlockScopeIsAllowed) {
     chant::validate::HandlerScope scope("a test no-block scope");
     EXPECT_TRUE(m.try_lock_for(1000000));  // bounded: permitted
     m.unlock();
+  });
+  EXPECT_EQ(chant::validate::violation_count(), 0u);
+}
+
+// Regression: Semaphore::try_acquire_until is a *bounded* wait and must
+// be announced as one — it used to be either unannounced or tagged
+// untimed, so a handler using it was flagged like a bare acquire().
+TEST_F(ValidateTest, TimedSemaphoreAcquireInNoBlockScopeIsAllowed) {
+  lwt::run([] {
+    lwt::Semaphore sem(1);
+    chant::validate::HandlerScope scope("a test no-block scope");
+    EXPECT_TRUE(sem.try_acquire_until(
+        lwt::Scheduler::current()->deadline_after(1000000)));
+    sem.release();
+  });
+  EXPECT_EQ(chant::validate::violation_count(), 0u);
+}
+
+// Regression: Once::call can block (behind a running initializer) and
+// runs the initializer holding logical ownership of the Once. Both must
+// be visible to the validator: the first call inside a no-block scope
+// is an unbounded wait (flagged), a completed Once is a plain load
+// (clean).
+TEST_F(ValidateTest, OnceCallIsAnnouncedAsUnboundedWait) {
+  lwt::run([] {
+    lwt::Once once;
+    {
+      chant::validate::HandlerScope scope("a test no-block scope");
+      once.call([] {});
+    }
+  });
+  EXPECT_EQ(count(Violation::kBlockingInHandler), 1u);
+}
+
+TEST_F(ValidateTest, CompletedOnceIsCleanInNoBlockScope) {
+  lwt::run([] {
+    lwt::Once once;
+    once.call([] {});
+    chant::validate::HandlerScope scope("a test no-block scope");
+    once.call([] {});  // already Done: no wait, no report
   });
   EXPECT_EQ(chant::validate::violation_count(), 0u);
 }

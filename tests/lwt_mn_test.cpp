@@ -107,7 +107,9 @@ TEST(MnWorkers, StealVsReadyRaceConverges) {
           lwt::LockGuard g(mu);
           turn = (turn + 1) % kPairs;
           cv.broadcast();
-          cv.wait_until(mu, lwt::Scheduler::current()->deadline_after(kMs));
+          // Timeout and signal are both fine here; the loop re-checks.
+          (void)cv.wait_until(mu,
+                              lwt::Scheduler::current()->deadline_after(kMs));
         }
         done.fetch_add(1, std::memory_order_relaxed);
       }));

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """chant-lint — Chant-specific static checks (DESIGN.md §9).
 
-Six rules the generic toolchain cannot express:
+Seven rules the generic toolchain cannot express:
 
   dropped-status        A call to an always-Status-returning runtime
                         method (cancel_irecv, call_test) used as a bare
@@ -9,6 +9,19 @@ Six rules the generic toolchain cannot express:
                         catches this at compile time; the lint catches it
                         in code that a given configuration never compiles
                         (examples, platform-gated branches).
+
+  discarded-status      The wide-net sibling of dropped-status: a bare
+                        expression statement calling any member of the
+                        Status-returning runtime surface (recv, msgwait,
+                        call, callv, call_wait, join, Selector::remove)
+                        or a timed/try synchronization variant returning
+                        bool (try_lock*, try_acquire*, wait_until, ...).
+                        A silently dropped Status turns a deadline expiry
+                        or dead peer into corruption several calls later;
+                        a dropped timed-wait bool means the caller cannot
+                        know whether it holds the lock. All of these are
+                        [[nodiscard]] in the headers; the lint covers
+                        configurations the compiler never sees.
 
   blocking-in-handler   An unbounded blocking runtime call (recv,
                         msgwait, call_wait, call, callv, join, untimed
@@ -72,8 +85,9 @@ import os
 import re
 import sys
 
-RULES = ("dropped-status", "blocking-in-handler", "iovec-stack-lifetime",
-         "msgwait-loop", "transport-internals", "legacy-transport-config")
+RULES = ("dropped-status", "discarded-status", "blocking-in-handler",
+         "iovec-stack-lifetime", "msgwait-loop", "transport-internals",
+         "legacy-transport-config")
 
 ALLOW_RE = re.compile(r"//\s*chant-lint:\s*allow\(([\w-]+)\)")
 LINT_EXPECT_RE = re.compile(r"//\s*LINT:\s*([\w-]+)")
@@ -82,6 +96,21 @@ LINT_EXPECT_RE = re.compile(r"//\s*LINT:\s*([\w-]+)")
 ALWAYS_STATUS = ("cancel_irecv", "call_test")
 DROPPED_RE = re.compile(
     r"^\s*(?:\w+(?:\.|->))?(" + "|".join(ALWAYS_STATUS) + r")\s*\("
+)
+
+# The wider Status-returning runtime surface plus the timed/try bool
+# synchronization variants ([[nodiscard]] in the headers). Member-call
+# syntax is required (`x.recv(`, `p->try_lock(`): free functions with
+# these names (lwt::join, std::remove) return void or unrelated types.
+# Longest-first so `call` cannot shadow `call_wait` / `callv`.
+DISCARDED_METHODS = sorted(
+    ("recv", "msgwait", "call_wait", "callv", "call", "join", "remove",
+     "try_lock", "try_lock_until", "try_lock_for", "try_lock_shared",
+     "try_lock_shared_until", "wait_until", "try_acquire",
+     "try_acquire_until"),
+    key=len, reverse=True)
+DISCARDED_RE = re.compile(
+    r"^\s*\w+(?:\.|->)(" + "|".join(DISCARDED_METHODS) + r")\s*\("
 )
 
 # Registered-handler discovery.
@@ -246,6 +275,31 @@ def check_file(path):
                 path, i + 1, "dropped-status",
                 f"return value of Status-returning '{m.group(1)}' is "
                 "discarded; check it or cast to (void) with a reason"))
+
+    # ---- rule: discarded-status -----------------------------------
+    # A member call from the wider [[nodiscard]] surface as a bare
+    # statement. Lines that continue a prior statement (previous code
+    # line does not end a statement/scope) are skipped: `Status s =\n
+    # rt.recv(...)` is consumed, just wrapped.
+    prev_end = ";"
+    for i, raw in enumerate(lines):
+        code = strip_comments_and_strings(raw)
+        stripped = code.strip()
+        starts_stmt = prev_end in ";{}:" or prev_end == ""
+        if stripped:
+            prev_end = stripped[-1]
+        if not stripped:
+            continue
+        m = DISCARDED_RE.search(code)
+        if (m and starts_stmt and not CONSUMED_RE.search(code)
+                and not DROPPED_RE.search(code)  # dropped-status owns those
+                and not allowed(i, "discarded-status")):
+            findings.append(Finding(
+                path, i + 1, "discarded-status",
+                f"result of '{m.group(1)}' is discarded; a dropped Status "
+                "(or timed-wait bool) hides deadline expiry, dead peers "
+                "and failed lock acquisition — check it or cast to "
+                "(void) with a reason"))
 
     # ---- rule: blocking-in-handler --------------------------------
     names = find_handler_names(lines)

@@ -1,0 +1,27 @@
+// testdata: discarded-status. (Lint fodder, never compiled.)
+#include "chant/runtime.hpp"
+#include "lwt/sync.hpp"
+
+void exercise(chant::Runtime& rt, lwt::Mutex& mu, lwt::CondVar& cv,
+              lwt::Semaphore& sem, char* buf, std::size_t cap) {
+  rt.recv(0, buf, cap, nullptr);  // LINT: discarded-status
+  rt.msgwait(3, chant::Deadline::infinite(), nullptr);  // LINT: discarded-status
+  rt.call(1, 0, 2, buf, cap, buf, cap, nullptr);  // LINT: discarded-status
+  mu.try_lock();  // LINT: discarded-status
+  mu.try_lock_until(100);  // LINT: discarded-status
+  cv.wait_until(mu, 100);  // LINT: discarded-status
+  sem.try_acquire();  // LINT: discarded-status
+
+  // Consumed returns are fine:
+  const chant::Status st = rt.recv(0, buf, cap, nullptr);
+  if (mu.try_lock()) {
+    (void)st;
+  }
+  while (!sem.try_acquire()) {
+  }
+  (void)cv.wait_until(mu, 100);  // explicit discard: fine
+  const chant::Status wrapped =
+      rt.msgwait(3, chant::Deadline::infinite(), nullptr);
+  (void)wrapped;
+  rt.recv(0, buf, cap, nullptr);  // chant-lint: allow(discarded-status)
+}
